@@ -1,0 +1,63 @@
+//! Criterion benchmarks of whole scheduling runs: how much host CPU one
+//! simulated tuning run costs per method family. These are the
+//! "regenerate a figure" building blocks — each iteration is one seeded
+//! run of the kind the figure binaries aggregate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use hypertune::prelude::*;
+
+fn one_run(kind: MethodKind, bench: &dyn Benchmark, budget: f64, seed: u64) -> f64 {
+    let levels = ResourceLevels::new(bench.max_resource(), 3);
+    let mut method = kind.build(&levels, seed);
+    run(method.as_mut(), bench, &RunConfig::new(8, budget, seed)).best_value
+}
+
+fn bench_scheduler_families(c: &mut Criterion) {
+    let counting = CountingOnes::new(8, 8, 0);
+    let mut g = c.benchmark_group("runs_counting_ones");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for kind in [
+        MethodKind::ARandom,
+        MethodKind::Sha,
+        MethodKind::Asha,
+        MethodKind::AshaDasha,
+        MethodKind::Hyperband,
+        MethodKind::AHyperband,
+    ] {
+        g.bench_function(kind.name().replace(' ', "_"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                one_run(kind, &counting, 600.0, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_model_based_runs(c: &mut Criterion) {
+    // Model-based methods carry surrogate-refit overhead; this measures
+    // the full per-run cost including it (the paper's "optimization
+    // overhead" included in wall-clock time).
+    let nas = tasks::nas_cifar10_valid(0);
+    let mut g = c.benchmark_group("runs_nasbench");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+    for kind in [MethodKind::Bohb, MethodKind::MfesHb, MethodKind::HyperTune] {
+        g.bench_function(kind.name().replace(' ', "_"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                one_run(kind, &nas, 900.0, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler_families, bench_model_based_runs);
+criterion_main!(benches);

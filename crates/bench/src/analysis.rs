@@ -1,0 +1,151 @@
+//! Cross-method result analysis: rank tables and paired sign tests over
+//! repeated runs — the statistics behind "method A outperforms B"
+//! statements in EXPERIMENTS.md.
+
+use crate::MethodSummary;
+
+/// Mean rank of each method across seeds (rank 1 = best final value per
+/// seed). Methods must have the same number of runs.
+pub fn mean_ranks(summaries: &[MethodSummary]) -> Vec<(String, f64)> {
+    if summaries.is_empty() {
+        return Vec::new();
+    }
+    let n_seeds = summaries[0].final_values.len();
+    let mut totals = vec![0.0; summaries.len()];
+    for seed in 0..n_seeds {
+        let mut order: Vec<usize> = (0..summaries.len()).collect();
+        order.sort_by(|&a, &b| {
+            summaries[a].final_values[seed]
+                .partial_cmp(&summaries[b].final_values[seed])
+                .expect("finite values")
+        });
+        for (rank, &m) in order.iter().enumerate() {
+            totals[m] += (rank + 1) as f64;
+        }
+    }
+    summaries
+        .iter()
+        .zip(&totals)
+        .map(|(s, &t)| (s.name.clone(), t / n_seeds as f64))
+        .collect()
+}
+
+/// Paired sign test between two methods' per-seed final values: returns
+/// `(wins_a, wins_b, ties)` where a "win" is a strictly better (lower)
+/// final value on a seed.
+pub fn sign_test(a: &MethodSummary, b: &MethodSummary) -> (usize, usize, usize) {
+    let mut wins_a = 0;
+    let mut wins_b = 0;
+    let mut ties = 0;
+    for (&va, &vb) in a.final_values.iter().zip(&b.final_values) {
+        if va < vb {
+            wins_a += 1;
+        } else if vb < va {
+            wins_b += 1;
+        } else {
+            ties += 1;
+        }
+    }
+    (wins_a, wins_b, ties)
+}
+
+/// Two-sided binomial tail probability of observing a split at least as
+/// extreme as `(wins_a, wins_b)` under a fair coin — the sign test's
+/// p-value (ties discarded). Exact computation; fine for ≤ 64 trials.
+pub fn sign_test_p(wins_a: usize, wins_b: usize) -> f64 {
+    let n = wins_a + wins_b;
+    if n == 0 {
+        return 1.0;
+    }
+    let k = wins_a.min(wins_b);
+    // P(X <= k) + P(X >= n-k) for X ~ Binomial(n, 1/2).
+    let mut tail = 0.0;
+    for i in 0..=k {
+        tail += binom(n, i);
+    }
+    let p = 2.0 * tail / 2f64.powi(n as i32);
+    p.min(1.0)
+}
+
+fn binom(n: usize, k: usize) -> f64 {
+    let mut acc = 1.0;
+    for i in 0..k {
+        acc *= (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Prints a rank table with pairwise sign-test results vs the last
+/// method (conventionally the proposed one).
+pub fn print_rank_table(title: &str, summaries: &[MethodSummary]) {
+    println!("\n### {title}: mean rank across seeds (1 = best)");
+    let mut ranks = mean_ranks(summaries);
+    ranks.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    for (name, rank) in &ranks {
+        println!("{name:<24} {rank:>6.2}");
+    }
+    if let Some(last) = summaries.last() {
+        println!("\npaired sign tests vs {}:", last.name);
+        for s in &summaries[..summaries.len() - 1] {
+            let (wa, wb, ties) = sign_test(s, last);
+            let p = sign_test_p(wa, wb);
+            println!(
+                "{:<24} {}:{} (ties {ties}), p = {:.3}",
+                s.name, wa, wb, p
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summarize;
+    use hypertune::prelude::*;
+
+    fn summary_with_finals(name: &str, finals: &[f64]) -> MethodSummary {
+        // Build a minimal summary with injected final values.
+        let bench = CountingOnes::new(2, 2, 0);
+        let levels = ResourceLevels::new(27.0, 3);
+        let mut m = MethodKind::ARandom.build(&levels, 0);
+        let r = run(m.as_mut(), &bench, &RunConfig::new(2, 200.0, 0));
+        let mut s = summarize(name, vec![r], 200.0, 4);
+        s.final_values = finals.to_vec();
+        s.final_tests = finals.to_vec();
+        s
+    }
+
+    #[test]
+    fn ranks_order_by_value() {
+        let a = summary_with_finals("worse", &[0.9, 0.8, 0.9]);
+        let b = summary_with_finals("better", &[0.1, 0.2, 0.1]);
+        let ranks = mean_ranks(&[a, b]);
+        assert_eq!(ranks[0].0, "worse");
+        assert!((ranks[0].1 - 2.0).abs() < 1e-12);
+        assert!((ranks[1].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sign_test_counts_wins() {
+        let a = summary_with_finals("a", &[0.1, 0.9, 0.1, 0.5]);
+        let b = summary_with_finals("b", &[0.2, 0.2, 0.2, 0.5]);
+        assert_eq!(sign_test(&a, &b), (2, 1, 1));
+    }
+
+    #[test]
+    fn p_values_sane() {
+        // Even split → p = 1; extreme split → small p.
+        assert!((sign_test_p(2, 2) - 1.0).abs() < 0.4);
+        assert!(sign_test_p(10, 0) < 0.01);
+        assert_eq!(sign_test_p(0, 0), 1.0);
+        // Symmetric.
+        assert!((sign_test_p(7, 1) - sign_test_p(1, 7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn print_does_not_panic() {
+        let a = summary_with_finals("a", &[0.3, 0.4, 0.5]);
+        let b = summary_with_finals("b", &[0.2, 0.3, 0.4]);
+        print_rank_table("demo", &[a, b]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Extra design-choice ablations called out in DESIGN.md §7 — beyond the
+//! paper's Figure 8:
+//!
+//! 1. **η sweep** (2 / 3 / 4): the discard proportion trades rung depth
+//!    against rung width.
+//! 2. **Sampler family**: RF-EI (our BOHB) vs TPE (original BOHB) vs
+//!    MFES ensemble, on identical D-ASHA scheduling.
+//! 3. **Median imputation** on vs off for parallel A-BO: without
+//!    Algorithm 2's imputation, concurrent workers duplicate proposals.
+//!
+//! Run with: `cargo run --release -p hypertune-bench --bin ablations_extra`
+
+use hypertune::core::methods::{ABo, AsyncHb, BracketPolicy};
+use hypertune::core::sampler::{BoSampler, MfesSampler, TpeSampler};
+use hypertune::prelude::*;
+use hypertune_bench::{budget_divisor, mean, n_repeats, report, std};
+
+fn main() {
+    report::header("Extra ablations: eta, sampler family, median imputation");
+    let budget = 3.0 * 3600.0 / budget_divisor();
+
+    // 1. Eta sweep on Hyper-Tune over the Covertype workload.
+    println!("\n--- (1) eta sweep (Hyper-Tune, XGBoost Covertype) ---");
+    let bench = tasks::xgboost_covertype(0);
+    for eta in [2usize, 3, 4] {
+        let mut finals = Vec::new();
+        for rep in 0..n_repeats() {
+            let mut config = RunConfig::new(8, budget, 40 + rep);
+            config.eta = eta;
+            let levels = ResourceLevels::new(bench.max_resource(), eta);
+            let mut m = MethodKind::HyperTune.build(&levels, config.seed);
+            finals.push(run(m.as_mut(), &bench, &config).best_value);
+        }
+        println!(
+            "eta = {eta} ({} levels): {:.4} ± {:.4}",
+            ResourceLevels::new(bench.max_resource(), eta).k(),
+            mean(&finals),
+            std(&finals)
+        );
+    }
+
+    // 2. Sampler family under identical learned-bracket D-ASHA
+    //    scheduling: random vs TPE vs RF-EI vs MFES.
+    println!("\n--- (2) sampler family (same D-ASHA + BS scheduling, NAS CIFAR-100) ---");
+    let nas = tasks::nas_cifar100(0);
+    let nas_budget = 6.0 * 3600.0 / budget_divisor();
+    type SamplerFactory = Box<dyn Fn(u64) -> Box<dyn hypertune::core::sampler::Sampler>>;
+    let families: Vec<(&str, SamplerFactory)> = vec![
+        (
+            "random",
+            Box::new(|_s| Box::new(hypertune::core::sampler::RandomSampler)),
+        ),
+        ("TPE", Box::new(|_s| Box::new(TpeSampler::new()))),
+        ("RF-EI", Box::new(|s| Box::new(BoSampler::new(s)))),
+        ("MFES", Box::new(|s| Box::new(MfesSampler::new(s)))),
+    ];
+    for (label, make) in &families {
+        let mut finals = Vec::new();
+        for rep in 0..n_repeats() {
+            let seed = 50 + rep;
+            let levels = ResourceLevels::new(nas.max_resource(), 3);
+            let mut m = AsyncHb::new(
+                format!("D-ASHA+BS+{label}"),
+                &levels,
+                BracketPolicy::learned(&levels),
+                true,
+                make(seed),
+                seed,
+            );
+            finals.push(run(&mut m, &nas, &RunConfig::new(8, nas_budget, seed)).best_value);
+        }
+        println!("{label:<8} {:.4} ± {:.4}", mean(&finals), std(&finals));
+    }
+
+    // 3. Median imputation on vs off for asynchronous BO.
+    println!("\n--- (3) Algorithm 2 median imputation (A-BO, 8 workers, Covertype) ---");
+    for impute in [true, false] {
+        let mut finals = Vec::new();
+        for rep in 0..n_repeats() {
+            let seed = 60 + rep;
+            let mut sampler = BoSampler::pure(seed);
+            sampler.impute_pending = impute;
+            let mut method = ABoWith { inner: ABo::new(seed), sampler };
+            finals.push(run(&mut method, &bench, &RunConfig::new(8, budget, seed)).best_value);
+        }
+        println!(
+            "imputation {}: {:.4} ± {:.4}",
+            if impute { "on " } else { "off" },
+            mean(&finals),
+            std(&finals)
+        );
+    }
+    println!("\nexpected shape: eta = 3 competitive (the paper's default); MFES >=");
+    println!("RF-EI ≈ TPE > random; imputation on >= off (fewer duplicate proposals).");
+}
+
+/// A-BO variant with a swappable sampler, for the imputation ablation.
+struct ABoWith {
+    #[allow(dead_code)]
+    inner: ABo,
+    sampler: BoSampler,
+}
+
+impl Method for ABoWith {
+    fn name(&self) -> &str {
+        "A-BO (ablation)"
+    }
+
+    fn next_job(&mut self, ctx: &mut MethodContext<'_>) -> Option<JobSpec> {
+        use hypertune::core::sampler::Sampler;
+        let level = ctx.levels.max_level();
+        Some(JobSpec {
+            config: self.sampler.sample(ctx),
+            level,
+            resource: ctx.levels.resource(level),
+            bracket: None,
+        })
+    }
+
+    fn on_result(&mut self, _outcome: &Outcome, _ctx: &mut MethodContext<'_>) {}
+}

@@ -1,0 +1,87 @@
+//! Figure 5: validation error of architecture search on the three
+//! NAS-Bench-201-shaped datasets, plus the §5.2 speedup numbers.
+//!
+//! Paper setup: 8 workers, 4 brackets, budgets 24 / 48 / 120 hours for
+//! CIFAR-10-Valid / CIFAR-100 / ImageNet16-120. Reduced-scale budgets are
+//! divided by 8 (set `HYPERTUNE_FULL=1` for paper scale).
+//!
+//! Expected shape (paper): Hyper-Tune attains the best anytime and
+//! converged error on all three datasets; A-Random beats synchronous
+//! Hyperband; speedups vs BOHB / A-BOHB are reported at the bottom.
+//!
+//! Run with: `cargo run --release -p hypertune-bench --bin fig5_nasbench`
+
+use hypertune::prelude::*;
+use hypertune_bench::{budget_divisor, evaluate_method, report, speedup, MethodSummary};
+use std::path::PathBuf;
+
+fn main() {
+    report::header("Figure 5: NAS-Bench-201 architecture search");
+    let datasets: Vec<(Box<dyn Fn(u64) -> TabularNasBench>, f64, &str)> = vec![
+        (Box::new(tasks::nas_cifar10_valid), 24.0, "CIFAR-10-Valid"),
+        (Box::new(tasks::nas_cifar100), 48.0, "CIFAR-100"),
+        (Box::new(tasks::nas_imagenet16), 120.0, "ImageNet16-120"),
+    ];
+    let methods = [
+        MethodKind::ARandom,
+        MethodKind::ARea,
+        MethodKind::Hyperband,
+        MethodKind::AHyperband,
+        MethodKind::Bohb,
+        MethodKind::ABohb,
+        MethodKind::MfesHb,
+        MethodKind::HyperTune,
+    ];
+
+    for (make, hours, label) in datasets {
+        let bench = make(0);
+        let budget = hours * 3600.0 / budget_divisor();
+        let config = RunConfig::new(8, budget, 100);
+        let mut summaries: Vec<MethodSummary> = Vec::new();
+        for kind in methods {
+            summaries.push(evaluate_method(kind, &bench, &config, 12));
+        }
+        report::print_series(
+            &format!("{label} (budget {:.1} h, 8 workers)", budget / 3600.0),
+            &summaries,
+            3600.0,
+            "h",
+        );
+        println!("{}", hypertune_bench::plot::ascii_chart(&summaries, 72, 14));
+        report::print_final_table(&format!("{label}: converged"), &summaries, "err");
+        if let Some(opt) = bench.optimum() {
+            println!("global optimum of the table: {opt:.4}");
+            let ht = summaries.iter().find(|s| s.name == "Hyper-Tune").unwrap();
+            let reached = ht
+                .final_values
+                .iter()
+                .filter(|&&v| v <= opt + 1e-6)
+                .count();
+            println!(
+                "Hyper-Tune reached the optimum in {reached}/{} runs",
+                ht.final_values.len()
+            );
+        }
+
+        // §5.2 speedups: time for Hyper-Tune to reach the baseline's
+        // converged value, vs the baseline's own time.
+        let ht = summaries
+            .iter()
+            .find(|s| s.name == "Hyper-Tune")
+            .expect("Hyper-Tune present");
+        for baseline in ["BOHB", "A-BOHB"] {
+            if let Some(b) = summaries.iter().find(|s| s.name == baseline) {
+                match speedup(ht, b) {
+                    Some(x) => println!("speedup vs {baseline}: {x:.1}x"),
+                    None => println!("speedup vs {baseline}: n/a (target not reached)"),
+                }
+            }
+        }
+        let out = PathBuf::from("results").join(format!(
+            "fig5_{}.json",
+            label.to_lowercase().replace([' ', '-'], "_")
+        ));
+        report::write_json(&out, label, &summaries).expect("write results");
+        println!("series written to {}", out.display());
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 6: validation error of tuning XGBoost (9 hyper-parameters) on
+//! four large OpenML-shaped datasets, with data-subset fidelity.
+//!
+//! Paper setup: 8 workers, budgets 2 / 3 / 6 / 6 hours for Pokerhand /
+//! Covertype / Hepmass / Higgs; partial evaluations train on subsets
+//! between 1/27 and the full set. Expected shape: BO and A-BO converge
+//! slowly (complete evaluations only); Hyper-Tune and MFES-HB beat
+//! Hyperband/BOHB by exploiting low-fidelity measurements; Hyper-Tune has
+//! the best converged error on all four datasets.
+//!
+//! Run with: `cargo run --release -p hypertune-bench --bin fig6_xgboost`
+
+use hypertune::prelude::*;
+use hypertune_bench::{budget_divisor, evaluate_method, report, MethodSummary};
+use std::path::PathBuf;
+
+fn main() {
+    report::header("Figure 6: XGBoost on four large datasets");
+    let datasets: Vec<(Box<dyn Fn(u64) -> SyntheticBenchmark>, f64, &str)> = vec![
+        (Box::new(tasks::xgboost_pokerhand), 2.0, "Pokerhand"),
+        (Box::new(tasks::xgboost_covertype), 3.0, "Covertype"),
+        (Box::new(tasks::xgboost_hepmass), 6.0, "Hepmass"),
+        (Box::new(tasks::xgboost_higgs), 6.0, "Higgs"),
+    ];
+    let methods = [
+        MethodKind::ARandom,
+        MethodKind::BatchBo,
+        MethodKind::ABo,
+        MethodKind::Sha,
+        MethodKind::Asha,
+        MethodKind::Hyperband,
+        MethodKind::AHyperband,
+        MethodKind::Bohb,
+        MethodKind::ABohb,
+        MethodKind::MfesHb,
+        MethodKind::HyperTune,
+    ];
+
+    for (make, hours, label) in datasets {
+        let bench = make(0);
+        let budget = hours * 3600.0 / budget_divisor();
+        let config = RunConfig::new(8, budget, 200);
+        let mut summaries: Vec<MethodSummary> = Vec::new();
+        for kind in methods {
+            summaries.push(evaluate_method(kind, &bench, &config, 10));
+        }
+        report::print_series(
+            &format!("{label} (budget {:.1} h, 8 workers, subset fidelity)", budget / 3600.0),
+            &summaries,
+            3600.0,
+            "h",
+        );
+        println!("{}", hypertune_bench::plot::ascii_chart(&summaries, 72, 14));
+        report::print_final_table(&format!("{label}: converged validation error"), &summaries, "err");
+
+        // Paper's qualitative checks.
+        let best = summaries
+            .iter()
+            .min_by(|a, b| a.mean_final().partial_cmp(&b.mean_final()).unwrap())
+            .unwrap();
+        println!("best converged method: {}", best.name);
+
+        let out = PathBuf::from("results").join(format!("fig6_{}.json", label.to_lowercase()));
+        report::write_json(&out, label, &summaries).expect("write results");
+        println!("series written to {}", out.display());
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 7: tuning an LSTM on Penn Treebank (perplexity) and a ResNet on
+//! CIFAR-10 (validation error).
+//!
+//! Paper setup: 4 workers, 48-hour budgets, epoch fidelity (1..200).
+//! Expected shape: A-BOHB converges worst among the HB family on LSTM
+//! (no multi-fidelity exploitation); SHA/ASHA are weakest on ResNet
+//! (always start from the noisiest fidelity); Hyper-Tune shows the best
+//! anytime performance, with MFES-HB reaching a similar converged error.
+//!
+//! Run with: `cargo run --release -p hypertune-bench --bin fig7_nn`
+
+use hypertune::prelude::*;
+use hypertune_bench::{budget_divisor, evaluate_method, report, MethodSummary};
+use std::path::PathBuf;
+
+fn main() {
+    report::header("Figure 7: LSTM on Penn Treebank and ResNet on CIFAR-10");
+    let methods = [
+        MethodKind::Sha,
+        MethodKind::Asha,
+        MethodKind::Hyperband,
+        MethodKind::AHyperband,
+        MethodKind::Bohb,
+        MethodKind::ABohb,
+        MethodKind::MfesHb,
+        MethodKind::HyperTune,
+    ];
+
+    // (a) LSTM / Penn Treebank, perplexity.
+    {
+        let bench = tasks::lstm_ptb(0);
+        let budget = 48.0 * 3600.0 / budget_divisor();
+        let config = RunConfig::new(4, budget, 300);
+        let mut summaries: Vec<MethodSummary> = Vec::new();
+        for kind in methods {
+            summaries.push(evaluate_method(kind, &bench, &config, 10));
+        }
+        report::print_series(
+            &format!("(a) LSTM on Penn Treebank, perplexity (budget {:.1} h, 4 workers)", budget / 3600.0),
+            &summaries,
+            3600.0,
+            "h",
+        );
+        println!("{}", hypertune_bench::plot::ascii_chart(&summaries, 72, 14));
+        report::print_final_table("(a) LSTM: converged perplexity", &summaries, "ppl");
+        report::write_json(&PathBuf::from("results/fig7_lstm.json"), "LSTM-PTB", &summaries)
+            .expect("write results");
+    }
+
+    // (b) ResNet / CIFAR-10, validation error.
+    {
+        let bench = tasks::resnet_cifar10(0);
+        let budget = 48.0 * 3600.0 / budget_divisor();
+        let config = RunConfig::new(4, budget, 400);
+        let mut summaries: Vec<MethodSummary> = Vec::new();
+        for kind in methods {
+            summaries.push(evaluate_method(kind, &bench, &config, 10));
+        }
+        report::print_series(
+            &format!("(b) ResNet on CIFAR-10, val error (budget {:.1} h, 4 workers)", budget / 3600.0),
+            &summaries,
+            3600.0,
+            "h",
+        );
+        println!("{}", hypertune_bench::plot::ascii_chart(&summaries, 72, 14));
+        report::print_final_table("(b) ResNet: converged error", &summaries, "err");
+        report::write_json(&PathBuf::from("results/fig7_resnet.json"), "ResNet-CIFAR10", &summaries)
+            .expect("write results");
+    }
+    println!("\nseries written to results/fig7_lstm.json and results/fig7_resnet.json");
+}

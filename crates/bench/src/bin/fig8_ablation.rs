@@ -1,0 +1,108 @@
+//! Figure 8: ablation studies for the three Hyper-Tune components.
+//!
+//! Panels (a)/(b) — *bracket selection*: adding BS to A-Hyperband and the
+//! ASHA-parallelized A-BOHB, and removing it from Hyper-Tune, on the
+//! CIFAR-100 NAS table and XGBoost/Covertype. Also compares the sampler
+//! family (random vs high-fidelity BO vs MFES) as in §5.7's
+//! "Effectiveness of Multi-fidelity Optimizer".
+//!
+//! Panels (c)/(d) — *D-ASHA*: applying the delay condition to ASHA,
+//! A-Hyperband and A-BOHB, and removing it from Hyper-Tune.
+//!
+//! Expected shape: every +BS variant converges better than its base;
+//! every +D-ASHA variant is at least as good; MFES > high-fidelity BO >
+//! random sampling; the full Hyper-Tune is the best curve in each panel.
+//!
+//! Run with: `cargo run --release -p hypertune-bench --bin fig8_ablation`
+
+use hypertune::prelude::*;
+use hypertune_bench::{budget_divisor, evaluate_method, report, MethodSummary};
+use std::path::PathBuf;
+
+fn run_panel(
+    title: &str,
+    bench: &dyn Benchmark,
+    methods: &[MethodKind],
+    budget_hours: f64,
+    n_workers: usize,
+    seed: u64,
+    json: &str,
+) {
+    let budget = budget_hours * 3600.0 / budget_divisor();
+    let config = RunConfig::new(n_workers, budget, seed);
+    let mut summaries: Vec<MethodSummary> = Vec::new();
+    for &kind in methods {
+        summaries.push(evaluate_method(kind, bench, &config, 10));
+    }
+    report::print_series(title, &summaries, 3600.0, "h");
+    println!("{}", hypertune_bench::plot::ascii_chart(&summaries, 72, 12));
+    report::print_final_table(&format!("{title}: converged"), &summaries, "err");
+    report::write_json(&PathBuf::from("results").join(json), title, &summaries)
+        .expect("write results");
+}
+
+fn main() {
+    report::header("Figure 8: component ablations");
+
+    // (a, b) Bracket selection + optimizer family.
+    let bs_methods = [
+        MethodKind::AHyperband,
+        MethodKind::AHyperbandBs,
+        MethodKind::ABohb,
+        MethodKind::ABohbBs,
+        MethodKind::HyperTuneNoBs,
+        MethodKind::HyperTune,
+    ];
+    let nas = tasks::nas_cifar100(0);
+    run_panel(
+        "(a) bracket selection on NAS CIFAR-100",
+        &nas,
+        &bs_methods,
+        48.0,
+        8,
+        800,
+        "fig8_a_bs_nas.json",
+    );
+    let cov = tasks::xgboost_covertype(0);
+    run_panel(
+        "(b) bracket selection on XGBoost Covertype",
+        &cov,
+        &bs_methods,
+        3.0,
+        8,
+        810,
+        "fig8_b_bs_covertype.json",
+    );
+
+    // (c, d) D-ASHA delay condition.
+    let dasha_methods = [
+        MethodKind::Asha,
+        MethodKind::AshaDasha,
+        MethodKind::AHyperband,
+        MethodKind::AHyperbandDasha,
+        MethodKind::ABohb,
+        MethodKind::ABohbDasha,
+        MethodKind::HyperTuneNoDasha,
+        MethodKind::HyperTune,
+    ];
+    run_panel(
+        "(c) D-ASHA on NAS CIFAR-100",
+        &nas,
+        &dasha_methods,
+        48.0,
+        8,
+        820,
+        "fig8_c_dasha_nas.json",
+    );
+    run_panel(
+        "(d) D-ASHA on XGBoost Covertype",
+        &cov,
+        &dasha_methods,
+        3.0,
+        8,
+        830,
+        "fig8_d_dasha_covertype.json",
+    );
+
+    println!("\nseries written to results/fig8_*.json");
+}

@@ -1,0 +1,75 @@
+//! Table 1 + Figure 2: the Hyperband bracket geometry for R = 27, η = 3.
+//!
+//! Prints the (n_i, r_i) schedule of every bracket — each column of the
+//! paper's Table 1 — and walks one SHA iteration (Figure 2) on a concrete
+//! workload, showing the surviving configuration counts per rung.
+//!
+//! Run with: `cargo run --release -p hypertune-bench --bin table1`
+
+use hypertune::prelude::*;
+
+fn main() {
+    println!("=== Table 1: (n_i, r_i) per bracket, R = 27, eta = 3 ===\n");
+    let levels = ResourceLevels::new(27.0, 3);
+    let schedules: Vec<Vec<(usize, f64)>> = (0..levels.n_brackets())
+        .map(|b| levels.bracket_schedule(b))
+        .collect();
+
+    print!("{:>3}", "i");
+    for b in 0..schedules.len() {
+        print!("  | Bracket-{} (n_i, r_i)", b + 1);
+    }
+    println!();
+    let max_rungs = schedules.iter().map(Vec::len).max().unwrap_or(0);
+    for i in 0..max_rungs {
+        print!("{:>3}", i + 1);
+        for sched in &schedules {
+            match sched.get(i) {
+                Some((n, r)) => print!("  | {:>12}", format!("({n}, {r:.0})")),
+                None => print!("  | {:>12}", ""),
+            }
+        }
+        println!();
+    }
+
+    println!("\n=== Figure 2: one SHA iteration (n1 = 27, r1 = 1) ===\n");
+    // Run SHA's first bracket on a synthetic CNN-on-MNIST-like workload,
+    // 1 unit of resource = 8 epochs as in the paper's caption.
+    let bench = SyntheticSpec {
+        name: "cnn-mnist".into(),
+        space: ConfigSpace::builder()
+            .float_log("lr", 1e-4, 1.0)
+            .float("momentum", 0.0, 0.99)
+            .int_log("batch", 16, 256)
+            .build(),
+        max_resource: 27.0,
+        err_best: 0.006,
+        err_worst: 0.15,
+        err_init: 0.90,
+        shape: 2.0,
+        kappa: (3.0, 9.0),
+        noise_full: 0.001,
+        cost_per_unit: 30.0,
+        cost_spread: 3.0,
+        val_test_gap: 0.001,
+        seed: 2,
+    }
+    .build();
+    let mut method = MethodKind::Sha.build(&levels, 0);
+    let mut config = RunConfig::new(8, 1e9, 0);
+    config.max_evals = 27 + 9 + 3 + 1; // exactly one SHA iteration
+    let result = run(method.as_mut(), &bench, &config);
+    for (level, &n) in result.evals_per_level.iter().enumerate() {
+        println!(
+            "level {level}: {n:>2} evaluations with r = {:>2.0} units ({:.0} epochs each)",
+            levels.resource(level),
+            levels.resource(level) * 8.0
+        );
+    }
+    println!(
+        "\nsurvivor after the iteration: val err {:.4} ({} total evaluations)",
+        result.best_value, result.total_evals
+    );
+    assert_eq!(result.evals_per_level, vec![27, 9, 3, 1]);
+    println!("\nschedule matches Figure 2: 27 -> 9 -> 3 -> 1.");
+}

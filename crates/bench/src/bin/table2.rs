@@ -1,0 +1,151 @@
+//! Table 2: test performance of the best found configuration on the six
+//! public benchmarks (XGBoost × 4, ResNet, LSTM), for the manual setting
+//! and all eleven tuning methods.
+//!
+//! The paper reports accuracy (%) for XGBoost/ResNet and perplexity for
+//! LSTM; we print the same units. Expected shape: every tuner beats the
+//! manual setting; Hyper-Tune attains the best test metric on all six
+//! columns; MFES-HB and A-BOHB are the strongest baselines.
+//!
+//! Run with: `cargo run --release -p hypertune-bench --bin table2`
+
+use hypertune::prelude::*;
+use hypertune_bench::{budget_divisor, evaluate_method, mean, report, std};
+
+struct Column {
+    label: &'static str,
+    bench: Box<dyn Benchmark>,
+    budget_hours: f64,
+    n_workers: usize,
+    /// Convert an error-style value to the paper's unit (accuracy % or
+    /// perplexity).
+    to_unit: fn(f64) -> f64,
+    /// Methods inapplicable in the paper ('/' cells): BO-family for
+    /// NN tasks.
+    skip_bo_family: bool,
+}
+
+fn acc(v: f64) -> f64 {
+    100.0 * (1.0 - v)
+}
+fn ident(v: f64) -> f64 {
+    v
+}
+
+fn main() {
+    report::header("Table 2: test performance on six public benchmarks");
+    let columns = vec![
+        Column {
+            label: "Covertype",
+            bench: Box::new(tasks::xgboost_covertype(0)),
+            budget_hours: 3.0,
+            n_workers: 8,
+            to_unit: acc,
+            skip_bo_family: false,
+        },
+        Column {
+            label: "Pokerhand",
+            bench: Box::new(tasks::xgboost_pokerhand(0)),
+            budget_hours: 2.0,
+            n_workers: 8,
+            to_unit: acc,
+            skip_bo_family: false,
+        },
+        Column {
+            label: "Hepmass",
+            bench: Box::new(tasks::xgboost_hepmass(0)),
+            budget_hours: 6.0,
+            n_workers: 8,
+            to_unit: acc,
+            skip_bo_family: false,
+        },
+        Column {
+            label: "Higgs",
+            bench: Box::new(tasks::xgboost_higgs(0)),
+            budget_hours: 6.0,
+            n_workers: 8,
+            to_unit: acc,
+            skip_bo_family: false,
+        },
+        Column {
+            label: "CIFAR-10",
+            bench: Box::new(tasks::resnet_cifar10(0)),
+            budget_hours: 48.0,
+            n_workers: 4,
+            to_unit: acc,
+            skip_bo_family: true,
+        },
+        Column {
+            label: "Penn Treebank",
+            bench: Box::new(tasks::lstm_ptb(0)),
+            budget_hours: 48.0,
+            n_workers: 4,
+            to_unit: ident,
+            skip_bo_family: true,
+        },
+    ];
+
+    let methods = [
+        MethodKind::BatchBo,
+        MethodKind::Sha,
+        MethodKind::Hyperband,
+        MethodKind::Bohb,
+        MethodKind::MfesHb,
+        MethodKind::ARandom,
+        MethodKind::ABo,
+        MethodKind::Asha,
+        MethodKind::AHyperband,
+        MethodKind::ABohb,
+        MethodKind::HyperTune,
+    ];
+    let bo_family = [MethodKind::BatchBo, MethodKind::ABo, MethodKind::ARandom];
+
+    // rows[method name] -> cell text per column.
+    let mut rows: Vec<(String, Vec<String>)> = Vec::new();
+    rows.push(("Manual".to_string(), Vec::new()));
+    for kind in methods {
+        rows.push((kind.name().to_string(), Vec::new()));
+    }
+
+    for col in &columns {
+        let budget = col.budget_hours * 3600.0 / budget_divisor();
+        let config = RunConfig::new(col.n_workers, budget, 500);
+
+        // Manual setting: evaluate the hand-picked midpoint config.
+        let manual_cfg = tasks::manual_config(col.bench.space());
+        let manual = col
+            .bench
+            .evaluate(&manual_cfg, col.bench.max_resource(), 0)
+            .test_value;
+        rows[0].1.push(format!("{:.2} ± 0.00", (col.to_unit)(manual)));
+
+        for (r, kind) in methods.iter().enumerate() {
+            if col.skip_bo_family && bo_family.contains(kind) {
+                rows[r + 1].1.push("/".to_string());
+                continue;
+            }
+            let s = evaluate_method(*kind, col.bench.as_ref(), &config, 4);
+            let tests: Vec<f64> = s.final_tests.iter().map(|&t| (col.to_unit)(t)).collect();
+            rows[r + 1]
+                .1
+                .push(format!("{:.2} ± {:.2}", mean(&tests), std(&tests)));
+        }
+        eprintln!("column {} done", col.label);
+    }
+
+    // Render.
+    print!("\n{:<24}", "Method");
+    for col in &columns {
+        print!(" {:>15}", col.label);
+    }
+    println!();
+    for (name, cells) in &rows {
+        print!("{name:<24}");
+        for cell in cells {
+            print!(" {cell:>15}");
+        }
+        println!();
+    }
+    println!("\n(accuracy % for the XGBoost and ResNet columns; perplexity for Penn Treebank;");
+    println!(" '/' marks BO-family methods not run on the NN tasks, as in the paper)");
+}

@@ -1,0 +1,227 @@
+//! Experiment harness reproducing every table and figure of the
+//! Hyper-Tune paper.
+//!
+//! Each binary in `src/bin/` regenerates one artifact (see `DESIGN.md`'s
+//! per-experiment index); this library holds the shared machinery:
+//! repeated seeded runs, curve aggregation onto a common time grid,
+//! speedup computation, and plain-text table/series rendering.
+//!
+//! Experiments default to a scaled-down but shape-preserving setup
+//! (fewer repetitions, compressed budgets) so every figure regenerates in
+//! seconds to minutes; set `HYPERTUNE_FULL=1` for paper-scale budgets and
+//! ten repetitions.
+
+pub mod aggregate;
+pub mod analysis;
+pub mod plot;
+pub mod report;
+
+use hypertune::prelude::*;
+
+/// Number of repetitions (seeds) per method: 3 by default, 10 (the
+/// paper's count) under `HYPERTUNE_FULL=1`. Budgets are at paper scale
+/// either way except for the scalability panels (see `fig9_scalability`).
+pub fn n_repeats() -> u64 {
+    if full_scale() {
+        10
+    } else {
+        3
+    }
+}
+
+/// `true` when `HYPERTUNE_FULL=1` requests paper-scale experiments.
+pub fn full_scale() -> bool {
+    std::env::var("HYPERTUNE_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Budget scale factor: paper budgets are divided by this. Runs are so
+/// cheap on the simulator that paper budgets are affordable even in the
+/// default configuration; the knob remains for quick smoke tests via
+/// `HYPERTUNE_BUDGET_DIV`.
+pub fn budget_divisor() -> f64 {
+    std::env::var("HYPERTUNE_BUDGET_DIV")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|&d| d >= 1.0)
+        .unwrap_or(1.0)
+}
+
+/// One method's aggregated results over repeated runs.
+#[derive(Debug, Clone)]
+pub struct MethodSummary {
+    /// Method display name.
+    pub name: String,
+    /// Mean anytime value on the evaluation grid.
+    pub curve_mean: Vec<f64>,
+    /// Std of the anytime value on the grid.
+    pub curve_std: Vec<f64>,
+    /// The shared time grid.
+    pub grid: Vec<f64>,
+    /// Final validation values per run.
+    pub final_values: Vec<f64>,
+    /// Final test values per run.
+    pub final_tests: Vec<f64>,
+    /// Mean utilization across runs.
+    pub utilization: f64,
+    /// Mean number of evaluations.
+    pub mean_evals: f64,
+    /// The individual runs (for speedup analysis).
+    pub runs: Vec<RunResult>,
+}
+
+impl MethodSummary {
+    /// Mean of the final validation values.
+    pub fn mean_final(&self) -> f64 {
+        mean(&self.final_values)
+    }
+
+    /// Std of the final validation values.
+    pub fn std_final(&self) -> f64 {
+        std(&self.final_values)
+    }
+
+    /// Mean of the final test values.
+    pub fn mean_test(&self) -> f64 {
+        mean(&self.final_tests)
+    }
+
+    /// Std of the final test values.
+    pub fn std_test(&self) -> f64 {
+        std(&self.final_tests)
+    }
+
+    /// Mean earliest time to reach `target` across runs that reach it;
+    /// `None` when no run does.
+    pub fn mean_time_to(&self, target: f64) -> Option<f64> {
+        let times: Vec<f64> = self
+            .runs
+            .iter()
+            .filter_map(|r| r.time_to_reach(target))
+            .collect();
+        if times.is_empty() {
+            None
+        } else {
+            Some(mean(&times))
+        }
+    }
+}
+
+/// Runs `kind` `n_repeats()` times on `bench` and aggregates; `grid_n`
+/// points are used for curve interpolation.
+pub fn evaluate_method(
+    kind: MethodKind,
+    bench: &dyn Benchmark,
+    base_config: &RunConfig,
+    grid_n: usize,
+) -> MethodSummary {
+    let repeats = n_repeats();
+    let mut runs = Vec::with_capacity(repeats as usize);
+    for rep in 0..repeats {
+        let mut config = base_config.clone();
+        config.seed = base_config.seed + rep * 1000 + 1;
+        let levels = ResourceLevels::new(bench.max_resource(), config.eta);
+        let mut method = kind.build(&levels, config.seed);
+        runs.push(run(method.as_mut(), bench, &config));
+    }
+    summarize(kind.name(), runs, base_config.budget, grid_n)
+}
+
+/// Aggregates already-collected runs onto a shared grid.
+pub fn summarize(name: &str, runs: Vec<RunResult>, budget: f64, grid_n: usize) -> MethodSummary {
+    let grid: Vec<f64> = (1..=grid_n)
+        .map(|i| budget * i as f64 / grid_n as f64)
+        .collect();
+    let per_run: Vec<Vec<f64>> = runs
+        .iter()
+        .map(|r| aggregate::interp_curve(&r.curve, &grid))
+        .collect();
+    let mut curve_mean = Vec::with_capacity(grid.len());
+    let mut curve_std = Vec::with_capacity(grid.len());
+    for g in 0..grid.len() {
+        let vals: Vec<f64> = per_run
+            .iter()
+            .filter_map(|c| {
+                let v = c[g];
+                v.is_finite().then_some(v)
+            })
+            .collect();
+        if vals.is_empty() {
+            curve_mean.push(f64::NAN);
+            curve_std.push(f64::NAN);
+        } else {
+            curve_mean.push(mean(&vals));
+            curve_std.push(std(&vals));
+        }
+    }
+    MethodSummary {
+        name: name.to_string(),
+        curve_mean,
+        curve_std,
+        grid,
+        final_values: runs.iter().map(|r| r.best_value).collect(),
+        final_tests: runs.iter().map(|r| r.best_test).collect(),
+        utilization: mean(&runs.iter().map(|r| r.utilization).collect::<Vec<_>>()),
+        mean_evals: mean(&runs.iter().map(|r| r.total_evals as f64).collect::<Vec<_>>()),
+        runs,
+    }
+}
+
+/// Speedup of `fast` over `slow` to reach `slow`'s final mean value —
+/// the paper's §5.2 metric ("X× speedup against BOHB").
+pub fn speedup(fast: &MethodSummary, slow: &MethodSummary) -> Option<f64> {
+    let target = slow.mean_final();
+    let t_fast = fast.mean_time_to(target)?;
+    let t_slow = slow.mean_time_to(target)?;
+    (t_fast > 0.0).then(|| t_slow / t_fast)
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (0 for < 2 elements).
+pub fn std(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert!((std(&[1.0, 3.0]) - 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(std(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn evaluate_method_aggregates_runs() {
+        let bench = CountingOnes::new(3, 3, 0);
+        let config = RunConfig::new(4, 800.0, 0);
+        let s = evaluate_method(MethodKind::ARandom, &bench, &config, 10);
+        assert_eq!(s.runs.len() as u64, n_repeats());
+        assert_eq!(s.grid.len(), 10);
+        assert_eq!(s.curve_mean.len(), 10);
+        assert!(s.mean_final() <= 0.0);
+        assert!(s.mean_evals > 0.0);
+    }
+
+    #[test]
+    fn speedup_of_method_against_itself_is_about_one() {
+        let bench = CountingOnes::new(3, 3, 0);
+        let config = RunConfig::new(4, 800.0, 0);
+        let s = evaluate_method(MethodKind::ARandom, &bench, &config, 10);
+        let sp = speedup(&s, &s).unwrap();
+        assert!((sp - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,114 @@
+//! ASCII line plots of anytime curves — a terminal rendering of the
+//! paper's figures, printed by the figure binaries alongside the numeric
+//! series.
+
+use crate::MethodSummary;
+
+/// Glyphs assigned to methods, in order.
+const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&', '=', '~', '^', '$'];
+
+/// Renders the mean anytime curves of `summaries` as an ASCII chart of
+/// `width × height` characters. The y-axis is linear between the global
+/// min and max of the plotted values; x is the shared time grid.
+pub fn ascii_chart(summaries: &[MethodSummary], width: usize, height: usize) -> String {
+    assert!(width >= 10 && height >= 4);
+    let finite: Vec<f64> = summaries
+        .iter()
+        .flat_map(|s| s.curve_mean.iter().copied())
+        .filter(|v| v.is_finite())
+        .collect();
+    let Some((lo, hi)) = bounds(&finite) else {
+        return String::from("(no data to plot)\n");
+    };
+    let span = (hi - lo).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (mi, s) in summaries.iter().enumerate() {
+        let glyph = GLYPHS[mi % GLYPHS.len()];
+        let n = s.curve_mean.len();
+        for (gi, &v) in s.curve_mean.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let col = if n <= 1 { 0 } else { gi * (width - 1) / (n - 1) };
+            let row_f = (v - lo) / span;
+            // Row 0 is the top (max value).
+            let row = ((1.0 - row_f) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{hi:>9.4} |")
+        } else if r == height - 1 {
+            format!("{lo:>9.4} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(width)));
+    // Legend.
+    out.push_str(&format!("{:>11}", ""));
+    for (mi, s) in summaries.iter().enumerate() {
+        out.push_str(&format!("{}={}  ", GLYPHS[mi % GLYPHS.len()], s.name));
+    }
+    out.push('\n');
+    out
+}
+
+fn bounds(values: &[f64]) -> Option<(f64, f64)> {
+    if values.is_empty() {
+        return None;
+    }
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summarize;
+    use hypertune::prelude::*;
+
+    fn summary(seed: u64) -> MethodSummary {
+        let bench = CountingOnes::new(2, 2, 0);
+        let levels = ResourceLevels::new(27.0, 3);
+        let mut m = MethodKind::ARandom.build(&levels, seed);
+        let r = run(m.as_mut(), &bench, &RunConfig::new(2, 400.0, seed));
+        summarize("A-Random", vec![r], 400.0, 8)
+    }
+
+    #[test]
+    fn chart_renders_with_legend() {
+        let s = summary(0);
+        let chart = ascii_chart(std::slice::from_ref(&s), 40, 8);
+        assert!(chart.contains("A-Random"));
+        assert!(chart.contains('*'));
+        // Height rows + axis + legend.
+        assert_eq!(chart.lines().count(), 8 + 2);
+    }
+
+    #[test]
+    fn chart_handles_multiple_methods() {
+        let a = summary(1);
+        let b = summary(2);
+        let chart = ascii_chart(&[a, b], 50, 10);
+        assert!(chart.contains('*') && chart.contains('o'));
+    }
+
+    #[test]
+    fn empty_curves_do_not_panic() {
+        let mut s = summary(3);
+        for v in s.curve_mean.iter_mut() {
+            *v = f64::NAN;
+        }
+        let chart = ascii_chart(std::slice::from_ref(&s), 40, 6);
+        assert!(chart.contains("no data"));
+    }
+}

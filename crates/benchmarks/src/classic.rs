@@ -1,0 +1,269 @@
+//! Classic continuous test functions with multi-fidelity extensions.
+//!
+//! Branin and Hartmann are the standard sanity checks of the
+//! multi-fidelity BO literature (Kandasamy et al. 2017, MFES-HB's own
+//! evaluation). Partial evaluations add a fidelity *bias* that decays as
+//! the resource approaches `R` — low fidelities are systematically wrong,
+//! not just noisy, which stresses the ranking-loss machinery differently
+//! than the learning-curve workloads do.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hypertune_space::{Config, ConfigSpace};
+
+use crate::objective::{eval_seed, Benchmark, Eval};
+use crate::surface::ResponseSurface;
+
+/// Multi-fidelity Branin: the 2-D Branin function plus a smooth bias term
+/// scaled by `(1 − r/R)`.
+pub struct BraninMf {
+    space: ConfigSpace,
+    bias: ResponseSurface,
+    bias_scale: f64,
+    noise: f64,
+    cost_per_unit: f64,
+    seed: u64,
+}
+
+impl BraninMf {
+    /// Creates the benchmark; `bias_scale` controls how misleading low
+    /// fidelities are (the paper-family default is 10.0 — comparable to
+    /// Branin's own range).
+    pub fn new(bias_scale: f64, seed: u64) -> Self {
+        Self {
+            space: ConfigSpace::builder()
+                .float("x1", -5.0, 10.0)
+                .float("x2", 0.0, 15.0)
+                .build(),
+            bias: ResponseSurface::new(2, 6, seed ^ 0xb1a5),
+            bias_scale,
+            noise: 0.05,
+            cost_per_unit: 1.0,
+            seed,
+        }
+    }
+
+    /// The exact Branin value at a configuration.
+    pub fn branin(&self, config: &Config) -> f64 {
+        let x1 = config.values()[0].as_f64().expect("float dim");
+        let x2 = config.values()[1].as_f64().expect("float dim");
+        let a = 1.0;
+        let b = 5.1 / (4.0 * std::f64::consts::PI.powi(2));
+        let c = 5.0 / std::f64::consts::PI;
+        let r = 6.0;
+        let s = 10.0;
+        let t = 1.0 / (8.0 * std::f64::consts::PI);
+        a * (x2 - b * x1 * x1 + c * x1 - r).powi(2) + s * (1.0 - t) * x1.cos() + s
+    }
+}
+
+impl Benchmark for BraninMf {
+    fn name(&self) -> &str {
+        "branin-mf"
+    }
+
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn max_resource(&self) -> f64 {
+        27.0
+    }
+
+    fn evaluate(&self, config: &Config, resource: f64, seed: u64) -> Eval {
+        let r = resource.clamp(1.0, 27.0);
+        let exact = self.branin(config);
+        let u = self.space.encode(config);
+        // Fidelity bias: largest at r = 1, zero at r = R.
+        let bias = self.bias_scale * (1.0 - r / 27.0) * (self.bias.eval(&u) - 0.5);
+        let mut rng = StdRng::seed_from_u64(eval_seed(self.seed, config, r, seed));
+        let noise = self.noise * gaussian(&mut rng);
+        Eval {
+            value: exact + bias + noise,
+            test_value: exact,
+            cost: self.cost_per_unit * r,
+        }
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        Some(0.397887)
+    }
+}
+
+/// Multi-fidelity Hartmann-6: the 6-D Hartmann function with
+/// fidelity-dependent exponent perturbation (Kandasamy-style).
+pub struct Hartmann6Mf {
+    space: ConfigSpace,
+    noise: f64,
+    cost_per_unit: f64,
+    seed: u64,
+}
+
+const H6_ALPHA: [f64; 4] = [1.0, 1.2, 3.0, 3.2];
+const H6_A: [[f64; 6]; 4] = [
+    [10.0, 3.0, 17.0, 3.5, 1.7, 8.0],
+    [0.05, 10.0, 17.0, 0.1, 8.0, 14.0],
+    [3.0, 3.5, 1.7, 10.0, 17.0, 8.0],
+    [17.0, 8.0, 0.05, 10.0, 0.1, 14.0],
+];
+const H6_P: [[f64; 6]; 4] = [
+    [0.1312, 0.1696, 0.5569, 0.0124, 0.8283, 0.5886],
+    [0.2329, 0.4135, 0.8307, 0.3736, 0.1004, 0.9991],
+    [0.2348, 0.1451, 0.3522, 0.2883, 0.3047, 0.6650],
+    [0.4047, 0.8828, 0.8732, 0.5743, 0.1091, 0.0381],
+];
+
+impl Hartmann6Mf {
+    /// Creates the benchmark.
+    pub fn new(seed: u64) -> Self {
+        let mut b = ConfigSpace::builder();
+        for i in 0..6 {
+            b = b.float(&format!("x{i}"), 0.0, 1.0);
+        }
+        Self {
+            space: b.build(),
+            noise: 0.01,
+            cost_per_unit: 1.0,
+            seed,
+        }
+    }
+
+    /// Hartmann-6 with fidelity-perturbed mixture weights; `z ∈ [0, 1]`
+    /// is the fidelity (1 = exact).
+    pub fn hartmann(&self, config: &Config, z: f64) -> f64 {
+        let x: Vec<f64> = config
+            .values()
+            .iter()
+            .map(|v| v.as_f64().expect("float dim"))
+            .collect();
+        let mut acc = 0.0;
+        for i in 0..4 {
+            let mut inner = 0.0;
+            for j in 0..6 {
+                let d = x[j] - H6_P[i][j];
+                inner += H6_A[i][j] * d * d;
+            }
+            // Low fidelity perturbs the mixture weights (Kandasamy 2017).
+            let alpha = H6_ALPHA[i] - 0.1 * (1.0 - z) * (i as f64 + 1.0);
+            acc += alpha * (-inner).exp();
+        }
+        -acc
+    }
+}
+
+impl Benchmark for Hartmann6Mf {
+    fn name(&self) -> &str {
+        "hartmann6-mf"
+    }
+
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn max_resource(&self) -> f64 {
+        27.0
+    }
+
+    fn evaluate(&self, config: &Config, resource: f64, seed: u64) -> Eval {
+        let r = resource.clamp(1.0, 27.0);
+        let z = r / 27.0;
+        let value = self.hartmann(config, z);
+        let mut rng = StdRng::seed_from_u64(eval_seed(self.seed, config, r, seed));
+        Eval {
+            value: value + self.noise * gaussian(&mut rng),
+            test_value: self.hartmann(config, 1.0),
+            cost: self.cost_per_unit * r,
+        }
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        Some(-3.32237)
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertune_space::ParamValue;
+
+    #[test]
+    fn branin_known_minima() {
+        let b = BraninMf::new(10.0, 0);
+        // Branin's three global minima, value 0.397887.
+        for (x1, x2) in [
+            (-std::f64::consts::PI, 12.275),
+            (std::f64::consts::PI, 2.275),
+            (9.42478, 2.475),
+        ] {
+            let c = Config::new(vec![ParamValue::Float(x1), ParamValue::Float(x2)]);
+            assert!((b.branin(&c) - 0.397887).abs() < 1e-3, "at ({x1}, {x2})");
+        }
+    }
+
+    #[test]
+    fn branin_full_fidelity_unbiased() {
+        let b = BraninMf::new(10.0, 1);
+        let c = Config::new(vec![ParamValue::Float(0.0), ParamValue::Float(5.0)]);
+        let e = b.evaluate(&c, 27.0, 0);
+        // At r = R the bias vanishes; only small noise remains.
+        assert!((e.value - b.branin(&c)).abs() < 0.3);
+    }
+
+    #[test]
+    fn branin_low_fidelity_biased() {
+        let b = BraninMf::new(10.0, 2);
+        let c = Config::new(vec![ParamValue::Float(2.0), ParamValue::Float(3.0)]);
+        // Average over seeds to isolate the deterministic bias.
+        let mean_low: f64 =
+            (0..100).map(|s| b.evaluate(&c, 1.0, s).value).sum::<f64>() / 100.0;
+        let exact = b.branin(&c);
+        // Bias magnitude should typically be visible (scale 10, centred).
+        assert!((mean_low - exact).abs() < 10.0);
+        // Deterministic part differs across configs (it's a surface).
+        let c2 = Config::new(vec![ParamValue::Float(-4.0), ParamValue::Float(14.0)]);
+        let mean_low2: f64 =
+            (0..100).map(|s| b.evaluate(&c2, 1.0, s).value).sum::<f64>() / 100.0;
+        assert_ne!(
+            (mean_low - exact).round(),
+            (mean_low2 - b.branin(&c2)).round()
+        );
+    }
+
+    #[test]
+    fn hartmann_known_optimum() {
+        let h = Hartmann6Mf::new(0);
+        let x_star = [0.20169, 0.150011, 0.476874, 0.275332, 0.311652, 0.6573];
+        let c = Config::new(x_star.iter().map(|&v| ParamValue::Float(v)).collect());
+        assert!((h.hartmann(&c, 1.0) - (-3.32237)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hartmann_fidelity_changes_value() {
+        let h = Hartmann6Mf::new(0);
+        let c = Config::new((0..6).map(|_| ParamValue::Float(0.3)).collect());
+        assert_ne!(h.hartmann(&c, 1.0), h.hartmann(&c, 0.0));
+    }
+
+    #[test]
+    fn both_are_valid_benchmarks() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let b = BraninMf::new(10.0, 4);
+        let h = Hartmann6Mf::new(4);
+        for _ in 0..10 {
+            let cb = b.space().sample(&mut rng);
+            let ch = h.space().sample(&mut rng);
+            let eb = b.evaluate(&cb, 9.0, 1);
+            let eh = h.evaluate(&ch, 9.0, 1);
+            assert!(eb.value.is_finite() && eb.cost > 0.0);
+            assert!(eh.value.is_finite() && eh.cost > 0.0);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! The counting-ones benchmark from the BOHB paper, used by Figure 9's
+//! scalability study.
+//!
+//! The objective over `n = n_cat + n_cont` dimensions is
+//!
+//! ```text
+//! f(x) = −(Σ_{i∈cat} x_i + Σ_{j∈cont} x_j) / n,
+//! ```
+//!
+//! minimized at `−1` when every coordinate is 1. Categorical dimensions
+//! contribute exactly; continuous dimensions are *estimated* by averaging
+//! `s` Bernoulli(x_j) draws, where the sample count `s` grows linearly
+//! with the resource — so partial evaluations are cheap but noisy, the
+//! canonical multi-fidelity trade-off.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hypertune_space::{Config, ConfigSpace};
+
+use crate::objective::{eval_seed, Benchmark, Eval};
+
+/// The counting-ones objective; see the module docs.
+pub struct CountingOnes {
+    space: ConfigSpace,
+    n_cat: usize,
+    n_cont: usize,
+    max_resource: f64,
+    samples_at_full: u64,
+    cost_per_unit: f64,
+    seed: u64,
+}
+
+impl CountingOnes {
+    /// Creates the benchmark with `n_cat` binary categorical and `n_cont`
+    /// continuous dimensions. `R = 27` resource units; a full-fidelity
+    /// evaluation uses `samples_at_full` Bernoulli draws per continuous
+    /// dimension; each unit costs `cost_per_unit` virtual seconds.
+    pub fn new(n_cat: usize, n_cont: usize, seed: u64) -> Self {
+        assert!(n_cat + n_cont > 0);
+        let mut b = ConfigSpace::builder();
+        for i in 0..n_cat {
+            b = b.categorical(&format!("cat{i}"), &["0", "1"]);
+        }
+        for j in 0..n_cont {
+            b = b.float(&format!("cont{j}"), 0.0, 1.0);
+        }
+        Self {
+            space: b.build(),
+            n_cat,
+            n_cont,
+            max_resource: 27.0,
+            samples_at_full: 729,
+            cost_per_unit: 1.0,
+            seed,
+        }
+    }
+
+    /// The exact (infinite-sample) objective value of `config`.
+    pub fn exact(&self, config: &Config) -> f64 {
+        let mut total = 0.0;
+        for (i, v) in config.values().iter().enumerate() {
+            if i < self.n_cat {
+                total += v.as_cat().expect("categorical dim") as f64;
+            } else {
+                total += v.as_f64().expect("continuous dim");
+            }
+        }
+        -total / (self.n_cat + self.n_cont) as f64
+    }
+}
+
+impl Benchmark for CountingOnes {
+    fn name(&self) -> &str {
+        "counting-ones"
+    }
+
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn max_resource(&self) -> f64 {
+        self.max_resource
+    }
+
+    fn evaluate(&self, config: &Config, resource: f64, seed: u64) -> Eval {
+        let r = resource.clamp(1.0, self.max_resource);
+        let samples = ((r / self.max_resource) * self.samples_at_full as f64).ceil() as u64;
+        let mut rng = StdRng::seed_from_u64(eval_seed(self.seed, config, r, seed));
+        let mut total = 0.0;
+        for (i, v) in config.values().iter().enumerate() {
+            if i < self.n_cat {
+                total += v.as_cat().expect("categorical dim") as f64;
+            } else {
+                let p = v.as_f64().expect("continuous dim");
+                // Sample mean of `samples` Bernoulli(p) draws.
+                let mut hits = 0u64;
+                for _ in 0..samples {
+                    if rng.gen::<f64>() < p {
+                        hits += 1;
+                    }
+                }
+                total += hits as f64 / samples as f64;
+            }
+        }
+        Eval {
+            value: -total / (self.n_cat + self.n_cont) as f64,
+            test_value: self.exact(config),
+            cost: self.cost_per_unit * r,
+        }
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        Some(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertune_space::ParamValue;
+
+    fn all_ones(b: &CountingOnes) -> Config {
+        let vals = (0..b.n_cat)
+            .map(|_| ParamValue::Cat(1))
+            .chain((0..b.n_cont).map(|_| ParamValue::Float(1.0)))
+            .collect();
+        Config::new(vals)
+    }
+
+    #[test]
+    fn optimum_is_minus_one_at_all_ones() {
+        let b = CountingOnes::new(4, 4, 0);
+        let c = all_ones(&b);
+        assert_eq!(b.exact(&c), -1.0);
+        // Bernoulli(1) always hits, so even partial evals are exact here.
+        assert_eq!(b.evaluate(&c, 1.0, 0).value, -1.0);
+        assert_eq!(b.optimum(), Some(-1.0));
+    }
+
+    #[test]
+    fn all_zeros_scores_zero() {
+        let b = CountingOnes::new(2, 2, 0);
+        let vals = vec![
+            ParamValue::Cat(0),
+            ParamValue::Cat(0),
+            ParamValue::Float(0.0),
+            ParamValue::Float(0.0),
+        ];
+        let c = Config::new(vals);
+        assert_eq!(b.exact(&c), 0.0);
+        assert_eq!(b.evaluate(&c, 27.0, 1).value, 0.0);
+    }
+
+    #[test]
+    fn partial_evaluations_noisier_than_full() {
+        let b = CountingOnes::new(0, 8, 3);
+        let c = Config::new((0..8).map(|_| ParamValue::Float(0.5)).collect());
+        let spread = |r: f64| {
+            let vals: Vec<f64> = (0..200).map(|s| b.evaluate(&c, r, s).value).collect();
+            let m = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        assert!(spread(1.0) > 2.0 * spread(27.0));
+    }
+
+    #[test]
+    fn estimates_unbiased() {
+        let b = CountingOnes::new(0, 4, 5);
+        let c = Config::new((0..4).map(|_| ParamValue::Float(0.3)).collect());
+        let mean: f64 =
+            (0..500).map(|s| b.evaluate(&c, 9.0, s).value).sum::<f64>() / 500.0;
+        assert!((mean - (-0.3)).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn cost_linear_in_resource() {
+        let b = CountingOnes::new(2, 2, 0);
+        let c = all_ones(&b);
+        assert_eq!(b.evaluate(&c, 1.0, 0).cost, 1.0);
+        assert_eq!(b.evaluate(&c, 27.0, 0).cost, 27.0);
+    }
+
+    #[test]
+    fn space_dims_match() {
+        let b = CountingOnes::new(8, 8, 0);
+        assert_eq!(b.space().len(), 16);
+    }
+
+    #[test]
+    fn test_value_is_exact() {
+        let b = CountingOnes::new(2, 2, 9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let c = b.space().sample(&mut rng);
+        assert_eq!(b.evaluate(&c, 3.0, 7).test_value, b.exact(&c));
+    }
+
+    use rand::SeedableRng;
+}

@@ -1,0 +1,346 @@
+//! A NAS-Bench-201-shaped tabular architecture benchmark.
+//!
+//! NAS-Bench-201 stores the full training curves of all 15,625 cell
+//! architectures — 6 edges, each choosing one of 5 operations — on three
+//! image datasets, which lets tuning papers *simulate* days of GPU search
+//! in seconds. We reproduce that substrate synthetically: a seeded
+//! generator assigns every architecture a converged validation error
+//! (driven by per-edge operation qualities plus interaction terms, so the
+//! space has learnable structure), a convergence speed, and a per-epoch
+//! cost (convolutions cost more than pooling). Queries return the stored
+//! learning-curve value at any epoch, exactly like the real table.
+//!
+//! The three paper datasets are exposed via [`crate::tasks`]
+//! (`nas_cifar10_valid`, `nas_cifar100`, `nas_imagenet16`), differing in
+//! error range and training cost.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hypertune_space::{Config, ConfigSpace};
+
+use crate::objective::{eval_seed, Benchmark, Eval};
+
+/// The five candidate operations on each of the six cell edges.
+pub const OPS: [&str; 5] = [
+    "none",
+    "skip_connect",
+    "nor_conv_1x1",
+    "nor_conv_3x3",
+    "avg_pool_3x3",
+];
+
+/// Number of cell edges in the NAS-Bench-201 search space.
+pub const N_EDGES: usize = 6;
+
+/// Relative per-epoch cost of each operation (convs dominate).
+const OP_COST: [f64; 5] = [0.2, 0.3, 1.0, 1.8, 0.4];
+
+/// Construction parameters for [`TabularNasBench`].
+#[derive(Debug, Clone)]
+pub struct NasBenchSpec {
+    /// Dataset name for reports.
+    pub name: String,
+    /// Best achievable converged validation error.
+    pub err_best: f64,
+    /// Worst converged validation error (diverged/degenerate cells).
+    pub err_worst: f64,
+    /// Chance-level error before training.
+    pub err_init: f64,
+    /// Seconds of virtual training time per epoch at cost factor 1.
+    pub secs_per_epoch: f64,
+    /// Per-query observation noise (seed-to-seed variation) at epoch 200.
+    pub noise_full: f64,
+    /// Master seed for the table generator.
+    pub seed: u64,
+}
+
+/// The generated table; see the module docs.
+pub struct TabularNasBench {
+    spec: NasBenchSpec,
+    space: ConfigSpace,
+    /// Converged validation error per architecture index.
+    final_err: Vec<f64>,
+    /// Convergence-rate multiplier per architecture index.
+    kappa: Vec<f64>,
+    /// Cost factor (relative epoch time) per architecture index.
+    cost_factor: Vec<f64>,
+    optimum: f64,
+    max_epochs: f64,
+}
+
+/// Total number of architectures (5^6).
+pub const N_ARCHS: usize = 15_625;
+
+impl TabularNasBench {
+    /// Generates the full table deterministically from `spec.seed`.
+    pub fn new(spec: NasBenchSpec) -> Self {
+        assert!(spec.err_best < spec.err_worst && spec.err_worst <= spec.err_init);
+        let mut b = ConfigSpace::builder();
+        for e in 0..N_EDGES {
+            b = b.categorical(&format!("edge{e}"), &OPS);
+        }
+        let space = b.build();
+
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        // Per-(edge, op) quality contributions: conv ops tend to help,
+        // `none` tends to hurt, with random edge-specific variation.
+        let base_quality = [-0.8, 0.1, 0.5, 0.7, 0.0];
+        let mut edge_quality = [[0.0f64; 5]; N_EDGES];
+        for eq in edge_quality.iter_mut() {
+            for (o, q) in eq.iter_mut().enumerate() {
+                *q = base_quality[o] + 0.35 * (rng.gen::<f64>() * 2.0 - 1.0);
+            }
+        }
+        // Sparse pairwise interactions between (edge, op) choices.
+        let mut interactions = Vec::new();
+        for _ in 0..24 {
+            let e1 = rng.gen_range(0..N_EDGES);
+            let mut e2 = rng.gen_range(0..N_EDGES - 1);
+            if e2 >= e1 {
+                e2 += 1;
+            }
+            let o1 = rng.gen_range(0..5);
+            let o2 = rng.gen_range(0..5);
+            let w = 0.4 * (rng.gen::<f64>() * 2.0 - 1.0);
+            interactions.push((e1, o1, e2, o2, w));
+        }
+
+        let mut raw = Vec::with_capacity(N_ARCHS);
+        let mut kappa = Vec::with_capacity(N_ARCHS);
+        let mut cost_factor = Vec::with_capacity(N_ARCHS);
+        for idx in 0..N_ARCHS {
+            let ops = Self::ops_of(idx);
+            let mut q: f64 = ops
+                .iter()
+                .enumerate()
+                .map(|(e, &o)| edge_quality[e][o])
+                .sum();
+            for &(e1, o1, e2, o2, w) in &interactions {
+                if ops[e1] == o1 && ops[e2] == o2 {
+                    q += w;
+                }
+            }
+            // Architecture-specific jitter, deterministic per index.
+            let mut arng = StdRng::seed_from_u64(spec.seed ^ (idx as u64).wrapping_mul(0x9e37));
+            q += 0.25 * (arng.gen::<f64>() * 2.0 - 1.0);
+            raw.push(q);
+            kappa.push(2.0 + 8.0 * arng.gen::<f64>());
+            let epoch_cost: f64 =
+                ops.iter().map(|&o| OP_COST[o]).sum::<f64>() / N_EDGES as f64;
+            cost_factor.push(epoch_cost * (0.9 + 0.2 * arng.gen::<f64>()));
+        }
+
+        // Normalize raw quality onto [err_best, err_worst] with a cubic
+        // shape so near-optimal architectures are rare.
+        let lo = raw.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = raw.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let final_err: Vec<f64> = raw
+            .iter()
+            .map(|&q| {
+                let t = 1.0 - (q - lo) / (hi - lo); // 0 = best arch
+                spec.err_best + (spec.err_worst - spec.err_best) * (0.05 + 0.95 * t).powf(1.5)
+            })
+            .collect();
+        let optimum = final_err.iter().cloned().fold(f64::INFINITY, f64::min);
+
+        Self {
+            spec,
+            space,
+            final_err,
+            kappa,
+            cost_factor,
+            optimum,
+            max_epochs: 200.0,
+        }
+    }
+
+    /// Decodes an architecture index into its six operation choices.
+    fn ops_of(mut idx: usize) -> [usize; N_EDGES] {
+        let mut ops = [0; N_EDGES];
+        for o in ops.iter_mut() {
+            *o = idx % 5;
+            idx /= 5;
+        }
+        ops
+    }
+
+    /// Architecture index of a configuration.
+    pub fn arch_index(&self, config: &Config) -> usize {
+        config
+            .values()
+            .iter()
+            .enumerate()
+            .map(|(e, v)| v.as_cat().expect("categorical space") * 5usize.pow(e as u32))
+            .sum()
+    }
+
+    /// Converged validation error of `config`.
+    pub fn final_error(&self, config: &Config) -> f64 {
+        self.final_err[self.arch_index(config)]
+    }
+
+    /// Noise-free learning-curve value at `epoch`.
+    pub fn curve(&self, config: &Config, epoch: f64) -> f64 {
+        let i = self.arch_index(config);
+        let f = self.final_err[i];
+        f + (self.spec.err_init - f) * (-self.kappa[i] * epoch / self.max_epochs).exp()
+    }
+
+    /// Maps abstract resource units (`R = 27`) to training epochs.
+    pub fn epochs_of(&self, resource: f64) -> f64 {
+        (resource.clamp(1.0, 27.0) / 27.0 * self.max_epochs).max(1.0)
+    }
+}
+
+impl Benchmark for TabularNasBench {
+    fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    fn max_resource(&self) -> f64 {
+        27.0
+    }
+
+    fn evaluate(&self, config: &Config, resource: f64, seed: u64) -> Eval {
+        let r = resource.clamp(1.0, 27.0);
+        let epochs = self.epochs_of(r);
+        let clean = self.curve(config, epochs);
+        let mut rng = StdRng::seed_from_u64(eval_seed(self.spec.seed, config, r, seed));
+        let sigma = self.spec.noise_full * (self.max_epochs / epochs).sqrt();
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen();
+        let noise =
+            sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let i = self.arch_index(config);
+        // Test error tracks validation with a small stable offset.
+        let mut trng = StdRng::seed_from_u64(self.spec.seed ^ (i as u64).wrapping_mul(0x51ed));
+        let test = self.final_err[i] + 0.004 * (trng.gen::<f64>() * 2.0 - 1.0);
+        Eval {
+            value: (clean + noise).max(0.0),
+            test_value: test.max(0.0),
+            cost: epochs * self.spec.secs_per_epoch * self.cost_factor[i],
+        }
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        Some(self.optimum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench() -> TabularNasBench {
+        TabularNasBench::new(NasBenchSpec {
+            name: "nas-test".into(),
+            err_best: 0.08,
+            err_worst: 0.60,
+            err_init: 0.90,
+            secs_per_epoch: 20.0,
+            noise_full: 0.002,
+            seed: 42,
+        })
+    }
+
+    #[test]
+    fn space_has_15625_archs() {
+        let b = bench();
+        assert_eq!(b.space().cardinality(), Some(N_ARCHS as u64));
+    }
+
+    #[test]
+    fn arch_index_bijective_on_enumeration() {
+        let b = bench();
+        let all = b.space().enumerate(20_000).unwrap();
+        let mut seen = vec![false; N_ARCHS];
+        for c in &all {
+            let i = b.arch_index(c);
+            assert!(!seen[i], "index {i} repeated");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn optimum_attained_by_some_arch() {
+        let b = bench();
+        let opt = b.optimum().unwrap();
+        assert!(opt >= 0.08 && opt < 0.2, "optimum {opt}");
+        let all = b.space().enumerate(20_000).unwrap();
+        let best = all
+            .iter()
+            .map(|c| b.final_error(c))
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(best, opt);
+    }
+
+    #[test]
+    fn curves_monotone_decreasing() {
+        let b = bench();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..30 {
+            let c = b.space().sample(&mut rng);
+            assert!(b.curve(&c, 1.0) > b.curve(&c, 50.0));
+            assert!(b.curve(&c, 50.0) > b.curve(&c, 200.0));
+        }
+    }
+
+    #[test]
+    fn conv_heavy_archs_cost_more() {
+        let b = bench();
+        // All 3x3 convs (op 3) vs all `none` (op 0).
+        let conv = Config::new(vec![hypertune_space::ParamValue::Cat(3); 6]);
+        let none = Config::new(vec![hypertune_space::ParamValue::Cat(0); 6]);
+        let c_conv = b.evaluate(&conv, 27.0, 0).cost;
+        let c_none = b.evaluate(&none, 27.0, 0).cost;
+        assert!(c_conv > 3.0 * c_none, "conv {c_conv} vs none {c_none}");
+    }
+
+    #[test]
+    fn conv_archs_outperform_none_archs_on_average() {
+        let b = bench();
+        let conv = Config::new(vec![hypertune_space::ParamValue::Cat(3); 6]);
+        let none = Config::new(vec![hypertune_space::ParamValue::Cat(0); 6]);
+        assert!(b.final_error(&conv) < b.final_error(&none));
+    }
+
+    #[test]
+    fn deterministic_table() {
+        let a = bench();
+        let b = bench();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let c = a.space().sample(&mut rng);
+            assert_eq!(a.evaluate(&c, 9.0, 5), b.evaluate(&c, 9.0, 5));
+        }
+    }
+
+    #[test]
+    fn epochs_mapping() {
+        let b = bench();
+        assert_eq!(b.epochs_of(27.0), 200.0);
+        assert!((b.epochs_of(1.0) - 200.0 / 27.0).abs() < 1e-9);
+        // Clamped below.
+        assert_eq!(b.epochs_of(0.0), b.epochs_of(1.0));
+    }
+
+    #[test]
+    fn noise_present_but_small_at_full_fidelity() {
+        let b = bench();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let c = b.space().sample(&mut rng);
+        let v1 = b.evaluate(&c, 27.0, 0).value;
+        let v2 = b.evaluate(&c, 27.0, 1).value;
+        assert_ne!(v1, v2);
+        assert!((v1 - v2).abs() < 0.05);
+    }
+}

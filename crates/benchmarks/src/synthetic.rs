@@ -1,0 +1,343 @@
+//! Simulated ML training workloads.
+//!
+//! A [`SyntheticBenchmark`] models training one configuration of an ML
+//! algorithm under partial evaluation:
+//!
+//! - a *quality surface* determines each configuration's converged
+//!   validation error, with an exponent that makes near-optimal configs
+//!   rare (as in real tuning problems);
+//! - a *speed surface* determines each configuration's convergence rate,
+//!   so low-fidelity rankings disagree with high-fidelity rankings for
+//!   slow-starting configs — exactly the "precision vs. cost" tension the
+//!   paper's bracket selection addresses (§3.2);
+//! - a *cost surface* makes some configurations several times more
+//!   expensive than others (e.g. more boosting rounds, wider layers),
+//!   which is what creates stragglers under synchronous scheduling;
+//! - observation noise shrinks with fidelity as `σ(r) = σ₀·√(R/r)`,
+//!   reproducing the noisy low-fidelity measurements of Figure 8's
+//!   robustness study.
+//!
+//! The validation error at resource `r` for configuration `x` is
+//!
+//! ```text
+//! err(x, r) = final(x) + (init − final(x))·exp(−κ(x)·r/R) + ε,
+//!     ε ~ N(0, σ₀²·R/r)
+//! ```
+//!
+//! with `final(x) = best + (worst − best)·surface(x)^shape` and
+//! `κ(x) ∈ [κ_lo, κ_hi]` from the speed surface.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hypertune_space::{Config, ConfigSpace};
+
+use crate::objective::{eval_seed, Benchmark, Eval};
+use crate::surface::ResponseSurface;
+
+/// Declarative description of a synthetic workload; see the module docs
+/// for the role of each field.
+#[derive(Debug, Clone)]
+pub struct SyntheticSpec {
+    /// Benchmark name for reports (e.g. `"xgboost-covertype"`).
+    pub name: String,
+    /// The hyper-parameter space being tuned.
+    pub space: ConfigSpace,
+    /// Maximum resource `R` in units (27 for subset fidelity, 200 for
+    /// epoch fidelity in the paper's tasks).
+    pub max_resource: f64,
+    /// Converged validation error of the best configuration.
+    pub err_best: f64,
+    /// Converged validation error of the worst configuration.
+    pub err_worst: f64,
+    /// Validation error of an untrained model (chance level).
+    pub err_init: f64,
+    /// Exponent applied to the quality surface; > 1 makes good configs
+    /// rare.
+    pub shape: f64,
+    /// Range of the convergence-rate multiplier κ (applied to `r/R`).
+    pub kappa: (f64, f64),
+    /// Observation-noise std at full fidelity.
+    pub noise_full: f64,
+    /// Virtual cost in seconds of one resource unit at cost factor 1.
+    pub cost_per_unit: f64,
+    /// Max/min ratio of per-configuration cost factors (>= 1).
+    pub cost_spread: f64,
+    /// Gap std between validation and test metrics.
+    pub val_test_gap: f64,
+    /// Master seed: two benchmarks with the same spec and seed are
+    /// identical functions.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// Builds the benchmark.
+    pub fn build(self) -> SyntheticBenchmark {
+        SyntheticBenchmark::new(self)
+    }
+}
+
+/// A simulated training workload; see the module docs.
+pub struct SyntheticBenchmark {
+    spec: SyntheticSpec,
+    quality: ResponseSurface,
+    speed: ResponseSurface,
+    cost: ResponseSurface,
+}
+
+impl SyntheticBenchmark {
+    /// Creates the workload from its spec.
+    pub fn new(spec: SyntheticSpec) -> Self {
+        assert!(spec.max_resource >= 1.0);
+        assert!(spec.err_best < spec.err_worst);
+        assert!(spec.err_worst <= spec.err_init);
+        assert!(spec.cost_spread >= 1.0);
+        let dim = spec.space.len();
+        let quality = ResponseSurface::new(dim, 10, spec.seed.wrapping_mul(3).wrapping_add(1));
+        let speed = ResponseSurface::new(dim, 6, spec.seed.wrapping_mul(3).wrapping_add(2));
+        let cost = ResponseSurface::new(dim, 4, spec.seed.wrapping_mul(3).wrapping_add(3));
+        Self {
+            spec,
+            quality,
+            speed,
+            cost,
+        }
+    }
+
+    /// Converged (noise-free, full-fidelity) validation error of `config`.
+    pub fn final_error(&self, config: &Config) -> f64 {
+        let x = self.spec.space.encode(config);
+        let q = self.quality.eval(&x).powf(self.spec.shape);
+        self.spec.err_best + (self.spec.err_worst - self.spec.err_best) * q
+    }
+
+    /// Convergence-rate multiplier κ of `config`.
+    pub fn kappa(&self, config: &Config) -> f64 {
+        let x = self.spec.space.encode(config);
+        let (lo, hi) = self.spec.kappa;
+        lo + (hi - lo) * self.speed.eval(&x)
+    }
+
+    /// Per-configuration cost factor in `[1/√spread, √spread]`.
+    pub fn cost_factor(&self, config: &Config) -> f64 {
+        let x = self.spec.space.encode(config);
+        let s = self.spec.cost_spread.sqrt();
+        // Log-uniform interpolation between 1/s and s.
+        (s.ln() * (2.0 * self.cost.eval(&x) - 1.0)).exp()
+    }
+
+    /// Noise-free learning-curve value at resource `r`.
+    pub fn curve(&self, config: &Config, r: f64) -> f64 {
+        let f = self.final_error(config);
+        let k = self.kappa(config);
+        f + (self.spec.err_init - f) * (-k * r / self.spec.max_resource).exp()
+    }
+}
+
+impl Benchmark for SyntheticBenchmark {
+    fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    fn space(&self) -> &ConfigSpace {
+        &self.spec.space
+    }
+
+    fn max_resource(&self) -> f64 {
+        self.spec.max_resource
+    }
+
+    fn evaluate(&self, config: &Config, resource: f64, seed: u64) -> Eval {
+        let r = resource.clamp(1.0, self.spec.max_resource);
+        let clean = self.curve(config, r);
+        let mut rng = StdRng::seed_from_u64(eval_seed(self.spec.seed, config, r, seed));
+        let sigma = self.spec.noise_full * (self.spec.max_resource / r).sqrt();
+        let noise = sigma * gaussian(&mut rng);
+        // The test metric reflects the converged quality plus a
+        // config-stable generalization gap (same noise draw per config).
+        let mut gap_rng = StdRng::seed_from_u64(eval_seed(
+            self.spec.seed.wrapping_add(0x9e37_79b9),
+            config,
+            0.0,
+            0,
+        ));
+        let test = self.final_error(config) + self.spec.val_test_gap * gaussian(&mut gap_rng);
+        Eval {
+            value: (clean + noise).max(0.0),
+            test_value: test.max(0.0),
+            cost: self.spec.cost_per_unit * r * self.cost_factor(config),
+        }
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        // The spec's err_best is a lower bound; exact optimum depends on
+        // whether any point attains surface == 0, so report the bound.
+        Some(self.spec.err_best)
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec() -> SyntheticSpec {
+        SyntheticSpec {
+            name: "test-bench".into(),
+            space: ConfigSpace::builder()
+                .float("a", 0.0, 1.0)
+                .float_log("b", 1e-3, 1.0)
+                .int("c", 1, 100)
+                .build(),
+            max_resource: 27.0,
+            err_best: 0.05,
+            err_worst: 0.50,
+            err_init: 0.90,
+            shape: 2.0,
+            kappa: (2.0, 8.0),
+            noise_full: 0.002,
+            cost_per_unit: 30.0,
+            cost_spread: 4.0,
+            val_test_gap: 0.003,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn deterministic_in_config_resource_seed() {
+        let b = spec().build();
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = b.space().sample(&mut rng);
+        let a = b.evaluate(&c, 9.0, 3);
+        let a2 = b.evaluate(&c, 9.0, 3);
+        assert_eq!(a, a2);
+        let diff_seed = b.evaluate(&c, 9.0, 4);
+        assert_ne!(a.value, diff_seed.value);
+        // Test value and cost are noise-seed independent.
+        assert_eq!(a.test_value, diff_seed.test_value);
+        assert_eq!(a.cost, diff_seed.cost);
+    }
+
+    #[test]
+    fn learning_curves_decrease_with_resource() {
+        let b = spec().build();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let c = b.space().sample(&mut rng);
+            let mut last = f64::INFINITY;
+            for r in [1.0, 3.0, 9.0, 27.0] {
+                let v = b.curve(&c, r);
+                assert!(v < last, "curve must strictly decrease");
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn full_fidelity_close_to_final_error() {
+        let b = spec().build();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let c = b.space().sample(&mut rng);
+            let curve_end = b.curve(&c, 27.0);
+            let fin = b.final_error(&c);
+            // Residual bounded by (init - final) * exp(-kappa_lo).
+            assert!(curve_end - fin <= (0.90 - fin) * (-2.0f64).exp() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn errors_within_declared_range() {
+        let b = spec().build();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let c = b.space().sample(&mut rng);
+            let f = b.final_error(&c);
+            assert!((0.05..=0.50).contains(&f));
+        }
+    }
+
+    #[test]
+    fn noise_shrinks_with_fidelity() {
+        let b = spec().build();
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = b.space().sample(&mut rng);
+        let spread = |r: f64| {
+            let vals: Vec<f64> = (0..200).map(|s| b.evaluate(&c, r, s).value).collect();
+            let m = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        let low = spread(1.0);
+        let high = spread(27.0);
+        // σ(1) = σ0·√27 ≈ 5.2σ0; allow sampling slack.
+        assert!(low > 2.0 * high, "low-fidelity noise {low} vs {high}");
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_resource() {
+        let b = spec().build();
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = b.space().sample(&mut rng);
+        let c1 = b.evaluate(&c, 1.0, 0).cost;
+        let c27 = b.evaluate(&c, 27.0, 0).cost;
+        assert!((c27 / c1 - 27.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_factor_within_spread() {
+        let b = spec().build();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            let c = b.space().sample(&mut rng);
+            let f = b.cost_factor(&c);
+            assert!((0.5..=2.0).contains(&f), "factor {f}");
+        }
+    }
+
+    #[test]
+    fn resource_clamped_to_valid_range() {
+        let b = spec().build();
+        let mut rng = StdRng::seed_from_u64(7);
+        let c = b.space().sample(&mut rng);
+        assert_eq!(b.evaluate(&c, 0.0, 0), b.evaluate(&c, 1.0, 0));
+        assert_eq!(b.evaluate(&c, 1e9, 0), b.evaluate(&c, 27.0, 0));
+    }
+
+    #[test]
+    fn low_fidelity_ranking_partially_informative() {
+        // Rank correlation between r=1 (noise-free curve) and final error
+        // should be positive but imperfect — the regime where bracket
+        // selection has something to learn.
+        let b = spec().build();
+        let mut rng = StdRng::seed_from_u64(8);
+        let configs: Vec<_> = (0..200).map(|_| b.space().sample(&mut rng)).collect();
+        let low: Vec<f64> = configs.iter().map(|c| b.curve(c, 1.0)).collect();
+        let fin: Vec<f64> = configs.iter().map(|c| b.final_error(c)).collect();
+        let n = configs.len();
+        let mut concordant = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += 1;
+                if (low[i] < low[j]) == (fin[i] < fin[j]) {
+                    concordant += 1;
+                }
+            }
+        }
+        let frac = concordant as f64 / total as f64;
+        assert!(frac > 0.6, "low fidelity should be informative: {frac}");
+        assert!(frac < 0.999, "but not perfect: {frac}");
+    }
+
+    #[test]
+    fn optimum_reported() {
+        assert_eq!(spec().build().optimum(), Some(0.05));
+    }
+}

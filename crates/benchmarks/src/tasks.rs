@@ -1,0 +1,307 @@
+//! Ready-made benchmark instances for every tuning task in §5 of the
+//! paper.
+//!
+//! Error ranges are calibrated to the magnitudes reported in Table 2 /
+//! Figures 5–7 so reproduced curves live on the same scale as the paper's;
+//! cost models follow the paper's setup notes (e.g. "15 minutes per trial
+//! on Covertype", budgets of 2–120 hours, subset-fidelity for XGBoost and
+//! epoch-fidelity for the neural tasks). All tasks use `R = 27` abstract
+//! resource units — the 4-bracket Hyperband geometry (η = 3) of the
+//! paper's experiments.
+
+use hypertune_space::{Config, ConfigSpace};
+
+use crate::nasbench::{NasBenchSpec, TabularNasBench};
+use crate::synthetic::{SyntheticBenchmark, SyntheticSpec};
+
+/// The nine-dimensional XGBoost space of §5.1 (2): learning dynamics,
+/// tree shape, sampling, and regularization knobs.
+pub fn xgboost_space() -> ConfigSpace {
+    ConfigSpace::builder()
+        .float_log("eta", 0.01, 0.3)
+        .float("gamma", 0.0, 1.0)
+        .int("max_depth", 3, 12)
+        .int("min_child_weight", 1, 10)
+        .float("subsample", 0.5, 1.0)
+        .float("colsample_bytree", 0.5, 1.0)
+        .float_log("lambda", 1e-3, 10.0)
+        .float_log("alpha", 1e-3, 10.0)
+        .int("n_estimators", 50, 500)
+        .build()
+}
+
+/// The six-dimensional ResNet/CIFAR-10 space of §5.1 (3).
+pub fn resnet_space() -> ConfigSpace {
+    ConfigSpace::builder()
+        .int_log("batch_size", 32, 512)
+        .float_log("lr", 1e-3, 0.3)
+        .float("momentum", 0.5, 0.99)
+        .float_log("lr_decay", 1e-3, 0.5)
+        .float_log("weight_decay", 1e-6, 1e-2)
+        .categorical("nesterov", &["off", "on"])
+        .build()
+}
+
+/// The nine-dimensional 3-layer LSTM / Penn Treebank space of §5.1 (4).
+pub fn lstm_space() -> ConfigSpace {
+    ConfigSpace::builder()
+        .int_log("batch_size", 16, 128)
+        .int_log("hidden_size", 200, 1500)
+        .float_log("lr", 1.0, 100.0)
+        .float_log("weight_decay", 1e-7, 1e-4)
+        .float("dropout_output", 0.0, 0.8)
+        .float("dropout_hidden", 0.0, 0.8)
+        .float("dropout_input", 0.0, 0.8)
+        .float("dropout_embed", 0.0, 0.5)
+        .float("dropout_weight", 0.0, 0.8)
+        .build()
+}
+
+/// The 20-dimensional space of the industrial recommendation model
+/// (§5.6): embedding sizes, layer widths, regularization, negatives, and
+/// optimizer knobs for a large CTR-style model.
+pub fn industrial_space() -> ConfigSpace {
+    let mut b = ConfigSpace::builder()
+        .int_log("embedding_dim", 4, 128)
+        .int_log("hidden1", 64, 1024)
+        .int_log("hidden2", 32, 512)
+        .int_log("hidden3", 16, 256)
+        .float_log("lr", 1e-5, 1e-2)
+        .float_log("l2", 1e-8, 1e-3)
+        .float("dropout", 0.0, 0.6)
+        .int("negatives", 1, 16)
+        .float_log("lr_decay", 1e-3, 1.0)
+        .categorical("optimizer", &["adam", "adagrad", "ftrl"])
+        .float("beta1", 0.8, 0.99)
+        .float_log("eps", 1e-9, 1e-6)
+        .int_log("batch_size", 256, 8192);
+    // Seven per-feature-group embedding multipliers.
+    for i in 0..7 {
+        b = b.float(&format!("field_weight{i}"), 0.1, 2.0);
+    }
+    b.build()
+}
+
+fn xgboost_task(name: &str, err_best: f64, err_worst: f64, err_init: f64, full_cost_secs: f64, seed: u64) -> SyntheticBenchmark {
+    SyntheticSpec {
+        name: name.into(),
+        space: xgboost_space(),
+        max_resource: 27.0,
+        err_best,
+        err_worst,
+        err_init,
+        shape: 2.0,
+        kappa: (2.5, 9.0),
+        noise_full: (err_worst - err_best) * 0.01,
+        cost_per_unit: full_cost_secs / 27.0,
+        cost_spread: 6.0,
+        val_test_gap: (err_worst - err_best) * 0.01,
+        seed,
+    }
+    .build()
+}
+
+/// XGBoost on Covertype (§5.3): ~15 minutes per complete trial, accuracy
+/// range matching Table 2's 86.9–94.0%.
+pub fn xgboost_covertype(seed: u64) -> SyntheticBenchmark {
+    xgboost_task("xgboost-covertype", 0.060, 0.140, 0.63, 900.0, 1000 + seed)
+}
+
+/// XGBoost on Pokerhand: near-separable task (Table 2 reaches 99.9%).
+pub fn xgboost_pokerhand(seed: u64) -> SyntheticBenchmark {
+    xgboost_task("xgboost-pokerhand", 0.0007, 0.0250, 0.50, 600.0, 2000 + seed)
+}
+
+/// XGBoost on Hepmass: large binary task, narrow headroom (Table 2:
+/// 87.06–87.52%).
+pub fn xgboost_hepmass(seed: u64) -> SyntheticBenchmark {
+    xgboost_task("xgboost-hepmass", 0.1245, 0.1310, 0.48, 1800.0, 3000 + seed)
+}
+
+/// XGBoost on Higgs: large binary task (Table 2: 74.2–75.5%).
+pub fn xgboost_higgs(seed: u64) -> SyntheticBenchmark {
+    xgboost_task("xgboost-higgs", 0.2445, 0.2590, 0.47, 1800.0, 4000 + seed)
+}
+
+/// ResNet on CIFAR-10 (§5.4): 200-epoch training compressed to R = 27
+/// units; accuracy range matching Table 2's 91.9–92.5%.
+pub fn resnet_cifar10(seed: u64) -> SyntheticBenchmark {
+    SyntheticSpec {
+        name: "resnet-cifar10".into(),
+        space: resnet_space(),
+        max_resource: 27.0,
+        err_best: 0.0735,
+        err_worst: 0.35,
+        err_init: 0.90,
+        shape: 2.2,
+        kappa: (2.0, 7.0),
+        noise_full: 0.0015,
+        cost_per_unit: 21_600.0 / 27.0, // ~6 h for a full 200-epoch train
+        cost_spread: 4.0,
+        val_test_gap: 0.002,
+        seed: 5000 + seed,
+    }
+    .build()
+}
+
+/// 3-layer LSTM on Penn Treebank (§5.4): the objective is word-level
+/// perplexity (Table 2: 63.5–107).
+pub fn lstm_ptb(seed: u64) -> SyntheticBenchmark {
+    SyntheticSpec {
+        name: "lstm-ptb".into(),
+        space: lstm_space(),
+        max_resource: 27.0,
+        err_best: 63.0,
+        err_worst: 180.0,
+        err_init: 800.0,
+        shape: 1.8,
+        kappa: (2.0, 6.5),
+        noise_full: 0.6,
+        cost_per_unit: 18_000.0 / 27.0, // ~5 h for a full 200-epoch train
+        cost_spread: 5.0,
+        val_test_gap: 1.0,
+        seed: 6000 + seed,
+    }
+    .build()
+}
+
+/// NAS-Bench-201 / CIFAR-10-Valid analogue (Figure 5 left).
+pub fn nas_cifar10_valid(seed: u64) -> TabularNasBench {
+    TabularNasBench::new(NasBenchSpec {
+        name: "nasbench-cifar10-valid".into(),
+        err_best: 0.085,
+        err_worst: 0.60,
+        err_init: 0.90,
+        secs_per_epoch: 18.0,
+        noise_full: 0.002,
+        seed: 7000 + seed,
+    })
+}
+
+/// NAS-Bench-201 / CIFAR-100 analogue (Figure 5 middle).
+pub fn nas_cifar100(seed: u64) -> TabularNasBench {
+    TabularNasBench::new(NasBenchSpec {
+        name: "nasbench-cifar100".into(),
+        err_best: 0.265,
+        err_worst: 0.85,
+        err_init: 0.99,
+        secs_per_epoch: 36.0,
+        noise_full: 0.003,
+        seed: 8000 + seed,
+    })
+}
+
+/// NAS-Bench-201 / ImageNet16-120 analogue (Figure 5 right).
+pub fn nas_imagenet16(seed: u64) -> TabularNasBench {
+    TabularNasBench::new(NasBenchSpec {
+        name: "nasbench-imagenet16".into(),
+        err_best: 0.533,
+        err_worst: 0.95,
+        err_init: 0.992,
+        secs_per_epoch: 90.0,
+        noise_full: 0.003,
+        seed: 9000 + seed,
+    })
+}
+
+/// The industrial recommendation task of §5.6: identify active users in a
+/// billion-instance CTR-style dataset. The objective is `1 − AUC`; the
+/// manual setting (see [`industrial_manual_config`]) sits ~0.87% AUC
+/// below the tuned optimum, matching Table 3's headroom.
+pub fn industrial_recsys(seed: u64) -> SyntheticBenchmark {
+    SyntheticSpec {
+        name: "industrial-recsys".into(),
+        space: industrial_space(),
+        max_resource: 27.0,
+        err_best: 0.2420,
+        err_worst: 0.2750,
+        err_init: 0.50,
+        shape: 1.6,
+        kappa: (2.5, 7.0),
+        noise_full: 0.0004,
+        cost_per_unit: 14_400.0 / 27.0, // ~4 h to train on 7 days of data
+        cost_spread: 3.0,
+        val_test_gap: 0.0005,
+        seed: 10_000 + seed,
+    }
+    .build()
+}
+
+/// The "manual setting" configuration used as the enterprise baseline in
+/// Table 2 / Table 3: every parameter at the midpoint of its range —
+/// a sensible hand-picked default.
+pub fn manual_config(space: &ConfigSpace) -> Config {
+    space
+        .decode(&vec![0.5; space.len()])
+        .expect("midpoint is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Benchmark;
+
+    #[test]
+    fn spaces_have_paper_dimensions() {
+        assert_eq!(xgboost_space().len(), 9);
+        assert_eq!(resnet_space().len(), 6);
+        assert_eq!(lstm_space().len(), 9);
+        assert_eq!(industrial_space().len(), 20);
+    }
+
+    #[test]
+    fn covertype_full_trial_costs_about_15_minutes() {
+        let b = xgboost_covertype(0);
+        let c = manual_config(b.space());
+        let cost = b.evaluate(&c, 27.0, 0).cost;
+        // 900 s nominal, times a cost factor in [1/√6, √6].
+        assert!((300.0..=2500.0).contains(&cost), "cost {cost}");
+    }
+
+    #[test]
+    fn lstm_metric_is_perplexity_scale() {
+        let b = lstm_ptb(0);
+        let c = manual_config(b.space());
+        let v = b.evaluate(&c, 27.0, 0).value;
+        assert!((60.0..=400.0).contains(&v), "perplexity {v}");
+    }
+
+    #[test]
+    fn nas_tasks_have_distinct_scales() {
+        let c10 = nas_cifar10_valid(0);
+        let c100 = nas_cifar100(0);
+        let img = nas_imagenet16(0);
+        assert!(c10.optimum().unwrap() < c100.optimum().unwrap());
+        assert!(c100.optimum().unwrap() < img.optimum().unwrap());
+    }
+
+    #[test]
+    fn industrial_manual_leaves_headroom() {
+        let b = industrial_recsys(0);
+        let manual = b.evaluate(&manual_config(b.space()), 27.0, 0).value;
+        // Tuning must be able to improve AUC by roughly 1 point.
+        assert!(manual - 0.2420 > 0.005, "headroom {}", manual - 0.2420);
+    }
+
+    #[test]
+    fn seeds_produce_different_instances() {
+        let a = xgboost_covertype(0);
+        let b = xgboost_covertype(1);
+        let c = manual_config(a.space());
+        assert_ne!(a.evaluate(&c, 27.0, 0).value, b.evaluate(&c, 27.0, 0).value);
+    }
+
+    #[test]
+    fn manual_config_valid_for_every_task() {
+        let spaces = [
+            xgboost_space(),
+            resnet_space(),
+            lstm_space(),
+            industrial_space(),
+        ];
+        for s in &spaces {
+            let c = manual_config(s);
+            assert!(s.check(&c).is_ok());
+        }
+    }
+}

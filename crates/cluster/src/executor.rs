@@ -1,0 +1,230 @@
+//! A real threaded executor with the same submit/complete contract as the
+//! simulator.
+//!
+//! [`ThreadPool`] runs an evaluation function on `n` OS threads fed by a
+//! crossbeam channel. Tuning methods drive it exactly like
+//! [`crate::SimCluster`] — submit up to `n` jobs, then pull completions —
+//! so the schedulers in `hypertune-core` are substrate-agnostic. Used by
+//! the runnable examples to demonstrate genuinely parallel tuning.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::sim::ClusterError;
+
+/// A completed job from the pool.
+#[derive(Debug)]
+pub struct PoolResult<J, O> {
+    /// The submitted payload.
+    pub job: J,
+    /// The evaluation function's output.
+    pub output: O,
+    /// Index of the worker thread that ran the job.
+    pub worker: usize,
+}
+
+enum Message<J> {
+    Run(J),
+    Shutdown,
+}
+
+/// A fixed pool of worker threads evaluating jobs with a shared function.
+pub struct ThreadPool<J, O> {
+    job_tx: Sender<Message<J>>,
+    result_rx: Receiver<PoolResult<J, O>>,
+    handles: Vec<JoinHandle<()>>,
+    n_workers: usize,
+    in_flight: usize,
+}
+
+impl<J, O> ThreadPool<J, O>
+where
+    J: Send + Clone + 'static,
+    O: Send + 'static,
+{
+    /// Spawns `n_workers` threads running `eval` on submitted jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_workers == 0`.
+    pub fn new<F>(n_workers: usize, eval: F) -> Self
+    where
+        F: Fn(&J) -> O + Send + Sync + 'static,
+    {
+        assert!(n_workers > 0, "pool needs at least one worker");
+        let (job_tx, job_rx) = unbounded::<Message<J>>();
+        let (result_tx, result_rx) = unbounded::<PoolResult<J, O>>();
+        let eval = Arc::new(eval);
+        let handles = (0..n_workers)
+            .map(|worker| {
+                let job_rx: Receiver<Message<J>> = job_rx.clone();
+                let result_tx = result_tx.clone();
+                let eval = Arc::clone(&eval);
+                std::thread::spawn(move || {
+                    while let Ok(Message::Run(job)) = job_rx.recv() {
+                        let output = eval(&job);
+                        // The receiver may be gone during shutdown; that's
+                        // fine, just stop.
+                        if result_tx
+                            .send(PoolResult {
+                                job,
+                                output,
+                                worker,
+                            })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        Self {
+            job_tx,
+            result_rx,
+            handles,
+            n_workers,
+            in_flight: 0,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Number of jobs submitted but not yet returned.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Number of free workers (pool capacity minus in-flight jobs).
+    pub fn idle_workers(&self) -> usize {
+        self.n_workers - self.in_flight
+    }
+
+    /// Submits a job; errors when every worker is already busy, mirroring
+    /// [`crate::SimCluster::submit`].
+    pub fn submit(&mut self, job: J) -> Result<(), ClusterError> {
+        if self.in_flight >= self.n_workers {
+            return Err(ClusterError::NoIdleWorker);
+        }
+        self.job_tx
+            .send(Message::Run(job))
+            .expect("workers outlive the pool handle");
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    /// Blocks until the next job finishes; `None` when nothing is
+    /// in flight.
+    pub fn next_completion(&mut self) -> Option<PoolResult<J, O>> {
+        if self.in_flight == 0 {
+            return None;
+        }
+        let r = self
+            .result_rx
+            .recv()
+            .expect("workers outlive the pool handle");
+        self.in_flight -= 1;
+        Some(r)
+    }
+}
+
+impl<J, O> Drop for ThreadPool<J, O> {
+    fn drop(&mut self) {
+        for _ in 0..self.handles.len() {
+            // Ignore send failures: workers may already have exited.
+            let _ = self.job_tx.send(Message::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn evaluates_jobs_in_parallel() {
+        let mut pool = ThreadPool::new(4, |j: &u64| j * 2);
+        for j in 0..4u64 {
+            pool.submit(j).unwrap();
+        }
+        let mut outs = Vec::new();
+        while let Some(r) = pool.next_completion() {
+            assert_eq!(r.output, r.job * 2);
+            outs.push(r.output);
+        }
+        outs.sort_unstable();
+        assert_eq!(outs, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn rejects_oversubscription() {
+        let mut pool = ThreadPool::new(2, |_: &u8| std::thread::sleep(std::time::Duration::from_millis(20)));
+        pool.submit(1).unwrap();
+        pool.submit(2).unwrap();
+        assert_eq!(pool.submit(3), Err(ClusterError::NoIdleWorker));
+        pool.next_completion().unwrap();
+        assert!(pool.submit(3).is_ok());
+        while pool.next_completion().is_some() {}
+    }
+
+    #[test]
+    fn next_completion_none_when_idle() {
+        let mut pool: ThreadPool<u8, u8> = ThreadPool::new(1, |j| *j);
+        assert!(pool.next_completion().is_none());
+    }
+
+    #[test]
+    fn all_workers_used_under_load() {
+        static SEEN: AtomicUsize = AtomicUsize::new(0);
+        let mut pool = ThreadPool::new(3, |_: &usize| {
+            SEEN.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        });
+        let mut done = 0;
+        let mut submitted = 0;
+        while done < 30 {
+            while submitted < 30 && pool.submit(submitted).is_ok() {
+                submitted += 1;
+            }
+            if pool.next_completion().is_some() {
+                done += 1;
+            }
+        }
+        assert_eq!(SEEN.load(Ordering::SeqCst), 30);
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let pool = ThreadPool::new(2, |j: &u8| *j);
+        drop(pool); // must not hang or panic
+    }
+
+    #[test]
+    fn pipeline_keeps_workers_busy() {
+        // A submit-on-complete loop should process many jobs with a small
+        // pool without deadlocking.
+        let mut pool = ThreadPool::new(2, |j: &u32| j + 1);
+        pool.submit(0).unwrap();
+        pool.submit(1).unwrap();
+        let mut completed = 0;
+        let mut next_job = 2;
+        while completed < 50 {
+            let r = pool.next_completion().unwrap();
+            assert_eq!(r.output, r.job + 1);
+            completed += 1;
+            if next_job < 50 {
+                pool.submit(next_job).unwrap();
+                next_job += 1;
+            }
+        }
+    }
+}

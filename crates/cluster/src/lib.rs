@@ -1,0 +1,30 @@
+//! Cluster substrate for Hyper-Tune: where trials actually run.
+//!
+//! The paper evaluates on clusters of 4–256 workers over wall-clock
+//! budgets of hours to days. This crate replaces that hardware with two
+//! interchangeable execution substrates:
+//!
+//! - [`sim::SimCluster`] — a deterministic discrete-event simulator with a
+//!   virtual clock. Each job carries a duration (from the benchmark's cost
+//!   model); the simulator tracks per-worker busy intervals, optional
+//!   straggler slowdowns, and advances time to the next completion. This
+//!   is the substrate every experiment harness uses, mirroring how the
+//!   paper itself uses NAS-Bench-201's *simulated training time*.
+//! - [`executor::ThreadPool`] — a real threaded executor built on
+//!   crossbeam channels, demonstrating that the same scheduling logic
+//!   drives genuinely parallel evaluation (used by the examples).
+//!
+//! [`trace::Trace`] records worker occupancy for Gantt-style renderings of
+//! scheduling behaviour (Figures 1 and 4 of the paper) and utilization
+//! statistics.
+
+pub mod executor;
+pub mod sim;
+pub mod trace;
+
+mod straggler;
+
+pub use executor::ThreadPool;
+pub use sim::{ClusterError, JobResult, SimCluster};
+pub use straggler::StragglerModel;
+pub use trace::{Trace, TraceSpan};

@@ -1,0 +1,323 @@
+//! Discrete-event cluster simulator.
+//!
+//! A [`SimCluster`] models `n` workers and a virtual clock. Tuning methods
+//! drive it with a submit/complete loop:
+//!
+//! 1. while a worker is free, submit a job with its nominal duration
+//!    (taken from the benchmark's cost model);
+//! 2. call [`SimCluster::next_completion`] — the clock jumps to the
+//!    earliest finish and the finished job is returned;
+//! 3. repeat until the virtual budget is exhausted.
+//!
+//! The simulator is generic over the job payload, applies an optional
+//! [`StragglerModel`] to durations, and records every busy interval into a
+//! [`Trace`] for utilization analysis and Gantt rendering.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::straggler::StragglerModel;
+use crate::trace::Trace;
+
+/// Errors raised by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// `submit` was called with no idle worker; call
+    /// [`SimCluster::next_completion`] first.
+    NoIdleWorker,
+    /// A job duration was negative, NaN, or infinite.
+    InvalidDuration,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NoIdleWorker => write!(f, "no idle worker available"),
+            ClusterError::InvalidDuration => write!(f, "job duration must be finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A finished job returned by [`SimCluster::next_completion`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult<T> {
+    /// The payload passed to `submit`.
+    pub job: T,
+    /// Worker that ran the job.
+    pub worker: usize,
+    /// Virtual time at which the job started.
+    pub started: f64,
+    /// Virtual time at which the job finished (equals the clock after
+    /// `next_completion` returns it).
+    pub finished: f64,
+}
+
+/// One in-flight job inside the event heap, ordered by finish time
+/// (earliest first) with submission order as a deterministic tie-break.
+struct Pending<T> {
+    finish: f64,
+    seq: u64,
+    worker: usize,
+    started: f64,
+    job: T,
+}
+
+impl<T> PartialEq for Pending<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.finish == other.finish && self.seq == other.seq
+    }
+}
+impl<T> Eq for Pending<T> {}
+impl<T> PartialOrd for Pending<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Pending<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest finish pops
+        // first, with FIFO tie-break on seq.
+        other
+            .finish
+            .partial_cmp(&self.finish)
+            .expect("durations validated finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A virtual cluster of `n` identical workers (see module docs).
+pub struct SimCluster<T> {
+    n_workers: usize,
+    clock: f64,
+    seq: u64,
+    idle: Vec<usize>,
+    heap: BinaryHeap<Pending<T>>,
+    straggler: StragglerModel,
+    trace: Trace,
+}
+
+impl<T> SimCluster<T> {
+    /// Creates a cluster of `n_workers` with no straggler noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_workers == 0`.
+    pub fn new(n_workers: usize) -> Self {
+        Self::with_stragglers(n_workers, StragglerModel::none())
+    }
+
+    /// Creates a cluster whose job durations pass through `straggler`.
+    pub fn with_stragglers(n_workers: usize, straggler: StragglerModel) -> Self {
+        assert!(n_workers > 0, "cluster needs at least one worker");
+        Self {
+            n_workers,
+            clock: 0.0,
+            seq: 0,
+            // Pop from the back; reversed so worker 0 is assigned first.
+            idle: (0..n_workers).rev().collect(),
+            heap: BinaryHeap::new(),
+            straggler,
+            trace: Trace::new(n_workers),
+        }
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Number of workers currently free.
+    pub fn idle_workers(&self) -> usize {
+        self.idle.len()
+    }
+
+    /// Number of jobs currently running.
+    pub fn running_jobs(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when every worker is free.
+    pub fn is_quiescent(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The busy-interval trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Assigns `job` with nominal `duration` (virtual seconds) to a free
+    /// worker; the effective duration may be stretched by the straggler
+    /// model.
+    pub fn submit(&mut self, job: T, duration: f64) -> Result<usize, ClusterError> {
+        self.submit_labeled(job, duration, String::new())
+    }
+
+    /// Like [`SimCluster::submit`], with a label recorded in the trace
+    /// (used for Gantt renderings).
+    pub fn submit_labeled(
+        &mut self,
+        job: T,
+        duration: f64,
+        label: String,
+    ) -> Result<usize, ClusterError> {
+        if !duration.is_finite() || duration < 0.0 {
+            return Err(ClusterError::InvalidDuration);
+        }
+        let worker = self.idle.pop().ok_or(ClusterError::NoIdleWorker)?;
+        let effective = self.straggler.apply(duration);
+        let finish = self.clock + effective;
+        self.trace.record(worker, self.clock, finish, label);
+        self.heap.push(Pending {
+            finish,
+            seq: self.seq,
+            worker,
+            started: self.clock,
+            job,
+        });
+        self.seq += 1;
+        Ok(worker)
+    }
+
+    /// Advances the clock to the earliest finish and returns that job, or
+    /// `None` when nothing is running.
+    pub fn next_completion(&mut self) -> Option<JobResult<T>> {
+        let p = self.heap.pop()?;
+        debug_assert!(p.finish >= self.clock, "time must not run backwards");
+        self.clock = p.finish;
+        self.idle.push(p.worker);
+        Some(JobResult {
+            job: p.job,
+            worker: p.worker,
+            started: p.started,
+            finished: p.finish,
+        })
+    }
+
+    /// Fraction of worker-time spent busy from time 0 to the current
+    /// clock. 0.0 before any time passes.
+    pub fn utilization(&self) -> f64 {
+        self.trace.utilization(self.clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_complete_in_duration_order() {
+        let mut c: SimCluster<&str> = SimCluster::new(3);
+        c.submit("slow", 10.0).unwrap();
+        c.submit("fast", 1.0).unwrap();
+        c.submit("mid", 5.0).unwrap();
+        assert_eq!(c.next_completion().unwrap().job, "fast");
+        assert_eq!(c.now(), 1.0);
+        assert_eq!(c.next_completion().unwrap().job, "mid");
+        assert_eq!(c.now(), 5.0);
+        assert_eq!(c.next_completion().unwrap().job, "slow");
+        assert_eq!(c.now(), 10.0);
+        assert!(c.next_completion().is_none());
+    }
+
+    #[test]
+    fn submit_more_than_workers_fails() {
+        let mut c: SimCluster<u32> = SimCluster::new(2);
+        c.submit(1, 1.0).unwrap();
+        c.submit(2, 1.0).unwrap();
+        assert_eq!(c.submit(3, 1.0), Err(ClusterError::NoIdleWorker));
+        c.next_completion().unwrap();
+        assert!(c.submit(3, 1.0).is_ok());
+    }
+
+    #[test]
+    fn invalid_durations_rejected() {
+        let mut c: SimCluster<u32> = SimCluster::new(1);
+        assert_eq!(c.submit(1, -1.0), Err(ClusterError::InvalidDuration));
+        assert_eq!(c.submit(1, f64::NAN), Err(ClusterError::InvalidDuration));
+        assert_eq!(c.submit(1, f64::INFINITY), Err(ClusterError::InvalidDuration));
+        // Worker was not consumed by failed submissions.
+        assert_eq!(c.idle_workers(), 1);
+    }
+
+    #[test]
+    fn clock_monotone_through_pipeline() {
+        let mut c: SimCluster<usize> = SimCluster::new(2);
+        let mut last = 0.0;
+        c.submit(0, 3.0).unwrap();
+        c.submit(1, 4.0).unwrap();
+        for i in 2..20 {
+            let done = c.next_completion().unwrap();
+            assert!(done.finished >= last);
+            last = done.finished;
+            c.submit(i, 1.0 + (i % 3) as f64).unwrap();
+        }
+    }
+
+    #[test]
+    fn ties_resolve_in_submission_order() {
+        let mut c: SimCluster<&str> = SimCluster::new(2);
+        c.submit("first", 2.0).unwrap();
+        c.submit("second", 2.0).unwrap();
+        assert_eq!(c.next_completion().unwrap().job, "first");
+        assert_eq!(c.next_completion().unwrap().job, "second");
+    }
+
+    #[test]
+    fn zero_duration_job_completes_immediately() {
+        let mut c: SimCluster<&str> = SimCluster::new(1);
+        c.submit("instant", 0.0).unwrap();
+        let r = c.next_completion().unwrap();
+        assert_eq!(r.started, r.finished);
+        assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    fn utilization_counts_busy_time() {
+        let mut c: SimCluster<u32> = SimCluster::new(2);
+        c.submit(0, 10.0).unwrap();
+        c.submit(1, 5.0).unwrap();
+        c.next_completion().unwrap(); // t = 5
+        c.next_completion().unwrap(); // t = 10
+        // Worker 0 busy 10s, worker 1 busy 5s, horizon 2 * 10 = 20.
+        assert!((c.utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stragglers_stretch_durations() {
+        let mut c = SimCluster::with_stragglers(1, StragglerModel::new(1.0, 2.0, 3));
+        c.submit((), 10.0).unwrap();
+        let r = c.next_completion().unwrap();
+        assert!(r.finished >= 10.0);
+        assert!(r.finished <= 20.0);
+    }
+
+    #[test]
+    fn result_records_worker_and_times() {
+        let mut c: SimCluster<&str> = SimCluster::new(2);
+        c.submit("a", 2.0).unwrap();
+        let done = c.next_completion().unwrap();
+        assert_eq!(done.started, 0.0);
+        assert_eq!(done.finished, 2.0);
+        assert!(done.worker < 2);
+        // The freed worker is reusable.
+        c.submit("b", 1.0).unwrap();
+        let done = c.next_completion().unwrap();
+        assert_eq!(done.started, 2.0);
+        assert_eq!(done.finished, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _c: SimCluster<()> = SimCluster::new(0);
+    }
+}

@@ -1,0 +1,103 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A model of worker heterogeneity: multiplies nominal job durations by a
+/// random slowdown factor, reproducing the stragglers that make
+/// synchronous successive halving waste resources (Figure 1 of the paper).
+#[derive(Debug, Clone)]
+pub struct StragglerModel {
+    /// Probability that a given job lands on a straggling worker.
+    prob: f64,
+    /// Maximum slowdown factor for straggling jobs; the factor is drawn
+    /// uniformly from `[1, max_slowdown]`.
+    max_slowdown: f64,
+    rng: StdRng,
+}
+
+impl StragglerModel {
+    /// No stragglers: every job runs at its nominal duration.
+    pub fn none() -> Self {
+        Self {
+            prob: 0.0,
+            max_slowdown: 1.0,
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// Stragglers with the given occurrence probability and maximum
+    /// slowdown, driven by a seeded RNG for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1]` or `max_slowdown < 1`.
+    pub fn new(prob: f64, max_slowdown: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "prob must be in [0, 1]");
+        assert!(max_slowdown >= 1.0, "max_slowdown must be >= 1");
+        Self {
+            prob,
+            max_slowdown,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the effective duration for a job of nominal `duration`.
+    pub fn apply(&mut self, duration: f64) -> f64 {
+        if self.prob > 0.0 && self.rng.gen::<f64>() < self.prob {
+            let factor = 1.0 + self.rng.gen::<f64>() * (self.max_slowdown - 1.0);
+            duration * factor
+        } else {
+            duration
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        let mut m = StragglerModel::none();
+        for &d in &[0.0, 1.0, 17.5] {
+            assert_eq!(m.apply(d), d);
+        }
+    }
+
+    #[test]
+    fn slowdowns_bounded() {
+        let mut m = StragglerModel::new(1.0, 3.0, 42);
+        for _ in 0..1000 {
+            let d = m.apply(10.0);
+            assert!((10.0..=30.0).contains(&d), "duration {d}");
+        }
+    }
+
+    #[test]
+    fn probability_respected_roughly() {
+        let mut m = StragglerModel::new(0.25, 5.0, 7);
+        let slowed = (0..4000).filter(|_| m.apply(1.0) > 1.0).count();
+        // 25% ± generous tolerance.
+        assert!((800..=1200).contains(&slowed), "slowed {slowed}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StragglerModel::new(0.5, 4.0, 11);
+        let mut b = StragglerModel::new(0.5, 4.0, 11);
+        for _ in 0..100 {
+            assert_eq!(a.apply(2.0), b.apply(2.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prob")]
+    fn invalid_probability_panics() {
+        StragglerModel::new(1.5, 2.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_slowdown")]
+    fn invalid_slowdown_panics() {
+        StragglerModel::new(0.5, 0.5, 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Worker-occupancy traces: the raw material for the paper's scheduling
+//! illustrations (Figure 1's idle-time stripes, Figure 4's SHA vs ASHA vs
+//! D-ASHA timelines) and for utilization metrics.
+
+/// One busy interval of one worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Worker index.
+    pub worker: usize,
+    /// Interval start (virtual seconds).
+    pub start: f64,
+    /// Interval end (virtual seconds).
+    pub end: f64,
+    /// Free-form label (e.g. `"x3@r=9"`), may be empty.
+    pub label: String,
+}
+
+/// An append-only record of busy intervals across a fixed set of workers.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    n_workers: usize,
+    spans: Vec<TraceSpan>,
+}
+
+impl Trace {
+    /// An empty trace over `n_workers` workers.
+    pub fn new(n_workers: usize) -> Self {
+        Self {
+            n_workers,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Number of workers the trace covers.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// All spans in recording order.
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
+    }
+
+    /// Appends a busy interval.
+    pub fn record(&mut self, worker: usize, start: f64, end: f64, label: String) {
+        debug_assert!(worker < self.n_workers);
+        debug_assert!(end >= start);
+        self.spans.push(TraceSpan {
+            worker,
+            start,
+            end,
+            label,
+        });
+    }
+
+    /// Total busy time across all workers.
+    pub fn busy_time(&self) -> f64 {
+        self.spans.iter().map(|s| s.end - s.start).sum()
+    }
+
+    /// Busy fraction of the rectangle `[0, horizon] × workers`.
+    /// Spans are clipped to the horizon; returns 0.0 for a zero horizon.
+    pub fn utilization(&self, horizon: f64) -> f64 {
+        if horizon <= 0.0 {
+            return 0.0;
+        }
+        let clipped: f64 = self
+            .spans
+            .iter()
+            .map(|s| (s.end.min(horizon) - s.start.min(horizon)).max(0.0))
+            .sum();
+        clipped / (horizon * self.n_workers as f64)
+    }
+
+    /// Renders an ASCII Gantt chart with `width` character columns
+    /// spanning `[0, horizon]`. Busy cells show the first character of the
+    /// span label (or `#`), idle cells show `.`.
+    pub fn render_ascii(&self, horizon: f64, width: usize) -> String {
+        assert!(width > 0 && horizon > 0.0);
+        let mut rows = vec![vec!['.'; width]; self.n_workers];
+        for s in &self.spans {
+            let c = s.label.chars().next().unwrap_or('#');
+            let lo = ((s.start / horizon) * width as f64).floor() as usize;
+            let hi = ((s.end / horizon) * width as f64).ceil() as usize;
+            for cell in rows[s.worker]
+                .iter_mut()
+                .take(hi.min(width))
+                .skip(lo.min(width))
+            {
+                *cell = c;
+            }
+        }
+        let mut out = String::with_capacity(self.n_workers * (width + 12));
+        for (w, row) in rows.iter().enumerate() {
+            out.push_str(&format!("w{w:>2} |"));
+            out.extend(row.iter());
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_time_sums_spans() {
+        let mut t = Trace::new(2);
+        t.record(0, 0.0, 5.0, String::new());
+        t.record(1, 2.0, 4.0, String::new());
+        assert_eq!(t.busy_time(), 7.0);
+    }
+
+    #[test]
+    fn utilization_clips_to_horizon() {
+        let mut t = Trace::new(1);
+        t.record(0, 0.0, 10.0, String::new());
+        assert!((t.utilization(5.0) - 1.0).abs() < 1e-12);
+        assert!((t.utilization(20.0) - 0.5).abs() < 1e-12);
+        assert_eq!(t.utilization(0.0), 0.0);
+    }
+
+    #[test]
+    fn utilization_multiple_workers() {
+        let mut t = Trace::new(4);
+        t.record(0, 0.0, 8.0, String::new());
+        t.record(1, 0.0, 4.0, String::new());
+        // Workers 2 and 3 idle; horizon 8 → (8 + 4) / 32.
+        assert!((t.utilization(8.0) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_render_shows_busy_and_idle() {
+        let mut t = Trace::new(2);
+        t.record(0, 0.0, 5.0, "a".into());
+        t.record(1, 5.0, 10.0, "b".into());
+        let s = t.render_ascii(10.0, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("aaaaa....."), "{}", lines[0]);
+        assert!(lines[1].contains(".....bbbbb"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn ascii_render_unlabeled_uses_hash() {
+        let mut t = Trace::new(1);
+        t.record(0, 0.0, 1.0, String::new());
+        assert!(t.render_ascii(1.0, 4).contains("####"));
+    }
+
+    #[test]
+    fn spans_accessible_in_order() {
+        let mut t = Trace::new(1);
+        t.record(0, 0.0, 1.0, "x".into());
+        t.record(0, 1.0, 2.0, "y".into());
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.spans()[0].label, "x");
+        assert_eq!(t.spans()[1].label, "y");
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests of the discrete-event simulator's invariants.
+
+use hypertune_cluster::{SimCluster, StragglerModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// The virtual clock never runs backwards, every submitted job
+    /// completes exactly once, and each job's finish = start + duration
+    /// (without stragglers).
+    #[test]
+    fn clock_monotone_and_conservation(
+        durations in proptest::collection::vec(0.0f64..100.0, 1..60),
+        n_workers in 1usize..8,
+    ) {
+        let mut cluster: SimCluster<usize> = SimCluster::new(n_workers);
+        let mut submitted = 0;
+        let mut completed = vec![false; durations.len()];
+        let mut last_t = 0.0;
+        loop {
+            while submitted < durations.len()
+                && cluster.submit(submitted, durations[submitted]).is_ok()
+            {
+                submitted += 1;
+            }
+            let Some(done) = cluster.next_completion() else { break };
+            prop_assert!(done.finished >= last_t, "clock ran backwards");
+            last_t = done.finished;
+            prop_assert!((done.finished - done.started - durations[done.job]).abs() < 1e-9);
+            prop_assert!(!completed[done.job], "job completed twice");
+            completed[done.job] = true;
+        }
+        prop_assert!(completed.iter().all(|&c| c), "all jobs complete");
+        prop_assert_eq!(cluster.idle_workers(), n_workers);
+    }
+
+    /// Utilization is always in [0, 1] and busy time never exceeds
+    /// workers × horizon.
+    #[test]
+    fn utilization_bounded(
+        durations in proptest::collection::vec(0.1f64..50.0, 1..40),
+        n_workers in 1usize..6,
+    ) {
+        let mut cluster: SimCluster<usize> = SimCluster::new(n_workers);
+        let mut submitted = 0;
+        loop {
+            while submitted < durations.len()
+                && cluster.submit(submitted, durations[submitted]).is_ok()
+            {
+                submitted += 1;
+            }
+            if cluster.next_completion().is_none() {
+                break;
+            }
+        }
+        let u = cluster.utilization();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+    }
+
+    /// With a single worker, jobs complete in FIFO order and the final
+    /// clock equals the sum of durations.
+    #[test]
+    fn single_worker_is_sequential(durations in proptest::collection::vec(0.0f64..10.0, 1..30)) {
+        let mut cluster: SimCluster<usize> = SimCluster::new(1);
+        let mut order = Vec::new();
+        for (i, &d) in durations.iter().enumerate() {
+            cluster.submit(i, d).unwrap();
+            let done = cluster.next_completion().unwrap();
+            order.push(done.job);
+        }
+        prop_assert_eq!(order, (0..durations.len()).collect::<Vec<_>>());
+        let total: f64 = durations.iter().sum();
+        prop_assert!((cluster.now() - total).abs() < 1e-6);
+    }
+
+    /// Stragglers only ever lengthen jobs, never shorten them.
+    #[test]
+    fn stragglers_never_shorten(seed in any::<u64>(), d in 0.1f64..100.0) {
+        let mut cluster = SimCluster::with_stragglers(1, StragglerModel::new(0.5, 4.0, seed));
+        cluster.submit((), d).unwrap();
+        let done = cluster.next_completion().unwrap();
+        let effective = done.finished - done.started;
+        prop_assert!(effective >= d - 1e-12);
+        prop_assert!(effective <= 4.0 * d + 1e-9);
+    }
+}

@@ -1,0 +1,226 @@
+//! The resource allocator: bracket selection by trial-and-error (§4.1).
+//!
+//! Each Hyperband bracket corresponds to one partial-evaluation design
+//! (initial resource `r₁ = η^b`). The selector learns which design best
+//! balances precision against cost:
+//!
+//! - `θ_b` — the probability that level `b`'s partial evaluations best
+//!   preserve the full-fidelity ranking (from [`crate::ranking`]);
+//! - `c_b = 1/r_b` — the cost coefficient favouring cheap designs;
+//! - `w = normalize(c ∘ θ)` — the sampling distribution over brackets.
+//!
+//! The first `3K` selections are round-robin (the paper's three
+//! initialization passes); afterwards brackets are sampled from `w`,
+//! falling back to round-robin whenever `θ` is not yet estimable.
+
+use rand::Rng;
+
+use crate::levels::ResourceLevels;
+
+/// Number of round-robin passes over all brackets before sampling from
+/// the learned weights.
+pub const INIT_ROUND_ROBIN_PASSES: usize = 3;
+
+/// Learns and samples the bracket distribution `w`; see the module docs.
+#[derive(Debug, Clone)]
+pub struct BracketSelector {
+    resources: Vec<f64>,
+    weights: Option<Vec<f64>>,
+    selections: usize,
+}
+
+impl BracketSelector {
+    /// A selector over the brackets of `levels` (one per base level).
+    pub fn new(levels: &ResourceLevels) -> Self {
+        Self {
+            resources: levels.resources().to_vec(),
+            weights: None,
+            selections: 0,
+        }
+    }
+
+    /// Number of brackets `K`.
+    pub fn k(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Installs fresh precision estimates `θ` and recomputes
+    /// `w = normalize(c ∘ θ)` with `c_b = 1/r_b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta.len() != K`.
+    pub fn update_theta(&mut self, theta: &[f64]) {
+        assert_eq!(theta.len(), self.k(), "theta must have one entry per bracket");
+        let raw: Vec<f64> = theta
+            .iter()
+            .zip(&self.resources)
+            .map(|(&t, &r)| (t.max(0.0)) / r)
+            .collect();
+        let total: f64 = raw.iter().sum();
+        if total > 0.0 && total.is_finite() {
+            self.weights = Some(raw.into_iter().map(|w| w / total).collect());
+        }
+    }
+
+    /// The current sampling distribution `w`, if learned.
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// `true` while still in the round-robin initialization phase.
+    pub fn in_init_phase(&self) -> bool {
+        self.selections < INIT_ROUND_ROBIN_PASSES * self.k()
+    }
+
+    /// Selects the bracket for the next partial-evaluation design.
+    pub fn select<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        let pick = if self.in_init_phase() || self.weights.is_none() {
+            self.selections % self.k()
+        } else {
+            sample_categorical(self.weights.as_ref().expect("checked above"), rng)
+        };
+        self.selections += 1;
+        pick
+    }
+
+    /// Total selections made so far.
+    pub fn selections(&self) -> usize {
+        self.selections
+    }
+}
+
+/// Draws an index from an (already normalized) categorical distribution.
+fn sample_categorical<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if u < acc {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// A round-robin stand-in with the same interface, used by the
+/// no-bracket-selection ablation and by A-Hyperband.
+#[derive(Debug, Clone)]
+pub struct RoundRobinSelector {
+    k: usize,
+    selections: usize,
+}
+
+impl RoundRobinSelector {
+    /// A selector cycling through the brackets of `levels`.
+    pub fn new(levels: &ResourceLevels) -> Self {
+        Self {
+            k: levels.k(),
+            selections: 0,
+        }
+    }
+
+    /// Selects the next bracket in cyclic order.
+    pub fn select(&mut self) -> usize {
+        let pick = self.selections % self.k;
+        self.selections += 1;
+        pick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn selector() -> BracketSelector {
+        BracketSelector::new(&ResourceLevels::new(27.0, 3))
+    }
+
+    #[test]
+    fn init_phase_is_round_robin_three_passes() {
+        let mut s = selector();
+        let mut rng = StdRng::seed_from_u64(0);
+        let picks: Vec<usize> = (0..12).map(|_| s.select(&mut rng)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]);
+        assert!(!s.in_init_phase());
+    }
+
+    #[test]
+    fn weights_multiply_theta_by_inverse_resource() {
+        let mut s = selector();
+        // Equal precision everywhere → cheap brackets dominate via 1/r.
+        s.update_theta(&[0.25, 0.25, 0.25, 0.25]);
+        let w = s.weights().unwrap();
+        // raw = [1/1, 1/3, 1/9, 1/27]·0.25 → normalized.
+        let z = 1.0 + 1.0 / 3.0 + 1.0 / 9.0 + 1.0 / 27.0;
+        assert!((w[0] - 1.0 / z).abs() < 1e-12);
+        assert!((w[3] - (1.0 / 27.0) / z).abs() < 1e-12);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precise_expensive_bracket_can_still_win() {
+        let mut s = selector();
+        // All precision mass on the full-fidelity bracket.
+        s.update_theta(&[0.0, 0.0, 0.0, 1.0]);
+        let w = s.weights().unwrap();
+        assert_eq!(w, &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sampling_follows_weights_after_init() {
+        let mut s = selector();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..12 {
+            s.select(&mut rng);
+        }
+        s.update_theta(&[1.0, 0.0, 0.0, 0.0]);
+        for _ in 0..50 {
+            assert_eq!(s.select(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn without_theta_falls_back_to_round_robin() {
+        let mut s = selector();
+        let mut rng = StdRng::seed_from_u64(3);
+        let picks: Vec<usize> = (0..16).map(|_| s.select(&mut rng)).collect();
+        // Even past the init phase, no theta → keep cycling.
+        assert_eq!(picks[12..], [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn mixed_weights_sample_proportionally() {
+        let mut s = selector();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..12 {
+            s.select(&mut rng);
+        }
+        // θ = [0.5, 0.5, 0, 0] → w ∝ [0.5, 0.5/3] = [0.75, 0.25].
+        s.update_theta(&[0.5, 0.5, 0.0, 0.0]);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[s.select(&mut rng)] += 1;
+        }
+        assert_eq!(counts[2] + counts[3], 0);
+        let frac0 = counts[0] as f64 / 4000.0;
+        assert!((frac0 - 0.75).abs() < 0.05, "frac0 {frac0}");
+    }
+
+    #[test]
+    fn round_robin_selector_cycles() {
+        let mut s = RoundRobinSelector::new(&ResourceLevels::new(27.0, 3));
+        let picks: Vec<usize> = (0..6).map(|_| s.select()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn degenerate_theta_ignored() {
+        let mut s = selector();
+        s.update_theta(&[0.0, 0.0, 0.0, 0.0]);
+        assert!(s.weights().is_none());
+    }
+}

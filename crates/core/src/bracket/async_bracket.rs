@@ -1,0 +1,275 @@
+use std::collections::HashSet;
+
+use hypertune_space::Config;
+
+use crate::levels::ResourceLevels;
+
+/// An asynchronous successive-halving bracket: ASHA, or D-ASHA when the
+/// delay condition is enabled (Algorithm 1 of the paper).
+///
+/// Unlike [`crate::bracket::SyncBracket`] there is no barrier: whenever a
+/// worker frees up, the owner first asks [`AsyncBracket::try_promote`];
+/// if no promotion is possible it samples a fresh configuration and
+/// registers it at the base rung with [`AsyncBracket::add_base_job`]
+/// (lines 13–14 of Algorithm 1).
+///
+/// **ASHA rule** (delay off): promote any configuration in the top
+/// `⌊|D_k|/η⌋` of its rung that has not been promoted yet — eager, but
+/// incurs inaccurate promotions early when `|D_k|` is small.
+///
+/// **D-ASHA rule** (delay on): additionally require
+/// `|D_k| / (|D_{k+1}| + 1) ≥ η` (lines 9–10), i.e. the current rung must
+/// hold η measurements for every one the next rung would have after the
+/// promotion. In-flight promotions count towards `|D_{k+1}|` so several
+/// idle workers cannot rush past the threshold together.
+#[derive(Debug, Clone)]
+pub struct AsyncBracket {
+    base_level: usize,
+    eta: usize,
+    delay: bool,
+    rungs: Vec<Rung>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Rung {
+    /// Completed `(config, value)` measurements of this rung.
+    results: Vec<(Config, f64)>,
+    /// Configurations already promoted out of this rung.
+    promoted: HashSet<Config>,
+    /// Jobs dispatched to this rung that have not yet returned.
+    outstanding: usize,
+}
+
+impl AsyncBracket {
+    /// Creates the bracket whose lowest rung runs at `base_level`; it has
+    /// `K − base_level` rungs up to the complete evaluation.
+    pub fn new(levels: &ResourceLevels, base_level: usize, delay: bool) -> Self {
+        assert!(base_level < levels.k());
+        Self {
+            base_level,
+            eta: levels.eta(),
+            delay,
+            rungs: vec![Rung::default(); levels.k() - base_level],
+        }
+    }
+
+    /// The bracket's base level.
+    pub fn base_level(&self) -> usize {
+        self.base_level
+    }
+
+    /// Whether the delay condition (D-ASHA) is active.
+    pub fn is_delayed(&self) -> bool {
+        self.delay
+    }
+
+    /// Completed measurements at absolute `level`.
+    pub fn rung_len(&self, level: usize) -> usize {
+        self.rungs[level - self.base_level].results.len()
+    }
+
+    /// Scans rungs from second-highest down to base (the `for k = …` loop
+    /// of Algorithm 1) and returns a promotion `(config, absolute level)`
+    /// if one is admissible. The promoted config is immediately counted
+    /// as outstanding at its new rung.
+    pub fn try_promote(&mut self) -> Option<(Config, usize)> {
+        for j in (0..self.rungs.len().saturating_sub(1)).rev() {
+            // Delay condition (Cond. 2): |D_k| / (|D_{k+1}| + 1) >= eta,
+            // with in-flight next-rung jobs counted in |D_{k+1}|.
+            if self.delay {
+                let d_k = self.rungs[j].results.len();
+                let d_next = self.rungs[j + 1].results.len() + self.rungs[j + 1].outstanding;
+                if d_k < self.eta * (d_next + 1) {
+                    continue;
+                }
+            }
+            // Cond. 1: best unpromoted config within the top 1/eta.
+            let rung = &self.rungs[j];
+            let n_top = rung.results.len() / self.eta;
+            if n_top == 0 {
+                continue;
+            }
+            let mut order: Vec<usize> = (0..rung.results.len()).collect();
+            order.sort_by(|&a, &b| {
+                rung.results[a]
+                    .1
+                    .partial_cmp(&rung.results[b].1)
+                    .expect("values are finite")
+            });
+            let candidate = order
+                .into_iter()
+                .take(n_top)
+                .map(|i| &rung.results[i].0)
+                .find(|c| !rung.promoted.contains(*c))
+                .cloned();
+            if let Some(config) = candidate {
+                self.rungs[j].promoted.insert(config.clone());
+                self.rungs[j + 1].outstanding += 1;
+                return Some((config, self.base_level + j + 1));
+            }
+        }
+        None
+    }
+
+    /// Registers a freshly sampled configuration dispatched at the base
+    /// rung.
+    pub fn add_base_job(&mut self) {
+        self.rungs[0].outstanding += 1;
+    }
+
+    /// Records a completed evaluation at absolute `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is outside this bracket's rungs.
+    pub fn on_result(&mut self, config: Config, level: usize, value: f64) {
+        let j = level
+            .checked_sub(self.base_level)
+            .expect("level below bracket base");
+        let rung = &mut self.rungs[j];
+        debug_assert!(rung.outstanding > 0, "result without outstanding job");
+        rung.outstanding = rung.outstanding.saturating_sub(1);
+        rung.results.push((config, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertune_space::ParamValue;
+
+    fn cfg(v: f64) -> Config {
+        Config::new(vec![ParamValue::Float(v)])
+    }
+
+    fn levels() -> ResourceLevels {
+        ResourceLevels::new(27.0, 3)
+    }
+
+    fn feed(b: &mut AsyncBracket, level: usize, values: &[f64]) {
+        for &v in values {
+            if level == b.base_level() {
+                b.add_base_job();
+            }
+            b.on_result(cfg(v), level, v);
+        }
+    }
+
+    #[test]
+    fn asha_promotes_after_eta_results() {
+        let mut b = AsyncBracket::new(&levels(), 0, false);
+        feed(&mut b, 0, &[0.3, 0.1]);
+        // Two results: floor(2/3) = 0, nothing promotable yet.
+        assert!(b.try_promote().is_none());
+        feed(&mut b, 0, &[0.2]);
+        // Three results: the best (0.1) is promoted to level 1.
+        let (c, lvl) = b.try_promote().unwrap();
+        assert_eq!(lvl, 1);
+        assert_eq!(c, cfg(0.1));
+        // No second candidate within top 1/3 of 3.
+        assert!(b.try_promote().is_none());
+    }
+
+    #[test]
+    fn asha_never_promotes_same_config_twice() {
+        let mut b = AsyncBracket::new(&levels(), 0, false);
+        feed(&mut b, 0, &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        let first = b.try_promote().unwrap();
+        let second = b.try_promote().unwrap();
+        assert_ne!(first.0, second.0);
+        assert!(b.try_promote().is_none());
+    }
+
+    #[test]
+    fn dasha_delays_promotion_until_quota() {
+        let mut b = AsyncBracket::new(&levels(), 0, true);
+        feed(&mut b, 0, &[0.1, 0.2, 0.3]);
+        // ASHA would promote now; D-ASHA requires |D_0| >= eta*(0+1) = 3,
+        // which holds, so first promotion goes through.
+        let p = b.try_promote().unwrap();
+        assert_eq!(p.1, 1);
+        // Second promotion now needs |D_0| >= eta*(|D_1|+outstanding+1)
+        // = 3*(0+1+1) = 6; with 3 base results it must wait.
+        feed(&mut b, 0, &[0.05, 0.15]);
+        assert!(b.try_promote().is_none(), "delay must hold at 5 results");
+        feed(&mut b, 0, &[0.25]);
+        let p2 = b.try_promote().unwrap();
+        assert_eq!(p2.1, 1);
+        assert_eq!(p2.0, cfg(0.05));
+    }
+
+    #[test]
+    fn dasha_counts_inflight_promotions() {
+        let mut b = AsyncBracket::new(&levels(), 0, true);
+        feed(&mut b, 0, &(0..9).map(|i| i as f64 / 10.0).collect::<Vec<_>>());
+        // 9 base results: quota allows |D_1| + 1 <= 3 promotions.
+        assert!(b.try_promote().is_some());
+        assert!(b.try_promote().is_some());
+        // Third would make |D_1|-after = 3; requires |D_0| >= 3*3 = 9 — ok.
+        assert!(b.try_promote().is_some());
+        // Fourth requires 12 base results.
+        assert!(b.try_promote().is_none());
+    }
+
+    #[test]
+    fn promotion_chain_reaches_top_level() {
+        let mut b = AsyncBracket::new(&levels(), 0, false);
+        // Feed plenty of base results.
+        feed(&mut b, 0, &(0..9).map(|i| i as f64).collect::<Vec<_>>());
+        // Promote three configs to level 1 and finish them there.
+        for _ in 0..3 {
+            let (c, lvl) = b.try_promote().unwrap();
+            assert_eq!(lvl, 1);
+            let v = c.values()[0].as_f64().unwrap();
+            b.on_result(c, 1, v);
+        }
+        // Best of level 1 promotes to level 2 (scan starts at the top).
+        let (c, lvl) = b.try_promote().unwrap();
+        assert_eq!(lvl, 2);
+        assert_eq!(c, cfg(0.0));
+        b.on_result(c, 2, 0.0);
+        // Level 2 has one result — not promotable (floor(1/3) = 0).
+        assert!(b.try_promote().is_none());
+    }
+
+    #[test]
+    fn higher_rungs_scanned_first() {
+        let mut b = AsyncBracket::new(&levels(), 0, false);
+        feed(&mut b, 0, &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        // Promote two to level 1, complete them.
+        for _ in 0..2 {
+            let (c, _) = b.try_promote().unwrap();
+            let v = c.values()[0].as_f64().unwrap();
+            b.on_result(c, 1, v);
+        }
+        feed(&mut b, 0, &[0.7, 0.8, 0.9]);
+        // Nine base results: the third-best (0.3) promotes to level 1.
+        let (c, lvl) = b.try_promote().unwrap();
+        assert_eq!((c.clone(), lvl), (cfg(0.3), 1));
+        b.on_result(c, 1, 0.3);
+        // Level 1 now has 3 results (promotable) and level 0 still has
+        // unpromoted top candidates; the scan must pick level 1 first.
+        let (_, lvl) = b.try_promote().unwrap();
+        assert_eq!(lvl, 2);
+    }
+
+    #[test]
+    fn base_level_offset_respected() {
+        let mut b = AsyncBracket::new(&levels(), 2, false);
+        feed(&mut b, 2, &[0.1, 0.2, 0.3]);
+        let (_, lvl) = b.try_promote().unwrap();
+        assert_eq!(lvl, 3);
+        // A bracket based at the top level never promotes.
+        let mut top = AsyncBracket::new(&levels(), 3, false);
+        feed(&mut top, 3, &[0.1, 0.2, 0.3, 0.4]);
+        assert!(top.try_promote().is_none());
+    }
+
+    #[test]
+    fn rung_len_reports_results() {
+        let mut b = AsyncBracket::new(&levels(), 0, false);
+        feed(&mut b, 0, &[0.5, 0.6]);
+        assert_eq!(b.rung_len(0), 2);
+        assert_eq!(b.rung_len(1), 0);
+    }
+}

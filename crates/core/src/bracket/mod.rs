@@ -1,0 +1,15 @@
+//! Bracket state machines: the successive-halving bookkeeping shared by
+//! every Hyperband-family method.
+//!
+//! - [`SyncBracket`] executes one synchronous SHA procedure (§3.2,
+//!   Figure 2): rungs advance only when *all* evaluations of the current
+//!   rung have returned — the synchronization barrier of Figure 1.
+//! - [`AsyncBracket`] implements ASHA-style asynchronous promotion
+//!   ([Li et al. 2020]) and, with the delay condition enabled, the
+//!   paper's D-ASHA (Algorithm 1).
+
+mod async_bracket;
+mod sync_bracket;
+
+pub use async_bracket::AsyncBracket;
+pub use sync_bracket::SyncBracket;

@@ -1,0 +1,270 @@
+use hypertune_space::Config;
+
+use crate::levels::ResourceLevels;
+
+/// One synchronous successive-halving procedure (one column of Table 1).
+///
+/// Life cycle:
+///
+/// 1. the owner feeds `n₁` fresh configurations via
+///    [`SyncBracket::add_config`] (as many as [`SyncBracket::needs_configs`]
+///    asks for);
+/// 2. [`SyncBracket::next_job`] hands out queued evaluations of the
+///    current rung;
+/// 3. every completion goes to [`SyncBracket::on_result`]; when the rung
+///    is complete, the top `1/η` configurations are promoted into the next
+///    rung's queue (the synchronization barrier);
+/// 4. after the final rung completes, [`SyncBracket::is_done`] turns true.
+#[derive(Debug, Clone)]
+pub struct SyncBracket {
+    base_level: usize,
+    /// `(n_j, r_j)` per rung, from [`ResourceLevels::bracket_schedule`].
+    schedule: Vec<(usize, f64)>,
+    /// Current rung index (0-based within the bracket).
+    rung: usize,
+    /// Configs waiting to be dispatched at the current rung.
+    queue: Vec<Config>,
+    /// Jobs dispatched but not yet returned.
+    outstanding: usize,
+    /// Completed `(config, value)` pairs of the current rung.
+    results: Vec<(Config, f64)>,
+    /// Fresh configs still to be supplied for rung 0.
+    awaiting_seed: usize,
+    done: bool,
+}
+
+impl SyncBracket {
+    /// Creates the bracket whose first rung runs at `base_level`.
+    pub fn new(levels: &ResourceLevels, base_level: usize) -> Self {
+        let schedule = levels.bracket_schedule(base_level);
+        let n1 = schedule[0].0;
+        Self {
+            base_level,
+            schedule,
+            rung: 0,
+            queue: Vec::with_capacity(n1),
+            outstanding: 0,
+            results: Vec::with_capacity(n1),
+            awaiting_seed: n1,
+            done: false,
+        }
+    }
+
+    /// The bracket's base (first-rung) level.
+    pub fn base_level(&self) -> usize {
+        self.base_level
+    }
+
+    /// Absolute resource level of the current rung.
+    pub fn current_level(&self) -> usize {
+        self.base_level + self.rung
+    }
+
+    /// How many fresh configurations the bracket still needs (rung 0
+    /// only); the owner samples these from its optimizer.
+    pub fn needs_configs(&self) -> usize {
+        self.awaiting_seed
+    }
+
+    /// Supplies one fresh configuration for rung 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bracket is not waiting for seeds.
+    pub fn add_config(&mut self, config: Config) {
+        assert!(self.awaiting_seed > 0, "bracket is not accepting seeds");
+        self.awaiting_seed -= 1;
+        self.queue.push(config);
+    }
+
+    /// Pops the next queued evaluation: `(config, absolute level)`.
+    /// Returns `None` at the barrier (queue empty, results outstanding).
+    pub fn next_job(&mut self) -> Option<(Config, usize)> {
+        let config = self.queue.pop()?;
+        self.outstanding += 1;
+        Some((config, self.current_level()))
+    }
+
+    /// Records a completed evaluation of the current rung. When the rung
+    /// is complete, promotes the top `1/η` into the next rung.
+    pub fn on_result(&mut self, config: Config, value: f64) {
+        debug_assert!(self.outstanding > 0, "result without outstanding job");
+        self.outstanding -= 1;
+        self.results.push((config, value));
+        let rung_size = self.schedule[self.rung].0;
+        if self.results.len() < rung_size {
+            return;
+        }
+        debug_assert!(self.queue.is_empty() && self.outstanding == 0);
+        if self.rung + 1 >= self.schedule.len() {
+            self.done = true;
+            return;
+        }
+        // Promote the best n_{j+1} configurations (ascending value).
+        let n_next = self.schedule[self.rung + 1].0;
+        self.results
+            .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("values are finite"));
+        // Queue is popped from the back; push in reverse so the best
+        // config is evaluated first.
+        let promoted: Vec<Config> = self
+            .results
+            .drain(..)
+            .take(n_next)
+            .map(|(c, _)| c)
+            .collect();
+        self.queue.extend(promoted.into_iter().rev());
+        self.rung += 1;
+    }
+
+    /// `true` once the final rung has fully completed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Jobs dispatched but not yet returned.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertune_space::ParamValue;
+
+    fn cfg(v: f64) -> Config {
+        Config::new(vec![ParamValue::Float(v)])
+    }
+
+    fn levels() -> ResourceLevels {
+        ResourceLevels::new(27.0, 3)
+    }
+
+    /// Drives a full bracket where a config's value equals its id; checks
+    /// the SHA promotion pattern of Figure 2.
+    #[test]
+    fn full_sha_iteration_bracket0() {
+        let l = levels();
+        let mut b = SyncBracket::new(&l, 0);
+        assert_eq!(b.needs_configs(), 27);
+        for i in 0..27 {
+            b.add_config(cfg(i as f64 / 27.0));
+        }
+        assert_eq!(b.needs_configs(), 0);
+
+        // Rung 0: 27 configs at level 0.
+        let mut jobs = Vec::new();
+        while let Some((c, lvl)) = b.next_job() {
+            assert_eq!(lvl, 0);
+            jobs.push(c);
+        }
+        assert_eq!(jobs.len(), 27);
+        for c in jobs {
+            let v = c.values()[0].as_f64().unwrap();
+            b.on_result(c, v);
+        }
+
+        // Rung 1: top 9 (lowest ids) at level 1.
+        let mut rung1 = Vec::new();
+        while let Some((c, lvl)) = b.next_job() {
+            assert_eq!(lvl, 1);
+            rung1.push(c);
+        }
+        assert_eq!(rung1.len(), 9);
+        // The best config is dispatched first.
+        assert_eq!(rung1[0].values()[0].as_f64().unwrap(), 0.0);
+        for c in &rung1 {
+            let v = c.values()[0].as_f64().unwrap();
+            assert!(v < 9.0 / 27.0, "only top third promoted, got {v}");
+        }
+        for c in rung1 {
+            let v = c.values()[0].as_f64().unwrap();
+            b.on_result(c, v);
+        }
+
+        // Rung 2: top 3; rung 3: top 1.
+        for (expect_n, expect_lvl) in [(3usize, 2usize), (1, 3)] {
+            let mut rung = Vec::new();
+            while let Some((c, lvl)) = b.next_job() {
+                assert_eq!(lvl, expect_lvl);
+                rung.push(c);
+            }
+            assert_eq!(rung.len(), expect_n);
+            for c in rung {
+                let v = c.values()[0].as_f64().unwrap();
+                b.on_result(c, v);
+            }
+        }
+        assert!(b.is_done());
+        // The surviving config was the global best.
+    }
+
+    #[test]
+    fn barrier_blocks_until_rung_complete() {
+        let l = levels();
+        let mut b = SyncBracket::new(&l, 2); // schedule: (6, 9.0), (2, 27.0)
+        for i in 0..6 {
+            b.add_config(cfg(i as f64));
+        }
+        let mut dispatched = Vec::new();
+        for _ in 0..6 {
+            dispatched.push(b.next_job().unwrap().0);
+        }
+        // Queue drained; barrier until all six return.
+        assert!(b.next_job().is_none());
+        for c in dispatched.drain(..5) {
+            let v = c.values()[0].as_f64().unwrap();
+            b.on_result(c, v);
+        }
+        // Five of six back: still blocked (straggler sensitivity).
+        assert!(b.next_job().is_none());
+        let last = dispatched.pop().unwrap();
+        let v = last.values()[0].as_f64().unwrap();
+        b.on_result(last, v);
+        // Now rung 1 is ready with the top 2.
+        let (c, lvl) = b.next_job().unwrap();
+        assert_eq!(lvl, 3);
+        assert!(c.values()[0].as_f64().unwrap() < 2.0);
+    }
+
+    #[test]
+    fn single_rung_bracket() {
+        let l = levels();
+        let mut b = SyncBracket::new(&l, 3); // (4, 27.0) only
+        assert_eq!(b.needs_configs(), 4);
+        for i in 0..4 {
+            b.add_config(cfg(i as f64));
+        }
+        for _ in 0..4 {
+            let (c, lvl) = b.next_job().unwrap();
+            assert_eq!(lvl, 3);
+            let v = c.values()[0].as_f64().unwrap();
+            b.on_result(c, v);
+        }
+        assert!(b.is_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "not accepting")]
+    fn overfeeding_panics() {
+        let l = levels();
+        let mut b = SyncBracket::new(&l, 3);
+        for i in 0..5 {
+            b.add_config(cfg(i as f64));
+        }
+    }
+
+    #[test]
+    fn outstanding_tracked() {
+        let l = levels();
+        let mut b = SyncBracket::new(&l, 3);
+        for i in 0..4 {
+            b.add_config(cfg(i as f64));
+        }
+        let j1 = b.next_job().unwrap();
+        let _j2 = b.next_job().unwrap();
+        assert_eq!(b.outstanding(), 2);
+        b.on_result(j1.0, 0.0);
+        assert_eq!(b.outstanding(), 1);
+    }
+}

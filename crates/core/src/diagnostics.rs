@@ -1,0 +1,134 @@
+//! Run diagnostics: the internal signals behind Hyper-Tune's decisions.
+//!
+//! The ablation binaries use these to *explain* results, not just score
+//! them: how `θ` (partial-evaluation precision) evolved as complete
+//! evaluations accumulated, which brackets the allocator favoured, and
+//! how many promotions each bracket made. All of this is derivable from
+//! the method's internal state, so the engine records it as it goes.
+
+/// Diagnostics accumulated by [`crate::methods::AsyncHb`] during a run.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    /// `(|D_K| at refresh time, θ)` snapshots, in order.
+    pub theta_history: Vec<(usize, Vec<f64>)>,
+    /// Number of fresh configurations assigned to each bracket.
+    pub bracket_starts: Vec<usize>,
+    /// Number of promotions issued per bracket.
+    pub bracket_promotions: Vec<usize>,
+}
+
+impl Diagnostics {
+    /// Creates empty diagnostics over `k` brackets.
+    pub fn new(k: usize) -> Self {
+        Self {
+            theta_history: Vec::new(),
+            bracket_starts: vec![0; k],
+            bracket_promotions: vec![0; k],
+        }
+    }
+
+    /// Records a θ refresh.
+    pub fn record_theta(&mut self, n_full: usize, theta: &[f64]) {
+        self.theta_history.push((n_full, theta.to_vec()));
+    }
+
+    /// Records a fresh configuration start in `bracket`.
+    pub fn record_start(&mut self, bracket: usize) {
+        self.bracket_starts[bracket] += 1;
+    }
+
+    /// Records a promotion in `bracket`.
+    pub fn record_promotion(&mut self, bracket: usize) {
+        self.bracket_promotions[bracket] += 1;
+    }
+
+    /// The final θ snapshot, if any.
+    pub fn final_theta(&self) -> Option<&[f64]> {
+        self.theta_history.last().map(|(_, t)| t.as_slice())
+    }
+
+    /// Empirical bracket-selection distribution (fractions of starts).
+    pub fn bracket_distribution(&self) -> Vec<f64> {
+        let total: usize = self.bracket_starts.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.bracket_starts.len()];
+        }
+        self.bracket_starts
+            .iter()
+            .map(|&n| n as f64 / total as f64)
+            .collect()
+    }
+
+    /// Renders a compact multi-line report.
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "bracket starts:     {:?}\nbracket promotions: {:?}\n",
+            self.bracket_starts, self.bracket_promotions
+        ));
+        if let Some(theta) = self.final_theta() {
+            s.push_str("final theta:        [");
+            for (i, t) in theta.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("{t:.3}"));
+            }
+            s.push_str("]\n");
+        }
+        s.push_str(&format!(
+            "theta refreshes:    {}\n",
+            self.theta_history.len()
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut d = Diagnostics::new(4);
+        d.record_start(0);
+        d.record_start(0);
+        d.record_start(2);
+        d.record_promotion(0);
+        d.record_theta(5, &[0.5, 0.3, 0.1, 0.1]);
+        d.record_theta(8, &[0.6, 0.2, 0.1, 0.1]);
+        assert_eq!(d.bracket_starts, vec![2, 0, 1, 0]);
+        assert_eq!(d.bracket_promotions, vec![1, 0, 0, 0]);
+        assert_eq!(d.final_theta().unwrap()[0], 0.6);
+        assert_eq!(d.theta_history.len(), 2);
+    }
+
+    #[test]
+    fn distribution_normalizes() {
+        let mut d = Diagnostics::new(2);
+        d.record_start(0);
+        d.record_start(0);
+        d.record_start(1);
+        let dist = d.bracket_distribution();
+        assert!((dist[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_distribution_is_zero() {
+        let d = Diagnostics::new(3);
+        assert_eq!(d.bracket_distribution(), vec![0.0; 3]);
+        assert!(d.final_theta().is_none());
+    }
+
+    #[test]
+    fn report_mentions_everything() {
+        let mut d = Diagnostics::new(2);
+        d.record_start(1);
+        d.record_theta(4, &[0.7, 0.3]);
+        let r = d.report();
+        assert!(r.contains("bracket starts"));
+        assert!(r.contains("0.700"));
+        assert!(r.contains("theta refreshes:    1"));
+    }
+}

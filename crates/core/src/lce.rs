@@ -1,0 +1,264 @@
+//! Learning-curve extrapolation (the early-stopping alternative of the
+//! paper's related work §2: Domhan et al. 2015, Klein et al. 2017).
+//!
+//! Instead of rank-based halving, extrapolation methods fit parametric
+//! curve families to a configuration's partial learning curve
+//! `(r_1, y_1), …, (r_j, y_j)` and stop the configuration if the
+//! predicted value at the maximum resource is unlikely to beat the
+//! incumbent. This module fits three standard families by grid-searched
+//! least squares (derivative-free, robust for the 2–5 points a rung
+//! ladder produces):
+//!
+//! | family | form |
+//! |---|---|
+//! | pow3 | `y(r) = c + a·r^(−α)` |
+//! | exp  | `y(r) = c + a·exp(−k·r)` |
+//! | log  | `y(r) = c − a·ln(r + 1)⁻¹·(−1)` (log-linear decay) |
+//!
+//! The best-fitting family (lowest SSE) provides the extrapolation; its
+//! residual spread provides a crude uncertainty band.
+
+/// One fitted curve family with its parameters and training error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurveFit {
+    /// Which family fit best.
+    pub family: CurveFamily,
+    /// Asymptote `c` (the predicted converged value).
+    pub asymptote: f64,
+    /// Amplitude `a`.
+    pub amplitude: f64,
+    /// Rate parameter (`α` for pow3, `k` for exp, unused for log).
+    pub rate: f64,
+    /// Sum of squared residuals on the observed points.
+    pub sse: f64,
+}
+
+/// Parametric curve families; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CurveFamily {
+    /// Power-law decay `c + a·r^(−α)`.
+    Pow3,
+    /// Exponential decay `c + a·exp(−k·r)`.
+    Exp,
+    /// Logarithmic decay `c + a/ln(r + e)`.
+    Log,
+}
+
+impl CurveFit {
+    /// Predicts the value at resource `r`.
+    pub fn predict(&self, r: f64) -> f64 {
+        match self.family {
+            CurveFamily::Pow3 => self.asymptote + self.amplitude * r.powf(-self.rate),
+            CurveFamily::Exp => self.asymptote + self.amplitude * (-self.rate * r).exp(),
+            CurveFamily::Log => {
+                self.asymptote + self.amplitude / (r + std::f64::consts::E).ln()
+            }
+        }
+    }
+
+    /// Root-mean-square residual of the fit (crude uncertainty proxy).
+    pub fn rmse(&self, n_points: usize) -> f64 {
+        (self.sse / n_points.max(1) as f64).sqrt()
+    }
+}
+
+/// Grid of rate parameters tried for the pow3/exp families.
+const RATE_GRID: [f64; 8] = [0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.5, 4.0];
+
+/// Fits all families to the partial curve and returns the best by SSE.
+///
+/// Returns `None` with fewer than 2 points (no extrapolation signal) or
+/// when inputs are degenerate (non-positive resources, non-finite
+/// values).
+pub fn fit_curve(points: &[(f64, f64)]) -> Option<CurveFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    if points
+        .iter()
+        .any(|&(r, y)| r <= 0.0 || !r.is_finite() || !y.is_finite())
+    {
+        return None;
+    }
+    let mut best: Option<CurveFit> = None;
+    let mut consider = |fit: CurveFit| {
+        if fit.asymptote.is_finite()
+            && fit.amplitude.is_finite()
+            && best.map(|b| fit.sse < b.sse).unwrap_or(true)
+        {
+            best = Some(fit);
+        }
+    };
+
+    // For a fixed rate, both pow3 and exp reduce to linear least squares
+    // y = c + a·φ(r) with basis φ; solve the 2×2 normal equations.
+    for &rate in &RATE_GRID {
+        if let Some((c, a, sse)) = linear_fit(points, |r| r.powf(-rate)) {
+            consider(CurveFit {
+                family: CurveFamily::Pow3,
+                asymptote: c,
+                amplitude: a,
+                rate,
+                sse,
+            });
+        }
+        if let Some((c, a, sse)) = linear_fit(points, |r| (-rate * r).exp()) {
+            consider(CurveFit {
+                family: CurveFamily::Exp,
+                asymptote: c,
+                amplitude: a,
+                rate,
+                sse,
+            });
+        }
+    }
+    if let Some((c, a, sse)) = linear_fit(points, |r| 1.0 / (r + std::f64::consts::E).ln()) {
+        consider(CurveFit {
+            family: CurveFamily::Log,
+            asymptote: c,
+            amplitude: a,
+            rate: 0.0,
+            sse,
+        });
+    }
+    best
+}
+
+/// Least-squares fit of `y = c + a·φ(r)`; returns `(c, a, sse)`.
+fn linear_fit(points: &[(f64, f64)], phi: impl Fn(f64) -> f64) -> Option<(f64, f64, f64)> {
+    let n = points.len() as f64;
+    let mut s_x = 0.0;
+    let mut s_y = 0.0;
+    let mut s_xx = 0.0;
+    let mut s_xy = 0.0;
+    for &(r, y) in points {
+        let x = phi(r);
+        if !x.is_finite() {
+            return None;
+        }
+        s_x += x;
+        s_y += y;
+        s_xx += x * x;
+        s_xy += x * y;
+    }
+    let det = n * s_xx - s_x * s_x;
+    if det.abs() < 1e-12 {
+        return None;
+    }
+    let a = (n * s_xy - s_x * s_y) / det;
+    let c = (s_y - a * s_x) / n;
+    let sse = points
+        .iter()
+        .map(|&(r, y)| {
+            let e = y - (c + a * phi(r));
+            e * e
+        })
+        .sum();
+    Some((c, a, sse))
+}
+
+/// The stop decision of an extrapolation-based scheduler: continue the
+/// configuration only if its predicted value at `r_max`, minus a safety
+/// band of `band_rmse` × RMSE, could still beat `incumbent`.
+pub fn should_continue(
+    points: &[(f64, f64)],
+    r_max: f64,
+    incumbent: f64,
+    band_rmse: f64,
+) -> bool {
+    match fit_curve(points) {
+        // No reliable fit: keep training (the conservative default).
+        None => true,
+        Some(fit) => {
+            let predicted = fit.predict(r_max);
+            let band = band_rmse * fit.rmse(points.len());
+            predicted - band <= incumbent
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(f: impl Fn(f64) -> f64, rs: &[f64]) -> Vec<(f64, f64)> {
+        rs.iter().map(|&r| (r, f(r))).collect()
+    }
+
+    #[test]
+    fn recovers_power_law_asymptote() {
+        let pts = curve(|r| 0.1 + 0.8 * r.powf(-1.0), &[1.0, 3.0, 9.0, 27.0]);
+        let fit = fit_curve(&pts).unwrap();
+        assert!((fit.asymptote - 0.1).abs() < 0.02, "{fit:?}");
+        assert!(fit.sse < 1e-6);
+        // Extrapolation approaches the asymptote.
+        assert!((fit.predict(1000.0) - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn recovers_exponential_asymptote() {
+        let pts = curve(|r| 0.2 + 0.7 * (-0.5 * r).exp(), &[1.0, 3.0, 9.0, 27.0]);
+        let fit = fit_curve(&pts).unwrap();
+        assert!((fit.asymptote - 0.2).abs() < 0.05, "{fit:?}");
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert!(fit_curve(&[(1.0, 0.5)]).is_none());
+        assert!(fit_curve(&[]).is_none());
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(fit_curve(&[(0.0, 0.5), (1.0, 0.4)]).is_none());
+        assert!(fit_curve(&[(1.0, f64::NAN), (2.0, 0.4)]).is_none());
+    }
+
+    #[test]
+    fn flat_curve_predicts_flat() {
+        let pts = curve(|_| 0.3, &[1.0, 3.0, 9.0]);
+        let fit = fit_curve(&pts).unwrap();
+        assert!((fit.predict(27.0) - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn promising_curve_continues() {
+        // Fast-improving curve headed below the incumbent.
+        let pts = curve(|r| 0.05 + 0.8 * r.powf(-1.5), &[1.0, 3.0, 9.0]);
+        assert!(should_continue(&pts, 27.0, 0.2, 1.0));
+    }
+
+    #[test]
+    fn hopeless_curve_stops() {
+        // Plateaued curve far above the incumbent.
+        let pts = curve(|r| 0.5 + 0.01 * r.powf(-1.0), &[1.0, 3.0, 9.0]);
+        assert!(!should_continue(&pts, 27.0, 0.1, 1.0));
+    }
+
+    #[test]
+    fn single_point_always_continues() {
+        assert!(should_continue(&[(1.0, 0.9)], 27.0, 0.1, 1.0));
+    }
+
+    #[test]
+    fn noisy_curve_widens_band() {
+        // Noisy observations inflate RMSE, making the rule conservative:
+        // the same plateau with large noise should continue when the band
+        // multiplier is generous.
+        let pts = vec![(1.0, 0.5), (3.0, 0.3), (9.0, 0.55), (27.0, 0.35)];
+        let stop_tight = should_continue(&pts, 81.0, 0.1, 0.0);
+        let stop_wide = should_continue(&pts, 81.0, 0.1, 5.0);
+        // Wide band is at least as permissive as no band.
+        assert!(stop_wide || !stop_tight);
+    }
+
+    #[test]
+    fn best_family_selected_by_sse() {
+        // Data generated from log decay should not be fit terribly by
+        // whatever family wins — SSE bounded.
+        let pts = curve(|r| 0.2 + 0.5 / (r + std::f64::consts::E).ln(), &[1.0, 3.0, 9.0, 27.0]);
+        let fit = fit_curve(&pts).unwrap();
+        assert!(fit.sse < 1e-9, "{fit:?}");
+        assert_eq!(fit.family, CurveFamily::Log);
+    }
+}

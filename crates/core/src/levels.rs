@@ -1,0 +1,147 @@
+//! Resource-level geometry shared by all Hyperband-family methods.
+//!
+//! Following §4 ("Basic Setting"), measurements are grouped into `K`
+//! levels, where level `i` (0-based here, 1-based in the paper) uses
+//! `r_i = η^i` units of training resources, `K = ⌊log_η R⌋ + 1`, and
+//! level `K−1` is the complete evaluation with `R` units.
+
+/// The geometric ladder of resource levels.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ResourceLevels {
+    eta: usize,
+    resources: Vec<f64>,
+}
+
+impl ResourceLevels {
+    /// Builds the ladder for maximum resource `r_max` and discard
+    /// proportion `eta` (the paper uses `η = 3` throughout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta < 2` or `r_max < 1`.
+    pub fn new(r_max: f64, eta: usize) -> Self {
+        assert!(eta >= 2, "eta must be >= 2");
+        assert!(r_max >= 1.0, "max resource must be >= 1");
+        let k = (r_max.ln() / (eta as f64).ln()).floor() as u32 + 1;
+        let resources = (0..k).map(|i| (eta as f64).powi(i as i32)).collect();
+        Self { eta, resources }
+    }
+
+    /// The discard proportion η.
+    pub fn eta(&self) -> usize {
+        self.eta
+    }
+
+    /// Number of levels `K`.
+    pub fn k(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Index of the complete-evaluation level (`K − 1`).
+    pub fn max_level(&self) -> usize {
+        self.resources.len() - 1
+    }
+
+    /// Training resources `r_i = η^i` of level `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= K`.
+    pub fn resource(&self, level: usize) -> f64 {
+        self.resources[level]
+    }
+
+    /// All resources, lowest level first.
+    pub fn resources(&self) -> &[f64] {
+        &self.resources
+    }
+
+    /// The paper's Table 1 bracket geometry: bracket with base level `b`
+    /// starts `n₁` configurations at `r₁ = η^b` and halves
+    /// `⌈K/(K−b) · η^{K−1−b}⌉ → … → 1` across its rungs.
+    ///
+    /// Returns the `(n_i, r_i)` schedule of that bracket.
+    pub fn bracket_schedule(&self, base_level: usize) -> Vec<(usize, f64)> {
+        assert!(base_level < self.k());
+        let k = self.k();
+        let s = k - 1 - base_level; // number of halvings in this bracket
+        let n1 = ((k as f64) / (s as f64 + 1.0) * (self.eta as f64).powi(s as i32)).ceil() as usize;
+        (0..=s)
+            .map(|j| {
+                let n = (n1 as f64 / (self.eta as f64).powi(j as i32)).floor() as usize;
+                (n.max(1), self.resource(base_level + j))
+            })
+            .collect()
+    }
+
+    /// Number of brackets (= number of levels, one per base `r₁`).
+    pub fn n_brackets(&self) -> usize {
+        self.k()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_r27_eta3() {
+        let l = ResourceLevels::new(27.0, 3);
+        assert_eq!(l.k(), 4);
+        assert_eq!(l.resources(), &[1.0, 3.0, 9.0, 27.0]);
+        assert_eq!(l.max_level(), 3);
+        assert_eq!(l.eta(), 3);
+    }
+
+    #[test]
+    fn table1_bracket_schedules() {
+        // Table 1 of the paper: R = 27, η = 3.
+        let l = ResourceLevels::new(27.0, 3);
+        assert_eq!(
+            l.bracket_schedule(0),
+            vec![(27, 1.0), (9, 3.0), (3, 9.0), (1, 27.0)]
+        );
+        assert_eq!(l.bracket_schedule(1), vec![(12, 3.0), (4, 9.0), (1, 27.0)]);
+        assert_eq!(l.bracket_schedule(2), vec![(6, 9.0), (2, 27.0)]);
+        assert_eq!(l.bracket_schedule(3), vec![(4, 27.0)]);
+    }
+
+    #[test]
+    fn non_power_max_resource_truncates() {
+        let l = ResourceLevels::new(200.0, 3);
+        // ⌊log₃ 200⌋ + 1 = 5 levels: 1, 3, 9, 27, 81.
+        assert_eq!(l.k(), 5);
+        assert_eq!(l.resource(4), 81.0);
+    }
+
+    #[test]
+    fn eta2_ladder() {
+        let l = ResourceLevels::new(16.0, 2);
+        assert_eq!(l.resources(), &[1.0, 2.0, 4.0, 8.0, 16.0]);
+        // Bracket 0: n1 = ceil(5/5 * 16) = 16.
+        let sched = l.bracket_schedule(0);
+        assert_eq!(sched[0], (16, 1.0));
+        assert_eq!(sched.last().unwrap(), &(1, 16.0));
+    }
+
+    #[test]
+    fn single_level_degenerate() {
+        let l = ResourceLevels::new(1.0, 3);
+        assert_eq!(l.k(), 1);
+        assert_eq!(l.bracket_schedule(0), vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn last_bracket_full_fidelity_only() {
+        let l = ResourceLevels::new(27.0, 3);
+        let sched = l.bracket_schedule(3);
+        assert_eq!(sched.len(), 1);
+        assert_eq!(sched[0].1, 27.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eta")]
+    fn eta_one_rejected() {
+        ResourceLevels::new(27.0, 1);
+    }
+}

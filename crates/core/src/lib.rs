@@ -1,0 +1,52 @@
+//! The Hyper-Tune framework: schedulers, resource allocation, and
+//! multi-fidelity optimization (the paper's primary contribution), plus
+//! every baseline method it compares against.
+//!
+//! # Architecture (mirrors Figure 3 of the paper)
+//!
+//! An iteration of Hyper-Tune runs four steps:
+//!
+//! 1. the **resource allocator** ([`allocator::BracketSelector`]) picks
+//!    the initial training resource `r₁` — i.e. a Hyperband bracket —
+//!    using the learned precision-vs-cost weights `w = normalize(c ∘ θ)`;
+//! 2. the **multi-fidelity optimizer** ([`sampler::MfesSampler`]) samples
+//!    a configuration for each idle worker, combining the per-level base
+//!    surrogates with the MFES ensemble (Eq. 3) and imputing pending
+//!    evaluations with the median of `D_K` (Algorithm 2);
+//! 3. the **evaluation scheduler** ([`bracket::AsyncBracket`] with the
+//!    delay condition — D-ASHA, Algorithm 1) runs evaluations
+//!    asynchronously and decides promotions;
+//! 4. measurements flow back into the [`history::History`], updating both
+//!    the allocator's `θ` (via [`ranking`]) and the optimizer.
+//!
+//! All methods implement the [`method::Method`] trait and are driven by
+//! [`runner::run`] against any [`hypertune_benchmarks::Benchmark`] on a
+//! simulated or real cluster.
+//!
+//! # Baselines
+//!
+//! [`methods`] provides the paper's ten baselines (§5.1): A-Random,
+//! Batch-BO, A-BO, SHA, ASHA, Hyperband, A-Hyperband, BOHB, A-BOHB,
+//! MFES-HB — plus A-REA from §5.2 and the ablation variants of §5.7
+//! (Hyper-Tune without bracket selection / D-ASHA / MFES).
+
+pub mod allocator;
+pub mod diagnostics;
+pub mod bracket;
+pub mod history;
+pub mod lce;
+pub mod levels;
+pub mod method;
+pub mod persist;
+pub mod methods;
+pub mod ranking;
+pub mod runner;
+pub mod runner_threaded;
+pub mod sampler;
+
+pub use history::{History, Measurement};
+pub use levels::ResourceLevels;
+pub use method::{JobSpec, Method, MethodContext, Outcome};
+pub use methods::MethodKind;
+pub use runner::{run, RunConfig, RunResult};
+pub use runner_threaded::{run_threaded, ThreadedRunConfig, ThreadedRunResult};

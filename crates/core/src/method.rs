@@ -1,0 +1,106 @@
+//! The method abstraction: how tuning algorithms talk to the runner.
+//!
+//! Methods are *pull-based* state machines. The runner repeatedly asks
+//! [`Method::next_job`] while workers are idle; a synchronous method
+//! returns `None` at its barrier (leaving workers idle — the cost the
+//! paper's Figure 1 illustrates), while an asynchronous method always has
+//! work. Completions flow back through [`Method::on_result`] after the
+//! runner has recorded them into the shared [`History`].
+
+use hypertune_space::{Config, ConfigSpace};
+use rand::rngs::StdRng;
+
+use crate::history::History;
+use crate::levels::ResourceLevels;
+
+/// A unit of work: evaluate `config` with `resource` units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Configuration to evaluate.
+    pub config: Config,
+    /// Resource-level index (0-based).
+    pub level: usize,
+    /// Training resources in units (`levels.resource(level)`).
+    pub resource: f64,
+    /// Bracket the job belongs to, when applicable (used for traces and
+    /// per-bracket bookkeeping).
+    pub bracket: Option<usize>,
+}
+
+/// A finished evaluation delivered back to the method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// The job that finished.
+    pub spec: JobSpec,
+    /// Validation objective (minimized).
+    pub value: f64,
+    /// Held-out test objective.
+    pub test_value: f64,
+    /// Virtual cost in seconds.
+    pub cost: f64,
+    /// Virtual completion time.
+    pub finished_at: f64,
+}
+
+/// Shared state the runner lends to the method on every call.
+pub struct MethodContext<'a> {
+    /// The search space.
+    pub space: &'a ConfigSpace,
+    /// The resource-level ladder.
+    pub levels: &'a ResourceLevels,
+    /// All recorded measurements.
+    pub history: &'a History,
+    /// Configurations currently being evaluated (for pending-imputation
+    /// sampling, Algorithm 2).
+    pub pending: &'a [JobSpec],
+    /// Run-scoped RNG; methods must draw all randomness from here so runs
+    /// are reproducible per seed.
+    pub rng: &'a mut StdRng,
+    /// Cluster size, for batch-sized decisions.
+    pub n_workers: usize,
+    /// Current virtual time.
+    pub now: f64,
+}
+
+/// A tuning algorithm (Hyper-Tune itself or any baseline).
+pub trait Method {
+    /// Display name used in reports (e.g. `"BOHB"`).
+    fn name(&self) -> &str;
+
+    /// Produces the next job, or `None` to leave remaining workers idle
+    /// until the next completion (synchronization barrier).
+    ///
+    /// Invariant: when the cluster is quiescent (no pending jobs) the
+    /// method must return `Some`, otherwise the run would deadlock; the
+    /// runner enforces this with a panic.
+    fn next_job(&mut self, ctx: &mut MethodContext<'_>) -> Option<JobSpec>;
+
+    /// Notifies the method of a completed evaluation. The measurement is
+    /// already in `ctx.history`.
+    fn on_result(&mut self, outcome: &Outcome, ctx: &mut MethodContext<'_>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertune_space::ParamValue;
+
+    #[test]
+    fn jobspec_carries_bracket() {
+        let j = JobSpec {
+            config: Config::new(vec![ParamValue::Int(1)]),
+            level: 2,
+            resource: 9.0,
+            bracket: Some(1),
+        };
+        assert_eq!(j.bracket, Some(1));
+        let o = Outcome {
+            spec: j.clone(),
+            value: 0.5,
+            test_value: 0.51,
+            cost: 12.0,
+            finished_at: 100.0,
+        };
+        assert_eq!(o.spec, j);
+    }
+}

@@ -1,0 +1,229 @@
+//! Early stopping by learning-curve extrapolation (LCE-Stop): the
+//! related-work baseline of Domhan et al. 2015 / Klein et al. 2017 in
+//! this framework's terms.
+//!
+//! Every configuration climbs the resource ladder level by level. After
+//! each level, the configuration's partial curve
+//! `(r_0, y_0), …, (r_j, y_j)` is fit by [`crate::lce`]; the climb
+//! continues only while the extrapolated value at `R` could still beat
+//! the current full-fidelity incumbent (within a safety band). Fully
+//! asynchronous, like the median rule, but using the curve *shape*
+//! instead of cross-configuration quantiles.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use hypertune_space::Config;
+
+use crate::lce;
+use crate::method::{JobSpec, Method, MethodContext, Outcome};
+use crate::sampler::Sampler;
+
+/// Learning-curve-extrapolation stopping method; see the module docs.
+pub struct LceStop {
+    sampler: Box<dyn Sampler>,
+    /// Partial curves of configurations still alive.
+    curves: HashMap<Config, Vec<(f64, f64)>>,
+    /// Survivors waiting for their next level.
+    ready_to_climb: VecDeque<(Config, usize)>,
+    /// Safety band in RMSE multiples (larger = more conservative about
+    /// stopping).
+    pub band_rmse: f64,
+}
+
+impl LceStop {
+    /// Creates the method with the given sampler for fresh configs.
+    pub fn new(sampler: Box<dyn Sampler>) -> Self {
+        Self {
+            sampler,
+            curves: HashMap::new(),
+            ready_to_climb: VecDeque::new(),
+            band_rmse: 1.0,
+        }
+    }
+}
+
+impl Method for LceStop {
+    fn name(&self) -> &str {
+        "LCE-Stop"
+    }
+
+    fn next_job(&mut self, ctx: &mut MethodContext<'_>) -> Option<JobSpec> {
+        if let Some((config, level)) = self.ready_to_climb.pop_front() {
+            return Some(JobSpec {
+                config,
+                level,
+                resource: ctx.levels.resource(level),
+                bracket: None,
+            });
+        }
+        let config = self.sampler.sample(ctx);
+        Some(JobSpec {
+            config,
+            level: 0,
+            resource: ctx.levels.resource(0),
+            bracket: None,
+        })
+    }
+
+    fn on_result(&mut self, outcome: &Outcome, ctx: &mut MethodContext<'_>) {
+        let level = outcome.spec.level;
+        let curve = self
+            .curves
+            .entry(outcome.spec.config.clone())
+            .or_default();
+        curve.push((outcome.spec.resource, outcome.value));
+        if level >= ctx.levels.max_level() {
+            // Complete: the curve is no longer needed.
+            self.curves.remove(&outcome.spec.config);
+            return;
+        }
+        // Continue unless the extrapolation rules the config out against
+        // the full-fidelity incumbent (or best-anywhere before one
+        // exists).
+        let incumbent = ctx
+            .history
+            .incumbent()
+            .map(|m| m.value)
+            .unwrap_or(f64::INFINITY);
+        let r_max = ctx.levels.resource(ctx.levels.max_level());
+        if lce::should_continue(curve, r_max, incumbent, self.band_rmse) {
+            self.ready_to_climb
+                .push_back((outcome.spec.config.clone(), level + 1));
+        } else {
+            self.curves.remove(&outcome.spec.config);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{History, Measurement};
+    use crate::levels::ResourceLevels;
+    use crate::sampler::RandomSampler;
+    use hypertune_space::{ConfigSpace, ParamValue};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Env {
+        space: ConfigSpace,
+        levels: ResourceLevels,
+        history: History,
+        rng: StdRng,
+    }
+
+    impl Env {
+        fn new() -> Self {
+            let levels = ResourceLevels::new(27.0, 3);
+            Self {
+                space: ConfigSpace::builder().float("x", 0.0, 1.0).build(),
+                levels: levels.clone(),
+                history: History::new(levels),
+                rng: StdRng::seed_from_u64(0),
+            }
+        }
+
+        fn ctx(&mut self) -> MethodContext<'_> {
+            MethodContext {
+                space: &self.space,
+                levels: &self.levels,
+                history: &self.history,
+                pending: &[],
+                rng: &mut self.rng,
+                n_workers: 2,
+                now: 0.0,
+            }
+        }
+
+        fn finish(&mut self, m: &mut LceStop, job: JobSpec, value: f64) {
+            self.history.record(Measurement {
+                config: job.config.clone(),
+                level: job.level,
+                resource: job.resource,
+                value,
+                test_value: value,
+                cost: 1.0,
+                finished_at: 0.0,
+            });
+            let o = Outcome {
+                spec: job,
+                value,
+                test_value: value,
+                cost: 1.0,
+                finished_at: 0.0,
+            };
+            m.on_result(&o, &mut self.ctx());
+        }
+    }
+
+    #[test]
+    fn single_observation_always_climbs() {
+        let mut env = Env::new();
+        let mut m = LceStop::new(Box::new(RandomSampler));
+        let j = m.next_job(&mut env.ctx()).unwrap();
+        assert_eq!(j.level, 0);
+        env.finish(&mut m, j, 0.8);
+        let j2 = m.next_job(&mut env.ctx()).unwrap();
+        assert_eq!(j2.level, 1, "one point is never enough to stop");
+    }
+
+    #[test]
+    fn plateaued_curve_is_stopped_against_good_incumbent() {
+        let mut env = Env::new();
+        let mut m = LceStop::new(Box::new(RandomSampler));
+        // Install a strong incumbent at full fidelity.
+        let inc = Config::new(vec![ParamValue::Float(0.0)]);
+        env.history.record(Measurement {
+            config: inc,
+            level: 3,
+            resource: 27.0,
+            value: 0.05,
+            test_value: 0.05,
+            cost: 1.0,
+            finished_at: 0.0,
+        });
+        // Drive one config through two plateaued levels (0.5, 0.5).
+        let j = m.next_job(&mut env.ctx()).unwrap();
+        let cfg = j.config.clone();
+        env.finish(&mut m, j, 0.5);
+        let j2 = m.next_job(&mut env.ctx()).unwrap();
+        assert_eq!(j2.config, cfg);
+        env.finish(&mut m, j2, 0.5);
+        // With a flat curve extrapolating to ~0.5 >> 0.05, it must stop:
+        // the next job is a fresh base config, not the old one at level 2.
+        let j3 = m.next_job(&mut env.ctx()).unwrap();
+        assert_eq!(j3.level, 0);
+        assert_ne!(j3.config, cfg);
+        assert!(m.curves.is_empty() || !m.curves.contains_key(&cfg));
+    }
+
+    #[test]
+    fn improving_curve_keeps_climbing_to_completion() {
+        let mut env = Env::new();
+        let mut m = LceStop::new(Box::new(RandomSampler));
+        let j = m.next_job(&mut env.ctx()).unwrap();
+        let cfg = j.config.clone();
+        // Steeply improving curve: 0.9 → 0.3 → 0.12 → finish.
+        env.finish(&mut m, j, 0.9);
+        for (expect_level, value) in [(1usize, 0.3), (2, 0.12), (3, 0.06)] {
+            let j = m.next_job(&mut env.ctx()).unwrap();
+            assert_eq!(j.level, expect_level);
+            assert_eq!(j.config, cfg);
+            env.finish(&mut m, j, value);
+        }
+        // Completed: curve state cleaned up.
+        assert!(!m.curves.contains_key(&cfg));
+    }
+
+    #[test]
+    fn never_blocks() {
+        let mut env = Env::new();
+        let mut m = LceStop::new(Box::new(RandomSampler));
+        for _ in 0..40 {
+            let j = m.next_job(&mut env.ctx()).unwrap();
+            let v = env.space.encode(&j.config)[0];
+            env.finish(&mut m, j, v);
+        }
+    }
+}

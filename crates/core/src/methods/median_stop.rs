@@ -1,0 +1,233 @@
+//! The median stopping rule (Golovin et al., Google Vizier; also in Ray
+//! Tune and OpenBox — cited in the paper's related work §2 as an
+//! early-stopping alternative to successive halving).
+//!
+//! Each configuration climbs the resource ladder one level at a time; a
+//! climb continues only while the configuration's value at the current
+//! level is **no worse than the median** of all completed values at that
+//! level. Unlike SHA there are no rungs or quotas — stopping decisions
+//! are per-configuration and fully asynchronous.
+
+use std::collections::VecDeque;
+
+use hypertune_space::Config;
+
+use crate::method::{JobSpec, Method, MethodContext, Outcome};
+use crate::sampler::Sampler;
+use hypertune_surrogate::stats;
+
+/// Median-stopping method; see the module docs.
+pub struct MedianStop {
+    sampler: Box<dyn Sampler>,
+    /// Configurations that survived their last level and await the next.
+    ready_to_climb: VecDeque<(Config, usize)>,
+    /// Completed values per level (for the median test).
+    values_per_level: Vec<Vec<f64>>,
+    /// Levels below this never stop (avoid noise-driven stops at the
+    /// cheapest fidelity before any signal exists).
+    grace_results: usize,
+}
+
+impl MedianStop {
+    /// Creates the method with the given sampler for fresh configs.
+    pub fn new(k_levels: usize, sampler: Box<dyn Sampler>) -> Self {
+        Self {
+            sampler,
+            ready_to_climb: VecDeque::new(),
+            values_per_level: vec![Vec::new(); k_levels],
+            grace_results: 5,
+        }
+    }
+}
+
+impl Method for MedianStop {
+    fn name(&self) -> &str {
+        "Median-Stop"
+    }
+
+    fn next_job(&mut self, ctx: &mut MethodContext<'_>) -> Option<JobSpec> {
+        // Continue a surviving configuration first.
+        if let Some((config, level)) = self.ready_to_climb.pop_front() {
+            return Some(JobSpec {
+                config,
+                level,
+                resource: ctx.levels.resource(level),
+                bracket: None,
+            });
+        }
+        // Otherwise start a fresh configuration at the base level.
+        let config = self.sampler.sample(ctx);
+        Some(JobSpec {
+            config,
+            level: 0,
+            resource: ctx.levels.resource(0),
+            bracket: None,
+        })
+    }
+
+    fn on_result(&mut self, outcome: &Outcome, ctx: &mut MethodContext<'_>) {
+        let level = outcome.spec.level;
+        let values = &mut self.values_per_level[level];
+        values.push(outcome.value);
+        if level >= ctx.levels.max_level() {
+            return; // complete evaluation: nothing left to climb
+        }
+        // Median rule: continue while at or below the median (with a
+        // grace period before any stopping happens at this level).
+        let survives = values.len() <= self.grace_results
+            || stats::median(values).map(|m| outcome.value <= m).unwrap_or(true);
+        if survives {
+            self.ready_to_climb
+                .push_back((outcome.spec.config.clone(), level + 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::History;
+    use crate::levels::ResourceLevels;
+    use crate::sampler::RandomSampler;
+    use hypertune_space::ConfigSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Env {
+        space: ConfigSpace,
+        levels: ResourceLevels,
+        history: History,
+        rng: StdRng,
+    }
+
+    impl Env {
+        fn new() -> Self {
+            let levels = ResourceLevels::new(27.0, 3);
+            Self {
+                space: ConfigSpace::builder().float("x", 0.0, 1.0).build(),
+                levels: levels.clone(),
+                history: History::new(levels),
+                rng: StdRng::seed_from_u64(0),
+            }
+        }
+
+        fn ctx(&mut self) -> MethodContext<'_> {
+            MethodContext {
+                space: &self.space,
+                levels: &self.levels,
+                history: &self.history,
+                pending: &[],
+                rng: &mut self.rng,
+                n_workers: 2,
+                now: 0.0,
+            }
+        }
+    }
+
+    fn method() -> MedianStop {
+        MedianStop::new(4, Box::new(RandomSampler))
+    }
+
+    fn finish(m: &mut MedianStop, env: &mut Env, job: JobSpec, value: f64) {
+        let o = Outcome {
+            spec: job,
+            value,
+            test_value: value,
+            cost: 1.0,
+            finished_at: 0.0,
+        };
+        m.on_result(&o, &mut env.ctx());
+    }
+
+    #[test]
+    fn fresh_configs_start_at_base() {
+        let mut env = Env::new();
+        let mut m = method();
+        let j = m.next_job(&mut env.ctx()).unwrap();
+        assert_eq!(j.level, 0);
+        assert_eq!(j.resource, 1.0);
+    }
+
+    #[test]
+    fn survivor_climbs_next_level() {
+        let mut env = Env::new();
+        let mut m = method();
+        let j = m.next_job(&mut env.ctx()).unwrap();
+        let cfg = j.config.clone();
+        finish(&mut m, &mut env, j, 0.1);
+        let j2 = m.next_job(&mut env.ctx()).unwrap();
+        assert_eq!(j2.level, 1);
+        assert_eq!(j2.config, cfg);
+    }
+
+    #[test]
+    fn below_median_configs_are_stopped_after_grace() {
+        let mut env = Env::new();
+        let mut m = method();
+        m.grace_results = 0;
+        // Establish a median of 0.5 at level 0 with three configs (all
+        // drain their climbs first).
+        for v in [0.4, 0.5, 0.6] {
+            let j = m.next_job(&mut env.ctx()).unwrap();
+            let j = if j.level == 0 {
+                j
+            } else {
+                // Drain climbing jobs by finishing them at the top level.
+                finish(&mut m, &mut env, j, 1.0);
+                continue;
+            };
+            finish(&mut m, &mut env, j, v);
+        }
+        // Drain any queued climbs.
+        while let Some(j) = m.next_job(&mut env.ctx()) {
+            if j.level == 0 {
+                // A worse-than-median config must NOT climb.
+                finish(&mut m, &mut env, j, 0.9);
+                break;
+            }
+            finish(&mut m, &mut env, j, 1.0);
+        }
+        // Now every queued job should be a fresh base config (the 0.9 one
+        // was stopped).
+        for _ in 0..5 {
+            let j = m.next_job(&mut env.ctx()).unwrap();
+            if j.level > 0 {
+                // Climbing jobs may still exist from the earlier configs;
+                // complete them at the max level so they disappear.
+                let lvl = j.level;
+                finish(&mut m, &mut env, j, 1.0);
+                assert!(lvl <= 3);
+            } else {
+                finish(&mut m, &mut env, j, 0.95);
+            }
+        }
+        // The stopped config never re-enters the climb queue with the
+        // same config: verified implicitly by no panic and bounded queue.
+        assert!(m.ready_to_climb.len() <= 8);
+    }
+
+    #[test]
+    fn top_level_results_do_not_climb() {
+        let mut env = Env::new();
+        let mut m = method();
+        let j = JobSpec {
+            config: env.space.sample(&mut env.rng),
+            level: 3,
+            resource: 27.0,
+            bracket: None,
+        };
+        finish(&mut m, &mut env, j, 0.0);
+        assert!(m.ready_to_climb.is_empty());
+    }
+
+    #[test]
+    fn never_blocks() {
+        let mut env = Env::new();
+        let mut m = method();
+        for _ in 0..30 {
+            let j = m.next_job(&mut env.ctx()).unwrap();
+            let v = env.space.encode(&j.config)[0];
+            finish(&mut m, &mut env, j, v);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Complete-evaluation baselines: A-Random, Batch-BO, A-BO, and A-REA.
+//!
+//! These methods never use partial evaluations — every job runs at the
+//! maximum resource `R` — which is why they lag the Hyperband family on
+//! expensive workloads (§5.3: "it takes them a long time to converge …
+//! due to expensive evaluation cost").
+
+use std::collections::VecDeque;
+
+use hypertune_space::{neighbors, Config};
+use rand::Rng;
+
+use crate::method::{JobSpec, Method, MethodContext, Outcome};
+use crate::sampler::{BoSampler, Sampler};
+
+fn full_fidelity_job(config: Config, ctx: &MethodContext<'_>) -> JobSpec {
+    let level = ctx.levels.max_level();
+    JobSpec {
+        config,
+        level,
+        resource: ctx.levels.resource(level),
+        bracket: None,
+    }
+}
+
+/// Asynchronous random search with complete evaluations.
+#[derive(Debug, Default)]
+pub struct ARandom;
+
+impl ARandom {
+    /// Creates the method.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Method for ARandom {
+    fn name(&self) -> &str {
+        "A-Random"
+    }
+
+    fn next_job(&mut self, ctx: &mut MethodContext<'_>) -> Option<JobSpec> {
+        Some(full_fidelity_job(ctx.space.sample(ctx.rng), ctx))
+    }
+
+    fn on_result(&mut self, _outcome: &Outcome, _ctx: &mut MethodContext<'_>) {}
+}
+
+/// Synchronous batch Bayesian optimization: propose `n_workers` configs,
+/// evaluate them all, refit, repeat — with median imputation inside the
+/// batch so the proposals spread out (the local-penalization idea of
+/// González et al. as adapted in Algorithm 2).
+pub struct BatchBo {
+    sampler: BoSampler,
+    /// Jobs of the current batch still to dispatch.
+    remaining_in_batch: usize,
+    /// Jobs of the current batch not yet completed.
+    outstanding: usize,
+}
+
+impl BatchBo {
+    /// Creates the method.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            sampler: BoSampler::pure(seed),
+            remaining_in_batch: 0,
+            outstanding: 0,
+        }
+    }
+}
+
+impl Method for BatchBo {
+    fn name(&self) -> &str {
+        "BO"
+    }
+
+    fn next_job(&mut self, ctx: &mut MethodContext<'_>) -> Option<JobSpec> {
+        if self.remaining_in_batch == 0 {
+            if self.outstanding > 0 {
+                // Synchronization barrier: wait for the whole batch.
+                return None;
+            }
+            self.remaining_in_batch = ctx.n_workers.max(1);
+        }
+        self.remaining_in_batch -= 1;
+        self.outstanding += 1;
+        let config = self.sampler.sample(ctx);
+        Some(full_fidelity_job(config, ctx))
+    }
+
+    fn on_result(&mut self, _outcome: &Outcome, _ctx: &mut MethodContext<'_>) {
+        debug_assert!(self.outstanding > 0);
+        self.outstanding = self.outstanding.saturating_sub(1);
+    }
+}
+
+/// Asynchronous Bayesian optimization: a fresh model-based proposal for
+/// every idle worker, with pending evaluations median-imputed.
+pub struct ABo {
+    sampler: BoSampler,
+}
+
+impl ABo {
+    /// Creates the method.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            sampler: BoSampler::pure(seed),
+        }
+    }
+}
+
+impl Method for ABo {
+    fn name(&self) -> &str {
+        "A-BO"
+    }
+
+    fn next_job(&mut self, ctx: &mut MethodContext<'_>) -> Option<JobSpec> {
+        let config = self.sampler.sample(ctx);
+        Some(full_fidelity_job(config, ctx))
+    }
+
+    fn on_result(&mut self, _outcome: &Outcome, _ctx: &mut MethodContext<'_>) {}
+}
+
+/// Asynchronous regularized evolution (the A-REA comparison of §5.2):
+/// tournament selection over a sliding population with single-parameter
+/// mutations, oldest member evicted.
+pub struct ARea {
+    population: VecDeque<(Config, f64)>,
+    population_size: usize,
+    tournament_size: usize,
+    /// Random seeds dispatched but not yet returned (so the initial
+    /// population is not oversampled).
+    outstanding_seeds: usize,
+    #[allow(dead_code)]
+    seed: u64,
+}
+
+impl ARea {
+    /// Creates the method with the REA-standard population of 20 and
+    /// tournament size 5.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            population: VecDeque::new(),
+            population_size: 20,
+            tournament_size: 5,
+            outstanding_seeds: 0,
+            seed,
+        }
+    }
+}
+
+impl Method for ARea {
+    fn name(&self) -> &str {
+        "A-REA"
+    }
+
+    fn next_job(&mut self, ctx: &mut MethodContext<'_>) -> Option<JobSpec> {
+        let need_seed = self.population.len() + self.outstanding_seeds < self.population_size
+            || self.population.is_empty();
+        let config = if need_seed {
+            self.outstanding_seeds += 1;
+            ctx.space.sample(ctx.rng)
+        } else {
+            // Tournament: best of `tournament_size` random members.
+            let mut best: Option<&(Config, f64)> = None;
+            for _ in 0..self.tournament_size {
+                let idx = ctx.rng.gen_range(0..self.population.len());
+                let cand = &self.population[idx];
+                if best.is_none_or(|b| cand.1 < b.1) {
+                    best = Some(cand);
+                }
+            }
+            let parent = best.expect("population non-empty").0.clone();
+            neighbors::mutate_one(ctx.space, &parent, ctx.rng)
+        };
+        Some(full_fidelity_job(config, ctx))
+    }
+
+    fn on_result(&mut self, outcome: &Outcome, _ctx: &mut MethodContext<'_>) {
+        self.outstanding_seeds = self.outstanding_seeds.saturating_sub(1);
+        self.population
+            .push_back((outcome.spec.config.clone(), outcome.value));
+        while self.population.len() > self.population_size {
+            self.population.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::History;
+    use crate::levels::ResourceLevels;
+    use hypertune_space::ConfigSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn env() -> (ConfigSpace, ResourceLevels, History) {
+        let space = ConfigSpace::builder().float("x", 0.0, 1.0).build();
+        let levels = ResourceLevels::new(27.0, 3);
+        let history = History::new(levels.clone());
+        (space, levels, history)
+    }
+
+    macro_rules! ctx {
+        ($space:expr, $levels:expr, $history:expr, $rng:expr) => {
+            MethodContext {
+                space: &$space,
+                levels: &$levels,
+                history: &$history,
+                pending: &[],
+                rng: &mut $rng,
+                n_workers: 3,
+                now: 0.0,
+            }
+        };
+    }
+
+    fn outcome(spec: JobSpec, value: f64) -> Outcome {
+        Outcome {
+            spec,
+            value,
+            test_value: value,
+            cost: 27.0,
+            finished_at: 1.0,
+        }
+    }
+
+    #[test]
+    fn arandom_always_full_fidelity() {
+        let (space, levels, history) = env();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = ARandom::new();
+        for _ in 0..5 {
+            let j = m.next_job(&mut ctx!(space, levels, history, rng)).unwrap();
+            assert_eq!(j.level, 3);
+            assert_eq!(j.resource, 27.0);
+        }
+    }
+
+    #[test]
+    fn batch_bo_barriers_between_batches() {
+        let (space, levels, history) = env();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = BatchBo::new(1);
+        // First batch: n_workers = 3 jobs, then a barrier.
+        let j1 = m.next_job(&mut ctx!(space, levels, history, rng)).unwrap();
+        let _j2 = m.next_job(&mut ctx!(space, levels, history, rng)).unwrap();
+        let _j3 = m.next_job(&mut ctx!(space, levels, history, rng)).unwrap();
+        assert!(m.next_job(&mut ctx!(space, levels, history, rng)).is_none());
+        // One result back: still blocked (the straggler problem).
+        m.on_result(&outcome(j1, 0.5), &mut ctx!(space, levels, history, rng));
+        assert!(m.next_job(&mut ctx!(space, levels, history, rng)).is_none());
+    }
+
+    #[test]
+    fn batch_bo_resumes_after_full_batch() {
+        let (space, levels, history) = env();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = BatchBo::new(2);
+        let jobs: Vec<JobSpec> = (0..3)
+            .map(|_| m.next_job(&mut ctx!(space, levels, history, rng)).unwrap())
+            .collect();
+        for j in jobs {
+            m.on_result(&outcome(j, 0.5), &mut ctx!(space, levels, history, rng));
+        }
+        assert!(m.next_job(&mut ctx!(space, levels, history, rng)).is_some());
+    }
+
+    #[test]
+    fn abo_never_blocks() {
+        let (space, levels, history) = env();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = ABo::new(3);
+        for _ in 0..10 {
+            assert!(m.next_job(&mut ctx!(space, levels, history, rng)).is_some());
+        }
+    }
+
+    #[test]
+    fn area_seeds_then_evolves() {
+        let (space, levels, history) = env();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut m = ARea::new(4);
+        // Seed the population: 20 random configs.
+        let seeds: Vec<JobSpec> = (0..20)
+            .map(|_| m.next_job(&mut ctx!(space, levels, history, rng)).unwrap())
+            .collect();
+        for (i, j) in seeds.into_iter().enumerate() {
+            // Config at x near 0 is best (value = x).
+            let v = space.encode(&j.config)[0];
+            m.on_result(&outcome(j, v), &mut ctx!(space, levels, history, rng));
+            let _ = i;
+        }
+        assert_eq!(m.population.len(), 20);
+        // Evolution phase: children are mutations, not uniform samples;
+        // they should concentrate near the best parents over time.
+        for _ in 0..30 {
+            let j = m.next_job(&mut ctx!(space, levels, history, rng)).unwrap();
+            let v = space.encode(&j.config)[0];
+            m.on_result(&outcome(j, v), &mut ctx!(space, levels, history, rng));
+        }
+        let mean_val: f64 =
+            m.population.iter().map(|(_, v)| v).sum::<f64>() / m.population.len() as f64;
+        assert!(mean_val < 0.4, "population should improve: {mean_val}");
+        assert_eq!(m.population.len(), 20, "population stays bounded");
+    }
+
+    #[test]
+    fn area_does_not_overseed_with_parallel_workers() {
+        let (space, levels, history) = env();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = ARea::new(5);
+        // Dispatch 25 jobs without any completions: only the first 20 are
+        // seeds; the rest must come from tournaments — but with an empty
+        // population that's impossible, so they fall back… verify no panic
+        // and seed counting instead.
+        for _ in 0..20 {
+            m.next_job(&mut ctx!(space, levels, history, rng)).unwrap();
+        }
+        assert_eq!(m.outstanding_seeds, 20);
+    }
+}

@@ -1,0 +1,344 @@
+//! Ranking-loss estimation of partial-evaluation precision (§4.1).
+//!
+//! For each resource level `i`, a base surrogate `M_i` is fit on `D_i` and
+//! scored by how well it reproduces the *ordering* of the high-fidelity
+//! measurements `D_K` (Eq. 1, counted miss-ranked pairs; the top-level
+//! surrogate `M_K` is scored by 5-fold cross-validation so it cannot
+//! trivially win by memorizing `D_K`). A bootstrap Monte-Carlo procedure
+//! (the paper's MCMC step, Eq. 2) converts the losses into
+//! `θ_i = P(level i has the least loss)` — the weights that drive both
+//! bracket selection and the MFES ensemble.
+
+use hypertune_space::ConfigSpace;
+use hypertune_surrogate::{RandomForest, SurrogateModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::history::History;
+
+/// Number of bootstrap samples `S` in Eq. 2.
+pub const BOOTSTRAP_SAMPLES: usize = 100;
+
+/// Cap on the number of `D_K` points used per bootstrap replicate, to
+/// bound the `O(n²)` pair count as the history grows.
+const MAX_BOOT_POINTS: usize = 64;
+
+/// Minimum measurements a level needs before its surrogate participates.
+pub const MIN_POINTS_PER_LEVEL: usize = 3;
+
+/// Minimum complete evaluations before `θ` can be estimated at all.
+pub const MIN_FULL_EVALS: usize = 4;
+
+/// Eq. 1: number of pairs `(j, k)` whose predicted order disagrees with
+/// the observed order (the exclusive-or in the paper). Ties in either
+/// ranking count as ordered both ways and never disagree.
+pub fn ranking_loss(preds: &[f64], ys: &[f64]) -> usize {
+    debug_assert_eq!(preds.len(), ys.len());
+    let n = ys.len();
+    let mut loss = 0;
+    for j in 0..n {
+        for k in (j + 1)..n {
+            let pred_less = preds[j] < preds[k];
+            let obs_less = ys[j] < ys[k];
+            // Skip exact ties, which carry no ordering information.
+            if preds[j] == preds[k] || ys[j] == ys[k] {
+                continue;
+            }
+            if pred_less != obs_less {
+                loss += 1;
+            }
+        }
+    }
+    loss
+}
+
+/// Per-level predictions on the `D_K` configurations, the raw material of
+/// the θ computation. `None` for levels without enough data.
+struct LevelPredictions {
+    /// `preds[i]` aligns with `ys`; `None` when level `i` is unfittable.
+    preds: Vec<Option<Vec<f64>>>,
+    /// Observed complete-evaluation targets.
+    ys: Vec<f64>,
+}
+
+/// Computes `θ` (Eq. 2): the probability, under bootstrap resampling of
+/// `D_K`, that each level's surrogate attains the least ranking loss.
+///
+/// Returns `None` until at least [`MIN_FULL_EVALS`] complete evaluations
+/// exist. Levels whose surrogates cannot be fit get `θ_i = 0`.
+pub fn compute_theta(history: &History, space: &ConfigSpace, seed: u64) -> Option<Vec<f64>> {
+    let lp = level_predictions(history, space, seed)?;
+    let k = lp.preds.len();
+    let n = lp.ys.len();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xda7a);
+    let mut wins = vec![0usize; k];
+    let boot_n = n.min(MAX_BOOT_POINTS);
+    let mut idx = vec![0usize; boot_n];
+    for _ in 0..BOOTSTRAP_SAMPLES {
+        for slot in idx.iter_mut() {
+            *slot = rng.gen_range(0..n);
+        }
+        let ys: Vec<f64> = idx.iter().map(|&i| lp.ys[i]).collect();
+        let mut best_loss = usize::MAX;
+        let mut best_levels: Vec<usize> = Vec::new();
+        for (level, preds) in lp.preds.iter().enumerate() {
+            let Some(preds) = preds else { continue };
+            let p: Vec<f64> = idx.iter().map(|&i| preds[i]).collect();
+            let loss = ranking_loss(&p, &ys);
+            match loss.cmp(&best_loss) {
+                std::cmp::Ordering::Less => {
+                    best_loss = loss;
+                    best_levels.clear();
+                    best_levels.push(level);
+                }
+                std::cmp::Ordering::Equal => best_levels.push(level),
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        if let Some(&w) = pick_random(&best_levels, &mut rng) {
+            wins[w] += 1;
+        }
+    }
+    let total: usize = wins.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    Some(wins.iter().map(|&w| w as f64 / total as f64).collect())
+}
+
+fn pick_random<'a, T>(xs: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(&xs[rng.gen_range(0..xs.len())])
+    }
+}
+
+/// Fits the per-level base surrogates and evaluates them on the `D_K`
+/// configurations; `M_K` itself is evaluated by 5-fold cross-validation.
+fn level_predictions(
+    history: &History,
+    space: &ConfigSpace,
+    seed: u64,
+) -> Option<LevelPredictions> {
+    let top = history.levels().max_level();
+    let full = history.group(top);
+    if full.len() < MIN_FULL_EVALS {
+        return None;
+    }
+    let xs_full: Vec<Vec<f64>> = full.iter().map(|m| space.encode(&m.config)).collect();
+    let ys: Vec<f64> = full.iter().map(|m| m.value).collect();
+
+    let mut preds: Vec<Option<Vec<f64>>> = Vec::with_capacity(top + 1);
+    for level in 0..top {
+        if history.len_at(level) < MIN_POINTS_PER_LEVEL {
+            preds.push(None);
+            continue;
+        }
+        let (x, y) = history.training_data_capped(level, space, crate::sampler::bo::MAX_TRAIN_POINTS);
+        let mut rf = RandomForest::new(seed ^ (level as u64) << 8);
+        if rf.fit(&x, &y).is_err() {
+            preds.push(None);
+            continue;
+        }
+        let p: Option<Vec<f64>> = xs_full
+            .iter()
+            .map(|x| rf.predict(x).ok().map(|p| p.mean))
+            .collect();
+        preds.push(p);
+    }
+    preds.push(cross_val_predictions(&xs_full, &ys, seed));
+    Some(LevelPredictions { preds, ys })
+}
+
+/// 5-fold cross-validated predictions of the top-level surrogate on its
+/// own training data (the paper's treatment of `M_K` in Eq. 1).
+fn cross_val_predictions(xs: &[Vec<f64>], ys: &[f64], seed: u64) -> Option<Vec<f64>> {
+    let n = xs.len();
+    if n < MIN_FULL_EVALS {
+        return None;
+    }
+    let folds = 5.min(n);
+    let mut out = vec![0.0; n];
+    for fold in 0..folds {
+        let train_idx: Vec<usize> = (0..n).filter(|i| i % folds != fold).collect();
+        let test_idx: Vec<usize> = (0..n).filter(|i| i % folds == fold).collect();
+        if train_idx.is_empty() || test_idx.is_empty() {
+            continue;
+        }
+        let tx: Vec<Vec<f64>> = train_idx.iter().map(|&i| xs[i].clone()).collect();
+        let ty: Vec<f64> = train_idx.iter().map(|&i| ys[i]).collect();
+        let mut rf = RandomForest::new(seed ^ 0xcf ^ (fold as u64) << 16);
+        rf.fit(&tx, &ty).ok()?;
+        for &i in &test_idx {
+            out[i] = rf.predict(&xs[i]).ok()?.mean;
+        }
+    }
+    Some(out)
+}
+
+/// Caches `θ` across calls, recomputing only after enough new complete
+/// evaluations have arrived (refitting `K` forests per completion would
+/// dominate the optimization overhead otherwise).
+#[derive(Debug, Clone)]
+pub struct ThetaTracker {
+    seed: u64,
+    last_nk: usize,
+    theta: Option<Vec<f64>>,
+    /// Recompute after this many new complete evaluations.
+    refresh_every: usize,
+}
+
+impl ThetaTracker {
+    /// Creates a tracker that refreshes every 3 complete evaluations.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            last_nk: 0,
+            theta: None,
+            refresh_every: 3,
+        }
+    }
+
+    /// The latest `θ`, if estimable.
+    pub fn theta(&self) -> Option<&[f64]> {
+        self.theta.as_deref()
+    }
+
+    /// Refreshes `θ` when due; returns the new value only when it changed.
+    pub fn maybe_refresh(
+        &mut self,
+        history: &History,
+        space: &ConfigSpace,
+    ) -> Option<Vec<f64>> {
+        let nk = history.len_at(history.levels().max_level());
+        if nk < MIN_FULL_EVALS || nk < self.last_nk + self.refresh_every {
+            return None;
+        }
+        self.last_nk = nk;
+        let theta = compute_theta(history, space, self.seed)?;
+        self.theta = Some(theta.clone());
+        Some(theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::Measurement;
+    use crate::levels::ResourceLevels;
+    use hypertune_space::{Config, ParamValue};
+
+    #[test]
+    fn loss_zero_for_perfect_order() {
+        assert_eq!(ranking_loss(&[1.0, 2.0, 3.0], &[0.1, 0.2, 0.3]), 0);
+    }
+
+    #[test]
+    fn loss_max_for_reversed_order() {
+        // 3 points → 3 pairs, all misordered.
+        assert_eq!(ranking_loss(&[3.0, 2.0, 1.0], &[0.1, 0.2, 0.3]), 3);
+    }
+
+    #[test]
+    fn loss_partial() {
+        // Only the (1.0 vs 0.5) pair against (0.2 vs 0.3) disagrees…
+        let preds = [1.0, 0.5, 2.0];
+        let ys = [0.2, 0.3, 0.4];
+        // pairs: (0,1): pred 1.0>0.5 vs obs 0.2<0.3 → disagree;
+        //        (0,2): 1.0<2.0 vs 0.2<0.4 → agree;
+        //        (1,2): 0.5<2.0 vs 0.3<0.4 → agree.
+        assert_eq!(ranking_loss(&preds, &ys), 1);
+    }
+
+    #[test]
+    fn ties_carry_no_information() {
+        assert_eq!(ranking_loss(&[1.0, 1.0], &[0.1, 0.2]), 0);
+        assert_eq!(ranking_loss(&[1.0, 2.0], &[0.1, 0.1]), 0);
+    }
+
+    fn history_with_structure(informative_low: bool) -> (History, ConfigSpace) {
+        // 1-D space; true objective y = x at full fidelity. The low
+        // fidelity either matches (informative) or is anti-correlated.
+        let space = ConfigSpace::builder().float("x", 0.0, 1.0).build();
+        let levels = ResourceLevels::new(27.0, 3);
+        let mut h = History::new(levels);
+        for i in 0..30 {
+            let x = i as f64 / 29.0;
+            let config = Config::new(vec![ParamValue::Float(x)]);
+            let low_val = if informative_low { x } else { 1.0 - x };
+            h.record(Measurement {
+                config: config.clone(),
+                level: 0,
+                resource: 1.0,
+                value: low_val,
+                test_value: low_val,
+                cost: 1.0,
+                finished_at: i as f64,
+            });
+            if i % 2 == 0 {
+                h.record(Measurement {
+                    config,
+                    level: 3,
+                    resource: 27.0,
+                    value: x,
+                    test_value: x,
+                    cost: 27.0,
+                    finished_at: i as f64 + 0.5,
+                });
+            }
+        }
+        (h, space)
+    }
+
+    #[test]
+    fn informative_low_fidelity_earns_weight() {
+        let (h, space) = history_with_structure(true);
+        let theta = compute_theta(&h, &space, 1).unwrap();
+        assert_eq!(theta.len(), 4);
+        // Level 0 perfectly predicts the full-fidelity ordering and has
+        // 2x the data; it should earn substantial weight.
+        assert!(theta[0] > 0.2, "theta {theta:?}");
+        // Levels 1 and 2 have no data at all.
+        assert_eq!(theta[1], 0.0);
+        assert_eq!(theta[2], 0.0);
+        let total: f64 = theta.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn misleading_low_fidelity_loses_weight() {
+        let (h, space) = history_with_structure(false);
+        let theta = compute_theta(&h, &space, 1).unwrap();
+        // The anti-correlated level must lose to the CV'd top level.
+        assert!(
+            theta[0] < theta[3],
+            "misleading level should be downweighted: {theta:?}"
+        );
+        assert!(theta[3] > 0.8, "theta {theta:?}");
+    }
+
+    #[test]
+    fn too_few_full_evals_returns_none() {
+        let space = ConfigSpace::builder().float("x", 0.0, 1.0).build();
+        let mut h = History::new(ResourceLevels::new(27.0, 3));
+        for i in 0..3 {
+            h.record(Measurement {
+                config: Config::new(vec![ParamValue::Float(i as f64 / 3.0)]),
+                level: 3,
+                resource: 27.0,
+                value: i as f64,
+                test_value: i as f64,
+                cost: 1.0,
+                finished_at: i as f64,
+            });
+        }
+        assert!(compute_theta(&h, &space, 0).is_none());
+    }
+
+    #[test]
+    fn theta_deterministic_per_seed() {
+        let (h, space) = history_with_structure(true);
+        assert_eq!(compute_theta(&h, &space, 7), compute_theta(&h, &space, 7));
+    }
+}

@@ -1,0 +1,398 @@
+//! The experiment runner: drives a [`Method`] against a
+//! [`Benchmark`] on a simulated cluster until the virtual time budget is
+//! exhausted, recording the anytime curve the paper's figures plot.
+//!
+//! The loop mirrors a real distributed tuner: while workers are idle, ask
+//! the method for jobs (a synchronous method declines at its barrier);
+//! then advance the virtual clock to the next completion, record the
+//! measurement, and notify the method. Because all randomness flows from
+//! the run seed and the simulator is deterministic, every run is exactly
+//! reproducible.
+
+use hypertune_benchmarks::Benchmark;
+use hypertune_cluster::{SimCluster, StragglerModel, Trace};
+use hypertune_space::Config;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::history::{History, Measurement};
+use crate::levels::ResourceLevels;
+use crate::method::{JobSpec, Method, MethodContext, Outcome};
+
+/// Runner parameters.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Number of parallel workers.
+    pub n_workers: usize,
+    /// Virtual wall-clock budget in seconds.
+    pub budget: f64,
+    /// Master seed: drives the method's RNG and the benchmark noise.
+    pub seed: u64,
+    /// Discard proportion η of the level ladder (paper default 3).
+    pub eta: usize,
+    /// Optional `(probability, max_slowdown)` straggler model.
+    pub straggler: Option<(f64, f64)>,
+    /// Probability that a worker crashes mid-evaluation. Failed attempts
+    /// waste a random fraction of the job's cost and are retried
+    /// transparently (the fault-tolerance policy of production tuners);
+    /// methods never observe the failure, only the longer completion.
+    pub failure_prob: f64,
+    /// Safety cap on the number of evaluations (0 = unlimited).
+    pub max_evals: usize,
+}
+
+impl RunConfig {
+    /// A config with the paper's defaults: η = 3, no stragglers.
+    pub fn new(n_workers: usize, budget: f64, seed: u64) -> Self {
+        Self {
+            n_workers,
+            budget,
+            seed,
+            eta: 3,
+            straggler: None,
+            failure_prob: 0.0,
+            max_evals: 0,
+        }
+    }
+}
+
+/// One point of the anytime curve: the incumbent after a completion.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CurvePoint {
+    /// Virtual time of the completion.
+    pub time: f64,
+    /// Best validation value so far (complete evaluations preferred).
+    pub value: f64,
+    /// Test value of that incumbent.
+    pub test_value: f64,
+}
+
+/// The outcome of one tuning run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Method display name.
+    pub method: String,
+    /// Anytime incumbent curve (one point per completed evaluation).
+    pub curve: Vec<CurvePoint>,
+    /// Best validation value found.
+    pub best_value: f64,
+    /// Test value of the best configuration.
+    pub best_test: f64,
+    /// The best configuration itself.
+    pub best_config: Option<Config>,
+    /// Training resources of the incumbent's evaluation (full fidelity
+    /// unless no complete evaluation finished within the budget).
+    pub best_resource: Option<f64>,
+    /// Completed evaluations per resource level.
+    pub evals_per_level: Vec<usize>,
+    /// Total completed evaluations.
+    pub total_evals: usize,
+    /// Fraction of worker-time spent busy within the budget.
+    pub utilization: f64,
+    /// Worker-occupancy trace (for Gantt renderings).
+    pub trace: Trace,
+    /// Every completed measurement, in completion order (for post-hoc
+    /// analyses such as counting inaccurate promotions).
+    pub measurements: Vec<Measurement>,
+}
+
+impl RunResult {
+    /// The earliest time at which the anytime value reaches `target`, or
+    /// `None` if it never does — the paper's speedup metric divides two
+    /// of these.
+    pub fn time_to_reach(&self, target: f64) -> Option<f64> {
+        self.curve
+            .iter()
+            .find(|p| p.value <= target)
+            .map(|p| p.time)
+    }
+}
+
+/// Runs `method` on `benchmark` under `config`; see the module docs.
+pub fn run(method: &mut dyn Method, benchmark: &dyn Benchmark, config: &RunConfig) -> RunResult {
+    assert!(config.n_workers > 0 && config.budget > 0.0);
+    let levels = ResourceLevels::new(benchmark.max_resource(), config.eta);
+    let mut history = History::new(levels.clone());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let straggler = match config.straggler {
+        Some((p, s)) => StragglerModel::new(p, s, config.seed ^ 0x57a6),
+        None => StragglerModel::none(),
+    };
+    let mut cluster: SimCluster<(JobSpec, f64, f64)> =
+        SimCluster::with_stragglers(config.n_workers, straggler);
+    let mut pending: Vec<JobSpec> = Vec::new();
+    let mut curve: Vec<CurvePoint> = Vec::new();
+    let mut evals_per_level = vec![0usize; levels.k()];
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let space = benchmark.space();
+
+    loop {
+        // Fill idle workers.
+        while cluster.idle_workers() > 0 {
+            let mut ctx = MethodContext {
+                space,
+                levels: &levels,
+                history: &history,
+                pending: &pending,
+                rng: &mut rng,
+                n_workers: config.n_workers,
+                now: cluster.now(),
+            };
+            match method.next_job(&mut ctx) {
+                Some(spec) => {
+                    let eval = benchmark.evaluate(&spec.config, spec.resource, config.seed);
+                    // Worker-failure model: each crash wastes a random
+                    // fraction of the evaluation before the transparent
+                    // retry; the job's effective duration grows but its
+                    // result is unchanged.
+                    let mut duration = eval.cost;
+                    if config.failure_prob > 0.0 {
+                        use rand::Rng;
+                        while rng.gen::<f64>() < config.failure_prob {
+                            duration += rng.gen::<f64>() * eval.cost;
+                        }
+                    }
+                    let label = format!("{}", spec.level);
+                    cluster
+                        .submit_labeled(
+                            (spec.clone(), eval.value, eval.test_value),
+                            duration,
+                            label,
+                        )
+                        .expect("idle worker was available");
+                    pending.push(spec);
+                }
+                None => {
+                    assert!(
+                        !cluster.is_quiescent(),
+                        "method {} stalled: no job and no running evaluations",
+                        method.name()
+                    );
+                    break;
+                }
+            }
+        }
+
+        let Some(done) = cluster.next_completion() else {
+            break;
+        };
+        if done.finished > config.budget {
+            break;
+        }
+        let (spec, value, test_value) = done.job;
+        let slot = pending
+            .iter()
+            .position(|p| *p == spec)
+            .expect("completed job was pending");
+        pending.swap_remove(slot);
+        evals_per_level[spec.level] += 1;
+
+        let measurement = Measurement {
+            config: spec.config.clone(),
+            level: spec.level,
+            resource: spec.resource,
+            value,
+            test_value,
+            cost: done.finished - done.started,
+            finished_at: done.finished,
+        };
+        measurements.push(measurement.clone());
+        history.record(measurement);
+        // The anytime curve tracks the complete-evaluation incumbent (the
+        // paper's "lowest validation performance"), which is monotone;
+        // partial evaluations only influence it indirectly via promotion.
+        if let Some(inc) = history.incumbent_full() {
+            let point = CurvePoint {
+                time: done.finished,
+                value: inc.value,
+                test_value: inc.test_value,
+            };
+            if curve.last().map(|p| p.value != point.value).unwrap_or(true) {
+                curve.push(point);
+            }
+        }
+
+        let outcome = Outcome {
+            spec,
+            value,
+            test_value,
+            cost: done.finished - done.started,
+            finished_at: done.finished,
+        };
+        let mut ctx = MethodContext {
+            space,
+            levels: &levels,
+            history: &history,
+            pending: &pending,
+            rng: &mut rng,
+            n_workers: config.n_workers,
+            now: cluster.now(),
+        };
+        method.on_result(&outcome, &mut ctx);
+
+        let total: usize = evals_per_level.iter().sum();
+        if config.max_evals > 0 && total >= config.max_evals {
+            break;
+        }
+    }
+
+    let horizon = cluster.now().min(config.budget).max(f64::MIN_POSITIVE);
+    let (best_value, best_test, best_config, best_resource) = match history.incumbent() {
+        Some(m) => (m.value, m.test_value, Some(m.config.clone()), Some(m.resource)),
+        None => (f64::INFINITY, f64::INFINITY, None, None),
+    };
+    RunResult {
+        method: method.name().to_string(),
+        curve,
+        best_value,
+        best_test,
+        best_config,
+        best_resource,
+        total_evals: evals_per_level.iter().sum(),
+        evals_per_level,
+        utilization: cluster.trace().utilization(horizon),
+        trace: cluster.trace().clone(),
+        measurements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::MethodKind;
+    use hypertune_benchmarks::CountingOnes;
+
+    fn quick_run(kind: MethodKind, n_workers: usize, budget: f64, seed: u64) -> RunResult {
+        let bench = CountingOnes::new(4, 4, 7);
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let mut method = kind.build(&levels, seed);
+        run(
+            method.as_mut(),
+            &bench,
+            &RunConfig::new(n_workers, budget, seed),
+        )
+    }
+
+    #[test]
+    fn every_method_completes_a_run() {
+        for &kind in MethodKind::baselines() {
+            let r = quick_run(kind, 4, 2000.0, 1);
+            assert!(r.total_evals > 0, "{} did no work", kind.name());
+            assert!(r.best_value.is_finite(), "{}", kind.name());
+        }
+        let r = quick_run(MethodKind::HyperTune, 4, 2000.0, 1);
+        assert!(r.total_evals > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = quick_run(MethodKind::HyperTune, 4, 1500.0, 5);
+        let b = quick_run(MethodKind::HyperTune, 4, 1500.0, 5);
+        assert_eq!(a.best_value, b.best_value);
+        assert_eq!(a.total_evals, b.total_evals);
+        assert_eq!(a.curve.len(), b.curve.len());
+        let c = quick_run(MethodKind::HyperTune, 4, 1500.0, 6);
+        // Different seed should (almost surely) differ somewhere.
+        assert!(a.best_value != c.best_value || a.total_evals != c.total_evals);
+    }
+
+    #[test]
+    fn curve_is_monotone_nonincreasing() {
+        let r = quick_run(MethodKind::Asha, 8, 3000.0, 2);
+        for w in r.curve.windows(2) {
+            assert!(w[1].value <= w[0].value, "curve must improve");
+            assert!(w[1].time >= w[0].time);
+        }
+    }
+
+    #[test]
+    fn async_methods_use_workers_better_than_sync() {
+        let sync = quick_run(MethodKind::Hyperband, 8, 3000.0, 3);
+        let asynch = quick_run(MethodKind::AHyperband, 8, 3000.0, 3);
+        assert!(
+            asynch.utilization > sync.utilization,
+            "async {:.2} vs sync {:.2}",
+            asynch.utilization,
+            sync.utilization
+        );
+        // Async utilization should be near-perfect.
+        assert!(asynch.utilization > 0.9, "{}", asynch.utilization);
+    }
+
+    #[test]
+    fn partial_evaluation_methods_touch_low_levels() {
+        let r = quick_run(MethodKind::Asha, 4, 2000.0, 4);
+        assert!(r.evals_per_level[0] > 0, "{:?}", r.evals_per_level);
+        // Full-fidelity-only baselines never do.
+        let r = quick_run(MethodKind::ARandom, 4, 2000.0, 4);
+        assert_eq!(r.evals_per_level[0], 0);
+        assert_eq!(r.evals_per_level[3], r.total_evals);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let r = quick_run(MethodKind::Asha, 4, 500.0, 5);
+        for p in &r.curve {
+            assert!(p.time <= 500.0);
+        }
+    }
+
+    #[test]
+    fn max_evals_caps_run() {
+        let bench = CountingOnes::new(2, 2, 0);
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let mut method = MethodKind::ARandom.build(&levels, 0);
+        let mut cfg = RunConfig::new(2, 1e9, 0);
+        cfg.max_evals = 10;
+        let r = run(method.as_mut(), &bench, &cfg);
+        assert_eq!(r.total_evals, 10);
+    }
+
+    #[test]
+    fn time_to_reach_finds_crossing() {
+        let r = quick_run(MethodKind::ARandom, 4, 2000.0, 6);
+        let best = r.best_value;
+        let t = r.time_to_reach(best).unwrap();
+        assert!(t <= 2000.0);
+        assert!(r.time_to_reach(-2.0).is_none(), "below optimum unreachable");
+    }
+
+    #[test]
+    fn worker_failures_slow_but_do_not_break_runs() {
+        let bench = CountingOnes::new(4, 4, 7);
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let run_with = |p: f64| {
+            let mut m = MethodKind::Asha.build(&levels, 3);
+            let mut cfg = RunConfig::new(4, 2000.0, 3);
+            cfg.failure_prob = p;
+            run(m.as_mut(), &bench, &cfg)
+        };
+        let clean = run_with(0.0);
+        let flaky = run_with(0.3);
+        assert!(flaky.total_evals > 0);
+        // Retries consume budget: fewer completions under failures.
+        assert!(
+            flaky.total_evals < clean.total_evals,
+            "flaky {} vs clean {}",
+            flaky.total_evals,
+            clean.total_evals
+        );
+        // All recorded measurements are still valid results.
+        for m in &flaky.measurements {
+            assert!(m.value.is_finite());
+        }
+    }
+
+    #[test]
+    fn stragglers_hurt_sync_more_than_async() {
+        let mut cfg = RunConfig::new(8, 3000.0, 7);
+        cfg.straggler = Some((0.15, 4.0));
+        let bench = CountingOnes::new(4, 4, 7);
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let mut hb = MethodKind::Hyperband.build(&levels, 7);
+        let mut ahb = MethodKind::AHyperband.build(&levels, 7);
+        let sync = run(hb.as_mut(), &bench, &cfg);
+        let asynch = run(ahb.as_mut(), &bench, &cfg);
+        assert!(asynch.utilization > sync.utilization);
+    }
+}

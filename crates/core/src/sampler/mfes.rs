@@ -1,0 +1,260 @@
+//! The multi-fidelity ensemble sampler (§4.3, Hyper-Tune's default
+//! optimizer, adapted from MFES-HB).
+//!
+//! Base surrogates `M_1..M_K` are fit on the per-level measurement groups
+//! and combined by weighted bagging with the precision weights `θ`
+//! (Eq. 3) — the same `θ` the resource allocator learns, pushed in by the
+//! owning method through [`crate::sampler::Sampler::set_theta`]. The
+//! top-level surrogate is refit on `D_K` augmented with median-imputed
+//! pending configurations (Algorithm 2) before the ensemble's expected
+//! improvement is maximized.
+
+use hypertune_space::Config;
+use hypertune_surrogate::acquisition::{maximize, Acquisition, MaximizeConfig};
+use hypertune_surrogate::{stats, MfEnsemble, Predictor, RandomForest, SurrogateModel};
+use rand::Rng;
+
+use crate::method::MethodContext;
+use crate::ranking::MIN_POINTS_PER_LEVEL;
+use crate::sampler::Sampler;
+
+/// Multi-fidelity ensemble sampler; see the module docs.
+#[derive(Debug, Clone)]
+pub struct MfesSampler {
+    /// Fraction of purely random proposals mixed in.
+    pub random_fraction: f64,
+    /// Minimum complete evaluations before modelling starts.
+    pub min_full: usize,
+    theta: Option<Vec<f64>>,
+    seed: u64,
+    counter: u64,
+}
+
+impl MfesSampler {
+    /// Creates the sampler with paper-standard defaults.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            random_fraction: 0.25,
+            min_full: 4,
+            theta: None,
+            seed,
+            counter: 0,
+        }
+    }
+
+    fn rf_seed(&self, salt: u64) -> u64 {
+        self.seed ^ self.counter.wrapping_mul(0x9e37_79b9) ^ (salt << 40)
+    }
+}
+
+impl Sampler for MfesSampler {
+    fn name(&self) -> &str {
+        "MFES"
+    }
+
+    fn set_theta(&mut self, theta: &[f64]) {
+        self.theta = Some(theta.to_vec());
+    }
+
+    fn sample(&mut self, ctx: &mut MethodContext<'_>) -> Config {
+        self.counter += 1;
+        let top = ctx.levels.max_level();
+        if ctx.rng.gen::<f64>() < self.random_fraction {
+            return ctx.space.sample(ctx.rng);
+        }
+        // The reference level drives the incumbent and the pending
+        // imputation: the complete-evaluation level once it has enough
+        // data, otherwise the highest level that does — so the ensemble
+        // exploits low-fidelity structure from the very first rung, as
+        // MFES-HB does, instead of sampling blindly until complete
+        // evaluations exist.
+        let ref_level = if ctx.history.len_at(top) >= self.min_full {
+            top
+        } else {
+            match (0..=top)
+                .rev()
+                .find(|&l| ctx.history.len_at(l) >= self.min_full)
+            {
+                Some(l) => l,
+                None => return ctx.space.sample(ctx.rng),
+            }
+        };
+
+        // Fit one base surrogate per level with enough data; the
+        // reference-level one sees the median-imputed pending configs.
+        let mut models: Vec<Option<RandomForest>> = Vec::with_capacity(top + 1);
+        for level in 0..=top {
+            if ctx.history.len_at(level) < MIN_POINTS_PER_LEVEL {
+                models.push(None);
+                continue;
+            }
+            let (mut xs, mut ys) = ctx.history.training_data_capped(level, ctx.space, crate::sampler::bo::MAX_TRAIN_POINTS);
+            if level == ref_level {
+                let med = stats::median(&ys).expect("level has measurements");
+                for job in ctx.pending {
+                    xs.push(ctx.space.encode(&job.config));
+                    ys.push(med);
+                }
+            }
+            let mut rf = RandomForest::new(self.rf_seed(level as u64));
+            models.push(rf.fit(&xs, &ys).ok().map(|_| rf));
+        }
+
+        // Combine with θ (Eq. 3); fall back to uniform weights over the
+        // fitted levels when θ is unavailable or puts no mass on them.
+        let members = |theta: Option<&[f64]>| -> Vec<(&dyn Predictor, f64)> {
+            models
+                .iter()
+                .enumerate()
+                .filter_map(|(level, m)| {
+                    m.as_ref().map(|rf| {
+                        let w = theta.map_or(1.0, |t| t[level]);
+                        (rf as &dyn Predictor, w)
+                    })
+                })
+                .collect()
+        };
+        let ensemble = MfEnsemble::new(members(self.theta.as_deref()))
+            .or_else(|| MfEnsemble::new(members(None)));
+        let Some(ensemble) = ensemble else {
+            return ctx.space.sample(ctx.rng);
+        };
+
+        let best_y = ctx
+            .history
+            .group(ref_level)
+            .iter()
+            .map(|m| m.value)
+            .fold(f64::INFINITY, f64::min);
+        let incumbents = ctx.history.top_configs(ref_level, 5);
+        match maximize(
+            ctx.space,
+            &ensemble,
+            Acquisition::default(),
+            best_y,
+            &incumbents,
+            &MaximizeConfig::default(),
+            ctx.rng,
+        ) {
+            Ok((config, _)) => config,
+            Err(_) => ctx.space.sample(ctx.rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{History, Measurement};
+    use crate::levels::ResourceLevels;
+    use hypertune_space::{ConfigSpace, ParamValue};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> ConfigSpace {
+        ConfigSpace::builder().float("x", 0.0, 1.0).build()
+    }
+
+    /// History where the low level is dense and informative (minimum at
+    /// 0.7) and the full level is sparse.
+    fn multi_fidelity_history() -> History {
+        let mut h = History::new(ResourceLevels::new(27.0, 3));
+        for i in 0..40 {
+            let x = i as f64 / 39.0;
+            h.record(Measurement {
+                config: Config::new(vec![ParamValue::Float(x)]),
+                level: 0,
+                resource: 1.0,
+                value: (x - 0.7) * (x - 0.7) + 0.01,
+                test_value: 0.0,
+                cost: 1.0,
+                finished_at: i as f64,
+            });
+        }
+        for i in 0..5 {
+            let x = 0.1 + 0.8 * i as f64 / 4.0;
+            h.record(Measurement {
+                config: Config::new(vec![ParamValue::Float(x)]),
+                level: 3,
+                resource: 27.0,
+                value: (x - 0.7) * (x - 0.7),
+                test_value: 0.0,
+                cost: 27.0,
+                finished_at: 100.0 + i as f64,
+            });
+        }
+        h
+    }
+
+    #[test]
+    fn random_until_enough_full_evals() {
+        let space = space();
+        let levels = ResourceLevels::new(27.0, 3);
+        let history = History::new(levels.clone());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = MfesSampler::new(0);
+        let mut ctx = MethodContext {
+            space: &space,
+            levels: &levels,
+            history: &history,
+            pending: &[],
+            rng: &mut rng,
+            n_workers: 4,
+            now: 0.0,
+        };
+        let c = s.sample(&mut ctx);
+        assert!(space.check(&c).is_ok());
+    }
+
+    #[test]
+    fn ensemble_exploits_low_fidelity_structure() {
+        let space = space();
+        let levels = ResourceLevels::new(27.0, 3);
+        let history = multi_fidelity_history();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = MfesSampler::new(1);
+        s.random_fraction = 0.0;
+        // Give the informative low level most of the weight.
+        s.set_theta(&[0.7, 0.0, 0.0, 0.3]);
+        let mut hits = 0;
+        for _ in 0..10 {
+            let mut ctx = MethodContext {
+                space: &space,
+                levels: &levels,
+                history: &history,
+                pending: &[],
+                rng: &mut rng,
+                n_workers: 4,
+                now: 0.0,
+            };
+            let c = s.sample(&mut ctx);
+            if (space.encode(&c)[0] - 0.7).abs() < 0.25 {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 6, "should search near 0.7: {hits}/10");
+    }
+
+    #[test]
+    fn theta_on_unfitted_levels_falls_back_to_uniform() {
+        let space = space();
+        let levels = ResourceLevels::new(27.0, 3);
+        let history = multi_fidelity_history();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = MfesSampler::new(2);
+        s.random_fraction = 0.0;
+        // All mass on levels 1 and 2, which have no data.
+        s.set_theta(&[0.0, 0.5, 0.5, 0.0]);
+        let mut ctx = MethodContext {
+            space: &space,
+            levels: &levels,
+            history: &history,
+            pending: &[],
+            rng: &mut rng,
+            n_workers: 4,
+            now: 0.0,
+        };
+        let c = s.sample(&mut ctx);
+        assert!(space.check(&c).is_ok());
+    }
+}

@@ -1,0 +1,162 @@
+//! `hypertune` — command-line tuner over the built-in benchmarks.
+//!
+//! ```text
+//! USAGE:
+//!   hypertune run [--bench NAME] [--method NAME] [--workers N]
+//!                 [--budget-hours H] [--seed S] [--eta E] [--trace]
+//!   hypertune list
+//!
+//! EXAMPLES:
+//!   hypertune run --bench nas-cifar100 --method hyper-tune --workers 8 --budget-hours 4
+//!   hypertune run --bench xgboost-covertype --method bohb --seed 7
+//!   hypertune list
+//! ```
+//!
+//! Argument parsing is hand-rolled to keep the dependency set minimal.
+
+use hypertune::prelude::*;
+
+fn benches() -> Vec<(&'static str, Box<dyn Fn(u64) -> Box<dyn Benchmark>>)> {
+    vec![
+        ("counting-ones", Box::new(|s| Box::new(CountingOnes::new(8, 8, s)))),
+        ("nas-cifar10", Box::new(|s| Box::new(tasks::nas_cifar10_valid(s)))),
+        ("nas-cifar100", Box::new(|s| Box::new(tasks::nas_cifar100(s)))),
+        ("nas-imagenet16", Box::new(|s| Box::new(tasks::nas_imagenet16(s)))),
+        ("xgboost-covertype", Box::new(|s| Box::new(tasks::xgboost_covertype(s)))),
+        ("xgboost-pokerhand", Box::new(|s| Box::new(tasks::xgboost_pokerhand(s)))),
+        ("xgboost-hepmass", Box::new(|s| Box::new(tasks::xgboost_hepmass(s)))),
+        ("xgboost-higgs", Box::new(|s| Box::new(tasks::xgboost_higgs(s)))),
+        ("resnet-cifar10", Box::new(|s| Box::new(tasks::resnet_cifar10(s)))),
+        ("lstm-ptb", Box::new(|s| Box::new(tasks::lstm_ptb(s)))),
+        ("industrial", Box::new(|s| Box::new(tasks::industrial_recsys(s)))),
+        ("branin", Box::new(|s| Box::new(hypertune::benchmarks::BraninMf::new(10.0, s)))),
+        ("hartmann6", Box::new(|s| Box::new(hypertune::benchmarks::Hartmann6Mf::new(s)))),
+    ]
+}
+
+fn methods() -> Vec<(&'static str, MethodKind)> {
+    vec![
+        ("random", MethodKind::ARandom),
+        ("bo", MethodKind::BatchBo),
+        ("a-bo", MethodKind::ABo),
+        ("sha", MethodKind::Sha),
+        ("asha", MethodKind::Asha),
+        ("hyperband", MethodKind::Hyperband),
+        ("a-hyperband", MethodKind::AHyperband),
+        ("bohb", MethodKind::Bohb),
+        ("bohb-tpe", MethodKind::BohbTpe),
+        ("a-bohb", MethodKind::ABohb),
+        ("mfes-hb", MethodKind::MfesHb),
+        ("a-rea", MethodKind::ARea),
+        ("hyper-tune", MethodKind::HyperTune),
+        ("hyper-tune-tpe", MethodKind::HyperTuneTpe),
+    ]
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  hypertune run [--bench NAME] [--method NAME] [--workers N]\n                [--budget-hours H] [--seed S] [--eta E] [--trace]\n  hypertune list"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("benchmarks:");
+            for (name, _) in benches() {
+                println!("  {name}");
+            }
+            println!("methods:");
+            for (name, _) in methods() {
+                println!("  {name}");
+            }
+        }
+        Some("run") => run_command(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run_command(args: &[String]) {
+    let mut bench_name = "counting-ones".to_string();
+    let mut method_name = "hyper-tune".to_string();
+    let mut workers = 8usize;
+    let mut budget_hours = 1.0f64;
+    let mut seed = 0u64;
+    let mut eta = 3usize;
+    let mut trace = false;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            }).clone()
+        };
+        match flag.as_str() {
+            "--bench" => bench_name = value("--bench"),
+            "--method" => method_name = value("--method"),
+            "--workers" => workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--budget-hours" => {
+                budget_hours = value("--budget-hours").parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--eta" => eta = value("--eta").parse().unwrap_or_else(|_| usage()),
+            "--trace" => trace = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+
+    let bench = benches()
+        .into_iter()
+        .find(|(n, _)| *n == bench_name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark `{bench_name}` (see `hypertune list`)");
+            std::process::exit(2);
+        })
+        .1(seed);
+    let kind = methods()
+        .into_iter()
+        .find(|(n, _)| *n == method_name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown method `{method_name}` (see `hypertune list`)");
+            std::process::exit(2);
+        })
+        .1;
+
+    let budget = budget_hours * 3600.0;
+    let mut config = RunConfig::new(workers, budget, seed);
+    config.eta = eta;
+    let levels = ResourceLevels::new(bench.max_resource(), eta);
+    let mut method = kind.build(&levels, seed);
+
+    eprintln!(
+        "running {} on {} | {workers} workers | {budget_hours} virtual hours | seed {seed} | eta {eta}",
+        kind.name(),
+        bench.name()
+    );
+    let start = std::time::Instant::now();
+    let result = run(method.as_mut(), bench.as_ref(), &config);
+    eprintln!("finished in {:.2?} of real time", start.elapsed());
+
+    println!("method:       {}", result.method);
+    println!("best value:   {:.6}", result.best_value);
+    println!("best test:    {:.6}", result.best_test);
+    if let Some(cfg) = &result.best_config {
+        println!("best config:  {}", bench.space().describe(cfg));
+    }
+    println!("evaluations:  {} {:?}", result.total_evals, result.evals_per_level);
+    println!("utilization:  {:.1}%", 100.0 * result.utilization);
+    if let Some(opt) = bench.optimum() {
+        println!("regret:       {:.6}", (result.best_value - opt).max(0.0));
+    }
+    if trace {
+        println!("\nworker trace:");
+        print!("{}", result.trace.render_ascii(budget, 100));
+    }
+}

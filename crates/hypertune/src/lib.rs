@@ -1,0 +1,60 @@
+//! # Hyper-Tune: efficient hyper-parameter tuning at scale
+//!
+//! A from-scratch Rust reproduction of *Hyper-Tune: Towards Efficient
+//! Hyper-parameter Tuning at Scale* (Li et al., VLDB 2022): a distributed
+//! tuning framework built on three system components —
+//!
+//! 1. **automatic resource allocation** via learned bracket selection,
+//! 2. **asynchronous scheduling** via D-ASHA (delayed asynchronous
+//!    successive halving), and
+//! 3. a **multi-fidelity optimizer** (MFES ensemble surrogates).
+//!
+//! This facade crate re-exports the full public API and hosts the
+//! runnable examples and cross-crate integration tests.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hypertune::prelude::*;
+//!
+//! // A benchmark: the counting-ones toy objective (or implement the
+//! // `Benchmark` trait for your own training job).
+//! let bench = CountingOnes::new(4, 4, 0);
+//!
+//! // Hyper-Tune with 8 simulated workers and a small virtual budget.
+//! let levels = ResourceLevels::new(bench.max_resource(), 3);
+//! let mut method = MethodKind::HyperTune.build(&levels, 42);
+//! let result = run(method.as_mut(), &bench, &RunConfig::new(8, 2000.0, 42));
+//!
+//! assert!(result.best_value <= 0.0); // counting-ones optimum is -1
+//! println!("best = {:.3} after {} evaluations", result.best_value, result.total_evals);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`space`] | configuration spaces, parameters, encodings |
+//! | [`surrogate`] | random forest / GP surrogates, acquisition functions, MFES ensemble |
+//! | [`cluster`] | discrete-event cluster simulator + threaded executor |
+//! | [`benchmarks`] | counting-ones, tabular NAS, simulated XGBoost/ResNet/LSTM workloads |
+//! | [`core`] | schedulers (SHA/ASHA/D-ASHA), bracket selection, samplers, all methods, the runner |
+
+pub use hypertune_benchmarks as benchmarks;
+pub use hypertune_cluster as cluster;
+pub use hypertune_core as core;
+pub use hypertune_space as space;
+pub use hypertune_surrogate as surrogate;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use hypertune_benchmarks::{
+        tasks, Benchmark, CountingOnes, Eval, SyntheticBenchmark, SyntheticSpec, TabularNasBench,
+    };
+    pub use hypertune_cluster::{SimCluster, ThreadPool};
+    pub use hypertune_core::{
+        run, History, JobSpec, Measurement, Method, MethodContext, MethodKind, Outcome,
+        ResourceLevels, RunConfig, RunResult,
+    };
+    pub use hypertune_space::{Config, ConfigSpace, ParamValue};
+}

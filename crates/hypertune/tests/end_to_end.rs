@@ -1,0 +1,187 @@
+//! End-to-end integration tests spanning all crates: methods drive real
+//! benchmarks through the simulated cluster, and the paper's qualitative
+//! claims hold at small scale.
+
+use hypertune::prelude::*;
+
+fn run_kind(kind: MethodKind, bench: &dyn Benchmark, workers: usize, budget: f64, seed: u64) -> RunResult {
+    let levels = ResourceLevels::new(bench.max_resource(), 3);
+    let mut method = kind.build(&levels, seed);
+    run(method.as_mut(), bench, &RunConfig::new(workers, budget, seed))
+}
+
+#[test]
+fn hypertune_converges_on_counting_ones() {
+    let bench = CountingOnes::new(8, 8, 3);
+    let r = run_kind(MethodKind::HyperTune, &bench, 8, 8000.0, 1);
+    // Optimum is -1; a decent run should get most of the way there.
+    assert!(
+        r.best_value < -0.75,
+        "Hyper-Tune should approach the optimum, got {}",
+        r.best_value
+    );
+    assert!(r.utilization > 0.9, "async scheduling keeps workers busy");
+}
+
+#[test]
+fn hypertune_beats_random_search_on_nas() {
+    // Averaged over three seeds on the NAS table at the paper's budget —
+    // the headline claim of Figure 5. (At much tighter budgets the two
+    // methods tie: Hyper-Tune's bracket selection needs enough complete
+    // evaluations to learn θ before its advantage materializes.)
+    let bench = tasks::nas_cifar10_valid(0);
+    let budget = 24.0 * 3600.0;
+    let avg = |kind: MethodKind| -> f64 {
+        (0..3)
+            .map(|s| run_kind(kind, &bench, 8, budget, 42 + s).best_value)
+            .sum::<f64>()
+            / 3.0
+    };
+    let ht = avg(MethodKind::HyperTune);
+    let rnd = avg(MethodKind::ARandom);
+    assert!(
+        ht <= rnd + 1e-9,
+        "Hyper-Tune {ht:.4} should beat A-Random {rnd:.4}"
+    );
+}
+
+#[test]
+fn partial_evaluations_beat_full_only_under_tight_budget() {
+    // With expensive evaluations and a budget of a few full trains, the
+    // HB family must have evaluated far more configurations than
+    // full-fidelity random search.
+    let bench = tasks::xgboost_covertype(1);
+    let budget = 2.0 * 3600.0;
+    let asha = run_kind(MethodKind::Asha, &bench, 8, budget, 7);
+    let rnd = run_kind(MethodKind::ARandom, &bench, 8, budget, 7);
+    assert!(
+        asha.total_evals > 2 * rnd.total_evals,
+        "ASHA {} evals vs A-Random {}",
+        asha.total_evals,
+        rnd.total_evals
+    );
+}
+
+#[test]
+fn sync_methods_idle_async_methods_do_not() {
+    let bench = tasks::xgboost_covertype(2);
+    let budget = 2.0 * 3600.0;
+    let hb = run_kind(MethodKind::Hyperband, &bench, 8, budget, 3);
+    let ahb = run_kind(MethodKind::AHyperband, &bench, 8, budget, 3);
+    assert!(ahb.utilization > 0.9, "A-HB utilization {}", ahb.utilization);
+    assert!(
+        hb.utilization < ahb.utilization,
+        "sync {} vs async {}",
+        hb.utilization,
+        ahb.utilization
+    );
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let bench = tasks::nas_cifar100(0);
+    let a = run_kind(MethodKind::HyperTune, &bench, 4, 4000.0, 11);
+    let b = run_kind(MethodKind::HyperTune, &bench, 4, 4000.0, 11);
+    assert_eq!(a.best_value, b.best_value);
+    assert_eq!(a.total_evals, b.total_evals);
+    assert_eq!(a.evals_per_level, b.evals_per_level);
+    assert_eq!(a.curve.len(), b.curve.len());
+}
+
+#[test]
+fn all_methods_complete_on_all_benchmark_families() {
+    let nas = tasks::nas_cifar10_valid(1);
+    let xgb = tasks::xgboost_pokerhand(1);
+    let co = CountingOnes::new(4, 4, 1);
+    let benches: [&dyn Benchmark; 3] = [&nas, &xgb, &co];
+    for bench in benches {
+        for kind in [MethodKind::Sha, MethodKind::Bohb, MethodKind::HyperTune] {
+            let r = run_kind(kind, bench, 4, 1200.0, 5);
+            assert!(
+                r.total_evals > 0,
+                "{} on {} did nothing",
+                kind.name(),
+                bench.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn curves_are_monotone_and_within_budget() {
+    let bench = tasks::lstm_ptb(0);
+    let budget = 4.0 * 3600.0;
+    for kind in [MethodKind::Asha, MethodKind::MfesHb, MethodKind::HyperTune] {
+        let r = run_kind(kind, &bench, 4, budget, 9);
+        for w in r.curve.windows(2) {
+            assert!(w[1].value <= w[0].value, "{}", kind.name());
+            assert!(w[1].time >= w[0].time);
+        }
+        if let Some(last) = r.curve.last() {
+            assert!(last.time <= budget);
+        }
+    }
+}
+
+#[test]
+fn best_config_is_valid_and_reproducible() {
+    let bench = tasks::resnet_cifar10(0);
+    let r = run_kind(MethodKind::HyperTune, &bench, 4, 6.0 * 3600.0, 13);
+    let cfg = r.best_config.expect("found something");
+    bench.space().check(&cfg).unwrap();
+    // Re-evaluating the best config at its recorded fidelity with the
+    // run's seed reproduces the recorded value exactly.
+    let resource = r.best_resource.expect("incumbent has a resource");
+    let re = bench.evaluate(&cfg, resource, 13);
+    assert_eq!(re.value, r.best_value);
+}
+
+#[test]
+fn threaded_executor_matches_benchmark_trait() {
+    // The same Benchmark drives the real thread pool: results must agree
+    // with direct evaluation.
+    let bench = tasks::xgboost_higgs(0);
+    let mut rng = {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(0)
+    };
+    let configs: Vec<Config> = (0..6).map(|_| bench.space().sample(&mut rng)).collect();
+    let expected: Vec<f64> = configs
+        .iter()
+        .map(|c| bench.evaluate(c, 27.0, 5).value)
+        .collect();
+    let pool_bench = tasks::xgboost_higgs(0);
+    let mut pool = ThreadPool::new(3, move |c: &Config| pool_bench.evaluate(c, 27.0, 5).value);
+    for c in &configs {
+        pool.submit(c.clone()).ok();
+    }
+    let mut submitted = 3usize.min(configs.len());
+    // Submit remaining as workers free up.
+    let mut results = Vec::new();
+    while results.len() < configs.len() {
+        if let Some(r) = pool.next_completion() {
+            results.push(r);
+            if submitted < configs.len() {
+                pool.submit(configs[submitted].clone()).unwrap();
+                submitted += 1;
+            }
+        }
+    }
+    for r in results {
+        let idx = configs.iter().position(|c| *c == r.job).unwrap();
+        assert_eq!(r.output, expected[idx]);
+    }
+}
+
+#[test]
+fn stragglers_do_not_break_any_engine() {
+    let bench = CountingOnes::new(4, 4, 2);
+    let levels = ResourceLevels::new(bench.max_resource(), 3);
+    for kind in [MethodKind::Hyperband, MethodKind::HyperTune, MethodKind::BatchBo] {
+        let mut method = kind.build(&levels, 21);
+        let mut cfg = RunConfig::new(6, 1500.0, 21);
+        cfg.straggler = Some((0.3, 5.0));
+        let r = run(method.as_mut(), &bench, &cfg);
+        assert!(r.total_evals > 0, "{}", kind.name());
+    }
+}

@@ -1,0 +1,89 @@
+//! Integration tests for checkpoint/resume across the full stack.
+
+use hypertune::core::persist::{Checkpoint, RunRecord};
+use hypertune::core::History;
+use hypertune::prelude::*;
+
+#[test]
+fn checkpoint_roundtrips_a_real_run_history() {
+    // Run Hyper-Tune, snapshot its measurements via RunResult, rebuild a
+    // history, and verify the incumbent matches.
+    let bench = tasks::nas_cifar10_valid(0);
+    let levels = ResourceLevels::new(bench.max_resource(), 3);
+    let mut method = MethodKind::HyperTune.build(&levels, 5);
+    let r = run(method.as_mut(), &bench, &RunConfig::new(4, 5000.0, 5));
+
+    let mut history = History::new(levels.clone());
+    for m in &r.measurements {
+        history.record(m.clone());
+    }
+    let cp = Checkpoint::from_history(&history);
+    let dir = std::env::temp_dir().join("hypertune-it-persist");
+    let path = dir.join("run.json");
+    cp.save(&path).unwrap();
+    let restored = Checkpoint::load(&path).unwrap().into_history();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(restored.len(), r.total_evals);
+    assert_eq!(
+        restored.incumbent().map(|m| m.value),
+        history.incumbent().map(|m| m.value)
+    );
+}
+
+#[test]
+fn resumed_theta_matches_uninterrupted_theta() {
+    // θ is a pure function of the history, so computing it on a restored
+    // checkpoint must give the same weights as on the live history.
+    use hypertune::core::ranking::compute_theta;
+    let bench = tasks::xgboost_covertype(0);
+    let levels = ResourceLevels::new(bench.max_resource(), 3);
+    let mut method = MethodKind::AHyperband.build(&levels, 9);
+    let r = run(method.as_mut(), &bench, &RunConfig::new(8, 2.0 * 3600.0, 9));
+
+    let mut live = History::new(levels.clone());
+    for m in &r.measurements {
+        live.record(m.clone());
+    }
+    let restored = Checkpoint::from_history(&live).into_history();
+    let a = compute_theta(&live, bench.space(), 3);
+    let b = compute_theta(&restored, bench.space(), 3);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn run_records_archive_a_figure_worth_of_runs() {
+    let bench = CountingOnes::new(4, 4, 0);
+    let levels = ResourceLevels::new(bench.max_resource(), 3);
+    let mut records = Vec::new();
+    for kind in [MethodKind::ARandom, MethodKind::Asha, MethodKind::HyperTune] {
+        let mut m = kind.build(&levels, 3);
+        let r = run(m.as_mut(), &bench, &RunConfig::new(4, 800.0, 3));
+        records.push(RunRecord::from(&r));
+    }
+    let json = serde_json::to_string(&records).unwrap();
+    let back: Vec<RunRecord> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), 3);
+    assert_eq!(back[2].method, "Hyper-Tune");
+    for rec in &back {
+        assert!(rec.total_evals > 0);
+        assert!(rec.curve.windows(2).all(|w| w[1].value <= w[0].value));
+    }
+}
+
+#[test]
+fn measurements_in_runresult_match_evals_per_level() {
+    let bench = tasks::lstm_ptb(0);
+    let levels = ResourceLevels::new(bench.max_resource(), 3);
+    let mut method = MethodKind::Asha.build(&levels, 2);
+    let r = run(method.as_mut(), &bench, &RunConfig::new(4, 2.0 * 3600.0, 2));
+    let mut per_level = vec![0usize; levels.k()];
+    for m in &r.measurements {
+        per_level[m.level] += 1;
+    }
+    assert_eq!(per_level, r.evals_per_level);
+    // Completion order is time-ordered.
+    for w in r.measurements.windows(2) {
+        assert!(w[0].finished_at <= w[1].finished_at);
+    }
+}

@@ -1,0 +1,151 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::ParamValue;
+
+/// Stable identity of a configuration within one tuning run.
+///
+/// IDs are assigned by the framework's trial bookkeeping, not by the space;
+/// two structurally equal [`Config`]s sampled independently get different
+/// IDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConfigId(pub u64);
+
+impl fmt::Display for ConfigId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cfg-{}", self.0)
+    }
+}
+
+/// A concrete hyper-parameter assignment: one value per parameter of the
+/// owning [`crate::ConfigSpace`], in the space's declaration order.
+///
+/// `Config` implements `Eq`/`Hash` by canonical bit pattern so it can key
+/// hash maps (e.g. the promotion bookkeeping in D-ASHA); float `NaN` never
+/// occurs in valid configs because [`crate::ParamDef::check`] rejects it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Config {
+    values: Vec<ParamValue>,
+}
+
+impl Config {
+    /// Creates a config from values in the space's declaration order.
+    pub fn new(values: Vec<ParamValue>) -> Self {
+        Self { values }
+    }
+
+    /// The assigned values, in declaration order.
+    pub fn values(&self) -> &[ParamValue] {
+        &self.values
+    }
+
+    /// Number of parameters in the assignment.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the assignment has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value at declaration index `i`, or `None` if out of range.
+    pub fn get(&self, i: usize) -> Option<&ParamValue> {
+        self.values.get(i)
+    }
+}
+
+impl PartialEq for Config {
+    fn eq(&self, other: &Self) -> bool {
+        if self.values.len() != other.values.len() {
+            return false;
+        }
+        self.values
+            .iter()
+            .zip(&other.values)
+            .all(|(a, b)| a.canonical_bits() == b.canonical_bits())
+    }
+}
+
+impl Eq for Config {}
+
+impl Hash for Config {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for v in &self.values {
+            v.canonical_bits().hash(state);
+        }
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equality_by_value() {
+        let a = Config::new(vec![ParamValue::Float(0.5), ParamValue::Cat(2)]);
+        let b = Config::new(vec![ParamValue::Float(0.5), ParamValue::Cat(2)]);
+        let c = Config::new(vec![ParamValue::Float(0.6), ParamValue::Cat(2)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn negative_zero_equals_zero() {
+        let a = Config::new(vec![ParamValue::Float(0.0)]);
+        let b = Config::new(vec![ParamValue::Float(-0.0)]);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn hashset_dedups_equal_configs() {
+        let mut set = HashSet::new();
+        set.insert(Config::new(vec![ParamValue::Int(3)]));
+        set.insert(Config::new(vec![ParamValue::Int(3)]));
+        set.insert(Config::new(vec![ParamValue::Int(4)]));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn float_and_int_with_same_bits_differ() {
+        let a = Config::new(vec![ParamValue::Int(0)]);
+        let b = Config::new(vec![ParamValue::Cat(0)]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_formats_all_kinds() {
+        let c = Config::new(vec![
+            ParamValue::Float(0.125),
+            ParamValue::Int(-3),
+            ParamValue::Cat(1),
+        ]);
+        let s = c.to_string();
+        assert!(s.contains("0.125"));
+        assert!(s.contains("-3"));
+        assert!(s.contains("#1"));
+    }
+
+    #[test]
+    fn config_id_display() {
+        assert_eq!(ConfigId(17).to_string(), "cfg-17");
+    }
+}

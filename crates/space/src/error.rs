@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Errors raised by configuration-space operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpaceError {
+    /// A parameter name was used twice when building a space.
+    DuplicateParam(String),
+    /// A parameter bound is invalid (e.g. `low >= high`, or a log-scaled
+    /// bound that is not strictly positive).
+    InvalidBounds {
+        /// Name of the offending parameter.
+        param: String,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A configuration referenced a parameter that is not in the space.
+    UnknownParam(String),
+    /// A configuration value has the wrong type or is out of range for its
+    /// parameter definition.
+    InvalidValue {
+        /// Name of the offending parameter.
+        param: String,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// An encoded vector has the wrong dimensionality for the space.
+    DimensionMismatch {
+        /// Dimensionality expected by the space.
+        expected: usize,
+        /// Dimensionality actually provided.
+        actual: usize,
+    },
+    /// A configuration is missing an assignment for a parameter.
+    MissingValue(String),
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::DuplicateParam(name) => {
+                write!(f, "duplicate parameter name `{name}`")
+            }
+            SpaceError::InvalidBounds { param, reason } => {
+                write!(f, "invalid bounds for parameter `{param}`: {reason}")
+            }
+            SpaceError::UnknownParam(name) => {
+                write!(f, "unknown parameter `{name}`")
+            }
+            SpaceError::InvalidValue { param, reason } => {
+                write!(f, "invalid value for parameter `{param}`: {reason}")
+            }
+            SpaceError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            SpaceError::MissingValue(name) => {
+                write!(f, "configuration is missing a value for `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SpaceError::InvalidBounds {
+            param: "lr".into(),
+            reason: "low >= high".into(),
+        };
+        assert!(e.to_string().contains("lr"));
+        assert!(e.to_string().contains("low >= high"));
+
+        let e = SpaceError::DimensionMismatch {
+            expected: 3,
+            actual: 5,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SpaceError::UnknownParam("x".into()));
+    }
+}

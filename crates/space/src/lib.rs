@@ -1,0 +1,46 @@
+//! Hyper-parameter configuration spaces for Hyper-Tune.
+//!
+//! This crate provides the search-space substrate used throughout the
+//! Hyper-Tune reproduction: typed hyper-parameter definitions
+//! ([`ParamDef`]), concrete assignments ([`Config`]), and the
+//! [`ConfigSpace`] container that supports random sampling, encoding into
+//! the unit hypercube (the representation consumed by surrogate models),
+//! neighbourhood generation for local acquisition search, and exhaustive
+//! enumeration of finite spaces (used by the tabular NAS benchmark).
+//!
+//! # Example
+//!
+//! ```
+//! use hypertune_space::{ConfigSpace, ParamValue};
+//! use rand::SeedableRng;
+//!
+//! let space = ConfigSpace::builder()
+//!     .float_log("learning_rate", 1e-5, 1.0)
+//!     .int("num_round", 100, 1000)
+//!     .categorical("booster", &["gbtree", "dart"])
+//!     .build();
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let config = space.sample(&mut rng);
+//! assert_eq!(config.len(), 3);
+//!
+//! // Surrogates operate on unit-cube encodings.
+//! let x = space.encode(&config);
+//! let back = space.decode(&x).unwrap();
+//! assert_eq!(config, back);
+//! ```
+
+mod config;
+mod error;
+mod param;
+mod space;
+
+pub mod neighbors;
+
+pub use config::{Config, ConfigId};
+pub use error::SpaceError;
+pub use param::{ParamDef, ParamKind, ParamValue};
+pub use space::{ConfigSpace, ConfigSpaceBuilder};
+
+/// Convenience result alias for space operations.
+pub type Result<T> = std::result::Result<T, SpaceError>;

@@ -1,0 +1,477 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::SpaceError;
+
+/// The typed domain of a single hyper-parameter.
+///
+/// Log-scaled numeric parameters are sampled and encoded uniformly in
+/// log-space, matching the convention of ConfigSpace/BOHB for parameters
+/// such as learning rates that span several orders of magnitude.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// A continuous parameter in `[low, high]`.
+    Float {
+        /// Inclusive lower bound.
+        low: f64,
+        /// Inclusive upper bound.
+        high: f64,
+        /// Sample/encode uniformly in log-space when `true`.
+        log: bool,
+    },
+    /// An integer parameter in `[low, high]` (both inclusive).
+    Int {
+        /// Inclusive lower bound.
+        low: i64,
+        /// Inclusive upper bound.
+        high: i64,
+        /// Sample/encode uniformly in log-space when `true`.
+        log: bool,
+    },
+    /// An unordered categorical parameter with named choices.
+    Categorical {
+        /// The admissible choices, in declaration order.
+        choices: Vec<String>,
+    },
+    /// An ordered discrete parameter; encoded by rank, so surrogates can
+    /// exploit the ordering (unlike `Categorical`).
+    Ordinal {
+        /// The admissible levels, from lowest to highest.
+        levels: Vec<String>,
+    },
+}
+
+impl ParamKind {
+    /// Validates the internal consistency of the domain.
+    pub fn validate(&self, name: &str) -> Result<(), SpaceError> {
+        let invalid = |reason: &str| SpaceError::InvalidBounds {
+            param: name.to_string(),
+            reason: reason.to_string(),
+        };
+        match self {
+            ParamKind::Float { low, high, log } => {
+                if !low.is_finite() || !high.is_finite() {
+                    return Err(invalid("bounds must be finite"));
+                }
+                if low >= high {
+                    return Err(invalid("low must be < high"));
+                }
+                if *log && *low <= 0.0 {
+                    return Err(invalid("log-scaled bounds must be > 0"));
+                }
+                Ok(())
+            }
+            ParamKind::Int { low, high, log } => {
+                if low > high {
+                    return Err(invalid("low must be <= high"));
+                }
+                if *log && *low <= 0 {
+                    return Err(invalid("log-scaled bounds must be > 0"));
+                }
+                Ok(())
+            }
+            ParamKind::Categorical { choices } => {
+                if choices.is_empty() {
+                    return Err(invalid("must have at least one choice"));
+                }
+                let mut sorted = choices.clone();
+                sorted.sort();
+                sorted.dedup();
+                if sorted.len() != choices.len() {
+                    return Err(invalid("choices must be distinct"));
+                }
+                Ok(())
+            }
+            ParamKind::Ordinal { levels } => {
+                if levels.is_empty() {
+                    return Err(invalid("must have at least one level"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The number of distinct values, or `None` for continuous domains.
+    pub fn cardinality(&self) -> Option<u64> {
+        match self {
+            ParamKind::Float { .. } => None,
+            ParamKind::Int { low, high, .. } => Some((high - low) as u64 + 1),
+            ParamKind::Categorical { choices } => Some(choices.len() as u64),
+            ParamKind::Ordinal { levels } => Some(levels.len() as u64),
+        }
+    }
+}
+
+/// A named hyper-parameter definition inside a [`crate::ConfigSpace`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamDef {
+    /// Unique name of the parameter within its space.
+    pub name: String,
+    /// The typed domain.
+    pub kind: ParamKind,
+}
+
+impl ParamDef {
+    /// Creates a parameter definition; the domain is validated by
+    /// [`crate::ConfigSpaceBuilder::build`], not here.
+    pub fn new(name: impl Into<String>, kind: ParamKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// Draws a uniform random value from this domain.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> ParamValue {
+        self.from_unit(rng.gen::<f64>())
+    }
+
+    /// Maps a unit-interval coordinate `u ∈ [0, 1]` to a concrete value.
+    ///
+    /// This is the inverse of [`ParamDef::to_unit`] up to discretization:
+    /// integers and categoricals round to the nearest admissible value.
+    pub fn from_unit(&self, u: f64) -> ParamValue {
+        let u = u.clamp(0.0, 1.0);
+        match &self.kind {
+            ParamKind::Float { low, high, log } => {
+                let v = if *log {
+                    (low.ln() + u * (high.ln() - low.ln())).exp()
+                } else {
+                    low + u * (high - low)
+                };
+                ParamValue::Float(v.clamp(*low, *high))
+            }
+            ParamKind::Int { low, high, log } => {
+                let v = if *log {
+                    let lf = *low as f64;
+                    let hf = *high as f64;
+                    (lf.ln() + u * (hf.ln() - lf.ln())).exp().round() as i64
+                } else {
+                    // Map [0,1] onto low..=high with equal-width bins.
+                    let span = (high - low) as f64 + 1.0;
+                    (*low as f64 + (u * span).floor()).min(*high as f64) as i64
+                };
+                ParamValue::Int(v.clamp(*low, *high))
+            }
+            ParamKind::Categorical { choices } => {
+                let n = choices.len() as f64;
+                let idx = ((u * n).floor() as usize).min(choices.len() - 1);
+                ParamValue::Cat(idx)
+            }
+            ParamKind::Ordinal { levels } => {
+                let n = levels.len() as f64;
+                let idx = ((u * n).floor() as usize).min(levels.len() - 1);
+                ParamValue::Cat(idx)
+            }
+        }
+    }
+
+    /// Maps a concrete value to its unit-interval coordinate.
+    ///
+    /// Discrete values map to their bin centre so that
+    /// `from_unit(to_unit(v)) == v` round-trips exactly.
+    pub fn to_unit(&self, value: &ParamValue) -> Result<f64, SpaceError> {
+        let type_err = |expected: &str| SpaceError::InvalidValue {
+            param: self.name.clone(),
+            reason: format!("expected {expected}, got {value:?}"),
+        };
+        match (&self.kind, value) {
+            (ParamKind::Float { low, high, log }, ParamValue::Float(v)) => {
+                if !v.is_finite() || v < low || v > high {
+                    return Err(SpaceError::InvalidValue {
+                        param: self.name.clone(),
+                        reason: format!("{v} outside [{low}, {high}]"),
+                    });
+                }
+                let u = if *log {
+                    (v.ln() - low.ln()) / (high.ln() - low.ln())
+                } else {
+                    (v - low) / (high - low)
+                };
+                Ok(u.clamp(0.0, 1.0))
+            }
+            (ParamKind::Int { low, high, log }, ParamValue::Int(v)) => {
+                if v < low || v > high {
+                    return Err(SpaceError::InvalidValue {
+                        param: self.name.clone(),
+                        reason: format!("{v} outside [{low}, {high}]"),
+                    });
+                }
+                let u = if *log {
+                    ((*v as f64).ln() - (*low as f64).ln())
+                        / ((*high as f64).ln() - (*low as f64).ln())
+                } else {
+                    // Bin centre of the value's equal-width bin.
+                    let span = (high - low) as f64 + 1.0;
+                    ((v - low) as f64 + 0.5) / span
+                };
+                Ok(u.clamp(0.0, 1.0))
+            }
+            (ParamKind::Categorical { choices }, ParamValue::Cat(idx)) => {
+                if *idx >= choices.len() {
+                    return Err(SpaceError::InvalidValue {
+                        param: self.name.clone(),
+                        reason: format!("index {idx} >= {} choices", choices.len()),
+                    });
+                }
+                Ok((*idx as f64 + 0.5) / choices.len() as f64)
+            }
+            (ParamKind::Ordinal { levels }, ParamValue::Cat(idx)) => {
+                if *idx >= levels.len() {
+                    return Err(SpaceError::InvalidValue {
+                        param: self.name.clone(),
+                        reason: format!("index {idx} >= {} levels", levels.len()),
+                    });
+                }
+                Ok((*idx as f64 + 0.5) / levels.len() as f64)
+            }
+            (ParamKind::Float { .. }, _) => Err(type_err("float")),
+            (ParamKind::Int { .. }, _) => Err(type_err("int")),
+            (ParamKind::Categorical { .. }, _) | (ParamKind::Ordinal { .. }, _) => {
+                Err(type_err("categorical index"))
+            }
+        }
+    }
+
+    /// Validates that `value` is admissible for this definition.
+    pub fn check(&self, value: &ParamValue) -> Result<(), SpaceError> {
+        self.to_unit(value).map(|_| ())
+    }
+}
+
+/// A concrete assignment for one hyper-parameter.
+///
+/// Categorical and ordinal values are stored as choice indices; resolve the
+/// display name through the owning [`crate::ConfigSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// A continuous value.
+    Float(f64),
+    /// An integer value.
+    Int(i64),
+    /// A categorical/ordinal choice index.
+    Cat(usize),
+}
+
+impl ParamValue {
+    /// Returns the float payload, if this is a `Float`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ParamValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            ParamValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the categorical index, if this is a `Cat`.
+    pub fn as_cat(&self) -> Option<usize> {
+        match self {
+            ParamValue::Cat(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A total-order bit pattern used for hashing/equality of configs.
+    pub(crate) fn canonical_bits(&self) -> (u8, u64) {
+        match self {
+            ParamValue::Float(v) => {
+                // Normalize -0.0 to 0.0 so equal values hash identically.
+                let v = if *v == 0.0 { 0.0 } else { *v };
+                (0, v.to_bits())
+            }
+            ParamValue::Int(v) => (1, *v as u64),
+            ParamValue::Cat(v) => (2, *v as u64),
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Float(v) => write!(f, "{v:.6}"),
+            ParamValue::Int(v) => write!(f, "{v}"),
+            ParamValue::Cat(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn float_def(log: bool) -> ParamDef {
+        ParamDef::new(
+            "p",
+            ParamKind::Float {
+                low: if log { 1e-4 } else { -2.0 },
+                high: if log { 1.0 } else { 6.0 },
+                log,
+            },
+        )
+    }
+
+    #[test]
+    fn float_unit_roundtrip() {
+        let def = float_def(false);
+        for &u in &[0.0, 0.25, 0.5, 0.99, 1.0] {
+            let v = def.from_unit(u);
+            let back = def.to_unit(&v).unwrap();
+            assert!((back - u).abs() < 1e-12, "u={u} back={back}");
+        }
+    }
+
+    #[test]
+    fn log_float_spans_orders_of_magnitude() {
+        let def = float_def(true);
+        let mid = def.from_unit(0.5).as_f64().unwrap();
+        // Geometric mean of 1e-4 and 1: 1e-2.
+        assert!((mid - 1e-2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn int_roundtrip_every_value() {
+        let def = ParamDef::new(
+            "n",
+            ParamKind::Int {
+                low: -3,
+                high: 7,
+                log: false,
+            },
+        );
+        for v in -3..=7 {
+            let u = def.to_unit(&ParamValue::Int(v)).unwrap();
+            assert_eq!(def.from_unit(u), ParamValue::Int(v));
+        }
+    }
+
+    #[test]
+    fn log_int_roundtrip() {
+        let def = ParamDef::new(
+            "n",
+            ParamKind::Int {
+                low: 1,
+                high: 1024,
+                log: true,
+            },
+        );
+        for v in [1, 2, 10, 100, 512, 1024] {
+            let u = def.to_unit(&ParamValue::Int(v)).unwrap();
+            assert_eq!(def.from_unit(u), ParamValue::Int(v));
+        }
+    }
+
+    #[test]
+    fn categorical_roundtrip() {
+        let def = ParamDef::new(
+            "op",
+            ParamKind::Categorical {
+                choices: vec!["a".into(), "b".into(), "c".into()],
+            },
+        );
+        for idx in 0..3 {
+            let u = def.to_unit(&ParamValue::Cat(idx)).unwrap();
+            assert_eq!(def.from_unit(u), ParamValue::Cat(idx));
+        }
+    }
+
+    #[test]
+    fn sampling_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let def = float_def(true);
+        for _ in 0..1000 {
+            let v = def.sample(&mut rng).as_f64().unwrap();
+            assert!((1e-4..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_sampling_covers_all_bins_roughly_uniformly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let def = ParamDef::new(
+            "n",
+            ParamKind::Int {
+                low: 0,
+                high: 4,
+                log: false,
+            },
+        );
+        let mut counts = [0usize; 5];
+        for _ in 0..5000 {
+            counts[def.sample(&mut rng).as_i64().unwrap() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 800, "bin count {c} too low: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_rejected() {
+        let def = float_def(false);
+        assert!(def.to_unit(&ParamValue::Float(100.0)).is_err());
+        assert!(def.to_unit(&ParamValue::Float(f64::NAN)).is_err());
+        assert!(def.to_unit(&ParamValue::Int(1)).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_bounds() {
+        assert!(ParamKind::Float {
+            low: 1.0,
+            high: 1.0,
+            log: false
+        }
+        .validate("x")
+        .is_err());
+        assert!(ParamKind::Float {
+            low: -1.0,
+            high: 1.0,
+            log: true
+        }
+        .validate("x")
+        .is_err());
+        assert!(ParamKind::Int {
+            low: 5,
+            high: 2,
+            log: false
+        }
+        .validate("x")
+        .is_err());
+        assert!(ParamKind::Categorical { choices: vec![] }.validate("x").is_err());
+        assert!(ParamKind::Categorical {
+            choices: vec!["a".into(), "a".into()]
+        }
+        .validate("x")
+        .is_err());
+    }
+
+    #[test]
+    fn cardinality() {
+        assert_eq!(
+            ParamKind::Int {
+                low: 0,
+                high: 9,
+                log: false
+            }
+            .cardinality(),
+            Some(10)
+        );
+        assert_eq!(
+            ParamKind::Float {
+                low: 0.0,
+                high: 1.0,
+                log: false
+            }
+            .cardinality(),
+            None
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for configuration-space invariants.
+
+use hypertune_space::{Config, ConfigSpace, ParamValue};
+use proptest::prelude::*;
+
+fn mixed_space() -> ConfigSpace {
+    ConfigSpace::builder()
+        .float("x", -5.0, 5.0)
+        .float_log("lr", 1e-6, 10.0)
+        .int("n", 1, 1000)
+        .int_log("b", 1, 4096)
+        .categorical("c", &["a", "b", "c", "d", "e"])
+        .ordinal("o", &["lo", "mid", "hi"])
+        .build()
+}
+
+proptest! {
+    /// decode(x) is always a valid config, and encode(decode(x)) is a
+    /// fixed point for a second decode (idempotent discretization).
+    #[test]
+    fn decode_always_valid(xs in proptest::collection::vec(0.0f64..=1.0, 6)) {
+        let space = mixed_space();
+        let c = space.decode(&xs).unwrap();
+        prop_assert!(space.check(&c).is_ok());
+        let enc = space.encode(&c);
+        let c2 = space.decode(&enc).unwrap();
+        prop_assert_eq!(c, c2);
+    }
+
+    /// Unit encodings always land in [0, 1]^d.
+    #[test]
+    fn encodings_in_unit_cube(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let space = mixed_space();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let c = space.sample(&mut rng);
+        for u in space.encode(&c) {
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    /// Monotonicity: larger unit coordinates never decode to smaller
+    /// numeric values.
+    #[test]
+    fn from_unit_is_monotone(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let space = ConfigSpace::builder()
+            .float("x", -3.0, 9.0)
+            .int("n", 0, 77)
+            .build();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let cl = space.decode(&[lo, lo]).unwrap();
+        let ch = space.decode(&[hi, hi]).unwrap();
+        prop_assert!(cl.values()[0].as_f64().unwrap() <= ch.values()[0].as_f64().unwrap());
+        prop_assert!(cl.values()[1].as_i64().unwrap() <= ch.values()[1].as_i64().unwrap());
+    }
+
+    /// Config equality is reflexive and hash-consistent under cloning.
+    #[test]
+    fn config_eq_hash_consistent(xs in proptest::collection::vec(0.0f64..=1.0, 6)) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let space = mixed_space();
+        let c = space.decode(&xs).unwrap();
+        let d = c.clone();
+        prop_assert_eq!(&c, &d);
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        c.hash(&mut h1);
+        d.hash(&mut h2);
+        prop_assert_eq!(h1.finish(), h2.finish());
+    }
+
+    /// Mutation always yields a valid config differing in <= 1 parameter.
+    #[test]
+    fn mutation_changes_one_param(seed in any::<u64>(), xs in proptest::collection::vec(0.0f64..=1.0, 6)) {
+        use rand::SeedableRng;
+        let space = mixed_space();
+        let base = space.decode(&xs).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = hypertune_space::neighbors::mutate_one(&space, &base, &mut rng);
+        prop_assert!(space.check(&m).is_ok());
+        let ndiff = base.values().iter().zip(m.values()).filter(|(a, b)| a != b).count();
+        prop_assert!(ndiff <= 1);
+    }
+
+    /// Crossover children only contain parental genes.
+    #[test]
+    fn crossover_preserves_genes(seed in any::<u64>(),
+                                 xa in proptest::collection::vec(0.0f64..=1.0, 6),
+                                 xb in proptest::collection::vec(0.0f64..=1.0, 6)) {
+        use rand::SeedableRng;
+        let space = mixed_space();
+        let a = space.decode(&xa).unwrap();
+        let b = space.decode(&xb).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let child = hypertune_space::neighbors::crossover(&a, &b, &mut rng);
+        for (i, v) in child.values().iter().enumerate() {
+            prop_assert!(v == &a.values()[i] || v == &b.values()[i]);
+        }
+    }
+}
+
+#[test]
+fn enumerate_matches_cardinality_property() {
+    // Deterministic exhaustive check over a family of small spaces.
+    for lo in 0..3i64 {
+        for width in 0..4i64 {
+            let space = ConfigSpace::builder()
+                .int("i", lo, lo + width)
+                .categorical("c", &["x", "y", "z"])
+                .build();
+            let card = space.cardinality().unwrap();
+            let all = space.enumerate(1000).unwrap();
+            assert_eq!(all.len() as u64, card);
+            let uniq: std::collections::HashSet<Config> = all.into_iter().collect();
+            assert_eq!(uniq.len() as u64, card);
+        }
+    }
+}
+
+#[test]
+fn values_outside_space_rejected() {
+    let space = mixed_space();
+    let mut vals: Vec<ParamValue> = space
+        .decode(&[0.5; 6])
+        .unwrap()
+        .values()
+        .to_vec();
+    vals[4] = ParamValue::Cat(99);
+    assert!(space.check(&Config::new(vals)).is_err());
+}

@@ -1,0 +1,268 @@
+//! Acquisition functions and their maximizer.
+//!
+//! The paper's BO loop (§3.1) selects `x_n = argmax a(x; M)`. We provide
+//! the three classical acquisitions it cites — EI, PI, and LCB — and a
+//! maximizer that combines uniform random candidates with hill-climbing
+//! from the best observed configurations (the SMAC/BOHB recipe), using
+//! [`hypertune_space::neighbors`] for the local moves.
+//!
+//! Objectives are *minimized* throughout, so EI/PI measure improvement
+//! below the incumbent and LCB is a lower confidence bound.
+
+use rand::Rng;
+
+use hypertune_space::{neighbors, Config, ConfigSpace};
+
+use crate::model::{Prediction, Predictor, SurrogateError};
+use crate::stats::{norm_cdf, norm_pdf};
+
+/// Which acquisition criterion to maximize.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Acquisition {
+    /// Expected improvement below the incumbent `best_y`.
+    ExpectedImprovement {
+        /// Exploration jitter subtracted from the incumbent.
+        xi: f64,
+    },
+    /// Probability of improvement below the incumbent.
+    ProbabilityOfImprovement {
+        /// Exploration jitter subtracted from the incumbent.
+        xi: f64,
+    },
+    /// Negative lower confidence bound `-(μ - κσ)` (so maximizing it
+    /// favours low predicted mean and high uncertainty).
+    LowerConfidenceBound {
+        /// Width multiplier κ.
+        kappa: f64,
+    },
+}
+
+impl Default for Acquisition {
+    fn default() -> Self {
+        Acquisition::ExpectedImprovement { xi: 0.0 }
+    }
+}
+
+impl Acquisition {
+    /// Scores one predictive distribution against the incumbent `best_y`.
+    /// Larger is better.
+    pub fn score(&self, p: Prediction, best_y: f64) -> f64 {
+        let sigma = p.std();
+        match *self {
+            Acquisition::ExpectedImprovement { xi } => {
+                if sigma < 1e-12 {
+                    return (best_y - xi - p.mean).max(0.0);
+                }
+                let z = (best_y - xi - p.mean) / sigma;
+                (best_y - xi - p.mean) * norm_cdf(z) + sigma * norm_pdf(z)
+            }
+            Acquisition::ProbabilityOfImprovement { xi } => {
+                if sigma < 1e-12 {
+                    return if p.mean < best_y - xi { 1.0 } else { 0.0 };
+                }
+                norm_cdf((best_y - xi - p.mean) / sigma)
+            }
+            Acquisition::LowerConfidenceBound { kappa } => -(p.mean - kappa * sigma),
+        }
+    }
+}
+
+/// Tuning knobs for [`maximize`].
+#[derive(Debug, Clone, Copy)]
+pub struct MaximizeConfig {
+    /// Number of uniform random candidates.
+    pub n_random: usize,
+    /// Number of observed incumbents to start local searches from.
+    pub n_local_starts: usize,
+    /// Hill-climbing steps per local start.
+    pub local_steps: usize,
+    /// Neighbours proposed per hill-climbing step.
+    pub neighbors_per_step: usize,
+}
+
+impl Default for MaximizeConfig {
+    fn default() -> Self {
+        Self {
+            n_random: 500,
+            n_local_starts: 5,
+            local_steps: 10,
+            neighbors_per_step: 8,
+        }
+    }
+}
+
+/// Maximizes `acq` under `model`, returning the best configuration found
+/// and its acquisition value.
+///
+/// `incumbents` should contain the best observed configurations (ordered
+/// or not); `best_y` is the best (lowest) observed objective. Candidates
+/// are scored in unit-cube encoding via `space.encode`.
+pub fn maximize<R: Rng + ?Sized>(
+    space: &ConfigSpace,
+    model: &dyn Predictor,
+    acq: Acquisition,
+    best_y: f64,
+    incumbents: &[Config],
+    config: &MaximizeConfig,
+    rng: &mut R,
+) -> Result<(Config, f64), SurrogateError> {
+    let score_of = |c: &Config, rng_model: &dyn Predictor| -> Result<f64, SurrogateError> {
+        let p = rng_model.predict(&space.encode(c))?;
+        Ok(acq.score(p, best_y))
+    };
+
+    let mut best: Option<(Config, f64)> = None;
+    let consider = |c: Config, s: f64, best: &mut Option<(Config, f64)>| {
+        if best.as_ref().is_none_or(|(_, bs)| s > *bs) {
+            *best = Some((c, s));
+        }
+    };
+
+    // Global random phase.
+    for _ in 0..config.n_random.max(1) {
+        let c = space.sample(rng);
+        let s = score_of(&c, model)?;
+        consider(c, s, &mut best);
+    }
+
+    // Local phase: hill-climb from each incumbent.
+    for start in incumbents.iter().take(config.n_local_starts) {
+        let mut current = start.clone();
+        let mut current_score = score_of(&current, model)?;
+        for _ in 0..config.local_steps {
+            let mut improved = false;
+            for cand in neighbors::neighbors(space, &current, config.neighbors_per_step, rng) {
+                let s = score_of(&cand, model)?;
+                if s > current_score {
+                    current = cand;
+                    current_score = s;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        consider(current, current_score, &mut best);
+    }
+
+    Ok(best.expect("at least one candidate was scored"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SurrogateModel;
+    use crate::rf::RandomForest;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ei_zero_when_certain_and_worse() {
+        let acq = Acquisition::ExpectedImprovement { xi: 0.0 };
+        // Certain prediction above incumbent: no improvement possible.
+        assert_eq!(acq.score(Prediction::new(2.0, 0.0), 1.0), 0.0);
+        // Certain prediction below incumbent: improvement is the gap.
+        assert!((acq.score(Prediction::new(0.5, 0.0), 1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ei_increases_with_uncertainty_at_same_mean() {
+        let acq = Acquisition::ExpectedImprovement { xi: 0.0 };
+        let low = acq.score(Prediction::new(1.0, 0.01), 1.0);
+        let high = acq.score(Prediction::new(1.0, 1.0), 1.0);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn pi_is_a_probability() {
+        let acq = Acquisition::ProbabilityOfImprovement { xi: 0.0 };
+        for mean in [-3.0, 0.0, 3.0] {
+            let s = acq.score(Prediction::new(mean, 0.5), 0.0);
+            assert!((0.0..=1.0).contains(&s));
+        }
+        // Mean far below incumbent → probability near 1.
+        assert!(acq.score(Prediction::new(-10.0, 0.1), 0.0) > 0.999);
+    }
+
+    #[test]
+    fn lcb_prefers_low_mean_and_high_variance() {
+        let acq = Acquisition::LowerConfidenceBound { kappa: 2.0 };
+        let a = acq.score(Prediction::new(1.0, 0.0), 0.0);
+        let b = acq.score(Prediction::new(1.0, 4.0), 0.0);
+        let c = acq.score(Prediction::new(0.0, 0.0), 0.0);
+        assert!(b > a);
+        assert!(c > a);
+    }
+
+    #[test]
+    fn maximize_moves_towards_optimum() {
+        // Fit an RF on |x - 0.7| and check the maximizer proposes near 0.7.
+        let space = ConfigSpace::builder().float("x", 0.0, 1.0).build();
+        let mut rng = StdRng::seed_from_u64(0);
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 59.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|p| (p[0] - 0.7).abs()).collect();
+        let mut rf = RandomForest::new(1);
+        rf.fit(&xs, &ys).unwrap();
+
+        let incumbent = space.decode(&[0.65]).unwrap();
+        let (best_cfg, _) = maximize(
+            &space,
+            &rf,
+            Acquisition::default(),
+            0.05,
+            &[incumbent],
+            &MaximizeConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let x = space.encode(&best_cfg)[0];
+        assert!((x - 0.7).abs() < 0.2, "proposed {x}");
+    }
+
+    #[test]
+    fn maximize_works_with_no_incumbents() {
+        let space = ConfigSpace::builder().float("x", 0.0, 1.0).build();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut rf = RandomForest::new(3);
+        rf.fit(&[vec![0.2], vec![0.8]], &[1.0, 0.0]).unwrap();
+        let r = maximize(
+            &space,
+            &rf,
+            Acquisition::default(),
+            0.0,
+            &[],
+            &MaximizeConfig {
+                n_random: 50,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn maximizer_respects_mixed_spaces() {
+        let space = ConfigSpace::builder()
+            .float("x", 0.0, 1.0)
+            .categorical("c", &["a", "b"])
+            .build();
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<Vec<f64>> = (0..30).map(|_| space.encode(&space.sample(&mut rng))).collect();
+        let ys: Vec<f64> = xs.iter().map(|p| p[0]).collect();
+        let mut rf = RandomForest::new(5);
+        rf.fit(&xs, &ys).unwrap();
+        let (cfg, score) = maximize(
+            &space,
+            &rf,
+            Acquisition::default(),
+            0.5,
+            &[space.sample(&mut rng)],
+            &MaximizeConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        space.check(&cfg).unwrap();
+        assert!(score.is_finite());
+    }
+}

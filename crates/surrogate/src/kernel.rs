@@ -1,0 +1,127 @@
+//! Covariance kernels for Gaussian-process surrogates.
+//!
+//! The GP surrogate defaults to Matérn-5/2 (the hyper-parameter-tuning
+//! standard since Snoek et al. 2012), but the kernel is swappable: RBF
+//! for very smooth objectives, Matérn-3/2 for rougher ones. All kernels
+//! are stationary and parameterized by a single unit-cube lengthscale —
+//! appropriate because inputs are pre-normalized by
+//! [`hypertune_space::ConfigSpace::encode`].
+
+use crate::linalg::sq_dist;
+
+/// A stationary covariance function over unit-cube inputs.
+pub trait Kernel: Send + Sync {
+    /// Covariance of two points at lengthscale `ell`.
+    fn eval(&self, a: &[f64], b: &[f64], ell: f64) -> f64;
+
+    /// Kernel display name.
+    fn name(&self) -> &'static str;
+}
+
+/// Squared-exponential (RBF) kernel: `exp(−r²/2)` — infinitely smooth.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rbf;
+
+impl Kernel for Rbf {
+    fn eval(&self, a: &[f64], b: &[f64], ell: f64) -> f64 {
+        let r2 = sq_dist(a, b) / (ell * ell);
+        (-0.5 * r2).exp()
+    }
+
+    fn name(&self) -> &'static str {
+        "rbf"
+    }
+}
+
+/// Matérn-3/2 kernel: once-differentiable sample paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Matern32;
+
+impl Kernel for Matern32 {
+    fn eval(&self, a: &[f64], b: &[f64], ell: f64) -> f64 {
+        let r = sq_dist(a, b).sqrt() / ell;
+        let s3r = 3f64.sqrt() * r;
+        (1.0 + s3r) * (-s3r).exp()
+    }
+
+    fn name(&self) -> &'static str {
+        "matern32"
+    }
+}
+
+/// Matérn-5/2 kernel: twice-differentiable sample paths (the default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Matern52;
+
+impl Kernel for Matern52 {
+    fn eval(&self, a: &[f64], b: &[f64], ell: f64) -> f64 {
+        let r = sq_dist(a, b).sqrt() / ell;
+        let s5r = 5f64.sqrt() * r;
+        (1.0 + s5r + 5.0 * r * r / 3.0) * (-s5r).exp()
+    }
+
+    fn name(&self) -> &'static str {
+        "matern52"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernels() -> Vec<Box<dyn Kernel>> {
+        vec![Box::new(Rbf), Box::new(Matern32), Box::new(Matern52)]
+    }
+
+    #[test]
+    fn unit_at_zero_distance() {
+        for k in kernels() {
+            assert!(
+                (k.eval(&[0.3, 0.7], &[0.3, 0.7], 0.5) - 1.0).abs() < 1e-12,
+                "{}",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [0.1, 0.9];
+        let b = [0.6, 0.2];
+        for k in kernels() {
+            assert_eq!(k.eval(&a, &b, 0.3), k.eval(&b, &a, 0.3), "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn decreasing_with_distance() {
+        let a = [0.0, 0.0];
+        for k in kernels() {
+            let near = k.eval(&a, &[0.1, 0.0], 0.5);
+            let far = k.eval(&a, &[0.8, 0.0], 0.5);
+            assert!(near > far, "{}", k.name());
+            assert!((0.0..=1.0).contains(&near) && (0.0..=1.0).contains(&far));
+        }
+    }
+
+    #[test]
+    fn smoothness_ordering_near_origin() {
+        // Near r = 0, smoother kernels decay more slowly:
+        // RBF >= Matérn-5/2 >= Matérn-3/2 at small distances.
+        let a = [0.0];
+        let b = [0.05];
+        let rbf = Rbf.eval(&a, &b, 0.3);
+        let m52 = Matern52.eval(&a, &b, 0.3);
+        let m32 = Matern32.eval(&a, &b, 0.3);
+        assert!(rbf >= m52 && m52 >= m32, "{rbf} {m52} {m32}");
+    }
+
+    #[test]
+    fn lengthscale_controls_reach() {
+        let a = [0.0];
+        let b = [0.5];
+        for k in kernels() {
+            assert!(k.eval(&a, &b, 1.0) > k.eval(&a, &b, 0.1), "{}", k.name());
+        }
+    }
+}

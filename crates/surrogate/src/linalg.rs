@@ -1,0 +1,283 @@
+//! Minimal dense linear algebra: just enough for Gaussian-process
+//! regression (symmetric matrices, Cholesky factorization, triangular
+//! solves). Implemented in-repo to keep the dependency set to the
+//! sanctioned crates.
+
+use crate::SurrogateError;
+
+/// A dense square matrix in row-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquareMat {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SquareMat {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Creates a matrix from a closure over `(row, col)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Side length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `eps` to the diagonal (jitter for numerical stability).
+    pub fn add_diagonal(&mut self, eps: f64) {
+        for i in 0..self.n {
+            self[(i, i)] += eps;
+        }
+    }
+
+    /// In-place lower Cholesky factorization `A = L Lᵀ`.
+    ///
+    /// On success the lower triangle (incl. diagonal) holds `L`; the upper
+    /// triangle is zeroed. Fails if the matrix is not positive definite.
+    pub fn cholesky(mut self) -> Result<Cholesky, SurrogateError> {
+        let n = self.n;
+        for j in 0..n {
+            let mut d = self[(j, j)];
+            for k in 0..j {
+                let l = self[(j, k)];
+                d -= l * l;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(SurrogateError::NumericalFailure(format!(
+                    "matrix not positive definite at pivot {j} (d = {d:.3e})"
+                )));
+            }
+            let d = d.sqrt();
+            self[(j, j)] = d;
+            for i in (j + 1)..n {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= self[(i, k)] * self[(j, k)];
+                }
+                self[(i, j)] = s / d;
+            }
+            for i in 0..j {
+                self[(i, j)] = 0.0;
+            }
+        }
+        Ok(Cholesky { l: self })
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for SquareMat {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.n && j < self.n);
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for SquareMat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.n && j < self.n);
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// A lower Cholesky factor `L` with the solve operations GP regression
+/// needs.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: SquareMat,
+}
+
+impl Cholesky {
+    /// Side length.
+    pub fn n(&self) -> usize {
+        self.l.n
+    }
+
+    /// The factor entry `L[i][j]` (`j <= i`).
+    pub fn l(&self, i: usize, j: usize) -> f64 {
+        self.l[(i, j)]
+    }
+
+    /// Solves `L z = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n();
+        debug_assert_eq!(b.len(), n);
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for j in 0..i {
+                s -= self.l[(i, j)] * z[j];
+            }
+            z[i] = s / self.l[(i, i)];
+        }
+        z
+    }
+
+    /// Solves `Lᵀ x = b` (backward substitution).
+    pub fn solve_upper(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n();
+        debug_assert_eq!(b.len(), n);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = b[i];
+            for j in (i + 1)..n {
+                s -= self.l[(j, i)] * x[j];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A x = b` where `A = L Lᵀ`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// `log |A| = 2 Σ log L[i][i]`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.n()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_3x3() -> SquareMat {
+        // A = B Bᵀ + I for B with distinct rows; guaranteed SPD.
+        let b = [[1.0, 2.0, 0.5], [0.0, 1.0, -1.0], [2.0, 0.0, 1.0]];
+        SquareMat::from_fn(3, |i, j| {
+            let mut s = if i == j { 1.0 } else { 0.0 };
+            for k in 0..3 {
+                s += b[i][k] * b[j][k];
+            }
+            s
+        })
+    }
+
+    #[test]
+    fn cholesky_reconstructs_matrix() {
+        let a = spd_3x3();
+        let ch = a.clone().cholesky().unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..=i.min(j) {
+                    s += ch.l(i, k) * ch.l(j, k);
+                }
+                assert!((s - a[(i, j)]).abs() < 1e-10, "({i},{j}): {s} vs {}", a[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_inverts() {
+        let a = spd_3x3();
+        let ch = a.clone().cholesky().unwrap();
+        let b = [3.0, -1.0, 2.0];
+        let x = ch.solve(&b);
+        // Check A x == b.
+        for i in 0..3 {
+            let mut s = 0.0;
+            for j in 0..3 {
+                s += a[(i, j)] * x[j];
+            }
+            assert!((s - b[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_product_of_pivots() {
+        let a = SquareMat::from_fn(2, |i, j| if i == j { 4.0 } else { 0.0 });
+        let ch = a.cholesky().unwrap();
+        // det = 16, log 16.
+        assert!((ch.log_det() - 16f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_spd_rejected() {
+        let a = SquareMat::from_fn(2, |i, j| if i == j { -1.0 } else { 0.0 });
+        assert!(a.cholesky().is_err());
+    }
+
+    #[test]
+    fn indefinite_rejected() {
+        // [[1, 2], [2, 1]] has a negative eigenvalue.
+        let mut a = SquareMat::zeros(2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 1.0;
+        assert!(a.cholesky().is_err());
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite() {
+        let mut a = SquareMat::from_fn(2, |_, _| 1.0); // rank 1, PSD
+        assert!(a.clone().cholesky().is_err());
+        a.add_diagonal(1e-8);
+        assert!(a.cholesky().is_ok());
+    }
+
+    #[test]
+    fn triangular_solves_roundtrip() {
+        let a = spd_3x3();
+        let ch = a.cholesky().unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let z = ch.solve_lower(&b);
+        // L z should equal b.
+        for i in 0..3 {
+            let mut s = 0.0;
+            for j in 0..=i {
+                s += ch.l(i, j) * z[j];
+            }
+            assert!((s - b[i]).abs() < 1e-10);
+        }
+        let x = ch.solve_upper(&z);
+        // Lᵀ x should equal z.
+        for i in 0..3 {
+            let mut s = 0.0;
+            for j in i..3 {
+                s += ch.l(j, i) * x[j];
+            }
+            assert!((s - z[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

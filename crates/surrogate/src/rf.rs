@@ -1,0 +1,347 @@
+//! Probabilistic random-forest surrogate (SMAC-style).
+//!
+//! Each tree is an extremely-randomized regression tree: splits pick a
+//! random dimension and a uniform-random threshold between the node's
+//! minimum and maximum along it. Leaves store the mean and variance of
+//! their targets. The forest's predictive distribution aggregates leaf
+//! statistics by the law of total variance, which is the construction
+//! SMAC and BOHB-style systems use for mixed discrete/continuous
+//! hyper-parameter spaces where Gaussian processes struggle.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{validate_training_set, Prediction, SurrogateError, SurrogateModel};
+use crate::stats;
+
+/// Tuning knobs for [`RandomForest`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomForestConfig {
+    /// Number of trees in the ensemble.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Draw a bootstrap resample per tree when `true`; otherwise each tree
+    /// sees the full training set (extra-trees style).
+    pub bootstrap: bool,
+    /// Variance floor added to every prediction, representing observation
+    /// noise; keeps acquisition functions well-defined near duplicates.
+    pub min_variance: f64,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 30,
+            max_depth: 18,
+            min_samples_split: 3,
+            bootstrap: true,
+            min_variance: 1e-8,
+        }
+    }
+}
+
+/// A probabilistic random-forest regressor implementing
+/// [`SurrogateModel`].
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    config: RandomForestConfig,
+    seed: u64,
+    dim: usize,
+    trees: Vec<Tree>,
+}
+
+impl RandomForest {
+    /// Creates an unfitted forest with default hyper-parameters.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(RandomForestConfig::default(), seed)
+    }
+
+    /// Creates an unfitted forest with explicit hyper-parameters.
+    pub fn with_config(config: RandomForestConfig, seed: u64) -> Self {
+        Self {
+            config,
+            seed,
+            dim: 0,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Number of fitted trees (0 before `fit`).
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl SurrogateModel for RandomForest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), SurrogateError> {
+        self.dim = validate_training_set(x, y)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = x.len();
+        self.trees.clear();
+        self.trees.reserve(self.config.n_trees);
+        let mut indices: Vec<usize> = Vec::with_capacity(n);
+        for _ in 0..self.config.n_trees {
+            indices.clear();
+            if self.config.bootstrap && n > 1 {
+                indices.extend((0..n).map(|_| rng.gen_range(0..n)));
+            } else {
+                indices.extend(0..n);
+            }
+            let mut tree = Tree { nodes: Vec::new() };
+            tree.build(x, y, &mut indices.clone(), &self.config, &mut rng);
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<Prediction, SurrogateError> {
+        if self.trees.is_empty() {
+            return Err(SurrogateError::NotFitted);
+        }
+        debug_assert_eq!(x.len(), self.dim);
+        // Law of total variance over the per-tree leaf distributions:
+        //   mean = E[m_t],  var = E[v_t + m_t^2] - mean^2.
+        let mut sum_m = 0.0;
+        let mut sum_sq = 0.0;
+        for tree in &self.trees {
+            let (m, v) = tree.query(x);
+            sum_m += m;
+            sum_sq += v + m * m;
+        }
+        let k = self.trees.len() as f64;
+        let mean = sum_m / k;
+        let var = (sum_sq / k - mean * mean).max(self.config.min_variance);
+        Ok(Prediction::new(mean, var))
+    }
+
+    fn is_fitted(&self) -> bool {
+        !self.trees.is_empty()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Split {
+        dim: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+    Leaf {
+        mean: f64,
+        var: f64,
+    },
+}
+
+impl Tree {
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        indices: &mut [usize],
+        config: &RandomForestConfig,
+        rng: &mut StdRng,
+    ) {
+        self.build_node(x, y, indices, 0, config, rng);
+    }
+
+    /// Recursively builds the subtree over `indices`, returning its node id.
+    fn build_node(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        indices: &mut [usize],
+        depth: usize,
+        config: &RandomForestConfig,
+        rng: &mut StdRng,
+    ) -> usize {
+        if depth >= config.max_depth || indices.len() < config.min_samples_split {
+            return self.push_leaf(y, indices);
+        }
+        let dim_count = x[0].len();
+        // Try a few random dimensions looking for one with spread.
+        let split = (0..dim_count.max(4)).find_map(|_| {
+            let d = rng.gen_range(0..dim_count);
+            let (lo, hi) = indices.iter().fold(
+                (f64::INFINITY, f64::NEG_INFINITY),
+                |(lo, hi), &i| (lo.min(x[i][d]), hi.max(x[i][d])),
+            );
+            if hi - lo > 1e-12 {
+                Some((d, lo + rng.gen::<f64>() * (hi - lo)))
+            } else {
+                None
+            }
+        });
+        let Some((d, threshold)) = split else {
+            return self.push_leaf(y, indices);
+        };
+        // In-place partition: indices with x[d] <= threshold first.
+        let mut mid = 0;
+        for i in 0..indices.len() {
+            if x[indices[i]][d] <= threshold {
+                indices.swap(i, mid);
+                mid += 1;
+            }
+        }
+        if mid == 0 || mid == indices.len() {
+            return self.push_leaf(y, indices);
+        }
+        // Reserve our slot before recursing so children get later ids.
+        let id = self.nodes.len();
+        self.nodes.push(Node::Leaf { mean: 0.0, var: 0.0 });
+        let (left_idx, right_idx) = indices.split_at_mut(mid);
+        let left = self.build_node(x, y, left_idx, depth + 1, config, rng);
+        let right = self.build_node(x, y, right_idx, depth + 1, config, rng);
+        self.nodes[id] = Node::Split {
+            dim: d,
+            threshold,
+            left,
+            right,
+        };
+        id
+    }
+
+    fn push_leaf(&mut self, y: &[f64], indices: &[usize]) -> usize {
+        let ys: Vec<f64> = indices.iter().map(|&i| y[i]).collect();
+        let id = self.nodes.len();
+        self.nodes.push(Node::Leaf {
+            mean: stats::mean(&ys),
+            var: stats::variance(&ys),
+        });
+        id
+    }
+
+    fn query(&self, x: &[f64]) -> (f64, f64) {
+        let mut id = 0;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { mean, var } => return (*mean, *var),
+                Node::Split {
+                    dim,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if x[*dim] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_2d(n: usize) -> Vec<Vec<f64>> {
+        let mut out = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                out.push(vec![i as f64 / (n - 1) as f64, j as f64 / (n - 1) as f64]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fits_smooth_function() {
+        let x = grid_2d(12);
+        let y: Vec<f64> = x.iter().map(|p| (p[0] - 0.3).powi(2) + p[1]).collect();
+        let mut rf = RandomForest::new(0);
+        rf.fit(&x, &y).unwrap();
+        // In-sample RMSE should be small relative to the target range.
+        let mut sse = 0.0;
+        for (xi, yi) in x.iter().zip(&y) {
+            let p = rf.predict(xi).unwrap();
+            sse += (p.mean - yi) * (p.mean - yi);
+        }
+        let rmse = (sse / x.len() as f64).sqrt();
+        assert!(rmse < 0.08, "rmse = {rmse}");
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let rf = RandomForest::new(0);
+        assert_eq!(rf.predict(&[0.5]).unwrap_err(), SurrogateError::NotFitted);
+        assert!(!rf.is_fitted());
+    }
+
+    #[test]
+    fn single_observation_is_handled() {
+        let mut rf = RandomForest::new(1);
+        rf.fit(&[vec![0.5, 0.5]], &[3.0]).unwrap();
+        let p = rf.predict(&[0.1, 0.9]).unwrap();
+        assert!((p.mean - 3.0).abs() < 1e-12);
+        assert!(p.var >= 0.0);
+    }
+
+    #[test]
+    fn constant_targets_predict_constant() {
+        let x = grid_2d(5);
+        let y = vec![2.5; x.len()];
+        let mut rf = RandomForest::new(2);
+        rf.fit(&x, &y).unwrap();
+        let p = rf.predict(&[0.2, 0.8]).unwrap();
+        assert!((p.mean - 2.5).abs() < 1e-12);
+        assert!(p.var <= 1e-6);
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        // Train on left half only; variance on the right should exceed
+        // in-sample variance near training points.
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 100.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| (8.0 * p[0]).sin()).collect();
+        let mut rf = RandomForest::new(3);
+        rf.fit(&x, &y).unwrap();
+        let near = rf.predict(&[0.2]).unwrap().var;
+        let far = rf.predict(&[0.95]).unwrap().var;
+        assert!(
+            far >= near,
+            "extrapolation var {far} should be >= interpolation var {near}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let x = grid_2d(6);
+        let y: Vec<f64> = x.iter().map(|p| p[0] * p[1]).collect();
+        let mut a = RandomForest::new(42);
+        let mut b = RandomForest::new(42);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        for q in &x {
+            assert_eq!(a.predict(q).unwrap(), b.predict(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn refit_replaces_trees() {
+        let mut rf = RandomForest::new(0);
+        rf.fit(&[vec![0.0], vec![1.0]], &[0.0, 1.0]).unwrap();
+        let before = rf.n_trees();
+        rf.fit(&[vec![0.0], vec![1.0]], &[5.0, 5.0]).unwrap();
+        assert_eq!(rf.n_trees(), before);
+        assert!((rf.predict(&[0.5]).unwrap().mean - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranks_recoverable_on_monotone_function() {
+        // The forest should order clearly separated points correctly.
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 29.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| 3.0 * p[0]).collect();
+        let mut rf = RandomForest::new(9);
+        rf.fit(&x, &y).unwrap();
+        let lo = rf.predict(&[0.05]).unwrap().mean;
+        let hi = rf.predict(&[0.95]).unwrap().mean;
+        assert!(lo < hi);
+    }
+}

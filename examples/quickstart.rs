@@ -1,0 +1,79 @@
+//! Quickstart: tune a custom objective with Hyper-Tune.
+//!
+//! Defines a small synthetic "training job" through the [`Benchmark`]
+//! trait, then runs Hyper-Tune against random search on a simulated
+//! 8-worker cluster and prints both anytime curves.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hypertune::prelude::*;
+
+fn main() {
+    // 1. Declare the search space: mixed continuous / integer /
+    //    categorical, with log scales where it matters.
+    let space = ConfigSpace::builder()
+        .float_log("learning_rate", 1e-4, 1.0)
+        .float("momentum", 0.0, 0.99)
+        .int_log("batch_size", 16, 512)
+        .categorical("optimizer", &["sgd", "adam", "rmsprop"])
+        .build();
+
+    // 2. Wrap an objective. `SyntheticSpec` simulates a training job with
+    //    config-dependent converged error, convergence speed, and cost;
+    //    substitute your own `Benchmark` impl to tune a real model.
+    let bench = SyntheticSpec {
+        name: "quickstart".into(),
+        space,
+        max_resource: 27.0, // R = 27 units; 4 brackets at eta = 3
+        err_best: 0.05,
+        err_worst: 0.40,
+        err_init: 0.90,
+        shape: 2.0,
+        kappa: (2.0, 8.0),
+        noise_full: 0.003,
+        cost_per_unit: 20.0,
+        cost_spread: 4.0,
+        val_test_gap: 0.004,
+        seed: 7,
+    }
+    .build();
+
+    // 3. Run Hyper-Tune on a simulated 8-worker cluster with a 2-hour
+    //    virtual budget (finishes in well under a second of real time).
+    let levels = ResourceLevels::new(bench.max_resource(), 3);
+    let budget = 2.0 * 3600.0;
+    let config = RunConfig::new(8, budget, 42);
+
+    println!("tuning `{}` for {:.0}h of virtual time on 8 workers\n", bench.name(), budget / 3600.0);
+    for kind in [MethodKind::ARandom, MethodKind::Bohb, MethodKind::HyperTune] {
+        let mut method = kind.build(&levels, 42);
+        let result = run(method.as_mut(), &bench, &config);
+        println!(
+            "{:<11} best val err {:.4} | test {:.4} | {:>4} evals | utilization {:.0}%",
+            result.method,
+            result.best_value,
+            result.best_test,
+            result.total_evals,
+            100.0 * result.utilization
+        );
+        if let Some(cfg) = &result.best_config {
+            println!("            best config: {}", bench.space().describe(cfg));
+        }
+        // Anytime curve: value reached at quarter points of the budget.
+        let at = |frac: f64| {
+            result
+                .curve
+                .iter()
+                .take_while(|p| p.time <= frac * budget)
+                .last()
+                .map(|p| format!("{:.4}", p.value))
+                .unwrap_or_else(|| "  -   ".into())
+        };
+        println!(
+            "            anytime: 25% → {} | 50% → {} | 100% → {}\n",
+            at(0.25),
+            at(0.5),
+            at(1.0)
+        );
+    }
+}
