@@ -105,7 +105,11 @@ fn bench_simulator(c: &mut Criterion) {
             let mut submitted = 0u64;
             let mut done = 0u64;
             while done < 10_000 {
-                while submitted < 10_000 && cluster.submit(submitted, 1.0 + (submitted % 7) as f64).is_ok() {
+                while submitted < 10_000
+                    && cluster
+                        .submit(submitted, 1.0 + (submitted % 7) as f64)
+                        .is_ok()
+                {
                     submitted += 1;
                 }
                 if cluster.next_completion().is_some() {

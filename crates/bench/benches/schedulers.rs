@@ -4,8 +4,8 @@
 //! run of the kind the figure binaries aggregate.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use hypertune::prelude::*;
+use std::time::Duration;
 
 fn one_run(kind: MethodKind, bench: &dyn Benchmark, budget: f64, seed: u64) -> f64 {
     let levels = ResourceLevels::new(bench.max_resource(), 3);

@@ -1,7 +1,7 @@
 //! Curve interpolation and aggregation utilities.
 
-use hypertune::prelude::RunResult;
 use hypertune::core::runner::CurvePoint;
+use hypertune::prelude::RunResult;
 
 /// Step-interpolates an anytime curve onto `grid`: the value at grid time
 /// `t` is the last incumbent at or before `t` (NaN before the first

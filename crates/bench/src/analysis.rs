@@ -89,10 +89,7 @@ pub fn print_rank_table(title: &str, summaries: &[MethodSummary]) {
         for s in &summaries[..summaries.len() - 1] {
             let (wa, wb, ties) = sign_test(s, last);
             let p = sign_test_p(wa, wb);
-            println!(
-                "{:<24} {}:{} (ties {ties}), p = {:.3}",
-                s.name, wa, wb, p
-            );
+            println!("{:<24} {}:{} (ties {ties}), p = {:.3}", s.name, wa, wb, p);
         }
     }
 }

@@ -80,7 +80,10 @@ fn main() {
             let seed = 60 + rep;
             let mut sampler = BoSampler::pure(seed);
             sampler.impute_pending = impute;
-            let mut method = ABoWith { inner: ABo::new(seed), sampler };
+            let mut method = ABoWith {
+                inner: ABo::new(seed),
+                sampler,
+            };
             finals.push(run(&mut method, &bench, &RunConfig::new(8, budget, seed)).best_value);
         }
         println!(

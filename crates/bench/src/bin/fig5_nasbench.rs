@@ -15,9 +15,11 @@ use hypertune::prelude::*;
 use hypertune_bench::{budget_divisor, evaluate_method, report, speedup, MethodSummary};
 use std::path::PathBuf;
 
+type DatasetEntry = (Box<dyn Fn(u64) -> TabularNasBench>, f64, &'static str);
+
 fn main() {
     report::header("Figure 5: NAS-Bench-201 architecture search");
-    let datasets: Vec<(Box<dyn Fn(u64) -> TabularNasBench>, f64, &str)> = vec![
+    let datasets: Vec<DatasetEntry> = vec![
         (Box::new(tasks::nas_cifar10_valid), 24.0, "CIFAR-10-Valid"),
         (Box::new(tasks::nas_cifar100), 48.0, "CIFAR-100"),
         (Box::new(tasks::nas_imagenet16), 120.0, "ImageNet16-120"),
@@ -52,11 +54,7 @@ fn main() {
         if let Some(opt) = bench.optimum() {
             println!("global optimum of the table: {opt:.4}");
             let ht = summaries.iter().find(|s| s.name == "Hyper-Tune").unwrap();
-            let reached = ht
-                .final_values
-                .iter()
-                .filter(|&&v| v <= opt + 1e-6)
-                .count();
+            let reached = ht.final_values.iter().filter(|&&v| v <= opt + 1e-6).count();
             println!(
                 "Hyper-Tune reached the optimum in {reached}/{} runs",
                 ht.final_values.len()

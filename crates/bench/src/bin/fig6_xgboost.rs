@@ -14,9 +14,11 @@ use hypertune::prelude::*;
 use hypertune_bench::{budget_divisor, evaluate_method, report, MethodSummary};
 use std::path::PathBuf;
 
+type DatasetEntry = (Box<dyn Fn(u64) -> SyntheticBenchmark>, f64, &'static str);
+
 fn main() {
     report::header("Figure 6: XGBoost on four large datasets");
-    let datasets: Vec<(Box<dyn Fn(u64) -> SyntheticBenchmark>, f64, &str)> = vec![
+    let datasets: Vec<DatasetEntry> = vec![
         (Box::new(tasks::xgboost_pokerhand), 2.0, "Pokerhand"),
         (Box::new(tasks::xgboost_covertype), 3.0, "Covertype"),
         (Box::new(tasks::xgboost_hepmass), 6.0, "Hepmass"),
@@ -45,13 +47,20 @@ fn main() {
             summaries.push(evaluate_method(kind, &bench, &config, 10));
         }
         report::print_series(
-            &format!("{label} (budget {:.1} h, 8 workers, subset fidelity)", budget / 3600.0),
+            &format!(
+                "{label} (budget {:.1} h, 8 workers, subset fidelity)",
+                budget / 3600.0
+            ),
             &summaries,
             3600.0,
             "h",
         );
         println!("{}", hypertune_bench::plot::ascii_chart(&summaries, 72, 14));
-        report::print_final_table(&format!("{label}: converged validation error"), &summaries, "err");
+        report::print_final_table(
+            &format!("{label}: converged validation error"),
+            &summaries,
+            "err",
+        );
 
         // Paper's qualitative checks.
         let best = summaries

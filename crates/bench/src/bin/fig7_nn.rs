@@ -36,15 +36,22 @@ fn main() {
             summaries.push(evaluate_method(kind, &bench, &config, 10));
         }
         report::print_series(
-            &format!("(a) LSTM on Penn Treebank, perplexity (budget {:.1} h, 4 workers)", budget / 3600.0),
+            &format!(
+                "(a) LSTM on Penn Treebank, perplexity (budget {:.1} h, 4 workers)",
+                budget / 3600.0
+            ),
             &summaries,
             3600.0,
             "h",
         );
         println!("{}", hypertune_bench::plot::ascii_chart(&summaries, 72, 14));
         report::print_final_table("(a) LSTM: converged perplexity", &summaries, "ppl");
-        report::write_json(&PathBuf::from("results/fig7_lstm.json"), "LSTM-PTB", &summaries)
-            .expect("write results");
+        report::write_json(
+            &PathBuf::from("results/fig7_lstm.json"),
+            "LSTM-PTB",
+            &summaries,
+        )
+        .expect("write results");
     }
 
     // (b) ResNet / CIFAR-10, validation error.
@@ -57,15 +64,22 @@ fn main() {
             summaries.push(evaluate_method(kind, &bench, &config, 10));
         }
         report::print_series(
-            &format!("(b) ResNet on CIFAR-10, val error (budget {:.1} h, 4 workers)", budget / 3600.0),
+            &format!(
+                "(b) ResNet on CIFAR-10, val error (budget {:.1} h, 4 workers)",
+                budget / 3600.0
+            ),
             &summaries,
             3600.0,
             "h",
         );
         println!("{}", hypertune_bench::plot::ascii_chart(&summaries, 72, 14));
         report::print_final_table("(b) ResNet: converged error", &summaries, "err");
-        report::write_json(&PathBuf::from("results/fig7_resnet.json"), "ResNet-CIFAR10", &summaries)
-            .expect("write results");
+        report::write_json(
+            &PathBuf::from("results/fig7_resnet.json"),
+            "ResNet-CIFAR10",
+            &summaries,
+        )
+        .expect("write results");
     }
     println!("\nseries written to results/fig7_lstm.json and results/fig7_resnet.json");
 }

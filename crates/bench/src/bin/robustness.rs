@@ -64,7 +64,10 @@ fn main() {
     for (mult, summaries) in &rows {
         print!("{mult:<12}");
         for s in summaries {
-            print!(" {:>22}", format!("{:.4} ± {:.4}", s.mean_final(), s.std_final()));
+            print!(
+                " {:>22}",
+                format!("{:.4} ± {:.4}", s.mean_final(), s.std_final())
+            );
         }
         println!();
     }
@@ -78,7 +81,11 @@ fn main() {
     }
 
     let flat: Vec<MethodSummary> = rows.into_iter().flat_map(|(_, s)| s).collect();
-    report::write_json(&PathBuf::from("results/robustness.json"), "robustness", &flat)
-        .expect("write results");
+    report::write_json(
+        &PathBuf::from("results/robustness.json"),
+        "robustness",
+        &flat,
+    )
+    .expect("write results");
     println!("\nseries written to results/robustness.json");
 }

@@ -117,7 +117,9 @@ fn main() {
             .bench
             .evaluate(&manual_cfg, col.bench.max_resource(), 0)
             .test_value;
-        rows[0].1.push(format!("{:.2} ± 0.00", (col.to_unit)(manual)));
+        rows[0]
+            .1
+            .push(format!("{:.2} ± 0.00", (col.to_unit)(manual)));
 
         for (r, kind) in methods.iter().enumerate() {
             if col.skip_bo_family && bo_family.contains(kind) {

@@ -20,7 +20,10 @@ fn main() {
 
     // Manual setting: AUC of the hand-picked configuration.
     let manual_cfg = tasks::manual_config(bench.space());
-    let manual_auc = 1.0 - bench.evaluate(&manual_cfg, bench.max_resource(), 0).test_value;
+    let manual_auc = 1.0
+        - bench
+            .evaluate(&manual_cfg, bench.max_resource(), 0)
+            .test_value;
     println!("\nmanual setting AUC: {:.4}\n", manual_auc);
 
     let comparison = [

@@ -31,7 +31,9 @@ pub fn n_repeats() -> u64 {
 
 /// `true` when `HYPERTUNE_FULL=1` requests paper-scale experiments.
 pub fn full_scale() -> bool {
-    std::env::var("HYPERTUNE_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("HYPERTUNE_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Budget scale factor: paper budgets are divided by this. Runs are so
@@ -161,7 +163,12 @@ pub fn summarize(name: &str, runs: Vec<RunResult>, budget: f64, grid_n: usize) -
         final_values: runs.iter().map(|r| r.best_value).collect(),
         final_tests: runs.iter().map(|r| r.best_test).collect(),
         utilization: mean(&runs.iter().map(|r| r.utilization).collect::<Vec<_>>()),
-        mean_evals: mean(&runs.iter().map(|r| r.total_evals as f64).collect::<Vec<_>>()),
+        mean_evals: mean(
+            &runs
+                .iter()
+                .map(|r| r.total_evals as f64)
+                .collect::<Vec<_>>(),
+        ),
         runs,
     }
 }

@@ -30,7 +30,11 @@ pub fn ascii_chart(summaries: &[MethodSummary], width: usize, height: usize) -> 
             if !v.is_finite() {
                 continue;
             }
-            let col = if n <= 1 { 0 } else { gi * (width - 1) / (n - 1) };
+            let col = if n <= 1 {
+                0
+            } else {
+                gi * (width - 1) / (n - 1)
+            };
             let row_f = (v - lo) / span;
             // Row 0 is the top (max value).
             let row = ((1.0 - row_f) * (height - 1) as f64).round() as usize;

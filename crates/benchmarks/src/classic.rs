@@ -221,15 +221,13 @@ mod tests {
         let b = BraninMf::new(10.0, 2);
         let c = Config::new(vec![ParamValue::Float(2.0), ParamValue::Float(3.0)]);
         // Average over seeds to isolate the deterministic bias.
-        let mean_low: f64 =
-            (0..100).map(|s| b.evaluate(&c, 1.0, s).value).sum::<f64>() / 100.0;
+        let mean_low: f64 = (0..100).map(|s| b.evaluate(&c, 1.0, s).value).sum::<f64>() / 100.0;
         let exact = b.branin(&c);
         // Bias magnitude should typically be visible (scale 10, centred).
         assert!((mean_low - exact).abs() < 10.0);
         // Deterministic part differs across configs (it's a surface).
         let c2 = Config::new(vec![ParamValue::Float(-4.0), ParamValue::Float(14.0)]);
-        let mean_low2: f64 =
-            (0..100).map(|s| b.evaluate(&c2, 1.0, s).value).sum::<f64>() / 100.0;
+        let mean_low2: f64 = (0..100).map(|s| b.evaluate(&c2, 1.0, s).value).sum::<f64>() / 100.0;
         assert_ne!(
             (mean_low - exact).round(),
             (mean_low2 - b.branin(&c2)).round()

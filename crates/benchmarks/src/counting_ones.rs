@@ -168,8 +168,7 @@ mod tests {
     fn estimates_unbiased() {
         let b = CountingOnes::new(0, 4, 5);
         let c = Config::new((0..4).map(|_| ParamValue::Float(0.3)).collect());
-        let mean: f64 =
-            (0..500).map(|s| b.evaluate(&c, 9.0, s).value).sum::<f64>() / 500.0;
+        let mean: f64 = (0..500).map(|s| b.evaluate(&c, 9.0, s).value).sum::<f64>() / 500.0;
         assert!((mean - (-0.3)).abs() < 0.01, "mean {mean}");
     }
 

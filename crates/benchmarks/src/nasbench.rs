@@ -126,8 +126,7 @@ impl TabularNasBench {
             q += 0.25 * (arng.gen::<f64>() * 2.0 - 1.0);
             raw.push(q);
             kappa.push(2.0 + 8.0 * arng.gen::<f64>());
-            let epoch_cost: f64 =
-                ops.iter().map(|&o| OP_COST[o]).sum::<f64>() / N_EDGES as f64;
+            let epoch_cost: f64 = ops.iter().map(|&o| OP_COST[o]).sum::<f64>() / N_EDGES as f64;
             cost_factor.push(epoch_cost * (0.9 + 0.2 * arng.gen::<f64>()));
         }
 
@@ -214,8 +213,7 @@ impl Benchmark for TabularNasBench {
         let sigma = self.spec.noise_full * (self.max_epochs / epochs).sqrt();
         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
         let u2: f64 = rng.gen();
-        let noise =
-            sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let noise = sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         let i = self.arch_index(config);
         // Test error tracks validation with a small stable offset.
         let mut trng = StdRng::seed_from_u64(self.spec.seed ^ (i as u64).wrapping_mul(0x51ed));
@@ -271,7 +269,7 @@ mod tests {
     fn optimum_attained_by_some_arch() {
         let b = bench();
         let opt = b.optimum().unwrap();
-        assert!(opt >= 0.08 && opt < 0.2, "optimum {opt}");
+        assert!((0.08..0.2).contains(&opt), "optimum {opt}");
         let all = b.space().enumerate(20_000).unwrap();
         let best = all
             .iter()

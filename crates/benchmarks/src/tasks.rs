@@ -82,7 +82,14 @@ pub fn industrial_space() -> ConfigSpace {
     b.build()
 }
 
-fn xgboost_task(name: &str, err_best: f64, err_worst: f64, err_init: f64, full_cost_secs: f64, seed: u64) -> SyntheticBenchmark {
+fn xgboost_task(
+    name: &str,
+    err_best: f64,
+    err_worst: f64,
+    err_init: f64,
+    full_cost_secs: f64,
+    seed: u64,
+) -> SyntheticBenchmark {
     SyntheticSpec {
         name: name.into(),
         space: xgboost_space(),
@@ -109,7 +116,14 @@ pub fn xgboost_covertype(seed: u64) -> SyntheticBenchmark {
 
 /// XGBoost on Pokerhand: near-separable task (Table 2 reaches 99.9%).
 pub fn xgboost_pokerhand(seed: u64) -> SyntheticBenchmark {
-    xgboost_task("xgboost-pokerhand", 0.0007, 0.0250, 0.50, 600.0, 2000 + seed)
+    xgboost_task(
+        "xgboost-pokerhand",
+        0.0007,
+        0.0250,
+        0.50,
+        600.0,
+        2000 + seed,
+    )
 }
 
 /// XGBoost on Hepmass: large binary task, narrow headroom (Table 2:

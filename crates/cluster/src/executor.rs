@@ -167,7 +167,9 @@ mod tests {
 
     #[test]
     fn rejects_oversubscription() {
-        let mut pool = ThreadPool::new(2, |_: &u8| std::thread::sleep(std::time::Duration::from_millis(20)));
+        let mut pool = ThreadPool::new(2, |_: &u8| {
+            std::thread::sleep(std::time::Duration::from_millis(20))
+        });
         pool.submit(1).unwrap();
         pool.submit(2).unwrap();
         assert_eq!(pool.submit(3), Err(ClusterError::NoIdleWorker));

@@ -243,7 +243,10 @@ mod tests {
         let mut c: SimCluster<u32> = SimCluster::new(1);
         assert_eq!(c.submit(1, -1.0), Err(ClusterError::InvalidDuration));
         assert_eq!(c.submit(1, f64::NAN), Err(ClusterError::InvalidDuration));
-        assert_eq!(c.submit(1, f64::INFINITY), Err(ClusterError::InvalidDuration));
+        assert_eq!(
+            c.submit(1, f64::INFINITY),
+            Err(ClusterError::InvalidDuration)
+        );
         // Worker was not consumed by failed submissions.
         assert_eq!(c.idle_workers(), 1);
     }
@@ -287,7 +290,7 @@ mod tests {
         c.submit(1, 5.0).unwrap();
         c.next_completion().unwrap(); // t = 5
         c.next_completion().unwrap(); // t = 10
-        // Worker 0 busy 10s, worker 1 busy 5s, horizon 2 * 10 = 20.
+                                      // Worker 0 busy 10s, worker 1 busy 5s, horizon 2 * 10 = 20.
         assert!((c.utilization() - 0.75).abs() < 1e-12);
     }
 

@@ -51,15 +51,24 @@ impl BracketSelector {
     ///
     /// Panics if `theta.len() != K`.
     pub fn update_theta(&mut self, theta: &[f64]) {
-        assert_eq!(theta.len(), self.k(), "theta must have one entry per bracket");
-        let raw: Vec<f64> = theta
+        assert_eq!(
+            theta.len(),
+            self.k(),
+            "theta must have one entry per bracket"
+        );
+        let mut raw: Vec<f64> = theta
             .iter()
             .zip(&self.resources)
             .map(|(&t, &r)| (t.max(0.0)) / r)
             .collect();
         let total: f64 = raw.iter().sum();
         if total > 0.0 && total.is_finite() {
-            self.weights = Some(raw.into_iter().map(|w| w / total).collect());
+            // Normalize in place; θ refreshes land on the scheduler's hot
+            // path and there is no need for a second buffer.
+            for w in &mut raw {
+                *w /= total;
+            }
+            self.weights = Some(raw);
         }
     }
 
@@ -75,10 +84,9 @@ impl BracketSelector {
 
     /// Selects the bracket for the next partial-evaluation design.
     pub fn select<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
-        let pick = if self.in_init_phase() || self.weights.is_none() {
-            self.selections % self.k()
-        } else {
-            sample_categorical(self.weights.as_ref().expect("checked above"), rng)
+        let pick = match &self.weights {
+            Some(w) if !self.in_init_phase() => sample_categorical(w, rng),
+            _ => self.selections % self.k(),
         };
         self.selections += 1;
         pick

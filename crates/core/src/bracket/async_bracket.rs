@@ -201,7 +201,11 @@ mod tests {
     #[test]
     fn dasha_counts_inflight_promotions() {
         let mut b = AsyncBracket::new(&levels(), 0, true);
-        feed(&mut b, 0, &(0..9).map(|i| i as f64 / 10.0).collect::<Vec<_>>());
+        feed(
+            &mut b,
+            0,
+            &(0..9).map(|i| i as f64 / 10.0).collect::<Vec<_>>(),
+        );
         // 9 base results: quota allows |D_1| + 1 <= 3 promotions.
         assert!(b.try_promote().is_some());
         assert!(b.try_promote().is_some());

@@ -50,9 +50,7 @@ impl CurveFit {
         match self.family {
             CurveFamily::Pow3 => self.asymptote + self.amplitude * r.powf(-self.rate),
             CurveFamily::Exp => self.asymptote + self.amplitude * (-self.rate * r).exp(),
-            CurveFamily::Log => {
-                self.asymptote + self.amplitude / (r + std::f64::consts::E).ln()
-            }
+            CurveFamily::Log => self.asymptote + self.amplitude / (r + std::f64::consts::E).ln(),
         }
     }
 
@@ -160,12 +158,7 @@ fn linear_fit(points: &[(f64, f64)], phi: impl Fn(f64) -> f64) -> Option<(f64, f
 /// The stop decision of an extrapolation-based scheduler: continue the
 /// configuration only if its predicted value at `r_max`, minus a safety
 /// band of `band_rmse` × RMSE, could still beat `incumbent`.
-pub fn should_continue(
-    points: &[(f64, f64)],
-    r_max: f64,
-    incumbent: f64,
-    band_rmse: f64,
-) -> bool {
+pub fn should_continue(points: &[(f64, f64)], r_max: f64, incumbent: f64, band_rmse: f64) -> bool {
     match fit_curve(points) {
         // No reliable fit: keep training (the conservative default).
         None => true,
@@ -256,7 +249,10 @@ mod tests {
     fn best_family_selected_by_sse() {
         // Data generated from log decay should not be fit terribly by
         // whatever family wins — SSE bounded.
-        let pts = curve(|r| 0.2 + 0.5 / (r + std::f64::consts::E).ln(), &[1.0, 3.0, 9.0, 27.0]);
+        let pts = curve(
+            |r| 0.2 + 0.5 / (r + std::f64::consts::E).ln(),
+            &[1.0, 3.0, 9.0, 27.0],
+        );
         let fit = fit_curve(&pts).unwrap();
         assert!(fit.sse < 1e-9, "{fit:?}");
         assert_eq!(fit.family, CurveFamily::Log);

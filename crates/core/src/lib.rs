@@ -31,14 +31,14 @@
 //! (Hyper-Tune without bracket selection / D-ASHA / MFES).
 
 pub mod allocator;
-pub mod diagnostics;
 pub mod bracket;
+pub mod diagnostics;
 pub mod history;
 pub mod lce;
 pub mod levels;
 pub mod method;
-pub mod persist;
 pub mod methods;
+pub mod persist;
 pub mod ranking;
 pub mod runner;
 pub mod runner_threaded;

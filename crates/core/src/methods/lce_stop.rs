@@ -68,10 +68,7 @@ impl Method for LceStop {
 
     fn on_result(&mut self, outcome: &Outcome, ctx: &mut MethodContext<'_>) {
         let level = outcome.spec.level;
-        let curve = self
-            .curves
-            .entry(outcome.spec.config.clone())
-            .or_default();
+        let curve = self.curves.entry(outcome.spec.config.clone()).or_default();
         curve.push((outcome.spec.resource, outcome.value));
         if level >= ctx.levels.max_level() {
             // Complete: the curve is no longer needed.

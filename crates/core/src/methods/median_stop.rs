@@ -75,7 +75,9 @@ impl Method for MedianStop {
         // Median rule: continue while at or below the median (with a
         // grace period before any stopping happens at this level).
         let survives = values.len() <= self.grace_results
-            || stats::median(values).map(|m| outcome.value <= m).unwrap_or(true);
+            || stats::median(values)
+                .map(|m| outcome.value <= m)
+                .unwrap_or(true);
         if survives {
             self.ready_to_climb
                 .push_back((outcome.spec.config.clone(), level + 1));

@@ -19,9 +19,9 @@ mod simple;
 mod sync_hb;
 
 pub use async_hb::{AsyncHb, BracketPolicy};
-pub use simple::{ABo, ARandom, ARea, BatchBo};
 pub use lce_stop::LceStop;
 pub use median_stop::MedianStop;
+pub use simple::{ABo, ARandom, ARea, BatchBo};
 pub use sync_hb::{CyclePolicy, SyncHb};
 
 use crate::levels::ResourceLevels;

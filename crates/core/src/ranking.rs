@@ -8,6 +8,25 @@
 //! (the paper's MCMC step, Eq. 2) converts the losses into
 //! `θ_i = P(level i has the least loss)` — the weights that drive both
 //! bracket selection and the MFES ensemble.
+//!
+//! This module sits on the tuner's hot path — θ is re-estimated as the
+//! history grows, and each estimate fits `K` forests and counts ordered
+//! pairs over `S` bootstrap replicates — so it is built for speed:
+//!
+//! - [`ranking_loss`] counts discordant pairs in `O(n log n)` by sorting
+//!   on predictions and merge-counting strict inversions in the observed
+//!   targets (the naive `O(n²)` scan survives as
+//!   [`ranking_loss_naive`], the reference the property tests check
+//!   against);
+//! - per-level surrogates are cached in [`ThetaModelCache`] keyed by the
+//!   level's measurement count, so append-only history growth at other
+//!   levels never triggers a refit — and because each fit's seed depends
+//!   only on `(seed, level)`, a cache hit is bit-identical to a refit;
+//! - level fits and cross-validation folds run on scoped threads when the
+//!   machine has more than one core, and all level predictions go through
+//!   the forest's tree-major batch path.
+
+use std::collections::HashMap;
 
 use hypertune_space::ConfigSpace;
 use hypertune_surrogate::{RandomForest, SurrogateModel};
@@ -20,7 +39,7 @@ use crate::history::History;
 pub const BOOTSTRAP_SAMPLES: usize = 100;
 
 /// Cap on the number of `D_K` points used per bootstrap replicate, to
-/// bound the `O(n²)` pair count as the history grows.
+/// bound the pair count as the history grows.
 const MAX_BOOT_POINTS: usize = 64;
 
 /// Minimum measurements a level needs before its surrogate participates.
@@ -29,10 +48,57 @@ pub const MIN_POINTS_PER_LEVEL: usize = 3;
 /// Minimum complete evaluations before `θ` can be estimated at all.
 pub const MIN_FULL_EVALS: usize = 4;
 
+fn cmp_f64(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
 /// Eq. 1: number of pairs `(j, k)` whose predicted order disagrees with
 /// the observed order (the exclusive-or in the paper). Ties in either
-/// ranking count as ordered both ways and never disagree.
+/// ranking carry no ordering information and never disagree.
+///
+/// Runs in `O(n log n)`: indices are sorted by `(pred, y)` and the
+/// discordant pairs are exactly the strict inversions of the observed
+/// targets in that order — pred-tied pairs sort by `y` ascending (no
+/// inversion), y-tied pairs are excluded by the strict comparison, and
+/// every other pair inverts iff the two rankings disagree. Below
+/// [`SMALL_LOSS_CUTOFF`] the quadratic loop is used instead: it allocates
+/// nothing and beats the sort's constant factor on tiny inputs (the θ
+/// bootstrap calls this hundreds of times per refresh); above it, sort
+/// buffers come from a thread-local scratch, so steady-state calls do not
+/// allocate either.
 pub fn ranking_loss(preds: &[f64], ys: &[f64]) -> usize {
+    debug_assert_eq!(preds.len(), ys.len());
+    let n = ys.len();
+    if n < SMALL_LOSS_CUTOFF {
+        return ranking_loss_naive(preds, ys);
+    }
+    thread_local! {
+        static BUFFERS: std::cell::RefCell<(Vec<usize>, Vec<f64>, Vec<f64>)> =
+            const { std::cell::RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+    }
+    BUFFERS.with(|cell| {
+        let (order, seq, scratch) = &mut *cell.borrow_mut();
+        order.clear();
+        order.extend(0..n);
+        // Unstable sort: value-equal (pred, y) keys are interchangeable.
+        order.sort_unstable_by(|&a, &b| {
+            cmp_f64(preds[a], preds[b]).then_with(|| cmp_f64(ys[a], ys[b]))
+        });
+        seq.clear();
+        seq.extend(order.iter().map(|&i| ys[i]));
+        scratch.clear();
+        scratch.resize(n, 0.0);
+        count_strict_inversions(seq, scratch)
+    })
+}
+
+/// Crossover below which the quadratic pair loop outruns the sort-based
+/// inversion count (measured on the θ bootstrap's capped replicates).
+const SMALL_LOSS_CUTOFF: usize = 33;
+
+/// Reference `O(n²)` implementation of [`ranking_loss`], kept for the
+/// property tests that pin the fast path to the paper's pair semantics.
+pub fn ranking_loss_naive(preds: &[f64], ys: &[f64]) -> usize {
     debug_assert_eq!(preds.len(), ys.len());
     let n = ys.len();
     let mut loss = 0;
@@ -52,6 +118,72 @@ pub fn ranking_loss(preds: &[f64], ys: &[f64]) -> usize {
     loss
 }
 
+/// Merge-sort count of pairs `(a, b)` with `a` before `b` and
+/// `seq[a] > seq[b]` strictly. Sorts `seq` in place; `scratch` must be the
+/// same length.
+fn count_strict_inversions(seq: &mut [f64], scratch: &mut [f64]) -> usize {
+    let n = seq.len();
+    if n < 2 {
+        return 0;
+    }
+    let mid = n / 2;
+    let (left_half, right_half) = seq.split_at_mut(mid);
+    let (scratch_l, scratch_r) = scratch.split_at_mut(mid);
+    let mut inversions = count_strict_inversions(left_half, scratch_l)
+        + count_strict_inversions(right_half, scratch_r);
+    // Merge the sorted halves, counting how many left elements remain
+    // (all strictly greater) each time a right element wins.
+    let mut i = 0;
+    let mut j = 0;
+    for slot in scratch.iter_mut().take(n) {
+        if i < mid && (j >= n - mid || left_half[i] <= right_half[j]) {
+            *slot = left_half[i];
+            i += 1;
+        } else {
+            inversions += mid - i;
+            *slot = right_half[j];
+            j += 1;
+        }
+    }
+    seq.copy_from_slice(&scratch[..n]);
+    inversions
+}
+
+/// Runs `f(0), .., f(count - 1)` — on scoped worker threads when the
+/// machine has more than one core — returning results in index order.
+/// Shared with the samplers for their per-level surrogate fits.
+pub(crate) fn run_indexed<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(count.max(1));
+    if threads <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let chunk = count.div_ceil(threads);
+    let f = &f;
+    let parts: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    ((w * chunk)..((w + 1) * chunk).min(count))
+                        .map(f)
+                        .collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("level fit worker panicked"))
+            .collect()
+    });
+    parts.into_iter().flatten().collect()
+}
+
 /// Per-level predictions on the `D_K` configurations, the raw material of
 /// the θ computation. `None` for levels without enough data.
 struct LevelPredictions {
@@ -61,29 +193,79 @@ struct LevelPredictions {
     ys: Vec<f64>,
 }
 
+/// Caches the fitted per-level surrogates (and the top level's
+/// cross-validated predictions) between θ computations.
+///
+/// History is append-only, so a level's measurement count identifies its
+/// training set exactly; each entry is keyed by the count it was fitted
+/// at and refit only when that count changes. Fit seeds depend only on
+/// `(seed, level)` — never on call order — so a cache hit produces the
+/// same θ, bit for bit, as a from-scratch recomputation.
+#[derive(Debug, Clone, Default)]
+pub struct ThetaModelCache {
+    /// `level -> (measurement count when fitted, fitted forest)`.
+    models: HashMap<usize, (usize, RandomForest)>,
+    /// `level -> (fit count, full-level count, predictions on D_K)` —
+    /// pure function of the cached model and `D_K`, so valid while both
+    /// counts match.
+    preds: HashMap<usize, (usize, usize, Vec<f64>)>,
+    /// `(full-level count when computed, CV predictions)`.
+    cv: Option<(usize, Vec<f64>)>,
+}
+
+impl ThetaModelCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached level surrogates (test hook).
+    pub fn cached_levels(&self) -> usize {
+        self.models.len()
+    }
+}
+
 /// Computes `θ` (Eq. 2): the probability, under bootstrap resampling of
 /// `D_K`, that each level's surrogate attains the least ranking loss.
 ///
 /// Returns `None` until at least [`MIN_FULL_EVALS`] complete evaluations
 /// exist. Levels whose surrogates cannot be fit get `θ_i = 0`.
 pub fn compute_theta(history: &History, space: &ConfigSpace, seed: u64) -> Option<Vec<f64>> {
-    let lp = level_predictions(history, space, seed)?;
+    compute_theta_cached(history, space, seed, &mut ThetaModelCache::new())
+}
+
+/// [`compute_theta`] reusing fitted level surrogates from `cache`; callers
+/// that re-estimate θ as the history grows (the [`ThetaTracker`]) only pay
+/// for levels whose data actually changed.
+pub fn compute_theta_cached(
+    history: &History,
+    space: &ConfigSpace,
+    seed: u64,
+    cache: &mut ThetaModelCache,
+) -> Option<Vec<f64>> {
+    let lp = level_predictions(history, space, seed, cache)?;
     let k = lp.preds.len();
     let n = lp.ys.len();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xda7a);
     let mut wins = vec![0usize; k];
     let boot_n = n.min(MAX_BOOT_POINTS);
     let mut idx = vec![0usize; boot_n];
+    let mut ys = vec![0.0; boot_n];
+    let mut p = vec![0.0; boot_n];
     for _ in 0..BOOTSTRAP_SAMPLES {
         for slot in idx.iter_mut() {
             *slot = rng.gen_range(0..n);
         }
-        let ys: Vec<f64> = idx.iter().map(|&i| lp.ys[i]).collect();
+        for (slot, &i) in ys.iter_mut().zip(&idx) {
+            *slot = lp.ys[i];
+        }
         let mut best_loss = usize::MAX;
         let mut best_levels: Vec<usize> = Vec::new();
         for (level, preds) in lp.preds.iter().enumerate() {
             let Some(preds) = preds else { continue };
-            let p: Vec<f64> = idx.iter().map(|&i| preds[i]).collect();
+            for (slot, &i) in p.iter_mut().zip(&idx) {
+                *slot = preds[i];
+            }
             let loss = ranking_loss(&p, &ys);
             match loss.cmp(&best_loss) {
                 std::cmp::Ordering::Less => {
@@ -114,12 +296,14 @@ fn pick_random<'a, T>(xs: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
     }
 }
 
-/// Fits the per-level base surrogates and evaluates them on the `D_K`
-/// configurations; `M_K` itself is evaluated by 5-fold cross-validation.
+/// Fits the per-level base surrogates (reusing `cache` where the data is
+/// unchanged) and evaluates them on the `D_K` configurations; `M_K` itself
+/// is evaluated by 5-fold cross-validation.
 fn level_predictions(
     history: &History,
     space: &ConfigSpace,
     seed: u64,
+    cache: &mut ThetaModelCache,
 ) -> Option<LevelPredictions> {
     let top = history.levels().max_level();
     let full = history.group(top);
@@ -129,49 +313,105 @@ fn level_predictions(
     let xs_full: Vec<Vec<f64>> = full.iter().map(|m| space.encode(&m.config)).collect();
     let ys: Vec<f64> = full.iter().map(|m| m.value).collect();
 
+    // Fit the lower levels whose data changed since the cache entry was
+    // made — in parallel when cores allow; seeds depend only on
+    // `(seed, level)` so the result never depends on which levels hit.
+    let stale: Vec<usize> = (0..top)
+        .filter(|&level| {
+            history.len_at(level) >= MIN_POINTS_PER_LEVEL
+                && cache.models.get(&level).map(|(n, _)| *n) != Some(history.len_at(level))
+        })
+        .collect();
+    let refitted: Vec<(usize, Option<RandomForest>)> = run_indexed(stale.len(), |i| {
+        let level = stale[i];
+        let (x, y) =
+            history.training_data_capped(level, space, crate::sampler::bo::MAX_TRAIN_POINTS);
+        let mut rf = RandomForest::new(seed ^ (level as u64) << 8);
+        match rf.fit(&x, &y) {
+            Ok(()) => (level, Some(rf)),
+            Err(_) => (level, None),
+        }
+    });
+    for (level, rf) in refitted {
+        match rf {
+            Some(rf) => {
+                cache.models.insert(level, (history.len_at(level), rf));
+            }
+            None => {
+                cache.models.remove(&level);
+            }
+        }
+    }
+
+    let nk = full.len();
     let mut preds: Vec<Option<Vec<f64>>> = Vec::with_capacity(top + 1);
     for level in 0..top {
-        if history.len_at(level) < MIN_POINTS_PER_LEVEL {
+        let n_level = history.len_at(level);
+        if n_level < MIN_POINTS_PER_LEVEL {
             preds.push(None);
             continue;
         }
-        let (x, y) = history.training_data_capped(level, space, crate::sampler::bo::MAX_TRAIN_POINTS);
-        let mut rf = RandomForest::new(seed ^ (level as u64) << 8);
-        if rf.fit(&x, &y).is_err() {
-            preds.push(None);
-            continue;
-        }
-        let p: Option<Vec<f64>> = xs_full
-            .iter()
-            .map(|x| rf.predict(x).ok().map(|p| p.mean))
-            .collect();
+        let p = match cache.preds.get(&level) {
+            Some((pn, pnk, p)) if *pn == n_level && *pnk == nk => Some(p.clone()),
+            _ => {
+                let fresh: Option<Vec<f64>> = cache.models.get(&level).and_then(|(_, rf)| {
+                    rf.predict_batch(&xs_full)
+                        .ok()
+                        .map(|ps| ps.into_iter().map(|p| p.mean).collect())
+                });
+                match &fresh {
+                    Some(v) => {
+                        cache.preds.insert(level, (n_level, nk, v.clone()));
+                    }
+                    None => {
+                        cache.preds.remove(&level);
+                    }
+                }
+                fresh
+            }
+        };
         preds.push(p);
     }
-    preds.push(cross_val_predictions(&xs_full, &ys, seed));
+
+    if cache.cv.as_ref().map(|(n, _)| *n) != Some(nk) {
+        cache.cv = cross_val_predictions(&xs_full, &ys, seed).map(|p| (nk, p));
+    }
+    preds.push(cache.cv.as_ref().map(|(_, p)| p.clone()));
     Some(LevelPredictions { preds, ys })
 }
 
 /// 5-fold cross-validated predictions of the top-level surrogate on its
-/// own training data (the paper's treatment of `M_K` in Eq. 1).
+/// own training data (the paper's treatment of `M_K` in Eq. 1). Folds are
+/// independent and run on scoped threads when cores allow.
 fn cross_val_predictions(xs: &[Vec<f64>], ys: &[f64], seed: u64) -> Option<Vec<f64>> {
     let n = xs.len();
     if n < MIN_FULL_EVALS {
         return None;
     }
     let folds = 5.min(n);
-    let mut out = vec![0.0; n];
-    for fold in 0..folds {
+    let fold_preds: Vec<Option<Vec<(usize, f64)>>> = run_indexed(folds, |fold| {
         let train_idx: Vec<usize> = (0..n).filter(|i| i % folds != fold).collect();
         let test_idx: Vec<usize> = (0..n).filter(|i| i % folds == fold).collect();
         if train_idx.is_empty() || test_idx.is_empty() {
-            continue;
+            return Some(Vec::new());
         }
         let tx: Vec<Vec<f64>> = train_idx.iter().map(|&i| xs[i].clone()).collect();
         let ty: Vec<f64> = train_idx.iter().map(|&i| ys[i]).collect();
         let mut rf = RandomForest::new(seed ^ 0xcf ^ (fold as u64) << 16);
         rf.fit(&tx, &ty).ok()?;
-        for &i in &test_idx {
-            out[i] = rf.predict(&xs[i]).ok()?.mean;
+        let test_x: Vec<Vec<f64>> = test_idx.iter().map(|&i| xs[i].clone()).collect();
+        let ps = rf.predict_batch(&test_x).ok()?;
+        Some(
+            test_idx
+                .into_iter()
+                .zip(ps.into_iter().map(|p| p.mean))
+                .collect(),
+        )
+    });
+    let mut out = vec![0.0; n];
+    for fp in fold_preds {
+        for (i, mean) in fp? {
+            out[i] = mean;
         }
     }
     Some(out)
@@ -179,7 +419,9 @@ fn cross_val_predictions(xs: &[Vec<f64>], ys: &[f64], seed: u64) -> Option<Vec<f
 
 /// Caches `θ` across calls, recomputing only after enough new complete
 /// evaluations have arrived (refitting `K` forests per completion would
-/// dominate the optimization overhead otherwise).
+/// dominate the optimization overhead otherwise). Holds a
+/// [`ThetaModelCache`] so even a due refresh only refits the levels whose
+/// data changed.
 #[derive(Debug, Clone)]
 pub struct ThetaTracker {
     seed: u64,
@@ -187,6 +429,7 @@ pub struct ThetaTracker {
     theta: Option<Vec<f64>>,
     /// Recompute after this many new complete evaluations.
     refresh_every: usize,
+    cache: ThetaModelCache,
 }
 
 impl ThetaTracker {
@@ -197,6 +440,7 @@ impl ThetaTracker {
             last_nk: 0,
             theta: None,
             refresh_every: 3,
+            cache: ThetaModelCache::new(),
         }
     }
 
@@ -206,17 +450,13 @@ impl ThetaTracker {
     }
 
     /// Refreshes `θ` when due; returns the new value only when it changed.
-    pub fn maybe_refresh(
-        &mut self,
-        history: &History,
-        space: &ConfigSpace,
-    ) -> Option<Vec<f64>> {
+    pub fn maybe_refresh(&mut self, history: &History, space: &ConfigSpace) -> Option<Vec<f64>> {
         let nk = history.len_at(history.levels().max_level());
         if nk < MIN_FULL_EVALS || nk < self.last_nk + self.refresh_every {
             return None;
         }
         self.last_nk = nk;
-        let theta = compute_theta(history, space, self.seed)?;
+        let theta = compute_theta_cached(history, space, self.seed, &mut self.cache)?;
         self.theta = Some(theta.clone());
         Some(theta)
     }
@@ -255,6 +495,26 @@ mod tests {
     fn ties_carry_no_information() {
         assert_eq!(ranking_loss(&[1.0, 1.0], &[0.1, 0.2]), 0);
         assert_eq!(ranking_loss(&[1.0, 2.0], &[0.1, 0.1]), 0);
+    }
+
+    #[test]
+    fn fast_loss_matches_naive_on_fixed_cases() {
+        let cases: &[(&[f64], &[f64])] = &[
+            (&[1.0, 2.0, 3.0], &[0.1, 0.2, 0.3]),
+            (&[3.0, 2.0, 1.0], &[0.1, 0.2, 0.3]),
+            (&[1.0, 0.5, 2.0], &[0.2, 0.3, 0.4]),
+            (&[1.0, 1.0, 2.0, 2.0], &[0.4, 0.3, 0.2, 0.1]),
+            (&[0.5, 0.5, 0.5], &[1.0, 2.0, 3.0]),
+            (&[], &[]),
+            (&[1.0], &[1.0]),
+        ];
+        for (preds, ys) in cases {
+            assert_eq!(
+                ranking_loss(preds, ys),
+                ranking_loss_naive(preds, ys),
+                "preds {preds:?} ys {ys:?}"
+            );
+        }
     }
 
     fn history_with_structure(informative_low: bool) -> (History, ConfigSpace) {
@@ -340,5 +600,39 @@ mod tests {
     fn theta_deterministic_per_seed() {
         let (h, space) = history_with_structure(true);
         assert_eq!(compute_theta(&h, &space, 7), compute_theta(&h, &space, 7));
+    }
+
+    #[test]
+    fn cached_theta_matches_uncached() {
+        let (h, space) = history_with_structure(true);
+        let mut cache = ThetaModelCache::new();
+        let warm = compute_theta_cached(&h, &space, 7, &mut cache);
+        assert!(cache.cached_levels() > 0);
+        // Second call hits the cache for every level; θ must be identical.
+        let hit = compute_theta_cached(&h, &space, 7, &mut cache);
+        let cold = compute_theta(&h, &space, 7);
+        assert_eq!(warm, cold);
+        assert_eq!(hit, cold);
+    }
+
+    #[test]
+    fn cache_refits_only_changed_levels() {
+        let (mut h, space) = history_with_structure(true);
+        let mut cache = ThetaModelCache::new();
+        compute_theta_cached(&h, &space, 7, &mut cache).unwrap();
+        // Append at level 0 only: its entry must refresh, and the cached
+        // result must still match a from-scratch computation.
+        h.record(Measurement {
+            config: Config::new(vec![ParamValue::Float(0.33)]),
+            level: 0,
+            resource: 1.0,
+            value: 0.33,
+            test_value: 0.33,
+            cost: 1.0,
+            finished_at: 99.0,
+        });
+        let cached = compute_theta_cached(&h, &space, 7, &mut cache);
+        let cold = compute_theta(&h, &space, 7);
+        assert_eq!(cached, cold);
     }
 }

@@ -238,7 +238,12 @@ pub fn run(method: &mut dyn Method, benchmark: &dyn Benchmark, config: &RunConfi
 
     let horizon = cluster.now().min(config.budget).max(f64::MIN_POSITIVE);
     let (best_value, best_test, best_config, best_resource) = match history.incumbent() {
-        Some(m) => (m.value, m.test_value, Some(m.config.clone()), Some(m.resource)),
+        Some(m) => (
+            m.value,
+            m.test_value,
+            Some(m.config.clone()),
+            Some(m.resource),
+        ),
         None => (f64::INFINITY, f64::INFINITY, None, None),
     };
     RunResult {

@@ -87,9 +87,10 @@ pub fn run_threaded(
 
     let bench_for_pool = Arc::clone(&benchmark);
     let seed = config.seed;
-    let mut pool: ThreadPool<JobSpec, Eval> = ThreadPool::new(config.n_workers, move |job: &JobSpec| {
-        bench_for_pool.evaluate(&job.config, job.resource, seed)
-    });
+    let mut pool: ThreadPool<JobSpec, Eval> =
+        ThreadPool::new(config.n_workers, move |job: &JobSpec| {
+            bench_for_pool.evaluate(&job.config, job.resource, seed)
+        });
 
     let mut completed = 0usize;
     let mut dispatched = 0usize;
@@ -188,7 +189,12 @@ mod tests {
     use crate::methods::MethodKind;
     use hypertune_benchmarks::CountingOnes;
 
-    fn threaded(kind: MethodKind, workers: usize, max_evals: usize, seed: u64) -> ThreadedRunResult {
+    fn threaded(
+        kind: MethodKind,
+        workers: usize,
+        max_evals: usize,
+        seed: u64,
+    ) -> ThreadedRunResult {
         let bench: Arc<dyn Benchmark> = Arc::new(CountingOnes::new(4, 4, 7));
         let levels = ResourceLevels::new(bench.max_resource(), 3);
         let mut method = kind.build(&levels, seed);
@@ -210,7 +216,11 @@ mod tests {
 
     #[test]
     fn async_and_sync_methods_both_run() {
-        for kind in [MethodKind::HyperTune, MethodKind::Hyperband, MethodKind::BatchBo] {
+        for kind in [
+            MethodKind::HyperTune,
+            MethodKind::Hyperband,
+            MethodKind::BatchBo,
+        ] {
             let r = threaded(kind, 3, 30, 2);
             assert_eq!(r.total_evals, 30, "{}", kind.name());
         }

@@ -16,9 +16,26 @@ use crate::method::MethodContext;
 
 /// Cap on surrogate training-set size; refits stay cheap as runs grow.
 pub const MAX_TRAIN_POINTS: usize = 300;
-use crate::sampler::Sampler;
+use crate::sampler::{derive_model_seed, pending_fingerprint, Sampler};
+
+/// The fitted surrogate plus the state it was fitted against: modelled
+/// level, that level's measurement count, the pending fingerprint, and
+/// the incumbent value observed at fit time.
+#[derive(Debug, Clone)]
+struct CachedModel {
+    level: usize,
+    n: usize,
+    pending_fp: u64,
+    best_y: f64,
+    rf: RandomForest,
+}
 
 /// Bayesian-optimization sampler; see the module docs.
+///
+/// The fitted surrogate is cached between `sample` calls and refit only
+/// when the modelled level, its measurement count, or the pending set
+/// changes; the fit seed is derived from that same key, so a cache hit is
+/// bit-identical to a refit.
 #[derive(Debug, Clone)]
 pub struct BoSampler {
     /// Fraction of purely random proposals mixed in (BOHB uses a random
@@ -30,7 +47,7 @@ pub struct BoSampler {
     /// for the imputation ablation bench.
     pub impute_pending: bool,
     seed: u64,
-    counter: u64,
+    cache: Option<CachedModel>,
 }
 
 impl BoSampler {
@@ -42,7 +59,7 @@ impl BoSampler {
             min_points: 4,
             impute_pending: true,
             seed,
-            counter: 0,
+            cache: None,
         }
     }
 
@@ -54,7 +71,7 @@ impl BoSampler {
             min_points: 4,
             impute_pending: true,
             seed,
-            counter: 0,
+            cache: None,
         }
     }
 
@@ -72,36 +89,55 @@ impl Sampler for BoSampler {
     }
 
     fn sample(&mut self, ctx: &mut MethodContext<'_>) -> Config {
-        self.counter += 1;
         if ctx.rng.gen::<f64>() < self.random_fraction {
             return ctx.space.sample(ctx.rng);
         }
         let Some(level) = self.modelling_level(ctx) else {
             return ctx.space.sample(ctx.rng);
         };
-        let (mut xs, mut ys) = ctx.history.training_data_capped(level, ctx.space, MAX_TRAIN_POINTS);
-        let best_y = ys
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
-        // Algorithm 2, lines 1–3: impute pending configs at the median.
-        if self.impute_pending {
-            let med = stats::median(&ys).expect("level has measurements");
-            for job in ctx.pending {
-                xs.push(ctx.space.encode(&job.config));
-                ys.push(med);
+        let n = ctx.history.len_at(level);
+        let pending_fp = if self.impute_pending {
+            pending_fingerprint(ctx.space, ctx.pending)
+        } else {
+            0
+        };
+        let cache_hit = matches!(
+            &self.cache,
+            Some(c) if c.level == level && c.n == n && c.pending_fp == pending_fp
+        );
+        if !cache_hit {
+            let (mut xs, mut ys) =
+                ctx.history
+                    .training_data_capped(level, ctx.space, MAX_TRAIN_POINTS);
+            let best_y = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            // Algorithm 2, lines 1–3: impute pending configs at the median.
+            if self.impute_pending {
+                let med = stats::median(&ys).expect("level has measurements");
+                for job in ctx.pending {
+                    xs.push(ctx.space.encode(&job.config));
+                    ys.push(med);
+                }
             }
+            let mut rf = RandomForest::new(derive_model_seed(self.seed, level, n, pending_fp));
+            if rf.fit(&xs, &ys).is_err() {
+                self.cache = None;
+                return ctx.space.sample(ctx.rng);
+            }
+            self.cache = Some(CachedModel {
+                level,
+                n,
+                pending_fp,
+                best_y,
+                rf,
+            });
         }
-        let mut rf = RandomForest::new(self.seed ^ self.counter.wrapping_mul(0x9e37_79b9));
-        if rf.fit(&xs, &ys).is_err() {
-            return ctx.space.sample(ctx.rng);
-        }
+        let cached = self.cache.as_ref().expect("cache was just populated");
         let incumbents = ctx.history.top_configs(level, 5);
         match maximize(
             ctx.space,
-            &rf,
+            &cached.rf,
             Acquisition::default(),
-            best_y,
+            cached.best_y,
             &incumbents,
             &MaximizeConfig::default(),
             ctx.rng,
@@ -253,6 +289,32 @@ mod tests {
             with_pending, without,
             "imputed pending configs must change the proposal distribution"
         );
+    }
+
+    #[test]
+    fn cache_hit_matches_cold_refit() {
+        // Sampler A keeps its model cache across calls; sampler B is
+        // recreated (cold cache) before every call. With identical RNG
+        // streams the proposals must match exactly — the cache must be
+        // observationally transparent.
+        let space = space();
+        let levels = ResourceLevels::new(27.0, 3);
+        let history = seeded_history(3, 25);
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let mut a = BoSampler::pure(9);
+        for _ in 0..3 {
+            let ca = {
+                let mut c = ctx(&space, &levels, &history, &[], &mut rng_a);
+                a.sample(&mut c)
+            };
+            let cb = {
+                let mut fresh = BoSampler::pure(9);
+                let mut c = ctx(&space, &levels, &history, &[], &mut rng_b);
+                fresh.sample(&mut c)
+            };
+            assert_eq!(space.encode(&ca), space.encode(&cb));
+        }
     }
 
     #[test]

@@ -9,16 +9,35 @@
 //! pending configurations (Algorithm 2) before the ensemble's expected
 //! improvement is maximized.
 
+use std::collections::HashMap;
+
 use hypertune_space::Config;
 use hypertune_surrogate::acquisition::{maximize, Acquisition, MaximizeConfig};
 use hypertune_surrogate::{stats, MfEnsemble, Predictor, RandomForest, SurrogateModel};
 use rand::Rng;
 
 use crate::method::MethodContext;
-use crate::ranking::MIN_POINTS_PER_LEVEL;
-use crate::sampler::Sampler;
+use crate::ranking::{run_indexed, MIN_POINTS_PER_LEVEL};
+use crate::sampler::{derive_model_seed, pending_fingerprint, Sampler};
+
+/// A fitted per-level surrogate plus the state it was fitted against.
+#[derive(Debug, Clone)]
+struct CachedLevelModel {
+    /// Level measurement count at fit time (history is append-only, so
+    /// this identifies the training set).
+    n: usize,
+    /// Fingerprint of the pending set imputed into the fit (0 for levels
+    /// that saw no imputation).
+    pending_fp: u64,
+    rf: RandomForest,
+}
 
 /// Multi-fidelity ensemble sampler; see the module docs.
+///
+/// Per-level surrogates are cached between `sample` calls and refit only
+/// when a level's data (or the imputed pending set at the reference
+/// level) changes; fit seeds are derived from that same key, so a cache
+/// hit is bit-identical to a refit.
 #[derive(Debug, Clone)]
 pub struct MfesSampler {
     /// Fraction of purely random proposals mixed in.
@@ -27,7 +46,7 @@ pub struct MfesSampler {
     pub min_full: usize,
     theta: Option<Vec<f64>>,
     seed: u64,
-    counter: u64,
+    cache: HashMap<usize, CachedLevelModel>,
 }
 
 impl MfesSampler {
@@ -38,12 +57,13 @@ impl MfesSampler {
             min_full: 4,
             theta: None,
             seed,
-            counter: 0,
+            cache: HashMap::new(),
         }
     }
 
-    fn rf_seed(&self, salt: u64) -> u64 {
-        self.seed ^ self.counter.wrapping_mul(0x9e37_79b9) ^ (salt << 40)
+    /// Number of cached level surrogates (test hook).
+    pub fn cached_levels(&self) -> usize {
+        self.cache.len()
     }
 }
 
@@ -57,7 +77,6 @@ impl Sampler for MfesSampler {
     }
 
     fn sample(&mut self, ctx: &mut MethodContext<'_>) -> Config {
-        self.counter += 1;
         let top = ctx.levels.max_level();
         if ctx.rng.gen::<f64>() < self.random_fraction {
             return ctx.space.sample(ctx.rng);
@@ -82,23 +101,68 @@ impl Sampler for MfesSampler {
 
         // Fit one base surrogate per level with enough data; the
         // reference-level one sees the median-imputed pending configs.
-        let mut models: Vec<Option<RandomForest>> = Vec::with_capacity(top + 1);
-        for level in 0..=top {
-            if ctx.history.len_at(level) < MIN_POINTS_PER_LEVEL {
-                models.push(None);
-                continue;
-            }
-            let (mut xs, mut ys) = ctx.history.training_data_capped(level, ctx.space, crate::sampler::bo::MAX_TRAIN_POINTS);
+        // Fits go through the cache: a level is refit — in parallel with
+        // the other stale levels when cores allow — only when its
+        // measurement count or (for the reference level) the pending
+        // fingerprint changed since the cached fit.
+        let pending_fp = pending_fingerprint(ctx.space, ctx.pending);
+        let stale: Vec<(usize, u64)> = (0..=top)
+            .filter_map(|level| {
+                let n = ctx.history.len_at(level);
+                if n < MIN_POINTS_PER_LEVEL {
+                    return None;
+                }
+                let fp = if level == ref_level { pending_fp } else { 0 };
+                match self.cache.get(&level) {
+                    Some(e) if e.n == n && e.pending_fp == fp => None,
+                    _ => Some((level, fp)),
+                }
+            })
+            .collect();
+        let history = ctx.history;
+        let space = ctx.space;
+        let pending = ctx.pending;
+        let seed = self.seed;
+        let refitted: Vec<(usize, u64, Option<RandomForest>)> = run_indexed(stale.len(), |i| {
+            let (level, fp) = stale[i];
+            let n = history.len_at(level);
+            let (mut xs, mut ys) =
+                history.training_data_capped(level, space, crate::sampler::bo::MAX_TRAIN_POINTS);
             if level == ref_level {
                 let med = stats::median(&ys).expect("level has measurements");
-                for job in ctx.pending {
-                    xs.push(ctx.space.encode(&job.config));
+                for job in pending {
+                    xs.push(space.encode(&job.config));
                     ys.push(med);
                 }
             }
-            let mut rf = RandomForest::new(self.rf_seed(level as u64));
-            models.push(rf.fit(&xs, &ys).ok().map(|_| rf));
+            let mut rf = RandomForest::new(derive_model_seed(seed, level, n, fp));
+            (level, fp, rf.fit(&xs, &ys).ok().map(|_| rf))
+        });
+        for (level, fp, rf) in refitted {
+            match rf {
+                Some(rf) => {
+                    self.cache.insert(
+                        level,
+                        CachedLevelModel {
+                            n: ctx.history.len_at(level),
+                            pending_fp: fp,
+                            rf,
+                        },
+                    );
+                }
+                None => {
+                    self.cache.remove(&level);
+                }
+            }
         }
+        let models: Vec<Option<&RandomForest>> = (0..=top)
+            .map(|level| {
+                if ctx.history.len_at(level) < MIN_POINTS_PER_LEVEL {
+                    return None;
+                }
+                self.cache.get(&level).map(|e| &e.rf)
+            })
+            .collect();
 
         // Combine with θ (Eq. 3); fall back to uniform weights over the
         // fitted levels when θ is unavailable or puts no mass on them.
@@ -107,7 +171,7 @@ impl Sampler for MfesSampler {
                 .iter()
                 .enumerate()
                 .filter_map(|(level, m)| {
-                    m.as_ref().map(|rf| {
+                    m.map(|rf| {
                         let w = theta.map_or(1.0, |t| t[level]);
                         (rf as &dyn Predictor, w)
                     })
@@ -233,6 +297,53 @@ mod tests {
             }
         }
         assert!(hits >= 6, "should search near 0.7: {hits}/10");
+    }
+
+    #[test]
+    fn cache_hit_matches_cold_refit() {
+        // Sampler A reuses its per-level model cache; sampler B is
+        // recreated (cold cache) before every call. Identical RNG streams
+        // must yield identical proposals — the cache must be
+        // observationally transparent.
+        let space = space();
+        let levels = ResourceLevels::new(27.0, 3);
+        let history = multi_fidelity_history();
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let mut a = MfesSampler::new(5);
+        a.random_fraction = 0.0;
+        for round in 0..3 {
+            let ca = {
+                let mut ctx = MethodContext {
+                    space: &space,
+                    levels: &levels,
+                    history: &history,
+                    pending: &[],
+                    rng: &mut rng_a,
+                    n_workers: 4,
+                    now: 0.0,
+                };
+                a.sample(&mut ctx)
+            };
+            if round > 0 {
+                assert!(a.cached_levels() > 0, "cache should be warm");
+            }
+            let cb = {
+                let mut fresh = MfesSampler::new(5);
+                fresh.random_fraction = 0.0;
+                let mut ctx = MethodContext {
+                    space: &space,
+                    levels: &levels,
+                    history: &history,
+                    pending: &[],
+                    rng: &mut rng_b,
+                    n_workers: 4,
+                    now: 0.0,
+                };
+                fresh.sample(&mut ctx)
+            };
+            assert_eq!(space.encode(&ca), space.encode(&cb));
+        }
     }
 
     #[test]

@@ -21,13 +21,47 @@ pub mod bo;
 pub mod mfes;
 pub mod tpe;
 
-use hypertune_space::Config;
+use hypertune_space::{Config, ConfigSpace};
 
-use crate::method::MethodContext;
+use crate::method::{JobSpec, MethodContext};
 
 pub use bo::BoSampler;
 pub use mfes::MfesSampler;
 pub use tpe::TpeSampler;
+
+/// Derives the seed for a cached per-level surrogate fit from everything
+/// the fit depends on: the sampler seed, the level, the level's
+/// measurement count, and the pending-set fingerprint (SplitMix64
+/// finalizer). Because the seed carries no call-order state, refitting
+/// after a cache hit would produce the same forest bit for bit — which is
+/// what makes the model caches transparent.
+pub(crate) fn derive_model_seed(seed: u64, level: usize, n_points: usize, pending_fp: u64) -> u64 {
+    let mut z = seed
+        ^ (level as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (n_points as u64).wrapping_mul(0xd134_2543_de82_ef95)
+        ^ pending_fp;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Order-sensitive fingerprint of the pending configurations (FNV-1a over
+/// the encoded unit-cube bits). Cached models that imputed pending
+/// configs are keyed by this, so any change to the pending set — content
+/// or order — forces a refit.
+pub(crate) fn pending_fingerprint(space: &ConfigSpace, pending: &[JobSpec]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for job in pending {
+        for v in space.encode(&job.config) {
+            h ^= v.to_bits();
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separator so per-config boundaries matter.
+        h ^= 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// A configuration-proposal strategy; see the module docs.
 pub trait Sampler {

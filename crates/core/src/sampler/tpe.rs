@@ -174,32 +174,34 @@ impl Kde {
         centre
             .iter()
             .enumerate()
-            .map(|(dim, &c)| match (&self.bandwidth[dim], &self.cat_probs[dim]) {
-                (Some(bw), _) => {
-                    // Truncated Gaussian around the centre.
-                    for _ in 0..8 {
-                        let v = c + bw * gaussian(rng);
-                        if (0.0..=1.0).contains(&v) {
-                            return v;
+            .map(
+                |(dim, &c)| match (&self.bandwidth[dim], &self.cat_probs[dim]) {
+                    (Some(bw), _) => {
+                        // Truncated Gaussian around the centre.
+                        for _ in 0..8 {
+                            let v = c + bw * gaussian(rng);
+                            if (0.0..=1.0).contains(&v) {
+                                return v;
+                            }
                         }
+                        (c + bw * gaussian(rng)).clamp(0.0, 1.0)
                     }
-                    (c + bw * gaussian(rng)).clamp(0.0, 1.0)
-                }
-                (None, Some(probs)) => {
-                    // Sample a choice from the smoothed histogram.
-                    let u: f64 = rng.gen();
-                    let mut acc = 0.0;
-                    let k = probs.len();
-                    for (i, &p) in probs.iter().enumerate() {
-                        acc += p;
-                        if u < acc {
-                            return (i as f64 + 0.5) / k as f64;
+                    (None, Some(probs)) => {
+                        // Sample a choice from the smoothed histogram.
+                        let u: f64 = rng.gen();
+                        let mut acc = 0.0;
+                        let k = probs.len();
+                        for (i, &p) in probs.iter().enumerate() {
+                            acc += p;
+                            if u < acc {
+                                return (i as f64 + 0.5) / k as f64;
+                            }
                         }
+                        (k as f64 - 0.5) / k as f64
                     }
-                    (k as f64 - 0.5) / k as f64
-                }
-                _ => unreachable!("every dim is numeric or categorical"),
-            })
+                    _ => unreachable!("every dim is numeric or categorical"),
+                },
+            )
             .collect()
     }
 
@@ -258,8 +260,7 @@ mod tests {
             use rand::Rng;
             let x: f64 = rng.gen();
             let c: usize = rng.gen_range(0..3);
-            let value =
-                (x - x_star).abs() + if c == cat_star { 0.0 } else { 0.5 };
+            let value = (x - x_star).abs() + if c == cat_star { 0.0 } else { 0.5 };
             h.record(Measurement {
                 config: Config::new(vec![ParamValue::Float(x), ParamValue::Cat(c)]),
                 level: 3,

@@ -1,0 +1,75 @@
+//! Property-based equivalence tests for the O(n log n) ranking loss.
+//!
+//! The merge-sort inversion counter in [`hypertune_core::ranking`] must
+//! return exactly the count produced by the quadratic reference
+//! implementation on every input — including heavy ties in the
+//! predictions, the targets, or both, which is where the sort-based
+//! formulation is easiest to get wrong (tied predictions are *skipped*
+//! by Eq. 1, not counted half).
+
+use hypertune_core::ranking::{ranking_loss, ranking_loss_naive};
+use proptest::prelude::*;
+
+proptest! {
+    /// Continuous values: ties are rare, ordering dominates.
+    #[test]
+    fn matches_naive_on_continuous_values(
+        pairs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 0..80),
+    ) {
+        let preds: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        prop_assert_eq!(ranking_loss(&preds, &ys), ranking_loss_naive(&preds, &ys));
+    }
+
+    /// Coarsely quantized values: ties everywhere, in predictions and
+    /// targets independently.
+    #[test]
+    fn matches_naive_under_heavy_ties(
+        pairs in proptest::collection::vec((0u8..5, 0u8..5), 0..80),
+    ) {
+        let preds: Vec<f64> = pairs.iter().map(|p| f64::from(p.0)).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| f64::from(p.1)).collect();
+        prop_assert_eq!(ranking_loss(&preds, &ys), ranking_loss_naive(&preds, &ys));
+    }
+
+    /// Constant predictions: every pair is pred-tied, so the loss must be
+    /// exactly zero no matter what the targets do.
+    #[test]
+    fn constant_predictions_give_zero_loss(
+        ys in proptest::collection::vec(-5.0f64..5.0, 0..60),
+        c in -5.0f64..5.0,
+    ) {
+        let preds = vec![c; ys.len()];
+        prop_assert_eq!(ranking_loss(&preds, &ys), 0);
+        prop_assert_eq!(ranking_loss_naive(&preds, &ys), 0);
+    }
+
+    /// Mixed granularity: quantized predictions against continuous
+    /// targets exercises pred-tie blocks with strict target ordering.
+    #[test]
+    fn matches_naive_with_tied_preds_distinct_ys(
+        pairs in proptest::collection::vec((0u8..3, -1.0f64..1.0), 0..60),
+    ) {
+        let preds: Vec<f64> = pairs.iter().map(|p| f64::from(p.0)).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        prop_assert_eq!(ranking_loss(&preds, &ys), ranking_loss_naive(&preds, &ys));
+    }
+}
+
+#[test]
+fn signed_zero_predictions_count_as_tied() {
+    // The naive loop compares with `==`, under which -0.0 == 0.0; the
+    // sort-based path must agree that such pairs are skipped.
+    let preds = [0.0, -0.0, 0.0, -0.0];
+    let ys = [1.0, 2.0, 3.0, 4.0];
+    assert_eq!(ranking_loss_naive(&preds, &ys), 0);
+    assert_eq!(ranking_loss(&preds, &ys), ranking_loss_naive(&preds, &ys));
+}
+
+#[test]
+fn reversed_ranking_counts_every_pair() {
+    let preds = [4.0, 3.0, 2.0, 1.0];
+    let ys = [1.0, 2.0, 3.0, 4.0];
+    assert_eq!(ranking_loss(&preds, &ys), 6);
+    assert_eq!(ranking_loss(&preds, &ys), ranking_loss_naive(&preds, &ys));
+}

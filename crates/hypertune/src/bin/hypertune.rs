@@ -16,21 +16,59 @@
 
 use hypertune::prelude::*;
 
-fn benches() -> Vec<(&'static str, Box<dyn Fn(u64) -> Box<dyn Benchmark>>)> {
+type BenchEntry = (&'static str, Box<dyn Fn(u64) -> Box<dyn Benchmark>>);
+
+fn benches() -> Vec<BenchEntry> {
     vec![
-        ("counting-ones", Box::new(|s| Box::new(CountingOnes::new(8, 8, s)))),
-        ("nas-cifar10", Box::new(|s| Box::new(tasks::nas_cifar10_valid(s)))),
-        ("nas-cifar100", Box::new(|s| Box::new(tasks::nas_cifar100(s)))),
-        ("nas-imagenet16", Box::new(|s| Box::new(tasks::nas_imagenet16(s)))),
-        ("xgboost-covertype", Box::new(|s| Box::new(tasks::xgboost_covertype(s)))),
-        ("xgboost-pokerhand", Box::new(|s| Box::new(tasks::xgboost_pokerhand(s)))),
-        ("xgboost-hepmass", Box::new(|s| Box::new(tasks::xgboost_hepmass(s)))),
-        ("xgboost-higgs", Box::new(|s| Box::new(tasks::xgboost_higgs(s)))),
-        ("resnet-cifar10", Box::new(|s| Box::new(tasks::resnet_cifar10(s)))),
+        (
+            "counting-ones",
+            Box::new(|s| Box::new(CountingOnes::new(8, 8, s))),
+        ),
+        (
+            "nas-cifar10",
+            Box::new(|s| Box::new(tasks::nas_cifar10_valid(s))),
+        ),
+        (
+            "nas-cifar100",
+            Box::new(|s| Box::new(tasks::nas_cifar100(s))),
+        ),
+        (
+            "nas-imagenet16",
+            Box::new(|s| Box::new(tasks::nas_imagenet16(s))),
+        ),
+        (
+            "xgboost-covertype",
+            Box::new(|s| Box::new(tasks::xgboost_covertype(s))),
+        ),
+        (
+            "xgboost-pokerhand",
+            Box::new(|s| Box::new(tasks::xgboost_pokerhand(s))),
+        ),
+        (
+            "xgboost-hepmass",
+            Box::new(|s| Box::new(tasks::xgboost_hepmass(s))),
+        ),
+        (
+            "xgboost-higgs",
+            Box::new(|s| Box::new(tasks::xgboost_higgs(s))),
+        ),
+        (
+            "resnet-cifar10",
+            Box::new(|s| Box::new(tasks::resnet_cifar10(s))),
+        ),
         ("lstm-ptb", Box::new(|s| Box::new(tasks::lstm_ptb(s)))),
-        ("industrial", Box::new(|s| Box::new(tasks::industrial_recsys(s)))),
-        ("branin", Box::new(|s| Box::new(hypertune::benchmarks::BraninMf::new(10.0, s)))),
-        ("hartmann6", Box::new(|s| Box::new(hypertune::benchmarks::Hartmann6Mf::new(s)))),
+        (
+            "industrial",
+            Box::new(|s| Box::new(tasks::industrial_recsys(s))),
+        ),
+        (
+            "branin",
+            Box::new(|s| Box::new(hypertune::benchmarks::BraninMf::new(10.0, s))),
+        ),
+        (
+            "hartmann6",
+            Box::new(|s| Box::new(hypertune::benchmarks::Hartmann6Mf::new(s))),
+        ),
     ]
 }
 
@@ -90,10 +128,12 @@ fn run_command(args: &[String]) {
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> String {
-            it.next().unwrap_or_else(|| {
-                eprintln!("missing value for {name}");
-                usage()
-            }).clone()
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    usage()
+                })
+                .clone()
         };
         match flag.as_str() {
             "--bench" => bench_name = value("--bench"),
@@ -150,7 +190,10 @@ fn run_command(args: &[String]) {
     if let Some(cfg) = &result.best_config {
         println!("best config:  {}", bench.space().describe(cfg));
     }
-    println!("evaluations:  {} {:?}", result.total_evals, result.evals_per_level);
+    println!(
+        "evaluations:  {} {:?}",
+        result.total_evals, result.evals_per_level
+    );
     println!("utilization:  {:.1}%", 100.0 * result.utilization);
     if let Some(opt) = bench.optimum() {
         println!("regret:       {:.6}", (result.best_value - opt).max(0.0));

@@ -4,10 +4,20 @@
 
 use hypertune::prelude::*;
 
-fn run_kind(kind: MethodKind, bench: &dyn Benchmark, workers: usize, budget: f64, seed: u64) -> RunResult {
+fn run_kind(
+    kind: MethodKind,
+    bench: &dyn Benchmark,
+    workers: usize,
+    budget: f64,
+    seed: u64,
+) -> RunResult {
     let levels = ResourceLevels::new(bench.max_resource(), 3);
     let mut method = kind.build(&levels, seed);
-    run(method.as_mut(), bench, &RunConfig::new(workers, budget, seed))
+    run(
+        method.as_mut(),
+        bench,
+        &RunConfig::new(workers, budget, seed),
+    )
 }
 
 #[test]
@@ -68,7 +78,11 @@ fn sync_methods_idle_async_methods_do_not() {
     let budget = 2.0 * 3600.0;
     let hb = run_kind(MethodKind::Hyperband, &bench, 8, budget, 3);
     let ahb = run_kind(MethodKind::AHyperband, &bench, 8, budget, 3);
-    assert!(ahb.utilization > 0.9, "A-HB utilization {}", ahb.utilization);
+    assert!(
+        ahb.utilization > 0.9,
+        "A-HB utilization {}",
+        ahb.utilization
+    );
     assert!(
         hb.utilization < ahb.utilization,
         "sync {} vs async {}",
@@ -177,7 +191,11 @@ fn threaded_executor_matches_benchmark_trait() {
 fn stragglers_do_not_break_any_engine() {
     let bench = CountingOnes::new(4, 4, 2);
     let levels = ResourceLevels::new(bench.max_resource(), 3);
-    for kind in [MethodKind::Hyperband, MethodKind::HyperTune, MethodKind::BatchBo] {
+    for kind in [
+        MethodKind::Hyperband,
+        MethodKind::HyperTune,
+        MethodKind::BatchBo,
+    ] {
         let mut method = kind.build(&levels, 21);
         let mut cfg = RunConfig::new(6, 1500.0, 21);
         cfg.straggler = Some((0.3, 5.0));

@@ -72,7 +72,11 @@ fn diagnostics_track_theta_and_brackets() {
     let starts: usize = d.bracket_starts.iter().sum();
     assert!(starts > 0, "fresh configs recorded");
     // Round-robin init touches every bracket.
-    assert!(d.bracket_starts.iter().all(|&n| n > 0), "{:?}", d.bracket_starts);
+    assert!(
+        d.bracket_starts.iter().all(|&n| n > 0),
+        "{:?}",
+        d.bracket_starts
+    );
     // Theta was eventually estimated and is a distribution.
     let theta = d.final_theta().expect("theta estimated");
     assert!((theta.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -96,7 +100,13 @@ fn gp_kernel_families_all_fit_benchmark_data() {
         .collect();
     let ys: Vec<f64> = xs
         .iter()
-        .map(|x| bench.space().decode(x).map(|c| bench.evaluate(&c, 27.0, 0).value).unwrap())
+        .map(|x| {
+            bench
+                .space()
+                .decode(x)
+                .map(|c| bench.evaluate(&c, 27.0, 0).value)
+                .unwrap()
+        })
         .collect();
     for kernel in [
         Arc::new(Rbf) as Arc<dyn Kernel>,

@@ -10,8 +10,14 @@ use hypertune::prelude::*;
 #[test]
 fn table1_geometry_r27_eta3() {
     let levels = ResourceLevels::new(27.0, 3);
-    assert_eq!(levels.bracket_schedule(0), vec![(27, 1.0), (9, 3.0), (3, 9.0), (1, 27.0)]);
-    assert_eq!(levels.bracket_schedule(1), vec![(12, 3.0), (4, 9.0), (1, 27.0)]);
+    assert_eq!(
+        levels.bracket_schedule(0),
+        vec![(27, 1.0), (9, 3.0), (3, 9.0), (1, 27.0)]
+    );
+    assert_eq!(
+        levels.bracket_schedule(1),
+        vec![(12, 3.0), (4, 9.0), (1, 27.0)]
+    );
     assert_eq!(levels.bracket_schedule(2), vec![(6, 9.0), (2, 27.0)]);
     assert_eq!(levels.bracket_schedule(3), vec![(4, 27.0)]);
 }

@@ -138,7 +138,9 @@ mod tests {
 
     #[test]
     fn categorical_mutation_never_repeats_current() {
-        let s = ConfigSpace::builder().categorical("c", &["a", "b", "c"]).build();
+        let s = ConfigSpace::builder()
+            .categorical("c", &["a", "b", "c"])
+            .build();
         let mut rng = StdRng::seed_from_u64(2);
         let base = Config::new(vec![ParamValue::Cat(1)]);
         for _ in 0..200 {

@@ -445,7 +445,9 @@ mod tests {
         }
         .validate("x")
         .is_err());
-        assert!(ParamKind::Categorical { choices: vec![] }.validate("x").is_err());
+        assert!(ParamKind::Categorical { choices: vec![] }
+            .validate("x")
+            .is_err());
         assert!(ParamKind::Categorical {
             choices: vec!["a".into(), "a".into()]
         }

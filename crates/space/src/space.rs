@@ -159,9 +159,9 @@ impl ConfigSpace {
     /// Total number of distinct configurations, or `None` if any parameter
     /// is continuous. Saturates at `u64::MAX`.
     pub fn cardinality(&self) -> Option<u64> {
-        self.params
-            .iter()
-            .try_fold(1u64, |acc, p| Some(acc.saturating_mul(p.kind.cardinality()?)))
+        self.params.iter().try_fold(1u64, |acc, p| {
+            Some(acc.saturating_mul(p.kind.cardinality()?))
+        })
     }
 
     /// Enumerates every configuration of a finite space in lexicographic
@@ -252,29 +252,53 @@ pub struct ConfigSpaceBuilder {
 impl ConfigSpaceBuilder {
     /// Adds a linear-scale continuous parameter.
     pub fn float(mut self, name: &str, low: f64, high: f64) -> Self {
-        self.params
-            .push(ParamDef::new(name, ParamKind::Float { low, high, log: false }));
+        self.params.push(ParamDef::new(
+            name,
+            ParamKind::Float {
+                low,
+                high,
+                log: false,
+            },
+        ));
         self
     }
 
     /// Adds a log-scale continuous parameter (bounds must be positive).
     pub fn float_log(mut self, name: &str, low: f64, high: f64) -> Self {
-        self.params
-            .push(ParamDef::new(name, ParamKind::Float { low, high, log: true }));
+        self.params.push(ParamDef::new(
+            name,
+            ParamKind::Float {
+                low,
+                high,
+                log: true,
+            },
+        ));
         self
     }
 
     /// Adds a linear-scale integer parameter.
     pub fn int(mut self, name: &str, low: i64, high: i64) -> Self {
-        self.params
-            .push(ParamDef::new(name, ParamKind::Int { low, high, log: false }));
+        self.params.push(ParamDef::new(
+            name,
+            ParamKind::Int {
+                low,
+                high,
+                log: false,
+            },
+        ));
         self
     }
 
     /// Adds a log-scale integer parameter (bounds must be positive).
     pub fn int_log(mut self, name: &str, low: i64, high: i64) -> Self {
-        self.params
-            .push(ParamDef::new(name, ParamKind::Int { low, high, log: true }));
+        self.params.push(ParamDef::new(
+            name,
+            ParamKind::Int {
+                low,
+                high,
+                log: true,
+            },
+        ));
         self
     }
 
@@ -368,7 +392,10 @@ mod tests {
         let s = demo_space();
         assert!(matches!(
             s.decode(&[0.5, 0.5]),
-            Err(SpaceError::DimensionMismatch { expected: 5, actual: 2 })
+            Err(SpaceError::DimensionMismatch {
+                expected: 5,
+                actual: 2
+            })
         ));
     }
 
@@ -380,7 +407,7 @@ mod tests {
         let configs = s.sample_lhs(n, &mut rng);
         let mut bins = vec![false; n];
         for c in &configs {
-            let u = s.encode(&c)[0];
+            let u = s.encode(c)[0];
             bins[((u * n as f64) as usize).min(n - 1)] = true;
         }
         assert!(bins.iter().all(|&b| b), "each stratum hit exactly once");

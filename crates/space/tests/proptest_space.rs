@@ -121,11 +121,7 @@ fn enumerate_matches_cardinality_property() {
 #[test]
 fn values_outside_space_rejected() {
     let space = mixed_space();
-    let mut vals: Vec<ParamValue> = space
-        .decode(&[0.5; 6])
-        .unwrap()
-        .values()
-        .to_vec();
+    let mut vals: Vec<ParamValue> = space.decode(&[0.5; 6]).unwrap().values().to_vec();
     vals[4] = ParamValue::Cat(99);
     assert!(space.check(&Config::new(vals)).is_err());
 }

@@ -106,9 +106,14 @@ pub fn maximize<R: Rng + ?Sized>(
     config: &MaximizeConfig,
     rng: &mut R,
 ) -> Result<(Config, f64), SurrogateError> {
-    let score_of = |c: &Config, rng_model: &dyn Predictor| -> Result<f64, SurrogateError> {
-        let p = rng_model.predict(&space.encode(c))?;
-        Ok(acq.score(p, best_y))
+    // Candidate generation is separated from scoring: candidates are drawn
+    // first (advancing `rng` exactly as per-point scoring did), encoded
+    // once, and pushed through the model's batch path — tree-major for
+    // forests, member-major for ensembles.
+    let score_batch = |cands: &[Config]| -> Result<Vec<f64>, SurrogateError> {
+        let encoded: Vec<Vec<f64>> = cands.iter().map(|c| space.encode(c)).collect();
+        let preds = model.predict_batch(&encoded)?;
+        Ok(preds.into_iter().map(|p| acq.score(p, best_y)).collect())
     };
 
     let mut best: Option<(Config, f64)> = None;
@@ -118,21 +123,26 @@ pub fn maximize<R: Rng + ?Sized>(
         }
     };
 
-    // Global random phase.
-    for _ in 0..config.n_random.max(1) {
-        let c = space.sample(rng);
-        let s = score_of(&c, model)?;
+    // Global random phase: one batch over all random candidates.
+    let randoms: Vec<Config> = (0..config.n_random.max(1))
+        .map(|_| space.sample(rng))
+        .collect();
+    let random_scores = score_batch(&randoms)?;
+    for (c, s) in randoms.into_iter().zip(random_scores) {
         consider(c, s, &mut best);
     }
 
-    // Local phase: hill-climb from each incumbent.
+    // Local phase: hill-climb from each incumbent, scoring each step's
+    // neighbour set as one batch. First-improvement updates walk the batch
+    // in generation order, matching the sequential search exactly.
     for start in incumbents.iter().take(config.n_local_starts) {
         let mut current = start.clone();
-        let mut current_score = score_of(&current, model)?;
+        let mut current_score = score_batch(std::slice::from_ref(&current))?[0];
         for _ in 0..config.local_steps {
+            let cands = neighbors::neighbors(space, &current, config.neighbors_per_step, rng);
+            let scores = score_batch(&cands)?;
             let mut improved = false;
-            for cand in neighbors::neighbors(space, &current, config.neighbors_per_step, rng) {
-                let s = score_of(&cand, model)?;
+            for (cand, s) in cands.into_iter().zip(scores) {
                 if s > current_score {
                     current = cand;
                     current_score = s;
@@ -248,7 +258,9 @@ mod tests {
             .categorical("c", &["a", "b"])
             .build();
         let mut rng = StdRng::seed_from_u64(4);
-        let xs: Vec<Vec<f64>> = (0..30).map(|_| space.encode(&space.sample(&mut rng))).collect();
+        let xs: Vec<Vec<f64>> = (0..30)
+            .map(|_| space.encode(&space.sample(&mut rng)))
+            .collect();
         let ys: Vec<f64> = xs.iter().map(|p| p[0]).collect();
         let mut rf = RandomForest::new(5);
         rf.fit(&xs, &ys).unwrap();

@@ -27,10 +27,7 @@ impl<'a> MfEnsemble<'a> {
     ///
     /// Returns `None` when no member has positive weight.
     pub fn new(members: Vec<(&'a dyn Predictor, f64)>) -> Option<Self> {
-        let total: f64 = members
-            .iter()
-            .map(|(_, w)| w.max(0.0))
-            .sum();
+        let total: f64 = members.iter().map(|(_, w)| w.max(0.0)).sum();
         if total <= 0.0 || !total.is_finite() {
             return None;
         }
@@ -70,6 +67,27 @@ impl Predictor for MfEnsemble<'_> {
         }
         Ok(Prediction::new(mean, var))
     }
+
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<Prediction>, SurrogateError> {
+        // Member-major: each base surrogate scores the whole batch with its
+        // own fast path (e.g. tree-major forest traversal) before the next
+        // member runs. Accumulation order per point matches `predict`
+        // (member 0, 1, ...), so results are bit-identical.
+        let mut means = vec![0.0; xs.len()];
+        let mut vars = vec![0.0; xs.len()];
+        for (model, w) in &self.members {
+            let preds = model.predict_batch(xs)?;
+            for (i, p) in preds.iter().enumerate() {
+                means[i] += w * p.mean;
+                vars[i] += w * w * p.var;
+            }
+        }
+        Ok(means
+            .into_iter()
+            .zip(vars)
+            .map(|(m, v)| Prediction::new(m, v))
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -90,8 +108,14 @@ mod tests {
 
     #[test]
     fn eq3_weighted_mean_and_variance() {
-        let a = Fixed { mean: 1.0, var: 4.0 };
-        let b = Fixed { mean: 3.0, var: 1.0 };
+        let a = Fixed {
+            mean: 1.0,
+            var: 4.0,
+        };
+        let b = Fixed {
+            mean: 3.0,
+            var: 1.0,
+        };
         let ens = MfEnsemble::new(vec![(&a, 0.25), (&b, 0.75)]).unwrap();
         let p = ens.predict(&[0.0]).unwrap();
         assert!((p.mean - (0.25 * 1.0 + 0.75 * 3.0)).abs() < 1e-12);
@@ -100,8 +124,14 @@ mod tests {
 
     #[test]
     fn weights_renormalized() {
-        let a = Fixed { mean: 2.0, var: 0.0 };
-        let b = Fixed { mean: 4.0, var: 0.0 };
+        let a = Fixed {
+            mean: 2.0,
+            var: 0.0,
+        };
+        let b = Fixed {
+            mean: 4.0,
+            var: 0.0,
+        };
         // Raw weights sum to 4; behaviour must match (0.5, 0.5).
         let ens = MfEnsemble::new(vec![(&a, 2.0), (&b, 2.0)]).unwrap();
         assert!((ens.predict(&[0.0]).unwrap().mean - 3.0).abs() < 1e-12);
@@ -110,8 +140,14 @@ mod tests {
 
     #[test]
     fn zero_and_negative_weights_dropped() {
-        let a = Fixed { mean: 1.0, var: 1.0 };
-        let b = Fixed { mean: 100.0, var: 1.0 };
+        let a = Fixed {
+            mean: 1.0,
+            var: 1.0,
+        };
+        let b = Fixed {
+            mean: 100.0,
+            var: 1.0,
+        };
         let ens = MfEnsemble::new(vec![(&a, 1.0), (&b, 0.0)]).unwrap();
         assert_eq!(ens.len(), 1);
         assert!((ens.predict(&[0.0]).unwrap().mean - 1.0).abs() < 1e-12);
@@ -122,14 +158,20 @@ mod tests {
 
     #[test]
     fn all_zero_weights_rejected() {
-        let a = Fixed { mean: 1.0, var: 1.0 };
+        let a = Fixed {
+            mean: 1.0,
+            var: 1.0,
+        };
         assert!(MfEnsemble::new(vec![(&a, 0.0)]).is_none());
         assert!(MfEnsemble::new(vec![]).is_none());
     }
 
     #[test]
     fn single_member_is_identity() {
-        let a = Fixed { mean: -2.0, var: 3.0 };
+        let a = Fixed {
+            mean: -2.0,
+            var: 3.0,
+        };
         let ens = MfEnsemble::new(vec![(&a, 0.7)]).unwrap();
         let p = ens.predict(&[0.5]).unwrap();
         assert!((p.mean + 2.0).abs() < 1e-12);
@@ -137,11 +179,36 @@ mod tests {
     }
 
     #[test]
+    fn predict_batch_matches_per_point_predict() {
+        let a = Fixed {
+            mean: 1.0,
+            var: 4.0,
+        };
+        let b = Fixed {
+            mean: 3.0,
+            var: 1.0,
+        };
+        let ens = MfEnsemble::new(vec![(&a, 0.25), (&b, 0.75)]).unwrap();
+        let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let batch = ens.predict_batch(&xs).unwrap();
+        assert_eq!(batch.len(), xs.len());
+        for (x, p) in xs.iter().zip(&batch) {
+            assert_eq!(ens.predict(x).unwrap(), *p);
+        }
+    }
+
+    #[test]
     fn variance_contracts_with_many_agreeing_members() {
         // With k equal members of weight 1/k, Eq. 3 gives var/k — the
         // bagging variance reduction.
-        let ms: Vec<Fixed> = (0..4).map(|_| Fixed { mean: 1.0, var: 1.0 }).collect();
-        let refs: Vec<(&dyn Predictor, f64)> = ms.iter().map(|m| (m as &dyn Predictor, 1.0)).collect();
+        let ms: Vec<Fixed> = (0..4)
+            .map(|_| Fixed {
+                mean: 1.0,
+                var: 1.0,
+            })
+            .collect();
+        let refs: Vec<(&dyn Predictor, f64)> =
+            ms.iter().map(|m| (m as &dyn Predictor, 1.0)).collect();
         let ens = MfEnsemble::new(refs).unwrap();
         assert!((ens.predict(&[0.0]).unwrap().var - 0.25).abs() < 1e-12);
     }

@@ -87,11 +87,7 @@ impl GaussianProcess {
 
     /// Builds and factorizes the kernel matrix, retrying with growing
     /// jitter if it is numerically singular.
-    fn factorize(
-        &self,
-        x: &[Vec<f64>],
-        ell: f64,
-    ) -> Result<Cholesky, SurrogateError> {
+    fn factorize(&self, x: &[Vec<f64>], ell: f64) -> Result<Cholesky, SurrogateError> {
         let n = x.len();
         let base = SquareMat::from_fn(n, |i, j| {
             let k = self.kernel_eval(&x[i], &x[j], ell);
@@ -172,11 +168,10 @@ impl SurrogateModel for GaussianProcess {
 
     fn predict(&self, x: &[f64]) -> Result<Prediction, SurrogateError> {
         let s = self.state.as_ref().ok_or(SurrogateError::NotFitted)?;
-        let k_star: Vec<f64> = s
-            .x
-            .iter()
-            .map(|xi| self.kernel_eval(xi, x, s.lengthscale))
-            .collect();
+        let k_star: Vec<f64> =
+            s.x.iter()
+                .map(|xi| self.kernel_eval(xi, x, s.lengthscale))
+                .collect();
         // mean = k*ᵀ α ;  var = k(x,x) - k*ᵀ K⁻¹ k* = k(x,x) - ‖L⁻¹k*‖².
         let mean_z: f64 = k_star.iter().zip(&s.alpha).map(|(a, b)| a * b).sum();
         let v = s.chol.solve_lower(&k_star);

@@ -118,8 +118,8 @@ impl Cholesky {
         let mut z = vec![0.0; n];
         for i in 0..n {
             let mut s = b[i];
-            for j in 0..i {
-                s -= self.l[(i, j)] * z[j];
+            for (j, zj) in z.iter().enumerate().take(i) {
+                s -= self.l[(i, j)] * zj;
             }
             z[i] = s / self.l[(i, i)];
         }
@@ -133,8 +133,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = b[i];
-            for j in (i + 1)..n {
-                s -= self.l[(j, i)] * x[j];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l[(j, i)] * xj;
             }
             x[i] = s / self.l[(i, i)];
         }
@@ -179,8 +179,8 @@ mod tests {
         let b = [[1.0, 2.0, 0.5], [0.0, 1.0, -1.0], [2.0, 0.0, 1.0]];
         SquareMat::from_fn(3, |i, j| {
             let mut s = if i == j { 1.0 } else { 0.0 };
-            for k in 0..3 {
-                s += b[i][k] * b[j][k];
+            for (bik, bjk) in b[i].iter().zip(&b[j]) {
+                s += bik * bjk;
             }
             s
         })
@@ -196,7 +196,11 @@ mod tests {
                 for k in 0..=i.min(j) {
                     s += ch.l(i, k) * ch.l(j, k);
                 }
-                assert!((s - a[(i, j)]).abs() < 1e-10, "({i},{j}): {s} vs {}", a[(i, j)]);
+                assert!(
+                    (s - a[(i, j)]).abs() < 1e-10,
+                    "({i},{j}): {s} vs {}",
+                    a[(i, j)]
+                );
             }
         }
     }
@@ -257,21 +261,21 @@ mod tests {
         let b = [1.0, 2.0, 3.0];
         let z = ch.solve_lower(&b);
         // L z should equal b.
-        for i in 0..3 {
+        for (i, &bi) in b.iter().enumerate() {
             let mut s = 0.0;
-            for j in 0..=i {
-                s += ch.l(i, j) * z[j];
+            for (j, zj) in z.iter().enumerate().take(i + 1) {
+                s += ch.l(i, j) * zj;
             }
-            assert!((s - b[i]).abs() < 1e-10);
+            assert!((s - bi).abs() < 1e-10);
         }
         let x = ch.solve_upper(&z);
         // Lᵀ x should equal z.
-        for i in 0..3 {
+        for (i, &zi) in z.iter().enumerate() {
             let mut s = 0.0;
-            for j in i..3 {
-                s += ch.l(j, i) * x[j];
+            for (j, xj) in x.iter().enumerate().skip(i) {
+                s += ch.l(j, i) * xj;
             }
-            assert!((s - z[i]).abs() < 1e-10);
+            assert!((s - zi).abs() < 1e-10);
         }
     }
 

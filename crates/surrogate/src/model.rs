@@ -97,11 +97,25 @@ pub trait SurrogateModel: Send {
 pub trait Predictor {
     /// Predicts at one query point.
     fn predict(&self, x: &[f64]) -> Result<Prediction, SurrogateError>;
+
+    /// Predicts at many query points.
+    ///
+    /// The default loops over [`Predictor::predict`]; implementations with
+    /// a cheaper batch path (tree-major forest traversal, member-wise
+    /// ensemble batching) override it. Must return exactly the same
+    /// predictions as the per-point path.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<Prediction>, SurrogateError> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
 }
 
 impl<T: SurrogateModel + ?Sized> Predictor for T {
     fn predict(&self, x: &[f64]) -> Result<Prediction, SurrogateError> {
         SurrogateModel::predict(self, x)
+    }
+
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<Prediction>, SurrogateError> {
+        SurrogateModel::predict_batch(self, xs)
     }
 }
 

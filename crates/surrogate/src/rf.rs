@@ -7,12 +7,25 @@
 //! statistics by the law of total variance, which is the construction
 //! SMAC and BOHB-style systems use for mixed discrete/continuous
 //! hyper-parameter spaces where Gaussian processes struggle.
+//!
+//! Training is the tuner's hot path, so `fit` is built for speed without
+//! giving up reproducibility:
+//!
+//! - inputs are flattened once into a row-major matrix, so tree
+//!   construction touches one contiguous buffer instead of chasing
+//!   per-row `Vec` pointers;
+//! - every tree derives its own RNG seed from `(forest seed, tree
+//!   index)`, making trees independent of construction order — the
+//!   parallel and serial paths produce bit-identical forests;
+//! - trees build on a scoped thread pool when the machine has more than
+//!   one core and the problem is big enough to amortize thread spawns;
+//! - leaf statistics are computed in place over the index slice, with no
+//!   per-leaf target buffer.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::model::{validate_training_set, Prediction, SurrogateError, SurrogateModel};
-use crate::stats;
 
 /// Tuning knobs for [`RandomForest`].
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +55,10 @@ impl Default for RandomForestConfig {
         }
     }
 }
+
+/// Minimum `n_trees * n_points` before `fit` reaches for threads; below
+/// this the spawn cost dwarfs the tree-building work.
+const PARALLEL_FIT_THRESHOLD: usize = 2048;
 
 /// A probabilistic random-forest regressor implementing
 /// [`SurrogateModel`].
@@ -73,28 +90,83 @@ impl RandomForest {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// Fits with an explicit worker-thread count.
+    ///
+    /// `threads == 1` forces the serial path; any count yields the same
+    /// forest bit for bit, because each tree's RNG seed depends only on
+    /// `(forest seed, tree index)`. [`SurrogateModel::fit`] calls this
+    /// with the detected core count.
+    pub fn fit_with_threads(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        threads: usize,
+    ) -> Result<(), SurrogateError> {
+        self.dim = validate_training_set(x, y)?;
+        let n = x.len();
+        let mut flat = Vec::with_capacity(n * self.dim);
+        for row in x {
+            flat.extend_from_slice(row);
+        }
+        let matrix = Matrix {
+            data: &flat,
+            dim: self.dim,
+            n,
+        };
+        let config = self.config;
+        let seed = self.seed;
+        let n_trees = config.n_trees;
+        let workers = threads.clamp(1, n_trees.max(1));
+        if workers <= 1 || n_trees * n < PARALLEL_FIT_THRESHOLD {
+            self.trees = (0..n_trees)
+                .map(|t| build_tree(&matrix, y, &config, derive_tree_seed(seed, t)))
+                .collect();
+        } else {
+            let chunk = n_trees.div_ceil(workers);
+            // Chunks are contiguous tree-index ranges, collected in worker
+            // order, so the tree vector matches the serial path exactly.
+            let per_worker: Vec<Vec<Tree>> = std::thread::scope(|scope| {
+                let matrix = &matrix;
+                let config = &config;
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let start = w * chunk;
+                            let end = ((w + 1) * chunk).min(n_trees);
+                            (start..end)
+                                .map(|t| build_tree(matrix, y, config, derive_tree_seed(seed, t)))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("tree build worker panicked"))
+                    .collect()
+            });
+            self.trees = per_worker.into_iter().flatten().collect();
+        }
+        Ok(())
+    }
+}
+
+/// Mixes `(forest seed, tree index)` into an independent per-tree seed
+/// (SplitMix64 finalizer), so tree streams never depend on which thread —
+/// or in what order — a tree is built.
+fn derive_tree_seed(seed: u64, tree_index: usize) -> u64 {
+    let mut z = seed ^ (tree_index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SurrogateModel for RandomForest {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), SurrogateError> {
-        self.dim = validate_training_set(x, y)?;
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let n = x.len();
-        self.trees.clear();
-        self.trees.reserve(self.config.n_trees);
-        let mut indices: Vec<usize> = Vec::with_capacity(n);
-        for _ in 0..self.config.n_trees {
-            indices.clear();
-            if self.config.bootstrap && n > 1 {
-                indices.extend((0..n).map(|_| rng.gen_range(0..n)));
-            } else {
-                indices.extend(0..n);
-            }
-            let mut tree = Tree { nodes: Vec::new() };
-            tree.build(x, y, &mut indices.clone(), &self.config, &mut rng);
-            self.trees.push(tree);
-        }
-        Ok(())
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.fit_with_threads(x, y, threads)
     }
 
     fn predict(&self, x: &[f64]) -> Result<Prediction, SurrogateError> {
@@ -117,9 +189,67 @@ impl SurrogateModel for RandomForest {
         Ok(Prediction::new(mean, var))
     }
 
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<Prediction>, SurrogateError> {
+        if self.trees.is_empty() {
+            return Err(SurrogateError::NotFitted);
+        }
+        // Tree-major traversal: each tree's nodes stay hot in cache while
+        // every query point passes through it. Per-point accumulation order
+        // matches `predict` (tree 0, 1, ...), so results are bit-identical
+        // to the per-point path.
+        let mut sum_m = vec![0.0; xs.len()];
+        let mut sum_sq = vec![0.0; xs.len()];
+        for tree in &self.trees {
+            for (i, x) in xs.iter().enumerate() {
+                debug_assert_eq!(x.len(), self.dim);
+                let (m, v) = tree.query(x);
+                sum_m[i] += m;
+                sum_sq[i] += v + m * m;
+            }
+        }
+        let k = self.trees.len() as f64;
+        Ok(sum_m
+            .into_iter()
+            .zip(sum_sq)
+            .map(|(sm, sq)| {
+                let mean = sm / k;
+                let var = (sq / k - mean * mean).max(self.config.min_variance);
+                Prediction::new(mean, var)
+            })
+            .collect())
+    }
+
     fn is_fitted(&self) -> bool {
         !self.trees.is_empty()
     }
+}
+
+/// Row-major view of the flattened training inputs.
+#[derive(Clone, Copy)]
+struct Matrix<'a> {
+    data: &'a [f64],
+    dim: usize,
+    n: usize,
+}
+
+impl Matrix<'_> {
+    #[inline]
+    fn at(&self, row: usize, d: usize) -> f64 {
+        self.data[row * self.dim + d]
+    }
+}
+
+fn build_tree(matrix: &Matrix<'_>, y: &[f64], config: &RandomForestConfig, seed: u64) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = matrix.n;
+    let mut indices: Vec<usize> = if config.bootstrap && n > 1 {
+        (0..n).map(|_| rng.gen_range(0..n)).collect()
+    } else {
+        (0..n).collect()
+    };
+    let mut tree = Tree { nodes: Vec::new() };
+    tree.build_node(matrix, y, &mut indices, 0, config, &mut rng);
+    tree
 }
 
 #[derive(Debug, Clone)]
@@ -142,21 +272,10 @@ enum Node {
 }
 
 impl Tree {
-    fn build(
-        &mut self,
-        x: &[Vec<f64>],
-        y: &[f64],
-        indices: &mut [usize],
-        config: &RandomForestConfig,
-        rng: &mut StdRng,
-    ) {
-        self.build_node(x, y, indices, 0, config, rng);
-    }
-
     /// Recursively builds the subtree over `indices`, returning its node id.
     fn build_node(
         &mut self,
-        x: &[Vec<f64>],
+        matrix: &Matrix<'_>,
         y: &[f64],
         indices: &mut [usize],
         depth: usize,
@@ -166,14 +285,17 @@ impl Tree {
         if depth >= config.max_depth || indices.len() < config.min_samples_split {
             return self.push_leaf(y, indices);
         }
-        let dim_count = x[0].len();
+        let dim_count = matrix.dim;
         // Try a few random dimensions looking for one with spread.
         let split = (0..dim_count.max(4)).find_map(|_| {
             let d = rng.gen_range(0..dim_count);
-            let (lo, hi) = indices.iter().fold(
-                (f64::INFINITY, f64::NEG_INFINITY),
-                |(lo, hi), &i| (lo.min(x[i][d]), hi.max(x[i][d])),
-            );
+            let (lo, hi) =
+                indices
+                    .iter()
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &i| {
+                        let v = matrix.at(i, d);
+                        (lo.min(v), hi.max(v))
+                    });
             if hi - lo > 1e-12 {
                 Some((d, lo + rng.gen::<f64>() * (hi - lo)))
             } else {
@@ -186,7 +308,7 @@ impl Tree {
         // In-place partition: indices with x[d] <= threshold first.
         let mut mid = 0;
         for i in 0..indices.len() {
-            if x[indices[i]][d] <= threshold {
+            if matrix.at(indices[i], d) <= threshold {
                 indices.swap(i, mid);
                 mid += 1;
             }
@@ -196,10 +318,13 @@ impl Tree {
         }
         // Reserve our slot before recursing so children get later ids.
         let id = self.nodes.len();
-        self.nodes.push(Node::Leaf { mean: 0.0, var: 0.0 });
+        self.nodes.push(Node::Leaf {
+            mean: 0.0,
+            var: 0.0,
+        });
         let (left_idx, right_idx) = indices.split_at_mut(mid);
-        let left = self.build_node(x, y, left_idx, depth + 1, config, rng);
-        let right = self.build_node(x, y, right_idx, depth + 1, config, rng);
+        let left = self.build_node(matrix, y, left_idx, depth + 1, config, rng);
+        let right = self.build_node(matrix, y, right_idx, depth + 1, config, rng);
         self.nodes[id] = Node::Split {
             dim: d,
             threshold,
@@ -210,12 +335,30 @@ impl Tree {
     }
 
     fn push_leaf(&mut self, y: &[f64], indices: &[usize]) -> usize {
-        let ys: Vec<f64> = indices.iter().map(|&i| y[i]).collect();
+        // Two-pass mean/variance straight off the index slice — no target
+        // buffer. Matches `stats::{mean, variance}` semantics (population
+        // variance; zero for fewer than two samples).
+        let k = indices.len();
+        let (mean, var) = if k == 0 {
+            (0.0, 0.0)
+        } else {
+            let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / k as f64;
+            let var = if k < 2 {
+                0.0
+            } else {
+                indices
+                    .iter()
+                    .map(|&i| {
+                        let d = y[i] - mean;
+                        d * d
+                    })
+                    .sum::<f64>()
+                    / k as f64
+            };
+            (mean, var)
+        };
         let id = self.nodes.len();
-        self.nodes.push(Node::Leaf {
-            mean: stats::mean(&ys),
-            var: stats::variance(&ys),
-        });
+        self.nodes.push(Node::Leaf { mean, var });
         id
     }
 
@@ -271,6 +414,10 @@ mod tests {
     fn predict_before_fit_errors() {
         let rf = RandomForest::new(0);
         assert_eq!(rf.predict(&[0.5]).unwrap_err(), SurrogateError::NotFitted);
+        assert_eq!(
+            rf.predict_batch(&[vec![0.5]]).unwrap_err(),
+            SurrogateError::NotFitted
+        );
         assert!(!rf.is_fitted());
     }
 
@@ -320,6 +467,35 @@ mod tests {
         b.fit(&x, &y).unwrap();
         for q in &x {
             assert_eq!(a.predict(q).unwrap(), b.predict(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn parallel_fit_matches_serial_fit() {
+        let x = grid_2d(10);
+        let y: Vec<f64> = x
+            .iter()
+            .map(|p| (p[0] - 0.4).powi(2) + 0.3 * p[1])
+            .collect();
+        let mut serial = RandomForest::new(7);
+        let mut parallel = RandomForest::new(7);
+        serial.fit_with_threads(&x, &y, 1).unwrap();
+        parallel.fit_with_threads(&x, &y, 4).unwrap();
+        for q in &x {
+            assert_eq!(serial.predict(q).unwrap(), parallel.predict(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_per_point_predict() {
+        let x = grid_2d(8);
+        let y: Vec<f64> = x.iter().map(|p| p[0].sin() + p[1]).collect();
+        let mut rf = RandomForest::new(11);
+        rf.fit(&x, &y).unwrap();
+        let batch = rf.predict_batch(&x).unwrap();
+        assert_eq!(batch.len(), x.len());
+        for (q, b) in x.iter().zip(&batch) {
+            assert_eq!(rf.predict(q).unwrap(), *b);
         }
     }
 

@@ -41,7 +41,9 @@ fn main() {
     // --- simulated crash: everything in memory is gone ---
 
     // Phase 2: restore and verify the state is equivalent.
-    let restored = Checkpoint::load(&path).expect("read checkpoint").into_history();
+    let restored = Checkpoint::load(&path)
+        .expect("read checkpoint")
+        .into_history();
     assert_eq!(restored.len(), result.total_evals);
     assert_eq!(
         restored.incumbent().map(|m| m.value),
@@ -54,7 +56,10 @@ fn main() {
         "restored {} measurements; incumbent {:.4}; theta identical: {:?}",
         restored.len(),
         restored.incumbent().map(|m| m.value).unwrap_or(f64::NAN),
-        theta_restored.map(|t| t.iter().map(|x| (x * 100.0).round() / 100.0).collect::<Vec<_>>())
+        theta_restored.map(|t| t
+            .iter()
+            .map(|x| (x * 100.0).round() / 100.0)
+            .collect::<Vec<_>>())
     );
 
     // Phase 3: keep tuning from the restored state. The surrogates refit

@@ -11,7 +11,9 @@ use hypertune::prelude::*;
 
 fn main() {
     let bench = tasks::nas_cifar10_valid(0);
-    let optimum = bench.optimum().expect("tabular benchmark knows its optimum");
+    let optimum = bench
+        .optimum()
+        .expect("tabular benchmark knows its optimum");
     println!(
         "searching {} architectures; global optimum val error {:.4}\n",
         hypertune::benchmarks::nasbench::N_ARCHS,

@@ -44,7 +44,11 @@ fn main() {
     let budget = 2.0 * 3600.0;
     let config = RunConfig::new(8, budget, 42);
 
-    println!("tuning `{}` for {:.0}h of virtual time on 8 workers\n", bench.name(), budget / 3600.0);
+    println!(
+        "tuning `{}` for {:.0}h of virtual time on 8 workers\n",
+        bench.name(),
+        budget / 3600.0
+    );
     for kind in [MethodKind::ARandom, MethodKind::Bohb, MethodKind::HyperTune] {
         let mut method = kind.build(&levels, 42);
         let result = run(method.as_mut(), &bench, &config);

@@ -37,7 +37,10 @@ fn main() {
             result.total_evals,
             result.evals_per_level[levels.max_level()],
         );
-        if best.as_ref().is_none_or(|b| result.best_value < b.best_value) {
+        if best
+            .as_ref()
+            .is_none_or(|b| result.best_value < b.best_value)
+        {
             best = Some(result);
         }
     }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI gate: build, test, format, lint. Run from anywhere inside the repo.
+#
+# Usage: scripts/ci.sh [--fast]
+#   --fast   skip the release build (debug test build only)
+#
+# Everything runs offline: all external crates resolve to the in-repo
+# shims under crates/shims/ (see DESIGN.md §6).
+
+set -euo pipefail
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+step() { printf '\n==> %s\n' "$*"; }
+
+if [[ "$FAST" -eq 0 ]]; then
+  step "cargo build --release"
+  cargo build --workspace --release --offline
+fi
+
+step "cargo test -q"
+cargo test --workspace -q --offline
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+step "OK"
