@@ -112,7 +112,7 @@ fn bench_simulator(c: &mut Criterion) {
                 {
                     submitted += 1;
                 }
-                if cluster.next_completion().is_some() {
+                if cluster.next_completion().is_ok() {
                     done += 1;
                 }
             }

@@ -1,12 +1,21 @@
 //! §5 robustness hypothesis: "Hyper-Tune is more robust to the
 //! low-fidelity measurements with different scales of noises".
 //!
-//! Sweeps the benchmark's low-fidelity observation noise over three
-//! scales and compares converged performance of methods that trust low
-//! fidelities blindly (ASHA), methods that ignore them (A-BOHB), and
+//! Part 1 sweeps the benchmark's low-fidelity observation noise over
+//! three scales and compares converged performance of methods that trust
+//! low fidelities blindly (ASHA), methods that ignore them (A-BOHB), and
 //! Hyper-Tune, whose ranking-loss weights `θ` down-weight noisy levels
 //! automatically. Expected shape: Hyper-Tune's degradation as noise grows
 //! is the smallest of the three families.
+//!
+//! Part 2 sweeps the *worker crash rate* instead: jobs are killed
+//! mid-evaluation with probability p, retried under the default
+//! [`RetryPolicy`], and quarantined when hopeless. Synchronous methods
+//! pay for every failure at their rung barriers (a lost job delays the
+//! whole rung), while asynchronous methods re-fill the freed worker
+//! immediately — so Hyperband/BOHB degrade faster with p than
+//! ASHA/Hyper-Tune. This is the fault-injection analogue of the paper's
+//! straggler argument for asynchronous scheduling (§4.2).
 //!
 //! Run with: `cargo run --release -p hypertune-bench --bin robustness`
 
@@ -88,4 +97,92 @@ fn main() {
     )
     .expect("write results");
     println!("\nseries written to results/robustness.json");
+
+    fault_sweep(budget);
+}
+
+/// Part 2: converged error vs worker crash rate, sync vs async families.
+fn fault_sweep(budget: f64) {
+    report::header("Robustness: converged error vs worker crash rate");
+    let methods = [
+        MethodKind::Hyperband, // sync
+        MethodKind::Bohb,      // sync
+        MethodKind::Asha,      // async
+        MethodKind::HyperTune, // async
+    ];
+    let rates = [0.0, 0.1, 0.3];
+    let bench = noisy_covertype(1.0, 0);
+
+    let mut rows: Vec<(f64, Vec<MethodSummary>)> = Vec::new();
+    for &p in &rates {
+        let mut config = RunConfig::new(8, budget, 900);
+        if p > 0.0 {
+            config.faults = Some(FaultSpec::crashes(p));
+        }
+        let mut summaries = Vec::new();
+        for kind in methods {
+            summaries.push(evaluate_method(kind, &bench, &config, 4));
+        }
+        rows.push((p, summaries));
+    }
+
+    print!("{:<12}", "crash p");
+    for kind in methods {
+        print!(" {:>22}", kind.name());
+    }
+    println!();
+    for (p, summaries) in &rows {
+        print!("{p:<12}");
+        for s in summaries {
+            print!(
+                " {:>22}",
+                format!("{:.4} ± {:.4}", s.mean_final(), s.std_final())
+            );
+        }
+        println!();
+    }
+
+    // Regret vs the method's own fault-free run: how much each scheduler
+    // family loses as the crash rate climbs.
+    println!("\nregret vs fault-free self (converged error increase):");
+    print!("{:<24}", "method");
+    for &p in &rates[1..] {
+        print!(" {:>12}", format!("p={p}"));
+    }
+    println!();
+    for (i, kind) in methods.iter().enumerate() {
+        let clean = rows[0].1[i].mean_final();
+        print!("{:<24}", kind.name());
+        for row in &rows[1..] {
+            print!(" {:>12}", format!("{:+.4}", row.1[i].mean_final() - clean));
+        }
+        println!();
+    }
+
+    // Failure accounting at the highest rate (sanity: faults really fired
+    // and the retry/quarantine machinery handled them).
+    println!("\nat p = {} (per-run means):", rates.last().unwrap());
+    for (i, kind) in methods.iter().enumerate() {
+        let runs = &rows.last().unwrap().1[i].runs;
+        let n = runs.len() as f64;
+        let failed: f64 = runs.iter().map(|r| r.n_failed_attempts as f64).sum::<f64>() / n;
+        let retried: f64 = runs.iter().map(|r| r.n_retries as f64).sum::<f64>() / n;
+        let quarantined: f64 = runs.iter().map(|r| r.n_quarantined as f64).sum::<f64>() / n;
+        println!(
+            "{:<24} failed attempts {:>7.1}  retries {:>7.1}  quarantined {:>6.1}",
+            kind.name(),
+            failed,
+            retried,
+            quarantined
+        );
+    }
+
+    let flat: Vec<MethodSummary> = rows.into_iter().flat_map(|(_, s)| s).collect();
+    report::write_json(
+        &PathBuf::from("results/robustness_faults.json"),
+        "robustness_faults",
+        &flat,
+    )
+    .expect("write results");
+    println!("\nseries written to results/robustness_faults.json");
 }

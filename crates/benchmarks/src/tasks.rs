@@ -220,7 +220,7 @@ pub fn nas_imagenet16(seed: u64) -> TabularNasBench {
 
 /// The industrial recommendation task of §5.6: identify active users in a
 /// billion-instance CTR-style dataset. The objective is `1 − AUC`; the
-/// manual setting (see [`industrial_manual_config`]) sits ~0.87% AUC
+/// manual setting (the `table3_industrial` baseline) sits ~0.87% AUC
 /// below the tuned optimum, matching Table 3's headroom.
 pub fn industrial_recsys(seed: u64) -> SyntheticBenchmark {
     SyntheticSpec {

@@ -6,27 +6,49 @@
 //! [`crate::SimCluster`] — submit up to `n` jobs, then pull completions —
 //! so the schedulers in `hypertune-core` are substrate-agnostic. Used by
 //! the runnable examples to demonstrate genuinely parallel tuning.
+//!
+//! Fault injection mirrors the simulator: a [`FaultModel`] attached with
+//! [`ThreadPool::with_faults`] is drawn from on the *driver* thread at
+//! submission (so the fault sequence is deterministic in submission order,
+//! independent of thread scheduling), and the verdict travels with the job
+//! to surface in [`PoolResult::status`]. Failed jobs carry no output.
+//! Since OS threads cannot be safely preempted, a
+//! [`Hang`](crate::fault::Fault::Hang) here behaves as a crash: the job is
+//! abandoned rather than stretched.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use crate::sim::ClusterError;
+use crate::fault::{Fault, FaultModel};
+use crate::sim::{ClusterError, JobStatus};
 
 /// A completed job from the pool.
 #[derive(Debug)]
 pub struct PoolResult<J, O> {
     /// The submitted payload.
     pub job: J,
-    /// The evaluation function's output.
-    pub output: O,
+    /// The evaluation function's output. `None` when the job failed
+    /// before producing one (crash, error, hang); `Some` for successes
+    /// and for corrupt results (present but flagged unusable via
+    /// [`PoolResult::status`]).
+    pub output: Option<O>,
+    /// How the job ended; anything but `Succeeded` is a failure.
+    pub status: JobStatus,
     /// Index of the worker thread that ran the job.
     pub worker: usize,
 }
 
+impl<J, O> PoolResult<J, O> {
+    /// `true` when the job produced a usable result.
+    pub fn is_ok(&self) -> bool {
+        !self.status.is_failure()
+    }
+}
+
 enum Message<J> {
-    Run(J),
+    Run(J, JobStatus),
     Shutdown,
 }
 
@@ -37,6 +59,7 @@ pub struct ThreadPool<J, O> {
     handles: Vec<JoinHandle<()>>,
     n_workers: usize,
     in_flight: usize,
+    faults: FaultModel,
 }
 
 impl<J, O> ThreadPool<J, O>
@@ -63,14 +86,22 @@ where
                 let result_tx = result_tx.clone();
                 let eval = Arc::clone(&eval);
                 std::thread::spawn(move || {
-                    while let Ok(Message::Run(job)) = job_rx.recv() {
-                        let output = eval(&job);
+                    while let Ok(Message::Run(job, status)) = job_rx.recv() {
+                        // Doomed jobs are abandoned without evaluating:
+                        // the real work died with the (simulated) worker.
+                        // Corrupt jobs evaluate — the output exists, it
+                        // just must be discarded by the driver.
+                        let output = match status {
+                            JobStatus::Succeeded | JobStatus::Corrupt => Some(eval(&job)),
+                            _ => None,
+                        };
                         // The receiver may be gone during shutdown; that's
                         // fine, just stop.
                         if result_tx
                             .send(PoolResult {
                                 job,
                                 output,
+                                status,
                                 worker,
                             })
                             .is_err()
@@ -87,7 +118,15 @@ where
             handles,
             n_workers,
             in_flight: 0,
+            faults: FaultModel::none(),
         }
+    }
+
+    /// Attaches a fault model; each subsequent submission draws one
+    /// (possible) fault from it.
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Number of worker threads.
@@ -111,25 +150,32 @@ where
         if self.in_flight >= self.n_workers {
             return Err(ClusterError::NoIdleWorker);
         }
+        let status = match self.faults.draw() {
+            None => JobStatus::Succeeded,
+            Some(Fault::Crash { .. }) | Some(Fault::Hang { .. }) => JobStatus::Crashed,
+            Some(Fault::Error) => JobStatus::Errored,
+            Some(Fault::Corrupt) => JobStatus::Corrupt,
+        };
         self.job_tx
-            .send(Message::Run(job))
+            .send(Message::Run(job, status))
             .expect("workers outlive the pool handle");
         self.in_flight += 1;
         Ok(())
     }
 
-    /// Blocks until the next job finishes; `None` when nothing is
-    /// in flight.
-    pub fn next_completion(&mut self) -> Option<PoolResult<J, O>> {
+    /// Blocks until the next job finishes; returns
+    /// [`ClusterError::Quiescent`] when nothing is in flight (mirroring
+    /// [`crate::SimCluster::next_completion`] and its loop invariant).
+    pub fn next_completion(&mut self) -> Result<PoolResult<J, O>, ClusterError> {
         if self.in_flight == 0 {
-            return None;
+            return Err(ClusterError::Quiescent);
         }
         let r = self
             .result_rx
             .recv()
             .expect("workers outlive the pool handle");
         self.in_flight -= 1;
-        Some(r)
+        Ok(r)
     }
 }
 
@@ -148,6 +194,7 @@ impl<J, O> Drop for ThreadPool<J, O> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultSpec;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -157,9 +204,10 @@ mod tests {
             pool.submit(j).unwrap();
         }
         let mut outs = Vec::new();
-        while let Some(r) = pool.next_completion() {
-            assert_eq!(r.output, r.job * 2);
-            outs.push(r.output);
+        while let Ok(r) = pool.next_completion() {
+            assert!(r.is_ok());
+            assert_eq!(r.output, Some(r.job * 2));
+            outs.push(r.output.unwrap());
         }
         outs.sort_unstable();
         assert_eq!(outs, vec![0, 2, 4, 6]);
@@ -175,13 +223,13 @@ mod tests {
         assert_eq!(pool.submit(3), Err(ClusterError::NoIdleWorker));
         pool.next_completion().unwrap();
         assert!(pool.submit(3).is_ok());
-        while pool.next_completion().is_some() {}
+        while pool.next_completion().is_ok() {}
     }
 
     #[test]
-    fn next_completion_none_when_idle() {
+    fn next_completion_quiescent_when_idle() {
         let mut pool: ThreadPool<u8, u8> = ThreadPool::new(1, |j| *j);
-        assert!(pool.next_completion().is_none());
+        assert_eq!(pool.next_completion().unwrap_err(), ClusterError::Quiescent);
     }
 
     #[test]
@@ -197,7 +245,7 @@ mod tests {
             while submitted < 30 && pool.submit(submitted).is_ok() {
                 submitted += 1;
             }
-            if pool.next_completion().is_some() {
+            if pool.next_completion().is_ok() {
                 done += 1;
             }
         }
@@ -221,12 +269,53 @@ mod tests {
         let mut next_job = 2;
         while completed < 50 {
             let r = pool.next_completion().unwrap();
-            assert_eq!(r.output, r.job + 1);
+            assert_eq!(r.output, Some(r.job + 1));
             completed += 1;
             if next_job < 50 {
                 pool.submit(next_job).unwrap();
                 next_job += 1;
             }
         }
+    }
+
+    #[test]
+    fn crashed_jobs_report_failure_without_output() {
+        let mut pool = ThreadPool::new(2, |j: &u8| *j)
+            .with_faults(FaultModel::new(FaultSpec::crashes(1.0), 5));
+        pool.submit(7).unwrap();
+        let r = pool.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Crashed);
+        assert_eq!(r.output, None);
+        assert!(!r.is_ok());
+        // The slot is free again for a retry.
+        assert_eq!(pool.idle_workers(), 2);
+    }
+
+    #[test]
+    fn corrupt_jobs_carry_flagged_output() {
+        let mut pool = ThreadPool::new(1, |j: &u8| *j)
+            .with_faults(FaultModel::new(FaultSpec::corrupt(1.0), 5));
+        pool.submit(9).unwrap();
+        let r = pool.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Corrupt);
+        assert_eq!(r.output, Some(9));
+        assert!(!r.is_ok());
+    }
+
+    #[test]
+    fn fault_sequence_deterministic_in_submission_order() {
+        let spec = FaultSpec::crashes(0.5);
+        let run = |seed: u64| {
+            let mut pool =
+                ThreadPool::new(1, |j: &u32| *j).with_faults(FaultModel::new(spec, seed));
+            let mut statuses = Vec::new();
+            for j in 0..40 {
+                pool.submit(j).unwrap();
+                statuses.push(pool.next_completion().unwrap().status);
+            }
+            statuses
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "different seeds should diverge");
     }
 }

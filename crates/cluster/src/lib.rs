@@ -14,17 +14,33 @@
 //!   crossbeam channels, demonstrating that the same scheduling logic
 //!   drives genuinely parallel evaluation (used by the examples).
 //!
-//! [`trace::Trace`] records worker occupancy for Gantt-style renderings of
-//! scheduling behaviour (Figures 1 and 4 of the paper) and utilization
-//! statistics.
+//! Both substrates share one imperfection model: a
+//! [`StragglerModel`] stretches durations (the paper's §4.2 motivation
+//! for asynchronous scheduling), and a [`FaultModel`] injects worker
+//! crashes, evaluation errors, hangs, and corrupt results, reported
+//! through each substrate's `next_completion` as a [`JobStatus`]. Faults
+//! are drawn at dispatch on the driver thread, so a run is a
+//! deterministic function of its seeds on either substrate.
+//!
+//! # Module map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`sim`] | [`SimCluster`], [`JobResult`], [`JobStatus`], [`ClusterError`] — the discrete-event simulator and the submit/complete contract |
+//! | [`executor`] | [`ThreadPool`], [`PoolResult`] — the same contract on real OS threads |
+//! | [`fault`] | [`Fault`], [`FaultSpec`], [`FaultModel`] — dispatch-time failure injection |
+//! | `straggler` (private) | [`StragglerModel`] — duration noise |
+//! | [`trace`] | [`Trace`], [`TraceSpan`] — per-worker busy intervals for utilization and Gantt renderings (Figures 1 and 4 of the paper) |
 
 pub mod executor;
+pub mod fault;
 pub mod sim;
 pub mod trace;
 
 mod straggler;
 
-pub use executor::ThreadPool;
-pub use sim::{ClusterError, JobResult, SimCluster};
+pub use executor::{PoolResult, ThreadPool};
+pub use fault::{Fault, FaultModel, FaultSpec};
+pub use sim::{ClusterError, JobResult, JobStatus, SimCluster};
 pub use straggler::StragglerModel;
 pub use trace::{Trace, TraceSpan};

@@ -9,14 +9,28 @@
 //!    earliest finish and the finished job is returned;
 //! 3. repeat until the virtual budget is exhausted.
 //!
+//! # Loop invariant
+//!
+//! Between the two steps the driver must keep the cluster *non-quiescent*:
+//! `next_completion` is only meaningful while at least one job is running,
+//! and calling it on an idle cluster returns
+//! [`ClusterError::Quiescent`] — there is no event to advance the clock
+//! to, so the virtual time would be stuck forever. A driver that sees
+//! `Quiescent` has either forgotten to submit (a scheduling bug) or has
+//! drained all work and should exit its loop.
+//!
 //! The simulator is generic over the job payload, applies an optional
-//! [`StragglerModel`] to durations, and records every busy interval into a
-//! [`Trace`] for utilization analysis and Gantt rendering.
+//! [`StragglerModel`] to durations and an optional
+//! [`FaultModel`] to outcomes (crashes, errors, hangs,
+//! corrupt results — reported through [`JobResult::status`]), and records
+//! every busy interval into a [`Trace`] for utilization analysis and Gantt
+//! rendering.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
 
+use crate::fault::{Fault, FaultModel};
 use crate::straggler::StragglerModel;
 use crate::trace::Trace;
 
@@ -28,6 +42,10 @@ pub enum ClusterError {
     NoIdleWorker,
     /// A job duration was negative, NaN, or infinite.
     InvalidDuration,
+    /// `next_completion` was called with no job in flight: the virtual
+    /// clock has no event to advance to (see the module-level loop
+    /// invariant).
+    Quiescent,
 }
 
 impl fmt::Display for ClusterError {
@@ -35,11 +53,51 @@ impl fmt::Display for ClusterError {
         match self {
             ClusterError::NoIdleWorker => write!(f, "no idle worker available"),
             ClusterError::InvalidDuration => write!(f, "job duration must be finite and >= 0"),
+            ClusterError::Quiescent => {
+                write!(f, "no job in flight: nothing to complete")
+            }
         }
     }
 }
 
 impl std::error::Error for ClusterError {}
+
+/// How a job ended. Only [`JobStatus::Succeeded`] carries a usable result;
+/// every other variant means the evaluation's output (if any) must be
+/// discarded and the job retried or quarantined by the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The evaluation completed and its result is valid.
+    Succeeded,
+    /// The worker died mid-evaluation; part of the duration was wasted.
+    Crashed,
+    /// The evaluation ran to completion but raised an error.
+    Errored,
+    /// The job exceeded the per-job timeout and was killed.
+    TimedOut,
+    /// The job finished but returned a corrupt (unusable) result.
+    Corrupt,
+}
+
+impl JobStatus {
+    /// `true` for every variant except [`JobStatus::Succeeded`].
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, JobStatus::Succeeded)
+    }
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JobStatus::Succeeded => "succeeded",
+            JobStatus::Crashed => "crashed",
+            JobStatus::Errored => "errored",
+            JobStatus::TimedOut => "timed-out",
+            JobStatus::Corrupt => "corrupt",
+        };
+        write!(f, "{s}")
+    }
+}
 
 /// A finished job returned by [`SimCluster::next_completion`].
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +111,15 @@ pub struct JobResult<T> {
     /// Virtual time at which the job finished (equals the clock after
     /// `next_completion` returns it).
     pub finished: f64,
+    /// How the job ended; anything but `Succeeded` is a failure.
+    pub status: JobStatus,
+}
+
+impl<T> JobResult<T> {
+    /// `true` when the job produced a usable result.
+    pub fn is_ok(&self) -> bool {
+        !self.status.is_failure()
+    }
 }
 
 /// One in-flight job inside the event heap, ordered by finish time
@@ -62,6 +129,7 @@ struct Pending<T> {
     seq: u64,
     worker: usize,
     started: f64,
+    status: JobStatus,
     job: T,
 }
 
@@ -96,6 +164,8 @@ pub struct SimCluster<T> {
     idle: Vec<usize>,
     heap: BinaryHeap<Pending<T>>,
     straggler: StragglerModel,
+    faults: FaultModel,
+    job_timeout: Option<f64>,
     trace: Trace,
 }
 
@@ -120,8 +190,32 @@ impl<T> SimCluster<T> {
             idle: (0..n_workers).rev().collect(),
             heap: BinaryHeap::new(),
             straggler,
+            faults: FaultModel::none(),
+            job_timeout: None,
             trace: Trace::new(n_workers),
         }
+    }
+
+    /// Attaches a fault model; each subsequent submission draws one
+    /// (possible) fault from it.
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets a per-job timeout in virtual seconds: any job whose effective
+    /// duration (after stragglers, crashes, and hangs) would exceed it is
+    /// killed at `started + timeout` and reported as
+    /// [`JobStatus::TimedOut`]. `None` disables the timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timeout is not finite and positive.
+    pub fn set_job_timeout(&mut self, timeout: Option<f64>) {
+        if let Some(t) = timeout {
+            assert!(t.is_finite() && t > 0.0, "timeout must be finite and > 0");
+        }
+        self.job_timeout = timeout;
     }
 
     /// Number of workers.
@@ -163,6 +257,13 @@ impl<T> SimCluster<T> {
 
     /// Like [`SimCluster::submit`], with a label recorded in the trace
     /// (used for Gantt renderings).
+    ///
+    /// The fate of the job is decided here, at dispatch: stragglers
+    /// stretch the duration, then the fault model (if any) may convert the
+    /// job into a crash, error, hang, or corrupt result, and finally the
+    /// per-job timeout caps the effective duration. The outcome surfaces
+    /// later through [`SimCluster::next_completion`] as
+    /// [`JobResult::status`].
     pub fn submit_labeled(
         &mut self,
         job: T,
@@ -173,14 +274,43 @@ impl<T> SimCluster<T> {
             return Err(ClusterError::InvalidDuration);
         }
         let worker = self.idle.pop().ok_or(ClusterError::NoIdleWorker)?;
-        let effective = self.straggler.apply(duration);
+        let mut effective = self.straggler.apply(duration);
+        let mut status = JobStatus::Succeeded;
+        match self.faults.draw() {
+            Some(Fault::Crash { frac }) => {
+                // The worker dies partway through: the slot is occupied
+                // for only a fraction of the work, and no result exists.
+                effective *= frac;
+                status = JobStatus::Crashed;
+            }
+            Some(Fault::Error) => status = JobStatus::Errored,
+            Some(Fault::Hang { factor }) => {
+                // A hang alone is an extreme straggler; only the timeout
+                // below turns it into a reported failure.
+                effective *= factor;
+            }
+            Some(Fault::Corrupt) => status = JobStatus::Corrupt,
+            None => {}
+        }
+        if let Some(t) = self.job_timeout {
+            if effective > t {
+                effective = t;
+                status = JobStatus::TimedOut;
+            }
+        }
         let finish = self.clock + effective;
+        let label = if status.is_failure() {
+            format!("{label} [{status}]")
+        } else {
+            label
+        };
         self.trace.record(worker, self.clock, finish, label);
         self.heap.push(Pending {
             finish,
             seq: self.seq,
             worker,
             started: self.clock,
+            status,
             job,
         });
         self.seq += 1;
@@ -188,17 +318,20 @@ impl<T> SimCluster<T> {
     }
 
     /// Advances the clock to the earliest finish and returns that job, or
-    /// `None` when nothing is running.
-    pub fn next_completion(&mut self) -> Option<JobResult<T>> {
-        let p = self.heap.pop()?;
+    /// [`ClusterError::Quiescent`] when nothing is running (the loop
+    /// invariant in the module docs was violated, or the driver has
+    /// drained all work).
+    pub fn next_completion(&mut self) -> Result<JobResult<T>, ClusterError> {
+        let p = self.heap.pop().ok_or(ClusterError::Quiescent)?;
         debug_assert!(p.finish >= self.clock, "time must not run backwards");
         self.clock = p.finish;
         self.idle.push(p.worker);
-        Some(JobResult {
+        Ok(JobResult {
             job: p.job,
             worker: p.worker,
             started: p.started,
             finished: p.finish,
+            status: p.status,
         })
     }
 
@@ -212,6 +345,7 @@ impl<T> SimCluster<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultSpec;
 
     #[test]
     fn jobs_complete_in_duration_order() {
@@ -225,7 +359,11 @@ mod tests {
         assert_eq!(c.now(), 5.0);
         assert_eq!(c.next_completion().unwrap().job, "slow");
         assert_eq!(c.now(), 10.0);
-        assert!(c.next_completion().is_none());
+        assert_eq!(
+            c.next_completion().unwrap_err(),
+            ClusterError::Quiescent,
+            "empty cluster must report quiescence, not a phantom job"
+        );
     }
 
     #[test]
@@ -311,11 +449,99 @@ mod tests {
         assert_eq!(done.started, 0.0);
         assert_eq!(done.finished, 2.0);
         assert!(done.worker < 2);
+        assert!(done.is_ok());
         // The freed worker is reusable.
         c.submit("b", 1.0).unwrap();
         let done = c.next_completion().unwrap();
         assert_eq!(done.started, 2.0);
         assert_eq!(done.finished, 3.0);
+    }
+
+    #[test]
+    fn crash_wastes_partial_duration_and_frees_worker() {
+        let mut c: SimCluster<&str> =
+            SimCluster::new(1).with_faults(FaultModel::new(FaultSpec::crashes(1.0), 9));
+        c.submit("doomed", 10.0).unwrap();
+        let r = c.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Crashed);
+        assert!(!r.is_ok());
+        // The crash consumed strictly less than the full duration.
+        assert!(r.finished < 10.0, "crash at {}", r.finished);
+        // The worker is free again for a retry.
+        assert_eq!(c.idle_workers(), 1);
+        c.submit("retry", 1.0).unwrap();
+        assert!(c.next_completion().unwrap().finished <= r.finished + 1.0);
+    }
+
+    #[test]
+    fn error_faults_consume_full_duration() {
+        let mut c: SimCluster<u32> =
+            SimCluster::new(1).with_faults(FaultModel::new(FaultSpec::errors(1.0), 4));
+        c.submit(1, 7.0).unwrap();
+        let r = c.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Errored);
+        assert_eq!(r.finished, 7.0);
+    }
+
+    #[test]
+    fn corrupt_results_flagged_on_time() {
+        let mut c: SimCluster<u32> =
+            SimCluster::new(1).with_faults(FaultModel::new(FaultSpec::corrupt(1.0), 4));
+        c.submit(1, 3.0).unwrap();
+        let r = c.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Corrupt);
+        assert_eq!(r.finished, 3.0);
+    }
+
+    #[test]
+    fn hang_without_timeout_is_a_slow_success() {
+        let mut c: SimCluster<u32> =
+            SimCluster::new(1).with_faults(FaultModel::new(FaultSpec::hangs(1.0, 6.0), 2));
+        c.submit(1, 2.0).unwrap();
+        let r = c.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Succeeded);
+        assert_eq!(r.finished, 12.0);
+    }
+
+    #[test]
+    fn timeout_converts_hang_into_failure() {
+        let mut c: SimCluster<u32> =
+            SimCluster::new(1).with_faults(FaultModel::new(FaultSpec::hangs(1.0, 6.0), 2));
+        c.set_job_timeout(Some(5.0));
+        c.submit(1, 2.0).unwrap();
+        let r = c.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::TimedOut);
+        assert_eq!(r.finished, 5.0);
+    }
+
+    #[test]
+    fn timeout_caps_natural_long_jobs_too() {
+        let mut c: SimCluster<u32> = SimCluster::new(1);
+        c.set_job_timeout(Some(4.0));
+        c.submit(1, 10.0).unwrap();
+        let r = c.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::TimedOut);
+        assert_eq!(r.finished, 4.0);
+        // A short job is unaffected.
+        c.submit(2, 1.0).unwrap();
+        assert_eq!(c.next_completion().unwrap().status, JobStatus::Succeeded);
+    }
+
+    #[test]
+    fn faultless_cluster_matches_plain_cluster_exactly() {
+        // Attaching a disabled fault model must not perturb anything:
+        // same completion order, same times.
+        let mut plain: SimCluster<u32> = SimCluster::new(3);
+        let mut armed: SimCluster<u32> = SimCluster::new(3).with_faults(FaultModel::none());
+        for i in 0..3 {
+            plain.submit(i, 1.0 + i as f64).unwrap();
+            armed.submit(i, 1.0 + i as f64).unwrap();
+        }
+        for _ in 0..3 {
+            let a = plain.next_completion().unwrap();
+            let b = armed.next_completion().unwrap();
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

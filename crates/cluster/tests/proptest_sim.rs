@@ -1,6 +1,6 @@
 //! Property-based tests of the discrete-event simulator's invariants.
 
-use hypertune_cluster::{SimCluster, StragglerModel};
+use hypertune_cluster::{FaultModel, FaultSpec, JobStatus, SimCluster, StragglerModel};
 use proptest::prelude::*;
 
 proptest! {
@@ -22,7 +22,7 @@ proptest! {
             {
                 submitted += 1;
             }
-            let Some(done) = cluster.next_completion() else { break };
+            let Ok(done) = cluster.next_completion() else { break };
             prop_assert!(done.finished >= last_t, "clock ran backwards");
             last_t = done.finished;
             prop_assert!((done.finished - done.started - durations[done.job]).abs() < 1e-9);
@@ -48,7 +48,7 @@ proptest! {
             {
                 submitted += 1;
             }
-            if cluster.next_completion().is_none() {
+            if cluster.next_completion().is_err() {
                 break;
             }
         }
@@ -81,5 +81,59 @@ proptest! {
         let effective = done.finished - done.started;
         prop_assert!(effective >= d - 1e-12);
         prop_assert!(effective <= 4.0 * d + 1e-9);
+    }
+
+    /// Fault injection preserves the conservation law: every submitted
+    /// job comes back exactly once (with some status), no worker is
+    /// leaked, the clock stays monotone, and failures never outrun the
+    /// configured rates structurally (a crash finishes no later than the
+    /// job would have).
+    #[test]
+    fn faults_conserve_jobs_and_workers(
+        durations in proptest::collection::vec(0.1f64..50.0, 1..60),
+        n_workers in 1usize..8,
+        crash in 0.0f64..0.4,
+        error in 0.0f64..0.3,
+        seed in any::<u64>(),
+    ) {
+        let spec = FaultSpec {
+            crash_prob: crash,
+            error_prob: error,
+            hang_prob: 0.1,
+            corrupt_prob: 0.1,
+            hang_factor: 3.0,
+        };
+        let mut cluster: SimCluster<usize> =
+            SimCluster::new(n_workers).with_faults(FaultModel::new(spec, seed));
+        cluster.set_job_timeout(Some(120.0));
+        let mut submitted = 0;
+        let mut completed = vec![false; durations.len()];
+        let mut last_t = 0.0;
+        loop {
+            while submitted < durations.len()
+                && cluster.submit(submitted, durations[submitted]).is_ok()
+            {
+                submitted += 1;
+            }
+            let Ok(done) = cluster.next_completion() else { break };
+            prop_assert!(done.finished >= last_t, "clock ran backwards");
+            last_t = done.finished;
+            let effective = done.finished - done.started;
+            match done.status {
+                // A crash consumes at most the (straggler-free here)
+                // duration; errored/corrupt jobs run fully.
+                JobStatus::Crashed => prop_assert!(effective <= durations[done.job] + 1e-9),
+                JobStatus::Errored | JobStatus::Corrupt => {
+                    prop_assert!((effective - durations[done.job]).abs() < 1e-9
+                        || effective <= 120.0 + 1e-9)
+                }
+                JobStatus::TimedOut => prop_assert!((effective - 120.0).abs() < 1e-9),
+                JobStatus::Succeeded => prop_assert!(effective >= durations[done.job] - 1e-9),
+            }
+            prop_assert!(!completed[done.job], "job completed twice");
+            completed[done.job] = true;
+        }
+        prop_assert!(completed.iter().all(|&c| c), "all jobs complete");
+        prop_assert_eq!(cluster.idle_workers(), n_workers);
     }
 }

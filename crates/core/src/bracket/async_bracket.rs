@@ -84,6 +84,10 @@ impl AsyncBracket {
                 }
             }
             // Cond. 1: best unpromoted config within the top 1/eta.
+            // Quarantined configs sit in the rung with value = +inf: they
+            // count toward |D_k| (their slot was spent) but are never
+            // promotable, so a failure-riddled rung keeps admitting fresh
+            // work instead of stalling.
             let rung = &self.rungs[j];
             let n_top = rung.results.len() / self.eta;
             if n_top == 0 {
@@ -94,11 +98,12 @@ impl AsyncBracket {
                 rung.results[a]
                     .1
                     .partial_cmp(&rung.results[b].1)
-                    .expect("values are finite")
+                    .expect("values are not NaN")
             });
             let candidate = order
                 .into_iter()
                 .take(n_top)
+                .filter(|&i| rung.results[i].1.is_finite())
                 .map(|i| &rung.results[i].0)
                 .find(|c| !rung.promoted.contains(*c))
                 .cloned();
@@ -267,6 +272,31 @@ mod tests {
         let mut top = AsyncBracket::new(&levels(), 3, false);
         feed(&mut top, 3, &[0.1, 0.2, 0.3, 0.4]);
         assert!(top.try_promote().is_none());
+    }
+
+    #[test]
+    fn quarantined_results_never_promote_but_count_toward_rung() {
+        let mut b = AsyncBracket::new(&levels(), 0, false);
+        // Two quarantined configs (value = +inf) and one success.
+        feed(&mut b, 0, &[f64::INFINITY, f64::INFINITY, 0.2]);
+        // Three results make floor(3/3) = 1 slot, and the finite config is
+        // the rung's best, so it promotes.
+        let (c, lvl) = b.try_promote().unwrap();
+        assert_eq!((c, lvl), (cfg(0.2), 1));
+        // Nothing else is promotable: the remaining top entries are inf.
+        assert!(b.try_promote().is_none());
+        feed(&mut b, 0, &[f64::INFINITY, f64::INFINITY, f64::INFINITY]);
+        // Six results, two slots, but slot 2 would be an inf config.
+        assert!(b.try_promote().is_none(), "inf entries must never promote");
+    }
+
+    #[test]
+    fn all_failed_rung_does_not_stall_scan() {
+        let mut b = AsyncBracket::new(&levels(), 0, true);
+        feed(&mut b, 0, &[f64::INFINITY; 6]);
+        // D-ASHA quota is satisfied but every candidate is quarantined:
+        // the caller falls through to sampling a fresh config.
+        assert!(b.try_promote().is_none());
     }
 
     #[test]

@@ -15,6 +15,8 @@ pub struct Diagnostics {
     pub bracket_starts: Vec<usize>,
     /// Number of promotions issued per bracket.
     pub bracket_promotions: Vec<usize>,
+    /// Number of quarantined (permanently failed) jobs per bracket.
+    pub bracket_failures: Vec<usize>,
 }
 
 impl Diagnostics {
@@ -24,6 +26,7 @@ impl Diagnostics {
             theta_history: Vec::new(),
             bracket_starts: vec![0; k],
             bracket_promotions: vec![0; k],
+            bracket_failures: vec![0; k],
         }
     }
 
@@ -40,6 +43,16 @@ impl Diagnostics {
     /// Records a promotion in `bracket`.
     pub fn record_promotion(&mut self, bracket: usize) {
         self.bracket_promotions[bracket] += 1;
+    }
+
+    /// Records a quarantined job in `bracket`.
+    pub fn record_failure(&mut self, bracket: usize) {
+        self.bracket_failures[bracket] += 1;
+    }
+
+    /// Total quarantined jobs across all brackets.
+    pub fn total_failures(&self) -> usize {
+        self.bracket_failures.iter().sum()
     }
 
     /// The final θ snapshot, if any.
@@ -80,6 +93,12 @@ impl Diagnostics {
             "theta refreshes:    {}\n",
             self.theta_history.len()
         ));
+        if self.total_failures() > 0 {
+            s.push_str(&format!(
+                "bracket failures:   {:?}\n",
+                self.bracket_failures
+            ));
+        }
         s
     }
 }
@@ -97,8 +116,11 @@ mod tests {
         d.record_promotion(0);
         d.record_theta(5, &[0.5, 0.3, 0.1, 0.1]);
         d.record_theta(8, &[0.6, 0.2, 0.1, 0.1]);
+        d.record_failure(3);
         assert_eq!(d.bracket_starts, vec![2, 0, 1, 0]);
         assert_eq!(d.bracket_promotions, vec![1, 0, 0, 0]);
+        assert_eq!(d.bracket_failures, vec![0, 0, 0, 1]);
+        assert_eq!(d.total_failures(), 1);
         assert_eq!(d.final_theta().unwrap()[0], 0.6);
         assert_eq!(d.theta_history.len(), 2);
     }

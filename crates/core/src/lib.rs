@@ -21,7 +21,29 @@
 //!
 //! All methods implement the [`method::Method`] trait and are driven by
 //! [`runner::run`] against any [`hypertune_benchmarks::Benchmark`] on a
-//! simulated or real cluster.
+//! simulated or real cluster. Failed evaluations (when fault injection is
+//! on) flow through the bounded [`runner::RetryPolicy`] and are
+//! quarantined as `Failed` outcomes after exhausting their retries;
+//! [`runner::run_checkpointed`] and [`runner::resume`] give long runs
+//! crash-safe, bit-identical restartability.
+//!
+//! # Module map
+//!
+//! | Module | Role |
+//! |---|---|
+//! | [`method`] | The `Method` trait: `next_job` / `on_result`, quarantine semantics |
+//! | [`methods`] | Hyper-Tune + all baselines, behind [`MethodKind`] |
+//! | [`runner`] | Simulated-cluster driver: budget loop, faults, retries, checkpoint/resume |
+//! | [`runner_threaded`] | The same loop on real OS threads |
+//! | [`history`] | Per-level measurement store and incumbent tracking |
+//! | [`levels`] | The geometric resource ladder `r₀ < r₁ < … < R` |
+//! | [`bracket`] | Sync/async successive-halving rung bookkeeping (D-ASHA) |
+//! | [`allocator`] | θ-weighted bracket selection (§4.1) |
+//! | [`sampler`] | Random / BO / MFES configuration samplers (§4.3) |
+//! | [`ranking`] | Cross-level ranking loss behind θ |
+//! | [`lce`] | Learning-curve extrapolation for the LCE-Stop baseline |
+//! | [`persist`] | Checkpoints and write-ahead run snapshots |
+//! | [`diagnostics`] | θ history, bracket starts/promotions/failures |
 //!
 //! # Baselines
 //!
@@ -44,9 +66,13 @@ pub mod runner;
 pub mod runner_threaded;
 pub mod sampler;
 
+pub use diagnostics::Diagnostics;
 pub use history::{History, Measurement};
 pub use levels::ResourceLevels;
-pub use method::{JobSpec, Method, MethodContext, Outcome};
+pub use method::{JobSpec, Method, MethodContext, Outcome, OutcomeStatus};
 pub use methods::MethodKind;
-pub use runner::{run, RunConfig, RunResult};
+pub use persist::{Checkpoint, RunRecord, RunSnapshot, SubmissionRecord};
+pub use runner::{
+    resume, run, run_checkpointed, CheckpointPolicy, ResumeError, RetryPolicy, RunConfig, RunResult,
+};
 pub use runner_threaded::{run_threaded, ThreadedRunConfig, ThreadedRunResult};

@@ -14,7 +14,7 @@ use crate::history::History;
 use crate::levels::ResourceLevels;
 
 /// A unit of work: evaluate `config` with `resource` units.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct JobSpec {
     /// Configuration to evaluate.
     pub config: Config,
@@ -27,19 +27,46 @@ pub struct JobSpec {
     pub bracket: Option<usize>,
 }
 
+/// Whether an evaluation produced a usable result.
+///
+/// The runner retries failed jobs transparently; a method only ever sees
+/// [`OutcomeStatus::Failed`] when a job exhausted its retry budget and was
+/// *quarantined*. Failed outcomes carry `value = f64::INFINITY`, are never
+/// recorded into the [`History`], and exist so schedulers can release the
+/// bookkeeping slot (rung quota, batch barrier, population seed) the job
+/// occupied — otherwise a dead config would stall its rung forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutcomeStatus {
+    /// The evaluation completed with a valid result.
+    #[default]
+    Success,
+    /// The job failed repeatedly and was quarantined by the runner.
+    Failed,
+}
+
 /// A finished evaluation delivered back to the method.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Outcome {
     /// The job that finished.
     pub spec: JobSpec,
-    /// Validation objective (minimized).
+    /// Validation objective (minimized); `f64::INFINITY` for failures.
     pub value: f64,
-    /// Held-out test objective.
+    /// Held-out test objective; `f64::INFINITY` for failures.
     pub test_value: f64,
-    /// Virtual cost in seconds.
+    /// Virtual cost in seconds (for failures: the cost of the attempts,
+    /// including wasted retries).
     pub cost: f64,
     /// Virtual completion time.
     pub finished_at: f64,
+    /// Whether the evaluation succeeded or was quarantined.
+    pub status: OutcomeStatus,
+}
+
+impl Outcome {
+    /// `true` when this job was quarantined after exhausting retries.
+    pub fn is_failed(&self) -> bool {
+        self.status == OutcomeStatus::Failed
+    }
 }
 
 /// Shared state the runner lends to the method on every call.
@@ -100,7 +127,27 @@ mod tests {
             test_value: 0.51,
             cost: 12.0,
             finished_at: 100.0,
+            status: OutcomeStatus::Success,
         };
         assert_eq!(o.spec, j);
+        assert!(!o.is_failed());
+    }
+
+    #[test]
+    fn failed_outcome_reports_failure() {
+        let o = Outcome {
+            spec: JobSpec {
+                config: Config::new(vec![ParamValue::Int(0)]),
+                level: 0,
+                resource: 1.0,
+                bracket: None,
+            },
+            value: f64::INFINITY,
+            test_value: f64::INFINITY,
+            cost: 4.0,
+            finished_at: 8.0,
+            status: OutcomeStatus::Failed,
+        };
+        assert!(o.is_failed());
     }
 }

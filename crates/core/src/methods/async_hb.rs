@@ -152,11 +152,18 @@ impl Method for AsyncHb {
             .spec
             .bracket
             .expect("async engine tags every job with its bracket");
-        self.brackets[b].on_result(
-            outcome.spec.config.clone(),
-            outcome.spec.level,
-            outcome.value,
-        );
+        // A quarantined job still occupies its rung slot (the resource was
+        // spent) but must never win a promotion: record it as +inf, which
+        // `try_promote` skips. This is what keeps D-ASHA's rungs moving
+        // under worker failures instead of waiting for a result that will
+        // never arrive.
+        let value = if outcome.is_failed() {
+            self.diagnostics.record_failure(b);
+            f64::INFINITY
+        } else {
+            outcome.value
+        };
+        self.brackets[b].on_result(outcome.spec.config.clone(), outcome.spec.level, value);
     }
 }
 
@@ -215,6 +222,7 @@ mod tests {
                 test_value: value,
                 cost: 1.0,
                 finished_at: 0.0,
+                status: crate::method::OutcomeStatus::Success,
             };
             m.on_result(&outcome, &mut self.ctx());
         }
@@ -325,6 +333,27 @@ mod tests {
         // After enough full evaluations θ becomes available.
         assert!(env.history.len_at(3) >= 4);
         assert!(m.theta().is_some());
+    }
+
+    #[test]
+    fn failed_outcomes_release_slots_without_promoting() {
+        let (mut env, mut m) = asha(false);
+        // Quarantine every job: the engine must keep producing fresh
+        // base-level work (failures never promote, rungs never stall).
+        for _ in 0..20 {
+            let j = m.next_job(&mut env.ctx()).unwrap();
+            assert_eq!(j.level, 0, "nothing promotable from all-failed rungs");
+            let outcome = Outcome {
+                spec: j,
+                value: f64::INFINITY,
+                test_value: f64::INFINITY,
+                cost: 1.0,
+                finished_at: 0.0,
+                status: crate::method::OutcomeStatus::Failed,
+            };
+            m.on_result(&outcome, &mut env.ctx());
+        }
+        assert_eq!(m.diagnostics().bracket_failures[0], 20);
     }
 
     #[test]

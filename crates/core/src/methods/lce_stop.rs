@@ -67,6 +67,12 @@ impl Method for LceStop {
     }
 
     fn on_result(&mut self, outcome: &Outcome, ctx: &mut MethodContext<'_>) {
+        // A quarantined config is dropped outright: an inf point would
+        // wreck the curve fit, and the config has proven unevaluable.
+        if outcome.is_failed() {
+            self.curves.remove(&outcome.spec.config);
+            return;
+        }
         let level = outcome.spec.level;
         let curve = self.curves.entry(outcome.spec.config.clone()).or_default();
         curve.push((outcome.spec.resource, outcome.value));
@@ -149,6 +155,7 @@ mod tests {
                 test_value: value,
                 cost: 1.0,
                 finished_at: 0.0,
+                status: crate::method::OutcomeStatus::Success,
             };
             m.on_result(&o, &mut self.ctx());
         }

@@ -66,6 +66,11 @@ impl Method for MedianStop {
     }
 
     fn on_result(&mut self, outcome: &Outcome, ctx: &mut MethodContext<'_>) {
+        // A quarantined config neither climbs nor contributes to the
+        // median statistics (its inf value is noise, not a measurement).
+        if outcome.is_failed() {
+            return;
+        }
         let level = outcome.spec.level;
         let values = &mut self.values_per_level[level];
         values.push(outcome.value);
@@ -137,6 +142,7 @@ mod tests {
             test_value: value,
             cost: 1.0,
             finished_at: 0.0,
+            status: crate::method::OutcomeStatus::Success,
         };
         m.on_result(&o, &mut env.ctx());
     }

@@ -178,7 +178,13 @@ impl Method for ARea {
     }
 
     fn on_result(&mut self, outcome: &Outcome, _ctx: &mut MethodContext<'_>) {
+        // The seed slot is released either way, but a quarantined config
+        // must not join the population — an inf member would poison
+        // tournaments (it can never win, yet it evicts a real member).
         self.outstanding_seeds = self.outstanding_seeds.saturating_sub(1);
+        if outcome.is_failed() {
+            return;
+        }
         self.population
             .push_back((outcome.spec.config.clone(), outcome.value));
         while self.population.len() > self.population_size {
@@ -224,6 +230,7 @@ mod tests {
             test_value: value,
             cost: 27.0,
             finished_at: 1.0,
+            status: crate::method::OutcomeStatus::Success,
         }
     }
 
@@ -305,6 +312,20 @@ mod tests {
             m.population.iter().map(|(_, v)| v).sum::<f64>() / m.population.len() as f64;
         assert!(mean_val < 0.4, "population should improve: {mean_val}");
         assert_eq!(m.population.len(), 20, "population stays bounded");
+    }
+
+    #[test]
+    fn area_failed_outcomes_release_seed_slot_without_joining_population() {
+        let (space, levels, history) = env();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut m = ARea::new(6);
+        let j = m.next_job(&mut ctx!(space, levels, history, rng)).unwrap();
+        assert_eq!(m.outstanding_seeds, 1);
+        let mut o = outcome(j, f64::INFINITY);
+        o.status = crate::method::OutcomeStatus::Failed;
+        m.on_result(&o, &mut ctx!(space, levels, history, rng));
+        assert_eq!(m.outstanding_seeds, 0, "slot released");
+        assert!(m.population.is_empty(), "quarantined config not admitted");
     }
 
     #[test]

@@ -99,8 +99,17 @@ impl Method for SyncHb {
     }
 
     fn on_result(&mut self, outcome: &Outcome, _ctx: &mut MethodContext<'_>) {
-        self.bracket
-            .on_result(outcome.spec.config.clone(), outcome.value);
+        // A quarantined job must still count toward the rung barrier or
+        // the bracket would wait on it forever; as +inf it sorts last and
+        // is (almost) never promoted. This is precisely why failures hurt
+        // the synchronous engine more: the barrier pays for every failure,
+        // while the async engine just samples on.
+        let value = if outcome.is_failed() {
+            f64::INFINITY
+        } else {
+            outcome.value
+        };
+        self.bracket.on_result(outcome.spec.config.clone(), value);
     }
 }
 
@@ -152,6 +161,7 @@ mod tests {
             test_value: value,
             cost: 1.0,
             finished_at: 0.0,
+            status: crate::method::OutcomeStatus::Success,
         };
         m.on_result(&outcome, &mut env.ctx());
     }

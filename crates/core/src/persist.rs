@@ -1,13 +1,26 @@
 //! Checkpointing: save and restore tuning state across process restarts.
 //!
 //! Long tuning runs (the paper's span days) must survive crashes and
-//! redeployments. The measurement history is the only state that matters:
-//! every component — base surrogates, `θ`, the bracket weights, the
-//! incumbent — is a pure function of it, so a restarted run refits them
-//! from the restored history and continues. Bracket-internal promotion
-//! state is intentionally *not* persisted: on restore the schedulers
-//! simply treat history configs as fresh context, which matches how the
-//! original system recovers.
+//! redeployments. Two snapshot granularities live here:
+//!
+//! - [`Checkpoint`] — the measurement history alone. Every derived
+//!   component — base surrogates, `θ`, the bracket weights, the
+//!   incumbent — is a pure function of it, so a restarted run refits them
+//!   from the restored history and continues with *fresh* scheduler
+//!   state. Cheap and robust, but the continuation is not bit-identical
+//!   to the uninterrupted run.
+//! - [`RunSnapshot`] — a write-ahead submission log: one
+//!   [`SubmissionRecord`] per dispatched job (in dispatch order, with the
+//!   evaluation's result), plus the completed measurements. Because every
+//!   run is a deterministic function of its seed, [`crate::runner::resume`]
+//!   *replays* the run from virtual time zero using the recorded results
+//!   instead of re-evaluating, verifies the replayed measurements match
+//!   the snapshot exactly, and then continues live — producing a final
+//!   [`History`] bit-identical to the uninterrupted run's.
+//!
+//! Both serialize as JSON. The serializer emits `f64`s in
+//! shortest-roundtrip form, so save → load preserves every value exactly
+//! — which is what makes the snapshot equality check sound.
 
 use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
@@ -16,6 +29,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::history::{History, Measurement};
 use crate::levels::ResourceLevels;
+use crate::method::JobSpec;
 use crate::runner::{CurvePoint, RunResult};
 
 /// Serializable snapshot of a tuning run's durable state.
@@ -66,6 +80,56 @@ impl Checkpoint {
     }
 
     /// Reads a checkpoint from JSON.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        Ok(serde_json::from_reader(BufReader::new(file))?)
+    }
+}
+
+/// One dispatched job in a [`RunSnapshot`]'s write-ahead log: the spec
+/// the method produced plus the evaluation result it received (recorded
+/// at dispatch time — the simulator evaluates eagerly and only *reveals*
+/// the result at virtual completion).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmissionRecord {
+    /// The job as issued by the method.
+    pub spec: JobSpec,
+    /// Validation value of the evaluation.
+    pub value: f64,
+    /// Held-out test value.
+    pub test_value: f64,
+    /// Nominal evaluation cost in virtual seconds (before stragglers,
+    /// faults, or retries).
+    pub cost: f64,
+}
+
+/// A mid-run snapshot that supports bit-identical resume; see the module
+/// docs and [`crate::runner::resume`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSnapshot {
+    /// Seed of the run this snapshot belongs to (resume refuses a
+    /// mismatched seed up front — the replay could never match).
+    pub seed: u64,
+    /// Every dispatch so far, in dispatch order.
+    pub submissions: Vec<SubmissionRecord>,
+    /// Every completed measurement so far, in completion order (the
+    /// prefix the replay is verified against).
+    pub measurements: Vec<Measurement>,
+}
+
+impl RunSnapshot {
+    /// Writes the snapshot as JSON.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(file);
+        serde_json::to_writer(&mut w, self)?;
+        w.flush()
+    }
+
+    /// Reads a snapshot from JSON.
     pub fn load(path: &Path) -> std::io::Result<Self> {
         let file = std::fs::File::open(path)?;
         Ok(serde_json::from_reader(BufReader::new(file))?)

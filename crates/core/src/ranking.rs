@@ -60,8 +60,8 @@ fn cmp_f64(a: f64, b: f64) -> std::cmp::Ordering {
 /// discordant pairs are exactly the strict inversions of the observed
 /// targets in that order — pred-tied pairs sort by `y` ascending (no
 /// inversion), y-tied pairs are excluded by the strict comparison, and
-/// every other pair inverts iff the two rankings disagree. Below
-/// [`SMALL_LOSS_CUTOFF`] the quadratic loop is used instead: it allocates
+/// every other pair inverts iff the two rankings disagree. Below a small
+/// cutoff (`SMALL_LOSS_CUTOFF`) the quadratic loop is used instead: it allocates
 /// nothing and beats the sort's constant factor on tiny inputs (the θ
 /// bootstrap calls this hundreds of times per refresh); above it, sort
 /// buffers come from a thread-local scratch, so steady-state calls do not

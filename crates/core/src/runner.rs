@@ -8,16 +8,80 @@
 //! measurement, and notify the method. Because all randomness flows from
 //! the run seed and the simulator is deterministic, every run is exactly
 //! reproducible.
+//!
+//! # Fault tolerance
+//!
+//! With [`RunConfig::faults`] set, the cluster injects worker crashes,
+//! evaluation errors, hangs, and corrupt results (see
+//! [`hypertune_cluster::FaultModel`]). The runner reacts with a bounded
+//! [`RetryPolicy`]: a failed job is resubmitted on the freed worker with
+//! an exponential backoff added to its duration (modelling requeue and
+//! worker re-provisioning delay), and after `max_retries` failures the
+//! config is *quarantined* — delivered to the method as a `Failed`
+//! [`Outcome`] with `value = ∞` so schedulers release the slot it
+//! occupied, and never recorded into the [`History`].
+//!
+//! # Checkpoint and resume
+//!
+//! [`run_checkpointed`] snapshots the run's write-ahead submission log
+//! every N completions ([`CheckpointPolicy`]); [`resume`] replays the run
+//! from virtual time zero against that log — reusing recorded evaluation
+//! results instead of calling the benchmark, and verifying the replayed
+//! measurement stream matches the snapshot bit-for-bit — then continues
+//! live. Because the whole run is a deterministic function of the seed,
+//! the resumed run's final [`History`] equals the uninterrupted run's
+//! exactly.
+
+use std::fmt;
+use std::path::PathBuf;
 
 use hypertune_benchmarks::Benchmark;
-use hypertune_cluster::{SimCluster, StragglerModel, Trace};
+use hypertune_cluster::{FaultModel, FaultSpec, SimCluster, StragglerModel, Trace};
 use hypertune_space::Config;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::history::{History, Measurement};
 use crate::levels::ResourceLevels;
-use crate::method::{JobSpec, Method, MethodContext, Outcome};
+use crate::method::{JobSpec, Method, MethodContext, Outcome, OutcomeStatus};
+use crate::persist::{RunSnapshot, SubmissionRecord};
+
+/// Bounded-retry policy for failed jobs.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RetryPolicy {
+    /// How many times a failed job is re-run before quarantine. 0 means
+    /// every failure quarantines immediately.
+    pub max_retries: usize,
+    /// Backoff added to the first retry's duration, in virtual seconds
+    /// (the requeue/re-provisioning delay of a real scheduler).
+    pub backoff_base: f64,
+    /// Multiplier applied to the backoff on each subsequent retry.
+    pub backoff_mult: f64,
+}
+
+impl RetryPolicy {
+    /// Two retries with 1 s base backoff doubling per attempt.
+    pub fn default_policy() -> Self {
+        Self {
+            max_retries: 2,
+            backoff_base: 1.0,
+            backoff_mult: 2.0,
+        }
+    }
+
+    /// No retries: every failure quarantines immediately.
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            backoff_base: 0.0,
+            backoff_mult: 1.0,
+        }
+    }
+
+    fn backoff(&self, attempt: usize) -> f64 {
+        self.backoff_base * self.backoff_mult.powi(attempt as i32)
+    }
+}
 
 /// Runner parameters.
 #[derive(Debug, Clone)]
@@ -36,13 +100,26 @@ pub struct RunConfig {
     /// waste a random fraction of the job's cost and are retried
     /// transparently (the fault-tolerance policy of production tuners);
     /// methods never observe the failure, only the longer completion.
+    /// This older model predates [`RunConfig::faults`] and is kept for
+    /// duration-only failure studies.
     pub failure_prob: f64,
+    /// Fault injection rates, or `None` for a fault-free cluster. When
+    /// set, failed jobs surface through the [`RetryPolicy`] instead of
+    /// being silently absorbed into durations.
+    pub faults: Option<FaultSpec>,
+    /// Retry policy for jobs failed by the fault model.
+    pub retry: RetryPolicy,
+    /// Per-job timeout in virtual seconds (`None` = no timeout): jobs
+    /// running longer are killed and treated as failures — the defence
+    /// against hangs.
+    pub job_timeout: Option<f64>,
     /// Safety cap on the number of evaluations (0 = unlimited).
     pub max_evals: usize,
 }
 
 impl RunConfig {
-    /// A config with the paper's defaults: η = 3, no stragglers.
+    /// A config with the paper's defaults: η = 3, no stragglers, no
+    /// faults.
     pub fn new(n_workers: usize, budget: f64, seed: u64) -> Self {
         Self {
             n_workers,
@@ -51,8 +128,85 @@ impl RunConfig {
             eta: 3,
             straggler: None,
             failure_prob: 0.0,
+            faults: None,
+            retry: RetryPolicy::default_policy(),
+            job_timeout: None,
             max_evals: 0,
         }
+    }
+}
+
+/// When and where [`run_checkpointed`] (and [`resume`]) write snapshots.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Snapshot file (overwritten on each checkpoint).
+    pub path: PathBuf,
+    /// Snapshot after every this many completed evaluations.
+    pub every_completions: usize,
+}
+
+impl CheckpointPolicy {
+    /// A policy snapshotting to `path` every `every_completions`
+    /// completions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_completions == 0`.
+    pub fn new(path: impl Into<PathBuf>, every_completions: usize) -> Self {
+        assert!(every_completions > 0, "checkpoint interval must be > 0");
+        Self {
+            path: path.into(),
+            every_completions,
+        }
+    }
+}
+
+/// Why a checkpointed or resumed run could not complete.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The snapshot was taken under a different seed; the replay could
+    /// never reproduce it.
+    SeedMismatch {
+        /// Seed stored in the snapshot.
+        snapshot: u64,
+        /// Seed in the caller's [`RunConfig`].
+        config: u64,
+    },
+    /// The replay produced a different dispatch or measurement than the
+    /// snapshot recorded — the method, benchmark, config, or snapshot
+    /// changed since the checkpoint was written.
+    Diverged {
+        /// Which stream diverged: `"submission"` or `"measurement"`.
+        stream: &'static str,
+        /// Index of the first mismatching entry.
+        index: usize,
+    },
+    /// Reading or writing a snapshot failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::SeedMismatch { snapshot, config } => write!(
+                f,
+                "snapshot seed {snapshot} does not match run seed {config}"
+            ),
+            ResumeError::Diverged { stream, index } => write!(
+                f,
+                "replay diverged from snapshot at {stream} {index}: \
+                 method, benchmark, or config changed since the checkpoint"
+            ),
+            ResumeError::Io(e) => write!(f, "snapshot I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+impl From<std::io::Error> for ResumeError {
+    fn from(e: std::io::Error) -> Self {
+        ResumeError::Io(e)
     }
 }
 
@@ -94,6 +248,12 @@ pub struct RunResult {
     /// Every completed measurement, in completion order (for post-hoc
     /// analyses such as counting inaccurate promotions).
     pub measurements: Vec<Measurement>,
+    /// Failed job attempts observed (each retry that failed counts).
+    pub n_failed_attempts: usize,
+    /// Resubmissions issued by the retry policy.
+    pub n_retries: usize,
+    /// Jobs quarantined after exhausting their retries.
+    pub n_quarantined: usize,
 }
 
 impl RunResult {
@@ -108,9 +268,72 @@ impl RunResult {
     }
 }
 
+/// The simulator payload: a job plus its (pre-computed) evaluation result
+/// and retry bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+struct InFlight {
+    spec: JobSpec,
+    value: f64,
+    test_value: f64,
+    /// Duration of a clean attempt (after the legacy failure-prob
+    /// inflation), reused when the job is resubmitted.
+    duration: f64,
+    /// 0 for the first attempt, incremented per retry.
+    attempt: usize,
+}
+
 /// Runs `method` on `benchmark` under `config`; see the module docs.
 pub fn run(method: &mut dyn Method, benchmark: &dyn Benchmark, config: &RunConfig) -> RunResult {
+    run_impl(method, benchmark, config, None, None)
+        .expect("without checkpointing or replay the runner is infallible")
+}
+
+/// Like [`run`], writing a [`RunSnapshot`] every
+/// `policy.every_completions` completions so the run can be [`resume`]d
+/// after an interruption.
+pub fn run_checkpointed(
+    method: &mut dyn Method,
+    benchmark: &dyn Benchmark,
+    config: &RunConfig,
+    policy: &CheckpointPolicy,
+) -> Result<RunResult, ResumeError> {
+    run_impl(method, benchmark, config, Some(policy), None)
+}
+
+/// Resumes a run from `snapshot`: replays the recorded prefix (reusing
+/// logged evaluation results, verifying each replayed dispatch and
+/// measurement against the log) and continues live to the end of the
+/// budget. The caller must supply the *same* method state (freshly
+/// built), benchmark, and config as the original run; any drift is
+/// reported as [`ResumeError::Diverged`]. On success the result — and in
+/// particular its measurement stream — is bit-identical to an
+/// uninterrupted run.
+pub fn resume(
+    method: &mut dyn Method,
+    benchmark: &dyn Benchmark,
+    config: &RunConfig,
+    snapshot: &RunSnapshot,
+    policy: Option<&CheckpointPolicy>,
+) -> Result<RunResult, ResumeError> {
+    run_impl(method, benchmark, config, policy, Some(snapshot))
+}
+
+fn run_impl(
+    method: &mut dyn Method,
+    benchmark: &dyn Benchmark,
+    config: &RunConfig,
+    checkpoint: Option<&CheckpointPolicy>,
+    replay: Option<&RunSnapshot>,
+) -> Result<RunResult, ResumeError> {
     assert!(config.n_workers > 0 && config.budget > 0.0);
+    if let Some(s) = replay {
+        if s.seed != config.seed {
+            return Err(ResumeError::SeedMismatch {
+                snapshot: s.seed,
+                config: config.seed,
+            });
+        }
+    }
     let levels = ResourceLevels::new(benchmark.max_resource(), config.eta);
     let mut history = History::new(levels.clone());
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -118,12 +341,21 @@ pub fn run(method: &mut dyn Method, benchmark: &dyn Benchmark, config: &RunConfi
         Some((p, s)) => StragglerModel::new(p, s, config.seed ^ 0x57a6),
         None => StragglerModel::none(),
     };
-    let mut cluster: SimCluster<(JobSpec, f64, f64)> =
-        SimCluster::with_stragglers(config.n_workers, straggler);
+    let faults = match config.faults {
+        Some(spec) => FaultModel::new(spec, config.seed ^ 0xfa17),
+        None => FaultModel::none(),
+    };
+    let mut cluster: SimCluster<InFlight> =
+        SimCluster::with_stragglers(config.n_workers, straggler).with_faults(faults);
+    cluster.set_job_timeout(config.job_timeout);
     let mut pending: Vec<JobSpec> = Vec::new();
     let mut curve: Vec<CurvePoint> = Vec::new();
     let mut evals_per_level = vec![0usize; levels.k()];
     let mut measurements: Vec<Measurement> = Vec::new();
+    let mut submission_log: Vec<SubmissionRecord> = Vec::new();
+    let mut n_failed_attempts = 0usize;
+    let mut n_retries = 0usize;
+    let mut n_quarantined = 0usize;
     let space = benchmark.space();
 
     loop {
@@ -140,22 +372,53 @@ pub fn run(method: &mut dyn Method, benchmark: &dyn Benchmark, config: &RunConfi
             };
             match method.next_job(&mut ctx) {
                 Some(spec) => {
-                    let eval = benchmark.evaluate(&spec.config, spec.resource, config.seed);
+                    // Replay: the recorded result substitutes for the
+                    // evaluation, after checking the method issued the
+                    // same dispatch it did originally.
+                    let idx = submission_log.len();
+                    let (value, test_value, cost) = match replay {
+                        Some(s) if idx < s.submissions.len() => {
+                            let rec = &s.submissions[idx];
+                            if rec.spec != spec {
+                                return Err(ResumeError::Diverged {
+                                    stream: "submission",
+                                    index: idx,
+                                });
+                            }
+                            (rec.value, rec.test_value, rec.cost)
+                        }
+                        _ => {
+                            let eval = benchmark.evaluate(&spec.config, spec.resource, config.seed);
+                            (eval.value, eval.test_value, eval.cost)
+                        }
+                    };
+                    submission_log.push(SubmissionRecord {
+                        spec: spec.clone(),
+                        value,
+                        test_value,
+                        cost,
+                    });
                     // Worker-failure model: each crash wastes a random
                     // fraction of the evaluation before the transparent
                     // retry; the job's effective duration grows but its
                     // result is unchanged.
-                    let mut duration = eval.cost;
+                    let mut duration = cost;
                     if config.failure_prob > 0.0 {
                         use rand::Rng;
                         while rng.gen::<f64>() < config.failure_prob {
-                            duration += rng.gen::<f64>() * eval.cost;
+                            duration += rng.gen::<f64>() * cost;
                         }
                     }
                     let label = format!("{}", spec.level);
                     cluster
                         .submit_labeled(
-                            (spec.clone(), eval.value, eval.test_value),
+                            InFlight {
+                                spec: spec.clone(),
+                                value,
+                                test_value,
+                                duration,
+                                attempt: 0,
+                            },
                             duration,
                             label,
                         )
@@ -173,13 +436,68 @@ pub fn run(method: &mut dyn Method, benchmark: &dyn Benchmark, config: &RunConfi
             }
         }
 
-        let Some(done) = cluster.next_completion() else {
+        let Ok(done) = cluster.next_completion() else {
             break;
         };
         if done.finished > config.budget {
             break;
         }
-        let (spec, value, test_value) = done.job;
+        let job = done.job;
+        if done.status.is_failure() {
+            n_failed_attempts += 1;
+            if job.attempt < config.retry.max_retries {
+                // Bounded retry: the worker that just freed re-runs the
+                // job. The backoff rides on the duration — the simulator's
+                // clock only moves via completions, so requeue delay is
+                // modelled as occupied worker time.
+                n_retries += 1;
+                let backoff = config.retry.backoff(job.attempt);
+                let duration = job.duration + backoff;
+                let label = format!("{}r{}", job.spec.level, job.attempt + 1);
+                let resubmit = InFlight {
+                    attempt: job.attempt + 1,
+                    ..job
+                };
+                cluster
+                    .submit_labeled(resubmit, duration, label)
+                    .expect("the failed job's worker is free");
+                continue;
+            }
+            // Retries exhausted: quarantine. The method sees a Failed
+            // outcome (value = ∞) so it releases whatever slot the job
+            // held; the history never records it.
+            n_quarantined += 1;
+            let slot = pending
+                .iter()
+                .position(|p| *p == job.spec)
+                .expect("quarantined job was pending");
+            pending.swap_remove(slot);
+            let outcome = Outcome {
+                spec: job.spec,
+                value: f64::INFINITY,
+                test_value: f64::INFINITY,
+                cost: done.finished - done.started,
+                finished_at: done.finished,
+                status: OutcomeStatus::Failed,
+            };
+            let mut ctx = MethodContext {
+                space,
+                levels: &levels,
+                history: &history,
+                pending: &pending,
+                rng: &mut rng,
+                n_workers: config.n_workers,
+                now: cluster.now(),
+            };
+            method.on_result(&outcome, &mut ctx);
+            continue;
+        }
+        let InFlight {
+            spec,
+            value,
+            test_value,
+            ..
+        } = job;
         let slot = pending
             .iter()
             .position(|p| *p == spec)
@@ -198,6 +516,18 @@ pub fn run(method: &mut dyn Method, benchmark: &dyn Benchmark, config: &RunConfi
         };
         measurements.push(measurement.clone());
         history.record(measurement);
+        // Replay verification: the replayed measurement stream must match
+        // the snapshot bit-for-bit, or the resumed run would silently be
+        // a different run.
+        if let Some(s) = replay {
+            let i = measurements.len() - 1;
+            if i < s.measurements.len() && s.measurements[i] != measurements[i] {
+                return Err(ResumeError::Diverged {
+                    stream: "measurement",
+                    index: i,
+                });
+            }
+        }
         // The anytime curve tracks the complete-evaluation incumbent (the
         // paper's "lowest validation performance"), which is monotone;
         // partial evaluations only influence it indirectly via promotion.
@@ -218,6 +548,7 @@ pub fn run(method: &mut dyn Method, benchmark: &dyn Benchmark, config: &RunConfi
             test_value,
             cost: done.finished - done.started,
             finished_at: done.finished,
+            status: OutcomeStatus::Success,
         };
         let mut ctx = MethodContext {
             space,
@@ -229,6 +560,17 @@ pub fn run(method: &mut dyn Method, benchmark: &dyn Benchmark, config: &RunConfi
             now: cluster.now(),
         };
         method.on_result(&outcome, &mut ctx);
+
+        if let Some(cp) = checkpoint {
+            if measurements.len().is_multiple_of(cp.every_completions) {
+                RunSnapshot {
+                    seed: config.seed,
+                    submissions: submission_log.clone(),
+                    measurements: measurements.clone(),
+                }
+                .save(&cp.path)?;
+            }
+        }
 
         let total: usize = evals_per_level.iter().sum();
         if config.max_evals > 0 && total >= config.max_evals {
@@ -246,7 +588,7 @@ pub fn run(method: &mut dyn Method, benchmark: &dyn Benchmark, config: &RunConfi
         ),
         None => (f64::INFINITY, f64::INFINITY, None, None),
     };
-    RunResult {
+    Ok(RunResult {
         method: method.name().to_string(),
         curve,
         best_value,
@@ -258,7 +600,10 @@ pub fn run(method: &mut dyn Method, benchmark: &dyn Benchmark, config: &RunConfi
         utilization: cluster.trace().utilization(horizon),
         trace: cluster.trace().clone(),
         measurements,
-    }
+        n_failed_attempts,
+        n_retries,
+        n_quarantined,
+    })
 }
 
 #[cfg(test)]
@@ -399,5 +744,177 @@ mod tests {
         let sync = run(hb.as_mut(), &bench, &cfg);
         let asynch = run(ahb.as_mut(), &bench, &cfg);
         assert!(asynch.utilization > sync.utilization);
+    }
+
+    #[test]
+    fn crash_faults_are_retried_and_runs_complete() {
+        let bench = CountingOnes::new(4, 4, 7);
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let run_with = |spec: Option<FaultSpec>| {
+            let mut m = MethodKind::Asha.build(&levels, 3);
+            let mut cfg = RunConfig::new(4, 2000.0, 3);
+            cfg.faults = spec;
+            run(m.as_mut(), &bench, &cfg)
+        };
+        let clean = run_with(None);
+        let faulty = run_with(Some(FaultSpec::crashes(0.10)));
+        assert!(faulty.total_evals > 0, "10% crash rate must not kill runs");
+        assert!(faulty.n_failed_attempts > 0, "faults should have fired");
+        assert!(faulty.n_retries > 0, "failed jobs should be retried");
+        assert!(
+            faulty.total_evals < clean.total_evals,
+            "crashes consume budget: {} vs {}",
+            faulty.total_evals,
+            clean.total_evals
+        );
+        for m in &faulty.measurements {
+            assert!(m.value.is_finite(), "failures must never enter history");
+        }
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_per_seed() {
+        let bench = CountingOnes::new(4, 4, 7);
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let run_once = || {
+            let mut m = MethodKind::HyperTune.build(&levels, 9);
+            let mut cfg = RunConfig::new(4, 1500.0, 9);
+            cfg.faults = Some(FaultSpec::crashes(0.15));
+            run(m.as_mut(), &bench, &cfg)
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.measurements, b.measurements);
+        assert_eq!(a.n_failed_attempts, b.n_failed_attempts);
+        assert_eq!(a.n_quarantined, b.n_quarantined);
+    }
+
+    #[test]
+    fn retry_exhaustion_quarantines_instead_of_stalling() {
+        // Every job fails: nothing ever completes, everything quarantines,
+        // and the run still terminates at the budget with the method
+        // having been told about every failure.
+        let bench = CountingOnes::new(4, 4, 7);
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let mut m = MethodKind::Asha.build(&levels, 3);
+        let mut cfg = RunConfig::new(4, 300.0, 3);
+        cfg.faults = Some(FaultSpec::crashes(1.0));
+        cfg.retry = RetryPolicy {
+            max_retries: 1,
+            backoff_base: 1.0,
+            backoff_mult: 2.0,
+        };
+        let r = run(m.as_mut(), &bench, &cfg);
+        assert_eq!(r.total_evals, 0);
+        assert!(r.n_quarantined > 0);
+        // Every failed attempt was either retried or quarantined (jobs
+        // still in flight at the budget edge keep the counts inexact
+        // between the two, but never outside this identity).
+        assert_eq!(r.n_failed_attempts, r.n_retries + r.n_quarantined);
+        // With max_retries = 1 each quarantine consumed exactly one
+        // retry first, so retries can only exceed quarantines by the
+        // jobs whose second attempt was still running at the budget.
+        assert!(r.n_retries >= r.n_quarantined);
+        assert!(r.best_config.is_none());
+    }
+
+    #[test]
+    fn zero_retry_policy_quarantines_immediately() {
+        let bench = CountingOnes::new(4, 4, 7);
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let mut m = MethodKind::ARandom.build(&levels, 1);
+        let mut cfg = RunConfig::new(2, 200.0, 1);
+        cfg.faults = Some(FaultSpec::errors(1.0));
+        cfg.retry = RetryPolicy::none();
+        let r = run(m.as_mut(), &bench, &cfg);
+        assert_eq!(r.n_retries, 0);
+        assert!(r.n_quarantined > 0);
+        assert_eq!(r.n_failed_attempts, r.n_quarantined);
+    }
+
+    #[test]
+    fn job_timeout_converts_hangs_into_retries() {
+        let bench = CountingOnes::new(4, 4, 7);
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        // Hangs stretch jobs 50x; a timeout of 2x the max cost catches
+        // every hang while leaving clean jobs untouched.
+        let mut m = MethodKind::Asha.build(&levels, 5);
+        let mut cfg = RunConfig::new(4, 2000.0, 5);
+        cfg.faults = Some(FaultSpec::hangs(0.2, 50.0));
+        cfg.job_timeout = Some(2.0 * bench.max_resource());
+        let r = run(m.as_mut(), &bench, &cfg);
+        assert!(r.total_evals > 0);
+        assert!(r.n_failed_attempts > 0, "timeouts should fire on hangs");
+        // Without the timeout the same hangs just burn budget silently.
+        let mut m2 = MethodKind::Asha.build(&levels, 5);
+        let mut cfg2 = RunConfig::new(4, 2000.0, 5);
+        cfg2.faults = Some(FaultSpec::hangs(0.2, 50.0));
+        let r2 = run(m2.as_mut(), &bench, &cfg2);
+        assert_eq!(r2.n_failed_attempts, 0);
+        assert!(
+            r.total_evals >= r2.total_evals,
+            "killing hangs must not reduce throughput: {} vs {}",
+            r.total_evals,
+            r2.total_evals
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_uninterrupted_run() {
+        let bench = CountingOnes::new(4, 4, 7);
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let cfg = RunConfig::new(4, 1200.0, 11);
+
+        let mut m_full = MethodKind::HyperTune.build(&levels, 11);
+        let full = run(m_full.as_mut(), &bench, &cfg);
+
+        let dir = std::env::temp_dir().join("hypertune-runner-resume-test");
+        let path = dir.join("snap.json");
+        let policy = CheckpointPolicy::new(&path, 7);
+        let mut m_ckpt = MethodKind::HyperTune.build(&levels, 11);
+        let _ = run_checkpointed(m_ckpt.as_mut(), &bench, &cfg, &policy).unwrap();
+
+        // "Crash" — all in-memory state is dropped; resume from disk.
+        let snapshot = RunSnapshot::load(&path).unwrap();
+        assert!(!snapshot.measurements.is_empty());
+        assert!(snapshot.measurements.len() < full.measurements.len());
+        let mut m_resumed = MethodKind::HyperTune.build(&levels, 11);
+        let resumed = resume(m_resumed.as_mut(), &bench, &cfg, &snapshot, None).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(resumed.measurements, full.measurements);
+        assert_eq!(resumed.best_value, full.best_value);
+        assert_eq!(resumed.curve, full.curve);
+    }
+
+    #[test]
+    fn resume_rejects_wrong_seed_and_tampered_snapshots() {
+        let bench = CountingOnes::new(4, 4, 7);
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let cfg = RunConfig::new(2, 400.0, 2);
+        let dir = std::env::temp_dir().join("hypertune-runner-tamper-test");
+        let path = dir.join("snap.json");
+        let policy = CheckpointPolicy::new(&path, 5);
+        let mut m = MethodKind::Asha.build(&levels, 2);
+        run_checkpointed(m.as_mut(), &bench, &cfg, &policy).unwrap();
+        let mut snapshot = RunSnapshot::load(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Wrong seed is rejected up front.
+        let mut wrong_cfg = cfg.clone();
+        wrong_cfg.seed = 3;
+        let mut m2 = MethodKind::Asha.build(&levels, 3);
+        match resume(m2.as_mut(), &bench, &wrong_cfg, &snapshot, None) {
+            Err(ResumeError::SeedMismatch { .. }) => {}
+            other => panic!("expected SeedMismatch, got {other:?}"),
+        }
+
+        // A tampered measurement is caught by replay verification.
+        snapshot.measurements[0].value += 1.0;
+        let mut m3 = MethodKind::Asha.build(&levels, 2);
+        match resume(m3.as_mut(), &bench, &cfg, &snapshot, None) {
+            Err(ResumeError::Diverged { stream, .. }) => assert_eq!(stream, "measurement"),
+            other => panic!("expected Diverged, got {other:?}"),
+        }
     }
 }

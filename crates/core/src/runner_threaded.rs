@@ -8,19 +8,29 @@
 //! scheduling logic is byte-for-byte the same as in the simulator, which
 //! is the point — the paper's framework separates scheduling policy from
 //! execution substrate.
+//!
+//! Fault tolerance mirrors the simulator's: with
+//! [`ThreadedRunConfig::faults`] set, the pool marks jobs crashed /
+//! errored / corrupt (drawn deterministically in submission order) and
+//! the runner applies the same bounded [`RetryPolicy`] — resubmit up to
+//! `max_retries` times, then quarantine the config as a `Failed`
+//! [`Outcome`]. Backoff is a virtual-time concept and does not apply
+//! here: a real scheduler's requeue delay is wall-clock, which this
+//! runner does not model.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use hypertune_benchmarks::{Benchmark, Eval};
-use hypertune_cluster::ThreadPool;
+use hypertune_cluster::{FaultModel, FaultSpec, ThreadPool};
 use hypertune_space::Config;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::history::{History, Measurement};
 use crate::levels::ResourceLevels;
-use crate::method::{JobSpec, Method, MethodContext, Outcome};
+use crate::method::{JobSpec, Method, MethodContext, Outcome, OutcomeStatus};
+use crate::runner::RetryPolicy;
 
 /// Parameters for a threaded run. Budgets are counted in evaluations
 /// (wall-clock budgets belong to the caller's deployment logic).
@@ -34,16 +44,23 @@ pub struct ThreadedRunConfig {
     pub seed: u64,
     /// Discard proportion η (paper default 3).
     pub eta: usize,
+    /// Fault injection rates, or `None` for a fault-free pool.
+    pub faults: Option<FaultSpec>,
+    /// Retry policy for failed jobs (backoff fields are ignored — see
+    /// the module docs).
+    pub retry: RetryPolicy,
 }
 
 impl ThreadedRunConfig {
-    /// A config with the paper's default η = 3.
+    /// A config with the paper's default η = 3 and no faults.
     pub fn new(n_workers: usize, max_evals: usize, seed: u64) -> Self {
         Self {
             n_workers,
             max_evals,
             seed,
             eta: 3,
+            faults: None,
+            retry: RetryPolicy::default_policy(),
         }
     }
 }
@@ -68,6 +85,19 @@ pub struct ThreadedRunResult {
     /// Every measurement in completion order (timestamps are wall-clock
     /// seconds since the run started).
     pub measurements: Vec<Measurement>,
+    /// Failed job attempts observed (each retry that failed counts).
+    pub n_failed_attempts: usize,
+    /// Resubmissions issued by the retry policy.
+    pub n_retries: usize,
+    /// Jobs quarantined after exhausting their retries.
+    pub n_quarantined: usize,
+}
+
+/// The pool payload: a job spec plus its retry attempt counter.
+#[derive(Debug, Clone, PartialEq)]
+struct ThreadedJob {
+    spec: JobSpec,
+    attempt: usize,
 }
 
 /// Runs `method` against `benchmark` on `config.n_workers` OS threads.
@@ -87,14 +117,25 @@ pub fn run_threaded(
 
     let bench_for_pool = Arc::clone(&benchmark);
     let seed = config.seed;
-    let mut pool: ThreadPool<JobSpec, Eval> =
-        ThreadPool::new(config.n_workers, move |job: &JobSpec| {
-            bench_for_pool.evaluate(&job.config, job.resource, seed)
+    let mut pool: ThreadPool<ThreadedJob, Eval> =
+        ThreadPool::new(config.n_workers, move |job: &ThreadedJob| {
+            bench_for_pool.evaluate(&job.spec.config, job.spec.resource, seed)
         });
+    if let Some(spec) = config.faults {
+        pool = pool.with_faults(FaultModel::new(spec, config.seed ^ 0xfa17));
+    }
+
+    let mut n_failed_attempts = 0usize;
+    let mut n_retries = 0usize;
+    let mut n_quarantined = 0usize;
+    // At 100% failure rate no job ever completes and every dispatch
+    // quarantines; this cap turns that pathological case into a clean
+    // early exit instead of an infinite loop.
+    let quarantine_cap = 10 * config.max_evals;
 
     let mut completed = 0usize;
     let mut dispatched = 0usize;
-    while completed < config.max_evals {
+    while completed < config.max_evals && n_quarantined < quarantine_cap {
         // Fill idle workers (stop dispatching once the cap is reachable).
         while pool.idle_workers() > 0 && dispatched < config.max_evals {
             let mut ctx = MethodContext {
@@ -108,7 +149,11 @@ pub fn run_threaded(
             };
             match method.next_job(&mut ctx) {
                 Some(spec) => {
-                    pool.submit(spec.clone()).expect("idle worker available");
+                    pool.submit(ThreadedJob {
+                        spec: spec.clone(),
+                        attempt: 0,
+                    })
+                    .expect("idle worker available");
                     pending.push(spec);
                     dispatched += 1;
                 }
@@ -123,11 +168,54 @@ pub fn run_threaded(
             }
         }
 
-        let Some(done) = pool.next_completion() else {
+        let Ok(done) = pool.next_completion() else {
             break;
         };
-        let spec = done.job;
-        let eval = done.output;
+        let job = done.job;
+        if done.status.is_failure() {
+            // Corrupt results carry an output but it is untrusted and
+            // discarded; every failure kind goes through the same
+            // retry-or-quarantine path.
+            n_failed_attempts += 1;
+            if job.attempt < config.retry.max_retries {
+                n_retries += 1;
+                pool.submit(ThreadedJob {
+                    attempt: job.attempt + 1,
+                    ..job
+                })
+                .expect("the failed job's worker is free");
+                continue;
+            }
+            n_quarantined += 1;
+            let slot = pending
+                .iter()
+                .position(|p| *p == job.spec)
+                .expect("quarantined job was pending");
+            pending.swap_remove(slot);
+            // Release the budget slot so a replacement config dispatches.
+            dispatched -= 1;
+            let outcome = Outcome {
+                spec: job.spec,
+                value: f64::INFINITY,
+                test_value: f64::INFINITY,
+                cost: 0.0,
+                finished_at: started.elapsed().as_secs_f64(),
+                status: OutcomeStatus::Failed,
+            };
+            let mut ctx = MethodContext {
+                space: benchmark.space(),
+                levels: &levels,
+                history: &history,
+                pending: &pending,
+                rng: &mut rng,
+                n_workers: config.n_workers,
+                now: started.elapsed().as_secs_f64(),
+            };
+            method.on_result(&outcome, &mut ctx);
+            continue;
+        }
+        let spec = job.spec;
+        let eval = done.output.expect("successful jobs carry an output");
         let slot = pending
             .iter()
             .position(|p| *p == spec)
@@ -154,13 +242,14 @@ pub fn run_threaded(
             test_value: eval.test_value,
             cost: eval.cost,
             finished_at: started.elapsed().as_secs_f64(),
+            status: OutcomeStatus::Success,
         };
         let mut ctx = MethodContext {
             space: benchmark.space(),
             levels: &levels,
             history: &history,
-            pending: &pending,
             rng: &mut rng,
+            pending: &pending,
             n_workers: config.n_workers,
             now: started.elapsed().as_secs_f64(),
         };
@@ -180,6 +269,9 @@ pub fn run_threaded(
         evals_per_level,
         wall_secs: started.elapsed().as_secs_f64(),
         measurements,
+        n_failed_attempts,
+        n_retries,
+        n_quarantined,
     }
 }
 
@@ -242,5 +334,54 @@ mod tests {
         let a = threaded(MethodKind::Asha, 1, 60, 4);
         let b = threaded(MethodKind::Asha, 4, 60, 4);
         assert!(a.best_value <= 0.0 && b.best_value <= 0.0);
+    }
+
+    #[test]
+    fn crash_faults_are_retried_and_run_still_completes() {
+        let bench: Arc<dyn Benchmark> = Arc::new(CountingOnes::new(4, 4, 7));
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let mut method = MethodKind::Asha.build(&levels, 5);
+        let mut cfg = ThreadedRunConfig::new(4, 40, 5);
+        cfg.faults = Some(FaultSpec::crashes(0.2));
+        let r = run_threaded(method.as_mut(), bench, &cfg);
+        assert_eq!(r.total_evals, 40, "retries must preserve the budget");
+        assert!(r.n_failed_attempts > 0, "20% crash rate should fire");
+        assert!(r.n_retries > 0);
+        for m in &r.measurements {
+            assert!(m.value.is_finite());
+        }
+    }
+
+    #[test]
+    fn total_failure_terminates_via_quarantine_cap() {
+        let bench: Arc<dyn Benchmark> = Arc::new(CountingOnes::new(4, 4, 7));
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let mut method = MethodKind::ARandom.build(&levels, 6);
+        let mut cfg = ThreadedRunConfig::new(2, 10, 6);
+        cfg.faults = Some(FaultSpec::errors(1.0));
+        cfg.retry = RetryPolicy {
+            max_retries: 1,
+            backoff_base: 0.0,
+            backoff_mult: 1.0,
+        };
+        let r = run_threaded(method.as_mut(), bench, &cfg);
+        assert_eq!(r.total_evals, 0);
+        assert!(r.n_quarantined >= 10 * 10, "cap should bound the run");
+        assert!(r.best_config.is_none());
+    }
+
+    #[test]
+    fn corrupt_results_never_enter_history() {
+        let bench: Arc<dyn Benchmark> = Arc::new(CountingOnes::new(4, 4, 7));
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let mut method = MethodKind::Asha.build(&levels, 7);
+        let mut cfg = ThreadedRunConfig::new(4, 30, 7);
+        cfg.faults = Some(FaultSpec::corrupt(0.3));
+        let r = run_threaded(method.as_mut(), bench, &cfg);
+        assert_eq!(r.total_evals, 30);
+        assert!(r.n_failed_attempts > 0, "30% corruption should fire");
+        for m in &r.measurements {
+            assert!(m.value.is_finite());
+        }
     }
 }

@@ -12,6 +12,13 @@
 //! This facade crate re-exports the full public API and hosts the
 //! runnable examples and cross-crate integration tests.
 //!
+//! The execution layer is fault-tolerant: worker crashes, evaluation
+//! errors, hangs, and corrupt results can be injected
+//! ([`cluster::FaultSpec`]), failed jobs are retried with bounded
+//! backoff and quarantined when hopeless ([`core::runner::RetryPolicy`]),
+//! and long runs checkpoint to disk and resume bit-identically
+//! ([`core::runner::resume`]).
+//!
 //! ## Quick start
 //!
 //! ```
@@ -51,10 +58,11 @@ pub mod prelude {
     pub use hypertune_benchmarks::{
         tasks, Benchmark, CountingOnes, Eval, SyntheticBenchmark, SyntheticSpec, TabularNasBench,
     };
-    pub use hypertune_cluster::{SimCluster, ThreadPool};
+    pub use hypertune_cluster::{FaultSpec, JobStatus, SimCluster, StragglerModel, ThreadPool};
     pub use hypertune_core::{
-        run, History, JobSpec, Measurement, Method, MethodContext, MethodKind, Outcome,
-        ResourceLevels, RunConfig, RunResult,
+        resume, run, run_checkpointed, CheckpointPolicy, History, JobSpec, Measurement, Method,
+        MethodContext, MethodKind, Outcome, OutcomeStatus, ResourceLevels, ResumeError,
+        RetryPolicy, RunConfig, RunResult, RunSnapshot,
     };
     pub use hypertune_space::{Config, ConfigSpace, ParamValue};
 }

@@ -173,7 +173,7 @@ fn threaded_executor_matches_benchmark_trait() {
     // Submit remaining as workers free up.
     let mut results = Vec::new();
     while results.len() < configs.len() {
-        if let Some(r) = pool.next_completion() {
+        if let Ok(r) = pool.next_completion() {
             results.push(r);
             if submitted < configs.len() {
                 pool.submit(configs[submitted].clone()).unwrap();
@@ -183,7 +183,7 @@ fn threaded_executor_matches_benchmark_trait() {
     }
     for r in results {
         let idx = configs.iter().position(|c| *c == r.job).unwrap();
-        assert_eq!(r.output, expected[idx]);
+        assert_eq!(r.output, Some(expected[idx]));
     }
 }
 

@@ -87,3 +87,58 @@ fn measurements_in_runresult_match_evals_per_level() {
         assert!(w[0].finished_at <= w[1].finished_at);
     }
 }
+
+#[test]
+fn snapshot_resume_is_bit_identical_on_a_real_task() {
+    // The full WAL-replay path on a realistic benchmark with faults on:
+    // run, checkpoint mid-flight, "crash", resume from disk, and compare
+    // every measurement bit-for-bit.
+    let bench = tasks::nas_cifar10_valid(0);
+    let levels = ResourceLevels::new(bench.max_resource(), 3);
+    let mut cfg = RunConfig::new(4, 4000.0, 17);
+    cfg.faults = Some(FaultSpec::crashes(0.1));
+
+    let mut m_full = MethodKind::HyperTune.build(&levels, 17);
+    let full = run(m_full.as_mut(), &bench, &cfg);
+    assert!(full.n_failed_attempts > 0, "faults should have fired");
+
+    let dir = std::env::temp_dir().join("hypertune-it-snapshot-resume");
+    let path = dir.join("snap.json");
+    let policy = CheckpointPolicy::new(&path, 10);
+    let mut m_ckpt = MethodKind::HyperTune.build(&levels, 17);
+    run_checkpointed(m_ckpt.as_mut(), &bench, &cfg, &policy).unwrap();
+
+    let snapshot = RunSnapshot::load(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(snapshot.seed, 17);
+    assert!(!snapshot.submissions.is_empty());
+
+    let mut m_res = MethodKind::HyperTune.build(&levels, 17);
+    let resumed = resume(m_res.as_mut(), &bench, &cfg, &snapshot, None).unwrap();
+    assert_eq!(resumed.measurements, full.measurements);
+    assert_eq!(resumed.curve, full.curve);
+    assert_eq!(resumed.n_quarantined, full.n_quarantined);
+}
+
+#[test]
+fn resume_with_wrong_method_diverges() {
+    // Replay verification catches resuming under a different method: the
+    // first dispatch that differs from the log is reported, instead of
+    // silently producing a franken-run.
+    let bench = CountingOnes::new(4, 4, 7);
+    let levels = ResourceLevels::new(bench.max_resource(), 3);
+    let cfg = RunConfig::new(4, 800.0, 3);
+    let dir = std::env::temp_dir().join("hypertune-it-wrong-method");
+    let path = dir.join("snap.json");
+    let policy = CheckpointPolicy::new(&path, 5);
+    let mut m = MethodKind::Asha.build(&levels, 3);
+    run_checkpointed(m.as_mut(), &bench, &cfg, &policy).unwrap();
+    let snapshot = RunSnapshot::load(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut wrong = MethodKind::ARandom.build(&levels, 3);
+    match resume(wrong.as_mut(), &bench, &cfg, &snapshot, None) {
+        Err(ResumeError::Diverged { .. }) => {}
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+}

@@ -126,3 +126,51 @@ proptest! {
         prop_assert!((0.0..=1.0 + 1e-9).contains(&r.utilization));
     }
 }
+
+proptest! {
+    /// Resume-from-snapshot is bit-identical to the uninterrupted run,
+    /// across methods, seeds, checkpoint intervals, and fault rates: the
+    /// core guarantee of the WAL-replay design.
+    #[test]
+    fn resume_equals_uninterrupted_run(
+        kind_idx in 0usize..5,
+        seed in 0u64..1000,
+        every in 3usize..12,
+        crash in 0.0f64..0.25,
+    ) {
+        let kind = [
+            MethodKind::ARandom,
+            MethodKind::Asha,
+            MethodKind::AHyperband,
+            MethodKind::HyperTune,
+            MethodKind::Hyperband,
+        ][kind_idx];
+        let bench = CountingOnes::new(3, 3, 9);
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let mut cfg = RunConfig::new(3, 600.0, seed);
+        if crash > 0.01 {
+            cfg.faults = Some(FaultSpec::crashes(crash));
+        }
+
+        let mut m_full = kind.build(&levels, seed);
+        let full = run(m_full.as_mut(), &bench, &cfg);
+
+        let dir = std::env::temp_dir().join(format!(
+            "hypertune-pt-resume-{kind_idx}-{seed}-{every}"
+        ));
+        let path = dir.join("snap.json");
+        let policy = CheckpointPolicy::new(&path, every);
+        let mut m_ckpt = kind.build(&levels, seed);
+        run_checkpointed(m_ckpt.as_mut(), &bench, &cfg, &policy).unwrap();
+
+        if path.exists() {
+            let snapshot = RunSnapshot::load(&path).unwrap();
+            let mut m_res = kind.build(&levels, seed);
+            let resumed = resume(m_res.as_mut(), &bench, &cfg, &snapshot, None).unwrap();
+            prop_assert_eq!(&resumed.measurements, &full.measurements);
+            prop_assert_eq!(resumed.best_value, full.best_value);
+            prop_assert_eq!(resumed.n_quarantined, full.n_quarantined);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -17,6 +17,18 @@
 //! All models consume unit-cube encodings produced by
 //! [`hypertune_space::ConfigSpace::encode`] and predict a Gaussian
 //! `(mean, variance)` at query points.
+//!
+//! # Module map
+//!
+//! | Module | Role |
+//! |---|---|
+//! | [`rf`] | Probabilistic random forest (default base surrogate) |
+//! | [`gp`] | Gaussian process with Matérn-5/2 kernel |
+//! | [`ensemble`] | MFES weighted-bagging ensemble across fidelities (Eq. 3) |
+//! | [`acquisition`] | EI / PI / LCB and the acquisition maximizer |
+//! | [`kernel`] | Covariance kernels shared by the GP |
+//! | [`linalg`] | In-repo Cholesky / triangular solves (no external BLAS) |
+//! | [`stats`] | Normal PDF/CDF and ranking helpers |
 
 pub mod acquisition;
 pub mod ensemble;

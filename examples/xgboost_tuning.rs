@@ -72,8 +72,9 @@ fn main() {
         while submitted < neighbours.len() && pool.submit(neighbours[submitted].clone()).is_ok() {
             submitted += 1;
         }
-        if let Some(r) = pool.next_completion() {
-            println!("  worker {} → val err {:.4}", r.worker, r.output);
+        if let Ok(r) = pool.next_completion() {
+            let value = r.output.expect("fault-free pool always yields output");
+            println!("  worker {} → val err {value:.4}", r.worker);
             done += 1;
         }
     }

@@ -29,4 +29,11 @@ cargo fmt --all --check
 step "cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+step "cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
+step "robustness smoke (fault-rate sweep)"
+HYPERTUNE_BUDGET_DIV=96 cargo run --release -q -p hypertune-bench \
+  --offline --bin robustness
+
 step "OK"
