@@ -160,20 +160,21 @@ fn fault_sweep(budget: f64) {
     }
 
     // Failure accounting at the highest rate (sanity: faults really fired
-    // and the retry/quarantine machinery handled them).
-    println!("\nat p = {} (per-run means):", rates.last().unwrap());
+    // and the retry/quarantine machinery handled them), broken down by
+    // failure mode through the runner's per-`JobStatus` tallies.
+    println!("\nat p = {} (summed over runs):", rates.last().unwrap());
     for (i, kind) in methods.iter().enumerate() {
         let runs = &rows.last().unwrap().1[i].runs;
-        let n = runs.len() as f64;
-        let failed: f64 = runs.iter().map(|r| r.n_failed_attempts as f64).sum::<f64>() / n;
-        let retried: f64 = runs.iter().map(|r| r.n_retries as f64).sum::<f64>() / n;
-        let quarantined: f64 = runs.iter().map(|r| r.n_quarantined as f64).sum::<f64>() / n;
+        let mut counts = FailureCounts::default();
+        let (mut retries, mut quarantined) = (0, 0);
+        for r in runs {
+            counts.merge(&r.failure_counts);
+            retries += r.n_retries;
+            quarantined += r.n_quarantined;
+        }
         println!(
-            "{:<24} failed attempts {:>7.1}  retries {:>7.1}  quarantined {:>6.1}",
-            kind.name(),
-            failed,
-            retried,
-            quarantined
+            "{:<24} {counts}  (retries {retries}, quarantined {quarantined})",
+            kind.name()
         );
     }
 

@@ -1,0 +1,70 @@
+//! `trace-report`: folds a telemetry JSONL event log into per-level
+//! trial flow, per-bracket promotion/delay counts, the bracket-weight
+//! trajectory, surrogate activity, and span timing.
+//!
+//! ```text
+//! trace-report <log.jsonl>...       summarize existing logs
+//! trace-report --demo [out.jsonl]   run a small traced Hyper-Tune run,
+//!                                   write its log, then summarize it
+//! ```
+//!
+//! `--demo` is the end-to-end smoke path used by CI: it attaches a
+//! [`JsonlSink`] to a seeded run on the counting-ones benchmark, reads
+//! the log back, and prints the report.
+
+use std::process::ExitCode;
+
+use hypertune::prelude::*;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: trace-report <log.jsonl>...");
+    eprintln!("       trace-report --demo [out.jsonl]");
+    ExitCode::from(2)
+}
+
+fn report(path: &str) -> std::io::Result<()> {
+    let records = read_jsonl(path)?;
+    println!("== {path} ==");
+    print!("{}", TraceSummary::from_records(&records).render());
+    Ok(())
+}
+
+fn demo(path: &str) -> std::io::Result<()> {
+    let bench = CountingOnes::new(8, 8, 0);
+    let levels = ResourceLevels::new(bench.max_resource(), 3);
+    let mut method = MethodKind::HyperTune.build(&levels, 42);
+    let mut config = RunConfig::new(8, 2000.0, 42);
+    config.telemetry = Telemetry::new().with_sink(JsonlSink::create(path)?).build();
+    let result = run(method.as_mut(), &bench, &config);
+    println!(
+        "demo run: best = {:.4}, {} evaluations, log -> {path}\n",
+        result.best_value, result.total_evals
+    );
+    report(path)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match args.split_first() {
+        Some((flag, rest)) if flag == "--demo" => {
+            if rest.len() > 1 {
+                return usage();
+            }
+            let default = std::env::temp_dir().join("hypertune-trace-demo.jsonl");
+            let path = rest
+                .first()
+                .cloned()
+                .unwrap_or_else(|| default.to_string_lossy().into_owned());
+            demo(&path)
+        }
+        Some(_) => args.iter().try_for_each(|path| report(path)),
+        None => return usage(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trace-report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -20,9 +20,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use hypertune_telemetry::{Event, TelemetryHandle};
 
 use crate::fault::{Fault, FaultModel};
-use crate::sim::{ClusterError, JobStatus};
+use crate::sim::{fault_kind, ClusterError, JobStatus};
 
 /// A completed job from the pool.
 #[derive(Debug)]
@@ -60,6 +61,7 @@ pub struct ThreadPool<J, O> {
     n_workers: usize,
     in_flight: usize,
     faults: FaultModel,
+    telemetry: TelemetryHandle,
 }
 
 impl<J, O> ThreadPool<J, O>
@@ -119,6 +121,7 @@ where
             n_workers,
             in_flight: 0,
             faults: FaultModel::none(),
+            telemetry: TelemetryHandle::disabled(),
         }
     }
 
@@ -127,6 +130,14 @@ where
     pub fn with_faults(mut self, faults: FaultModel) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Attaches a telemetry handle; drawn faults are reported as
+    /// [`Event::FaultInjected`], stamped with the handle's own clock
+    /// (this substrate has no virtual time). The default (disabled)
+    /// handle makes this a no-op.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
     }
 
     /// Number of worker threads.
@@ -150,7 +161,13 @@ where
         if self.in_flight >= self.n_workers {
             return Err(ClusterError::NoIdleWorker);
         }
-        let status = match self.faults.draw() {
+        let drawn = self.faults.draw();
+        if let Some(fault) = &drawn {
+            let kind = fault_kind(fault);
+            self.telemetry
+                .emit_now_with(|| Event::FaultInjected { kind });
+        }
+        let status = match drawn {
             None => JobStatus::Succeeded,
             Some(Fault::Crash { .. }) | Some(Fault::Hang { .. }) => JobStatus::Crashed,
             Some(Fault::Error) => JobStatus::Errored,

@@ -30,9 +30,21 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
 
+use hypertune_telemetry::{Event, FaultKind, TelemetryHandle};
+
 use crate::fault::{Fault, FaultModel};
 use crate::straggler::StragglerModel;
 use crate::trace::Trace;
+
+/// Maps a drawn [`Fault`] to its telemetry tag.
+pub(crate) fn fault_kind(fault: &Fault) -> FaultKind {
+    match fault {
+        Fault::Crash { .. } => FaultKind::Crash,
+        Fault::Error => FaultKind::Error,
+        Fault::Hang { .. } => FaultKind::Hang,
+        Fault::Corrupt => FaultKind::Corrupt,
+    }
+}
 
 /// Errors raised by the simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -167,6 +179,7 @@ pub struct SimCluster<T> {
     faults: FaultModel,
     job_timeout: Option<f64>,
     trace: Trace,
+    telemetry: TelemetryHandle,
 }
 
 impl<T> SimCluster<T> {
@@ -193,6 +206,7 @@ impl<T> SimCluster<T> {
             faults: FaultModel::none(),
             job_timeout: None,
             trace: Trace::new(n_workers),
+            telemetry: TelemetryHandle::disabled(),
         }
     }
 
@@ -201,6 +215,13 @@ impl<T> SimCluster<T> {
     pub fn with_faults(mut self, faults: FaultModel) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Attaches a telemetry handle; drawn faults are reported as
+    /// [`Event::FaultInjected`] at the dispatch-time virtual clock. The
+    /// default (disabled) handle makes this a no-op.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
     }
 
     /// Sets a per-job timeout in virtual seconds: any job whose effective
@@ -276,7 +297,13 @@ impl<T> SimCluster<T> {
         let worker = self.idle.pop().ok_or(ClusterError::NoIdleWorker)?;
         let mut effective = self.straggler.apply(duration);
         let mut status = JobStatus::Succeeded;
-        match self.faults.draw() {
+        let drawn = self.faults.draw();
+        if let Some(fault) = &drawn {
+            let kind = fault_kind(fault);
+            self.telemetry
+                .emit_with(self.clock, || Event::FaultInjected { kind });
+        }
+        match drawn {
             Some(Fault::Crash { frac }) => {
                 // The worker dies partway through: the slot is occupied
                 // for only a fraction of the work, and no result exists.

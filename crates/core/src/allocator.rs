@@ -13,6 +13,7 @@
 //! initialization passes); afterwards brackets are sampled from `w`,
 //! falling back to round-robin whenever `θ` is not yet estimable.
 
+use hypertune_telemetry::TelemetryHandle;
 use rand::Rng;
 
 use crate::levels::ResourceLevels;
@@ -27,6 +28,7 @@ pub struct BracketSelector {
     resources: Vec<f64>,
     weights: Option<Vec<f64>>,
     selections: usize,
+    telemetry: TelemetryHandle,
 }
 
 impl BracketSelector {
@@ -36,7 +38,15 @@ impl BracketSelector {
             resources: levels.resources().to_vec(),
             weights: None,
             selections: 0,
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; the selector publishes its weight
+    /// vector as `allocator.w.<b>` gauges and counts θ installs and
+    /// selections. The default disabled handle makes all of it free.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
     }
 
     /// Number of brackets `K`.
@@ -70,6 +80,14 @@ impl BracketSelector {
             }
             self.weights = Some(raw);
         }
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_add("allocator.theta_updates", 1);
+            if let Some(w) = &self.weights {
+                for (b, &wb) in w.iter().enumerate() {
+                    self.telemetry.gauge_set(&format!("allocator.w.{b}"), wb);
+                }
+            }
+        }
     }
 
     /// The current sampling distribution `w`, if learned.
@@ -89,6 +107,7 @@ impl BracketSelector {
             _ => self.selections % self.k(),
         };
         self.selections += 1;
+        self.telemetry.counter_add("allocator.selections", 1);
         pick
     }
 
@@ -223,6 +242,21 @@ mod tests {
         let mut s = RoundRobinSelector::new(&ResourceLevels::new(27.0, 3));
         let picks: Vec<usize> = (0..6).map(|_| s.select()).collect();
         assert_eq!(picks, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn telemetry_publishes_weights_and_counters() {
+        let t = hypertune_telemetry::Telemetry::new().build();
+        let mut s = selector();
+        s.set_telemetry(t.clone());
+        let mut rng = StdRng::seed_from_u64(0);
+        s.select(&mut rng);
+        s.update_theta(&[0.0, 0.0, 0.0, 1.0]);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.counter("allocator.selections"), Some(1));
+        assert_eq!(snap.counter("allocator.theta_updates"), Some(1));
+        assert_eq!(snap.gauge("allocator.w.3"), Some(1.0));
+        assert_eq!(snap.gauge("allocator.w.0"), Some(0.0));
     }
 
     #[test]

@@ -73,6 +73,23 @@ impl AsyncBracket {
     /// if one is admissible. The promoted config is immediately counted
     /// as outstanding at its new rung.
     pub fn try_promote(&mut self) -> Option<(Config, usize)> {
+        self.try_promote_inner(None)
+    }
+
+    /// Exactly [`AsyncBracket::try_promote`], but additionally pushes the
+    /// absolute level of every rung where the D-ASHA delay condition
+    /// blocked an otherwise admissible candidate into `delayed` — the
+    /// signal behind [`hypertune_telemetry::Event::PromotionDelayed`].
+    /// The promotion decision itself is identical to `try_promote`; the
+    /// extra candidate checks only run on delay-blocked rungs.
+    pub fn try_promote_traced(&mut self, delayed: &mut Vec<usize>) -> Option<(Config, usize)> {
+        self.try_promote_inner(Some(delayed))
+    }
+
+    fn try_promote_inner(
+        &mut self,
+        mut delayed: Option<&mut Vec<usize>>,
+    ) -> Option<(Config, usize)> {
         for j in (0..self.rungs.len().saturating_sub(1)).rev() {
             // Delay condition (Cond. 2): |D_k| / (|D_{k+1}| + 1) >= eta,
             // with in-flight next-rung jobs counted in |D_{k+1}|.
@@ -80,40 +97,48 @@ impl AsyncBracket {
                 let d_k = self.rungs[j].results.len();
                 let d_next = self.rungs[j + 1].results.len() + self.rungs[j + 1].outstanding;
                 if d_k < self.eta * (d_next + 1) {
+                    if let Some(d) = delayed.as_deref_mut() {
+                        if self.candidate(j).is_some() {
+                            d.push(self.base_level + j);
+                        }
+                    }
                     continue;
                 }
             }
-            // Cond. 1: best unpromoted config within the top 1/eta.
-            // Quarantined configs sit in the rung with value = +inf: they
-            // count toward |D_k| (their slot was spent) but are never
-            // promotable, so a failure-riddled rung keeps admitting fresh
-            // work instead of stalling.
-            let rung = &self.rungs[j];
-            let n_top = rung.results.len() / self.eta;
-            if n_top == 0 {
-                continue;
-            }
-            let mut order: Vec<usize> = (0..rung.results.len()).collect();
-            order.sort_by(|&a, &b| {
-                rung.results[a]
-                    .1
-                    .partial_cmp(&rung.results[b].1)
-                    .expect("values are not NaN")
-            });
-            let candidate = order
-                .into_iter()
-                .take(n_top)
-                .filter(|&i| rung.results[i].1.is_finite())
-                .map(|i| &rung.results[i].0)
-                .find(|c| !rung.promoted.contains(*c))
-                .cloned();
-            if let Some(config) = candidate {
+            if let Some(config) = self.candidate(j) {
                 self.rungs[j].promoted.insert(config.clone());
                 self.rungs[j + 1].outstanding += 1;
                 return Some((config, self.base_level + j + 1));
             }
         }
         None
+    }
+
+    /// Cond. 1: best unpromoted config within the top 1/eta of rung `j`.
+    /// Quarantined configs sit in the rung with value = +inf: they count
+    /// toward |D_k| (their slot was spent) but are never promotable, so a
+    /// failure-riddled rung keeps admitting fresh work instead of
+    /// stalling.
+    fn candidate(&self, j: usize) -> Option<Config> {
+        let rung = &self.rungs[j];
+        let n_top = rung.results.len() / self.eta;
+        if n_top == 0 {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..rung.results.len()).collect();
+        order.sort_by(|&a, &b| {
+            rung.results[a]
+                .1
+                .partial_cmp(&rung.results[b].1)
+                .expect("values are not NaN")
+        });
+        order
+            .into_iter()
+            .take(n_top)
+            .filter(|&i| rung.results[i].1.is_finite())
+            .map(|i| &rung.results[i].0)
+            .find(|c| !rung.promoted.contains(*c))
+            .cloned()
     }
 
     /// Registers a freshly sampled configuration dispatched at the base
@@ -297,6 +322,44 @@ mod tests {
         // D-ASHA quota is satisfied but every candidate is quarantined:
         // the caller falls through to sampling a fresh config.
         assert!(b.try_promote().is_none());
+    }
+
+    #[test]
+    fn traced_promotion_matches_untraced_and_reports_delays() {
+        // Build a state where the delay quota blocks a live candidate:
+        // promote once, then land two *better* configs at the base rung
+        // while the quota (|D_0| >= eta*(|D_1|+1) = 6) is not yet met.
+        let mut traced = AsyncBracket::new(&levels(), 0, true);
+        feed(&mut traced, 0, &[0.3, 0.2, 0.4]);
+        assert_eq!(traced.try_promote().unwrap().0, cfg(0.2));
+        feed(&mut traced, 0, &[0.1, 0.15]);
+        let mut plain = traced.clone();
+        let mut delayed = Vec::new();
+        let a = traced.try_promote_traced(&mut delayed);
+        let b = plain.try_promote();
+        assert_eq!(a, b, "traced promotion must not change decisions");
+        assert!(a.is_none(), "5 results < quota 6: promotion must wait");
+        assert_eq!(delayed, vec![0], "0.1 was admissible but delayed");
+        // One more base result satisfies the quota; both variants now
+        // promote the same config and report no delay.
+        feed(&mut traced, 0, &[0.5]);
+        feed(&mut plain, 0, &[0.5]);
+        delayed.clear();
+        let a = traced.try_promote_traced(&mut delayed);
+        assert_eq!(a, plain.try_promote());
+        assert_eq!(a.unwrap().0, cfg(0.1));
+        assert!(delayed.is_empty());
+    }
+
+    #[test]
+    fn traced_promotion_reports_nothing_without_blocked_candidate() {
+        let mut b = AsyncBracket::new(&levels(), 0, true);
+        feed(&mut b, 0, &[0.1, 0.2]);
+        let mut delayed = Vec::new();
+        // floor(2/3) = 0: no candidate exists, so even though the delay
+        // condition fails nothing is reported.
+        assert!(b.try_promote_traced(&mut delayed).is_none());
+        assert!(delayed.is_empty());
     }
 
     #[test]

@@ -6,6 +6,82 @@
 //! how many promotions each bracket made. All of this is derivable from
 //! the method's internal state, so the engine records it as it goes.
 
+use hypertune_cluster::JobStatus;
+use hypertune_telemetry::FailureKind;
+
+/// Failed-attempt tallies broken down by [`JobStatus`].
+///
+/// Both runners keep one of these (counting *every* failed attempt,
+/// retried or not), and [`Diagnostics`] keeps a second one restricted to
+/// quarantined jobs. The split mirrors the runner's retry semantics:
+/// attempts measure fault pressure, quarantines measure what leaked
+/// through the retry budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureCounts {
+    /// Worker died mid-evaluation.
+    pub crashed: usize,
+    /// Evaluation raised an error.
+    pub errored: usize,
+    /// Evaluation exceeded the per-job timeout.
+    pub timed_out: usize,
+    /// Evaluation finished but the result was unusable.
+    pub corrupt: usize,
+}
+
+impl FailureCounts {
+    /// Tallies one failed attempt. [`JobStatus::Succeeded`] is ignored so
+    /// callers can feed every completion through unconditionally.
+    pub fn record(&mut self, status: JobStatus) {
+        match status {
+            JobStatus::Succeeded => {}
+            JobStatus::Crashed => self.crashed += 1,
+            JobStatus::Errored => self.errored += 1,
+            JobStatus::TimedOut => self.timed_out += 1,
+            JobStatus::Corrupt => self.corrupt += 1,
+        }
+    }
+
+    /// Adds another tally into this one (for aggregating over runs).
+    pub fn merge(&mut self, other: &FailureCounts) {
+        self.crashed += other.crashed;
+        self.errored += other.errored;
+        self.timed_out += other.timed_out;
+        self.corrupt += other.corrupt;
+    }
+
+    /// Total failed attempts across all modes.
+    pub fn total(&self) -> usize {
+        self.crashed + self.errored + self.timed_out + self.corrupt
+    }
+
+    /// `true` when nothing failed.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+impl std::fmt::Display for FailureCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "crashed={} errored={} timed_out={} corrupt={}",
+            self.crashed, self.errored, self.timed_out, self.corrupt
+        )
+    }
+}
+
+/// Maps a failed [`JobStatus`] onto the telemetry [`FailureKind`];
+/// `None` for [`JobStatus::Succeeded`].
+pub fn failure_kind(status: JobStatus) -> Option<FailureKind> {
+    match status {
+        JobStatus::Succeeded => None,
+        JobStatus::Crashed => Some(FailureKind::Crashed),
+        JobStatus::Errored => Some(FailureKind::Errored),
+        JobStatus::TimedOut => Some(FailureKind::TimedOut),
+        JobStatus::Corrupt => Some(FailureKind::Corrupt),
+    }
+}
+
 /// Diagnostics accumulated by [`crate::methods::AsyncHb`] during a run.
 #[derive(Debug, Clone, Default)]
 pub struct Diagnostics {
@@ -17,6 +93,8 @@ pub struct Diagnostics {
     pub bracket_promotions: Vec<usize>,
     /// Number of quarantined (permanently failed) jobs per bracket.
     pub bracket_failures: Vec<usize>,
+    /// Quarantined jobs broken down by how their final attempt died.
+    pub failure_counts: FailureCounts,
 }
 
 impl Diagnostics {
@@ -27,6 +105,7 @@ impl Diagnostics {
             bracket_starts: vec![0; k],
             bracket_promotions: vec![0; k],
             bracket_failures: vec![0; k],
+            failure_counts: FailureCounts::default(),
         }
     }
 
@@ -48,6 +127,11 @@ impl Diagnostics {
     /// Records a quarantined job in `bracket`.
     pub fn record_failure(&mut self, bracket: usize) {
         self.bracket_failures[bracket] += 1;
+    }
+
+    /// Records the failure mode of a quarantined job's final attempt.
+    pub fn record_failure_status(&mut self, status: JobStatus) {
+        self.failure_counts.record(status);
     }
 
     /// Total quarantined jobs across all brackets.
@@ -99,6 +183,9 @@ impl Diagnostics {
                 self.bracket_failures
             ));
         }
+        if !self.failure_counts.is_empty() {
+            s.push_str(&format!("failure modes:      {}\n", self.failure_counts));
+        }
         s
     }
 }
@@ -141,6 +228,44 @@ mod tests {
         let d = Diagnostics::new(3);
         assert_eq!(d.bracket_distribution(), vec![0.0; 3]);
         assert!(d.final_theta().is_none());
+    }
+
+    #[test]
+    fn failure_counts_tally_by_status() {
+        let mut c = FailureCounts::default();
+        c.record(JobStatus::Crashed);
+        c.record(JobStatus::Crashed);
+        c.record(JobStatus::Errored);
+        c.record(JobStatus::TimedOut);
+        c.record(JobStatus::Corrupt);
+        c.record(JobStatus::Succeeded); // ignored
+        assert_eq!(c.crashed, 2);
+        assert_eq!(c.errored, 1);
+        assert_eq!(c.timed_out, 1);
+        assert_eq!(c.corrupt, 1);
+        assert_eq!(c.total(), 5);
+        assert!(!c.is_empty());
+        let mut merged = FailureCounts::default();
+        merged.record(JobStatus::Errored);
+        merged.merge(&c);
+        assert_eq!(merged.errored, 2);
+        assert_eq!(merged.total(), 6);
+        let shown = c.to_string();
+        assert!(shown.contains("crashed=2"));
+        assert!(shown.contains("corrupt=1"));
+    }
+
+    #[test]
+    fn failure_kind_maps_every_failure_mode() {
+        use hypertune_telemetry::FailureKind;
+        assert_eq!(failure_kind(JobStatus::Succeeded), None);
+        assert_eq!(failure_kind(JobStatus::Crashed), Some(FailureKind::Crashed));
+        assert_eq!(failure_kind(JobStatus::Errored), Some(FailureKind::Errored));
+        assert_eq!(
+            failure_kind(JobStatus::TimedOut),
+            Some(FailureKind::TimedOut)
+        );
+        assert_eq!(failure_kind(JobStatus::Corrupt), Some(FailureKind::Corrupt));
     }
 
     #[test]

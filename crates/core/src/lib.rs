@@ -66,7 +66,7 @@ pub mod runner;
 pub mod runner_threaded;
 pub mod sampler;
 
-pub use diagnostics::Diagnostics;
+pub use diagnostics::{failure_kind, Diagnostics, FailureCounts};
 pub use history::{History, Measurement};
 pub use levels::ResourceLevels;
 pub use method::{JobSpec, Method, MethodContext, Outcome, OutcomeStatus};

@@ -7,7 +7,9 @@
 //! work. Completions flow back through [`Method::on_result`] after the
 //! runner has recorded them into the shared [`History`].
 
+use hypertune_cluster::JobStatus;
 use hypertune_space::{Config, ConfigSpace};
+use hypertune_telemetry::TelemetryHandle;
 use rand::rngs::StdRng;
 
 use crate::history::History;
@@ -60,6 +62,10 @@ pub struct Outcome {
     pub finished_at: f64,
     /// Whether the evaluation succeeded or was quarantined.
     pub status: OutcomeStatus,
+    /// For quarantined jobs, how the *final* attempt died (crash, error,
+    /// timeout, corrupt result); `None` on success. Lets schedulers keep
+    /// per-failure-mode diagnostics without re-deriving cluster state.
+    pub fail_status: Option<JobStatus>,
 }
 
 impl Outcome {
@@ -105,6 +111,12 @@ pub trait Method {
     /// Notifies the method of a completed evaluation. The measurement is
     /// already in `ctx.history`.
     fn on_result(&mut self, outcome: &Outcome, ctx: &mut MethodContext<'_>);
+
+    /// Hands the method a telemetry handle before the run starts. The
+    /// default ignores it; methods that emit events (or own samplers that
+    /// do) override this and forward clones downstream. Runners call it
+    /// once, before the first [`Method::next_job`].
+    fn set_telemetry(&mut self, _telemetry: TelemetryHandle) {}
 }
 
 #[cfg(test)]
@@ -128,6 +140,7 @@ mod tests {
             cost: 12.0,
             finished_at: 100.0,
             status: OutcomeStatus::Success,
+            fail_status: None,
         };
         assert_eq!(o.spec, j);
         assert!(!o.is_failed());
@@ -147,7 +160,9 @@ mod tests {
             cost: 4.0,
             finished_at: 8.0,
             status: OutcomeStatus::Failed,
+            fail_status: Some(JobStatus::Crashed),
         };
         assert!(o.is_failed());
+        assert_eq!(o.fail_status, Some(JobStatus::Crashed));
     }
 }

@@ -21,6 +21,7 @@ use crate::levels::ResourceLevels;
 use crate::method::{JobSpec, Method, MethodContext, Outcome};
 use crate::ranking::ThetaTracker;
 use crate::sampler::Sampler;
+use hypertune_telemetry::{Event, TelemetryHandle};
 use rand::rngs::StdRng;
 
 /// How new configurations are assigned to brackets.
@@ -66,6 +67,7 @@ pub struct AsyncHb {
     sampler: Box<dyn Sampler>,
     theta: ThetaTracker,
     diagnostics: Diagnostics,
+    telemetry: TelemetryHandle,
 }
 
 impl AsyncHb {
@@ -88,6 +90,7 @@ impl AsyncHb {
             sampler,
             theta: ThetaTracker::new(seed ^ 0xa57c),
             diagnostics: Diagnostics::new(levels.k()),
+            telemetry: TelemetryHandle::disabled(),
         }
     }
 
@@ -110,19 +113,51 @@ impl Method for AsyncHb {
     fn next_job(&mut self, ctx: &mut MethodContext<'_>) -> Option<JobSpec> {
         // Step 4 of Figure 3: refresh θ from the multi-fidelity history
         // and push it into both the allocator and the MFES sampler.
+        let refresh_span = self.telemetry.span("theta_refresh");
         if let Some(theta) = self.theta.maybe_refresh(ctx.history, ctx.space) {
+            drop(refresh_span);
             let n_full = ctx.history.len_at(ctx.levels.max_level());
             self.diagnostics.record_theta(n_full, &theta);
             self.sampler.set_theta(&theta);
             if let BracketPolicy::Learned(s) = &mut self.policy {
                 s.update_theta(&theta);
             }
+            let policy = &self.policy;
+            self.telemetry
+                .emit_with(ctx.now, || Event::BracketWeightsUpdated {
+                    n_full,
+                    theta: theta.clone(),
+                    weights: match policy {
+                        BracketPolicy::Learned(s) => {
+                            s.weights().map(<[f64]>::to_vec).unwrap_or_default()
+                        }
+                        _ => Vec::new(),
+                    },
+                });
+        } else {
+            // Cadence said "not yet": nothing fitted, nothing to time.
+            refresh_span.cancel();
         }
 
         // Promotions first (Algorithm 1, lines 5–12).
         for (b, bracket) in self.brackets.iter_mut().enumerate() {
-            if let Some((config, level)) = bracket.try_promote() {
+            let promotion = if self.telemetry.is_enabled() {
+                let mut delayed = Vec::new();
+                let p = bracket.try_promote_traced(&mut delayed);
+                for level in delayed {
+                    self.telemetry
+                        .emit_with(ctx.now, || Event::PromotionDelayed { bracket: b, level });
+                }
+                p
+            } else {
+                bracket.try_promote()
+            };
+            if let Some((config, level)) = promotion {
                 self.diagnostics.record_promotion(b);
+                self.telemetry.emit_with(ctx.now, || Event::PromotionMade {
+                    bracket: b,
+                    to_level: level,
+                });
                 return Some(JobSpec {
                     config,
                     level,
@@ -159,11 +194,22 @@ impl Method for AsyncHb {
         // never arrive.
         let value = if outcome.is_failed() {
             self.diagnostics.record_failure(b);
+            if let Some(status) = outcome.fail_status {
+                self.diagnostics.record_failure_status(status);
+            }
             f64::INFINITY
         } else {
             outcome.value
         };
         self.brackets[b].on_result(outcome.spec.config.clone(), outcome.spec.level, value);
+    }
+
+    fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.sampler.set_telemetry(telemetry.clone());
+        if let BracketPolicy::Learned(s) = &mut self.policy {
+            s.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
     }
 }
 
@@ -223,6 +269,7 @@ mod tests {
                 cost: 1.0,
                 finished_at: 0.0,
                 status: crate::method::OutcomeStatus::Success,
+                fail_status: None,
             };
             m.on_result(&outcome, &mut self.ctx());
         }
@@ -350,6 +397,7 @@ mod tests {
                 cost: 1.0,
                 finished_at: 0.0,
                 status: crate::method::OutcomeStatus::Failed,
+                fail_status: Some(hypertune_cluster::JobStatus::Crashed),
             };
             m.on_result(&outcome, &mut env.ctx());
         }

@@ -156,6 +156,7 @@ mod tests {
                 cost: 1.0,
                 finished_at: 0.0,
                 status: crate::method::OutcomeStatus::Success,
+                fail_status: None,
             };
             m.on_result(&o, &mut self.ctx());
         }

@@ -231,6 +231,7 @@ mod tests {
             cost: 27.0,
             finished_at: 1.0,
             status: crate::method::OutcomeStatus::Success,
+            fail_status: None,
         }
     }
 

@@ -111,6 +111,12 @@ impl Method for SyncHb {
         };
         self.bracket.on_result(outcome.spec.config.clone(), value);
     }
+
+    fn set_telemetry(&mut self, telemetry: hypertune_telemetry::TelemetryHandle) {
+        // The synchronous engine emits no events of its own; the sampler
+        // still reports surrogate fits and acquisition timing.
+        self.sampler.set_telemetry(telemetry);
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +168,7 @@ mod tests {
             cost: 1.0,
             finished_at: 0.0,
             status: crate::method::OutcomeStatus::Success,
+            fail_status: None,
         };
         m.on_result(&outcome, &mut env.ctx());
     }

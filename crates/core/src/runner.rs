@@ -38,9 +38,11 @@ use std::path::PathBuf;
 use hypertune_benchmarks::Benchmark;
 use hypertune_cluster::{FaultModel, FaultSpec, SimCluster, StragglerModel, Trace};
 use hypertune_space::Config;
+use hypertune_telemetry::{Event, TelemetryHandle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::diagnostics::{failure_kind, FailureCounts};
 use crate::history::{History, Measurement};
 use crate::levels::ResourceLevels;
 use crate::method::{JobSpec, Method, MethodContext, Outcome, OutcomeStatus};
@@ -115,6 +117,12 @@ pub struct RunConfig {
     pub job_timeout: Option<f64>,
     /// Safety cap on the number of evaluations (0 = unlimited).
     pub max_evals: usize,
+    /// Telemetry pipeline. The default disabled handle costs nothing and
+    /// leaves the run bit-identical to an uninstrumented one; an enabled
+    /// handle is cloned into the cluster and the method and receives
+    /// dispatch/completion/retry/quarantine/checkpoint events stamped
+    /// with virtual time.
+    pub telemetry: TelemetryHandle,
 }
 
 impl RunConfig {
@@ -132,6 +140,7 @@ impl RunConfig {
             retry: RetryPolicy::default_policy(),
             job_timeout: None,
             max_evals: 0,
+            telemetry: TelemetryHandle::disabled(),
         }
     }
 }
@@ -254,6 +263,9 @@ pub struct RunResult {
     pub n_retries: usize,
     /// Jobs quarantined after exhausting their retries.
     pub n_quarantined: usize,
+    /// Failed attempts broken down by [`hypertune_cluster::JobStatus`]
+    /// (every attempt counts, retried or quarantined).
+    pub failure_counts: FailureCounts,
 }
 
 impl RunResult {
@@ -348,6 +360,9 @@ fn run_impl(
     let mut cluster: SimCluster<InFlight> =
         SimCluster::with_stragglers(config.n_workers, straggler).with_faults(faults);
     cluster.set_job_timeout(config.job_timeout);
+    let telemetry = &config.telemetry;
+    cluster.set_telemetry(telemetry.clone());
+    method.set_telemetry(telemetry.clone());
     let mut pending: Vec<JobSpec> = Vec::new();
     let mut curve: Vec<CurvePoint> = Vec::new();
     let mut evals_per_level = vec![0usize; levels.k()];
@@ -356,6 +371,7 @@ fn run_impl(
     let mut n_failed_attempts = 0usize;
     let mut n_retries = 0usize;
     let mut n_quarantined = 0usize;
+    let mut failure_counts = FailureCounts::default();
     let space = benchmark.space();
 
     loop {
@@ -370,7 +386,13 @@ fn run_impl(
                 n_workers: config.n_workers,
                 now: cluster.now(),
             };
-            match method.next_job(&mut ctx) {
+            let next = {
+                let step = telemetry.span("scheduler_step");
+                let next = method.next_job(&mut ctx);
+                drop(step);
+                next
+            };
+            match next {
                 Some(spec) => {
                     // Replay: the recorded result substitutes for the
                     // evaluation, after checking the method issued the
@@ -409,6 +431,12 @@ fn run_impl(
                             duration += rng.gen::<f64>() * cost;
                         }
                     }
+                    telemetry.emit_with(cluster.now(), || Event::TrialDispatched {
+                        level: spec.level,
+                        bracket: spec.bracket,
+                        attempt: 0,
+                    });
+                    telemetry.counter_add("trials.dispatched", 1);
                     let label = format!("{}", spec.level);
                     cluster
                         .submit_labeled(
@@ -445,12 +473,20 @@ fn run_impl(
         let job = done.job;
         if done.status.is_failure() {
             n_failed_attempts += 1;
+            failure_counts.record(done.status);
+            telemetry.counter_add("trials.failed_attempts", 1);
             if job.attempt < config.retry.max_retries {
                 // Bounded retry: the worker that just freed re-runs the
                 // job. The backoff rides on the duration — the simulator's
                 // clock only moves via completions, so requeue delay is
                 // modelled as occupied worker time.
                 n_retries += 1;
+                telemetry.emit_with(done.finished, || Event::TrialRetried {
+                    level: job.spec.level,
+                    attempt: job.attempt + 1,
+                    kind: failure_kind(done.status).expect("status is a failure"),
+                });
+                telemetry.counter_add("trials.retried", 1);
                 let backoff = config.retry.backoff(job.attempt);
                 let duration = job.duration + backoff;
                 let label = format!("{}r{}", job.spec.level, job.attempt + 1);
@@ -467,6 +503,12 @@ fn run_impl(
             // outcome (value = ∞) so it releases whatever slot the job
             // held; the history never records it.
             n_quarantined += 1;
+            telemetry.emit_with(done.finished, || Event::TrialQuarantined {
+                level: job.spec.level,
+                bracket: job.spec.bracket,
+                kind: failure_kind(done.status).expect("status is a failure"),
+            });
+            telemetry.counter_add("trials.quarantined", 1);
             let slot = pending
                 .iter()
                 .position(|p| *p == job.spec)
@@ -479,6 +521,7 @@ fn run_impl(
                 cost: done.finished - done.started,
                 finished_at: done.finished,
                 status: OutcomeStatus::Failed,
+                fail_status: Some(done.status),
             };
             let mut ctx = MethodContext {
                 space,
@@ -504,6 +547,14 @@ fn run_impl(
             .expect("completed job was pending");
         pending.swap_remove(slot);
         evals_per_level[spec.level] += 1;
+        telemetry.emit_with(done.finished, || Event::TrialCompleted {
+            level: spec.level,
+            bracket: spec.bracket,
+            value,
+            cost: done.finished - done.started,
+        });
+        telemetry.counter_add("trials.completed", 1);
+        telemetry.histogram_record("trial.cost", done.finished - done.started);
 
         let measurement = Measurement {
             config: spec.config.clone(),
@@ -549,6 +600,7 @@ fn run_impl(
             cost: done.finished - done.started,
             finished_at: done.finished,
             status: OutcomeStatus::Success,
+            fail_status: None,
         };
         let mut ctx = MethodContext {
             space,
@@ -569,6 +621,10 @@ fn run_impl(
                     measurements: measurements.clone(),
                 }
                 .save(&cp.path)?;
+                telemetry.emit_with(done.finished, || Event::CheckpointWritten {
+                    completions: measurements.len(),
+                    path: cp.path.display().to_string(),
+                });
             }
         }
 
@@ -578,6 +634,7 @@ fn run_impl(
         }
     }
 
+    telemetry.flush();
     let horizon = cluster.now().min(config.budget).max(f64::MIN_POSITIVE);
     let (best_value, best_test, best_config, best_resource) = match history.incumbent() {
         Some(m) => (
@@ -603,6 +660,7 @@ fn run_impl(
         n_failed_attempts,
         n_retries,
         n_quarantined,
+        failure_counts,
     })
 }
 

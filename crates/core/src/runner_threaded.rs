@@ -24,9 +24,11 @@ use std::time::Instant;
 use hypertune_benchmarks::{Benchmark, Eval};
 use hypertune_cluster::{FaultModel, FaultSpec, ThreadPool};
 use hypertune_space::Config;
+use hypertune_telemetry::{Event, TelemetryHandle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::diagnostics::{failure_kind, FailureCounts};
 use crate::history::{History, Measurement};
 use crate::levels::ResourceLevels;
 use crate::method::{JobSpec, Method, MethodContext, Outcome, OutcomeStatus};
@@ -49,6 +51,10 @@ pub struct ThreadedRunConfig {
     /// Retry policy for failed jobs (backoff fields are ignored — see
     /// the module docs).
     pub retry: RetryPolicy,
+    /// Telemetry pipeline; disabled by default. Events are stamped with
+    /// wall seconds since the run started (this substrate has no virtual
+    /// clock).
+    pub telemetry: TelemetryHandle,
 }
 
 impl ThreadedRunConfig {
@@ -61,6 +67,7 @@ impl ThreadedRunConfig {
             eta: 3,
             faults: None,
             retry: RetryPolicy::default_policy(),
+            telemetry: TelemetryHandle::disabled(),
         }
     }
 }
@@ -91,6 +98,9 @@ pub struct ThreadedRunResult {
     pub n_retries: usize,
     /// Jobs quarantined after exhausting their retries.
     pub n_quarantined: usize,
+    /// Failed attempts broken down by [`hypertune_cluster::JobStatus`]
+    /// (every attempt counts, retried or quarantined).
+    pub failure_counts: FailureCounts,
 }
 
 /// The pool payload: a job spec plus its retry attempt counter.
@@ -124,10 +134,14 @@ pub fn run_threaded(
     if let Some(spec) = config.faults {
         pool = pool.with_faults(FaultModel::new(spec, config.seed ^ 0xfa17));
     }
+    let telemetry = &config.telemetry;
+    pool.set_telemetry(telemetry.clone());
+    method.set_telemetry(telemetry.clone());
 
     let mut n_failed_attempts = 0usize;
     let mut n_retries = 0usize;
     let mut n_quarantined = 0usize;
+    let mut failure_counts = FailureCounts::default();
     // At 100% failure rate no job ever completes and every dispatch
     // quarantines; this cap turns that pathological case into a clean
     // early exit instead of an infinite loop.
@@ -147,8 +161,22 @@ pub fn run_threaded(
                 n_workers: config.n_workers,
                 now: started.elapsed().as_secs_f64(),
             };
-            match method.next_job(&mut ctx) {
+            let next = {
+                let step = telemetry.span("scheduler_step");
+                let next = method.next_job(&mut ctx);
+                drop(step);
+                next
+            };
+            match next {
                 Some(spec) => {
+                    telemetry.emit_with(started.elapsed().as_secs_f64(), || {
+                        Event::TrialDispatched {
+                            level: spec.level,
+                            bracket: spec.bracket,
+                            attempt: 0,
+                        }
+                    });
+                    telemetry.counter_add("trials.dispatched", 1);
                     pool.submit(ThreadedJob {
                         spec: spec.clone(),
                         attempt: 0,
@@ -177,8 +205,16 @@ pub fn run_threaded(
             // discarded; every failure kind goes through the same
             // retry-or-quarantine path.
             n_failed_attempts += 1;
+            failure_counts.record(done.status);
+            telemetry.counter_add("trials.failed_attempts", 1);
             if job.attempt < config.retry.max_retries {
                 n_retries += 1;
+                telemetry.emit_with(started.elapsed().as_secs_f64(), || Event::TrialRetried {
+                    level: job.spec.level,
+                    attempt: job.attempt + 1,
+                    kind: failure_kind(done.status).expect("status is a failure"),
+                });
+                telemetry.counter_add("trials.retried", 1);
                 pool.submit(ThreadedJob {
                     attempt: job.attempt + 1,
                     ..job
@@ -187,6 +223,14 @@ pub fn run_threaded(
                 continue;
             }
             n_quarantined += 1;
+            telemetry.emit_with(started.elapsed().as_secs_f64(), || {
+                Event::TrialQuarantined {
+                    level: job.spec.level,
+                    bracket: job.spec.bracket,
+                    kind: failure_kind(done.status).expect("status is a failure"),
+                }
+            });
+            telemetry.counter_add("trials.quarantined", 1);
             let slot = pending
                 .iter()
                 .position(|p| *p == job.spec)
@@ -201,6 +245,7 @@ pub fn run_threaded(
                 cost: 0.0,
                 finished_at: started.elapsed().as_secs_f64(),
                 status: OutcomeStatus::Failed,
+                fail_status: Some(done.status),
             };
             let mut ctx = MethodContext {
                 space: benchmark.space(),
@@ -223,6 +268,14 @@ pub fn run_threaded(
         pending.swap_remove(slot);
         evals_per_level[spec.level] += 1;
         completed += 1;
+        telemetry.emit_with(started.elapsed().as_secs_f64(), || Event::TrialCompleted {
+            level: spec.level,
+            bracket: spec.bracket,
+            value: eval.value,
+            cost: eval.cost,
+        });
+        telemetry.counter_add("trials.completed", 1);
+        telemetry.histogram_record("trial.cost", eval.cost);
 
         let m = Measurement {
             config: spec.config.clone(),
@@ -243,6 +296,7 @@ pub fn run_threaded(
             cost: eval.cost,
             finished_at: started.elapsed().as_secs_f64(),
             status: OutcomeStatus::Success,
+            fail_status: None,
         };
         let mut ctx = MethodContext {
             space: benchmark.space(),
@@ -256,6 +310,7 @@ pub fn run_threaded(
         method.on_result(&outcome, &mut ctx);
     }
 
+    telemetry.flush();
     let (best_value, best_test, best_config) = match history.incumbent() {
         Some(m) => (m.value, m.test_value, Some(m.config.clone())),
         None => (f64::INFINITY, f64::INFINITY, None),
@@ -272,6 +327,7 @@ pub fn run_threaded(
         n_failed_attempts,
         n_retries,
         n_quarantined,
+        failure_counts,
     }
 }
 

@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use hypertune_space::Config;
 use hypertune_surrogate::acquisition::{maximize, Acquisition, MaximizeConfig};
 use hypertune_surrogate::{stats, MfEnsemble, Predictor, RandomForest, SurrogateModel};
+use hypertune_telemetry::{Event, TelemetryHandle};
 use rand::Rng;
 
 use crate::method::MethodContext;
@@ -47,6 +48,7 @@ pub struct MfesSampler {
     theta: Option<Vec<f64>>,
     seed: u64,
     cache: HashMap<usize, CachedLevelModel>,
+    telemetry: TelemetryHandle,
 }
 
 impl MfesSampler {
@@ -58,6 +60,7 @@ impl MfesSampler {
             theta: None,
             seed,
             cache: HashMap::new(),
+            telemetry: TelemetryHandle::disabled(),
         }
     }
 
@@ -74,6 +77,10 @@ impl Sampler for MfesSampler {
 
     fn set_theta(&mut self, theta: &[f64]) {
         self.theta = Some(theta.to_vec());
+    }
+
+    fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
     }
 
     fn sample(&mut self, ctx: &mut MethodContext<'_>) -> Config {
@@ -123,6 +130,11 @@ impl Sampler for MfesSampler {
         let space = ctx.space;
         let pending = ctx.pending;
         let seed = self.seed;
+        let fit_span = if stale.is_empty() {
+            None
+        } else {
+            Some(self.telemetry.span("surrogate_fit"))
+        };
         let refitted: Vec<(usize, u64, Option<RandomForest>)> = run_indexed(stale.len(), |i| {
             let (level, fp) = stale[i];
             let n = history.len_at(level);
@@ -138,13 +150,18 @@ impl Sampler for MfesSampler {
             let mut rf = RandomForest::new(derive_model_seed(seed, level, n, fp));
             (level, fp, rf.fit(&xs, &ys).ok().map(|_| rf))
         });
+        drop(fit_span);
         for (level, fp, rf) in refitted {
             match rf {
                 Some(rf) => {
+                    let n_points = ctx.history.len_at(level);
+                    self.telemetry
+                        .emit_with(ctx.now, || Event::SurrogateFit { level, n_points });
+                    self.telemetry.counter_add("surrogate.fits", 1);
                     self.cache.insert(
                         level,
                         CachedLevelModel {
-                            n: ctx.history.len_at(level),
+                            n: n_points,
                             pending_fp: fp,
                             rf,
                         },
@@ -191,7 +208,14 @@ impl Sampler for MfesSampler {
             .map(|m| m.value)
             .fold(f64::INFINITY, f64::min);
         let incumbents = ctx.history.top_configs(ref_level, 5);
-        match maximize(
+        let n_models = models.iter().filter(|m| m.is_some()).count();
+        self.telemetry
+            .emit_with(ctx.now, || Event::SurrogatePredict {
+                level: ref_level,
+                n_models,
+            });
+        let acq_span = self.telemetry.span("acquisition");
+        let proposed = match maximize(
             ctx.space,
             &ensemble,
             Acquisition::default(),
@@ -202,7 +226,9 @@ impl Sampler for MfesSampler {
         ) {
             Ok((config, _)) => config,
             Err(_) => ctx.space.sample(ctx.rng),
-        }
+        };
+        drop(acq_span);
+        proposed
     }
 }
 

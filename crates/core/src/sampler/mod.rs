@@ -74,6 +74,11 @@ pub trait Sampler {
     /// Receives fresh precision weights `θ` from the owner (only the
     /// multi-fidelity sampler uses them).
     fn set_theta(&mut self, _theta: &[f64]) {}
+
+    /// Receives the run's telemetry handle from the owning method. The
+    /// default ignores it; model-based samplers override to report
+    /// surrogate fits and acquisition timing.
+    fn set_telemetry(&mut self, _telemetry: hypertune_telemetry::TelemetryHandle) {}
 }
 
 /// Uniform random search.

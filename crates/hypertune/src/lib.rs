@@ -46,12 +46,35 @@
 //! | [`cluster`] | discrete-event cluster simulator + threaded executor |
 //! | [`benchmarks`] | counting-ones, tabular NAS, simulated XGBoost/ResNet/LSTM workloads |
 //! | [`core`] | schedulers (SHA/ASHA/D-ASHA), bracket selection, samplers, all methods, the runner |
+//! | [`telemetry`] | structured event log, metrics registry, timing spans, trace replay |
+//!
+//! ## Tracing a run
+//!
+//! Every run accepts a [`telemetry::TelemetryHandle`]
+//! ([`core::runner::RunConfig::telemetry`]); the default disabled handle
+//! is free and leaves runs bit-identical to untraced ones. An enabled
+//! handle records dispatches, completions, retries, promotions, bracket
+//! weights, and surrogate activity:
+//!
+//! ```
+//! use hypertune::prelude::*;
+//!
+//! let bench = CountingOnes::new(4, 4, 0);
+//! let levels = ResourceLevels::new(bench.max_resource(), 3);
+//! let mut method = MethodKind::HyperTune.build(&levels, 42);
+//! let ring = RingBufferSink::new(4096);
+//! let mut config = RunConfig::new(8, 500.0, 42);
+//! config.telemetry = Telemetry::new().with_sink(ring.clone()).build();
+//! let _result = run(method.as_mut(), &bench, &config);
+//! assert!(!ring.snapshot().is_empty());
+//! ```
 
 pub use hypertune_benchmarks as benchmarks;
 pub use hypertune_cluster as cluster;
 pub use hypertune_core as core;
 pub use hypertune_space as space;
 pub use hypertune_surrogate as surrogate;
+pub use hypertune_telemetry as telemetry;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -60,9 +83,13 @@ pub mod prelude {
     };
     pub use hypertune_cluster::{FaultSpec, JobStatus, SimCluster, StragglerModel, ThreadPool};
     pub use hypertune_core::{
-        resume, run, run_checkpointed, CheckpointPolicy, History, JobSpec, Measurement, Method,
-        MethodContext, MethodKind, Outcome, OutcomeStatus, ResourceLevels, ResumeError,
-        RetryPolicy, RunConfig, RunResult, RunSnapshot,
+        resume, run, run_checkpointed, CheckpointPolicy, FailureCounts, History, JobSpec,
+        Measurement, Method, MethodContext, MethodKind, Outcome, OutcomeStatus, ResourceLevels,
+        ResumeError, RetryPolicy, RunConfig, RunResult, RunSnapshot,
     };
     pub use hypertune_space::{Config, ConfigSpace, ParamValue};
+    pub use hypertune_telemetry::{
+        read_jsonl, Event, EventRecord, JsonlSink, RingBufferSink, Telemetry, TelemetryHandle,
+        TraceSummary,
+    };
 }

@@ -1,0 +1,613 @@
+//! The event taxonomy: every internal decision the runtime can narrate.
+//!
+//! Events are plain data — no references into engine state — so a sink
+//! can ship them across a process boundary. Serialization is a tagged
+//! JSON object (`{"type": "trial_dispatched", ...}`) written by hand
+//! against the serde shim's [`Value`] tree, which keeps the JSONL format
+//! stable and greppable.
+
+use std::fmt;
+
+use serde::{Error, Map, Value};
+
+/// Why a job attempt failed, as reported by the execution substrate.
+///
+/// Mirrors the cluster crate's `JobStatus` failure variants without
+/// depending on it (the cluster crate depends on *this* crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The worker died mid-evaluation.
+    Crashed,
+    /// The evaluation completed and then raised.
+    Errored,
+    /// The job exceeded the per-job timeout.
+    TimedOut,
+    /// The result arrived but was unusable.
+    Corrupt,
+}
+
+impl FailureKind {
+    /// Stable lowercase tag used in serialized events.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FailureKind::Crashed => "crashed",
+            FailureKind::Errored => "errored",
+            FailureKind::TimedOut => "timed_out",
+            FailureKind::Corrupt => "corrupt",
+        }
+    }
+
+    fn from_tag(s: &str) -> Result<Self, Error> {
+        match s {
+            "crashed" => Ok(FailureKind::Crashed),
+            "errored" => Ok(FailureKind::Errored),
+            "timed_out" => Ok(FailureKind::TimedOut),
+            "corrupt" => Ok(FailureKind::Corrupt),
+            other => Err(Error::custom(format!("unknown failure kind {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// The fault a fault model injected at dispatch time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Worker crash partway through the job.
+    Crash,
+    /// Evaluation error after running fully.
+    Error,
+    /// Worker stall (extreme straggler).
+    Hang,
+    /// Corrupt result.
+    Corrupt,
+}
+
+impl FaultKind {
+    /// Stable lowercase tag used in serialized events.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Error => "error",
+            FaultKind::Hang => "hang",
+            FaultKind::Corrupt => "corrupt",
+        }
+    }
+
+    fn from_tag(s: &str) -> Result<Self, Error> {
+        match s {
+            "crash" => Ok(FaultKind::Crash),
+            "error" => Ok(FaultKind::Error),
+            "hang" => Ok(FaultKind::Hang),
+            "corrupt" => Ok(FaultKind::Corrupt),
+            other => Err(Error::custom(format!("unknown fault kind {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A structured event emitted by the runtime; see the variants for the
+/// taxonomy. Times live on the enclosing [`EventRecord`], not here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A job was handed to the execution substrate.
+    TrialDispatched {
+        /// Resource-level index of the dispatched job.
+        level: usize,
+        /// Owning bracket, when the method tags one.
+        bracket: Option<usize>,
+        /// 0 for a first attempt, incremented per retry.
+        attempt: usize,
+    },
+    /// A job completed with a usable result.
+    TrialCompleted {
+        /// Resource-level index.
+        level: usize,
+        /// Owning bracket.
+        bracket: Option<usize>,
+        /// Validation objective (minimized).
+        value: f64,
+        /// Evaluation cost in substrate seconds.
+        cost: f64,
+    },
+    /// A failed attempt was resubmitted by the retry policy.
+    TrialRetried {
+        /// Resource-level index.
+        level: usize,
+        /// Attempt number of the *resubmission* (1 = first retry).
+        attempt: usize,
+        /// How the previous attempt failed.
+        kind: FailureKind,
+    },
+    /// A job exhausted its retries and was quarantined.
+    TrialQuarantined {
+        /// Resource-level index.
+        level: usize,
+        /// Owning bracket.
+        bracket: Option<usize>,
+        /// How the final attempt failed.
+        kind: FailureKind,
+    },
+    /// A bracket promoted a configuration to the next rung.
+    PromotionMade {
+        /// Bracket index.
+        bracket: usize,
+        /// Absolute level the config was promoted *to*.
+        to_level: usize,
+    },
+    /// D-ASHA's delay condition blocked an otherwise admissible
+    /// promotion at a rung.
+    PromotionDelayed {
+        /// Bracket index.
+        bracket: usize,
+        /// Absolute level of the rung that was held back.
+        level: usize,
+    },
+    /// θ was refreshed and the allocator recomputed `w = normalize(c∘θ)`.
+    BracketWeightsUpdated {
+        /// Complete evaluations `|D_K|` at refresh time.
+        n_full: usize,
+        /// The precision weights θ (one per level).
+        theta: Vec<f64>,
+        /// The allocator's sampling distribution `w`; empty when θ was
+        /// degenerate and the previous weights were kept.
+        weights: Vec<f64>,
+    },
+    /// A per-level base surrogate was (re)fit.
+    SurrogateFit {
+        /// Level whose surrogate was refit.
+        level: usize,
+        /// Training points at fit time.
+        n_points: usize,
+    },
+    /// The sampler ran acquisition maximization over the ensemble.
+    SurrogatePredict {
+        /// Reference level driving the incumbent.
+        level: usize,
+        /// Ensemble members (fitted levels) involved.
+        n_models: usize,
+    },
+    /// A run snapshot was written to disk.
+    CheckpointWritten {
+        /// Completed evaluations covered by the snapshot.
+        completions: usize,
+        /// Snapshot path.
+        path: String,
+    },
+    /// The fault model injected a fault at dispatch.
+    FaultInjected {
+        /// The injected fault.
+        kind: FaultKind,
+    },
+    /// A timing span closed (durations use the telemetry clock, which is
+    /// wall time unless a virtual clock was injected).
+    SpanClosed {
+        /// Span name, e.g. `"surrogate_fit"`.
+        name: String,
+        /// Duration in clock seconds.
+        duration: f64,
+    },
+}
+
+impl Event {
+    /// The serialized `"type"` tag of this event.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Event::TrialDispatched { .. } => "trial_dispatched",
+            Event::TrialCompleted { .. } => "trial_completed",
+            Event::TrialRetried { .. } => "trial_retried",
+            Event::TrialQuarantined { .. } => "trial_quarantined",
+            Event::PromotionMade { .. } => "promotion_made",
+            Event::PromotionDelayed { .. } => "promotion_delayed",
+            Event::BracketWeightsUpdated { .. } => "bracket_weights_updated",
+            Event::SurrogateFit { .. } => "surrogate_fit",
+            Event::SurrogatePredict { .. } => "surrogate_predict",
+            Event::CheckpointWritten { .. } => "checkpoint_written",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::SpanClosed { .. } => "span_closed",
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::TrialDispatched {
+                level,
+                bracket,
+                attempt,
+            } => write!(
+                f,
+                "dispatch level {level} bracket {bracket:?} attempt {attempt}"
+            ),
+            Event::TrialCompleted {
+                level, value, cost, ..
+            } => write!(f, "complete level {level} value {value:.5} cost {cost:.2}"),
+            Event::TrialRetried {
+                level,
+                attempt,
+                kind,
+            } => write!(f, "retry level {level} attempt {attempt} after {kind}"),
+            Event::TrialQuarantined { level, kind, .. } => {
+                write!(f, "quarantine level {level} after {kind}")
+            }
+            Event::PromotionMade { bracket, to_level } => {
+                write!(f, "promote bracket {bracket} -> level {to_level}")
+            }
+            Event::PromotionDelayed { bracket, level } => {
+                write!(f, "delay promotion bracket {bracket} rung {level}")
+            }
+            Event::BracketWeightsUpdated {
+                n_full, weights, ..
+            } => {
+                write!(f, "weights updated at |D_K| = {n_full}: {weights:.3?}")
+            }
+            Event::SurrogateFit { level, n_points } => {
+                write!(f, "fit surrogate level {level} on {n_points} points")
+            }
+            Event::SurrogatePredict { level, n_models } => {
+                write!(f, "acquisition over {n_models} models (ref level {level})")
+            }
+            Event::CheckpointWritten { completions, path } => {
+                write!(f, "checkpoint at {completions} completions -> {path}")
+            }
+            Event::FaultInjected { kind } => write!(f, "fault injected: {kind}"),
+            Event::SpanClosed { name, duration } => {
+                write!(f, "span {name} took {duration:.6}s")
+            }
+        }
+    }
+}
+
+/// One entry of the event log: a monotonically increasing sequence
+/// number, the emitter-supplied timestamp (virtual seconds on the
+/// simulator, wall seconds on the thread pool), and the event itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Monotonic sequence number assigned by the telemetry handle.
+    pub seq: u64,
+    /// Emitter-supplied timestamp in seconds.
+    pub time: f64,
+    /// The event.
+    pub event: Event,
+}
+
+fn num(v: f64) -> Value {
+    v.to_value()
+}
+
+fn opt_usize(v: &Option<usize>) -> Value {
+    match v {
+        Some(n) => n.to_value(),
+        None => Value::Null,
+    }
+}
+
+fn f64s(v: &[f64]) -> Value {
+    Value::Array(v.iter().map(|x| x.to_value()).collect())
+}
+
+use serde::Serialize as _;
+
+impl serde::Serialize for Event {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("type".into(), Value::String(self.tag().into()));
+        match self {
+            Event::TrialDispatched {
+                level,
+                bracket,
+                attempt,
+            } => {
+                m.insert("level".into(), level.to_value());
+                m.insert("bracket".into(), opt_usize(bracket));
+                m.insert("attempt".into(), attempt.to_value());
+            }
+            Event::TrialCompleted {
+                level,
+                bracket,
+                value,
+                cost,
+            } => {
+                m.insert("level".into(), level.to_value());
+                m.insert("bracket".into(), opt_usize(bracket));
+                m.insert("value".into(), num(*value));
+                m.insert("cost".into(), num(*cost));
+            }
+            Event::TrialRetried {
+                level,
+                attempt,
+                kind,
+            } => {
+                m.insert("level".into(), level.to_value());
+                m.insert("attempt".into(), attempt.to_value());
+                m.insert("kind".into(), Value::String(kind.tag().into()));
+            }
+            Event::TrialQuarantined {
+                level,
+                bracket,
+                kind,
+            } => {
+                m.insert("level".into(), level.to_value());
+                m.insert("bracket".into(), opt_usize(bracket));
+                m.insert("kind".into(), Value::String(kind.tag().into()));
+            }
+            Event::PromotionMade { bracket, to_level } => {
+                m.insert("bracket".into(), bracket.to_value());
+                m.insert("to_level".into(), to_level.to_value());
+            }
+            Event::PromotionDelayed { bracket, level } => {
+                m.insert("bracket".into(), bracket.to_value());
+                m.insert("level".into(), level.to_value());
+            }
+            Event::BracketWeightsUpdated {
+                n_full,
+                theta,
+                weights,
+            } => {
+                m.insert("n_full".into(), n_full.to_value());
+                m.insert("theta".into(), f64s(theta));
+                m.insert("weights".into(), f64s(weights));
+            }
+            Event::SurrogateFit { level, n_points } => {
+                m.insert("level".into(), level.to_value());
+                m.insert("n_points".into(), n_points.to_value());
+            }
+            Event::SurrogatePredict { level, n_models } => {
+                m.insert("level".into(), level.to_value());
+                m.insert("n_models".into(), n_models.to_value());
+            }
+            Event::CheckpointWritten { completions, path } => {
+                m.insert("completions".into(), completions.to_value());
+                m.insert("path".into(), Value::String(path.clone()));
+            }
+            Event::FaultInjected { kind } => {
+                m.insert("kind".into(), Value::String(kind.tag().into()));
+            }
+            Event::SpanClosed { name, duration } => {
+                m.insert("name".into(), Value::String(name.clone()));
+                m.insert("duration".into(), num(*duration));
+            }
+        }
+        Value::Object(m)
+    }
+}
+
+fn get_usize(v: &Value, key: &str) -> Result<usize, Error> {
+    v[key]
+        .as_u64()
+        .map(|n| n as usize)
+        .ok_or_else(|| Error::custom(format!("missing or non-integer field {key:?}")))
+}
+
+fn get_opt_usize(v: &Value, key: &str) -> Result<Option<usize>, Error> {
+    if v[key].is_null() {
+        return Ok(None);
+    }
+    get_usize(v, key).map(Some)
+}
+
+fn get_f64(v: &Value, key: &str) -> Result<f64, Error> {
+    v[key]
+        .as_f64()
+        .ok_or_else(|| Error::custom(format!("missing or non-numeric field {key:?}")))
+}
+
+fn get_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, Error> {
+    v[key]
+        .as_str()
+        .ok_or_else(|| Error::custom(format!("missing or non-string field {key:?}")))
+}
+
+fn get_f64s(v: &Value, key: &str) -> Result<Vec<f64>, Error> {
+    v[key]
+        .as_array()
+        .ok_or_else(|| Error::custom(format!("missing or non-array field {key:?}")))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| Error::custom(format!("non-numeric entry in {key:?}")))
+        })
+        .collect()
+}
+
+impl serde::Deserialize for Event {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let tag = get_str(v, "type")?;
+        match tag {
+            "trial_dispatched" => Ok(Event::TrialDispatched {
+                level: get_usize(v, "level")?,
+                bracket: get_opt_usize(v, "bracket")?,
+                attempt: get_usize(v, "attempt")?,
+            }),
+            "trial_completed" => Ok(Event::TrialCompleted {
+                level: get_usize(v, "level")?,
+                bracket: get_opt_usize(v, "bracket")?,
+                value: get_f64(v, "value")?,
+                cost: get_f64(v, "cost")?,
+            }),
+            "trial_retried" => Ok(Event::TrialRetried {
+                level: get_usize(v, "level")?,
+                attempt: get_usize(v, "attempt")?,
+                kind: FailureKind::from_tag(get_str(v, "kind")?)?,
+            }),
+            "trial_quarantined" => Ok(Event::TrialQuarantined {
+                level: get_usize(v, "level")?,
+                bracket: get_opt_usize(v, "bracket")?,
+                kind: FailureKind::from_tag(get_str(v, "kind")?)?,
+            }),
+            "promotion_made" => Ok(Event::PromotionMade {
+                bracket: get_usize(v, "bracket")?,
+                to_level: get_usize(v, "to_level")?,
+            }),
+            "promotion_delayed" => Ok(Event::PromotionDelayed {
+                bracket: get_usize(v, "bracket")?,
+                level: get_usize(v, "level")?,
+            }),
+            "bracket_weights_updated" => Ok(Event::BracketWeightsUpdated {
+                n_full: get_usize(v, "n_full")?,
+                theta: get_f64s(v, "theta")?,
+                weights: get_f64s(v, "weights")?,
+            }),
+            "surrogate_fit" => Ok(Event::SurrogateFit {
+                level: get_usize(v, "level")?,
+                n_points: get_usize(v, "n_points")?,
+            }),
+            "surrogate_predict" => Ok(Event::SurrogatePredict {
+                level: get_usize(v, "level")?,
+                n_models: get_usize(v, "n_models")?,
+            }),
+            "checkpoint_written" => Ok(Event::CheckpointWritten {
+                completions: get_usize(v, "completions")?,
+                path: get_str(v, "path")?.to_string(),
+            }),
+            "fault_injected" => Ok(Event::FaultInjected {
+                kind: FaultKind::from_tag(get_str(v, "kind")?)?,
+            }),
+            "span_closed" => Ok(Event::SpanClosed {
+                name: get_str(v, "name")?.to_string(),
+                duration: get_f64(v, "duration")?,
+            }),
+            other => Err(Error::custom(format!("unknown event type {other:?}"))),
+        }
+    }
+}
+
+impl serde::Serialize for EventRecord {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("seq".into(), self.seq.to_value());
+        m.insert("time".into(), num(self.time));
+        m.insert("event".into(), self.event.to_value());
+        Value::Object(m)
+    }
+}
+
+impl serde::Deserialize for EventRecord {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(EventRecord {
+            seq: v["seq"]
+                .as_u64()
+                .ok_or_else(|| Error::custom("missing field \"seq\""))?,
+            time: get_f64(v, "time")?,
+            event: Event::from_value(&v["event"])?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize as _;
+
+    fn all_events() -> Vec<Event> {
+        vec![
+            Event::TrialDispatched {
+                level: 1,
+                bracket: Some(2),
+                attempt: 0,
+            },
+            Event::TrialDispatched {
+                level: 0,
+                bracket: None,
+                attempt: 3,
+            },
+            Event::TrialCompleted {
+                level: 2,
+                bracket: Some(0),
+                value: 0.125,
+                cost: 9.0,
+            },
+            Event::TrialRetried {
+                level: 0,
+                attempt: 1,
+                kind: FailureKind::Crashed,
+            },
+            Event::TrialQuarantined {
+                level: 3,
+                bracket: Some(1),
+                kind: FailureKind::TimedOut,
+            },
+            Event::PromotionMade {
+                bracket: 0,
+                to_level: 2,
+            },
+            Event::PromotionDelayed {
+                bracket: 1,
+                level: 1,
+            },
+            Event::BracketWeightsUpdated {
+                n_full: 7,
+                theta: vec![0.5, 0.25, 0.25],
+                weights: vec![0.8, 0.15, 0.05],
+            },
+            Event::SurrogateFit {
+                level: 0,
+                n_points: 40,
+            },
+            Event::SurrogatePredict {
+                level: 3,
+                n_models: 4,
+            },
+            Event::CheckpointWritten {
+                completions: 14,
+                path: "/tmp/snap.json".into(),
+            },
+            Event::FaultInjected {
+                kind: FaultKind::Hang,
+            },
+            Event::SpanClosed {
+                name: "surrogate_fit".into(),
+                duration: 0.0021,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_roundtrips_through_json() {
+        for (i, event) in all_events().into_iter().enumerate() {
+            let rec = EventRecord {
+                seq: i as u64,
+                time: 1.5 * i as f64,
+                event,
+            };
+            let line = serde_json::to_string(&rec).unwrap();
+            let back: EventRecord = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, rec, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn tags_are_unique() {
+        let tags: Vec<&str> = all_events().iter().map(|e| e.tag()).collect();
+        let mut dedup = tags.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        // TrialDispatched appears twice in the fixture list.
+        assert_eq!(dedup.len(), tags.len() - 1);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        for event in all_events() {
+            let s = event.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.contains("type"), "display is not JSON: {s}");
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let v: Value = serde_json::from_str(r#"{"type": "nope"}"#).unwrap();
+        assert!(Event::from_value(&v).is_err());
+    }
+}

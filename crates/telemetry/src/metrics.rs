@@ -1,0 +1,299 @@
+//! A lock-cheap metrics registry: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! The hot path (incrementing a metric that already exists) takes one
+//! `RwLock` read lock plus one atomic RMW — no allocation, no waiting on
+//! writers unless a *new* metric name is being registered, which happens
+//! once per name per run. Values live in `Arc<Atomic…>` cells so
+//! snapshots never block writers.
+//!
+//! Floating-point cells (gauges, histogram sums) store `f64::to_bits` in
+//! an `AtomicU64`; sums use a compare-exchange loop, which is uncontended
+//! in practice because all emitters sit on the driver thread.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Default histogram bucket upper bounds in seconds: log-spaced from 1 µs
+/// to 100 s, a range covering every timed section in this workspace.
+pub const DEFAULT_BOUNDS: [f64; 9] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0];
+
+/// A fixed-bucket histogram with atomic buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` buckets; the last is the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            max_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    fn record(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // CAS loops for the f64 cells; uncontended on the driver thread.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = self.max_bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.max_bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (`bounds.len() + 1`, last is overflow).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time view of every metric, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram contents.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// The registry; see the module docs for the locking discipline.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+/// Fetches (or registers) a cell without holding the write lock during
+/// the fast path.
+fn cell<T>(map: &RwLock<HashMap<String, Arc<T>>>, name: &str, make: impl FnOnce() -> T) -> Arc<T> {
+    if let Some(c) = map.read().expect("metrics lock poisoned").get(name) {
+        return Arc::clone(c);
+    }
+    let mut w = map.write().expect("metrics lock poisoned");
+    Arc::clone(
+        w.entry(name.to_string())
+            .or_insert_with(|| Arc::new(make())),
+    )
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter `name` (registering it at 0 first).
+    pub fn counter_add(&self, name: &str, n: u64) {
+        cell(&self.counters, name, || AtomicU64::new(0)).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge `name` to `v`.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        cell(&self.gauges, name, || AtomicU64::new(0f64.to_bits()))
+            .store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Records `v` into the fixed-bucket histogram `name`
+    /// ([`DEFAULT_BOUNDS`] buckets).
+    pub fn histogram_record(&self, name: &str, v: f64) {
+        cell(&self.histograms, name, || Histogram::new(&DEFAULT_BOUNDS)).record(v);
+    }
+
+    /// A sorted point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .read()
+            .expect("metrics lock poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges: Vec<(String, f64)> = self
+            .gauges
+            .read()
+            .expect("metrics lock poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<(String, HistogramSnapshot)> = self
+            .histograms
+            .read()
+            .expect("metrics lock poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MetricsRegistry::new();
+        r.counter_add("jobs", 1);
+        r.counter_add("jobs", 2);
+        r.counter_add("other", 5);
+        let s = r.snapshot();
+        assert_eq!(s.counter("jobs"), Some(3));
+        assert_eq!(s.counter("other"), Some(5));
+        assert_eq!(s.counter("missing"), None);
+        // Snapshot is sorted by name.
+        assert_eq!(s.counters[0].0, "jobs");
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let r = MetricsRegistry::new();
+        r.gauge_set("w0", 0.25);
+        r.gauge_set("w0", 0.75);
+        assert_eq!(r.snapshot().gauge("w0"), Some(0.75));
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let r = MetricsRegistry::new();
+        for v in [0.5e-6, 2e-3, 2e-3, 50.0, 1e9] {
+            r.histogram_record("lat", v);
+        }
+        let s = r.snapshot();
+        let h = s.histogram("lat").unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.buckets[0], 1, "{:?}", h.buckets); // <= 1e-6
+        assert_eq!(h.buckets[4], 2); // <= 1e-2
+        assert_eq!(h.buckets[8], 1); // <= 100
+        assert_eq!(*h.buckets.last().unwrap(), 1); // overflow
+        assert_eq!(h.max, 1e9);
+        assert!((h.sum - (0.5e-6 + 2e-3 + 2e-3 + 50.0 + 1e9)).abs() < 1.0);
+        assert!(h.mean() > 0.0);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let r = Arc::new(MetricsRegistry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        r.counter_add("hits", 1);
+                        r.histogram_record("dur", 0.01);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = r.snapshot();
+        assert_eq!(s.counter("hits"), Some(4000));
+        assert_eq!(s.histogram("dur").unwrap().count, 4000);
+    }
+}

@@ -1,0 +1,441 @@
+//! Reading JSONL event logs back and summarizing them.
+//!
+//! This is the analysis half of the subsystem: [`read_jsonl`] parses a
+//! file written by [`JsonlSink`](crate::JsonlSink), and [`TraceSummary`]
+//! folds the records into the tables the `trace-report` bin prints —
+//! per-level trial flow, per-bracket promotions and delays, the full
+//! bracket-weight trajectory, span timing, and fault counts.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use crate::event::{Event, EventRecord};
+
+/// Parses a JSONL event log, one [`EventRecord`] per line.
+///
+/// Blank lines are skipped; a malformed line is an error (truncated logs
+/// should be noticed, not silently summarized).
+pub fn read_jsonl(path: impl AsRef<Path>) -> std::io::Result<Vec<EventRecord>> {
+    let file = File::open(path)?;
+    let mut records = Vec::new();
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: EventRecord = serde_json::from_str(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Per-level trial flow counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelFlow {
+    /// Jobs dispatched at this level (all attempts).
+    pub dispatched: usize,
+    /// Jobs completing with a usable result.
+    pub completed: usize,
+    /// Retry resubmissions.
+    pub retried: usize,
+    /// Quarantined configurations.
+    pub quarantined: usize,
+}
+
+/// One θ-refresh round as seen in the log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightRound {
+    /// Log timestamp of the refresh.
+    pub time: f64,
+    /// Complete evaluations `|D_K|` at refresh time.
+    pub n_full: usize,
+    /// Precision weights θ per level.
+    pub theta: Vec<f64>,
+    /// Allocator distribution `w`; empty if θ was degenerate.
+    pub weights: Vec<f64>,
+}
+
+/// Aggregate timing for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStats {
+    /// Number of closed spans.
+    pub count: usize,
+    /// Summed duration in clock seconds.
+    pub total: f64,
+    /// Longest single span.
+    pub max: f64,
+}
+
+/// Everything `trace-report` needs, folded out of an event log.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Total records consumed.
+    pub n_records: usize,
+    /// Timestamp of the last record, in log time.
+    pub end_time: f64,
+    /// Trial flow per resource level.
+    pub levels: BTreeMap<usize, LevelFlow>,
+    /// Promotions per bracket, keyed by (bracket, promoted-to level).
+    pub promotions: BTreeMap<(usize, usize), usize>,
+    /// D-ASHA delay events per bracket.
+    pub delays: BTreeMap<usize, usize>,
+    /// Bracket-weight trajectory, in log order.
+    pub weight_rounds: Vec<WeightRound>,
+    /// Surrogate fits per level.
+    pub surrogate_fits: BTreeMap<usize, usize>,
+    /// Acquisition-maximization runs.
+    pub surrogate_predicts: usize,
+    /// Span timing per span name.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Injected faults per fault tag.
+    pub faults: BTreeMap<&'static str, usize>,
+    /// Checkpoints written.
+    pub checkpoints: usize,
+}
+
+impl TraceSummary {
+    /// Folds an event log into a summary.
+    pub fn from_records(records: &[EventRecord]) -> Self {
+        let mut s = TraceSummary {
+            n_records: records.len(),
+            ..Default::default()
+        };
+        for rec in records {
+            s.end_time = s.end_time.max(rec.time);
+            match &rec.event {
+                Event::TrialDispatched { level, .. } => {
+                    s.levels.entry(*level).or_default().dispatched += 1;
+                }
+                Event::TrialCompleted { level, .. } => {
+                    s.levels.entry(*level).or_default().completed += 1;
+                }
+                Event::TrialRetried { level, .. } => {
+                    s.levels.entry(*level).or_default().retried += 1;
+                }
+                Event::TrialQuarantined { level, .. } => {
+                    s.levels.entry(*level).or_default().quarantined += 1;
+                }
+                Event::PromotionMade { bracket, to_level } => {
+                    *s.promotions.entry((*bracket, *to_level)).or_default() += 1;
+                }
+                Event::PromotionDelayed { bracket, .. } => {
+                    *s.delays.entry(*bracket).or_default() += 1;
+                }
+                Event::BracketWeightsUpdated {
+                    n_full,
+                    theta,
+                    weights,
+                } => {
+                    s.weight_rounds.push(WeightRound {
+                        time: rec.time,
+                        n_full: *n_full,
+                        theta: theta.clone(),
+                        weights: weights.clone(),
+                    });
+                }
+                Event::SurrogateFit { level, .. } => {
+                    *s.surrogate_fits.entry(*level).or_default() += 1;
+                }
+                Event::SurrogatePredict { .. } => s.surrogate_predicts += 1,
+                Event::CheckpointWritten { .. } => s.checkpoints += 1,
+                Event::FaultInjected { kind } => {
+                    *s.faults.entry(kind.tag()).or_default() += 1;
+                }
+                Event::SpanClosed { name, duration } => {
+                    let st = s.spans.entry(name.clone()).or_default();
+                    st.count += 1;
+                    st.total += duration;
+                    st.max = st.max.max(*duration);
+                }
+            }
+        }
+        s
+    }
+
+    /// Total promotions into `to_level`, across brackets.
+    pub fn promotions_to_level(&self, to_level: usize) -> usize {
+        self.promotions
+            .iter()
+            .filter(|((_, l), _)| *l == to_level)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Total promotions made by `bracket`.
+    pub fn promotions_by_bracket(&self, bracket: usize) -> usize {
+        self.promotions
+            .iter()
+            .filter(|((b, _), _)| *b == bracket)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Renders the human-readable report table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: {} events, log end time {:.3}",
+            self.n_records, self.end_time
+        );
+
+        let _ = writeln!(out, "\nper-level trial flow:");
+        let _ = writeln!(
+            out,
+            "  {:>5} {:>10} {:>10} {:>8} {:>12} {:>10}",
+            "level", "dispatched", "completed", "retried", "quarantined", "promoted→"
+        );
+        for (level, flow) in &self.levels {
+            let _ = writeln!(
+                out,
+                "  {:>5} {:>10} {:>10} {:>8} {:>12} {:>10}",
+                level,
+                flow.dispatched,
+                flow.completed,
+                flow.retried,
+                flow.quarantined,
+                self.promotions_to_level(*level)
+            );
+        }
+
+        if !self.promotions.is_empty() || !self.delays.is_empty() {
+            let _ = writeln!(out, "\npromotions by bracket:");
+            let brackets: std::collections::BTreeSet<usize> = self
+                .promotions
+                .keys()
+                .map(|&(b, _)| b)
+                .chain(self.delays.keys().copied())
+                .collect();
+            for b in brackets {
+                let _ = writeln!(
+                    out,
+                    "  bracket {}: {} promotions, {} delayed",
+                    b,
+                    self.promotions_by_bracket(b),
+                    self.delays.get(&b).copied().unwrap_or(0)
+                );
+            }
+        }
+
+        if !self.weight_rounds.is_empty() {
+            let _ = writeln!(out, "\nbracket-weight trajectory (w per round):");
+            let _ = writeln!(out, "  {:>10} {:>7}  weights", "time", "|D_K|");
+            for round in &self.weight_rounds {
+                let w = if round.weights.is_empty() {
+                    "(kept previous: θ degenerate)".to_string()
+                } else {
+                    round
+                        .weights
+                        .iter()
+                        .map(|x| format!("{x:.3}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                };
+                let _ = writeln!(out, "  {:>10.3} {:>7}  {}", round.time, round.n_full, w);
+            }
+        }
+
+        if !self.surrogate_fits.is_empty() || self.surrogate_predicts > 0 {
+            let _ = writeln!(out, "\nsurrogate activity:");
+            for (level, n) in &self.surrogate_fits {
+                let _ = writeln!(out, "  level {level}: {n} fits");
+            }
+            let _ = writeln!(out, "  acquisition runs: {}", self.surrogate_predicts);
+        }
+
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "\nspan timing (clock seconds):");
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>7} {:>12} {:>12} {:>12}",
+                "span", "count", "total", "mean", "max"
+            );
+            for (name, st) in &self.spans {
+                let mean = if st.count == 0 {
+                    0.0
+                } else {
+                    st.total / st.count as f64
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>7} {:>12.6} {:>12.6} {:>12.6}",
+                    name, st.count, st.total, mean, st.max
+                );
+            }
+        }
+
+        if !self.faults.is_empty() {
+            let _ = writeln!(out, "\nfaults injected:");
+            for (tag, n) in &self.faults {
+                let _ = writeln!(out, "  {tag}: {n}");
+            }
+        }
+        if self.checkpoints > 0 {
+            let _ = writeln!(out, "\ncheckpoints written: {}", self.checkpoints);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FailureKind, FaultKind};
+
+    fn rec(seq: u64, time: f64, event: Event) -> EventRecord {
+        EventRecord { seq, time, event }
+    }
+
+    fn sample_log() -> Vec<EventRecord> {
+        vec![
+            rec(
+                0,
+                0.0,
+                Event::TrialDispatched {
+                    level: 0,
+                    bracket: Some(0),
+                    attempt: 0,
+                },
+            ),
+            rec(
+                1,
+                0.0,
+                Event::FaultInjected {
+                    kind: FaultKind::Crash,
+                },
+            ),
+            rec(
+                2,
+                1.0,
+                Event::TrialRetried {
+                    level: 0,
+                    attempt: 1,
+                    kind: FailureKind::Crashed,
+                },
+            ),
+            rec(
+                3,
+                2.0,
+                Event::TrialCompleted {
+                    level: 0,
+                    bracket: Some(0),
+                    value: 0.3,
+                    cost: 1.0,
+                },
+            ),
+            rec(
+                4,
+                2.0,
+                Event::BracketWeightsUpdated {
+                    n_full: 1,
+                    theta: vec![0.6, 0.4],
+                    weights: vec![0.75, 0.25],
+                },
+            ),
+            rec(
+                5,
+                2.5,
+                Event::PromotionMade {
+                    bracket: 0,
+                    to_level: 1,
+                },
+            ),
+            rec(
+                6,
+                2.5,
+                Event::PromotionDelayed {
+                    bracket: 0,
+                    level: 1,
+                },
+            ),
+            rec(
+                7,
+                3.0,
+                Event::SpanClosed {
+                    name: "theta_refresh".into(),
+                    duration: 0.002,
+                },
+            ),
+            rec(
+                8,
+                3.0,
+                Event::SpanClosed {
+                    name: "theta_refresh".into(),
+                    duration: 0.004,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn summary_counts_match_log() {
+        let s = TraceSummary::from_records(&sample_log());
+        assert_eq!(s.n_records, 9);
+        assert_eq!(s.end_time, 3.0);
+        let l0 = s.levels[&0];
+        assert_eq!(l0.dispatched, 1);
+        assert_eq!(l0.completed, 1);
+        assert_eq!(l0.retried, 1);
+        assert_eq!(l0.quarantined, 0);
+        assert_eq!(s.promotions_to_level(1), 1);
+        assert_eq!(s.promotions_by_bracket(0), 1);
+        assert_eq!(s.delays[&0], 1);
+        assert_eq!(s.weight_rounds.len(), 1);
+        assert_eq!(s.weight_rounds[0].n_full, 1);
+        assert_eq!(s.faults["crash"], 1);
+        let span = s.spans["theta_refresh"];
+        assert_eq!(span.count, 2);
+        assert!((span.total - 0.006).abs() < 1e-12);
+        assert_eq!(span.max, 0.004);
+    }
+
+    #[test]
+    fn render_mentions_each_section() {
+        let text = TraceSummary::from_records(&sample_log()).render();
+        for needle in [
+            "per-level trial flow",
+            "promotions by bracket",
+            "bracket-weight trajectory",
+            "span timing",
+            "faults injected",
+            "theta_refresh",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn jsonl_file_round_trip() {
+        let dir = std::env::temp_dir().join("hypertune-telemetry-replay-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.jsonl");
+        {
+            let sink = crate::sink::JsonlSink::create(&path).unwrap();
+            use crate::sink::EventSink;
+            for r in sample_log() {
+                sink.record(&r);
+            }
+        }
+        let back = read_jsonl(&path).unwrap();
+        assert_eq!(back, sample_log());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        let dir = std::env::temp_dir().join("hypertune-telemetry-replay-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.jsonl");
+        std::fs::write(&path, "{\"seq\": 0\n").unwrap();
+        assert!(read_jsonl(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

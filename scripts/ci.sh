@@ -36,4 +36,9 @@ step "robustness smoke (fault-rate sweep)"
 HYPERTUNE_BUDGET_DIV=96 cargo run --release -q -p hypertune-bench \
   --offline --bin robustness
 
+step "trace-report smoke (telemetry end-to-end)"
+cargo run --release -q -p hypertune-bench --offline --bin trace-report -- \
+  --demo target/trace-smoke.jsonl > target/trace-smoke.out
+grep -q "bracket-weight trajectory" target/trace-smoke.out
+
 step "OK"
