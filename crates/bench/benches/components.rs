@@ -57,6 +57,7 @@ fn bench_acquisition(c: &mut Criterion) {
     rf.fit(&xs, &ys).unwrap();
     let mut rng = StdRng::seed_from_u64(1);
     let incumbents: Vec<Config> = (0..5).map(|_| space.sample(&mut rng)).collect();
+    let incumbent_refs: Vec<&Config> = incumbents.iter().collect();
     c.bench_function("acquisition_maximize_d9", |b| {
         b.iter(|| {
             maximize(
@@ -64,7 +65,7 @@ fn bench_acquisition(c: &mut Criterion) {
                 &rf,
                 Acquisition::default(),
                 0.0,
-                &incumbents,
+                &incumbent_refs,
                 &MaximizeConfig::default(),
                 &mut rng,
             )

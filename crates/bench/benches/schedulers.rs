@@ -4,7 +4,10 @@
 //! run of the kind the figure binaries aggregate.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use hypertune::core::{JobSpec, Measurement, MethodContext};
 use hypertune::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::time::Duration;
 
 fn one_run(kind: MethodKind, bench: &dyn Benchmark, budget: f64, seed: u64) -> f64 {
@@ -59,5 +62,107 @@ fn bench_model_based_runs(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_scheduler_families, bench_model_based_runs);
+/// A mid-run observation set for the dispatch benches: enough points at
+/// every fidelity level that the model-based samplers actually fit their
+/// surrogates instead of falling back to random search.
+fn dispatch_history(space: &ConfigSpace, levels: &ResourceLevels, n: usize) -> History {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut history = History::new(levels.clone());
+    for i in 0..n {
+        let level = [0, 0, 0, 0, 1, 1, 2, 3][i % 8];
+        let config = space.sample(&mut rng);
+        let enc = space.encode(&config);
+        let value = enc.iter().sum::<f64>() / enc.len() as f64 + 0.01 * level as f64;
+        history.record(Measurement {
+            config,
+            level,
+            resource: levels.resource(level),
+            value,
+            test_value: value,
+            cost: 1.0,
+            finished_at: i as f64,
+        });
+    }
+    history
+}
+
+fn bench_dispatch_latency(c: &mut Criterion) {
+    // The cost a driver pays to fill k idle workers. Sequential: k
+    // `next_job` calls, each dispatched job joining `pending` exactly as
+    // in the runners — which changes the pending fingerprint and forces a
+    // surrogate refit on the next call. Batched: one `next_jobs(_, k)`
+    // call, which fits once and extends the batch with constant-liar
+    // updates. The method is rebuilt every iteration so neither side
+    // amortizes model fits across iterations.
+    let space = ConfigSpace::builder()
+        .float("a", 0.0, 1.0)
+        .float("b", 0.0, 1.0)
+        .float("c", 0.0, 1.0)
+        .float("d", 0.0, 1.0)
+        .float("e", 0.0, 1.0)
+        .float("f", 0.0, 1.0)
+        .build();
+    let levels = ResourceLevels::new(27.0, 3);
+    let history = dispatch_history(&space, &levels, 240);
+    let mut g = c.benchmark_group("dispatch_latency");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for kind in [MethodKind::HyperTune, MethodKind::ABo] {
+        let name = kind.name().replace(' ', "_");
+        for &k in &[8usize, 32, 128] {
+            g.bench_function(format!("{name}_seq_w{k}"), |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut method = kind.build(&levels, seed);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut pending: Vec<JobSpec> = Vec::new();
+                    while pending.len() < k {
+                        let mut ctx = MethodContext {
+                            space: &space,
+                            levels: &levels,
+                            history: &history,
+                            pending: &pending,
+                            rng: &mut rng,
+                            n_workers: k,
+                            now: 0.0,
+                        };
+                        match method.next_job(&mut ctx) {
+                            Some(job) => pending.push(job),
+                            None => break,
+                        }
+                    }
+                    pending.len()
+                })
+            });
+            g.bench_function(format!("{name}_batch_w{k}"), |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut method = kind.build(&levels, seed);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut ctx = MethodContext {
+                        space: &space,
+                        levels: &levels,
+                        history: &history,
+                        pending: &[],
+                        rng: &mut rng,
+                        n_workers: k,
+                        now: 0.0,
+                    };
+                    method.next_jobs(&mut ctx, k).len()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler_families,
+    bench_model_based_runs,
+    bench_dispatch_latency
+);
 criterion_main!(benches);

@@ -117,6 +117,7 @@ impl Method for ABoWith {
             level,
             resource: ctx.levels.resource(level),
             bracket: None,
+            id: 0,
         })
     }
 

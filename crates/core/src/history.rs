@@ -129,19 +129,45 @@ impl History {
         self.incumbent_full().or_else(|| self.incumbent_any())
     }
 
-    /// The `n` best configurations at `level` (ascending value), used to
-    /// seed local acquisition search.
-    pub fn top_configs(&self, level: usize, n: usize) -> Vec<Config> {
-        let mut idx: Vec<usize> = (0..self.groups[level].len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.groups[level][a]
-                .value
-                .partial_cmp(&self.groups[level][b].value)
+    /// Indices (into [`History::group`]) of the `n` best measurements at
+    /// `level`, ascending by value. A full sort of the level would be
+    /// `O(m log m)` per call on the dispatch hot path; a partial select +
+    /// sort of the winning prefix is `O(m + n log n)`.
+    pub fn top_indices(&self, level: usize, n: usize) -> Vec<usize> {
+        let g = &self.groups[level];
+        let mut idx: Vec<usize> = (0..g.len()).collect();
+        // Ties break by insertion order, matching what a stable full sort
+        // would return — callers depend on this for reproducibility.
+        let by_value = |&a: &usize, &b: &usize| {
+            g[a].value
+                .partial_cmp(&g[b].value)
                 .expect("values are finite")
-        });
-        idx.into_iter()
-            .take(n)
-            .map(|i| self.groups[level][i].config.clone())
+                .then(a.cmp(&b))
+        };
+        if n < idx.len() {
+            idx.select_nth_unstable_by(n, by_value);
+            idx.truncate(n);
+        }
+        idx.sort_by(by_value);
+        idx
+    }
+
+    /// The `n` best configurations at `level` (ascending value), borrowed
+    /// from the store — used to seed local acquisition search without
+    /// cloning every `Config` on each call.
+    pub fn top_configs_ref(&self, level: usize, n: usize) -> Vec<&Config> {
+        self.top_indices(level, n)
+            .into_iter()
+            .map(|i| &self.groups[level][i].config)
+            .collect()
+    }
+
+    /// Cloning variant of [`History::top_configs_ref`], for callers that
+    /// need owned configurations.
+    pub fn top_configs(&self, level: usize, n: usize) -> Vec<Config> {
+        self.top_configs_ref(level, n)
+            .into_iter()
+            .cloned()
             .collect()
     }
 

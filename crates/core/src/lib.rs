@@ -60,6 +60,7 @@ pub mod lce;
 pub mod levels;
 pub mod method;
 pub mod methods;
+pub(crate) mod pending;
 pub mod persist;
 pub mod ranking;
 pub mod runner;

@@ -27,6 +27,11 @@ pub struct JobSpec {
     /// Bracket the job belongs to, when applicable (used for traces and
     /// per-bracket bookkeeping).
     pub bracket: Option<usize>,
+    /// Dispatch id assigned by the runner (monotone per run, `0` until
+    /// dispatched). Keys the runner's pending-set so completions resolve
+    /// by id instead of comparing `Config`s (float equality footgun).
+    #[serde(default)]
+    pub id: u64,
 }
 
 /// Whether an evaluation produced a usable result.
@@ -96,7 +101,11 @@ pub struct MethodContext<'a> {
 }
 
 /// A tuning algorithm (Hyper-Tune itself or any baseline).
-pub trait Method {
+///
+/// `Send` is required so the threaded runner can hand the method to its
+/// background suggestion thread (prefetch); methods hold only owned state,
+/// seeded RNGs, and thread-safe telemetry handles, so this is free.
+pub trait Method: Send {
     /// Display name used in reports (e.g. `"BOHB"`).
     fn name(&self) -> &str;
 
@@ -107,6 +116,31 @@ pub trait Method {
     /// method must return `Some`, otherwise the run would deadlock; the
     /// runner enforces this with a panic.
     fn next_job(&mut self, ctx: &mut MethodContext<'_>) -> Option<JobSpec>;
+
+    /// Produces up to `k` jobs for a batch of idle workers.
+    ///
+    /// The default simply loops [`Method::next_job`], stopping at the
+    /// first barrier (`None`). Model-based methods override this to fit
+    /// their surrogate **once** and draw all `k` candidates from a single
+    /// acquisition round with constant-liar pending-imputation, which is
+    /// what takes the per-worker fit cost off the dispatch critical path.
+    ///
+    /// Contract: `next_jobs(ctx, 1)` must be *bit-identical* to
+    /// `next_job(ctx)` (same RNG consumption, same caches) — the sim
+    /// runner relies on this to keep paper-figure runs reproducible.
+    /// Note the jobs in the returned batch are **not** in `ctx.pending`
+    /// yet; overrides that impute pending configs must treat already-drawn
+    /// batch members as pending themselves (the constant liar).
+    fn next_jobs(&mut self, ctx: &mut MethodContext<'_>, k: usize) -> Vec<JobSpec> {
+        let mut jobs = Vec::with_capacity(k);
+        while jobs.len() < k {
+            match self.next_job(ctx) {
+                Some(job) => jobs.push(job),
+                None => break,
+            }
+        }
+        jobs
+    }
 
     /// Notifies the method of a completed evaluation. The measurement is
     /// already in `ctx.history`.
@@ -131,6 +165,7 @@ mod tests {
             level: 2,
             resource: 9.0,
             bracket: Some(1),
+            id: 0,
         };
         assert_eq!(j.bracket, Some(1));
         let o = Outcome {
@@ -154,6 +189,7 @@ mod tests {
                 level: 0,
                 resource: 1.0,
                 bracket: None,
+                id: 0,
             },
             value: f64::INFINITY,
             test_value: f64::INFINITY,

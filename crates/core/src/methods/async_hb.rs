@@ -103,16 +103,10 @@ impl AsyncHb {
     pub fn theta(&self) -> Option<&[f64]> {
         self.theta.theta()
     }
-}
 
-impl Method for AsyncHb {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn next_job(&mut self, ctx: &mut MethodContext<'_>) -> Option<JobSpec> {
-        // Step 4 of Figure 3: refresh θ from the multi-fidelity history
-        // and push it into both the allocator and the MFES sampler.
+    /// Step 4 of Figure 3: refresh θ from the multi-fidelity history and
+    /// push it into both the allocator and the MFES sampler.
+    fn refresh_theta(&mut self, ctx: &MethodContext<'_>) {
         let refresh_span = self.telemetry.span("theta_refresh");
         if let Some(theta) = self.theta.maybe_refresh(ctx.history, ctx.space) {
             drop(refresh_span);
@@ -138,8 +132,11 @@ impl Method for AsyncHb {
             // Cadence said "not yet": nothing fitted, nothing to time.
             refresh_span.cancel();
         }
+    }
 
-        // Promotions first (Algorithm 1, lines 5–12).
+    /// Promotions first (Algorithm 1, lines 5–12): the first bracket with
+    /// a promotable rung yields the job.
+    fn try_promotion(&mut self, ctx: &MethodContext<'_>) -> Option<JobSpec> {
         for (b, bracket) in self.brackets.iter_mut().enumerate() {
             let promotion = if self.telemetry.is_enabled() {
                 let mut delayed = Vec::new();
@@ -163,8 +160,24 @@ impl Method for AsyncHb {
                     level,
                     resource: ctx.levels.resource(level),
                     bracket: Some(b),
+                    id: 0,
                 });
             }
+        }
+        None
+    }
+}
+
+impl Method for AsyncHb {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_job(&mut self, ctx: &mut MethodContext<'_>) -> Option<JobSpec> {
+        self.refresh_theta(ctx);
+
+        if let Some(job) = self.try_promotion(ctx) {
+            return Some(job);
         }
 
         // No promotion possible: sample a new configuration at the base
@@ -179,7 +192,47 @@ impl Method for AsyncHb {
             level,
             resource: ctx.levels.resource(level),
             bracket: Some(b),
+            id: 0,
         })
+    }
+
+    /// Batch dispatch: one θ refresh, promotions drained first (they cost
+    /// no sampler work), then all remaining slots filled from a single
+    /// [`Sampler::sample_batch`] round — so `k` idle workers trigger one
+    /// surrogate fit instead of up to `k`.
+    fn next_jobs(&mut self, ctx: &mut MethodContext<'_>, k: usize) -> Vec<JobSpec> {
+        if k <= 1 {
+            // Must stay bit-identical to the sequential path.
+            return (0..k).filter_map(|_| self.next_job(ctx)).collect();
+        }
+        self.refresh_theta(ctx);
+        let mut jobs = Vec::with_capacity(k);
+        while jobs.len() < k {
+            match self.try_promotion(ctx) {
+                Some(job) => jobs.push(job),
+                None => break,
+            }
+        }
+        let m = k - jobs.len();
+        if m > 0 {
+            let chosen: Vec<usize> = (0..m).map(|_| self.policy.select(ctx.rng)).collect();
+            for &b in &chosen {
+                self.diagnostics.record_start(b);
+            }
+            let configs = self.sampler.sample_batch(ctx, m);
+            for (&b, config) in chosen.iter().zip(configs) {
+                self.brackets[b].add_base_job();
+                let level = self.brackets[b].base_level();
+                jobs.push(JobSpec {
+                    config,
+                    level,
+                    resource: ctx.levels.resource(level),
+                    bracket: Some(b),
+                    id: 0,
+                });
+            }
+        }
+        jobs
     }
 
     fn on_result(&mut self, outcome: &Outcome, _ctx: &mut MethodContext<'_>) {

@@ -55,6 +55,7 @@ impl Method for LceStop {
                 level,
                 resource: ctx.levels.resource(level),
                 bracket: None,
+                id: 0,
             });
         }
         let config = self.sampler.sample(ctx);
@@ -63,6 +64,7 @@ impl Method for LceStop {
             level: 0,
             resource: ctx.levels.resource(0),
             bracket: None,
+            id: 0,
         })
     }
 

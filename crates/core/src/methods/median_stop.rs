@@ -53,6 +53,7 @@ impl Method for MedianStop {
                 level,
                 resource: ctx.levels.resource(level),
                 bracket: None,
+                id: 0,
             });
         }
         // Otherwise start a fresh configuration at the base level.
@@ -62,6 +63,7 @@ impl Method for MedianStop {
             level: 0,
             resource: ctx.levels.resource(0),
             bracket: None,
+            id: 0,
         })
     }
 
@@ -224,6 +226,7 @@ mod tests {
             level: 3,
             resource: 27.0,
             bracket: None,
+            id: 0,
         };
         finish(&mut m, &mut env, j, 0.0);
         assert!(m.ready_to_climb.is_empty());

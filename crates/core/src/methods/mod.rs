@@ -127,6 +127,37 @@ impl MethodKind {
         )
     }
 
+    /// Every variant, in declaration order — the full sweep the
+    /// determinism and batch-contract tests iterate over.
+    pub fn all() -> &'static [MethodKind] {
+        &[
+            MethodKind::ARandom,
+            MethodKind::BatchBo,
+            MethodKind::ABo,
+            MethodKind::Sha,
+            MethodKind::Asha,
+            MethodKind::Hyperband,
+            MethodKind::AHyperband,
+            MethodKind::Bohb,
+            MethodKind::ABohb,
+            MethodKind::MfesHb,
+            MethodKind::ARea,
+            MethodKind::HyperTune,
+            MethodKind::HyperTuneNoBs,
+            MethodKind::HyperTuneNoDasha,
+            MethodKind::HyperTuneNoMfes,
+            MethodKind::AshaDasha,
+            MethodKind::AHyperbandDasha,
+            MethodKind::ABohbDasha,
+            MethodKind::AHyperbandBs,
+            MethodKind::ABohbBs,
+            MethodKind::BohbTpe,
+            MethodKind::HyperTuneTpe,
+            MethodKind::MedianStop,
+            MethodKind::LceStop,
+        ]
+    }
+
     /// The ten baselines of §5.1 plus A-REA, in the paper's order.
     pub fn baselines() -> &'static [MethodKind] {
         &[

@@ -20,6 +20,7 @@ fn full_fidelity_job(config: Config, ctx: &MethodContext<'_>) -> JobSpec {
         level,
         resource: ctx.levels.resource(level),
         bracket: None,
+        id: 0,
     }
 }
 
@@ -88,6 +89,31 @@ impl Method for BatchBo {
         Some(full_fidelity_job(config, ctx))
     }
 
+    /// Batch dispatch: the whole remaining batch quota comes from one
+    /// [`Sampler::sample_batch`] round (one fit), the barrier semantics
+    /// are unchanged — returning fewer than `k` jobs leaves the rest of
+    /// the workers idle until the batch completes.
+    fn next_jobs(&mut self, ctx: &mut MethodContext<'_>, k: usize) -> Vec<JobSpec> {
+        if k <= 1 {
+            // Must stay bit-identical to the sequential path.
+            return (0..k).filter_map(|_| self.next_job(ctx)).collect();
+        }
+        if self.remaining_in_batch == 0 {
+            if self.outstanding > 0 {
+                return Vec::new();
+            }
+            self.remaining_in_batch = ctx.n_workers.max(1);
+        }
+        let take = k.min(self.remaining_in_batch);
+        let configs = self.sampler.sample_batch(ctx, take);
+        self.remaining_in_batch -= take;
+        self.outstanding += take;
+        configs
+            .into_iter()
+            .map(|config| full_fidelity_job(config, ctx))
+            .collect()
+    }
+
     fn on_result(&mut self, _outcome: &Outcome, _ctx: &mut MethodContext<'_>) {
         debug_assert!(self.outstanding > 0);
         self.outstanding = self.outstanding.saturating_sub(1);
@@ -117,6 +143,19 @@ impl Method for ABo {
     fn next_job(&mut self, ctx: &mut MethodContext<'_>) -> Option<JobSpec> {
         let config = self.sampler.sample(ctx);
         Some(full_fidelity_job(config, ctx))
+    }
+
+    /// Batch dispatch: one fit, `k` constant-liar draws.
+    fn next_jobs(&mut self, ctx: &mut MethodContext<'_>, k: usize) -> Vec<JobSpec> {
+        if k <= 1 {
+            // Must stay bit-identical to the sequential path.
+            return (0..k).filter_map(|_| self.next_job(ctx)).collect();
+        }
+        self.sampler
+            .sample_batch(ctx, k)
+            .into_iter()
+            .map(|config| full_fidelity_job(config, ctx))
+            .collect()
     }
 
     fn on_result(&mut self, _outcome: &Outcome, _ctx: &mut MethodContext<'_>) {}

@@ -92,10 +92,49 @@ impl Method for SyncHb {
                 level,
                 resource: ctx.levels.resource(level),
                 bracket: Some(self.bracket.base_level()),
+                id: 0,
             }),
             // Barrier: rung in flight, wait for stragglers.
             None => None,
         }
+    }
+
+    /// Batch dispatch: the whole rung fill comes from one
+    /// [`Sampler::sample_batch`] round (one fit for up to `R` configs
+    /// instead of one per config), then jobs are popped until `k` are out
+    /// or the rung barrier is hit.
+    fn next_jobs(&mut self, ctx: &mut MethodContext<'_>, k: usize) -> Vec<JobSpec> {
+        if k <= 1 {
+            // Must stay bit-identical to the sequential path.
+            return (0..k).filter_map(|_| self.next_job(ctx)).collect();
+        }
+        if let Some(theta) = self.theta.maybe_refresh(ctx.history, ctx.space) {
+            self.sampler.set_theta(&theta);
+        }
+        if self.bracket.is_done() {
+            self.advance_bracket(ctx.levels);
+        }
+        let need = self.bracket.needs_configs();
+        if need > 0 {
+            for config in self.sampler.sample_batch(ctx, need) {
+                self.bracket.add_config(config);
+            }
+        }
+        let mut jobs = Vec::with_capacity(k);
+        while jobs.len() < k {
+            match self.bracket.next_job() {
+                Some((config, level)) => jobs.push(JobSpec {
+                    config,
+                    level,
+                    resource: ctx.levels.resource(level),
+                    bracket: Some(self.bracket.base_level()),
+                    id: 0,
+                }),
+                // Barrier: rung in flight, wait for stragglers.
+                None => break,
+            }
+        }
+        jobs
     }
 
     fn on_result(&mut self, outcome: &Outcome, _ctx: &mut MethodContext<'_>) {

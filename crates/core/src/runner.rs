@@ -46,6 +46,7 @@ use crate::diagnostics::{failure_kind, FailureCounts};
 use crate::history::{History, Measurement};
 use crate::levels::ResourceLevels;
 use crate::method::{JobSpec, Method, MethodContext, Outcome, OutcomeStatus};
+use crate::pending::PendingSet;
 use crate::persist::{RunSnapshot, SubmissionRecord};
 
 /// Bounded-retry policy for failed jobs.
@@ -363,7 +364,8 @@ fn run_impl(
     let telemetry = &config.telemetry;
     cluster.set_telemetry(telemetry.clone());
     method.set_telemetry(telemetry.clone());
-    let mut pending: Vec<JobSpec> = Vec::new();
+    let mut pending = PendingSet::new();
+    let mut next_job_id: u64 = 1;
     let mut curve: Vec<CurvePoint> = Vec::new();
     let mut evals_per_level = vec![0usize; levels.k()];
     let mut measurements: Vec<Measurement> = Vec::new();
@@ -381,19 +383,25 @@ fn run_impl(
                 space,
                 levels: &levels,
                 history: &history,
-                pending: &pending,
+                pending: pending.as_slice(),
                 rng: &mut rng,
                 n_workers: config.n_workers,
                 now: cluster.now(),
             };
+            // The sim runner dispatches through the batch API with k = 1:
+            // bit-identical to the sequential `next_job` path (the paper
+            // figures depend on that), while sharing the runner-facing
+            // contract with the threaded runner's real batching.
             let next = {
                 let step = telemetry.span("scheduler_step");
-                let next = method.next_job(&mut ctx);
+                let next = method.next_jobs(&mut ctx, 1).pop();
                 drop(step);
                 next
             };
             match next {
-                Some(spec) => {
+                Some(mut spec) => {
+                    spec.id = next_job_id;
+                    next_job_id += 1;
                     // Replay: the recorded result substitutes for the
                     // evaluation, after checking the method issued the
                     // same dispatch it did originally.
@@ -451,7 +459,7 @@ fn run_impl(
                             label,
                         )
                         .expect("idle worker was available");
-                    pending.push(spec);
+                    pending.insert(spec);
                 }
                 None => {
                     assert!(
@@ -509,11 +517,7 @@ fn run_impl(
                 kind: failure_kind(done.status).expect("status is a failure"),
             });
             telemetry.counter_add("trials.quarantined", 1);
-            let slot = pending
-                .iter()
-                .position(|p| *p == job.spec)
-                .expect("quarantined job was pending");
-            pending.swap_remove(slot);
+            pending.remove(&job.spec);
             let outcome = Outcome {
                 spec: job.spec,
                 value: f64::INFINITY,
@@ -527,7 +531,7 @@ fn run_impl(
                 space,
                 levels: &levels,
                 history: &history,
-                pending: &pending,
+                pending: pending.as_slice(),
                 rng: &mut rng,
                 n_workers: config.n_workers,
                 now: cluster.now(),
@@ -541,11 +545,7 @@ fn run_impl(
             test_value,
             ..
         } = job;
-        let slot = pending
-            .iter()
-            .position(|p| *p == spec)
-            .expect("completed job was pending");
-        pending.swap_remove(slot);
+        pending.remove(&spec);
         evals_per_level[spec.level] += 1;
         telemetry.emit_with(done.finished, || Event::TrialCompleted {
             level: spec.level,
@@ -606,7 +606,7 @@ fn run_impl(
             space,
             levels: &levels,
             history: &history,
-            pending: &pending,
+            pending: pending.as_slice(),
             rng: &mut rng,
             n_workers: config.n_workers,
             now: cluster.now(),

@@ -9,6 +9,31 @@
 //! is the point — the paper's framework separates scheduling policy from
 //! execution substrate.
 //!
+//! # Pipelined dispatch
+//!
+//! Two things keep workers from idling on the surrogate here:
+//!
+//! 1. **Batch suggestion.** Idle workers are filled with *one*
+//!    [`Method::next_jobs`] call per round, so a method that fits a
+//!    surrogate pays one fit for the whole batch instead of one per
+//!    worker.
+//! 2. **Suggestion prefetch** ([`ThreadedRunConfig::prefetch`], on by
+//!    default). The method runs on a dedicated suggestion thread that
+//!    receives every completion over a FIFO channel and *speculatively*
+//!    computes the batch the driver is expected to demand next, against a
+//!    cloned RNG. Each speculation is tagged with the history version
+//!    (total measurement count plus the pending-set fingerprint) it was
+//!    computed at; a demand takes the prefetched batch only if that
+//!    version still matches and the demanded batch size equals the
+//!    speculated one — otherwise the batch is discarded and recomputed
+//!    synchronously. Hits adopt the clone's RNG state, so the method's
+//!    random stream is exactly what on-demand suggestion would have
+//!    drawn: prefetch changes *when* suggestions are computed, never
+//!    *what* they are. Hit/miss/discard counts surface as the
+//!    `prefetch.hit` / `prefetch.miss` / `prefetch.discarded` telemetry
+//!    counters, and every suggestion round runs under a `suggest_batch`
+//!    span.
+//!
 //! Fault tolerance mirrors the simulator's: with
 //! [`ThreadedRunConfig::faults`] set, the pool marks jobs crashed /
 //! errored / corrupt (drawn deterministically in submission order) and
@@ -18,12 +43,13 @@
 //! here: a real scheduler's requeue delay is wall-clock, which this
 //! runner does not model.
 
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
 use hypertune_benchmarks::{Benchmark, Eval};
 use hypertune_cluster::{FaultModel, FaultSpec, ThreadPool};
-use hypertune_space::Config;
+use hypertune_space::{Config, ConfigSpace};
 use hypertune_telemetry::{Event, TelemetryHandle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,7 +58,9 @@ use crate::diagnostics::{failure_kind, FailureCounts};
 use crate::history::{History, Measurement};
 use crate::levels::ResourceLevels;
 use crate::method::{JobSpec, Method, MethodContext, Outcome, OutcomeStatus};
+use crate::pending::PendingSet;
 use crate::runner::RetryPolicy;
+use crate::sampler::pending_fingerprint;
 
 /// Parameters for a threaded run. Budgets are counted in evaluations
 /// (wall-clock budgets belong to the caller's deployment logic).
@@ -51,6 +79,11 @@ pub struct ThreadedRunConfig {
     /// Retry policy for failed jobs (backoff fields are ignored — see
     /// the module docs).
     pub retry: RetryPolicy,
+    /// Run the method on a dedicated suggestion thread and prefetch the
+    /// next batch off the critical path (see the module docs). Off, the
+    /// driver calls the method inline, like the simulator. Either way the
+    /// suggestion stream is identical; this only moves the computation.
+    pub prefetch: bool,
     /// Telemetry pipeline; disabled by default. Events are stamped with
     /// wall seconds since the run started (this substrate has no virtual
     /// clock).
@@ -58,7 +91,8 @@ pub struct ThreadedRunConfig {
 }
 
 impl ThreadedRunConfig {
-    /// A config with the paper's default η = 3 and no faults.
+    /// A config with the paper's default η = 3, no faults, and prefetch
+    /// enabled.
     pub fn new(n_workers: usize, max_evals: usize, seed: u64) -> Self {
         Self {
             n_workers,
@@ -67,6 +101,7 @@ impl ThreadedRunConfig {
             eta: 3,
             faults: None,
             retry: RetryPolicy::default_policy(),
+            prefetch: true,
             telemetry: TelemetryHandle::disabled(),
         }
     }
@@ -104,10 +139,161 @@ pub struct ThreadedRunResult {
 }
 
 /// The pool payload: a job spec plus its retry attempt counter.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 struct ThreadedJob {
     spec: JobSpec,
     attempt: usize,
+}
+
+/// Driver → suggestion-thread protocol. Strictly FIFO: every state
+/// change is sent before the demand that depends on it, so the
+/// suggestion thread's view of the run always equals the driver's at the
+/// moment a demand is served. The version tag on speculations (below) is
+/// the belt-and-braces check that this holds.
+enum ToSuggester {
+    /// A job left the in-flight set. Apply the outcome (and the
+    /// measurement, for successes), then — when `predicted_k > 0` —
+    /// speculatively compute the batch the driver is expected to demand
+    /// next.
+    Completed {
+        outcome: Outcome,
+        measurement: Option<Measurement>,
+        predicted_k: usize,
+        now: f64,
+    },
+    /// The driver has idle workers and wants a batch of `k` jobs now.
+    Demand { k: usize, now: f64 },
+}
+
+/// A batch computed ahead of demand, valid only for the exact history
+/// version and batch size it was computed against.
+struct Speculation {
+    k: usize,
+    version: (usize, u64),
+    batch: Vec<JobSpec>,
+    /// RNG state after drawing the batch — adopted on a hit so the
+    /// method's random stream is exactly what on-demand suggestion would
+    /// have produced.
+    rng_after: StdRng,
+}
+
+/// The suggestion thread's state: it owns the method, the history, the
+/// pending mirror, and the RNG; the driver owns the pool and talks to it
+/// only through [`ToSuggester`].
+struct Suggester<'a> {
+    method: &'a mut dyn Method,
+    space: &'a ConfigSpace,
+    levels: &'a ResourceLevels,
+    history: History,
+    pending: PendingSet,
+    rng: StdRng,
+    n_workers: usize,
+    telemetry: TelemetryHandle,
+    next_job_id: u64,
+    speculation: Option<Speculation>,
+}
+
+impl Suggester<'_> {
+    fn version(&self) -> (usize, u64) {
+        (
+            self.history.len(),
+            pending_fingerprint(self.space, self.pending.as_slice()),
+        )
+    }
+
+    /// Runs one suggestion round against the live RNG.
+    fn compute(&mut self, k: usize, now: f64) -> Vec<JobSpec> {
+        let mut ctx = MethodContext {
+            space: self.space,
+            levels: self.levels,
+            history: &self.history,
+            pending: self.pending.as_slice(),
+            rng: &mut self.rng,
+            n_workers: self.n_workers,
+            now,
+        };
+        let span = self.telemetry.span("suggest_batch");
+        let batch = self.method.next_jobs(&mut ctx, k);
+        drop(span);
+        batch
+    }
+
+    /// Runs one suggestion round against a *cloned* RNG and stashes the
+    /// result; the clone's state is adopted only if the speculation hits.
+    fn speculate(&mut self, k: usize, now: f64) {
+        let version = self.version();
+        let mut rng = self.rng.clone();
+        let mut ctx = MethodContext {
+            space: self.space,
+            levels: self.levels,
+            history: &self.history,
+            pending: self.pending.as_slice(),
+            rng: &mut rng,
+            n_workers: self.n_workers,
+            now,
+        };
+        let span = self.telemetry.span("suggest_batch");
+        let batch = self.method.next_jobs(&mut ctx, k);
+        drop(span);
+        self.speculation = Some(Speculation {
+            k,
+            version,
+            batch,
+            rng_after: rng,
+        });
+    }
+
+    fn on_completed(
+        &mut self,
+        outcome: Outcome,
+        measurement: Option<Measurement>,
+        predicted_k: usize,
+        now: f64,
+    ) {
+        // Any outstanding speculation predates this state change.
+        self.speculation = None;
+        self.pending.remove(&outcome.spec);
+        if let Some(m) = measurement {
+            self.history.record(m);
+        }
+        let mut ctx = MethodContext {
+            space: self.space,
+            levels: self.levels,
+            history: &self.history,
+            pending: self.pending.as_slice(),
+            rng: &mut self.rng,
+            n_workers: self.n_workers,
+            now,
+        };
+        self.method.on_result(&outcome, &mut ctx);
+        if predicted_k > 0 {
+            self.speculate(predicted_k, now);
+        }
+    }
+
+    fn on_demand(&mut self, k: usize, now: f64) -> Vec<JobSpec> {
+        let mut batch = match self.speculation.take() {
+            Some(s) if s.k == k && s.version == self.version() => {
+                self.telemetry.counter_add("prefetch.hit", 1);
+                self.rng = s.rng_after;
+                s.batch
+            }
+            Some(_) => {
+                self.telemetry.counter_add("prefetch.discarded", 1);
+                self.compute(k, now)
+            }
+            None => {
+                self.telemetry.counter_add("prefetch.miss", 1);
+                self.compute(k, now)
+            }
+        };
+        for job in &mut batch {
+            job.id = self.next_job_id;
+            self.next_job_id += 1;
+            self.pending.insert(job.clone());
+        }
+        batch
+    }
 }
 
 /// Runs `method` against `benchmark` on `config.n_workers` OS threads.
@@ -118,12 +304,6 @@ pub fn run_threaded(
 ) -> ThreadedRunResult {
     assert!(config.n_workers > 0 && config.max_evals > 0);
     let levels = ResourceLevels::new(benchmark.max_resource(), config.eta);
-    let mut history = History::new(levels.clone());
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut pending: Vec<JobSpec> = Vec::new();
-    let mut evals_per_level = vec![0usize; levels.k()];
-    let mut measurements = Vec::new();
-    let started = Instant::now();
 
     let bench_for_pool = Arc::clone(&benchmark);
     let seed = config.seed;
@@ -134,14 +314,73 @@ pub fn run_threaded(
     if let Some(spec) = config.faults {
         pool = pool.with_faults(FaultModel::new(spec, config.seed ^ 0xfa17));
     }
-    let telemetry = &config.telemetry;
-    pool.set_telemetry(telemetry.clone());
-    method.set_telemetry(telemetry.clone());
+    pool.set_telemetry(config.telemetry.clone());
+    method.set_telemetry(config.telemetry.clone());
 
-    let mut n_failed_attempts = 0usize;
-    let mut n_retries = 0usize;
-    let mut n_quarantined = 0usize;
-    let mut failure_counts = FailureCounts::default();
+    if config.prefetch {
+        drive_prefetch(method, &benchmark, config, &levels, pool)
+    } else {
+        drive_inline(method, &benchmark, config, &levels, pool)
+    }
+}
+
+/// Accounting shared by both drivers, folded into the final result.
+#[derive(Default)]
+struct Tally {
+    evals_per_level: Vec<usize>,
+    measurements: Vec<Measurement>,
+    n_failed_attempts: usize,
+    n_retries: usize,
+    n_quarantined: usize,
+    failure_counts: FailureCounts,
+}
+
+impl Tally {
+    fn new(levels: &ResourceLevels) -> Self {
+        Self {
+            evals_per_level: vec![0; levels.k()],
+            ..Self::default()
+        }
+    }
+
+    fn into_result(self, method: String, history: &History, wall_secs: f64) -> ThreadedRunResult {
+        let (best_value, best_test, best_config) = match history.incumbent() {
+            Some(m) => (m.value, m.test_value, Some(m.config.clone())),
+            None => (f64::INFINITY, f64::INFINITY, None),
+        };
+        ThreadedRunResult {
+            method,
+            best_value,
+            best_test,
+            best_config,
+            total_evals: self.evals_per_level.iter().sum(),
+            evals_per_level: self.evals_per_level,
+            wall_secs,
+            measurements: self.measurements,
+            n_failed_attempts: self.n_failed_attempts,
+            n_retries: self.n_retries,
+            n_quarantined: self.n_quarantined,
+            failure_counts: self.failure_counts,
+        }
+    }
+}
+
+/// The classic driver: the method is called inline on the driver thread,
+/// one batched suggestion round per fill.
+fn drive_inline(
+    method: &mut dyn Method,
+    benchmark: &Arc<dyn Benchmark>,
+    config: &ThreadedRunConfig,
+    levels: &ResourceLevels,
+    mut pool: ThreadPool<ThreadedJob, Eval>,
+) -> ThreadedRunResult {
+    let telemetry = &config.telemetry;
+    let started = Instant::now();
+    let mut history = History::new(levels.clone());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut pending = PendingSet::new();
+    let mut next_job_id: u64 = 1;
+    let mut tally = Tally::new(levels);
     // At 100% failure rate no job ever completes and every dispatch
     // quarantines; this cap turns that pathological case into a clean
     // early exit instead of an infinite loop.
@@ -149,50 +388,55 @@ pub fn run_threaded(
 
     let mut completed = 0usize;
     let mut dispatched = 0usize;
-    while completed < config.max_evals && n_quarantined < quarantine_cap {
-        // Fill idle workers (stop dispatching once the cap is reachable).
+    while completed < config.max_evals && tally.n_quarantined < quarantine_cap {
+        // Fill idle workers from one suggestion round (stop dispatching
+        // once the cap is reachable).
         while pool.idle_workers() > 0 && dispatched < config.max_evals {
+            let k = pool.idle_workers().min(config.max_evals - dispatched);
             let mut ctx = MethodContext {
                 space: benchmark.space(),
-                levels: &levels,
+                levels,
                 history: &history,
-                pending: &pending,
+                pending: pending.as_slice(),
                 rng: &mut rng,
                 n_workers: config.n_workers,
                 now: started.elapsed().as_secs_f64(),
             };
-            let next = {
-                let step = telemetry.span("scheduler_step");
-                let next = method.next_job(&mut ctx);
-                drop(step);
-                next
+            let batch = {
+                let span = telemetry.span("suggest_batch");
+                let batch = method.next_jobs(&mut ctx, k);
+                drop(span);
+                batch
             };
-            match next {
-                Some(spec) => {
-                    telemetry.emit_with(started.elapsed().as_secs_f64(), || {
-                        Event::TrialDispatched {
-                            level: spec.level,
-                            bracket: spec.bracket,
-                            attempt: 0,
-                        }
-                    });
-                    telemetry.counter_add("trials.dispatched", 1);
-                    pool.submit(ThreadedJob {
-                        spec: spec.clone(),
-                        attempt: 0,
-                    })
-                    .expect("idle worker available");
-                    pending.push(spec);
-                    dispatched += 1;
-                }
-                None => {
-                    assert!(
-                        pool.in_flight() > 0,
-                        "method {} stalled with no running evaluations",
-                        method.name()
-                    );
-                    break;
-                }
+            if batch.is_empty() {
+                assert!(
+                    pool.in_flight() > 0,
+                    "method {} stalled with no running evaluations",
+                    method.name()
+                );
+                break;
+            }
+            let short = batch.len() < k;
+            for mut spec in batch {
+                spec.id = next_job_id;
+                next_job_id += 1;
+                telemetry.emit_with(started.elapsed().as_secs_f64(), || Event::TrialDispatched {
+                    level: spec.level,
+                    bracket: spec.bracket,
+                    attempt: 0,
+                });
+                telemetry.counter_add("trials.dispatched", 1);
+                pool.submit(ThreadedJob {
+                    spec: spec.clone(),
+                    attempt: 0,
+                })
+                .expect("idle worker available");
+                pending.insert(spec);
+                dispatched += 1;
+            }
+            if short {
+                // Barrier mid-batch: wait for a completion.
+                break;
             }
         }
 
@@ -201,20 +445,15 @@ pub fn run_threaded(
         };
         let job = done.job;
         if done.status.is_failure() {
-            // Corrupt results carry an output but it is untrusted and
-            // discarded; every failure kind goes through the same
-            // retry-or-quarantine path.
-            n_failed_attempts += 1;
-            failure_counts.record(done.status);
-            telemetry.counter_add("trials.failed_attempts", 1);
-            if job.attempt < config.retry.max_retries {
-                n_retries += 1;
-                telemetry.emit_with(started.elapsed().as_secs_f64(), || Event::TrialRetried {
-                    level: job.spec.level,
-                    attempt: job.attempt + 1,
-                    kind: failure_kind(done.status).expect("status is a failure"),
-                });
-                telemetry.counter_add("trials.retried", 1);
+            if handle_failure(
+                done.status,
+                job.spec.level,
+                job.attempt,
+                config,
+                telemetry,
+                started,
+                &mut tally,
+            ) {
                 pool.submit(ThreadedJob {
                     attempt: job.attempt + 1,
                     ..job
@@ -222,36 +461,16 @@ pub fn run_threaded(
                 .expect("the failed job's worker is free");
                 continue;
             }
-            n_quarantined += 1;
-            telemetry.emit_with(started.elapsed().as_secs_f64(), || {
-                Event::TrialQuarantined {
-                    level: job.spec.level,
-                    bracket: job.spec.bracket,
-                    kind: failure_kind(done.status).expect("status is a failure"),
-                }
-            });
-            telemetry.counter_add("trials.quarantined", 1);
-            let slot = pending
-                .iter()
-                .position(|p| *p == job.spec)
-                .expect("quarantined job was pending");
-            pending.swap_remove(slot);
+            emit_quarantine(&job.spec, done.status, telemetry, started);
+            pending.remove(&job.spec);
             // Release the budget slot so a replacement config dispatches.
             dispatched -= 1;
-            let outcome = Outcome {
-                spec: job.spec,
-                value: f64::INFINITY,
-                test_value: f64::INFINITY,
-                cost: 0.0,
-                finished_at: started.elapsed().as_secs_f64(),
-                status: OutcomeStatus::Failed,
-                fail_status: Some(done.status),
-            };
+            let outcome = failed_outcome(job.spec, done.status, started);
             let mut ctx = MethodContext {
                 space: benchmark.space(),
-                levels: &levels,
+                levels,
                 history: &history,
-                pending: &pending,
+                pending: pending.as_slice(),
                 rng: &mut rng,
                 n_workers: config.n_workers,
                 now: started.elapsed().as_secs_f64(),
@@ -261,22 +480,9 @@ pub fn run_threaded(
         }
         let spec = job.spec;
         let eval = done.output.expect("successful jobs carry an output");
-        let slot = pending
-            .iter()
-            .position(|p| *p == spec)
-            .expect("completed job was pending");
-        pending.swap_remove(slot);
-        evals_per_level[spec.level] += 1;
+        pending.remove(&spec);
         completed += 1;
-        telemetry.emit_with(started.elapsed().as_secs_f64(), || Event::TrialCompleted {
-            level: spec.level,
-            bracket: spec.bracket,
-            value: eval.value,
-            cost: eval.cost,
-        });
-        telemetry.counter_add("trials.completed", 1);
-        telemetry.histogram_record("trial.cost", eval.cost);
-
+        let now = started.elapsed().as_secs_f64();
         let m = Measurement {
             config: spec.config.clone(),
             level: spec.level,
@@ -284,26 +490,26 @@ pub fn run_threaded(
             value: eval.value,
             test_value: eval.test_value,
             cost: eval.cost,
-            finished_at: started.elapsed().as_secs_f64(),
+            finished_at: now,
         };
-        measurements.push(m.clone());
-        history.record(m);
+        history.record(m.clone());
+        book_completion(m, &spec, &eval, telemetry, &mut tally);
 
         let outcome = Outcome {
             spec,
             value: eval.value,
             test_value: eval.test_value,
             cost: eval.cost,
-            finished_at: started.elapsed().as_secs_f64(),
+            finished_at: now,
             status: OutcomeStatus::Success,
             fail_status: None,
         };
         let mut ctx = MethodContext {
             space: benchmark.space(),
-            levels: &levels,
+            levels,
             history: &history,
+            pending: pending.as_slice(),
             rng: &mut rng,
-            pending: &pending,
             n_workers: config.n_workers,
             now: started.elapsed().as_secs_f64(),
         };
@@ -311,24 +517,284 @@ pub fn run_threaded(
     }
 
     telemetry.flush();
-    let (best_value, best_test, best_config) = match history.incumbent() {
-        Some(m) => (m.value, m.test_value, Some(m.config.clone())),
-        None => (f64::INFINITY, f64::INFINITY, None),
-    };
-    ThreadedRunResult {
-        method: method.name().to_string(),
-        best_value,
-        best_test,
-        best_config,
-        total_evals: evals_per_level.iter().sum(),
-        evals_per_level,
-        wall_secs: started.elapsed().as_secs_f64(),
-        measurements,
-        n_failed_attempts,
-        n_retries,
-        n_quarantined,
-        failure_counts,
+    tally.into_result(
+        method.name().to_string(),
+        &history,
+        started.elapsed().as_secs_f64(),
+    )
+}
+
+/// The pipelined driver: the method lives on a dedicated suggestion
+/// thread (see the module docs). The driver only moves jobs between the
+/// pool and the channels, so dispatch latency is a channel round-trip
+/// when the speculation hits.
+fn drive_prefetch(
+    method: &mut dyn Method,
+    benchmark: &Arc<dyn Benchmark>,
+    config: &ThreadedRunConfig,
+    levels: &ResourceLevels,
+    mut pool: ThreadPool<ThreadedJob, Eval>,
+) -> ThreadedRunResult {
+    let telemetry = &config.telemetry;
+    let started = Instant::now();
+    let method_name = method.name().to_string();
+    let mut tally = Tally::new(levels);
+    let quarantine_cap = 10 * config.max_evals;
+
+    let (cmd_tx, cmd_rx) = mpsc::channel::<ToSuggester>();
+    let (batch_tx, batch_rx) = mpsc::channel::<Vec<JobSpec>>();
+
+    let history = std::thread::scope(|s| {
+        let space = benchmark.space();
+        let suggest_telemetry = telemetry.clone();
+        let suggester = s.spawn(move || {
+            let mut sg = Suggester {
+                method,
+                space,
+                levels,
+                history: History::new(levels.clone()),
+                pending: PendingSet::new(),
+                rng: StdRng::seed_from_u64(config.seed),
+                n_workers: config.n_workers,
+                telemetry: suggest_telemetry,
+                next_job_id: 1,
+                speculation: None,
+            };
+            for msg in cmd_rx {
+                match msg {
+                    ToSuggester::Completed {
+                        outcome,
+                        measurement,
+                        predicted_k,
+                        now,
+                    } => sg.on_completed(outcome, measurement, predicted_k, now),
+                    ToSuggester::Demand { k, now } => {
+                        let batch = sg.on_demand(k, now);
+                        if batch_tx.send(batch).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            sg.history
+        });
+
+        let mut completed = 0usize;
+        let mut dispatched = 0usize;
+        'run: while completed < config.max_evals && tally.n_quarantined < quarantine_cap {
+            while pool.idle_workers() > 0 && dispatched < config.max_evals {
+                let k = pool.idle_workers().min(config.max_evals - dispatched);
+                let now = started.elapsed().as_secs_f64();
+                if cmd_tx.send(ToSuggester::Demand { k, now }).is_err() {
+                    break 'run;
+                }
+                let Ok(batch) = batch_rx.recv() else {
+                    // The suggestion thread is gone; join below surfaces
+                    // its panic.
+                    break 'run;
+                };
+                if batch.is_empty() {
+                    assert!(
+                        pool.in_flight() > 0,
+                        "method {method_name} stalled with no running evaluations"
+                    );
+                    break;
+                }
+                let short = batch.len() < k;
+                for spec in batch {
+                    telemetry.emit_with(started.elapsed().as_secs_f64(), || {
+                        Event::TrialDispatched {
+                            level: spec.level,
+                            bracket: spec.bracket,
+                            attempt: 0,
+                        }
+                    });
+                    telemetry.counter_add("trials.dispatched", 1);
+                    pool.submit(ThreadedJob { spec, attempt: 0 })
+                        .expect("idle worker available");
+                    dispatched += 1;
+                }
+                if short {
+                    // Barrier mid-batch: wait for a completion.
+                    break;
+                }
+            }
+
+            let Ok(done) = pool.next_completion() else {
+                break;
+            };
+            let job = done.job;
+            if done.status.is_failure() {
+                if handle_failure(
+                    done.status,
+                    job.spec.level,
+                    job.attempt,
+                    config,
+                    telemetry,
+                    started,
+                    &mut tally,
+                ) {
+                    pool.submit(ThreadedJob {
+                        attempt: job.attempt + 1,
+                        ..job
+                    })
+                    .expect("the failed job's worker is free");
+                    continue;
+                }
+                emit_quarantine(&job.spec, done.status, telemetry, started);
+                // Release the budget slot so a replacement config
+                // dispatches.
+                dispatched -= 1;
+                let status = done.status;
+                let outcome = failed_outcome(job.spec, status, started);
+                let now = outcome.finished_at;
+                let predicted_k = pool.idle_workers().min(config.max_evals - dispatched);
+                if cmd_tx
+                    .send(ToSuggester::Completed {
+                        outcome,
+                        measurement: None,
+                        predicted_k,
+                        now,
+                    })
+                    .is_err()
+                {
+                    break 'run;
+                }
+                continue;
+            }
+            let spec = job.spec;
+            let eval = done.output.expect("successful jobs carry an output");
+            completed += 1;
+            let now = started.elapsed().as_secs_f64();
+            let m = Measurement {
+                config: spec.config.clone(),
+                level: spec.level,
+                resource: spec.resource,
+                value: eval.value,
+                test_value: eval.test_value,
+                cost: eval.cost,
+                finished_at: now,
+            };
+            let outcome = Outcome {
+                spec: spec.clone(),
+                value: eval.value,
+                test_value: eval.test_value,
+                cost: eval.cost,
+                finished_at: now,
+                status: OutcomeStatus::Success,
+                fail_status: None,
+            };
+            // Predict the size of the next demand: the workers idle right
+            // now (including the one this completion freed), capped by
+            // the remaining budget. Nothing changes between here and the
+            // next fill, so the prediction — and hence the speculation —
+            // is normally exact.
+            let predicted_k = pool.idle_workers().min(config.max_evals - dispatched);
+            // Send before the local bookkeeping below so the suggestion
+            // thread's on_result + speculation overlaps it.
+            if cmd_tx
+                .send(ToSuggester::Completed {
+                    outcome,
+                    measurement: Some(m.clone()),
+                    predicted_k,
+                    now,
+                })
+                .is_err()
+            {
+                break 'run;
+            }
+            book_completion(m, &spec, &eval, telemetry, &mut tally);
+        }
+
+        drop(cmd_tx);
+        suggester.join().expect("suggestion thread panicked")
+    });
+
+    telemetry.flush();
+    tally.into_result(method_name, &history, started.elapsed().as_secs_f64())
+}
+
+/// Books a failed attempt; returns `true` when the job should be
+/// resubmitted (the caller owns the actual resubmission).
+fn handle_failure(
+    status: hypertune_cluster::JobStatus,
+    level: usize,
+    attempt: usize,
+    config: &ThreadedRunConfig,
+    telemetry: &TelemetryHandle,
+    started: Instant,
+    tally: &mut Tally,
+) -> bool {
+    // Corrupt results carry an output but it is untrusted and discarded;
+    // every failure kind goes through the same retry-or-quarantine path.
+    tally.n_failed_attempts += 1;
+    tally.failure_counts.record(status);
+    telemetry.counter_add("trials.failed_attempts", 1);
+    if attempt < config.retry.max_retries {
+        tally.n_retries += 1;
+        telemetry.emit_with(started.elapsed().as_secs_f64(), || Event::TrialRetried {
+            level,
+            attempt: attempt + 1,
+            kind: failure_kind(status).expect("status is a failure"),
+        });
+        telemetry.counter_add("trials.retried", 1);
+        return true;
     }
+    tally.n_quarantined += 1;
+    false
+}
+
+fn emit_quarantine(
+    spec: &JobSpec,
+    status: hypertune_cluster::JobStatus,
+    telemetry: &TelemetryHandle,
+    started: Instant,
+) {
+    telemetry.emit_with(started.elapsed().as_secs_f64(), || {
+        Event::TrialQuarantined {
+            level: spec.level,
+            bracket: spec.bracket,
+            kind: failure_kind(status).expect("status is a failure"),
+        }
+    });
+    telemetry.counter_add("trials.quarantined", 1);
+}
+
+fn failed_outcome(
+    spec: JobSpec,
+    status: hypertune_cluster::JobStatus,
+    started: Instant,
+) -> Outcome {
+    Outcome {
+        spec,
+        value: f64::INFINITY,
+        test_value: f64::INFINITY,
+        cost: 0.0,
+        finished_at: started.elapsed().as_secs_f64(),
+        status: OutcomeStatus::Failed,
+        fail_status: Some(status),
+    }
+}
+
+/// Books a successful completion into the tally (shared tail of both
+/// drivers).
+fn book_completion(
+    m: Measurement,
+    spec: &JobSpec,
+    eval: &Eval,
+    telemetry: &TelemetryHandle,
+    tally: &mut Tally,
+) {
+    tally.evals_per_level[spec.level] += 1;
+    telemetry.emit_with(m.finished_at, || Event::TrialCompleted {
+        level: spec.level,
+        bracket: spec.bracket,
+        value: eval.value,
+        cost: eval.cost,
+    });
+    telemetry.counter_add("trials.completed", 1);
+    telemetry.histogram_record("trial.cost", eval.cost);
+    tally.measurements.push(m);
 }
 
 #[cfg(test)]
@@ -336,6 +802,7 @@ mod tests {
     use super::*;
     use crate::methods::MethodKind;
     use hypertune_benchmarks::CountingOnes;
+    use hypertune_telemetry::Telemetry;
 
     fn threaded(
         kind: MethodKind,
@@ -353,6 +820,24 @@ mod tests {
         )
     }
 
+    /// The parallelism-insensitive fingerprint of a measurement stream:
+    /// everything but the wall-clock timestamp.
+    fn keys(r: &ThreadedRunResult) -> Vec<(Config, usize, u64, u64, u64, u64)> {
+        r.measurements
+            .iter()
+            .map(|m| {
+                (
+                    m.config.clone(),
+                    m.level,
+                    m.resource.to_bits(),
+                    m.value.to_bits(),
+                    m.test_value.to_bits(),
+                    m.cost.to_bits(),
+                )
+            })
+            .collect()
+    }
+
     #[test]
     fn completes_exactly_max_evals() {
         let r = threaded(MethodKind::Asha, 4, 50, 1);
@@ -360,6 +845,18 @@ mod tests {
         assert_eq!(r.evals_per_level.iter().sum::<usize>(), 50);
         assert!(r.best_value.is_finite());
         assert!(r.wall_secs >= 0.0);
+    }
+
+    #[test]
+    fn inline_driver_completes_exactly_max_evals() {
+        let bench: Arc<dyn Benchmark> = Arc::new(CountingOnes::new(4, 4, 7));
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let mut method = MethodKind::Asha.build(&levels, 1);
+        let mut cfg = ThreadedRunConfig::new(4, 50, 1);
+        cfg.prefetch = false;
+        let r = run_threaded(method.as_mut(), bench, &cfg);
+        assert_eq!(r.total_evals, 50);
+        assert!(r.best_value.is_finite());
     }
 
     #[test]
@@ -390,6 +887,53 @@ mod tests {
         let a = threaded(MethodKind::Asha, 1, 60, 4);
         let b = threaded(MethodKind::Asha, 4, 60, 4);
         assert!(a.best_value <= 0.0 && b.best_value <= 0.0);
+    }
+
+    #[test]
+    fn prefetch_matches_inline_driver_at_one_worker() {
+        // With a single worker the completion order is deterministic, so
+        // the pipelined and inline drivers must produce the same
+        // measurement stream bit-for-bit (modulo wall timestamps): the
+        // speculation protocol moves suggestion work, never changes it.
+        for kind in [MethodKind::HyperTune, MethodKind::Bohb, MethodKind::Asha] {
+            let bench: Arc<dyn Benchmark> = Arc::new(CountingOnes::new(4, 4, 7));
+            let levels = ResourceLevels::new(bench.max_resource(), 3);
+
+            let mut m1 = kind.build(&levels, 9);
+            let mut cfg = ThreadedRunConfig::new(1, 30, 9);
+            cfg.prefetch = false;
+            let inline = run_threaded(m1.as_mut(), Arc::clone(&bench), &cfg);
+
+            let mut m2 = kind.build(&levels, 9);
+            cfg.prefetch = true;
+            let prefetched = run_threaded(m2.as_mut(), bench, &cfg);
+
+            assert_eq!(keys(&inline), keys(&prefetched), "{}", kind.name());
+            assert_eq!(
+                inline.best_value.to_bits(),
+                prefetched.best_value.to_bits(),
+                "{}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn prefetch_hits_are_recorded() {
+        // After the cold start, every completion's speculation should be
+        // consumed by the following demand: hits dominate, and the
+        // discard path stays a safety valve.
+        let bench: Arc<dyn Benchmark> = Arc::new(CountingOnes::new(4, 4, 7));
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let mut method = MethodKind::HyperTune.build(&levels, 12);
+        let mut cfg = ThreadedRunConfig::new(4, 40, 12);
+        cfg.telemetry = Telemetry::new().build();
+        let r = run_threaded(method.as_mut(), bench, &cfg);
+        assert_eq!(r.total_evals, 40);
+        let snap = cfg.telemetry.snapshot().unwrap();
+        let hits = snap.counter("prefetch.hit").unwrap_or(0);
+        let misses = snap.counter("prefetch.miss").unwrap_or(0);
+        assert!(hits > 0, "prefetch never hit (misses: {misses})");
     }
 
     #[test]

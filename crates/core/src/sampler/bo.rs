@@ -8,7 +8,7 @@
 //! workers do not pile onto the same region.
 
 use hypertune_space::Config;
-use hypertune_surrogate::acquisition::{maximize, Acquisition, MaximizeConfig};
+use hypertune_surrogate::acquisition::{maximize, Acquisition, BatchMaximizer, MaximizeConfig};
 use hypertune_surrogate::{stats, RandomForest, SurrogateModel};
 use rand::Rng;
 
@@ -81,19 +81,16 @@ impl BoSampler {
             .rev()
             .find(|&l| ctx.history.len_at(l) >= self.min_points)
     }
-}
 
-impl Sampler for BoSampler {
-    fn name(&self) -> &str {
-        "BO"
-    }
-
-    fn sample(&mut self, ctx: &mut MethodContext<'_>) -> Config {
-        if ctx.rng.gen::<f64>() < self.random_fraction {
-            return ctx.space.sample(ctx.rng);
-        }
+    /// Ensures `self.cache` holds a forest fitted against the current
+    /// history and pending set; refits only when the cache key (level,
+    /// count, pending fingerprint) changed. Returns `false` when no level
+    /// is modellable or the fit failed — callers fall back to random
+    /// sampling. Consumes no RNG, so cache hits stay bit-identical to
+    /// cold refits.
+    fn ensure_model(&mut self, ctx: &MethodContext<'_>) -> bool {
         let Some(level) = self.modelling_level(ctx) else {
-            return ctx.space.sample(ctx.rng);
+            return false;
         };
         let n = ctx.history.len_at(level);
         let pending_fp = if self.impute_pending {
@@ -121,7 +118,7 @@ impl Sampler for BoSampler {
             let mut rf = RandomForest::new(derive_model_seed(self.seed, level, n, pending_fp));
             if rf.fit(&xs, &ys).is_err() {
                 self.cache = None;
-                return ctx.space.sample(ctx.rng);
+                return false;
             }
             self.cache = Some(CachedModel {
                 level,
@@ -131,8 +128,24 @@ impl Sampler for BoSampler {
                 rf,
             });
         }
+        true
+    }
+}
+
+impl Sampler for BoSampler {
+    fn name(&self) -> &str {
+        "BO"
+    }
+
+    fn sample(&mut self, ctx: &mut MethodContext<'_>) -> Config {
+        if ctx.rng.gen::<f64>() < self.random_fraction {
+            return ctx.space.sample(ctx.rng);
+        }
+        if !self.ensure_model(ctx) {
+            return ctx.space.sample(ctx.rng);
+        }
         let cached = self.cache.as_ref().expect("cache was just populated");
-        let incumbents = ctx.history.top_configs(level, 5);
+        let incumbents = ctx.history.top_configs_ref(cached.level, 5);
         match maximize(
             ctx.space,
             &cached.rf,
@@ -145,6 +158,53 @@ impl Sampler for BoSampler {
             Ok((config, _)) => config,
             Err(_) => ctx.space.sample(ctx.rng),
         }
+    }
+
+    /// Batch path: one forest fit and one candidate-pool sweep, then `k`
+    /// constant-liar re-scoring rounds over the cached pool predictions —
+    /// so a batch of `k` costs one model sweep instead of `k` (see
+    /// BENCH_scheduler.json for the measured per-dispatch reduction).
+    fn sample_batch(&mut self, ctx: &mut MethodContext<'_>, k: usize) -> Vec<Config> {
+        // k ≤ 1 must stay bit-identical to the sequential path.
+        if k <= 1 || !self.ensure_model(ctx) {
+            return (0..k).map(|_| self.sample(ctx)).collect();
+        }
+        let cached = self.cache.as_ref().expect("cache was just populated");
+        let ys: Vec<f64> = ctx
+            .history
+            .group(cached.level)
+            .iter()
+            .map(|m| m.value)
+            .collect();
+        let liar = stats::median(&ys).expect("modelled level has measurements");
+        let incumbents = ctx.history.top_configs_ref(cached.level, 5);
+        let mut pool = match BatchMaximizer::new(
+            ctx.space,
+            &cached.rf,
+            Acquisition::default(),
+            cached.best_y,
+            liar,
+            &incumbents,
+            &MaximizeConfig::default(),
+            ctx.rng,
+        ) {
+            Ok(pool) => pool,
+            Err(_) => return (0..k).map(|_| ctx.space.sample(ctx.rng)).collect(),
+        };
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            let config = if ctx.rng.gen::<f64>() < self.random_fraction {
+                ctx.space.sample(ctx.rng)
+            } else {
+                pool.next_candidate()
+                    .unwrap_or_else(|| ctx.space.sample(ctx.rng))
+            };
+            // Every draw — model-based or random — becomes a liar so the
+            // rest of the batch avoids its neighborhood.
+            pool.push_liar(ctx.space.encode(&config));
+            out.push(config);
+        }
+        out
     }
 }
 
@@ -265,6 +325,7 @@ mod tests {
             level: 3,
             resource: 27.0,
             bracket: None,
+            id: 0,
         }];
         let mean_dist = |pending: &[JobSpec], seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use hypertune_space::Config;
-use hypertune_surrogate::acquisition::{maximize, Acquisition, MaximizeConfig};
+use hypertune_surrogate::acquisition::{maximize, Acquisition, BatchMaximizer, MaximizeConfig};
 use hypertune_surrogate::{stats, MfEnsemble, Predictor, RandomForest, SurrogateModel};
 use hypertune_telemetry::{Event, TelemetryHandle};
 use rand::Rng;
@@ -68,50 +68,26 @@ impl MfesSampler {
     pub fn cached_levels(&self) -> usize {
         self.cache.len()
     }
-}
 
-impl Sampler for MfesSampler {
-    fn name(&self) -> &str {
-        "MFES"
-    }
-
-    fn set_theta(&mut self, theta: &[f64]) {
-        self.theta = Some(theta.to_vec());
-    }
-
-    fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
-        self.telemetry = telemetry;
-    }
-
-    fn sample(&mut self, ctx: &mut MethodContext<'_>) -> Config {
+    /// The reference level: complete evaluations once enough exist,
+    /// otherwise the highest level with enough data; `None` before any
+    /// level is modellable.
+    fn ref_level(&self, ctx: &MethodContext<'_>) -> Option<usize> {
         let top = ctx.levels.max_level();
-        if ctx.rng.gen::<f64>() < self.random_fraction {
-            return ctx.space.sample(ctx.rng);
+        if ctx.history.len_at(top) >= self.min_full {
+            return Some(top);
         }
-        // The reference level drives the incumbent and the pending
-        // imputation: the complete-evaluation level once it has enough
-        // data, otherwise the highest level that does — so the ensemble
-        // exploits low-fidelity structure from the very first rung, as
-        // MFES-HB does, instead of sampling blindly until complete
-        // evaluations exist.
-        let ref_level = if ctx.history.len_at(top) >= self.min_full {
-            top
-        } else {
-            match (0..=top)
-                .rev()
-                .find(|&l| ctx.history.len_at(l) >= self.min_full)
-            {
-                Some(l) => l,
-                None => return ctx.space.sample(ctx.rng),
-            }
-        };
+        (0..=top)
+            .rev()
+            .find(|&l| ctx.history.len_at(l) >= self.min_full)
+    }
 
-        // Fit one base surrogate per level with enough data; the
-        // reference-level one sees the median-imputed pending configs.
-        // Fits go through the cache: a level is refit — in parallel with
-        // the other stale levels when cores allow — only when its
-        // measurement count or (for the reference level) the pending
-        // fingerprint changed since the cached fit.
+    /// Refits the per-level surrogates whose cache key (measurement
+    /// count, pending fingerprint at the reference level) went stale.
+    /// Consumes no RNG — fit seeds are derived — so cache hits stay
+    /// bit-identical to cold refits.
+    fn refresh_models(&mut self, ctx: &MethodContext<'_>, ref_level: usize) {
+        let top = ctx.levels.max_level();
         let pending_fp = pending_fingerprint(ctx.space, ctx.pending);
         let stale: Vec<(usize, u64)> = (0..=top)
             .filter_map(|level| {
@@ -172,6 +148,13 @@ impl Sampler for MfesSampler {
                 }
             }
         }
+    }
+
+    /// Combines the cached per-level surrogates with θ (Eq. 3), falling
+    /// back to uniform weights when θ is unavailable or puts no mass on
+    /// the fitted levels. Returns the ensemble and its member count.
+    fn build_ensemble<'a>(&'a self, ctx: &MethodContext<'_>) -> (Option<MfEnsemble<'a>>, usize) {
+        let top = ctx.levels.max_level();
         let models: Vec<Option<&RandomForest>> = (0..=top)
             .map(|level| {
                 if ctx.history.len_at(level) < MIN_POINTS_PER_LEVEL {
@@ -180,10 +163,8 @@ impl Sampler for MfesSampler {
                 self.cache.get(&level).map(|e| &e.rf)
             })
             .collect();
-
-        // Combine with θ (Eq. 3); fall back to uniform weights over the
-        // fitted levels when θ is unavailable or puts no mass on them.
-        let members = |theta: Option<&[f64]>| -> Vec<(&dyn Predictor, f64)> {
+        let n_models = models.iter().filter(|m| m.is_some()).count();
+        let members = |theta: Option<&[f64]>| -> Vec<(&'a dyn Predictor, f64)> {
             models
                 .iter()
                 .enumerate()
@@ -197,6 +178,47 @@ impl Sampler for MfesSampler {
         };
         let ensemble = MfEnsemble::new(members(self.theta.as_deref()))
             .or_else(|| MfEnsemble::new(members(None)));
+        (ensemble, n_models)
+    }
+}
+
+impl Sampler for MfesSampler {
+    fn name(&self) -> &str {
+        "MFES"
+    }
+
+    fn set_theta(&mut self, theta: &[f64]) {
+        self.theta = Some(theta.to_vec());
+    }
+
+    fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
+    }
+
+    fn sample(&mut self, ctx: &mut MethodContext<'_>) -> Config {
+        if ctx.rng.gen::<f64>() < self.random_fraction {
+            return ctx.space.sample(ctx.rng);
+        }
+        // The reference level drives the incumbent and the pending
+        // imputation: the complete-evaluation level once it has enough
+        // data, otherwise the highest level that does — so the ensemble
+        // exploits low-fidelity structure from the very first rung, as
+        // MFES-HB does, instead of sampling blindly until complete
+        // evaluations exist.
+        let Some(ref_level) = self.ref_level(ctx) else {
+            return ctx.space.sample(ctx.rng);
+        };
+
+        // Fit one base surrogate per level with enough data; the
+        // reference-level one sees the median-imputed pending configs.
+        // Fits go through the cache: a level is refit — in parallel with
+        // the other stale levels when cores allow — only when its
+        // measurement count or (for the reference level) the pending
+        // fingerprint changed since the cached fit.
+        self.refresh_models(ctx, ref_level);
+        // Combine with θ (Eq. 3); fall back to uniform weights over the
+        // fitted levels when θ is unavailable or puts no mass on them.
+        let (ensemble, n_models) = self.build_ensemble(ctx);
         let Some(ensemble) = ensemble else {
             return ctx.space.sample(ctx.rng);
         };
@@ -207,8 +229,7 @@ impl Sampler for MfesSampler {
             .iter()
             .map(|m| m.value)
             .fold(f64::INFINITY, f64::min);
-        let incumbents = ctx.history.top_configs(ref_level, 5);
-        let n_models = models.iter().filter(|m| m.is_some()).count();
+        let incumbents = ctx.history.top_configs_ref(ref_level, 5);
         self.telemetry
             .emit_with(ctx.now, || Event::SurrogatePredict {
                 level: ref_level,
@@ -229,6 +250,70 @@ impl Sampler for MfesSampler {
         };
         drop(acq_span);
         proposed
+    }
+
+    /// Batch path: one ensemble refresh and one candidate-pool sweep,
+    /// then `k` constant-liar re-scoring rounds over the cached pool
+    /// predictions (same fantasization idea as Algorithm 2's pending
+    /// imputation, without `k − 1` extra refits or prediction sweeps).
+    fn sample_batch(&mut self, ctx: &mut MethodContext<'_>, k: usize) -> Vec<Config> {
+        // k ≤ 1 must stay bit-identical to the sequential path.
+        if k <= 1 {
+            return (0..k).map(|_| self.sample(ctx)).collect();
+        }
+        let Some(ref_level) = self.ref_level(ctx) else {
+            // Nothing modellable: every draw is a plain random sample.
+            return (0..k).map(|_| self.sample(ctx)).collect();
+        };
+        self.refresh_models(ctx, ref_level);
+        let (ensemble, n_models) = self.build_ensemble(ctx);
+        let Some(ensemble) = ensemble else {
+            return (0..k).map(|_| self.sample(ctx)).collect();
+        };
+
+        let ys: Vec<f64> = ctx
+            .history
+            .group(ref_level)
+            .iter()
+            .map(|m| m.value)
+            .collect();
+        let best_y = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let liar = stats::median(&ys).expect("reference level has measurements");
+        let incumbents = ctx.history.top_configs_ref(ref_level, 5);
+        self.telemetry
+            .emit_with(ctx.now, || Event::SurrogatePredict {
+                level: ref_level,
+                n_models,
+            });
+        let acq_span = self.telemetry.span("acquisition");
+        let mut pool = match BatchMaximizer::new(
+            ctx.space,
+            &ensemble,
+            Acquisition::default(),
+            best_y,
+            liar,
+            &incumbents,
+            &MaximizeConfig::default(),
+            ctx.rng,
+        ) {
+            Ok(pool) => pool,
+            Err(_) => return (0..k).map(|_| ctx.space.sample(ctx.rng)).collect(),
+        };
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            let config = if ctx.rng.gen::<f64>() < self.random_fraction {
+                ctx.space.sample(ctx.rng)
+            } else {
+                pool.next_candidate()
+                    .unwrap_or_else(|| ctx.space.sample(ctx.rng))
+            };
+            // Every draw — model-based or random — becomes a liar so the
+            // rest of the batch avoids its neighborhood.
+            pool.push_liar(ctx.space.encode(&config));
+            out.push(config);
+        }
+        drop(acq_span);
+        out
     }
 }
 

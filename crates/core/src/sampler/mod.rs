@@ -64,12 +64,31 @@ pub(crate) fn pending_fingerprint(space: &ConfigSpace, pending: &[JobSpec]) -> u
 }
 
 /// A configuration-proposal strategy; see the module docs.
-pub trait Sampler {
+///
+/// `Send` is required (transitively, through [`crate::Method`]) so the
+/// threaded runner can move methods onto its background suggestion thread.
+pub trait Sampler: Send {
     /// Display name fragment (e.g. `"BO"`), used to compose method names.
     fn name(&self) -> &str;
 
     /// Proposes the next configuration to evaluate.
     fn sample(&mut self, ctx: &mut MethodContext<'_>) -> Config;
+
+    /// Proposes `k` configurations for a batch of idle workers.
+    ///
+    /// The default loops [`Sampler::sample`]. Model-based samplers
+    /// override this to fit once and draw all `k` candidates from a
+    /// single acquisition round, penalizing the neighborhood of each
+    /// already-drawn candidate (constant liar) so the batch spreads out
+    /// instead of collapsing onto one optimum.
+    ///
+    /// Contract: `sample_batch(ctx, 1)` must be bit-identical to
+    /// `sample(ctx)` — same RNG draws, same cache effects — so the `k=1`
+    /// dispatch path of the sim runner reproduces sequential semantics
+    /// exactly.
+    fn sample_batch(&mut self, ctx: &mut MethodContext<'_>, k: usize) -> Vec<Config> {
+        (0..k).map(|_| self.sample(ctx)).collect()
+    }
 
     /// Receives fresh precision weights `θ` from the owner (only the
     /// multi-fidelity sampler uses them).

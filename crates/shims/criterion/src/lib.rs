@@ -8,9 +8,24 @@
 //! per iteration. Numbers are comparable within a run on the same machine,
 //! which is all the in-repo before/after benches need.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Smoke mode, enabled by passing `--test` to the bench binary (the
+/// criterion CLI contract): run every benchmark a couple of times with no
+/// real measurement so CI can verify benches still execute without paying
+/// for statistics.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Reads the bench binary's CLI flags; called by `criterion_main!` before
+/// any group runs. Only `--test` is honored.
+pub fn configure_from_args() {
+    if std::env::args().any(|a| a == "--test") {
+        TEST_MODE.store(true, Ordering::Relaxed);
+    }
+}
 
 /// How `iter_batched` amortizes setup; accepted for API compatibility.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,6 +204,15 @@ fn format_ns(ns: f64) -> String {
 }
 
 fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, settings: Settings, mut f: F) {
+    let settings = if TEST_MODE.load(Ordering::Relaxed) {
+        Settings {
+            sample_size: 2,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(1),
+        }
+    } else {
+        settings
+    };
     let mut bencher = Bencher {
         settings,
         samples: Vec::new(),
@@ -243,6 +267,7 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),* $(,)?) => {
         fn main() {
+            $crate::configure_from_args();
             $( $group(); )*
         }
     };

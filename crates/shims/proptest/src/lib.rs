@@ -129,7 +129,9 @@ pub mod collection {
 /// Everything a `proptest!`-based test file normally imports.
 pub mod prelude {
     pub use crate::collection;
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+    };
 }
 
 fn fnv1a(s: &str) -> u64 {
@@ -148,14 +150,41 @@ fn case_count() -> usize {
         .unwrap_or(64)
 }
 
+/// Mirror of proptest's run configuration; only `cases` is honored. Use
+/// via `#![proptest_config(ProptestConfig::with_cases(n))]` at the top
+/// of a `proptest!` block to bound expensive properties. An explicit
+/// config wins over the `PROPTEST_CASES` env var (which only adjusts the
+/// default).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: usize) -> Self {
+        Self { cases }
+    }
+}
+
 /// Runs `check` for each deterministic case, panicking with a reproducible
 /// seed on the first failure. Used by the expansion of [`proptest!`].
-pub fn run_cases<F>(name: &str, mut check: F)
+pub fn run_cases<F>(name: &str, check: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), String>,
+{
+    run_cases_n(name, case_count(), check)
+}
+
+/// [`run_cases`] with an explicit case count (the
+/// `#![proptest_config(...)]` expansion).
+pub fn run_cases_n<F>(name: &str, cases: usize, mut check: F)
 where
     F: FnMut(&mut StdRng) -> Result<(), String>,
 {
     let base = fnv1a(name);
-    for case in 0..case_count() {
+    for case in 0..cases {
         let seed = base ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let mut rng = StdRng::seed_from_u64(seed);
         if let Err(msg) = check(&mut rng) {
@@ -165,8 +194,28 @@ where
 }
 
 /// Declares property tests: `fn name(arg in strategy, ...) { body }`.
+/// An optional leading `#![proptest_config(expr)]` applies to every test
+/// in the block.
 #[macro_export]
 macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases_n(stringify!($name), __pt_cfg.cases, |__pt_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __pt_rng);)*
+                    #[allow(unused_mut)]
+                    let mut __pt_check = || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __pt_check()
+                });
+            }
+        )*
+    };
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*
@@ -238,6 +287,7 @@ macro_rules! prop_assume {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use rand::Rng;
 
     proptest! {
         #[test]

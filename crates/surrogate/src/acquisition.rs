@@ -14,6 +14,7 @@ use rand::Rng;
 use hypertune_space::{neighbors, Config, ConfigSpace};
 
 use crate::model::{Prediction, Predictor, SurrogateError};
+use crate::penalized::penalize;
 use crate::stats::{norm_cdf, norm_pdf};
 
 /// Which acquisition criterion to maximize.
@@ -102,7 +103,7 @@ pub fn maximize<R: Rng + ?Sized>(
     model: &dyn Predictor,
     acq: Acquisition,
     best_y: f64,
-    incumbents: &[Config],
+    incumbents: &[&Config],
     config: &MaximizeConfig,
     rng: &mut R,
 ) -> Result<(Config, f64), SurrogateError> {
@@ -136,7 +137,7 @@ pub fn maximize<R: Rng + ?Sized>(
     // neighbour set as one batch. First-improvement updates walk the batch
     // in generation order, matching the sequential search exactly.
     for start in incumbents.iter().take(config.n_local_starts) {
-        let mut current = start.clone();
+        let mut current = (*start).clone();
         let mut current_score = score_batch(std::slice::from_ref(&current))?[0];
         for _ in 0..config.local_steps {
             let cands = neighbors::neighbors(space, &current, config.neighbors_per_step, rng);
@@ -157,6 +158,135 @@ pub fn maximize<R: Rng + ?Sized>(
     }
 
     Ok(best.expect("at least one candidate was scored"))
+}
+
+/// One candidate in a [`BatchMaximizer`] pool: the configuration, its
+/// unit-cube encoding, and its *base-model* predictive distribution.
+struct PoolEntry {
+    config: Config,
+    encoded: Vec<f64>,
+    base: Prediction,
+    picked: bool,
+}
+
+/// Pool-based batch acquisition (the local-penalization batch-BO
+/// recipe): the candidate pool — [`maximize`]'s random phase plus one
+/// hill-climbing pass from the incumbents, every visited point included —
+/// is generated and pushed through the model **once**. Each subsequent
+/// draw re-scores the cached base predictions under the current
+/// constant-liar penalties ([`penalize`]), which is `O(pool × liars)`
+/// arithmetic with no model traversal, then takes the argmax and
+/// registers it as a liar. A batch of `k` therefore costs one model sweep
+/// instead of `k` — the whole point of the batch suggestion API.
+pub struct BatchMaximizer {
+    pool: Vec<PoolEntry>,
+    liars: Vec<Vec<f64>>,
+    liar_value: f64,
+    acq: Acquisition,
+    best_y: f64,
+}
+
+impl BatchMaximizer {
+    /// Builds the candidate pool and computes its base predictions; this
+    /// is the only place the model is queried. `liar_value` should be a
+    /// middling observed objective (the median), so penalized regions
+    /// look unpromising but not catastrophic.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng + ?Sized>(
+        space: &ConfigSpace,
+        model: &dyn Predictor,
+        acq: Acquisition,
+        best_y: f64,
+        liar_value: f64,
+        incumbents: &[&Config],
+        config: &MaximizeConfig,
+        rng: &mut R,
+    ) -> Result<Self, SurrogateError> {
+        let mut pool: Vec<PoolEntry> = Vec::new();
+        let predict_into =
+            |cands: Vec<Config>, pool: &mut Vec<PoolEntry>| -> Result<usize, SurrogateError> {
+                let encoded: Vec<Vec<f64>> = cands.iter().map(|c| space.encode(c)).collect();
+                let preds = model.predict_batch(&encoded)?;
+                let first = pool.len();
+                for ((config, encoded), base) in cands.into_iter().zip(encoded).zip(preds) {
+                    pool.push(PoolEntry {
+                        config,
+                        encoded,
+                        base,
+                        picked: false,
+                    });
+                }
+                Ok(first)
+            };
+
+        // Random phase.
+        let randoms: Vec<Config> = (0..config.n_random.max(1))
+            .map(|_| space.sample(rng))
+            .collect();
+        predict_into(randoms, &mut pool)?;
+
+        // Local phase: hill-climb under the base model exactly as
+        // `maximize` does, but keep every visited candidate — each one is
+        // already predicted, and a runner-up on the base landscape is
+        // often the argmax once liars penalize the leader's neighborhood.
+        for start in incumbents.iter().take(config.n_local_starts) {
+            let i = predict_into(vec![(*start).clone()], &mut pool)?;
+            let mut current = pool[i].config.clone();
+            let mut current_score = acq.score(pool[i].base, best_y);
+            for _ in 0..config.local_steps {
+                let cands = neighbors::neighbors(space, &current, config.neighbors_per_step, rng);
+                let first = predict_into(cands, &mut pool)?;
+                let mut improved = false;
+                for entry in &pool[first..] {
+                    let s = acq.score(entry.base, best_y);
+                    if s > current_score {
+                        current = entry.config.clone();
+                        current_score = s;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+
+        Ok(Self {
+            pool,
+            liars: Vec::new(),
+            liar_value,
+            acq,
+            best_y,
+        })
+    }
+
+    /// Registers a drawn point (encoded position) as a liar so later
+    /// draws avoid its neighborhood. Callers invoke this for *every*
+    /// batch member — pool picks and random-fraction draws alike.
+    pub fn push_liar(&mut self, x: Vec<f64>) {
+        self.liars.push(x);
+    }
+
+    /// Argmax of the acquisition over the unpicked pool under the current
+    /// liar penalties. Returns `None` once the pool is exhausted (callers
+    /// fall back to random sampling). Does not register a liar — call
+    /// [`Self::push_liar`] with the accepted draw.
+    pub fn next_candidate(&mut self) -> Option<Config> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, entry) in self.pool.iter().enumerate() {
+            if entry.picked {
+                continue;
+            }
+            let p = penalize(&self.liars, self.liar_value, &entry.encoded, entry.base);
+            let s = self.acq.score(p, self.best_y);
+            if best.is_none_or(|(_, bs)| s > bs) {
+                best = Some((i, s));
+            }
+        }
+        let (i, _) = best?;
+        self.pool[i].picked = true;
+        Some(self.pool[i].config.clone())
+    }
 }
 
 #[cfg(test)]
@@ -221,7 +351,7 @@ mod tests {
             &rf,
             Acquisition::default(),
             0.05,
-            &[incumbent],
+            &[&incumbent],
             &MaximizeConfig::default(),
             &mut rng,
         )
@@ -264,12 +394,13 @@ mod tests {
         let ys: Vec<f64> = xs.iter().map(|p| p[0]).collect();
         let mut rf = RandomForest::new(5);
         rf.fit(&xs, &ys).unwrap();
+        let start = space.sample(&mut rng);
         let (cfg, score) = maximize(
             &space,
             &rf,
             Acquisition::default(),
             0.5,
-            &[space.sample(&mut rng)],
+            &[&start],
             &MaximizeConfig::default(),
             &mut rng,
         )

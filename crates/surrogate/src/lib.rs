@@ -35,6 +35,7 @@ pub mod ensemble;
 pub mod gp;
 pub mod kernel;
 pub mod linalg;
+pub mod penalized;
 pub mod rf;
 pub mod stats;
 
@@ -43,4 +44,5 @@ mod model;
 pub use ensemble::MfEnsemble;
 pub use gp::GaussianProcess;
 pub use model::{Prediction, Predictor, SurrogateError, SurrogateModel};
+pub use penalized::PenalizedPredictor;
 pub use rf::RandomForest;

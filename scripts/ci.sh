@@ -41,4 +41,15 @@ cargo run --release -q -p hypertune-bench --offline --bin trace-report -- \
   --demo target/trace-smoke.jsonl > target/trace-smoke.out
 grep -q "bracket-weight trajectory" target/trace-smoke.out
 
+step "schedulers bench smoke (--test: one pass, no timing)"
+# Exercises every scheduler bench including the dispatch-latency group
+# whose recorded numbers live in BENCH_scheduler.json (the batch
+# suggestion counterpart of BENCH_surrogate.json).
+cargo bench -q -p hypertune-bench --bench schedulers --offline -- --test \
+  > target/bench-smoke.out
+grep -q "dispatch_latency" target/bench-smoke.out
+
+step "prefetch determinism smoke (batch k=1 + prefetch/inline agreement)"
+PROPTEST_CASES=2 cargo test -q -p hypertune --offline --test batch_dispatch
+
 step "OK"
