@@ -17,7 +17,18 @@
 //! ASHA/Hyper-Tune. This is the fault-injection analogue of the paper's
 //! straggler argument for asynchronous scheduling (§4.2).
 //!
+//! Part 3 sweeps *worker churn* with the full elastic stack enabled —
+//! lease-based orphan recovery, speculative re-execution, and the
+//! degradation-ladder circuit breaker — and writes the chaos run's
+//! telemetry to a JSONL trace so `trace-report` can audit exactly-once
+//! trial accounting (the CI chaos-smoke step greps for `0 duplicated`).
+//!
 //! Run with: `cargo run --release -p hypertune-bench --bin robustness`
+//!
+//! Environment:
+//! - `HYPERTUNE_CHAOS_ONLY=1` skips parts 1–2 (the CI chaos-smoke path);
+//! - `HYPERTUNE_CHAOS_TRACE=<path>` overrides the churn trace location
+//!   (default `target/chaos-trace.jsonl`).
 
 use hypertune::prelude::*;
 use hypertune_bench::{budget_divisor, evaluate_method, report, MethodSummary};
@@ -43,6 +54,16 @@ fn noisy_covertype(noise_mult: f64, seed: u64) -> SyntheticBenchmark {
 }
 
 fn main() {
+    let budget = 3.0 * 3600.0 / budget_divisor();
+    if std::env::var("HYPERTUNE_CHAOS_ONLY").is_err() {
+        noise_sweep(budget);
+        fault_sweep(budget);
+    }
+    churn_sweep();
+}
+
+/// Part 1: converged error vs low-fidelity noise scale.
+fn noise_sweep(budget: f64) {
     report::header("Robustness: converged error vs low-fidelity noise scale");
     let methods = [
         MethodKind::Asha,
@@ -51,7 +72,6 @@ fn main() {
         MethodKind::MfesHb,
         MethodKind::HyperTune,
     ];
-    let budget = 3.0 * 3600.0 / budget_divisor();
 
     println!("\n{:<14}", "noise scale");
     let mut rows: Vec<(f64, Vec<MethodSummary>)> = Vec::new();
@@ -97,8 +117,6 @@ fn main() {
     )
     .expect("write results");
     println!("\nseries written to results/robustness.json");
-
-    fault_sweep(budget);
 }
 
 /// Part 2: converged error vs worker crash rate, sync vs async families.
@@ -186,4 +204,81 @@ fn fault_sweep(budget: f64) {
     )
     .expect("write results");
     println!("\nseries written to results/robustness_faults.json");
+}
+
+/// Part 3: worker churn with the full elastic stack (lease-based orphan
+/// recovery, speculative re-execution, degradation-ladder breaker). The
+/// highest-churn Hyper-Tune run streams its telemetry to a JSONL trace,
+/// which is then replayed through [`TraceSummary`] to audit exactly-once
+/// trial accounting; CI repeats the audit via the `trace-report` binary.
+fn churn_sweep() {
+    report::header("Robustness: elastic churn (lease recovery + speculation + breaker)");
+    let methods = [MethodKind::Asha, MethodKind::HyperTune];
+    let rates = [0.0, 0.05, 0.15];
+    // Cheap objective + fixed virtual budget: churn behaviour is about
+    // the execution layer, not the response surface, and the fixed
+    // budget keeps the sweep (and the CI smoke) fast and deterministic.
+    let bench = CountingOnes::new(4, 4, 0);
+    let budget = 1500.0;
+    let trace_path = std::env::var("HYPERTUNE_CHAOS_TRACE")
+        .unwrap_or_else(|_| "target/chaos-trace.jsonl".to_string());
+
+    println!(
+        "{:<10} {:<24} {:>10} {:>9} {:>8} {:>8} {:>8} {:>8}",
+        "churn p", "method", "best", "orphaned", "retried", "specul", "wins", "breaker"
+    );
+    for (ri, &p) in rates.iter().enumerate() {
+        for kind in methods {
+            let mut config = RunConfig::new(8, budget, 1100);
+            if p > 0.0 {
+                config.membership = Some(
+                    MembershipPlan::worker_crashes(p, Some(5.0), 1100 + ri as u64)
+                        .with_lease_timeout(10.0),
+                );
+            }
+            config.speculation = Some(SpeculationConfig::default());
+            config.breaker = Some(BreakerConfig::default());
+            config.retry = RetryPolicy::default_policy();
+            let traced = ri + 1 == rates.len() && kind == MethodKind::HyperTune;
+            if traced {
+                config.telemetry = Telemetry::new()
+                    .with_sink(JsonlSink::create(&trace_path).expect("create chaos trace"))
+                    .build();
+            }
+            let levels = ResourceLevels::new(bench.max_resource(), 3);
+            let mut method = kind.build(&levels, config.seed);
+            let r = run(method.as_mut(), &bench, &config);
+            assert_eq!(
+                r.failure_counts.orphaned, r.n_orphaned,
+                "orphan accounting diverged"
+            );
+            println!(
+                "{:<10} {:<24} {:>10.4} {:>9} {:>8} {:>8} {:>8} {:>8}",
+                p,
+                kind.name(),
+                r.best_value,
+                r.n_orphaned,
+                r.n_retries,
+                r.n_speculations,
+                r.n_backup_wins,
+                r.n_breaker_trips,
+            );
+        }
+    }
+
+    // Replay the traced run and reconcile: every dispatched trial must be
+    // completed, quarantined, or still in flight at log end — and no
+    // trial may appear twice.
+    let records = read_jsonl(&trace_path).expect("read chaos trace");
+    let summary = TraceSummary::from_records(&records);
+    assert!(summary.workers_left > 0, "churn plan never fired");
+    assert_eq!(
+        summary.duplicated_trials(),
+        0,
+        "duplicated trials under churn"
+    );
+    println!(
+        "\nchaos trace -> {trace_path} ({} events; {} departures, {} leases expired, 0 duplicated trials)",
+        summary.n_records, summary.workers_left, summary.leases_expired
+    );
 }

@@ -15,14 +15,27 @@
 //! Since OS threads cannot be safely preempted, a
 //! [`Hang`](crate::fault::Fault::Hang) here behaves as a crash: the job is
 //! abandoned rather than stretched.
+//!
+//! Elastic membership ([`ThreadPool::with_membership`]) also mirrors the
+//! simulator, with wall-clock semantics: scheduled event times are
+//! seconds since pool construction. A worker-level crash abandons the
+//! submitted job — it never reaches a thread — and surfaces it as
+//! [`JobStatus::Orphaned`] once its lease (wall seconds) expires; crashed
+//! capacity optionally rejoins later as a fresh worker id. Scheduled
+//! leaves drain gracefully (capacity shrinks immediately, but a running
+//! OS thread cannot be preempted, so its job still completes); scheduled
+//! joins spawn real new threads.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hypertune_telemetry::{Event, TelemetryHandle};
 
 use crate::fault::{Fault, FaultModel};
+use crate::membership::{ChurnState, MembershipEvent, MembershipPlan};
 use crate::sim::{fault_kind, ClusterError, JobStatus};
 
 /// A completed job from the pool.
@@ -53,14 +66,43 @@ enum Message<J> {
     Shutdown,
 }
 
-/// A fixed pool of worker threads evaluating jobs with a shared function.
+/// An abandoned job whose worker died: held until its lease expires,
+/// then surfaced through `next_completion` as [`JobStatus::Orphaned`].
+struct Orphan<J> {
+    job: J,
+    worker: usize,
+    deadline: Instant,
+}
+
+/// Elastic-membership runtime state for the pool (wall-clock time base).
+struct PoolMembership<J> {
+    churn: ChurnState,
+    started: Instant,
+    /// Orphans in deadline order (leases are a constant offset from
+    /// monotone submission times).
+    orphans: VecDeque<Orphan<J>>,
+    /// Wall deadlines at which crashed capacity rejoins.
+    rejoins: VecDeque<Instant>,
+}
+
+/// A pool of worker threads evaluating jobs with a shared function;
+/// fixed-size unless a [`MembershipPlan`] makes it elastic.
 pub struct ThreadPool<J, O> {
     job_tx: Sender<Message<J>>,
+    job_rx: Receiver<Message<J>>,
+    result_tx: Sender<PoolResult<J, O>>,
     result_rx: Receiver<PoolResult<J, O>>,
+    eval: Arc<dyn Fn(&J) -> O + Send + Sync>,
     handles: Vec<JoinHandle<()>>,
-    n_workers: usize,
+    /// Logical capacity: how many jobs may be in flight at once.
+    capacity: usize,
+    /// Notional ids of live workers; the top of the stack is the next
+    /// victim of a leave or crash.
+    alive_ids: Vec<usize>,
+    next_worker_id: usize,
     in_flight: usize,
     faults: FaultModel,
+    membership: Option<PoolMembership<J>>,
     telemetry: TelemetryHandle,
 }
 
@@ -81,48 +123,62 @@ where
         assert!(n_workers > 0, "pool needs at least one worker");
         let (job_tx, job_rx) = unbounded::<Message<J>>();
         let (result_tx, result_rx) = unbounded::<PoolResult<J, O>>();
-        let eval = Arc::new(eval);
-        let handles = (0..n_workers)
-            .map(|worker| {
-                let job_rx: Receiver<Message<J>> = job_rx.clone();
-                let result_tx = result_tx.clone();
-                let eval = Arc::clone(&eval);
-                std::thread::spawn(move || {
-                    while let Ok(Message::Run(job, status)) = job_rx.recv() {
-                        // Doomed jobs are abandoned without evaluating:
-                        // the real work died with the (simulated) worker.
-                        // Corrupt jobs evaluate — the output exists, it
-                        // just must be discarded by the driver.
-                        let output = match status {
-                            JobStatus::Succeeded | JobStatus::Corrupt => Some(eval(&job)),
-                            _ => None,
-                        };
-                        // The receiver may be gone during shutdown; that's
-                        // fine, just stop.
-                        if result_tx
-                            .send(PoolResult {
-                                job,
-                                output,
-                                status,
-                                worker,
-                            })
-                            .is_err()
-                        {
-                            break;
-                        }
-                    }
-                })
-            })
-            .collect();
-        Self {
+        let mut pool = Self {
             job_tx,
+            job_rx,
+            result_tx,
             result_rx,
-            handles,
-            n_workers,
+            eval: Arc::new(eval),
+            handles: Vec::new(),
+            capacity: 0,
+            alive_ids: Vec::new(),
+            next_worker_id: 0,
             in_flight: 0,
             faults: FaultModel::none(),
+            membership: None,
             telemetry: TelemetryHandle::disabled(),
+        };
+        for _ in 0..n_workers {
+            pool.spawn_worker();
         }
+        pool
+    }
+
+    /// Spawns one more worker thread with a fresh id and grows capacity.
+    fn spawn_worker(&mut self) -> usize {
+        let worker = self.next_worker_id;
+        self.next_worker_id += 1;
+        let job_rx = self.job_rx.clone();
+        let result_tx = self.result_tx.clone();
+        let eval = Arc::clone(&self.eval);
+        self.handles.push(std::thread::spawn(move || {
+            while let Ok(Message::Run(job, status)) = job_rx.recv() {
+                // Doomed jobs are abandoned without evaluating:
+                // the real work died with the (simulated) worker.
+                // Corrupt jobs evaluate — the output exists, it
+                // just must be discarded by the driver.
+                let output = match status {
+                    JobStatus::Succeeded | JobStatus::Corrupt => Some(eval(&job)),
+                    _ => None,
+                };
+                // The receiver may be gone during shutdown; that's
+                // fine, just stop.
+                if result_tx
+                    .send(PoolResult {
+                        job,
+                        output,
+                        status,
+                        worker,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        }));
+        self.capacity += 1;
+        self.alive_ids.push(worker);
+        worker
     }
 
     /// Attaches a fault model; each subsequent submission draws one
@@ -130,6 +186,86 @@ where
     pub fn with_faults(mut self, faults: FaultModel) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Attaches an elastic membership plan (see the module docs for the
+    /// wall-clock semantics). A [`MembershipPlan::static_plan`] changes
+    /// nothing and consumes no randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`MembershipPlan::validate`].
+    pub fn with_membership(mut self, plan: MembershipPlan) -> Self {
+        self.membership = Some(PoolMembership {
+            churn: ChurnState::new(plan),
+            started: Instant::now(),
+            orphans: VecDeque::new(),
+            rejoins: VecDeque::new(),
+        });
+        self
+    }
+
+    /// Applies scheduled membership events and crash rejoins that are due
+    /// at the current wall clock.
+    fn apply_due_membership(&mut self) {
+        enum Due {
+            Event(MembershipEvent),
+            Rejoin,
+        }
+        if self.membership.is_none() {
+            return;
+        }
+        loop {
+            let now = Instant::now();
+            // Pull one due item at a time so membership isn't borrowed
+            // while applying it (applying may spawn threads on `self`).
+            let due = {
+                let m = self.membership.as_mut().expect("checked above");
+                let elapsed = now.duration_since(m.started).as_secs_f64();
+                if let Some(event) = m.churn.pop_due_event(elapsed) {
+                    Some(Due::Event(event))
+                } else if m.rejoins.front().is_some_and(|&deadline| deadline <= now) {
+                    m.rejoins.pop_front();
+                    Some(Due::Rejoin)
+                } else {
+                    None
+                }
+            };
+            match due {
+                None => return,
+                Some(Due::Rejoin) => {
+                    let worker = self.spawn_worker();
+                    let n_alive = self.capacity;
+                    self.telemetry
+                        .emit_now_with(|| Event::WorkerJoined { worker, n_alive });
+                }
+                Some(Due::Event(MembershipEvent::Join { count, .. })) => {
+                    for _ in 0..count {
+                        let worker = self.spawn_worker();
+                        let n_alive = self.capacity;
+                        self.telemetry
+                            .emit_now_with(|| Event::WorkerJoined { worker, n_alive });
+                    }
+                }
+                Some(Due::Event(MembershipEvent::Leave { count, .. })) => {
+                    // Graceful drain: capacity shrinks immediately, but a
+                    // running OS thread cannot be preempted, so an
+                    // in-flight job on the departing worker still
+                    // completes (documented divergence from the sim,
+                    // which orphans it).
+                    for _ in 0..count {
+                        if self.capacity <= 1 {
+                            break;
+                        }
+                        self.capacity -= 1;
+                        let worker = self.alive_ids.pop().unwrap_or(0);
+                        let n_alive = self.capacity;
+                        self.telemetry
+                            .emit_now_with(|| Event::WorkerLeft { worker, n_alive });
+                    }
+                }
+            }
+        }
     }
 
     /// Attaches a telemetry handle; drawn faults are reported as
@@ -140,25 +276,31 @@ where
         self.telemetry = telemetry;
     }
 
-    /// Number of worker threads.
+    /// Current logical capacity (number of live workers).
     pub fn n_workers(&self) -> usize {
-        self.n_workers
+        self.capacity
     }
 
-    /// Number of jobs submitted but not yet returned.
+    /// Number of jobs submitted but not yet returned (orphans excluded:
+    /// their worker is gone, so they hold no slot).
     pub fn in_flight(&self) -> usize {
         self.in_flight
     }
 
     /// Number of free workers (pool capacity minus in-flight jobs).
     pub fn idle_workers(&self) -> usize {
-        self.n_workers - self.in_flight
+        self.capacity.saturating_sub(self.in_flight)
     }
 
     /// Submits a job; errors when every worker is already busy, mirroring
     /// [`crate::SimCluster::submit`].
+    ///
+    /// With an elastic membership plan, due joins/leaves are applied
+    /// first, and the dispatch may kill its worker: the job then never
+    /// reaches a thread and is orphaned until its lease expires.
     pub fn submit(&mut self, job: J) -> Result<(), ClusterError> {
-        if self.in_flight >= self.n_workers {
+        self.apply_due_membership();
+        if self.in_flight >= self.capacity {
             return Err(ClusterError::NoIdleWorker);
         }
         let drawn = self.faults.draw();
@@ -173,6 +315,37 @@ where
             Some(Fault::Error) => JobStatus::Errored,
             Some(Fault::Corrupt) => JobStatus::Corrupt,
         };
+        // Worker-level crash: drawn after the job fault (same order as the
+        // simulator, so fault sequences line up across substrates). The
+        // draw is consumed even when it cannot apply, keeping churn
+        // deterministic; it never kills the last worker.
+        let crashed = self
+            .membership
+            .as_mut()
+            .and_then(|m| m.churn.draw_worker_crash())
+            .filter(|_| self.capacity > 1)
+            .is_some();
+        if crashed {
+            self.capacity -= 1;
+            let worker = self.alive_ids.pop().unwrap_or(0);
+            let n_alive = self.capacity;
+            let now = Instant::now();
+            let m = self.membership.as_mut().expect("crash implies membership");
+            let lease = Duration::from_secs_f64(m.churn.plan().lease_timeout);
+            m.orphans.push_back(Orphan {
+                job,
+                worker,
+                deadline: now + lease,
+            });
+            if let Some(rejoin) = m.churn.plan().rejoin_after {
+                m.rejoins.push_back(now + Duration::from_secs_f64(rejoin));
+            }
+            self.telemetry
+                .emit_now_with(|| Event::WorkerLeft { worker, n_alive });
+            // The job never reaches a thread; it surfaces as Orphaned from
+            // `next_completion` once the lease runs out.
+            return Ok(());
+        }
         self.job_tx
             .send(Message::Run(job, status))
             .expect("workers outlive the pool handle");
@@ -181,18 +354,72 @@ where
     }
 
     /// Blocks until the next job finishes; returns
-    /// [`ClusterError::Quiescent`] when nothing is in flight (mirroring
+    /// [`ClusterError::Quiescent`] when nothing is in flight and no
+    /// orphan lease is pending (mirroring
     /// [`crate::SimCluster::next_completion`] and its loop invariant).
     pub fn next_completion(&mut self) -> Result<PoolResult<J, O>, ClusterError> {
-        if self.in_flight == 0 {
-            return Err(ClusterError::Quiescent);
+        loop {
+            self.apply_due_membership();
+            let now = Instant::now();
+            // Reap orphans whose lease has expired.
+            if let Some(m) = &mut self.membership {
+                if m.orphans.front().is_some_and(|o| o.deadline <= now) {
+                    let o = m.orphans.pop_front().expect("front checked");
+                    return Ok(PoolResult {
+                        job: o.job,
+                        output: None,
+                        status: JobStatus::Orphaned,
+                        worker: o.worker,
+                    });
+                }
+            }
+            let orphan_deadline = self
+                .membership
+                .as_ref()
+                .and_then(|m| m.orphans.front().map(|o| o.deadline));
+            let rejoin_deadline = self
+                .membership
+                .as_ref()
+                .and_then(|m| m.rejoins.front().copied());
+            if self.in_flight > 0 {
+                // Wait for a thread result, but wake at the next membership
+                // deadline so orphans/rejoins aren't starved by a long job.
+                let wake = [orphan_deadline, rejoin_deadline]
+                    .into_iter()
+                    .flatten()
+                    .min();
+                let r = match wake {
+                    None => Some(
+                        self.result_rx
+                            .recv()
+                            .expect("workers outlive the pool handle"),
+                    ),
+                    Some(deadline) => {
+                        match self
+                            .result_rx
+                            .recv_timeout(deadline.saturating_duration_since(now))
+                        {
+                            Ok(r) => Some(r),
+                            Err(RecvTimeoutError::Timeout) => None,
+                            Err(RecvTimeoutError::Disconnected) => {
+                                panic!("workers outlive the pool handle")
+                            }
+                        }
+                    }
+                };
+                if let Some(r) = r {
+                    self.in_flight -= 1;
+                    return Ok(r);
+                }
+                continue;
+            }
+            // Nothing on a thread: only an orphan lease can still produce a
+            // completion. Sleep to its deadline rather than spinning.
+            match orphan_deadline {
+                Some(deadline) => std::thread::sleep(deadline.saturating_duration_since(now)),
+                None => return Err(ClusterError::Quiescent),
+            }
         }
-        let r = self
-            .result_rx
-            .recv()
-            .expect("workers outlive the pool handle");
-        self.in_flight -= 1;
-        Ok(r)
     }
 }
 
@@ -334,5 +561,106 @@ mod tests {
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4), "different seeds should diverge");
+    }
+
+    #[test]
+    fn static_membership_plan_changes_nothing() {
+        let mut pool =
+            ThreadPool::new(2, |j: &u32| j + 1).with_membership(MembershipPlan::static_plan());
+        let mut outs = Vec::new();
+        for j in 0..10u32 {
+            pool.submit(j).unwrap();
+            let r = pool.next_completion().unwrap();
+            assert_eq!(r.status, JobStatus::Succeeded);
+            outs.push(r.output.unwrap());
+        }
+        assert_eq!(outs, (1..=10).collect::<Vec<_>>());
+        assert_eq!(pool.n_workers(), 2);
+        assert_eq!(pool.next_completion().unwrap_err(), ClusterError::Quiescent);
+    }
+
+    #[test]
+    fn worker_crash_orphans_job_until_lease_expires() {
+        // crash_prob = 1.0: the first dispatch kills its worker. The job
+        // never runs; it surfaces as Orphaned once the 50ms lease is up.
+        let plan = MembershipPlan::worker_crashes(1.0, None, 11).with_lease_timeout(0.05);
+        let mut pool = ThreadPool::new(2, |j: &u32| j * 10).with_membership(plan);
+        pool.submit(3).unwrap();
+        assert_eq!(pool.in_flight(), 0, "orphaned job holds no slot");
+        assert_eq!(pool.n_workers(), 1, "crashed capacity is gone");
+        let t0 = std::time::Instant::now();
+        let r = pool.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Orphaned);
+        assert_eq!(r.job, 3);
+        assert_eq!(r.output, None);
+        assert!(
+            t0.elapsed() >= std::time::Duration::from_millis(45),
+            "orphan must wait out its lease"
+        );
+        // One worker left: crashes are clamped (never kill the last
+        // worker), so the retry actually runs.
+        pool.submit(3).unwrap();
+        let r = pool.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Succeeded);
+        assert_eq!(r.output, Some(30));
+    }
+
+    #[test]
+    fn crashed_worker_rejoins_as_fresh_id() {
+        let plan = MembershipPlan::worker_crashes(1.0, Some(0.01), 5).with_lease_timeout(0.02);
+        let mut pool = ThreadPool::new(2, |j: &u32| *j).with_membership(plan);
+        pool.submit(1).unwrap();
+        assert_eq!(pool.n_workers(), 1);
+        let r = pool.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Orphaned);
+        // By the orphan's lease expiry (20ms) the 10ms rejoin is due too;
+        // it is applied lazily on the next pool call. With crash_prob 1.0
+        // a dispatch at capacity 1 cannot crash (last-worker clamp), so a
+        // second Orphaned result proves the rejoin restored capacity to 2
+        // before the dispatch.
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        pool.submit(2).unwrap();
+        let r = pool.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Orphaned, "rejoin restored capacity");
+    }
+
+    #[test]
+    fn scheduled_join_and_leave_resize_the_pool() {
+        let plan = MembershipPlan::static_plan()
+            .with_event(MembershipEvent::Join {
+                time: 0.0,
+                count: 2,
+            })
+            .with_event(MembershipEvent::Leave {
+                time: 0.0,
+                count: 1,
+            });
+        let mut pool = ThreadPool::new(1, |j: &u32| *j).with_membership(plan);
+        // Events apply lazily on the first submit: 1 + 2 - 1 = 2 slots.
+        pool.submit(0).unwrap();
+        pool.submit(1).unwrap();
+        assert_eq!(pool.submit(2), Err(ClusterError::NoIdleWorker));
+        assert_eq!(pool.n_workers(), 2);
+        while pool.next_completion().is_ok() {}
+    }
+
+    #[test]
+    fn churn_status_sequence_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let plan =
+                MembershipPlan::worker_crashes(0.5, Some(0.0), seed).with_lease_timeout(0.001);
+            let mut pool = ThreadPool::new(2, |j: &u32| *j).with_membership(plan);
+            let mut statuses = Vec::new();
+            for j in 0..30 {
+                pool.submit(j).unwrap();
+                statuses.push(pool.next_completion().unwrap().status);
+            }
+            statuses
+        };
+        let a = run(9);
+        assert_eq!(a, run(9));
+        assert!(a.contains(&JobStatus::Orphaned));
+        assert!(a.contains(&JobStatus::Succeeded));
+        assert_ne!(a, run(10), "different seeds should diverge");
     }
 }

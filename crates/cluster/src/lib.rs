@@ -29,11 +29,20 @@
 //! | [`sim`] | [`SimCluster`], [`JobResult`], [`JobStatus`], [`ClusterError`] — the discrete-event simulator and the submit/complete contract |
 //! | [`executor`] | [`ThreadPool`], [`PoolResult`] — the same contract on real OS threads |
 //! | [`fault`] | [`Fault`], [`FaultSpec`], [`FaultModel`] — dispatch-time failure injection |
+//! | [`membership`] | [`MembershipPlan`], [`MembershipEvent`] — elastic worker churn: scheduled joins/leaves, worker crashes that orphan jobs, lease-based recovery |
 //! | `straggler` (private) | [`StragglerModel`] — duration noise |
 //! | [`trace`] | [`Trace`], [`TraceSpan`] — per-worker busy intervals for utilization and Gantt renderings (Figures 1 and 4 of the paper) |
+//!
+//! Beyond job faults, both substrates accept a
+//! [`MembershipPlan`]: workers can join or leave on a schedule, or die
+//! with a per-dispatch probability. A dying worker **orphans** its
+//! in-flight job — the driver only learns of it when the job's lease
+//! expires and the substrate surfaces it as [`JobStatus::Orphaned`] —
+//! which is how a real cluster manager observes preempted machines.
 
 pub mod executor;
 pub mod fault;
+pub mod membership;
 pub mod sim;
 pub mod trace;
 
@@ -41,6 +50,7 @@ mod straggler;
 
 pub use executor::{PoolResult, ThreadPool};
 pub use fault::{Fault, FaultModel, FaultSpec};
-pub use sim::{ClusterError, JobResult, JobStatus, SimCluster};
+pub use membership::{MembershipEvent, MembershipPlan};
+pub use sim::{ClusterError, JobResult, JobStatus, SimCluster, SubmitReceipt};
 pub use straggler::StragglerModel;
 pub use trace::{Trace, TraceSpan};

@@ -27,12 +27,13 @@
 //! rendering.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 
 use hypertune_telemetry::{Event, FaultKind, TelemetryHandle};
 
 use crate::fault::{Fault, FaultModel};
+use crate::membership::{ChurnState, MembershipEvent, MembershipPlan};
 use crate::straggler::StragglerModel;
 use crate::trace::Trace;
 
@@ -87,6 +88,9 @@ pub enum JobStatus {
     Errored,
     /// The job exceeded the per-job timeout and was killed.
     TimedOut,
+    /// The worker holding the job left the cluster; the job's lease
+    /// expired with no result and the driver must reclaim it.
+    Orphaned,
     /// The job finished but returned a corrupt (unusable) result.
     Corrupt,
 }
@@ -105,6 +109,7 @@ impl fmt::Display for JobStatus {
             JobStatus::Crashed => "crashed",
             JobStatus::Errored => "errored",
             JobStatus::TimedOut => "timed-out",
+            JobStatus::Orphaned => "orphaned",
             JobStatus::Corrupt => "corrupt",
         };
         write!(f, "{s}")
@@ -125,6 +130,20 @@ pub struct JobResult<T> {
     pub finished: f64,
     /// How the job ended; anything but `Succeeded` is a failure.
     pub status: JobStatus,
+    /// The submission token ([`SubmitReceipt::token`]) of this dispatch,
+    /// matching what `submit_full` returned.
+    pub token: u64,
+}
+
+/// What [`SimCluster::submit_full`] hands back: the assigned worker and a
+/// token identifying the dispatch (usable with [`SimCluster::cancel`] and
+/// matched by [`JobResult::token`] at completion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitReceipt {
+    /// Worker the job was assigned to.
+    pub worker: usize,
+    /// Unique, monotonically increasing dispatch token.
+    pub token: u64,
 }
 
 impl<T> JobResult<T> {
@@ -134,29 +153,28 @@ impl<T> JobResult<T> {
     }
 }
 
-/// One in-flight job inside the event heap, ordered by finish time
+/// One scheduled completion inside the event heap, ordered by finish time
 /// (earliest first) with submission order as a deterministic tie-break.
-struct Pending<T> {
+/// The payload lives in the cluster's job table; a key whose `(seq,
+/// finish)` no longer matches the table is stale (the job was cancelled
+/// or rescheduled after an orphaning) and is skipped on pop.
+struct EventKey {
     finish: f64,
     seq: u64,
-    worker: usize,
-    started: f64,
-    status: JobStatus,
-    job: T,
 }
 
-impl<T> PartialEq for Pending<T> {
+impl PartialEq for EventKey {
     fn eq(&self, other: &Self) -> bool {
         self.finish == other.finish && self.seq == other.seq
     }
 }
-impl<T> Eq for Pending<T> {}
-impl<T> PartialOrd for Pending<T> {
+impl Eq for EventKey {}
+impl PartialOrd for EventKey {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<T> Ord for Pending<T> {
+impl Ord for EventKey {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest finish pops
         // first, with FIFO tie-break on seq.
@@ -168,15 +186,43 @@ impl<T> Ord for Pending<T> {
     }
 }
 
+/// One in-flight job (or an orphan awaiting its lease expiry).
+struct RunningJob<T> {
+    worker: usize,
+    started: f64,
+    /// The time the matching heap key surfaces this job; rescheduling an
+    /// orphan moves the deadline and strands the old key.
+    deadline: f64,
+    status: JobStatus,
+    /// `true` once the owning worker died: the slot is not returned to
+    /// the idle pool at completion.
+    worker_dead: bool,
+    job: T,
+}
+
+/// Elastic-membership runtime state; present only when a plan was
+/// attached, so static clusters pay nothing.
+struct MembershipState {
+    churn: ChurnState,
+    /// Pending rejoin times for crashed workers, ascending.
+    rejoins: Vec<f64>,
+    /// Next fresh worker id.
+    next_id: usize,
+    /// Workers currently in the cluster (idle or busy).
+    n_alive: usize,
+}
+
 /// A virtual cluster of `n` identical workers (see module docs).
 pub struct SimCluster<T> {
     n_workers: usize,
     clock: f64,
     seq: u64,
     idle: Vec<usize>,
-    heap: BinaryHeap<Pending<T>>,
+    heap: BinaryHeap<EventKey>,
+    jobs: BTreeMap<u64, RunningJob<T>>,
     straggler: StragglerModel,
     faults: FaultModel,
+    membership: Option<MembershipState>,
     job_timeout: Option<f64>,
     trace: Trace,
     telemetry: TelemetryHandle,
@@ -202,8 +248,10 @@ impl<T> SimCluster<T> {
             // Pop from the back; reversed so worker 0 is assigned first.
             idle: (0..n_workers).rev().collect(),
             heap: BinaryHeap::new(),
+            jobs: BTreeMap::new(),
             straggler,
             faults: FaultModel::none(),
+            membership: None,
             job_timeout: None,
             trace: Trace::new(n_workers),
             telemetry: TelemetryHandle::disabled(),
@@ -214,6 +262,26 @@ impl<T> SimCluster<T> {
     /// (possible) fault from it.
     pub fn with_faults(mut self, faults: FaultModel) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attaches an elastic membership plan: scheduled joins/leaves,
+    /// per-dispatch worker crashes (which orphan the in-flight job until
+    /// its lease expires), and optional crash rejoins. A
+    /// [`MembershipPlan::static_plan`] changes nothing and consumes no
+    /// randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`MembershipPlan::validate`].
+    pub fn with_membership(mut self, plan: MembershipPlan) -> Self {
+        let next_id = self.n_workers;
+        self.membership = Some(MembershipState {
+            churn: ChurnState::new(plan),
+            rejoins: Vec::new(),
+            next_id,
+            n_alive: self.n_workers,
+        });
         self
     }
 
@@ -239,9 +307,13 @@ impl<T> SimCluster<T> {
         self.job_timeout = timeout;
     }
 
-    /// Number of workers.
+    /// Number of workers currently in the cluster (idle or busy). Fixed
+    /// at the constructor argument unless a membership plan moves it.
     pub fn n_workers(&self) -> usize {
-        self.n_workers
+        match &self.membership {
+            Some(m) => m.n_alive,
+            None => self.n_workers,
+        }
     }
 
     /// Current virtual time in seconds.
@@ -254,14 +326,15 @@ impl<T> SimCluster<T> {
         self.idle.len()
     }
 
-    /// Number of jobs currently running.
+    /// Number of jobs currently in flight (including orphans awaiting
+    /// their lease expiry).
     pub fn running_jobs(&self) -> usize {
-        self.heap.len()
+        self.jobs.len()
     }
 
-    /// `true` when every worker is free.
+    /// `true` when nothing is in flight.
     pub fn is_quiescent(&self) -> bool {
-        self.heap.is_empty()
+        self.jobs.is_empty()
     }
 
     /// The busy-interval trace recorded so far.
@@ -278,19 +351,33 @@ impl<T> SimCluster<T> {
 
     /// Like [`SimCluster::submit`], with a label recorded in the trace
     /// (used for Gantt renderings).
-    ///
-    /// The fate of the job is decided here, at dispatch: stragglers
-    /// stretch the duration, then the fault model (if any) may convert the
-    /// job into a crash, error, hang, or corrupt result, and finally the
-    /// per-job timeout caps the effective duration. The outcome surfaces
-    /// later through [`SimCluster::next_completion`] as
-    /// [`JobResult::status`].
     pub fn submit_labeled(
         &mut self,
         job: T,
         duration: f64,
         label: String,
     ) -> Result<usize, ClusterError> {
+        self.submit_full(job, duration, label).map(|r| r.worker)
+    }
+
+    /// Like [`SimCluster::submit_labeled`], returning the dispatch token
+    /// as well, for later [`SimCluster::cancel`] calls and matching
+    /// against [`JobResult::token`].
+    ///
+    /// The fate of the job is decided here, at dispatch: stragglers
+    /// stretch the duration, then the fault model (if any) may convert the
+    /// job into a crash, error, hang, or corrupt result, then the per-job
+    /// timeout caps the effective duration, and finally the membership
+    /// plan (if any) may kill the accepting worker — orphaning the job,
+    /// which then surfaces as [`JobStatus::Orphaned`] once its lease
+    /// expires. The outcome surfaces later through
+    /// [`SimCluster::next_completion`] as [`JobResult::status`].
+    pub fn submit_full(
+        &mut self,
+        job: T,
+        duration: f64,
+        label: String,
+    ) -> Result<SubmitReceipt, ClusterError> {
         if !duration.is_finite() || duration < 0.0 {
             return Err(ClusterError::InvalidDuration);
         }
@@ -325,41 +412,225 @@ impl<T> SimCluster<T> {
                 status = JobStatus::TimedOut;
             }
         }
-        let finish = self.clock + effective;
+        // Worker-level crash: unlike a job fault, the *worker* dies —
+        // occupied for a fraction of the work, never reporting back. The
+        // job is orphaned and only surfaces once its lease expires.
+        let mut worker_dead = false;
+        let mut busy_until = self.clock + effective;
+        let mut deadline = busy_until;
+        if let Some(m) = &mut self.membership {
+            // Never kill the last survivor: like scheduled leaves, worker
+            // crashes keep at least one worker so the run can finish.
+            if let Some(frac) = m.churn.draw_worker_crash().filter(|_| m.n_alive > 1) {
+                let death = self.clock + frac * effective;
+                busy_until = death;
+                deadline = death + m.churn.plan().lease_timeout;
+                status = JobStatus::Orphaned;
+                worker_dead = true;
+                m.n_alive -= 1;
+                if let Some(r) = m.churn.plan().rejoin_after {
+                    let t = death + r;
+                    let at = m.rejoins.partition_point(|&x| x <= t);
+                    m.rejoins.insert(at, t);
+                }
+                let n_alive = m.n_alive;
+                self.telemetry
+                    .emit_with(death, || Event::WorkerLeft { worker, n_alive });
+            }
+        }
         let label = if status.is_failure() {
             format!("{label} [{status}]")
         } else {
             label
         };
-        self.trace.record(worker, self.clock, finish, label);
-        self.heap.push(Pending {
-            finish,
-            seq: self.seq,
-            worker,
-            started: self.clock,
-            status,
-            job,
+        self.trace.record(worker, self.clock, busy_until, label);
+        let token = self.seq;
+        self.jobs.insert(
+            token,
+            RunningJob {
+                worker,
+                started: self.clock,
+                deadline,
+                status,
+                worker_dead,
+                job,
+            },
+        );
+        self.heap.push(EventKey {
+            finish: deadline,
+            seq: token,
         });
         self.seq += 1;
-        Ok(worker)
+        Ok(SubmitReceipt { worker, token })
     }
 
-    /// Advances the clock to the earliest finish and returns that job, or
-    /// [`ClusterError::Quiescent`] when nothing is running (the loop
+    /// Cancels an in-flight job by token (the losing copy of a resolved
+    /// speculation). The worker is returned to the idle pool immediately
+    /// (unless it died) and the job will never surface through
+    /// [`SimCluster::next_completion`]. Returns `false` when the token is
+    /// not in flight (already completed or cancelled).
+    pub fn cancel(&mut self, token: u64) -> bool {
+        match self.jobs.remove(&token) {
+            Some(rj) => {
+                if !rj.worker_dead {
+                    self.idle.push(rj.worker);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Earliest due membership change (scheduled event or crash rejoin),
+    /// if any. Scheduled events win ties so plans apply in author order.
+    fn next_membership_time(&self) -> Option<(f64, bool)> {
+        let m = self.membership.as_ref()?;
+        let te = m.churn.next_event_time();
+        let tr = m.rejoins.first().copied();
+        match (te, tr) {
+            (Some(te), Some(tr)) if tr < te => Some((tr, false)),
+            (Some(te), _) => Some((te, true)),
+            (None, Some(tr)) => Some((tr, false)),
+            (None, None) => None,
+        }
+    }
+
+    /// Applies the single membership change due at `time`.
+    fn apply_membership(&mut self, time: f64, scheduled: bool) {
+        let m = self.membership.as_mut().expect("membership checked");
+        if !scheduled {
+            m.rejoins.remove(0);
+            self.join_workers(time, 1);
+            return;
+        }
+        match m.churn.pop_due_event(time).expect("event checked due") {
+            MembershipEvent::Join { count, .. } => self.join_workers(time, count),
+            MembershipEvent::Leave { count, .. } => self.leave_workers(time, count),
+        }
+    }
+
+    fn join_workers(&mut self, time: f64, count: usize) {
+        for _ in 0..count {
+            let m = self.membership.as_mut().expect("membership checked");
+            let id = m.next_id;
+            m.next_id += 1;
+            m.n_alive += 1;
+            let n_alive = m.n_alive;
+            self.idle.push(id);
+            self.trace.grow_to(id + 1);
+            self.telemetry.emit_with(time, || Event::WorkerJoined {
+                worker: id,
+                n_alive,
+            });
+        }
+    }
+
+    /// Removes up to `count` workers, highest ids first (clamped so at
+    /// least one worker survives). A busy victim orphans its in-flight
+    /// job: the job's completion is rescheduled to the lease expiry with
+    /// [`JobStatus::Orphaned`], stranding its old heap key.
+    fn leave_workers(&mut self, time: f64, count: usize) {
+        for _ in 0..count {
+            let m = self.membership.as_mut().expect("membership checked");
+            if m.n_alive <= 1 {
+                return;
+            }
+            let lease = m.churn.plan().lease_timeout;
+            // Highest-id alive worker: scan idle and live busy jobs.
+            let idle_max = self.idle.iter().copied().max();
+            let busy_max = self
+                .jobs
+                .values()
+                .filter(|rj| !rj.worker_dead)
+                .map(|rj| rj.worker)
+                .max();
+            let victim = match (idle_max, busy_max) {
+                (Some(a), Some(b)) => a.max(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => return,
+            };
+            if idle_max == Some(victim) && busy_max.is_none_or(|b| b < victim) {
+                self.idle.retain(|&w| w != victim);
+            } else {
+                // Orphan every job the victim holds (exactly one in
+                // practice: a worker runs one job at a time).
+                let tokens: Vec<u64> = self
+                    .jobs
+                    .iter()
+                    .filter(|(_, rj)| !rj.worker_dead && rj.worker == victim)
+                    .map(|(&t, _)| t)
+                    .collect();
+                for token in tokens {
+                    let rj = self.jobs.get_mut(&token).expect("token just listed");
+                    rj.worker_dead = true;
+                    rj.status = JobStatus::Orphaned;
+                    rj.deadline = time + lease;
+                    self.heap.push(EventKey {
+                        finish: time + lease,
+                        seq: token,
+                    });
+                }
+            }
+            m.n_alive -= 1;
+            let n_alive = m.n_alive;
+            self.telemetry.emit_with(time, || Event::WorkerLeft {
+                worker: victim,
+                n_alive,
+            });
+        }
+    }
+
+    /// Advances the clock to the earliest event — a job completion, an
+    /// orphan's lease expiry, or a membership change (applied internally)
+    /// — and returns the next finished job, or
+    /// [`ClusterError::Quiescent`] when nothing is in flight (the loop
     /// invariant in the module docs was violated, or the driver has
     /// drained all work).
     pub fn next_completion(&mut self) -> Result<JobResult<T>, ClusterError> {
-        let p = self.heap.pop().ok_or(ClusterError::Quiescent)?;
-        debug_assert!(p.finish >= self.clock, "time must not run backwards");
-        self.clock = p.finish;
-        self.idle.push(p.worker);
-        Ok(JobResult {
-            job: p.job,
-            worker: p.worker,
-            started: p.started,
-            finished: p.finish,
-            status: p.status,
-        })
+        loop {
+            // Drop stale keys (cancelled or rescheduled jobs) so the
+            // next real completion time is visible.
+            let next_finish = loop {
+                match self.heap.peek() {
+                    Some(k) if self.jobs.get(&k.seq).map(|rj| rj.deadline) != Some(k.finish) => {
+                        self.heap.pop();
+                    }
+                    Some(k) => break Some(k.finish),
+                    None => break None,
+                }
+            };
+            // Membership changes due before the next completion apply
+            // first, so capacity is correct when the driver refills.
+            if let Some((tm, scheduled)) = self.next_membership_time() {
+                if next_finish.map_or(tm <= self.clock, |tf| tm <= tf) {
+                    self.clock = self.clock.max(tm);
+                    let at = self.clock;
+                    self.apply_membership(at, scheduled);
+                    continue;
+                }
+            }
+            let Some(k) = (match next_finish {
+                Some(_) => self.heap.pop(),
+                None => None,
+            }) else {
+                return Err(ClusterError::Quiescent);
+            };
+            let rj = self.jobs.remove(&k.seq).expect("live key checked");
+            debug_assert!(k.finish >= self.clock, "time must not run backwards");
+            self.clock = k.finish;
+            if !rj.worker_dead {
+                self.idle.push(rj.worker);
+            }
+            return Ok(JobResult {
+                job: rj.job,
+                worker: rj.worker,
+                started: rj.started,
+                finished: k.finish,
+                status: rj.status,
+                token: k.seq,
+            });
+        }
     }
 
     /// Fraction of worker-time spent busy from time 0 to the current
@@ -575,5 +846,164 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         let _c: SimCluster<()> = SimCluster::new(0);
+    }
+
+    #[test]
+    fn static_membership_plan_matches_plain_cluster_exactly() {
+        // The disabled-plan invariant: same completions, same times, same
+        // tokens, same idle pool.
+        let mut plain: SimCluster<u32> = SimCluster::new(3);
+        let mut elastic: SimCluster<u32> =
+            SimCluster::new(3).with_membership(MembershipPlan::static_plan());
+        for i in 0..3 {
+            plain.submit(i, 1.0 + i as f64).unwrap();
+            elastic.submit(i, 1.0 + i as f64).unwrap();
+        }
+        for _ in 0..3 {
+            let a = plain.next_completion().unwrap();
+            let b = elastic.next_completion().unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.n_workers(), elastic.n_workers());
+        assert_eq!(plain.idle_workers(), elastic.idle_workers());
+    }
+
+    #[test]
+    fn scheduled_leave_orphans_busy_job_until_lease_expiry() {
+        let plan = MembershipPlan::static_plan()
+            .with_lease_timeout(5.0)
+            .with_event(MembershipEvent::Leave {
+                time: 2.0,
+                count: 1,
+            });
+        let mut c: SimCluster<&str> = SimCluster::new(2).with_membership(plan);
+        c.submit("short", 1.0).unwrap(); // worker 0
+        c.submit("doomed", 10.0).unwrap(); // worker 1 (highest id: the victim)
+        let first = c.next_completion().unwrap();
+        assert_eq!(first.job, "short");
+        // The leave at t=2 kills worker 1; its job surfaces as an orphan
+        // at 2 + 5 = 7, not at its natural finish of 10.
+        let orphan = c.next_completion().unwrap();
+        assert_eq!(orphan.job, "doomed");
+        assert_eq!(orphan.status, JobStatus::Orphaned);
+        assert_eq!(orphan.finished, 7.0);
+        assert!(!orphan.is_ok());
+        // The dead worker is gone: capacity shrank to 1.
+        assert_eq!(c.n_workers(), 1);
+        assert_eq!(c.idle_workers(), 1);
+    }
+
+    #[test]
+    fn scheduled_leave_prefers_idle_highest_id() {
+        let plan = MembershipPlan::static_plan().with_event(MembershipEvent::Leave {
+            time: 1.0,
+            count: 1,
+        });
+        let mut c: SimCluster<&str> = SimCluster::new(3).with_membership(plan);
+        // Worker 0 busy; workers 1 and 2 idle. The leave must take idle
+        // worker 2, not orphan the running job.
+        c.submit("running", 5.0).unwrap();
+        let r = c.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Succeeded);
+        assert_eq!(c.n_workers(), 2);
+    }
+
+    #[test]
+    fn scheduled_join_adds_fresh_workers() {
+        let plan = MembershipPlan::static_plan().with_event(MembershipEvent::Join {
+            time: 2.0,
+            count: 2,
+        });
+        let mut c: SimCluster<u32> = SimCluster::new(1).with_membership(plan);
+        c.submit(0, 5.0).unwrap();
+        assert_eq!(c.submit(1, 1.0), Err(ClusterError::NoIdleWorker));
+        // The join applies while waiting for the completion at t=5.
+        let r = c.next_completion().unwrap();
+        assert_eq!(r.finished, 5.0);
+        assert_eq!(c.n_workers(), 3);
+        assert_eq!(c.idle_workers(), 3);
+        // All three slots are usable, and the new ones carry fresh ids.
+        let mut workers = Vec::new();
+        for j in 2..5 {
+            c.submit(j, 1.0).unwrap();
+        }
+        for _ in 2..5 {
+            workers.push(c.next_completion().unwrap().worker);
+        }
+        workers.sort_unstable();
+        assert_eq!(workers, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn worker_crash_orphans_job_and_rejoins() {
+        let plan = MembershipPlan::worker_crashes(1.0, Some(1.0), 3).with_lease_timeout(2.0);
+        let mut c: SimCluster<&str> = SimCluster::new(2).with_membership(plan);
+        let receipt = c.submit_full("doomed", 10.0, String::new()).unwrap();
+        let r = c.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Orphaned);
+        assert_eq!(r.token, receipt.token);
+        // Death at frac * 10, lease 2: surfaced strictly before the
+        // natural finish.
+        assert!(r.finished < 10.0 + 2.0);
+        // Rejoin restored capacity to 2 (rejoin at death + 1 precedes the
+        // lease expiry at death + 2).
+        assert_eq!(c.n_workers(), 2);
+        assert_eq!(c.idle_workers(), 2);
+    }
+
+    #[test]
+    fn leave_never_removes_last_worker() {
+        let plan = MembershipPlan::static_plan().with_event(MembershipEvent::Leave {
+            time: 0.5,
+            count: 5,
+        });
+        let mut c: SimCluster<u32> = SimCluster::new(2).with_membership(plan);
+        c.submit(0, 2.0).unwrap();
+        c.next_completion().unwrap();
+        assert_eq!(c.n_workers(), 1, "clamped to one survivor");
+    }
+
+    #[test]
+    fn cancel_frees_worker_and_suppresses_completion() {
+        let mut c: SimCluster<&str> = SimCluster::new(2);
+        let a = c.submit_full("keep", 2.0, String::new()).unwrap();
+        let b = c.submit_full("cancel-me", 1.0, String::new()).unwrap();
+        assert!(c.cancel(b.token));
+        assert!(!c.cancel(b.token), "double cancel is a no-op");
+        assert_eq!(c.idle_workers(), 1);
+        // The cancelled job never surfaces; the kept one does.
+        let r = c.next_completion().unwrap();
+        assert_eq!(r.job, "keep");
+        assert_eq!(r.token, a.token);
+        assert_eq!(
+            c.next_completion().unwrap_err(),
+            ClusterError::Quiescent,
+            "cancelled job must not surface"
+        );
+    }
+
+    #[test]
+    fn worker_churn_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let plan = MembershipPlan::worker_crashes(0.3, Some(0.5), seed).with_lease_timeout(1.0);
+            let mut c: SimCluster<usize> = SimCluster::new(3).with_membership(plan);
+            let mut submitted = 0;
+            let mut log = Vec::new();
+            loop {
+                while submitted < 30 && c.submit(submitted, 1.0 + (submitted % 4) as f64).is_ok() {
+                    submitted += 1;
+                }
+                match c.next_completion() {
+                    Ok(r) => log.push((r.job, r.finished.to_bits(), r.status)),
+                    Err(_) => break,
+                }
+                if submitted == 30 && c.is_quiescent() {
+                    break;
+                }
+            }
+            log
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different churn seeds should diverge");
     }
 }

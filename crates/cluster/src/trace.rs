@@ -36,6 +36,13 @@ impl Trace {
         self.n_workers
     }
 
+    /// Widens the trace to cover at least `n_workers` rows (elastic
+    /// clusters grow it as fresh workers join). Never shrinks: departed
+    /// workers keep their rows so the Gantt chart shows their history.
+    pub fn grow_to(&mut self, n_workers: usize) {
+        self.n_workers = self.n_workers.max(n_workers);
+    }
+
     /// All spans in recording order.
     pub fn spans(&self) -> &[TraceSpan] {
         &self.spans

@@ -129,6 +129,8 @@ proptest! {
                 }
                 JobStatus::TimedOut => prop_assert!((effective - 120.0).abs() < 1e-9),
                 JobStatus::Succeeded => prop_assert!(effective >= durations[done.job] - 1e-9),
+                // No membership plan attached: workers never die.
+                JobStatus::Orphaned => prop_assert!(false, "orphan without membership plan"),
             }
             prop_assert!(!completed[done.job], "job completed twice");
             completed[done.job] = true;

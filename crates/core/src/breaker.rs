@@ -1,0 +1,217 @@
+//! Quarantine-storm circuit breaker: the graceful-degradation ladder.
+//!
+//! Under heavy fault pressure (crash storms, mass worker churn) the
+//! measurement history stops growing while quarantines pile up. Model-based
+//! samplers then refit surrogates on a shrinking, increasingly stale `D_K`,
+//! and the allocator keeps promoting configurations on the strength of
+//! noise. The breaker watches the recent terminal-outcome stream and, when
+//! the failure fraction over a sliding window crosses a threshold,
+//! **opens**: the runner tells the method to degrade — samplers fall back
+//! to uniform random draws and promotion machinery pauses — until the
+//! failure fraction drops back below a (lower) close threshold and the
+//! breaker **closes** again. Hysteresis between the two thresholds stops
+//! the ladder from flapping.
+//!
+//! The breaker is entirely driver-side: it never consumes run RNG, so a
+//! run in which it never opens is bit-identical to a run without it.
+
+use std::collections::VecDeque;
+
+/// Tuning knobs for the [`Breaker`]. The defaults open at a 50% failure
+/// rate over the last 20 terminal outcomes and close once it falls below
+/// 20%.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerConfig {
+    /// Sliding-window length (terminal outcomes: completions and
+    /// quarantines both count).
+    pub window: usize,
+    /// Failure fraction at or above which the breaker opens.
+    pub open_threshold: f64,
+    /// Failure fraction at or below which an open breaker closes.
+    /// Must not exceed `open_threshold`.
+    pub close_threshold: f64,
+    /// Minimum outcomes observed before the breaker may open (a single
+    /// early failure is not a storm).
+    pub min_samples: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            window: 20,
+            open_threshold: 0.5,
+            close_threshold: 0.2,
+            min_samples: 10,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Panics on malformed knobs (zero window, thresholds outside `[0,1]`
+    /// or inverted hysteresis).
+    pub fn validate(&self) {
+        assert!(self.window > 0, "breaker window must be > 0");
+        assert!(
+            (0.0..=1.0).contains(&self.open_threshold)
+                && (0.0..=1.0).contains(&self.close_threshold),
+            "breaker thresholds must be in [0, 1]"
+        );
+        assert!(
+            self.close_threshold <= self.open_threshold,
+            "close_threshold must not exceed open_threshold"
+        );
+    }
+}
+
+/// A state change produced by [`Breaker::record`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BreakerTransition {
+    /// The failure rate crossed the open threshold; carries the rate at
+    /// the moment of opening.
+    Opened(f64),
+    /// The failure rate fell back below the close threshold.
+    Closed,
+}
+
+/// Sliding-window failure-rate breaker; see the module docs.
+#[derive(Debug, Clone)]
+pub struct Breaker {
+    config: BreakerConfig,
+    /// Recent terminal outcomes, `true` = failure.
+    recent: VecDeque<bool>,
+    open: bool,
+}
+
+impl Breaker {
+    /// Creates a closed breaker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails [`BreakerConfig::validate`].
+    pub fn new(config: BreakerConfig) -> Self {
+        config.validate();
+        Self {
+            recent: VecDeque::with_capacity(config.window),
+            config,
+            open: false,
+        }
+    }
+
+    /// `true` while the breaker is open (the method should be degraded).
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Failure fraction over the current window (`0.0` when empty).
+    pub fn failure_rate(&self) -> f64 {
+        if self.recent.is_empty() {
+            return 0.0;
+        }
+        let failures = self.recent.iter().filter(|&&f| f).count();
+        failures as f64 / self.recent.len() as f64
+    }
+
+    /// Feeds one terminal outcome (`failed` = quarantine or orphan-storm
+    /// casualty) and returns the transition it caused, if any.
+    pub fn record(&mut self, failed: bool) -> Option<BreakerTransition> {
+        if self.recent.len() == self.config.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(failed);
+        let rate = self.failure_rate();
+        if !self.open {
+            if self.recent.len() >= self.config.min_samples && rate >= self.config.open_threshold {
+                self.open = true;
+                return Some(BreakerTransition::Opened(rate));
+            }
+        } else if rate <= self.config.close_threshold {
+            self.open = false;
+            return Some(BreakerTransition::Closed);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> BreakerConfig {
+        BreakerConfig {
+            window: 4,
+            open_threshold: 0.5,
+            close_threshold: 0.25,
+            min_samples: 2,
+        }
+    }
+
+    #[test]
+    fn stays_closed_under_light_failure() {
+        let mut b = Breaker::new(quick());
+        for _ in 0..20 {
+            assert_eq!(b.record(false), None);
+        }
+        assert!(!b.is_open());
+        assert_eq!(b.failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn opens_on_storm_and_closes_with_hysteresis() {
+        let mut b = Breaker::new(quick());
+        assert_eq!(b.record(false), None);
+        // Window [f, t]: rate 0.5 hits the open threshold at min_samples.
+        assert_eq!(b.record(true), Some(BreakerTransition::Opened(0.5)));
+        assert!(b.is_open());
+        // Window [f, t, f]: rate 1/3 sits between the thresholds — the
+        // hysteresis band — so the breaker stays open.
+        assert_eq!(b.record(false), None);
+        assert!(b.is_open());
+        // Window [f, t, f, f]: rate 0.25 reaches the close threshold.
+        assert_eq!(b.record(false), Some(BreakerTransition::Closed));
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    fn min_samples_gates_opening() {
+        let cfg = BreakerConfig {
+            min_samples: 4,
+            ..quick()
+        };
+        let mut b = Breaker::new(cfg);
+        assert_eq!(b.record(true), None);
+        assert_eq!(b.record(true), None);
+        assert_eq!(b.record(true), None);
+        assert!(!b.is_open(), "three failures < min_samples");
+        assert_eq!(b.record(true), Some(BreakerTransition::Opened(1.0)));
+        assert!(b.is_open());
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut b = Breaker::new(quick());
+        for _ in 0..4 {
+            b.record(true);
+        }
+        assert!(b.is_open());
+        assert_eq!(b.failure_rate(), 1.0);
+        // Four successes push every failure out of the window.
+        let mut transitions = Vec::new();
+        for _ in 0..4 {
+            if let Some(t) = b.record(false) {
+                transitions.push(t);
+            }
+        }
+        assert_eq!(transitions, vec![BreakerTransition::Closed]);
+        assert_eq!(b.failure_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "close_threshold")]
+    fn inverted_hysteresis_panics() {
+        Breaker::new(BreakerConfig {
+            open_threshold: 0.2,
+            close_threshold: 0.5,
+            ..Default::default()
+        });
+    }
+}

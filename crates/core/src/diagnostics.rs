@@ -26,6 +26,9 @@ pub struct FailureCounts {
     pub timed_out: usize,
     /// Evaluation finished but the result was unusable.
     pub corrupt: usize,
+    /// Worker left the cluster mid-evaluation; the job's lease expired
+    /// and it was reclaimed unfinished.
+    pub orphaned: usize,
 }
 
 impl FailureCounts {
@@ -38,6 +41,7 @@ impl FailureCounts {
             JobStatus::Errored => self.errored += 1,
             JobStatus::TimedOut => self.timed_out += 1,
             JobStatus::Corrupt => self.corrupt += 1,
+            JobStatus::Orphaned => self.orphaned += 1,
         }
     }
 
@@ -47,11 +51,12 @@ impl FailureCounts {
         self.errored += other.errored;
         self.timed_out += other.timed_out;
         self.corrupt += other.corrupt;
+        self.orphaned += other.orphaned;
     }
 
     /// Total failed attempts across all modes.
     pub fn total(&self) -> usize {
-        self.crashed + self.errored + self.timed_out + self.corrupt
+        self.crashed + self.errored + self.timed_out + self.corrupt + self.orphaned
     }
 
     /// `true` when nothing failed.
@@ -64,8 +69,8 @@ impl std::fmt::Display for FailureCounts {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "crashed={} errored={} timed_out={} corrupt={}",
-            self.crashed, self.errored, self.timed_out, self.corrupt
+            "crashed={} errored={} timed_out={} corrupt={} orphaned={}",
+            self.crashed, self.errored, self.timed_out, self.corrupt, self.orphaned
         )
     }
 }
@@ -79,6 +84,7 @@ pub fn failure_kind(status: JobStatus) -> Option<FailureKind> {
         JobStatus::Errored => Some(FailureKind::Errored),
         JobStatus::TimedOut => Some(FailureKind::TimedOut),
         JobStatus::Corrupt => Some(FailureKind::Corrupt),
+        JobStatus::Orphaned => Some(FailureKind::Orphaned),
     }
 }
 
@@ -238,21 +244,24 @@ mod tests {
         c.record(JobStatus::Errored);
         c.record(JobStatus::TimedOut);
         c.record(JobStatus::Corrupt);
+        c.record(JobStatus::Orphaned);
         c.record(JobStatus::Succeeded); // ignored
         assert_eq!(c.crashed, 2);
         assert_eq!(c.errored, 1);
         assert_eq!(c.timed_out, 1);
         assert_eq!(c.corrupt, 1);
-        assert_eq!(c.total(), 5);
+        assert_eq!(c.orphaned, 1);
+        assert_eq!(c.total(), 6);
         assert!(!c.is_empty());
         let mut merged = FailureCounts::default();
         merged.record(JobStatus::Errored);
         merged.merge(&c);
         assert_eq!(merged.errored, 2);
-        assert_eq!(merged.total(), 6);
+        assert_eq!(merged.total(), 7);
         let shown = c.to_string();
         assert!(shown.contains("crashed=2"));
         assert!(shown.contains("corrupt=1"));
+        assert!(shown.contains("orphaned=1"));
     }
 
     #[test]
@@ -266,6 +275,10 @@ mod tests {
             Some(FailureKind::TimedOut)
         );
         assert_eq!(failure_kind(JobStatus::Corrupt), Some(FailureKind::Corrupt));
+        assert_eq!(
+            failure_kind(JobStatus::Orphaned),
+            Some(FailureKind::Orphaned)
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@
 //! | [`ranking`] | Cross-level ranking loss behind θ |
 //! | [`lce`] | Learning-curve extrapolation for the LCE-Stop baseline |
 //! | [`persist`] | Checkpoints and write-ahead run snapshots |
+//! | [`breaker`] | Quarantine-storm circuit breaker (graceful degradation) |
 //! | [`diagnostics`] | θ history, bracket starts/promotions/failures |
 //!
 //! # Baselines
@@ -54,6 +55,7 @@
 
 pub mod allocator;
 pub mod bracket;
+pub mod breaker;
 pub mod diagnostics;
 pub mod history;
 pub mod lce;
@@ -67,6 +69,7 @@ pub mod runner;
 pub mod runner_threaded;
 pub mod sampler;
 
+pub use breaker::{Breaker, BreakerConfig, BreakerTransition};
 pub use diagnostics::{failure_kind, Diagnostics, FailureCounts};
 pub use history::{History, Measurement};
 pub use levels::ResourceLevels;
@@ -74,6 +77,7 @@ pub use method::{JobSpec, Method, MethodContext, Outcome, OutcomeStatus};
 pub use methods::MethodKind;
 pub use persist::{Checkpoint, RunRecord, RunSnapshot, SubmissionRecord};
 pub use runner::{
-    resume, run, run_checkpointed, CheckpointPolicy, ResumeError, RetryPolicy, RunConfig, RunResult,
+    resume, run, run_checkpointed, CheckpointPolicy, ResumeError, RetryPolicy, RunConfig,
+    RunResult, SpeculationConfig,
 };
 pub use runner_threaded::{run_threaded, ThreadedRunConfig, ThreadedRunResult};

@@ -151,6 +151,15 @@ pub trait Method: Send {
     /// do) override this and forward clones downstream. Runners call it
     /// once, before the first [`Method::next_job`].
     fn set_telemetry(&mut self, _telemetry: TelemetryHandle) {}
+
+    /// Toggles graceful degradation (the runner's quarantine-storm circuit
+    /// breaker, [`crate::breaker::Breaker`]). While degraded a method
+    /// should stop trusting its models: samplers fall back to uniform
+    /// random draws and promotion machinery pauses. The default ignores
+    /// the signal — simple methods (random search, fixed schedules) have
+    /// nothing to degrade. Implementations must not consume run RNG here,
+    /// so a run in which the breaker never fires stays bit-identical.
+    fn set_degraded(&mut self, _degraded: bool) {}
 }
 
 #[cfg(test)]

@@ -68,6 +68,9 @@ pub struct AsyncHb {
     theta: ThetaTracker,
     diagnostics: Diagnostics,
     telemetry: TelemetryHandle,
+    /// Breaker-open mode: θ refreshes and promotions pause, the sampler
+    /// (already told to degrade itself) draws randomly.
+    degraded: bool,
 }
 
 impl AsyncHb {
@@ -91,6 +94,7 @@ impl AsyncHb {
             theta: ThetaTracker::new(seed ^ 0xa57c),
             diagnostics: Diagnostics::new(levels.k()),
             telemetry: TelemetryHandle::disabled(),
+            degraded: false,
         }
     }
 
@@ -174,10 +178,15 @@ impl Method for AsyncHb {
     }
 
     fn next_job(&mut self, ctx: &mut MethodContext<'_>) -> Option<JobSpec> {
-        self.refresh_theta(ctx);
+        // Breaker open: don't refit θ on a starved history and don't
+        // promote on the strength of it; keep workers busy with random
+        // base-rung starts until the storm passes.
+        if !self.degraded {
+            self.refresh_theta(ctx);
 
-        if let Some(job) = self.try_promotion(ctx) {
-            return Some(job);
+            if let Some(job) = self.try_promotion(ctx) {
+                return Some(job);
+            }
         }
 
         // No promotion possible: sample a new configuration at the base
@@ -205,12 +214,14 @@ impl Method for AsyncHb {
             // Must stay bit-identical to the sequential path.
             return (0..k).filter_map(|_| self.next_job(ctx)).collect();
         }
-        self.refresh_theta(ctx);
         let mut jobs = Vec::with_capacity(k);
-        while jobs.len() < k {
-            match self.try_promotion(ctx) {
-                Some(job) => jobs.push(job),
-                None => break,
+        if !self.degraded {
+            self.refresh_theta(ctx);
+            while jobs.len() < k {
+                match self.try_promotion(ctx) {
+                    Some(job) => jobs.push(job),
+                    None => break,
+                }
             }
         }
         let m = k - jobs.len();
@@ -263,6 +274,11 @@ impl Method for AsyncHb {
             s.set_telemetry(telemetry.clone());
         }
         self.telemetry = telemetry;
+    }
+
+    fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+        self.sampler.set_degraded(degraded);
     }
 }
 

@@ -99,6 +99,10 @@ impl Method for LceStop {
             self.curves.remove(&outcome.spec.config);
         }
     }
+
+    fn set_degraded(&mut self, degraded: bool) {
+        self.sampler.set_degraded(degraded);
+    }
 }
 
 #[cfg(test)]

@@ -90,6 +90,10 @@ impl Method for MedianStop {
                 .push_back((outcome.spec.config.clone(), level + 1));
         }
     }
+
+    fn set_degraded(&mut self, degraded: bool) {
+        self.sampler.set_degraded(degraded);
+    }
 }
 
 #[cfg(test)]

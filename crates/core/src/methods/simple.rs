@@ -118,6 +118,10 @@ impl Method for BatchBo {
         debug_assert!(self.outstanding > 0);
         self.outstanding = self.outstanding.saturating_sub(1);
     }
+
+    fn set_degraded(&mut self, degraded: bool) {
+        self.sampler.set_degraded(degraded);
+    }
 }
 
 /// Asynchronous Bayesian optimization: a fresh model-based proposal for
@@ -159,6 +163,10 @@ impl Method for ABo {
     }
 
     fn on_result(&mut self, _outcome: &Outcome, _ctx: &mut MethodContext<'_>) {}
+
+    fn set_degraded(&mut self, degraded: bool) {
+        self.sampler.set_degraded(degraded);
+    }
 }
 
 /// Asynchronous regularized evolution (the A-REA comparison of §5.2):

@@ -156,6 +156,12 @@ impl Method for SyncHb {
         // still reports surrogate fits and acquisition timing.
         self.sampler.set_telemetry(telemetry);
     }
+
+    fn set_degraded(&mut self, degraded: bool) {
+        // Rung barriers must still resolve (pausing them would deadlock
+        // the batch), so only the sampler degrades.
+        self.sampler.set_degraded(degraded);
+    }
 }
 
 #[cfg(test)]

@@ -21,6 +21,24 @@
 //! Both serialize as JSON. The serializer emits `f64`s in
 //! shortest-roundtrip form, so save → load preserves every value exactly
 //! — which is what makes the snapshot equality check sound.
+//!
+//! # WAL durability
+//!
+//! [`RunSnapshot`] is stored as a **line-oriented write-ahead log**
+//! rather than a single JSON blob: a header line carrying the seed,
+//! then one record line per submission and per measurement. Every line
+//! is prefixed with an FNV-1a checksum of its payload, so [`RunSnapshot::load`]
+//! can distinguish the two real-world corruption modes:
+//!
+//! - a **truncated final line** (the process died mid-`write`) is
+//!   expected — the loader drops it and recovers to the last good
+//!   record, exactly the contract a WAL promises;
+//! - a **damaged interior line** (bit rot, manual editing) is not —
+//!   the loader refuses the file instead of silently replaying a hole.
+//!
+//! Snapshots written by older builds as a single JSON object are still
+//! readable: the loader sniffs the first byte and falls back to the
+//! legacy blob parser.
 
 use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
@@ -117,22 +135,147 @@ pub struct RunSnapshot {
     pub measurements: Vec<Measurement>,
 }
 
+/// Current on-disk WAL format version (bumped on incompatible layout
+/// changes; the loader rejects versions it does not know).
+const WAL_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a over a byte slice — the per-line checksum. Not
+/// cryptographic (the WAL guards against accidents, not adversaries):
+/// it detects truncation, bit flips, and hand edits at trivial cost.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn corrupt(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// One line of the snapshot WAL (owned, for reading; the write path
+/// builds the externally-tagged [`serde::Value`] by hand via
+/// [`tagged`], so no record is cloned on save).
+#[derive(Deserialize)]
+enum WalRecord {
+    Header { version: u32, seed: u64 },
+    Submission(SubmissionRecord),
+    Measurement(Measurement),
+}
+
+/// Wraps a payload in the externally-tagged form the derive reads:
+/// `{"<tag>": payload}`.
+fn tagged(tag: &str, payload: serde::Value) -> serde::Value {
+    let mut m = serde::Map::new();
+    m.insert(tag.to_string(), payload);
+    serde::Value::Object(m)
+}
+
+fn write_record(w: &mut impl Write, record: &serde::Value) -> std::io::Result<()> {
+    let payload = serde_json::to_string(record)?;
+    writeln!(w, "{:016x}\t{payload}", fnv1a(payload.as_bytes()))
+}
+
+/// Parses one WAL line: verifies the checksum prefix, then decodes the
+/// JSON payload. Any failure is reported as `Err` — the caller decides
+/// whether the position in the file makes it recoverable.
+fn parse_line(line: &str) -> Result<WalRecord, String> {
+    let (sum, payload) = line
+        .split_once('\t')
+        .ok_or_else(|| "missing checksum separator".to_string())?;
+    let expected =
+        u64::from_str_radix(sum, 16).map_err(|_| format!("malformed checksum {sum:?}"))?;
+    let actual = fnv1a(payload.as_bytes());
+    if actual != expected {
+        return Err(format!(
+            "checksum mismatch (recorded {expected:016x}, computed {actual:016x})"
+        ));
+    }
+    serde_json::from_str(payload).map_err(|e| format!("undecodable payload: {e}"))
+}
+
 impl RunSnapshot {
-    /// Writes the snapshot as JSON.
+    /// Writes the snapshot as a checksummed line-oriented WAL: a header
+    /// line (format version + seed), one line per submission in
+    /// dispatch order, then one line per measurement in completion
+    /// order. See the module docs for the corruption-recovery contract.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
         let file = std::fs::File::create(path)?;
         let mut w = BufWriter::new(file);
-        serde_json::to_writer(&mut w, self)?;
+        let mut header = serde::Map::new();
+        header.insert("version".to_string(), Serialize::to_value(&WAL_VERSION));
+        header.insert("seed".to_string(), Serialize::to_value(&self.seed));
+        write_record(&mut w, &tagged("Header", serde::Value::Object(header)))?;
+        for s in &self.submissions {
+            write_record(&mut w, &tagged("Submission", Serialize::to_value(s)))?;
+        }
+        for m in &self.measurements {
+            write_record(&mut w, &tagged("Measurement", Serialize::to_value(m)))?;
+        }
         w.flush()
     }
 
-    /// Reads a snapshot from JSON.
+    /// Reads a snapshot, recovering from a torn tail.
+    ///
+    /// - A damaged or incomplete **final** line is dropped: the process
+    ///   that wrote the WAL died mid-write, and everything before the
+    ///   tear is intact by construction.
+    /// - A damaged line **before** the end is an error: the file was
+    ///   corrupted after the fact, and replaying around a hole would
+    ///   silently produce a different run.
+    /// - Files written by older builds as one JSON blob (first byte
+    ///   `{`) load through the legacy parser unchanged.
     pub fn load(path: &Path) -> std::io::Result<Self> {
-        let file = std::fs::File::open(path)?;
-        Ok(serde_json::from_reader(BufReader::new(file))?)
+        let text = std::fs::read_to_string(path)?;
+        if text.trim_start().starts_with('{') {
+            // Legacy single-blob snapshot (pre-WAL builds).
+            return Ok(serde_json::from_str(&text)?);
+        }
+        let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+        let mut records = Vec::with_capacity(lines.len());
+        for (i, line) in lines.iter().enumerate() {
+            match parse_line(line) {
+                Ok(r) => records.push(r),
+                // Torn tail: drop the final line, keep the good prefix.
+                Err(_) if i + 1 == lines.len() => break,
+                Err(e) => {
+                    return Err(corrupt(format!(
+                        "snapshot WAL corrupt at line {}: {e}",
+                        i + 1
+                    )))
+                }
+            }
+        }
+        let mut records = records.into_iter();
+        let seed = match records.next() {
+            Some(WalRecord::Header { version, seed }) if version == WAL_VERSION => seed,
+            Some(WalRecord::Header { version, .. }) => {
+                return Err(corrupt(format!(
+                    "snapshot WAL version {version} not supported (expected {WAL_VERSION})"
+                )))
+            }
+            _ => return Err(corrupt("snapshot WAL has no valid header line".into())),
+        };
+        let mut snapshot = Self {
+            seed,
+            submissions: Vec::new(),
+            measurements: Vec::new(),
+        };
+        for record in records {
+            match record {
+                WalRecord::Header { .. } => {
+                    return Err(corrupt("snapshot WAL has a duplicate header".into()))
+                }
+                WalRecord::Submission(s) => snapshot.submissions.push(s),
+                WalRecord::Measurement(m) => snapshot.measurements.push(m),
+            }
+        }
+        Ok(snapshot)
     }
 }
 
@@ -235,6 +378,142 @@ mod tests {
         let json = serde_json::to_string(&rec).unwrap();
         let back: RunRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back.best_value, r.best_value);
+    }
+
+    fn snapshot_fixture(n: usize) -> RunSnapshot {
+        let submissions = (0..n)
+            .map(|i| SubmissionRecord {
+                spec: JobSpec {
+                    config: Config::new(vec![ParamValue::Float(i as f64 / n as f64)]),
+                    level: i % 3,
+                    resource: 3f64.powi((i % 3) as i32),
+                    bracket: None,
+                    id: i as u64,
+                },
+                value: 0.5 - 0.01 * i as f64,
+                test_value: 0.5 - 0.01 * i as f64,
+                cost: 1.0 + i as f64,
+            })
+            .collect();
+        let measurements = (0..n).map(|i| measurement(i % 3, 0.4, i as f64)).collect();
+        RunSnapshot {
+            seed: 42,
+            submissions,
+            measurements,
+        }
+    }
+
+    fn temp_wal(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir()
+            .join(format!("hypertune-wal-test-{name}-{}", std::process::id()))
+            .join("run.wal")
+    }
+
+    fn cleanup(path: &Path) {
+        if let Some(dir) = path.parent() {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+
+    #[test]
+    fn wal_roundtrip_preserves_snapshot_exactly() {
+        let snap = snapshot_fixture(6);
+        let path = temp_wal("roundtrip");
+        snap.save(&path).unwrap();
+        let back = RunSnapshot::load(&path).unwrap();
+        cleanup(&path);
+        assert_eq!(back.seed, snap.seed);
+        assert_eq!(back.submissions, snap.submissions);
+        assert_eq!(back.measurements.len(), snap.measurements.len());
+        for (a, b) in back.measurements.iter().zip(&snap.measurements) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+            assert_eq!(a.finished_at.to_bits(), b.finished_at.to_bits());
+        }
+    }
+
+    #[test]
+    fn wal_recovers_from_truncated_final_line() {
+        let snap = snapshot_fixture(5);
+        let path = temp_wal("truncate");
+        snap.save(&path).unwrap();
+        // Tear the file mid-way through the last record, as a crash
+        // during `write` would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let torn = &text[..text.trim_end().len() - 7];
+        std::fs::write(&path, torn).unwrap();
+        let back = RunSnapshot::load(&path).unwrap();
+        cleanup(&path);
+        assert_eq!(back.seed, 42);
+        assert_eq!(back.submissions.len(), 5, "submissions precede the tear");
+        assert_eq!(back.measurements.len(), 4, "torn measurement dropped");
+    }
+
+    #[test]
+    fn wal_rejects_midfile_tampering() {
+        let snap = snapshot_fixture(5);
+        let path = temp_wal("tamper");
+        snap.save(&path).unwrap();
+        // Flip one byte inside an interior record's payload.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut bad = lines.clone();
+        let victim = lines[2].replace("Submission", "Submersion");
+        assert_ne!(victim, lines[2], "tamper must change the payload");
+        bad[2] = &victim;
+        std::fs::write(&path, bad.join("\n")).unwrap();
+        let err = RunSnapshot::load(&path).unwrap_err();
+        cleanup(&path);
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("line 3"),
+            "error names the damaged line: {err}"
+        );
+    }
+
+    #[test]
+    fn wal_rejects_truncation_that_reaches_interior_records() {
+        let snap = snapshot_fixture(4);
+        let path = temp_wal("deep-truncate");
+        snap.save(&path).unwrap();
+        // Cut the file down to half of line 2: line 2 is now damaged
+        // AND final, so the loader recovers to just the header's seed
+        // with the prefix of records before it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let second_line_mid = text.lines().take(1).map(|l| l.len() + 1).sum::<usize>() + 10;
+        std::fs::write(&path, &text[..second_line_mid]).unwrap();
+        let back = RunSnapshot::load(&path).unwrap();
+        cleanup(&path);
+        assert_eq!(back.seed, 42);
+        assert!(back.submissions.is_empty());
+        assert!(back.measurements.is_empty());
+    }
+
+    #[test]
+    fn wal_refuses_file_without_header() {
+        let path = temp_wal("headerless");
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).unwrap();
+        }
+        std::fs::write(&path, "not a wal at all\n").unwrap();
+        let err = RunSnapshot::load(&path).unwrap_err();
+        cleanup(&path);
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn legacy_json_blob_snapshot_still_loads() {
+        let snap = snapshot_fixture(3);
+        let path = temp_wal("legacy");
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).unwrap();
+        }
+        // Pre-WAL builds wrote the snapshot as one JSON object.
+        std::fs::write(&path, serde_json::to_string(&snap).unwrap()).unwrap();
+        let back = RunSnapshot::load(&path).unwrap();
+        cleanup(&path);
+        assert_eq!(back.seed, snap.seed);
+        assert_eq!(back.submissions, snap.submissions);
+        assert_eq!(back.measurements.len(), 3);
     }
 
     #[test]

@@ -54,7 +54,12 @@ fn cmp_f64(a: f64, b: f64) -> std::cmp::Ordering {
 
 /// Eq. 1: number of pairs `(j, k)` whose predicted order disagrees with
 /// the observed order (the exclusive-or in the paper). Ties in either
-/// ranking carry no ordering information and never disagree.
+/// ranking carry no ordering information and never disagree. Points with
+/// a NaN or infinite prediction or target carry no *usable* ordering
+/// information either — a crashed trial's poisoned value would otherwise
+/// decide pair orderings arbitrarily — so every pair touching one is
+/// skipped (in both the fast and the naive path, keeping them
+/// bit-identical).
 ///
 /// Runs in `O(n log n)`: indices are sorted by `(pred, y)` and the
 /// discordant pairs are exactly the strict inversions of the observed
@@ -79,7 +84,8 @@ pub fn ranking_loss(preds: &[f64], ys: &[f64]) -> usize {
     BUFFERS.with(|cell| {
         let (order, seq, scratch) = &mut *cell.borrow_mut();
         order.clear();
-        order.extend(0..n);
+        order.extend((0..n).filter(|&i| preds[i].is_finite() && ys[i].is_finite()));
+        let n = order.len();
         // Unstable sort: value-equal (pred, y) keys are interchangeable.
         order.sort_unstable_by(|&a, &b| {
             cmp_f64(preds[a], preds[b]).then_with(|| cmp_f64(ys[a], ys[b]))
@@ -103,7 +109,13 @@ pub fn ranking_loss_naive(preds: &[f64], ys: &[f64]) -> usize {
     let n = ys.len();
     let mut loss = 0;
     for j in 0..n {
+        if !preds[j].is_finite() || !ys[j].is_finite() {
+            continue;
+        }
         for k in (j + 1)..n {
+            if !preds[k].is_finite() || !ys[k].is_finite() {
+                continue;
+            }
             let pred_less = preds[j] < preds[k];
             let obs_less = ys[j] < ys[k];
             // Skip exact ties, which carry no ordering information.
@@ -515,6 +527,48 @@ mod tests {
                 "preds {preds:?} ys {ys:?}"
             );
         }
+    }
+
+    #[test]
+    fn nonfinite_points_carry_no_information() {
+        // The NaN/Inf point would have inverted against every neighbour;
+        // skipping it leaves the clean pairs' loss unchanged.
+        assert_eq!(ranking_loss(&[1.0, f64::NAN, 3.0], &[0.1, 0.0, 0.3]), 0);
+        assert_eq!(
+            ranking_loss(&[1.0, 2.0, 3.0], &[0.1, f64::INFINITY, 0.3]),
+            0
+        );
+        assert_eq!(
+            ranking_loss(&[3.0, f64::NAN, 1.0], &[0.1, 0.2, 0.3]),
+            1,
+            "remaining finite pair still counts"
+        );
+        // Fast and naive paths agree on mixed inputs, above and below
+        // the small-input cutoff.
+        let n = 64;
+        let preds: Vec<f64> = (0..n)
+            .map(|i| {
+                if i % 7 == 0 {
+                    f64::NAN
+                } else {
+                    ((i * 37) % n) as f64
+                }
+            })
+            .collect();
+        let ys: Vec<f64> = (0..n)
+            .map(|i| {
+                if i % 11 == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    ((i * 13) % n) as f64
+                }
+            })
+            .collect();
+        assert_eq!(ranking_loss(&preds, &ys), ranking_loss_naive(&preds, &ys));
+        assert_eq!(
+            ranking_loss(&preds[..20], &ys[..20]),
+            ranking_loss_naive(&preds[..20], &ys[..20])
+        );
     }
 
     fn history_with_structure(informative_low: bool) -> (History, ConfigSpace) {

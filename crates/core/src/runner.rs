@@ -32,16 +32,20 @@
 //! the resumed run's final [`History`] equals the uninterrupted run's
 //! exactly.
 
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
 
 use hypertune_benchmarks::Benchmark;
-use hypertune_cluster::{FaultModel, FaultSpec, SimCluster, StragglerModel, Trace};
+use hypertune_cluster::{
+    FaultModel, FaultSpec, JobStatus, MembershipPlan, SimCluster, StragglerModel, Trace,
+};
 use hypertune_space::Config;
 use hypertune_telemetry::{Event, TelemetryHandle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::breaker::{Breaker, BreakerConfig, BreakerTransition};
 use crate::diagnostics::{failure_kind, FailureCounts};
 use crate::history::{History, Measurement};
 use crate::levels::ResourceLevels;
@@ -86,6 +90,57 @@ impl RetryPolicy {
     }
 }
 
+/// Speculative re-execution of stragglers (the tail-latency defence of
+/// MapReduce-style schedulers, applied to trial evaluations).
+///
+/// A running job whose elapsed time exceeds `multiple ×` the median
+/// completed duration at its resource level is a *straggler*; the runner
+/// launches a backup copy of it on an idle worker. Whichever copy
+/// **succeeds** first wins and the loser is cancelled; a copy that fails
+/// while its twin is still running is simply discarded (the twin is the
+/// retry). Backups reuse the original dispatch's id, so the trial still
+/// completes exactly once in the [`History`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeculationConfig {
+    /// Straggler threshold: elapsed > `multiple` × median completed
+    /// duration at the same level. Must be finite and > 1.
+    pub multiple: f64,
+    /// Completions a level needs before its median is trusted.
+    pub min_completions: usize,
+    /// Cap on simultaneously outstanding backup copies.
+    pub max_concurrent: usize,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        Self {
+            multiple: 3.0,
+            min_completions: 5,
+            max_concurrent: 2,
+        }
+    }
+}
+
+impl SpeculationConfig {
+    /// A config with the given straggler multiple and default gates.
+    pub fn new(multiple: f64) -> Self {
+        Self {
+            multiple,
+            ..Self::default()
+        }
+    }
+
+    /// Panics on out-of-range knobs.
+    pub fn validate(&self) {
+        assert!(
+            self.multiple.is_finite() && self.multiple > 1.0,
+            "speculation multiple must be finite and > 1"
+        );
+        assert!(self.min_completions > 0, "min_completions must be > 0");
+        assert!(self.max_concurrent > 0, "max_concurrent must be > 0");
+    }
+}
+
 /// Runner parameters.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -118,6 +173,18 @@ pub struct RunConfig {
     pub job_timeout: Option<f64>,
     /// Safety cap on the number of evaluations (0 = unlimited).
     pub max_evals: usize,
+    /// Elastic membership plan: scheduled joins/leaves plus stochastic
+    /// worker crashes that orphan in-flight jobs until their lease
+    /// expires. `None` (or a static plan) keeps the pool fixed and the
+    /// run bit-identical to a non-elastic one.
+    pub membership: Option<MembershipPlan>,
+    /// Speculative re-execution of stragglers; `None` disables it.
+    pub speculation: Option<SpeculationConfig>,
+    /// Quarantine-storm circuit breaker: when the recent failure rate
+    /// crosses the open threshold the method is degraded (random
+    /// sampling, promotions paused) until the rate recovers. `None`
+    /// disables the ladder.
+    pub breaker: Option<BreakerConfig>,
     /// Telemetry pipeline. The default disabled handle costs nothing and
     /// leaves the run bit-identical to an uninstrumented one; an enabled
     /// handle is cloned into the cluster and the method and receives
@@ -141,6 +208,9 @@ impl RunConfig {
             retry: RetryPolicy::default_policy(),
             job_timeout: None,
             max_evals: 0,
+            membership: None,
+            speculation: None,
+            breaker: None,
             telemetry: TelemetryHandle::disabled(),
         }
     }
@@ -267,6 +337,15 @@ pub struct RunResult {
     /// Failed attempts broken down by [`hypertune_cluster::JobStatus`]
     /// (every attempt counts, retried or quarantined).
     pub failure_counts: FailureCounts,
+    /// Jobs orphaned by worker crashes whose lease expired (each such
+    /// attempt also counts in `n_failed_attempts`).
+    pub n_orphaned: usize,
+    /// Backup copies launched by speculative re-execution.
+    pub n_speculations: usize,
+    /// Speculations where the backup copy finished before the original.
+    pub n_backup_wins: usize,
+    /// Times the circuit breaker opened (degradation-ladder trips).
+    pub n_breaker_trips: usize,
 }
 
 impl RunResult {
@@ -331,6 +410,32 @@ pub fn resume(
     run_impl(method, benchmark, config, policy, Some(snapshot))
 }
 
+/// Feeds one terminal trial outcome (`failed` = quarantined) to the
+/// breaker and walks the degradation ladder on a transition.
+fn feed_breaker(
+    breaker: &mut Option<Breaker>,
+    failed: bool,
+    now: f64,
+    method: &mut dyn Method,
+    telemetry: &TelemetryHandle,
+    n_breaker_trips: &mut usize,
+) {
+    let Some(br) = breaker.as_mut() else { return };
+    match br.record(failed) {
+        Some(BreakerTransition::Opened(failure_rate)) => {
+            *n_breaker_trips += 1;
+            method.set_degraded(true);
+            telemetry.emit_with(now, || Event::BreakerOpened { failure_rate });
+            telemetry.counter_add("breaker.opened", 1);
+        }
+        Some(BreakerTransition::Closed) => {
+            method.set_degraded(false);
+            telemetry.emit_with(now, || Event::BreakerClosed);
+        }
+        None => {}
+    }
+}
+
 fn run_impl(
     method: &mut dyn Method,
     benchmark: &dyn Benchmark,
@@ -339,6 +444,9 @@ fn run_impl(
     replay: Option<&RunSnapshot>,
 ) -> Result<RunResult, ResumeError> {
     assert!(config.n_workers > 0 && config.budget > 0.0);
+    if let Some(sc) = &config.speculation {
+        sc.validate();
+    }
     if let Some(s) = replay {
         if s.seed != config.seed {
             return Err(ResumeError::SeedMismatch {
@@ -360,6 +468,9 @@ fn run_impl(
     };
     let mut cluster: SimCluster<InFlight> =
         SimCluster::with_stragglers(config.n_workers, straggler).with_faults(faults);
+    if let Some(plan) = &config.membership {
+        cluster = cluster.with_membership(plan.clone());
+    }
     cluster.set_job_timeout(config.job_timeout);
     let telemetry = &config.telemetry;
     cluster.set_telemetry(telemetry.clone());
@@ -374,9 +485,82 @@ fn run_impl(
     let mut n_retries = 0usize;
     let mut n_quarantined = 0usize;
     let mut failure_counts = FailureCounts::default();
+    // Elastic/self-healing state. All of it is driver-side bookkeeping
+    // that consumes no run RNG, so when churn never strikes, no straggler
+    // crosses the speculation threshold, and the breaker never opens, the
+    // run is bit-identical to one with the features disabled.
+    let mut n_orphaned = 0usize;
+    let mut n_speculations = 0usize;
+    let mut n_backup_wins = 0usize;
+    let mut n_breaker_trips = 0usize;
+    let mut breaker = config.breaker.clone().map(Breaker::new);
+    // Jobs orphaned by a worker crash wait here for the next idle slot: a
+    // crash frees no worker, so the freed-worker resubmit of the plain
+    // retry path cannot apply.
+    let mut orphan_queue: VecDeque<(InFlight, f64, String)> = VecDeque::new();
+    // Dispatch token -> (virtual start time, payload). BTreeMap so the
+    // straggler scan iterates in token (dispatch) order deterministically.
+    // Maintained only when speculation is enabled.
+    let mut running: BTreeMap<u64, (f64, InFlight)> = BTreeMap::new();
+    // Completed durations per level, kept sorted for O(1) medians.
+    let mut level_durations: Vec<Vec<f64>> = vec![Vec::new(); levels.k()];
+    // Original dispatch id -> (primary token, backup token).
+    let mut twins: HashMap<u64, (u64, u64)> = HashMap::new();
+    // Dispatch ids that already received a backup (at most one each).
+    let mut speculated: HashSet<u64> = HashSet::new();
     let space = benchmark.space();
 
     loop {
+        // Re-dispatch orphaned jobs first: recovery takes priority over
+        // fresh work.
+        while cluster.idle_workers() > 0 {
+            let Some((job, duration, label)) = orphan_queue.pop_front() else {
+                break;
+            };
+            let receipt = cluster
+                .submit_full(job.clone(), duration, label)
+                .expect("idle worker was available");
+            if config.speculation.is_some() {
+                running.insert(receipt.token, (cluster.now(), job));
+            }
+        }
+        // Speculative re-execution: back up stragglers onto idle workers
+        // before the method sees the slots (an async method would
+        // otherwise keep every worker busy and backups could never
+        // launch).
+        if let Some(sc) = &config.speculation {
+            while cluster.idle_workers() > 0 && twins.len() < sc.max_concurrent {
+                let now = cluster.now();
+                let candidate = running.iter().find_map(|(&token, info)| {
+                    let (started, job) = info;
+                    if speculated.contains(&job.spec.id) {
+                        return None;
+                    }
+                    let durations = &level_durations[job.spec.level];
+                    if durations.len() < sc.min_completions {
+                        return None;
+                    }
+                    let median = durations[durations.len() / 2];
+                    (now - started > sc.multiple * median).then_some(token)
+                });
+                let Some(primary) = candidate else { break };
+                let job = running
+                    .get(&primary)
+                    .expect("candidate token is running")
+                    .1
+                    .clone();
+                let level = job.spec.level;
+                speculated.insert(job.spec.id);
+                n_speculations += 1;
+                telemetry.emit_with(now, || Event::SpeculationLaunched { level });
+                telemetry.counter_add("trials.speculated", 1);
+                let receipt = cluster
+                    .submit_full(job.clone(), job.duration, format!("{level}s"))
+                    .expect("idle worker was available");
+                twins.insert(job.spec.id, (primary, receipt.token));
+                running.insert(receipt.token, (now, job));
+            }
+        }
         // Fill idle workers.
         while cluster.idle_workers() > 0 {
             let mut ctx = MethodContext {
@@ -446,19 +630,19 @@ fn run_impl(
                     });
                     telemetry.counter_add("trials.dispatched", 1);
                     let label = format!("{}", spec.level);
-                    cluster
-                        .submit_labeled(
-                            InFlight {
-                                spec: spec.clone(),
-                                value,
-                                test_value,
-                                duration,
-                                attempt: 0,
-                            },
-                            duration,
-                            label,
-                        )
+                    let flight = InFlight {
+                        spec: spec.clone(),
+                        value,
+                        test_value,
+                        duration,
+                        attempt: 0,
+                    };
+                    let receipt = cluster
+                        .submit_full(flight.clone(), duration, label)
                         .expect("idle worker was available");
+                    if config.speculation.is_some() {
+                        running.insert(receipt.token, (cluster.now(), flight));
+                    }
                     pending.insert(spec);
                 }
                 None => {
@@ -479,10 +663,61 @@ fn run_impl(
             break;
         }
         let job = done.job;
+        if config.speculation.is_some() {
+            running.remove(&done.token);
+        }
+        // Twin resolution: the first copy to *succeed* wins and cancels
+        // its sibling; a copy that fails while its twin is still running
+        // is dropped silently — the twin is its retry, so the trial still
+        // terminates exactly once.
+        if let Some(&(primary, backup)) = twins.get(&job.spec.id) {
+            if done.status == JobStatus::Succeeded {
+                let loser = if done.token == backup {
+                    primary
+                } else {
+                    backup
+                };
+                cluster.cancel(loser);
+                running.remove(&loser);
+                twins.remove(&job.spec.id);
+                let backup_won = done.token == backup;
+                if backup_won {
+                    n_backup_wins += 1;
+                }
+                telemetry.emit_with(done.finished, || Event::SpeculationResolved {
+                    level: job.spec.level,
+                    backup_won,
+                });
+                // Falls through to the normal success path below.
+            } else {
+                twins.remove(&job.spec.id);
+                n_failed_attempts += 1;
+                failure_counts.record(done.status);
+                telemetry.counter_add("trials.failed_attempts", 1);
+                if done.status == JobStatus::Orphaned {
+                    n_orphaned += 1;
+                    telemetry.emit_with(done.finished, || Event::LeaseExpired {
+                        level: job.spec.level,
+                        attempt: job.attempt,
+                    });
+                    telemetry.counter_add("trials.orphaned", 1);
+                }
+                continue;
+            }
+        }
         if done.status.is_failure() {
             n_failed_attempts += 1;
             failure_counts.record(done.status);
             telemetry.counter_add("trials.failed_attempts", 1);
+            let orphaned = done.status == JobStatus::Orphaned;
+            if orphaned {
+                n_orphaned += 1;
+                telemetry.emit_with(done.finished, || Event::LeaseExpired {
+                    level: job.spec.level,
+                    attempt: job.attempt,
+                });
+                telemetry.counter_add("trials.orphaned", 1);
+            }
             if job.attempt < config.retry.max_retries {
                 // Bounded retry: the worker that just freed re-runs the
                 // job. The backoff rides on the duration — the simulator's
@@ -502,9 +737,18 @@ fn run_impl(
                     attempt: job.attempt + 1,
                     ..job
                 };
-                cluster
-                    .submit_labeled(resubmit, duration, label)
-                    .expect("the failed job's worker is free");
+                if orphaned {
+                    // The dead worker freed no slot; queue the requeue
+                    // until one opens up.
+                    orphan_queue.push_back((resubmit, duration, label));
+                } else {
+                    let receipt = cluster
+                        .submit_full(resubmit.clone(), duration, label)
+                        .expect("the failed job's worker is free");
+                    if config.speculation.is_some() {
+                        running.insert(receipt.token, (cluster.now(), resubmit));
+                    }
+                }
                 continue;
             }
             // Retries exhausted: quarantine. The method sees a Failed
@@ -517,6 +761,14 @@ fn run_impl(
                 kind: failure_kind(done.status).expect("status is a failure"),
             });
             telemetry.counter_add("trials.quarantined", 1);
+            feed_breaker(
+                &mut breaker,
+                true,
+                done.finished,
+                method,
+                telemetry,
+                &mut n_breaker_trips,
+            );
             pending.remove(&job.spec);
             let outcome = Outcome {
                 spec: job.spec,
@@ -547,6 +799,20 @@ fn run_impl(
         } = job;
         pending.remove(&spec);
         evals_per_level[spec.level] += 1;
+        if config.speculation.is_some() {
+            let durations = &mut level_durations[spec.level];
+            let d = done.finished - done.started;
+            let pos = durations.partition_point(|&x| x <= d);
+            durations.insert(pos, d);
+        }
+        feed_breaker(
+            &mut breaker,
+            false,
+            done.finished,
+            method,
+            telemetry,
+            &mut n_breaker_trips,
+        );
         telemetry.emit_with(done.finished, || Event::TrialCompleted {
             level: spec.level,
             bracket: spec.bracket,
@@ -661,6 +927,10 @@ fn run_impl(
         n_retries,
         n_quarantined,
         failure_counts,
+        n_orphaned,
+        n_speculations,
+        n_backup_wins,
+        n_breaker_trips,
     })
 }
 
@@ -974,5 +1244,121 @@ mod tests {
             Err(ResumeError::Diverged { stream, .. }) => assert_eq!(stream, "measurement"),
             other => panic!("expected Diverged, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn static_plan_and_idle_breaker_are_bit_identical() {
+        // The headline elastic invariant: a static membership plan plus an
+        // armed-but-never-tripped breaker changes nothing — the run is
+        // bit-identical to one with the resilience features disabled.
+        let bench = CountingOnes::new(4, 4, 7);
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let run_with = |elastic: bool| {
+            let mut m = MethodKind::HyperTune.build(&levels, 13);
+            let mut cfg = RunConfig::new(4, 1500.0, 13);
+            if elastic {
+                cfg.membership = Some(MembershipPlan::static_plan());
+                cfg.breaker = Some(BreakerConfig::default());
+            }
+            run(m.as_mut(), &bench, &cfg)
+        };
+        let plain = run_with(false);
+        let elastic = run_with(true);
+        assert_eq!(plain.measurements, elastic.measurements);
+        assert_eq!(plain.curve, elastic.curve);
+        assert_eq!(plain.utilization, elastic.utilization);
+        assert_eq!(elastic.n_orphaned, 0);
+        assert_eq!(elastic.n_speculations, 0);
+        assert_eq!(elastic.n_breaker_trips, 0);
+    }
+
+    #[test]
+    fn worker_churn_orphans_are_recovered_and_runs_complete() {
+        let bench = CountingOnes::new(4, 4, 7);
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let run_once = || {
+            let mut m = MethodKind::Asha.build(&levels, 7);
+            let mut cfg = RunConfig::new(4, 2500.0, 7);
+            // 10% crash-per-dispatch, crashed workers rejoin after 5 s,
+            // leases expire quickly so orphans recycle within the budget.
+            cfg.membership =
+                Some(MembershipPlan::worker_crashes(0.10, Some(5.0), 7).with_lease_timeout(10.0));
+            run(m.as_mut(), &bench, &cfg)
+        };
+        let r = run_once();
+        assert!(r.n_orphaned > 0, "churn should have orphaned some jobs");
+        assert!(r.total_evals > 0, "churn must not kill the run");
+        assert_eq!(r.failure_counts.orphaned, r.n_orphaned);
+        // Orphans flow through the same bounded-retry policy as other
+        // failures: every failed attempt is retried or quarantined (jobs
+        // still in flight at the budget edge keep the identity inexact in
+        // one direction only).
+        assert!(r.n_retries + r.n_quarantined <= r.n_failed_attempts);
+        for m in &r.measurements {
+            assert!(m.value.is_finite(), "orphans must never enter history");
+        }
+        // Exactly-once under churn is deterministic per seed.
+        let r2 = run_once();
+        assert_eq!(r.measurements, r2.measurements);
+        assert_eq!(r.n_orphaned, r2.n_orphaned);
+    }
+
+    #[test]
+    fn speculation_backs_up_stragglers_deterministically() {
+        let bench = CountingOnes::new(4, 4, 7);
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let run_once = |speculate: bool| {
+            let mut m = MethodKind::Asha.build(&levels, 21);
+            let mut cfg = RunConfig::new(4, 2500.0, 21);
+            // Frequent, heavy stragglers (20x slowdown) so backups win.
+            cfg.straggler = Some((0.25, 20.0));
+            if speculate {
+                cfg.speculation = Some(SpeculationConfig {
+                    multiple: 2.0,
+                    min_completions: 3,
+                    max_concurrent: 4,
+                });
+            }
+            run(m.as_mut(), &bench, &cfg)
+        };
+        let r = run_once(true);
+        assert!(r.n_speculations > 0, "heavy stragglers should be backed up");
+        assert!(r.n_backup_wins <= r.n_speculations);
+        assert!(r.total_evals > 0);
+        let r2 = run_once(true);
+        assert_eq!(r.measurements, r2.measurements);
+        assert_eq!(r.n_speculations, r2.n_speculations);
+        assert_eq!(r.n_backup_wins, r2.n_backup_wins);
+        // Backups that win cut the tail: the speculated run should finish
+        // at least as many evaluations as the unprotected one.
+        let plain = run_once(false);
+        assert!(
+            r.total_evals >= plain.total_evals,
+            "speculation lost work: {} vs {}",
+            r.total_evals,
+            plain.total_evals
+        );
+    }
+
+    #[test]
+    fn breaker_opens_under_quarantine_storm() {
+        let bench = CountingOnes::new(4, 4, 7);
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let mut m = MethodKind::HyperTune.build(&levels, 5);
+        let mut cfg = RunConfig::new(4, 1500.0, 5);
+        cfg.faults = Some(FaultSpec::crashes(0.9));
+        cfg.retry = RetryPolicy::none();
+        cfg.breaker = Some(BreakerConfig {
+            window: 10,
+            open_threshold: 0.5,
+            close_threshold: 0.2,
+            min_samples: 5,
+        });
+        let r = run(m.as_mut(), &bench, &cfg);
+        assert!(r.n_quarantined > 0);
+        assert!(
+            r.n_breaker_trips >= 1,
+            "a 90% failure rate must open the breaker"
+        );
     }
 }

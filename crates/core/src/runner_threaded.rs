@@ -43,17 +43,20 @@
 //! here: a real scheduler's requeue delay is wall-clock, which this
 //! runner does not model.
 
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
 use hypertune_benchmarks::{Benchmark, Eval};
-use hypertune_cluster::{FaultModel, FaultSpec, ThreadPool};
+use hypertune_cluster::{FaultModel, FaultSpec, JobStatus, MembershipPlan, ThreadPool};
 use hypertune_space::{Config, ConfigSpace};
 use hypertune_telemetry::{Event, TelemetryHandle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::breaker::{Breaker, BreakerConfig, BreakerTransition};
 use crate::diagnostics::{failure_kind, FailureCounts};
 use crate::history::{History, Measurement};
 use crate::levels::ResourceLevels;
@@ -84,6 +87,18 @@ pub struct ThreadedRunConfig {
     /// driver calls the method inline, like the simulator. Either way the
     /// suggestion stream is identical; this only moves the computation.
     pub prefetch: bool,
+    /// Elastic membership plan for the pool: scheduled joins/leaves (in
+    /// wall seconds since the run starts) plus stochastic worker crashes
+    /// that orphan in-flight jobs until their lease expires. Orphans are
+    /// requeued through the [`RetryPolicy`] once a worker frees up.
+    /// Speculative re-execution is a simulator-only feature: an OS thread
+    /// cannot be cancelled, so first-result-wins semantics do not
+    /// translate to this substrate.
+    pub membership: Option<MembershipPlan>,
+    /// Quarantine-storm circuit breaker: when the recent terminal-outcome
+    /// failure rate crosses the open threshold the method is degraded
+    /// (random sampling, promotions paused) until the rate recovers.
+    pub breaker: Option<BreakerConfig>,
     /// Telemetry pipeline; disabled by default. Events are stamped with
     /// wall seconds since the run started (this substrate has no virtual
     /// clock).
@@ -102,6 +117,8 @@ impl ThreadedRunConfig {
             faults: None,
             retry: RetryPolicy::default_policy(),
             prefetch: true,
+            membership: None,
+            breaker: None,
             telemetry: TelemetryHandle::disabled(),
         }
     }
@@ -136,6 +153,10 @@ pub struct ThreadedRunResult {
     /// Failed attempts broken down by [`hypertune_cluster::JobStatus`]
     /// (every attempt counts, retried or quarantined).
     pub failure_counts: FailureCounts,
+    /// Jobs orphaned by worker crashes whose lease expired.
+    pub n_orphaned: usize,
+    /// Times the circuit breaker opened.
+    pub n_breaker_trips: usize,
 }
 
 /// The pool payload: a job spec plus its retry attempt counter.
@@ -163,6 +184,10 @@ enum ToSuggester {
     },
     /// The driver has idle workers and wants a batch of `k` jobs now.
     Demand { k: usize, now: f64 },
+    /// The circuit breaker changed state: walk the degradation ladder.
+    /// Any outstanding speculation was computed under the old mode and is
+    /// discarded.
+    SetDegraded(bool),
 }
 
 /// A batch computed ahead of demand, valid only for the exact history
@@ -191,6 +216,10 @@ struct Suggester<'a> {
     telemetry: TelemetryHandle,
     next_job_id: u64,
     speculation: Option<Speculation>,
+    /// Whether this suggester is fed by the prefetch protocol; gates the
+    /// `prefetch.*` hit/miss counters so a purely inline run (or the
+    /// post-fallback tail of a prefetch run) does not report misses.
+    prefetching: bool,
 }
 
 impl Suggester<'_> {
@@ -283,7 +312,9 @@ impl Suggester<'_> {
                 self.compute(k, now)
             }
             None => {
-                self.telemetry.counter_add("prefetch.miss", 1);
+                if self.prefetching {
+                    self.telemetry.counter_add("prefetch.miss", 1);
+                }
                 self.compute(k, now)
             }
         };
@@ -314,6 +345,9 @@ pub fn run_threaded(
     if let Some(spec) = config.faults {
         pool = pool.with_faults(FaultModel::new(spec, config.seed ^ 0xfa17));
     }
+    if let Some(plan) = &config.membership {
+        pool = pool.with_membership(plan.clone());
+    }
     pool.set_telemetry(config.telemetry.clone());
     method.set_telemetry(config.telemetry.clone());
 
@@ -333,6 +367,8 @@ struct Tally {
     n_retries: usize,
     n_quarantined: usize,
     failure_counts: FailureCounts,
+    n_orphaned: usize,
+    n_breaker_trips: usize,
 }
 
 impl Tally {
@@ -361,6 +397,8 @@ impl Tally {
             n_retries: self.n_retries,
             n_quarantined: self.n_quarantined,
             failure_counts: self.failure_counts,
+            n_orphaned: self.n_orphaned,
+            n_breaker_trips: self.n_breaker_trips,
         }
     }
 }
@@ -376,63 +414,110 @@ fn drive_inline(
 ) -> ThreadedRunResult {
     let telemetry = &config.telemetry;
     let started = Instant::now();
-    let mut history = History::new(levels.clone());
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut pending = PendingSet::new();
-    let mut next_job_id: u64 = 1;
     let mut tally = Tally::new(levels);
+    let mut breaker = config.breaker.clone().map(Breaker::new);
+    let mut orphan_queue = VecDeque::new();
+    let mut sg = Suggester {
+        method,
+        space: benchmark.space(),
+        levels,
+        history: History::new(levels.clone()),
+        pending: PendingSet::new(),
+        rng: StdRng::seed_from_u64(config.seed),
+        n_workers: config.n_workers,
+        telemetry: telemetry.clone(),
+        next_job_id: 1,
+        speculation: None,
+        prefetching: false,
+    };
+    let mut completed = 0usize;
+    let mut dispatched = 0usize;
+    inline_loop(
+        &mut sg,
+        &mut pool,
+        config,
+        started,
+        &mut tally,
+        &mut breaker,
+        &mut orphan_queue,
+        &mut completed,
+        &mut dispatched,
+    );
+    telemetry.flush();
+    let name = sg.method.name().to_string();
+    tally.into_result(name, &sg.history, started.elapsed().as_secs_f64())
+}
+
+/// Submits, or parks the job in the wait queue: membership events apply
+/// lazily inside `submit`, so a slot seen idle a moment ago can vanish by
+/// the time the job lands.
+fn submit_or_park(
+    pool: &mut ThreadPool<ThreadedJob, Eval>,
+    queue: &mut VecDeque<ThreadedJob>,
+    job: ThreadedJob,
+) {
+    if pool.submit(job.clone()).is_err() {
+        queue.push_back(job);
+    }
+}
+
+/// The driver loop with the method called inline. Used by the
+/// no-prefetch driver from the start, and by the prefetch driver to
+/// finish a run whose suggestion thread died (`completed`/`dispatched`
+/// carry across the switchover).
+#[allow(clippy::too_many_arguments)]
+fn inline_loop(
+    sg: &mut Suggester<'_>,
+    pool: &mut ThreadPool<ThreadedJob, Eval>,
+    config: &ThreadedRunConfig,
+    started: Instant,
+    tally: &mut Tally,
+    breaker: &mut Option<Breaker>,
+    orphan_queue: &mut VecDeque<ThreadedJob>,
+    completed: &mut usize,
+    dispatched: &mut usize,
+) {
+    let telemetry = &config.telemetry;
     // At 100% failure rate no job ever completes and every dispatch
     // quarantines; this cap turns that pathological case into a clean
     // early exit instead of an infinite loop.
     let quarantine_cap = 10 * config.max_evals;
-
-    let mut completed = 0usize;
-    let mut dispatched = 0usize;
-    while completed < config.max_evals && tally.n_quarantined < quarantine_cap {
+    while *completed < config.max_evals && tally.n_quarantined < quarantine_cap {
+        // Requeue recovered orphans first: their worker died, so they
+        // wait for the next free slot rather than resubmitting in place.
+        while pool.idle_workers() > 0 {
+            let Some(job) = orphan_queue.pop_front() else {
+                break;
+            };
+            if pool.submit(job.clone()).is_err() {
+                orphan_queue.push_front(job);
+                break;
+            }
+        }
         // Fill idle workers from one suggestion round (stop dispatching
         // once the cap is reachable).
-        while pool.idle_workers() > 0 && dispatched < config.max_evals {
-            let k = pool.idle_workers().min(config.max_evals - dispatched);
-            let mut ctx = MethodContext {
-                space: benchmark.space(),
-                levels,
-                history: &history,
-                pending: pending.as_slice(),
-                rng: &mut rng,
-                n_workers: config.n_workers,
-                now: started.elapsed().as_secs_f64(),
-            };
-            let batch = {
-                let span = telemetry.span("suggest_batch");
-                let batch = method.next_jobs(&mut ctx, k);
-                drop(span);
-                batch
-            };
+        while pool.idle_workers() > 0 && *dispatched < config.max_evals {
+            let k = pool.idle_workers().min(config.max_evals - *dispatched);
+            let now = started.elapsed().as_secs_f64();
+            let batch = sg.on_demand(k, now);
             if batch.is_empty() {
                 assert!(
-                    pool.in_flight() > 0,
+                    pool.in_flight() > 0 || !orphan_queue.is_empty(),
                     "method {} stalled with no running evaluations",
-                    method.name()
+                    sg.method.name()
                 );
                 break;
             }
             let short = batch.len() < k;
-            for mut spec in batch {
-                spec.id = next_job_id;
-                next_job_id += 1;
+            for spec in batch {
                 telemetry.emit_with(started.elapsed().as_secs_f64(), || Event::TrialDispatched {
                     level: spec.level,
                     bracket: spec.bracket,
                     attempt: 0,
                 });
                 telemetry.counter_add("trials.dispatched", 1);
-                pool.submit(ThreadedJob {
-                    spec: spec.clone(),
-                    attempt: 0,
-                })
-                .expect("idle worker available");
-                pending.insert(spec);
-                dispatched += 1;
+                submit_or_park(pool, orphan_queue, ThreadedJob { spec, attempt: 0 });
+                *dispatched += 1;
             }
             if short {
                 // Barrier mid-batch: wait for a completion.
@@ -444,6 +529,7 @@ fn drive_inline(
             break;
         };
         let job = done.job;
+        let now = started.elapsed().as_secs_f64();
         if done.status.is_failure() {
             if handle_failure(
                 done.status,
@@ -452,37 +538,36 @@ fn drive_inline(
                 config,
                 telemetry,
                 started,
-                &mut tally,
+                tally,
             ) {
-                pool.submit(ThreadedJob {
+                let retry = ThreadedJob {
                     attempt: job.attempt + 1,
                     ..job
-                })
-                .expect("the failed job's worker is free");
+                };
+                if done.status == JobStatus::Orphaned {
+                    // The dead worker freed no slot; wait for one.
+                    orphan_queue.push_back(retry);
+                } else {
+                    submit_or_park(pool, orphan_queue, retry);
+                }
                 continue;
             }
             emit_quarantine(&job.spec, done.status, telemetry, started);
-            pending.remove(&job.spec);
+            if let Some(degraded) = feed_breaker(breaker, true, telemetry, started, tally) {
+                sg.method.set_degraded(degraded);
+            }
             // Release the budget slot so a replacement config dispatches.
-            dispatched -= 1;
+            *dispatched -= 1;
             let outcome = failed_outcome(job.spec, done.status, started);
-            let mut ctx = MethodContext {
-                space: benchmark.space(),
-                levels,
-                history: &history,
-                pending: pending.as_slice(),
-                rng: &mut rng,
-                n_workers: config.n_workers,
-                now: started.elapsed().as_secs_f64(),
-            };
-            method.on_result(&outcome, &mut ctx);
+            sg.on_completed(outcome, None, 0, now);
             continue;
         }
         let spec = job.spec;
         let eval = done.output.expect("successful jobs carry an output");
-        pending.remove(&spec);
-        completed += 1;
-        let now = started.elapsed().as_secs_f64();
+        *completed += 1;
+        if let Some(degraded) = feed_breaker(breaker, false, telemetry, started, tally) {
+            sg.method.set_degraded(degraded);
+        }
         let m = Measurement {
             config: spec.config.clone(),
             level: spec.level,
@@ -492,11 +577,8 @@ fn drive_inline(
             cost: eval.cost,
             finished_at: now,
         };
-        history.record(m.clone());
-        book_completion(m, &spec, &eval, telemetry, &mut tally);
-
         let outcome = Outcome {
-            spec,
+            spec: spec.clone(),
             value: eval.value,
             test_value: eval.test_value,
             cost: eval.cost,
@@ -504,24 +586,9 @@ fn drive_inline(
             status: OutcomeStatus::Success,
             fail_status: None,
         };
-        let mut ctx = MethodContext {
-            space: benchmark.space(),
-            levels,
-            history: &history,
-            pending: pending.as_slice(),
-            rng: &mut rng,
-            n_workers: config.n_workers,
-            now: started.elapsed().as_secs_f64(),
-        };
-        method.on_result(&outcome, &mut ctx);
+        sg.on_completed(outcome, Some(m.clone()), 0, now);
+        book_completion(m, &spec, &eval, telemetry, tally);
     }
-
-    telemetry.flush();
-    tally.into_result(
-        method.name().to_string(),
-        &history,
-        started.elapsed().as_secs_f64(),
-    )
 }
 
 /// The pipelined driver: the method lives on a dedicated suggestion
@@ -539,6 +606,8 @@ fn drive_prefetch(
     let started = Instant::now();
     let method_name = method.name().to_string();
     let mut tally = Tally::new(levels);
+    let mut breaker = config.breaker.clone().map(Breaker::new);
+    let mut orphan_queue: VecDeque<ThreadedJob> = VecDeque::new();
     let quarantine_cap = 10 * config.max_evals;
 
     let (cmd_tx, cmd_rx) = mpsc::channel::<ToSuggester>();
@@ -559,43 +628,81 @@ fn drive_prefetch(
                 telemetry: suggest_telemetry,
                 next_job_id: 1,
                 speculation: None,
+                prefetching: true,
             };
+            let mut poisoned = false;
             for msg in cmd_rx {
-                match msg {
+                // The panic guard is the degradation path of satellite
+                // robustness: a method that panics on this thread must
+                // not take the whole run down. State mutated before the
+                // panic stays as-is (best effort); the driver finishes
+                // the run inline with whatever survived.
+                let handled = catch_unwind(AssertUnwindSafe(|| match msg {
                     ToSuggester::Completed {
                         outcome,
                         measurement,
                         predicted_k,
                         now,
-                    } => sg.on_completed(outcome, measurement, predicted_k, now),
-                    ToSuggester::Demand { k, now } => {
-                        let batch = sg.on_demand(k, now);
+                    } => {
+                        sg.on_completed(outcome, measurement, predicted_k, now);
+                        None
+                    }
+                    ToSuggester::Demand { k, now } => Some(sg.on_demand(k, now)),
+                    ToSuggester::SetDegraded(flag) => {
+                        sg.speculation = None;
+                        sg.method.set_degraded(flag);
+                        None
+                    }
+                }));
+                match handled {
+                    Ok(None) => {}
+                    Ok(Some(batch)) => {
                         if batch_tx.send(batch).is_err() {
                             break;
                         }
                     }
+                    Err(_) => {
+                        poisoned = true;
+                        break;
+                    }
                 }
             }
-            sg.history
+            (sg, poisoned)
         });
 
         let mut completed = 0usize;
         let mut dispatched = 0usize;
+        // Set when the suggestion thread dies mid-run; the driver then
+        // finishes the run inline instead of stalling. A `Completed`
+        // message the channel handed back unprocessed is re-applied at
+        // the switchover so the method misses at most the state the
+        // panic itself destroyed.
+        let mut suggester_lost = false;
+        let mut undelivered: Option<ToSuggester> = None;
         'run: while completed < config.max_evals && tally.n_quarantined < quarantine_cap {
+            while pool.idle_workers() > 0 {
+                let Some(job) = orphan_queue.pop_front() else {
+                    break;
+                };
+                if pool.submit(job.clone()).is_err() {
+                    orphan_queue.push_front(job);
+                    break;
+                }
+            }
             while pool.idle_workers() > 0 && dispatched < config.max_evals {
                 let k = pool.idle_workers().min(config.max_evals - dispatched);
                 let now = started.elapsed().as_secs_f64();
                 if cmd_tx.send(ToSuggester::Demand { k, now }).is_err() {
+                    suggester_lost = true;
                     break 'run;
                 }
                 let Ok(batch) = batch_rx.recv() else {
-                    // The suggestion thread is gone; join below surfaces
-                    // its panic.
+                    suggester_lost = true;
                     break 'run;
                 };
                 if batch.is_empty() {
                     assert!(
-                        pool.in_flight() > 0,
+                        pool.in_flight() > 0 || !orphan_queue.is_empty(),
                         "method {method_name} stalled with no running evaluations"
                     );
                     break;
@@ -610,8 +717,11 @@ fn drive_prefetch(
                         }
                     });
                     telemetry.counter_add("trials.dispatched", 1);
-                    pool.submit(ThreadedJob { spec, attempt: 0 })
-                        .expect("idle worker available");
+                    submit_or_park(
+                        &mut pool,
+                        &mut orphan_queue,
+                        ThreadedJob { spec, attempt: 0 },
+                    );
                     dispatched += 1;
                 }
                 if short {
@@ -634,14 +744,27 @@ fn drive_prefetch(
                     started,
                     &mut tally,
                 ) {
-                    pool.submit(ThreadedJob {
+                    let retry = ThreadedJob {
                         attempt: job.attempt + 1,
                         ..job
-                    })
-                    .expect("the failed job's worker is free");
+                    };
+                    if done.status == JobStatus::Orphaned {
+                        // The dead worker freed no slot; wait for one.
+                        orphan_queue.push_back(retry);
+                    } else {
+                        submit_or_park(&mut pool, &mut orphan_queue, retry);
+                    }
                     continue;
                 }
                 emit_quarantine(&job.spec, done.status, telemetry, started);
+                if let Some(degraded) =
+                    feed_breaker(&mut breaker, true, telemetry, started, &mut tally)
+                {
+                    if cmd_tx.send(ToSuggester::SetDegraded(degraded)).is_err() {
+                        suggester_lost = true;
+                        break 'run;
+                    }
+                }
                 // Release the budget slot so a replacement config
                 // dispatches.
                 dispatched -= 1;
@@ -649,15 +772,14 @@ fn drive_prefetch(
                 let outcome = failed_outcome(job.spec, status, started);
                 let now = outcome.finished_at;
                 let predicted_k = pool.idle_workers().min(config.max_evals - dispatched);
-                if cmd_tx
-                    .send(ToSuggester::Completed {
-                        outcome,
-                        measurement: None,
-                        predicted_k,
-                        now,
-                    })
-                    .is_err()
-                {
+                if let Err(mpsc::SendError(msg)) = cmd_tx.send(ToSuggester::Completed {
+                    outcome,
+                    measurement: None,
+                    predicted_k,
+                    now,
+                }) {
+                    undelivered = Some(msg);
+                    suggester_lost = true;
                     break 'run;
                 }
                 continue;
@@ -665,6 +787,14 @@ fn drive_prefetch(
             let spec = job.spec;
             let eval = done.output.expect("successful jobs carry an output");
             completed += 1;
+            if let Some(degraded) =
+                feed_breaker(&mut breaker, false, telemetry, started, &mut tally)
+            {
+                if cmd_tx.send(ToSuggester::SetDegraded(degraded)).is_err() {
+                    suggester_lost = true;
+                    break 'run;
+                }
+            }
             let now = started.elapsed().as_secs_f64();
             let m = Measurement {
                 config: spec.config.clone(),
@@ -692,22 +822,59 @@ fn drive_prefetch(
             let predicted_k = pool.idle_workers().min(config.max_evals - dispatched);
             // Send before the local bookkeeping below so the suggestion
             // thread's on_result + speculation overlaps it.
-            if cmd_tx
-                .send(ToSuggester::Completed {
-                    outcome,
-                    measurement: Some(m.clone()),
-                    predicted_k,
-                    now,
-                })
-                .is_err()
-            {
+            if let Err(mpsc::SendError(msg)) = cmd_tx.send(ToSuggester::Completed {
+                outcome,
+                measurement: Some(m.clone()),
+                predicted_k,
+                now,
+            }) {
+                undelivered = Some(msg);
+                suggester_lost = true;
+                book_completion(m, &spec, &eval, telemetry, &mut tally);
                 break 'run;
             }
             book_completion(m, &spec, &eval, telemetry, &mut tally);
         }
 
         drop(cmd_tx);
-        suggester.join().expect("suggestion thread panicked")
+        let (mut sg, poisoned) = suggester
+            .join()
+            .expect("suggestion thread died outside its panic guard");
+        if suggester_lost && completed < config.max_evals && tally.n_quarantined < quarantine_cap {
+            // Graceful degradation (satellite robustness): the prefetch
+            // pipeline is gone — finish the run with inline suggestion on
+            // the driver thread instead of stalling or crashing.
+            if poisoned {
+                telemetry.counter_add("prefetch.suggester_panics", 1);
+            }
+            telemetry.counter_add("prefetch.fallback_inline", 1);
+            sg.prefetching = false;
+            sg.speculation = None;
+            if let Some(msg) = undelivered.take() {
+                match msg {
+                    ToSuggester::Completed {
+                        outcome,
+                        measurement,
+                        now,
+                        ..
+                    } => sg.on_completed(outcome, measurement, 0, now),
+                    ToSuggester::SetDegraded(flag) => sg.method.set_degraded(flag),
+                    ToSuggester::Demand { .. } => {}
+                }
+            }
+            inline_loop(
+                &mut sg,
+                &mut pool,
+                config,
+                started,
+                &mut tally,
+                &mut breaker,
+                &mut orphan_queue,
+                &mut completed,
+                &mut dispatched,
+            );
+        }
+        sg.history
     });
 
     telemetry.flush();
@@ -730,6 +897,14 @@ fn handle_failure(
     tally.n_failed_attempts += 1;
     tally.failure_counts.record(status);
     telemetry.counter_add("trials.failed_attempts", 1);
+    if status == JobStatus::Orphaned {
+        tally.n_orphaned += 1;
+        telemetry.emit_with(started.elapsed().as_secs_f64(), || Event::LeaseExpired {
+            level,
+            attempt,
+        });
+        telemetry.counter_add("trials.orphaned", 1);
+    }
     if attempt < config.retry.max_retries {
         tally.n_retries += 1;
         telemetry.emit_with(started.elapsed().as_secs_f64(), || Event::TrialRetried {
@@ -742,6 +917,33 @@ fn handle_failure(
     }
     tally.n_quarantined += 1;
     false
+}
+
+/// Feeds one terminal trial outcome (`failed` = quarantined) to the
+/// breaker; returns the new degraded flag on a transition — the two
+/// drivers deliver `set_degraded` to the method differently.
+fn feed_breaker(
+    breaker: &mut Option<Breaker>,
+    failed: bool,
+    telemetry: &TelemetryHandle,
+    started: Instant,
+    tally: &mut Tally,
+) -> Option<bool> {
+    let br = breaker.as_mut()?;
+    match br.record(failed)? {
+        BreakerTransition::Opened(failure_rate) => {
+            tally.n_breaker_trips += 1;
+            telemetry.emit_with(started.elapsed().as_secs_f64(), || Event::BreakerOpened {
+                failure_rate,
+            });
+            telemetry.counter_add("breaker.opened", 1);
+            Some(true)
+        }
+        BreakerTransition::Closed => {
+            telemetry.emit_with(started.elapsed().as_secs_f64(), || Event::BreakerClosed);
+            Some(false)
+        }
+    }
 }
 
 fn emit_quarantine(
@@ -968,6 +1170,120 @@ mod tests {
         assert_eq!(r.total_evals, 0);
         assert!(r.n_quarantined >= 10 * 10, "cap should bound the run");
         assert!(r.best_config.is_none());
+    }
+
+    /// A method that panics exactly once inside `next_jobs` (on the
+    /// `panic_at`-th suggestion round), then behaves normally — the
+    /// poisoned-suggester regression harness.
+    struct PanicOnce {
+        inner: Box<dyn Method>,
+        calls: usize,
+        panic_at: usize,
+        fired: bool,
+    }
+
+    impl Method for PanicOnce {
+        fn name(&self) -> &str {
+            "PanicOnce"
+        }
+
+        fn next_job(&mut self, ctx: &mut MethodContext<'_>) -> Option<JobSpec> {
+            self.inner.next_job(ctx)
+        }
+
+        fn next_jobs(&mut self, ctx: &mut MethodContext<'_>, k: usize) -> Vec<JobSpec> {
+            self.calls += 1;
+            if !self.fired && self.calls == self.panic_at {
+                self.fired = true;
+                panic!("injected suggester panic");
+            }
+            self.inner.next_jobs(ctx, k)
+        }
+
+        fn on_result(&mut self, outcome: &Outcome, ctx: &mut MethodContext<'_>) {
+            self.inner.on_result(outcome, ctx);
+        }
+    }
+
+    #[test]
+    fn poisoned_suggester_falls_back_inline_and_completes() {
+        let bench: Arc<dyn Benchmark> = Arc::new(CountingOnes::new(4, 4, 7));
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let mut method = PanicOnce {
+            inner: MethodKind::Asha.build(&levels, 8),
+            calls: 0,
+            panic_at: 3,
+            fired: false,
+        };
+        let mut cfg = ThreadedRunConfig::new(4, 40, 8);
+        cfg.telemetry = Telemetry::new().build();
+        let r = run_threaded(&mut method, bench, &cfg);
+        assert_eq!(r.total_evals, 40, "run must complete despite the panic");
+        let snap = cfg.telemetry.snapshot().unwrap();
+        assert_eq!(snap.counter("prefetch.fallback_inline"), Some(1));
+        assert_eq!(snap.counter("prefetch.suggester_panics"), Some(1));
+    }
+
+    #[test]
+    fn worker_churn_run_completes_with_orphan_recovery() {
+        let bench: Arc<dyn Benchmark> = Arc::new(CountingOnes::new(4, 4, 7));
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let mut method = MethodKind::Asha.build(&levels, 9);
+        let mut cfg = ThreadedRunConfig::new(4, 40, 9);
+        // Crash 15% of dispatches; leases expire after 50 ms and crashed
+        // workers rejoin after 20 ms, so the pool heals continuously.
+        cfg.membership =
+            Some(MembershipPlan::worker_crashes(0.15, Some(0.02), 9).with_lease_timeout(0.05));
+        let r = run_threaded(method.as_mut(), bench, &cfg);
+        assert_eq!(r.total_evals, 40, "churn must not lose budget");
+        assert!(r.n_orphaned > 0, "15% crash rate should orphan jobs");
+        assert_eq!(r.failure_counts.orphaned, r.n_orphaned);
+        for m in &r.measurements {
+            assert!(m.value.is_finite(), "orphans must never enter history");
+        }
+    }
+
+    #[test]
+    fn breaker_trips_under_failure_storm() {
+        let bench: Arc<dyn Benchmark> = Arc::new(CountingOnes::new(4, 4, 7));
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let mut method = MethodKind::HyperTune.build(&levels, 10);
+        let mut cfg = ThreadedRunConfig::new(4, 10, 10);
+        cfg.faults = Some(FaultSpec::errors(0.8));
+        cfg.retry = RetryPolicy::none();
+        cfg.breaker = Some(BreakerConfig {
+            window: 10,
+            open_threshold: 0.5,
+            close_threshold: 0.2,
+            min_samples: 5,
+        });
+        let r = run_threaded(method.as_mut(), bench, &cfg);
+        assert!(
+            r.n_breaker_trips >= 1,
+            "an 80% failure rate must trip the breaker"
+        );
+    }
+
+    #[test]
+    fn static_membership_plan_matches_plain_run() {
+        for prefetch in [false, true] {
+            let bench: Arc<dyn Benchmark> = Arc::new(CountingOnes::new(4, 4, 7));
+            let levels = ResourceLevels::new(bench.max_resource(), 3);
+            let mut m1 = MethodKind::Asha.build(&levels, 11);
+            let mut cfg = ThreadedRunConfig::new(1, 30, 11);
+            cfg.prefetch = prefetch;
+            let plain = run_threaded(m1.as_mut(), Arc::clone(&bench), &cfg);
+
+            let mut m2 = MethodKind::Asha.build(&levels, 11);
+            let mut cfg2 = cfg.clone();
+            cfg2.membership = Some(MembershipPlan::static_plan());
+            cfg2.breaker = Some(BreakerConfig::default());
+            let elastic = run_threaded(m2.as_mut(), bench, &cfg2);
+
+            assert_eq!(keys(&plain), keys(&elastic), "prefetch={prefetch}");
+            assert_eq!(elastic.n_orphaned, 0);
+            assert_eq!(elastic.n_breaker_trips, 0);
+        }
     }
 
     #[test]

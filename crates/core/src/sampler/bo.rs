@@ -48,6 +48,10 @@ pub struct BoSampler {
     pub impute_pending: bool,
     seed: u64,
     cache: Option<CachedModel>,
+    telemetry: hypertune_telemetry::TelemetryHandle,
+    /// Degradation-ladder floor: while set (by the runner's circuit
+    /// breaker) every proposal is a uniform random draw, no fits.
+    degraded: bool,
 }
 
 impl BoSampler {
@@ -60,6 +64,8 @@ impl BoSampler {
             impute_pending: true,
             seed,
             cache: None,
+            telemetry: hypertune_telemetry::TelemetryHandle::disabled(),
+            degraded: false,
         }
     }
 
@@ -72,6 +78,8 @@ impl BoSampler {
             impute_pending: true,
             seed,
             cache: None,
+            telemetry: hypertune_telemetry::TelemetryHandle::disabled(),
+            degraded: false,
         }
     }
 
@@ -116,7 +124,12 @@ impl BoSampler {
                 }
             }
             let mut rf = RandomForest::new(derive_model_seed(self.seed, level, n, pending_fp));
-            if rf.fit(&xs, &ys).is_err() {
+            let fit = rf.fit(&xs, &ys);
+            if rf.skipped_nonfinite() > 0 {
+                self.telemetry
+                    .counter_add("surrogate.skipped_nonfinite", rf.skipped_nonfinite() as u64);
+            }
+            if fit.is_err() {
                 self.cache = None;
                 return false;
             }
@@ -137,7 +150,18 @@ impl Sampler for BoSampler {
         "BO"
     }
 
+    fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+    }
+
+    fn set_telemetry(&mut self, telemetry: hypertune_telemetry::TelemetryHandle) {
+        self.telemetry = telemetry;
+    }
+
     fn sample(&mut self, ctx: &mut MethodContext<'_>) -> Config {
+        if self.degraded {
+            return ctx.space.sample(ctx.rng);
+        }
         if ctx.rng.gen::<f64>() < self.random_fraction {
             return ctx.space.sample(ctx.rng);
         }
@@ -165,6 +189,10 @@ impl Sampler for BoSampler {
     /// so a batch of `k` costs one model sweep instead of `k` (see
     /// BENCH_scheduler.json for the measured per-dispatch reduction).
     fn sample_batch(&mut self, ctx: &mut MethodContext<'_>, k: usize) -> Vec<Config> {
+        // Degraded (breaker open): the whole batch is uniform random.
+        if self.degraded {
+            return (0..k).map(|_| ctx.space.sample(ctx.rng)).collect();
+        }
         // k ≤ 1 must stay bit-identical to the sequential path.
         if k <= 1 || !self.ensure_model(ctx) {
             return (0..k).map(|_| self.sample(ctx)).collect();

@@ -49,6 +49,9 @@ pub struct MfesSampler {
     seed: u64,
     cache: HashMap<usize, CachedLevelModel>,
     telemetry: TelemetryHandle,
+    /// Degradation-ladder floor: while set (by the runner's circuit
+    /// breaker) every proposal is a uniform random draw, no fits.
+    degraded: bool,
 }
 
 impl MfesSampler {
@@ -61,6 +64,7 @@ impl MfesSampler {
             seed,
             cache: HashMap::new(),
             telemetry: TelemetryHandle::disabled(),
+            degraded: false,
         }
     }
 
@@ -111,23 +115,33 @@ impl MfesSampler {
         } else {
             Some(self.telemetry.span("surrogate_fit"))
         };
-        let refitted: Vec<(usize, u64, Option<RandomForest>)> = run_indexed(stale.len(), |i| {
-            let (level, fp) = stale[i];
-            let n = history.len_at(level);
-            let (mut xs, mut ys) =
-                history.training_data_capped(level, space, crate::sampler::bo::MAX_TRAIN_POINTS);
-            if level == ref_level {
-                let med = stats::median(&ys).expect("level has measurements");
-                for job in pending {
-                    xs.push(space.encode(&job.config));
-                    ys.push(med);
+        let refitted: Vec<(usize, u64, usize, Option<RandomForest>)> =
+            run_indexed(stale.len(), |i| {
+                let (level, fp) = stale[i];
+                let n = history.len_at(level);
+                let (mut xs, mut ys) = history.training_data_capped(
+                    level,
+                    space,
+                    crate::sampler::bo::MAX_TRAIN_POINTS,
+                );
+                if level == ref_level {
+                    let med = stats::median(&ys).expect("level has measurements");
+                    for job in pending {
+                        xs.push(space.encode(&job.config));
+                        ys.push(med);
+                    }
                 }
-            }
-            let mut rf = RandomForest::new(derive_model_seed(seed, level, n, fp));
-            (level, fp, rf.fit(&xs, &ys).ok().map(|_| rf))
-        });
+                let mut rf = RandomForest::new(derive_model_seed(seed, level, n, fp));
+                let fit = rf.fit(&xs, &ys);
+                let skipped = rf.skipped_nonfinite();
+                (level, fp, skipped, fit.ok().map(|_| rf))
+            });
         drop(fit_span);
-        for (level, fp, rf) in refitted {
+        for (level, fp, skipped, rf) in refitted {
+            if skipped > 0 {
+                self.telemetry
+                    .counter_add("surrogate.skipped_nonfinite", skipped as u64);
+            }
             match rf {
                 Some(rf) => {
                     let n_points = ctx.history.len_at(level);
@@ -195,7 +209,14 @@ impl Sampler for MfesSampler {
         self.telemetry = telemetry;
     }
 
+    fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+    }
+
     fn sample(&mut self, ctx: &mut MethodContext<'_>) -> Config {
+        if self.degraded {
+            return ctx.space.sample(ctx.rng);
+        }
         if ctx.rng.gen::<f64>() < self.random_fraction {
             return ctx.space.sample(ctx.rng);
         }
@@ -257,6 +278,10 @@ impl Sampler for MfesSampler {
     /// predictions (same fantasization idea as Algorithm 2's pending
     /// imputation, without `k − 1` extra refits or prediction sweeps).
     fn sample_batch(&mut self, ctx: &mut MethodContext<'_>, k: usize) -> Vec<Config> {
+        // Degraded (breaker open): the whole batch is uniform random.
+        if self.degraded {
+            return (0..k).map(|_| ctx.space.sample(ctx.rng)).collect();
+        }
         // k ≤ 1 must stay bit-identical to the sequential path.
         if k <= 1 {
             return (0..k).map(|_| self.sample(ctx)).collect();

@@ -98,6 +98,12 @@ pub trait Sampler: Send {
     /// default ignores it; model-based samplers override to report
     /// surrogate fits and acquisition timing.
     fn set_telemetry(&mut self, _telemetry: hypertune_telemetry::TelemetryHandle) {}
+
+    /// Toggles graceful degradation (forwarded from
+    /// [`crate::Method::set_degraded`]). Model-based samplers override to
+    /// fall back to uniform random draws while degraded; the default is a
+    /// no-op because [`RandomSampler`] is already the floor of the ladder.
+    fn set_degraded(&mut self, _degraded: bool) {}
 }
 
 /// Uniform random search.

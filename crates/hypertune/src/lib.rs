@@ -81,11 +81,15 @@ pub mod prelude {
     pub use hypertune_benchmarks::{
         tasks, Benchmark, CountingOnes, Eval, SyntheticBenchmark, SyntheticSpec, TabularNasBench,
     };
-    pub use hypertune_cluster::{FaultSpec, JobStatus, SimCluster, StragglerModel, ThreadPool};
+    pub use hypertune_cluster::{
+        FaultSpec, JobStatus, MembershipEvent, MembershipPlan, SimCluster, StragglerModel,
+        ThreadPool,
+    };
     pub use hypertune_core::{
-        resume, run, run_checkpointed, CheckpointPolicy, FailureCounts, History, JobSpec,
-        Measurement, Method, MethodContext, MethodKind, Outcome, OutcomeStatus, ResourceLevels,
-        ResumeError, RetryPolicy, RunConfig, RunResult, RunSnapshot,
+        resume, run, run_checkpointed, BreakerConfig, CheckpointPolicy, FailureCounts, History,
+        JobSpec, Measurement, Method, MethodContext, MethodKind, Outcome, OutcomeStatus,
+        ResourceLevels, ResumeError, RetryPolicy, RunConfig, RunResult, RunSnapshot,
+        SpeculationConfig,
     };
     pub use hypertune_space::{Config, ConfigSpace, ParamValue};
     pub use hypertune_telemetry::{

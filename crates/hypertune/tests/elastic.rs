@@ -1,0 +1,115 @@
+//! Contract tests for elastic execution (worker churn, lease recovery,
+//! speculation, degradation ladder):
+//!
+//! - with a **static** membership plan and speculation/breaker disabled,
+//!   the elastic code paths must be invisible — every method in the
+//!   registry produces a bit-identical run;
+//! - with churn and speculation **enabled**, runs stay deterministic per
+//!   seed and account for every dispatched trial exactly once.
+
+use hypertune::prelude::*;
+use proptest::prelude::*;
+
+/// Bitwise fingerprint of a run: the full measurement stream plus the
+/// anytime curve (timestamps included — the simulator is deterministic).
+fn fingerprint(r: &RunResult) -> Vec<(Config, usize, u64, u64, u64, u64, u64)> {
+    r.measurements
+        .iter()
+        .map(|m| {
+            (
+                m.config.clone(),
+                m.level,
+                m.resource.to_bits(),
+                m.value.to_bits(),
+                m.test_value.to_bits(),
+                m.cost.to_bits(),
+                m.finished_at.to_bits(),
+            )
+        })
+        .collect()
+}
+
+fn run_with(kind: MethodKind, bench: &CountingOnes, config: &RunConfig) -> RunResult {
+    let levels = ResourceLevels::new(bench.max_resource(), 3);
+    let mut method = kind.build(&levels, config.seed);
+    run(method.as_mut(), bench, config)
+}
+
+/// The tentpole invariant: handing the runner a membership plan with no
+/// events (and leaving speculation and the breaker off) must not perturb
+/// a single bit of any method's run.
+#[test]
+fn static_plan_is_invisible_for_every_method() {
+    let bench = CountingOnes::new(3, 4, 0);
+    for &kind in MethodKind::all() {
+        let plain = RunConfig::new(4, 400.0, 17);
+        let mut elastic = RunConfig::new(4, 400.0, 17);
+        elastic.membership = Some(MembershipPlan::static_plan());
+        let a = run_with(kind, &bench, &plain);
+        let b = run_with(kind, &bench, &elastic);
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "{} diverged under a static membership plan",
+            kind.name()
+        );
+        assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
+        assert_eq!(a.best_value.to_bits(), b.best_value.to_bits());
+        assert_eq!(b.n_orphaned, 0);
+        assert_eq!(b.n_speculations, 0);
+        assert_eq!(b.n_breaker_trips, 0);
+    }
+}
+
+/// Churn + speculation + breaker all enabled at once: the full elastic
+/// configuration every run below uses.
+fn chaos_config(seed: u64) -> RunConfig {
+    let mut config = RunConfig::new(6, 900.0, seed);
+    config.membership = Some(
+        MembershipPlan::worker_crashes(0.08, Some(5.0), seed ^ 0xc4a5).with_lease_timeout(10.0),
+    );
+    config.speculation = Some(SpeculationConfig::default());
+    config.breaker = Some(BreakerConfig::default());
+    config.retry = RetryPolicy::default_policy();
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Elastic runs are a pure function of the seed: two runs with
+    /// identical churn, speculation, and breaker settings agree bit for
+    /// bit — including every robustness counter — and the failure
+    /// accounting reconciles (each orphaned attempt is counted exactly
+    /// once, never double-booked as both a failure and a success).
+    #[test]
+    fn chaotic_runs_are_deterministic_per_seed(seed in 0u64..500) {
+        let bench = CountingOnes::new(3, 4, 0);
+        for kind in [MethodKind::Asha, MethodKind::HyperTune] {
+            let a = run_with(kind, &bench, &chaos_config(seed));
+            let b = run_with(kind, &bench, &chaos_config(seed));
+            prop_assert_eq!(
+                fingerprint(&a),
+                fingerprint(&b),
+                "{} not deterministic under churn",
+                kind.name()
+            );
+            prop_assert_eq!(a.n_orphaned, b.n_orphaned);
+            prop_assert_eq!(a.n_speculations, b.n_speculations);
+            prop_assert_eq!(a.n_backup_wins, b.n_backup_wins);
+            prop_assert_eq!(a.n_breaker_trips, b.n_breaker_trips);
+            prop_assert_eq!(a.n_retries, b.n_retries);
+            prop_assert_eq!(a.n_quarantined, b.n_quarantined);
+            // Exactly-once accounting: orphaned attempts all surface in
+            // the per-status failure breakdown, and no trial is counted
+            // as both retried and quarantined.
+            prop_assert_eq!(a.failure_counts.orphaned, a.n_orphaned);
+            prop_assert!(a.n_retries + a.n_quarantined <= a.n_failed_attempts);
+            prop_assert!(a.n_backup_wins <= a.n_speculations);
+            prop_assert!(a.total_evals > 0, "{} made no progress", kind.name());
+            for m in &a.measurements {
+                prop_assert!(m.value.is_finite());
+            }
+        }
+    }
+}

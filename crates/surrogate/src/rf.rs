@@ -68,6 +68,7 @@ pub struct RandomForest {
     seed: u64,
     dim: usize,
     trees: Vec<Tree>,
+    skipped_nonfinite: usize,
 }
 
 impl RandomForest {
@@ -83,12 +84,20 @@ impl RandomForest {
             seed,
             dim: 0,
             trees: Vec::new(),
+            skipped_nonfinite: 0,
         }
     }
 
     /// Number of fitted trees (0 before `fit`).
     pub fn n_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Number of training rows the last `fit` dropped for containing a
+    /// NaN or infinite input coordinate or target. Callers surface this
+    /// through the `surrogate.skipped_nonfinite` telemetry counter.
+    pub fn skipped_nonfinite(&self) -> usize {
+        self.skipped_nonfinite
     }
 
     /// Fits with an explicit worker-thread count.
@@ -98,6 +107,44 @@ impl RandomForest {
     /// `(forest seed, tree index)`. [`SurrogateModel::fit`] calls this
     /// with the detected core count.
     pub fn fit_with_threads(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        threads: usize,
+    ) -> Result<(), SurrogateError> {
+        // A crashed or diverged trial can leave NaN/Inf in the training
+        // set; one such row would poison every split bound it touches.
+        // Drop those rows (recording how many via
+        // [`RandomForest::skipped_nonfinite`]) instead of failing the
+        // whole fit — unless nothing finite remains.
+        if x.len() != y.len() {
+            return Err(SurrogateError::LengthMismatch {
+                xs: x.len(),
+                ys: y.len(),
+            });
+        }
+        let row_ok = |(row, v): (&Vec<f64>, &f64)| -> bool {
+            v.is_finite() && row.iter().all(|c| c.is_finite())
+        };
+        if x.iter().zip(y).all(row_ok) {
+            self.skipped_nonfinite = 0;
+            return self.fit_finite(x, y, threads);
+        }
+        let (fx, fy): (Vec<Vec<f64>>, Vec<f64>) = x
+            .iter()
+            .zip(y)
+            .filter(|&(row, v)| row_ok((row, v)))
+            .map(|(row, v)| (row.clone(), *v))
+            .unzip();
+        self.skipped_nonfinite = x.len() - fx.len();
+        if fx.is_empty() {
+            return Err(SurrogateError::NonFiniteTarget);
+        }
+        self.fit_finite(&fx, &fy, threads)
+    }
+
+    /// The real fit, on rows already known to be finite.
+    fn fit_finite(
         &mut self,
         x: &[Vec<f64>],
         y: &[f64],
@@ -507,6 +554,41 @@ mod tests {
         rf.fit(&[vec![0.0], vec![1.0]], &[5.0, 5.0]).unwrap();
         assert_eq!(rf.n_trees(), before);
         assert!((rf.predict(&[0.5]).unwrap().mean - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonfinite_rows_are_skipped_not_fatal() {
+        // A NaN target, an infinite target, and a NaN input coordinate
+        // are each dropped; the fit proceeds on the finite remainder and
+        // matches a fit on the clean rows alone.
+        let clean_x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+        let clean_y: Vec<f64> = clean_x.iter().map(|p| 2.0 * p[0]).collect();
+        let mut dirty_x = clean_x.clone();
+        let mut dirty_y = clean_y.clone();
+        dirty_x.push(vec![0.5]);
+        dirty_y.push(f64::NAN);
+        dirty_x.push(vec![0.7]);
+        dirty_y.push(f64::INFINITY);
+        dirty_x.push(vec![f64::NAN]);
+        dirty_y.push(0.3);
+        let mut clean_rf = RandomForest::new(4);
+        let mut dirty_rf = RandomForest::new(4);
+        clean_rf.fit(&clean_x, &clean_y).unwrap();
+        dirty_rf.fit(&dirty_x, &dirty_y).unwrap();
+        assert_eq!(clean_rf.skipped_nonfinite(), 0);
+        assert_eq!(dirty_rf.skipped_nonfinite(), 3);
+        for q in &clean_x {
+            assert_eq!(clean_rf.predict(q).unwrap(), dirty_rf.predict(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn all_nonfinite_rows_is_an_error() {
+        let mut rf = RandomForest::new(4);
+        let err = rf.fit(&[vec![0.5], vec![0.6]], &[f64::NAN, f64::INFINITY]);
+        assert_eq!(err, Err(SurrogateError::NonFiniteTarget));
+        assert_eq!(rf.skipped_nonfinite(), 2);
+        assert!(!rf.is_fitted());
     }
 
     #[test]

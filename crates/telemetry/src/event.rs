@@ -24,6 +24,9 @@ pub enum FailureKind {
     TimedOut,
     /// The result arrived but was unusable.
     Corrupt,
+    /// The worker holding the job left the cluster and the job's lease
+    /// expired before any result arrived.
+    Orphaned,
 }
 
 impl FailureKind {
@@ -34,6 +37,7 @@ impl FailureKind {
             FailureKind::Errored => "errored",
             FailureKind::TimedOut => "timed_out",
             FailureKind::Corrupt => "corrupt",
+            FailureKind::Orphaned => "orphaned",
         }
     }
 
@@ -43,6 +47,7 @@ impl FailureKind {
             "errored" => Ok(FailureKind::Errored),
             "timed_out" => Ok(FailureKind::TimedOut),
             "corrupt" => Ok(FailureKind::Corrupt),
+            "orphaned" => Ok(FailureKind::Orphaned),
             other => Err(Error::custom(format!("unknown failure kind {other:?}"))),
         }
     }
@@ -196,6 +201,51 @@ pub enum Event {
         /// Duration in clock seconds.
         duration: f64,
     },
+    /// A worker joined the cluster (scheduled scale-up or crash rejoin).
+    WorkerJoined {
+        /// Id of the new worker.
+        worker: usize,
+        /// Cluster capacity after the join.
+        n_alive: usize,
+    },
+    /// A worker left the cluster (scheduled scale-down or worker crash).
+    WorkerLeft {
+        /// Id of the departed worker.
+        worker: usize,
+        /// Cluster capacity after the departure.
+        n_alive: usize,
+    },
+    /// The lease on a job held by a departed worker expired; the driver
+    /// now owns the orphan and routes it through the retry policy.
+    LeaseExpired {
+        /// Resource-level index of the orphaned job.
+        level: usize,
+        /// Attempt number of the orphaned dispatch.
+        attempt: usize,
+    },
+    /// A straggling trial got a speculative backup copy (first result
+    /// wins, the loser is cancelled).
+    SpeculationLaunched {
+        /// Resource-level index of the straggling job.
+        level: usize,
+    },
+    /// One copy of a speculated trial finished first; the sibling was
+    /// cancelled.
+    SpeculationResolved {
+        /// Resource-level index.
+        level: usize,
+        /// `true` when the backup copy beat the original.
+        backup_won: bool,
+    },
+    /// The quarantine-storm circuit breaker opened: promotions pause and
+    /// model-based samplers degrade to random sampling.
+    BreakerOpened {
+        /// Observed failure rate over the breaker's window.
+        failure_rate: f64,
+    },
+    /// The circuit breaker closed again: full model-based operation
+    /// resumed.
+    BreakerClosed,
 }
 
 impl Event {
@@ -214,6 +264,13 @@ impl Event {
             Event::CheckpointWritten { .. } => "checkpoint_written",
             Event::FaultInjected { .. } => "fault_injected",
             Event::SpanClosed { .. } => "span_closed",
+            Event::WorkerJoined { .. } => "worker_joined",
+            Event::WorkerLeft { .. } => "worker_left",
+            Event::LeaseExpired { .. } => "lease_expired",
+            Event::SpeculationLaunched { .. } => "speculation_launched",
+            Event::SpeculationResolved { .. } => "speculation_resolved",
+            Event::BreakerOpened { .. } => "breaker_opened",
+            Event::BreakerClosed => "breaker_closed",
         }
     }
 }
@@ -264,6 +321,26 @@ impl fmt::Display for Event {
             Event::SpanClosed { name, duration } => {
                 write!(f, "span {name} took {duration:.6}s")
             }
+            Event::WorkerJoined { worker, n_alive } => {
+                write!(f, "worker {worker} joined ({n_alive} alive)")
+            }
+            Event::WorkerLeft { worker, n_alive } => {
+                write!(f, "worker {worker} left ({n_alive} alive)")
+            }
+            Event::LeaseExpired { level, attempt } => {
+                write!(f, "lease expired on level {level} attempt {attempt}")
+            }
+            Event::SpeculationLaunched { level } => {
+                write!(f, "speculative backup launched at level {level}")
+            }
+            Event::SpeculationResolved { level, backup_won } => {
+                let winner = if *backup_won { "backup" } else { "original" };
+                write!(f, "speculation at level {level} resolved: {winner} won")
+            }
+            Event::BreakerOpened { failure_rate } => {
+                write!(f, "breaker opened at failure rate {failure_rate:.3}")
+            }
+            Event::BreakerClosed => write!(f, "breaker closed"),
         }
     }
 }
@@ -377,6 +454,25 @@ impl serde::Serialize for Event {
                 m.insert("name".into(), Value::String(name.clone()));
                 m.insert("duration".into(), num(*duration));
             }
+            Event::WorkerJoined { worker, n_alive } | Event::WorkerLeft { worker, n_alive } => {
+                m.insert("worker".into(), worker.to_value());
+                m.insert("n_alive".into(), n_alive.to_value());
+            }
+            Event::LeaseExpired { level, attempt } => {
+                m.insert("level".into(), level.to_value());
+                m.insert("attempt".into(), attempt.to_value());
+            }
+            Event::SpeculationLaunched { level } => {
+                m.insert("level".into(), level.to_value());
+            }
+            Event::SpeculationResolved { level, backup_won } => {
+                m.insert("level".into(), level.to_value());
+                m.insert("backup_won".into(), Value::Bool(*backup_won));
+            }
+            Event::BreakerOpened { failure_rate } => {
+                m.insert("failure_rate".into(), num(*failure_rate));
+            }
+            Event::BreakerClosed => {}
         }
         Value::Object(m)
     }
@@ -406,6 +502,15 @@ fn get_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, Error> {
     v[key]
         .as_str()
         .ok_or_else(|| Error::custom(format!("missing or non-string field {key:?}")))
+}
+
+fn get_bool(v: &Value, key: &str) -> Result<bool, Error> {
+    match &v[key] {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(Error::custom(format!(
+            "missing or non-boolean field {key:?}"
+        ))),
+    }
 }
 
 fn get_f64s(v: &Value, key: &str) -> Result<Vec<f64>, Error> {
@@ -477,6 +582,29 @@ impl serde::Deserialize for Event {
                 name: get_str(v, "name")?.to_string(),
                 duration: get_f64(v, "duration")?,
             }),
+            "worker_joined" => Ok(Event::WorkerJoined {
+                worker: get_usize(v, "worker")?,
+                n_alive: get_usize(v, "n_alive")?,
+            }),
+            "worker_left" => Ok(Event::WorkerLeft {
+                worker: get_usize(v, "worker")?,
+                n_alive: get_usize(v, "n_alive")?,
+            }),
+            "lease_expired" => Ok(Event::LeaseExpired {
+                level: get_usize(v, "level")?,
+                attempt: get_usize(v, "attempt")?,
+            }),
+            "speculation_launched" => Ok(Event::SpeculationLaunched {
+                level: get_usize(v, "level")?,
+            }),
+            "speculation_resolved" => Ok(Event::SpeculationResolved {
+                level: get_usize(v, "level")?,
+                backup_won: get_bool(v, "backup_won")?,
+            }),
+            "breaker_opened" => Ok(Event::BreakerOpened {
+                failure_rate: get_f64(v, "failure_rate")?,
+            }),
+            "breaker_closed" => Ok(Event::BreakerClosed),
             other => Err(Error::custom(format!("unknown event type {other:?}"))),
         }
     }
@@ -535,7 +663,7 @@ mod tests {
             Event::TrialQuarantined {
                 level: 3,
                 bracket: Some(1),
-                kind: FailureKind::TimedOut,
+                kind: FailureKind::Orphaned,
             },
             Event::PromotionMade {
                 bracket: 0,
@@ -569,6 +697,25 @@ mod tests {
                 name: "surrogate_fit".into(),
                 duration: 0.0021,
             },
+            Event::WorkerJoined {
+                worker: 9,
+                n_alive: 10,
+            },
+            Event::WorkerLeft {
+                worker: 3,
+                n_alive: 9,
+            },
+            Event::LeaseExpired {
+                level: 1,
+                attempt: 0,
+            },
+            Event::SpeculationLaunched { level: 2 },
+            Event::SpeculationResolved {
+                level: 2,
+                backup_won: true,
+            },
+            Event::BreakerOpened { failure_rate: 0.75 },
+            Event::BreakerClosed,
         ]
     }
 

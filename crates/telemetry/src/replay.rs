@@ -47,6 +47,8 @@ pub struct LevelFlow {
     pub retried: usize,
     /// Quarantined configurations.
     pub quarantined: usize,
+    /// Orphaned attempts whose lease expired after a worker departure.
+    pub orphaned: usize,
 }
 
 /// One θ-refresh round as seen in the log.
@@ -98,6 +100,22 @@ pub struct TraceSummary {
     pub faults: BTreeMap<&'static str, usize>,
     /// Checkpoints written.
     pub checkpoints: usize,
+    /// Workers that joined mid-run (scale-up or crash rejoin).
+    pub workers_joined: usize,
+    /// Workers that left mid-run (scale-down or worker crash).
+    pub workers_left: usize,
+    /// Job leases that expired after a worker departure.
+    pub leases_expired: usize,
+    /// Speculative backup copies launched for stragglers.
+    pub speculations_launched: usize,
+    /// Speculations resolved (one copy finished, the sibling cancelled).
+    pub speculations_resolved: usize,
+    /// Resolved speculations where the backup copy won.
+    pub backup_wins: usize,
+    /// Circuit-breaker open transitions.
+    pub breaker_opened: usize,
+    /// Circuit-breaker close transitions.
+    pub breaker_closed: usize,
 }
 
 impl TraceSummary {
@@ -154,6 +172,21 @@ impl TraceSummary {
                     st.total += duration;
                     st.max = st.max.max(*duration);
                 }
+                Event::WorkerJoined { .. } => s.workers_joined += 1,
+                Event::WorkerLeft { .. } => s.workers_left += 1,
+                Event::LeaseExpired { level, .. } => {
+                    s.levels.entry(*level).or_default().orphaned += 1;
+                    s.leases_expired += 1;
+                }
+                Event::SpeculationLaunched { .. } => s.speculations_launched += 1,
+                Event::SpeculationResolved { backup_won, .. } => {
+                    s.speculations_resolved += 1;
+                    if *backup_won {
+                        s.backup_wins += 1;
+                    }
+                }
+                Event::BreakerOpened { .. } => s.breaker_opened += 1,
+                Event::BreakerClosed => s.breaker_closed += 1,
             }
         }
         s
@@ -177,6 +210,32 @@ impl TraceSummary {
             .sum()
     }
 
+    /// Exactly-once reconciliation for one level: every dispatched trial
+    /// must be accounted for as completed, quarantined, or still in
+    /// flight at log end — and never completed more than once.
+    ///
+    /// Returns `(in_flight_at_end, duplicated)`. Retries and speculative
+    /// backups are *attempts* of an existing trial, so they do not add to
+    /// the dispatched count; a negative residual therefore means some
+    /// trial reached `History` twice.
+    pub fn reconcile_level(&self, flow: &LevelFlow) -> (usize, usize) {
+        let terminal = flow.completed + flow.quarantined;
+        if flow.dispatched >= terminal {
+            (flow.dispatched - terminal, 0)
+        } else {
+            (0, terminal - flow.dispatched)
+        }
+    }
+
+    /// Total duplicated completions across levels (must be zero for a
+    /// correct run, churn or not).
+    pub fn duplicated_trials(&self) -> usize {
+        self.levels
+            .values()
+            .map(|f| self.reconcile_level(f).1)
+            .sum()
+    }
+
     /// Renders the human-readable report table.
     pub fn render(&self) -> String {
         use std::fmt::Write;
@@ -190,18 +249,19 @@ impl TraceSummary {
         let _ = writeln!(out, "\nper-level trial flow:");
         let _ = writeln!(
             out,
-            "  {:>5} {:>10} {:>10} {:>8} {:>12} {:>10}",
-            "level", "dispatched", "completed", "retried", "quarantined", "promoted→"
+            "  {:>5} {:>10} {:>10} {:>8} {:>12} {:>9} {:>10}",
+            "level", "dispatched", "completed", "retried", "quarantined", "orphaned", "promoted→"
         );
         for (level, flow) in &self.levels {
             let _ = writeln!(
                 out,
-                "  {:>5} {:>10} {:>10} {:>8} {:>12} {:>10}",
+                "  {:>5} {:>10} {:>10} {:>8} {:>12} {:>9} {:>10}",
                 level,
                 flow.dispatched,
                 flow.completed,
                 flow.retried,
                 flow.quarantined,
+                flow.orphaned,
                 self.promotions_to_level(*level)
             );
         }
@@ -281,6 +341,44 @@ impl TraceSummary {
         if self.checkpoints > 0 {
             let _ = writeln!(out, "\ncheckpoints written: {}", self.checkpoints);
         }
+
+        if self.workers_joined + self.workers_left + self.leases_expired > 0
+            || self.speculations_launched + self.breaker_opened > 0
+        {
+            let _ = writeln!(out, "\nmembership & resilience:");
+            let _ = writeln!(
+                out,
+                "  workers joined: {}, left: {}",
+                self.workers_joined, self.workers_left
+            );
+            let _ = writeln!(out, "  leases expired: {}", self.leases_expired);
+            let _ = writeln!(
+                out,
+                "  speculations: {} launched, {} resolved ({} backup wins)",
+                self.speculations_launched, self.speculations_resolved, self.backup_wins
+            );
+            let _ = writeln!(
+                out,
+                "  breaker: opened {}, closed {}",
+                self.breaker_opened, self.breaker_closed
+            );
+        }
+
+        let _ = writeln!(out, "\nexactly-once reconciliation:");
+        let (mut trials, mut done, mut quar, mut in_flight, mut dup) = (0, 0, 0, 0, 0);
+        for flow in self.levels.values() {
+            let (i, d) = self.reconcile_level(flow);
+            trials += flow.dispatched;
+            done += flow.completed;
+            quar += flow.quarantined;
+            in_flight += i;
+            dup += d;
+        }
+        let _ = writeln!(
+            out,
+            "  {trials} trials dispatched = {done} completed + {quar} quarantined + \
+             {in_flight} in flight at log end; {dup} duplicated"
+        );
         out
     }
 }
@@ -410,6 +508,126 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn membership_and_reconciliation_counters() {
+        let log = vec![
+            rec(
+                0,
+                0.0,
+                Event::TrialDispatched {
+                    level: 0,
+                    bracket: None,
+                    attempt: 0,
+                },
+            ),
+            rec(
+                1,
+                0.5,
+                Event::WorkerJoined {
+                    worker: 4,
+                    n_alive: 5,
+                },
+            ),
+            rec(
+                2,
+                1.0,
+                Event::WorkerLeft {
+                    worker: 0,
+                    n_alive: 4,
+                },
+            ),
+            rec(
+                3,
+                2.0,
+                Event::LeaseExpired {
+                    level: 0,
+                    attempt: 0,
+                },
+            ),
+            rec(
+                4,
+                2.0,
+                Event::TrialRetried {
+                    level: 0,
+                    attempt: 1,
+                    kind: FailureKind::Orphaned,
+                },
+            ),
+            rec(5, 2.5, Event::SpeculationLaunched { level: 0 }),
+            rec(
+                6,
+                3.0,
+                Event::SpeculationResolved {
+                    level: 0,
+                    backup_won: true,
+                },
+            ),
+            rec(
+                7,
+                3.0,
+                Event::TrialCompleted {
+                    level: 0,
+                    bracket: None,
+                    value: 0.1,
+                    cost: 1.0,
+                },
+            ),
+            rec(8, 3.5, Event::BreakerOpened { failure_rate: 0.9 }),
+            rec(9, 4.0, Event::BreakerClosed),
+        ];
+        let s = TraceSummary::from_records(&log);
+        assert_eq!(s.workers_joined, 1);
+        assert_eq!(s.workers_left, 1);
+        assert_eq!(s.leases_expired, 1);
+        assert_eq!(s.levels[&0].orphaned, 1);
+        assert_eq!(s.speculations_launched, 1);
+        assert_eq!(s.speculations_resolved, 1);
+        assert_eq!(s.backup_wins, 1);
+        assert_eq!(s.breaker_opened, 1);
+        assert_eq!(s.breaker_closed, 1);
+        // One trial dispatched, one completed (the orphan retry and the
+        // backup copy are attempts, not new trials): nothing in flight,
+        // nothing duplicated.
+        assert_eq!(s.reconcile_level(&s.levels[&0]), (0, 0));
+        assert_eq!(s.duplicated_trials(), 0);
+        let text = s.render();
+        assert!(text.contains("membership & resilience"), "{text}");
+        assert!(text.contains("exactly-once reconciliation"), "{text}");
+        assert!(text.contains("0 duplicated"), "{text}");
+    }
+
+    #[test]
+    fn duplicated_completions_detected() {
+        let complete = |seq| {
+            rec(
+                seq,
+                1.0,
+                Event::TrialCompleted {
+                    level: 1,
+                    bracket: None,
+                    value: 0.5,
+                    cost: 1.0,
+                },
+            )
+        };
+        let log = vec![
+            rec(
+                0,
+                0.0,
+                Event::TrialDispatched {
+                    level: 1,
+                    bracket: None,
+                    attempt: 0,
+                },
+            ),
+            complete(1),
+            complete(2),
+        ];
+        let s = TraceSummary::from_records(&log);
+        assert_eq!(s.duplicated_trials(), 1);
+        assert!(s.render().contains("1 duplicated"));
     }
 
     #[test]

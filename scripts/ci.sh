@@ -36,6 +36,21 @@ step "robustness smoke (fault-rate sweep)"
 HYPERTUNE_BUDGET_DIV=96 cargo run --release -q -p hypertune-bench \
   --offline --bin robustness
 
+step "chaos smoke (worker churn + speculation, exactly-once accounting)"
+# Runs only the elastic churn sweep: worker crashes with lease-based
+# orphan recovery, speculative re-execution, and the degradation-ladder
+# breaker all enabled. The bin writes the chaos run's telemetry to a
+# JSONL trace; trace-report replays it and must reconcile every
+# dispatched trial as completed, quarantined, or in flight — with zero
+# lost or duplicated trials.
+HYPERTUNE_CHAOS_ONLY=1 HYPERTUNE_CHAOS_TRACE=target/chaos-trace.jsonl \
+  cargo run --release -q -p hypertune-bench --offline --bin robustness
+cargo run --release -q -p hypertune-bench --offline --bin trace-report -- \
+  target/chaos-trace.jsonl > target/chaos-trace.out
+grep -q "exactly-once reconciliation" target/chaos-trace.out
+grep -q "; 0 duplicated" target/chaos-trace.out
+grep -q "leases expired" target/chaos-trace.out
+
 step "trace-report smoke (telemetry end-to-end)"
 cargo run --release -q -p hypertune-bench --offline --bin trace-report -- \
   --demo target/trace-smoke.jsonl > target/trace-smoke.out
