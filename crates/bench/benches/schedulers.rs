@@ -110,7 +110,7 @@ fn bench_dispatch_latency(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     for kind in [MethodKind::HyperTune, MethodKind::ABo] {
         let name = kind.name().replace(' ', "_");
-        for &k in &[8usize, 32, 128] {
+        for &k in &[8usize, 32, 128, 256] {
             g.bench_function(format!("{name}_seq_w{k}"), |b| {
                 let mut seed = 0u64;
                 b.iter(|| {

@@ -5,6 +5,9 @@
 //! ranking-loss computation behind `θ`, and the incumbent/anytime-curve
 //! bookkeeping the experiment harness reports.
 
+use std::collections::HashMap;
+use std::sync::Mutex;
+
 use hypertune_space::Config;
 
 use crate::levels::ResourceLevels;
@@ -28,8 +31,139 @@ pub struct Measurement {
     pub finished_at: f64,
 }
 
+/// Read-only view of a multi-fidelity measurement store.
+///
+/// Everything a method, sampler, or θ estimator consumes goes through
+/// this trait, so the same code runs against the plain owned [`History`]
+/// (the sim runner) and against concurrent snapshot views over shared
+/// state (the threaded runner's [`crate::shared::HistoryView`]) without
+/// cloning the store. `Sync` is a supertrait because θ refreshes fan
+/// level fits out across threads with the history captured by reference.
+pub trait HistoryRead: Sync {
+    /// The level ladder.
+    fn levels(&self) -> &ResourceLevels;
+
+    /// Measurements at `level` (`D_{level+1}` in paper notation).
+    fn group(&self, level: usize) -> &[Measurement];
+
+    /// Sum of evaluation costs recorded so far.
+    fn total_cost(&self) -> f64;
+
+    /// Best complete evaluation (lowest validation value at level `K−1`).
+    fn incumbent_full(&self) -> Option<&Measurement>;
+
+    /// Best measurement at any level; falls back gracefully when no
+    /// complete evaluation exists yet.
+    fn incumbent_any(&self) -> Option<&Measurement>;
+
+    /// Number of measurements at `level`.
+    fn len_at(&self, level: usize) -> usize {
+        self.group(level).len()
+    }
+
+    /// Total number of measurements at all levels.
+    fn len(&self) -> usize {
+        (0..self.levels().k()).map(|l| self.len_at(l)).sum()
+    }
+
+    /// `true` when nothing has been recorded.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The incumbent the experiment harness reports: the best complete
+    /// evaluation when one exists, otherwise the best at any level.
+    fn incumbent(&self) -> Option<&Measurement> {
+        self.incumbent_full().or_else(|| self.incumbent_any())
+    }
+
+    /// Indices (into [`HistoryRead::group`]) of the `n` best measurements
+    /// at `level`, ascending by value. Implementations may cache; the
+    /// result must equal [`top_indices_uncached`] on the same group.
+    fn top_indices(&self, level: usize, n: usize) -> Vec<usize> {
+        top_indices_uncached(self.group(level), n)
+    }
+
+    /// The `n` best configurations at `level` (ascending value), borrowed
+    /// from the store — used to seed local acquisition search without
+    /// cloning every `Config` on each call.
+    fn top_configs_ref(&self, level: usize, n: usize) -> Vec<&Config> {
+        let g = self.group(level);
+        self.top_indices(level, n)
+            .into_iter()
+            .map(|i| &g[i].config)
+            .collect()
+    }
+
+    /// Cloning variant of [`HistoryRead::top_configs_ref`], for callers
+    /// that need owned configurations.
+    fn top_configs(&self, level: usize, n: usize) -> Vec<Config> {
+        self.top_configs_ref(level, n)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Unit-cube design matrix and targets of `level`, ready for
+    /// surrogate fitting.
+    fn training_data(
+        &self,
+        level: usize,
+        space: &hypertune_space::ConfigSpace,
+    ) -> (Vec<Vec<f64>>, Vec<f64>) {
+        self.training_data_capped(level, space, usize::MAX)
+    }
+
+    /// Like [`HistoryRead::training_data`], but keeps only the most
+    /// recent `cap` measurements — surrogate refits stay `O(cap)` as the
+    /// run grows, bounding the per-sample optimization overhead.
+    fn training_data_capped(
+        &self,
+        level: usize,
+        space: &hypertune_space::ConfigSpace,
+        cap: usize,
+    ) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let g = self.group(level);
+        let skip = g.len().saturating_sub(cap);
+        let n = g.len() - skip;
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for m in &g[skip..] {
+            xs.push(space.encode(&m.config));
+            ys.push(m.value);
+        }
+        (xs, ys)
+    }
+}
+
+/// Uncached top-`n` selection over one level's measurements, ascending by
+/// value with ties broken by insertion order (what a stable full sort
+/// returns — callers depend on this for reproducibility). A full sort
+/// would be `O(m log m)` per call on the dispatch hot path; partial
+/// select + sort of the winning prefix is `O(m + n log n)`.
+pub fn top_indices_uncached(g: &[Measurement], n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..g.len()).collect();
+    let by_value = |&a: &usize, &b: &usize| {
+        g[a].value
+            .partial_cmp(&g[b].value)
+            .expect("values are finite")
+            .then(a.cmp(&b))
+    };
+    if n < idx.len() {
+        idx.select_nth_unstable_by(n, by_value);
+        idx.truncate(n);
+    }
+    idx.sort_by(by_value);
+    idx
+}
+
+/// Memoized top-k selections: `(level, n) → (len_at(level) when
+/// computed, indices)`. The group length doubles as the invalidation
+/// tag since groups are append-only.
+type TopCache = Mutex<HashMap<(usize, usize), (usize, Vec<usize>)>>;
+
 /// Measurements grouped by resource level, plus incumbent tracking.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct History {
     levels: ResourceLevels,
     groups: Vec<Vec<Measurement>>,
@@ -38,6 +172,22 @@ pub struct History {
     /// Best measurement at any level so far.
     best_any: Option<(usize, usize)>,
     total_cost: f64,
+    /// The suggest hot path asks for the same top-k between appends.
+    top_cache: TopCache,
+}
+
+impl Clone for History {
+    fn clone(&self) -> Self {
+        Self {
+            levels: self.levels.clone(),
+            groups: self.groups.clone(),
+            best_full: self.best_full,
+            best_any: self.best_any,
+            total_cost: self.total_cost,
+            // The cache is derived state; a clone starts cold.
+            top_cache: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 impl History {
@@ -50,6 +200,7 @@ impl History {
             best_full: None,
             best_any: None,
             total_cost: 0.0,
+            top_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -67,6 +218,13 @@ impl History {
         assert!(m.level < self.groups.len(), "level out of range");
         self.total_cost += m.cost;
         let level = m.level;
+        // Invalidate cached top-k selections for the touched level. The
+        // length tag would catch staleness on lookup too; dropping the
+        // entries keeps the cache from holding dead index vectors.
+        self.top_cache
+            .get_mut()
+            .expect("cache lock poisoned")
+            .retain(|&(l, _), _| l != level);
         let idx = self.groups[level].len();
         let value = m.value;
         self.groups[level].push(m);
@@ -130,25 +288,21 @@ impl History {
     }
 
     /// Indices (into [`History::group`]) of the `n` best measurements at
-    /// `level`, ascending by value. A full sort of the level would be
-    /// `O(m log m)` per call on the dispatch hot path; a partial select +
-    /// sort of the winning prefix is `O(m + n log n)`.
+    /// `level`, ascending by value (see [`top_indices_uncached`] for the
+    /// selection itself). Results are memoized per `(level, n)` until the
+    /// next append to that level, so the suggest hot path — which asks
+    /// for the same top-k every sample between completions — pays the
+    /// `O(m)` select once per append instead of once per call.
     pub fn top_indices(&self, level: usize, n: usize) -> Vec<usize> {
         let g = &self.groups[level];
-        let mut idx: Vec<usize> = (0..g.len()).collect();
-        // Ties break by insertion order, matching what a stable full sort
-        // would return — callers depend on this for reproducibility.
-        let by_value = |&a: &usize, &b: &usize| {
-            g[a].value
-                .partial_cmp(&g[b].value)
-                .expect("values are finite")
-                .then(a.cmp(&b))
-        };
-        if n < idx.len() {
-            idx.select_nth_unstable_by(n, by_value);
-            idx.truncate(n);
+        let mut cache = self.top_cache.lock().expect("cache lock poisoned");
+        if let Some((len, idx)) = cache.get(&(level, n)) {
+            if *len == g.len() {
+                return idx.clone();
+            }
         }
-        idx.sort_by(by_value);
+        let idx = top_indices_uncached(g, n);
+        cache.insert((level, n), (g.len(), idx.clone()));
         idx
     }
 
@@ -200,6 +354,41 @@ impl History {
             ys.push(m.value);
         }
         (xs, ys)
+    }
+}
+
+impl HistoryRead for History {
+    fn levels(&self) -> &ResourceLevels {
+        History::levels(self)
+    }
+
+    fn group(&self, level: usize) -> &[Measurement] {
+        History::group(self, level)
+    }
+
+    fn total_cost(&self) -> f64 {
+        History::total_cost(self)
+    }
+
+    fn incumbent_full(&self) -> Option<&Measurement> {
+        History::incumbent_full(self)
+    }
+
+    fn incumbent_any(&self) -> Option<&Measurement> {
+        History::incumbent_any(self)
+    }
+
+    fn len_at(&self, level: usize) -> usize {
+        History::len_at(self, level)
+    }
+
+    fn len(&self) -> usize {
+        History::len(self)
+    }
+
+    // Route the trait path through the memoizing inherent method.
+    fn top_indices(&self, level: usize, n: usize) -> Vec<usize> {
+        History::top_indices(self, level, n)
     }
 }
 
@@ -268,6 +457,41 @@ mod tests {
         assert_eq!(top[1].values()[0], ParamValue::Float(0.5));
         // Requesting more than available returns all.
         assert_eq!(h.top_configs(1, 10).len(), 3);
+    }
+
+    #[test]
+    fn cached_top_indices_matches_uncached_across_appends() {
+        let mut h = History::new(levels());
+        let values = [0.9, 0.1, 0.5, 0.1, 0.3, 0.7, 0.0, 0.2];
+        for (i, &v) in values.iter().enumerate() {
+            h.record(m(1, v, i as f64));
+            for n in [0usize, 1, 2, 3, 100] {
+                // First call populates the cache, second must hit it;
+                // both agree with the from-scratch selection.
+                let expect = top_indices_uncached(h.group(1), n);
+                assert_eq!(h.top_indices(1, n), expect);
+                assert_eq!(h.top_indices(1, n), expect);
+            }
+        }
+        // Appends to *other* levels leave level-1 cache entries valid.
+        h.record(m(2, 0.4, 99.0));
+        assert_eq!(h.top_indices(1, 3), top_indices_uncached(h.group(1), 3));
+    }
+
+    #[test]
+    fn history_read_trait_object_matches_inherent() {
+        let mut h = History::new(levels());
+        h.record(m(0, 0.5, 1.0));
+        h.record(m(3, 0.2, 2.0));
+        let dynref: &dyn HistoryRead = &h;
+        assert_eq!(dynref.len(), 2);
+        assert_eq!(dynref.len_at(0), 1);
+        assert!(!dynref.is_empty());
+        assert_eq!(dynref.total_cost(), 20.0);
+        assert_eq!(dynref.incumbent().unwrap().value, 0.2);
+        assert_eq!(dynref.top_configs(0, 5), h.top_configs(0, 5));
+        let space = ConfigSpace::builder().float("x", 0.0, 1.0).build();
+        assert_eq!(dynref.training_data(0, &space), h.training_data(0, &space));
     }
 
     #[test]

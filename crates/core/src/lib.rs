@@ -68,10 +68,11 @@ pub mod ranking;
 pub mod runner;
 pub mod runner_threaded;
 pub mod sampler;
+pub mod shared;
 
 pub use breaker::{Breaker, BreakerConfig, BreakerTransition};
 pub use diagnostics::{failure_kind, Diagnostics, FailureCounts};
-pub use history::{History, Measurement};
+pub use history::{top_indices_uncached, History, HistoryRead, Measurement};
 pub use levels::ResourceLevels;
 pub use method::{JobSpec, Method, MethodContext, Outcome, OutcomeStatus};
 pub use methods::MethodKind;
@@ -81,3 +82,4 @@ pub use runner::{
     RunResult, SpeculationConfig,
 };
 pub use runner_threaded::{run_threaded, ThreadedRunConfig, ThreadedRunResult};
+pub use shared::{HistoryView, ShardedPending, SharedHistory};

@@ -5,14 +5,14 @@
 //! returns `None` at its barrier (leaving workers idle — the cost the
 //! paper's Figure 1 illustrates), while an asynchronous method always has
 //! work. Completions flow back through [`Method::on_result`] after the
-//! runner has recorded them into the shared [`History`].
+//! runner has recorded them into the shared [`crate::History`].
 
 use hypertune_cluster::JobStatus;
 use hypertune_space::{Config, ConfigSpace};
 use hypertune_telemetry::TelemetryHandle;
 use rand::rngs::StdRng;
 
-use crate::history::History;
+use crate::history::HistoryRead;
 use crate::levels::ResourceLevels;
 
 /// A unit of work: evaluate `config` with `resource` units.
@@ -39,7 +39,7 @@ pub struct JobSpec {
 /// The runner retries failed jobs transparently; a method only ever sees
 /// [`OutcomeStatus::Failed`] when a job exhausted its retry budget and was
 /// *quarantined*. Failed outcomes carry `value = f64::INFINITY`, are never
-/// recorded into the [`History`], and exist so schedulers can release the
+/// recorded into the [`crate::History`], and exist so schedulers can release the
 /// bookkeeping slot (rung quota, batch barrier, population seed) the job
 /// occupied — otherwise a dead config would stall its rung forever.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -87,7 +87,7 @@ pub struct MethodContext<'a> {
     /// The resource-level ladder.
     pub levels: &'a ResourceLevels,
     /// All recorded measurements.
-    pub history: &'a History,
+    pub history: &'a dyn HistoryRead,
     /// Configurations currently being evaluated (for pending-imputation
     /// sampling, Algorithm 2).
     pub pending: &'a [JobSpec],

@@ -27,7 +27,7 @@ use crate::method::JobSpec;
 /// FNV-1a content hash of everything the old equality scan compared —
 /// every field but the dispatch id. `-0.0` is normalized to `0.0` so the
 /// hash never separates values the scan's `==` considered equal.
-fn content_key(spec: &JobSpec) -> u64 {
+pub(crate) fn content_key(spec: &JobSpec) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     let mut mix = |v: u64| {
         h ^= v;
@@ -47,7 +47,7 @@ fn content_key(spec: &JobSpec) -> u64 {
 }
 
 /// The old scan's equality: every field but the dispatch id.
-fn same_job(a: &JobSpec, b: &JobSpec) -> bool {
+pub(crate) fn same_job(a: &JobSpec, b: &JobSpec) -> bool {
     a.level == b.level && a.resource == b.resource && a.bracket == b.bracket && a.config == b.config
 }
 

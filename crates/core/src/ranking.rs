@@ -33,7 +33,7 @@ use hypertune_surrogate::{RandomForest, SurrogateModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::history::History;
+use crate::history::HistoryRead;
 
 /// Number of bootstrap samples `S` in Eq. 2.
 pub const BOOTSTRAP_SAMPLES: usize = 100;
@@ -242,7 +242,11 @@ impl ThetaModelCache {
 ///
 /// Returns `None` until at least [`MIN_FULL_EVALS`] complete evaluations
 /// exist. Levels whose surrogates cannot be fit get `θ_i = 0`.
-pub fn compute_theta(history: &History, space: &ConfigSpace, seed: u64) -> Option<Vec<f64>> {
+pub fn compute_theta(
+    history: &dyn HistoryRead,
+    space: &ConfigSpace,
+    seed: u64,
+) -> Option<Vec<f64>> {
     compute_theta_cached(history, space, seed, &mut ThetaModelCache::new())
 }
 
@@ -250,7 +254,7 @@ pub fn compute_theta(history: &History, space: &ConfigSpace, seed: u64) -> Optio
 /// that re-estimate θ as the history grows (the [`ThetaTracker`]) only pay
 /// for levels whose data actually changed.
 pub fn compute_theta_cached(
-    history: &History,
+    history: &dyn HistoryRead,
     space: &ConfigSpace,
     seed: u64,
     cache: &mut ThetaModelCache,
@@ -312,7 +316,7 @@ fn pick_random<'a, T>(xs: &'a [T], rng: &mut StdRng) -> Option<&'a T> {
 /// unchanged) and evaluates them on the `D_K` configurations; `M_K` itself
 /// is evaluated by 5-fold cross-validation.
 fn level_predictions(
-    history: &History,
+    history: &dyn HistoryRead,
     space: &ConfigSpace,
     seed: u64,
     cache: &mut ThetaModelCache,
@@ -462,7 +466,11 @@ impl ThetaTracker {
     }
 
     /// Refreshes `θ` when due; returns the new value only when it changed.
-    pub fn maybe_refresh(&mut self, history: &History, space: &ConfigSpace) -> Option<Vec<f64>> {
+    pub fn maybe_refresh(
+        &mut self,
+        history: &dyn HistoryRead,
+        space: &ConfigSpace,
+    ) -> Option<Vec<f64>> {
         let nk = history.len_at(history.levels().max_level());
         if nk < MIN_FULL_EVALS || nk < self.last_nk + self.refresh_every {
             return None;
@@ -477,7 +485,7 @@ impl ThetaTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::history::Measurement;
+    use crate::history::{History, Measurement};
     use crate::levels::ResourceLevels;
     use hypertune_space::{Config, ParamValue};
 

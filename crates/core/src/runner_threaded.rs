@@ -58,12 +58,12 @@ use rand::SeedableRng;
 
 use crate::breaker::{Breaker, BreakerConfig, BreakerTransition};
 use crate::diagnostics::{failure_kind, FailureCounts};
-use crate::history::{History, Measurement};
+use crate::history::{History, HistoryRead, Measurement};
 use crate::levels::ResourceLevels;
 use crate::method::{JobSpec, Method, MethodContext, Outcome, OutcomeStatus};
-use crate::pending::PendingSet;
 use crate::runner::RetryPolicy;
 use crate::sampler::pending_fingerprint;
+use crate::shared::{HistoryView, ShardedPending, SharedHistory};
 
 /// Parameters for a threaded run. Budgets are counted in evaluations
 /// (wall-clock budgets belong to the caller's deployment logic).
@@ -172,13 +172,13 @@ struct ThreadedJob {
 /// moment a demand is served. The version tag on speculations (below) is
 /// the belt-and-braces check that this holds.
 enum ToSuggester {
-    /// A job left the in-flight set. Apply the outcome (and the
-    /// measurement, for successes), then — when `predicted_k > 0` —
-    /// speculatively compute the batch the driver is expected to demand
-    /// next.
+    /// A job left the in-flight set. The driver has already written the
+    /// outcome into the shared history/pending stores (single-writer
+    /// discipline); the suggestion thread syncs its read views, notifies
+    /// the method, then — when `predicted_k > 0` — speculatively computes
+    /// the batch the driver is expected to demand next.
     Completed {
         outcome: Outcome,
-        measurement: Option<Measurement>,
         predicted_k: usize,
         now: f64,
     },
@@ -202,19 +202,23 @@ struct Speculation {
     rng_after: StdRng,
 }
 
-/// The suggestion thread's state: it owns the method, the history, the
-/// pending mirror, and the RNG; the driver owns the pool and talks to it
-/// only through [`ToSuggester`].
+/// The suggestion thread's state: it owns the method and the RNG, and
+/// holds *read views* over the driver-written shared stores — a
+/// [`HistoryView`] epoch snapshot and the last published pending
+/// snapshot. The driver owns the pool and all state writes, and talks to
+/// it only through [`ToSuggester`]; the views are re-synced at each
+/// message, so suggestion rounds (model fits, acquisition) run entirely
+/// against local buffers and never hold a lock the completion path wants.
 struct Suggester<'a> {
     method: &'a mut dyn Method,
     space: &'a ConfigSpace,
     levels: &'a ResourceLevels,
-    history: History,
-    pending: PendingSet,
+    history: HistoryView,
+    pending: Arc<ShardedPending>,
+    pending_snap: Arc<[JobSpec]>,
     rng: StdRng,
     n_workers: usize,
     telemetry: TelemetryHandle,
-    next_job_id: u64,
     speculation: Option<Speculation>,
     /// Whether this suggester is fed by the prefetch protocol; gates the
     /// `prefetch.*` hit/miss counters so a purely inline run (or the
@@ -222,11 +226,46 @@ struct Suggester<'a> {
     prefetching: bool,
 }
 
-impl Suggester<'_> {
+impl<'a> Suggester<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        method: &'a mut dyn Method,
+        space: &'a ConfigSpace,
+        levels: &'a ResourceLevels,
+        history: Arc<SharedHistory>,
+        pending: Arc<ShardedPending>,
+        config: &ThreadedRunConfig,
+        telemetry: TelemetryHandle,
+        prefetching: bool,
+    ) -> Self {
+        Self {
+            method,
+            space,
+            levels,
+            history: history.view(),
+            pending_snap: pending.snapshot(),
+            pending,
+            rng: StdRng::seed_from_u64(config.seed),
+            n_workers: config.n_workers,
+            telemetry,
+            speculation: None,
+            prefetching,
+        }
+    }
+
+    /// Brings the read views up to date with the shared stores. Called at
+    /// each message boundary: the driver publishes every write *before*
+    /// sending the message that depends on it (FIFO), so after a refresh
+    /// the suggester's view equals the driver's state at send time.
+    fn refresh(&mut self) {
+        self.history.sync();
+        self.pending_snap = self.pending.snapshot();
+    }
+
     fn version(&self) -> (usize, u64) {
         (
             self.history.len(),
-            pending_fingerprint(self.space, self.pending.as_slice()),
+            pending_fingerprint(self.space, &self.pending_snap),
         )
     }
 
@@ -236,7 +275,7 @@ impl Suggester<'_> {
             space: self.space,
             levels: self.levels,
             history: &self.history,
-            pending: self.pending.as_slice(),
+            pending: &self.pending_snap,
             rng: &mut self.rng,
             n_workers: self.n_workers,
             now,
@@ -256,7 +295,7 @@ impl Suggester<'_> {
             space: self.space,
             levels: self.levels,
             history: &self.history,
-            pending: self.pending.as_slice(),
+            pending: &self.pending_snap,
             rng: &mut rng,
             n_workers: self.n_workers,
             now,
@@ -272,24 +311,17 @@ impl Suggester<'_> {
         });
     }
 
-    fn on_completed(
-        &mut self,
-        outcome: Outcome,
-        measurement: Option<Measurement>,
-        predicted_k: usize,
-        now: f64,
-    ) {
-        // Any outstanding speculation predates this state change.
+    fn on_completed(&mut self, outcome: Outcome, predicted_k: usize, now: f64) {
+        // Any outstanding speculation predates this state change. The
+        // driver already removed the job from pending (and recorded the
+        // measurement, for successes) before sending this message.
         self.speculation = None;
-        self.pending.remove(&outcome.spec);
-        if let Some(m) = measurement {
-            self.history.record(m);
-        }
+        self.refresh();
         let mut ctx = MethodContext {
             space: self.space,
             levels: self.levels,
             history: &self.history,
-            pending: self.pending.as_slice(),
+            pending: &self.pending_snap,
             rng: &mut self.rng,
             n_workers: self.n_workers,
             now,
@@ -300,8 +332,12 @@ impl Suggester<'_> {
         }
     }
 
+    /// Produces a batch. Job ids are left unassigned (0): the driver owns
+    /// the id counter and the pending set, and registers the batch there
+    /// before dispatching it.
     fn on_demand(&mut self, k: usize, now: f64) -> Vec<JobSpec> {
-        let mut batch = match self.speculation.take() {
+        self.refresh();
+        match self.speculation.take() {
             Some(s) if s.k == k && s.version == self.version() => {
                 self.telemetry.counter_add("prefetch.hit", 1);
                 self.rng = s.rng_after;
@@ -317,13 +353,50 @@ impl Suggester<'_> {
                 }
                 self.compute(k, now)
             }
-        };
-        for job in &mut batch {
+        }
+    }
+}
+
+/// Driver-owned shared run state: the single-writer stores plus the
+/// dispatch id counter. Both drivers (and the prefetch driver's inline
+/// fallback) funnel every write through here.
+struct RunState {
+    history: Arc<SharedHistory>,
+    pending: Arc<ShardedPending>,
+    next_job_id: u64,
+}
+
+impl RunState {
+    fn new(levels: &ResourceLevels, telemetry: TelemetryHandle) -> Self {
+        Self {
+            history: Arc::new(SharedHistory::new(levels.clone(), telemetry.clone())),
+            pending: Arc::new(ShardedPending::new(telemetry)),
+            next_job_id: 1,
+        }
+    }
+
+    /// Registers a suggested batch: assigns dispatch ids, inserts every
+    /// member into the pending set, and publishes the snapshot readers
+    /// will see. Call before submitting any member to the pool.
+    fn register_batch(&mut self, batch: &mut [JobSpec]) {
+        for job in batch.iter_mut() {
             job.id = self.next_job_id;
             self.next_job_id += 1;
             self.pending.insert(job.clone());
         }
-        batch
+        self.pending.publish();
+    }
+
+    /// Books a terminal completion (success or quarantine): removes the
+    /// job from pending, records the measurement for successes, and
+    /// publishes — all *before* the driver tells the suggester, so a
+    /// refresh at the message sees exactly this state.
+    fn complete(&mut self, spec: &JobSpec, measurement: Option<Measurement>) {
+        self.pending.remove(spec);
+        if let Some(m) = measurement {
+            self.history.append(m);
+        }
+        self.pending.publish();
     }
 }
 
@@ -417,23 +490,22 @@ fn drive_inline(
     let mut tally = Tally::new(levels);
     let mut breaker = config.breaker.clone().map(Breaker::new);
     let mut orphan_queue = VecDeque::new();
-    let mut sg = Suggester {
+    let mut state = RunState::new(levels, telemetry.clone());
+    let mut sg = Suggester::new(
         method,
-        space: benchmark.space(),
+        benchmark.space(),
         levels,
-        history: History::new(levels.clone()),
-        pending: PendingSet::new(),
-        rng: StdRng::seed_from_u64(config.seed),
-        n_workers: config.n_workers,
-        telemetry: telemetry.clone(),
-        next_job_id: 1,
-        speculation: None,
-        prefetching: false,
-    };
+        Arc::clone(&state.history),
+        Arc::clone(&state.pending),
+        config,
+        telemetry.clone(),
+        false,
+    );
     let mut completed = 0usize;
     let mut dispatched = 0usize;
     inline_loop(
         &mut sg,
+        &mut state,
         &mut pool,
         config,
         started,
@@ -445,7 +517,8 @@ fn drive_inline(
     );
     telemetry.flush();
     let name = sg.method.name().to_string();
-    tally.into_result(name, &sg.history, started.elapsed().as_secs_f64())
+    let wall = started.elapsed().as_secs_f64();
+    state.history.with(|h| tally.into_result(name, h, wall))
 }
 
 /// Submits, or parks the job in the wait queue: membership events apply
@@ -468,6 +541,7 @@ fn submit_or_park(
 #[allow(clippy::too_many_arguments)]
 fn inline_loop(
     sg: &mut Suggester<'_>,
+    state: &mut RunState,
     pool: &mut ThreadPool<ThreadedJob, Eval>,
     config: &ThreadedRunConfig,
     started: Instant,
@@ -499,7 +573,7 @@ fn inline_loop(
         while pool.idle_workers() > 0 && *dispatched < config.max_evals {
             let k = pool.idle_workers().min(config.max_evals - *dispatched);
             let now = started.elapsed().as_secs_f64();
-            let batch = sg.on_demand(k, now);
+            let mut batch = sg.on_demand(k, now);
             if batch.is_empty() {
                 assert!(
                     pool.in_flight() > 0 || !orphan_queue.is_empty(),
@@ -508,6 +582,7 @@ fn inline_loop(
                 );
                 break;
             }
+            state.register_batch(&mut batch);
             let short = batch.len() < k;
             for spec in batch {
                 telemetry.emit_with(started.elapsed().as_secs_f64(), || Event::TrialDispatched {
@@ -559,7 +634,8 @@ fn inline_loop(
             // Release the budget slot so a replacement config dispatches.
             *dispatched -= 1;
             let outcome = failed_outcome(job.spec, done.status, started);
-            sg.on_completed(outcome, None, 0, now);
+            state.complete(&outcome.spec, None);
+            sg.on_completed(outcome, 0, now);
             continue;
         }
         let spec = job.spec;
@@ -586,7 +662,8 @@ fn inline_loop(
             status: OutcomeStatus::Success,
             fail_status: None,
         };
-        sg.on_completed(outcome, Some(m.clone()), 0, now);
+        state.complete(&spec, Some(m.clone()));
+        sg.on_completed(outcome, 0, now);
         book_completion(m, &spec, &eval, telemetry, tally);
     }
 }
@@ -612,24 +689,24 @@ fn drive_prefetch(
 
     let (cmd_tx, cmd_rx) = mpsc::channel::<ToSuggester>();
     let (batch_tx, batch_rx) = mpsc::channel::<Vec<JobSpec>>();
+    let mut state = RunState::new(levels, telemetry.clone());
 
-    let history = std::thread::scope(|s| {
+    std::thread::scope(|s| {
         let space = benchmark.space();
         let suggest_telemetry = telemetry.clone();
+        let sg_history = Arc::clone(&state.history);
+        let sg_pending = Arc::clone(&state.pending);
         let suggester = s.spawn(move || {
-            let mut sg = Suggester {
+            let mut sg = Suggester::new(
                 method,
                 space,
                 levels,
-                history: History::new(levels.clone()),
-                pending: PendingSet::new(),
-                rng: StdRng::seed_from_u64(config.seed),
-                n_workers: config.n_workers,
-                telemetry: suggest_telemetry,
-                next_job_id: 1,
-                speculation: None,
-                prefetching: true,
-            };
+                sg_history,
+                sg_pending,
+                config,
+                suggest_telemetry,
+                true,
+            );
             let mut poisoned = false;
             for msg in cmd_rx {
                 // The panic guard is the degradation path of satellite
@@ -640,11 +717,10 @@ fn drive_prefetch(
                 let handled = catch_unwind(AssertUnwindSafe(|| match msg {
                     ToSuggester::Completed {
                         outcome,
-                        measurement,
                         predicted_k,
                         now,
                     } => {
-                        sg.on_completed(outcome, measurement, predicted_k, now);
+                        sg.on_completed(outcome, predicted_k, now);
                         None
                     }
                     ToSuggester::Demand { k, now } => Some(sg.on_demand(k, now)),
@@ -696,7 +772,7 @@ fn drive_prefetch(
                     suggester_lost = true;
                     break 'run;
                 }
-                let Ok(batch) = batch_rx.recv() else {
+                let Ok(mut batch) = batch_rx.recv() else {
                     suggester_lost = true;
                     break 'run;
                 };
@@ -707,6 +783,7 @@ fn drive_prefetch(
                     );
                     break;
                 }
+                state.register_batch(&mut batch);
                 let short = batch.len() < k;
                 for spec in batch {
                     telemetry.emit_with(started.elapsed().as_secs_f64(), || {
@@ -772,9 +849,9 @@ fn drive_prefetch(
                 let outcome = failed_outcome(job.spec, status, started);
                 let now = outcome.finished_at;
                 let predicted_k = pool.idle_workers().min(config.max_evals - dispatched);
+                state.complete(&outcome.spec, None);
                 if let Err(mpsc::SendError(msg)) = cmd_tx.send(ToSuggester::Completed {
                     outcome,
-                    measurement: None,
                     predicted_k,
                     now,
                 }) {
@@ -820,11 +897,13 @@ fn drive_prefetch(
             // next fill, so the prediction — and hence the speculation —
             // is normally exact.
             let predicted_k = pool.idle_workers().min(config.max_evals - dispatched);
-            // Send before the local bookkeeping below so the suggestion
-            // thread's on_result + speculation overlaps it.
+            // Write to the shared stores, then send — the suggestion
+            // thread's refresh at this message must see the new state.
+            // Its on_result + speculation then overlap the driver's local
+            // bookkeeping below.
+            state.complete(&spec, Some(m.clone()));
             if let Err(mpsc::SendError(msg)) = cmd_tx.send(ToSuggester::Completed {
                 outcome,
-                measurement: Some(m.clone()),
                 predicted_k,
                 now,
             }) {
@@ -852,18 +931,18 @@ fn drive_prefetch(
             sg.speculation = None;
             if let Some(msg) = undelivered.take() {
                 match msg {
-                    ToSuggester::Completed {
-                        outcome,
-                        measurement,
-                        now,
-                        ..
-                    } => sg.on_completed(outcome, measurement, 0, now),
+                    // The driver's shared-store writes for this completion
+                    // already happened; only the method notification was
+                    // lost. Re-apply it (the suggester refreshes its views
+                    // inside on_completed).
+                    ToSuggester::Completed { outcome, now, .. } => sg.on_completed(outcome, 0, now),
                     ToSuggester::SetDegraded(flag) => sg.method.set_degraded(flag),
                     ToSuggester::Demand { .. } => {}
                 }
             }
             inline_loop(
                 &mut sg,
+                &mut state,
                 &mut pool,
                 config,
                 started,
@@ -874,11 +953,13 @@ fn drive_prefetch(
                 &mut dispatched,
             );
         }
-        sg.history
     });
 
     telemetry.flush();
-    tally.into_result(method_name, &history, started.elapsed().as_secs_f64())
+    let wall = started.elapsed().as_secs_f64();
+    state
+        .history
+        .with(|h| tally.into_result(method_name, h, wall))
 }
 
 /// Books a failed attempt; returns `true` when the job should be

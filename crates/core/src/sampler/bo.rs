@@ -232,6 +232,10 @@ impl Sampler for BoSampler {
             pool.push_liar(ctx.space.encode(&config));
             out.push(config);
         }
+        // O(pool × k) with incremental re-scoring; CI guards this stays
+        // linear in k (the reference path would be O(pool × k²)).
+        self.telemetry
+            .counter_add("batch.rescore_ops", pool.rescore_ops());
         out
     }
 }
@@ -420,5 +424,45 @@ mod tests {
             let config = s.sample(&mut c);
             assert!(space.check(&config).is_ok());
         }
+    }
+
+    #[test]
+    fn batch_rescore_ops_counter_is_linear_in_k() {
+        // The emitted op count must be exactly pool_len × k: every one of
+        // the k drawn liars costs a single sweep over the candidate pool.
+        // A regression to per-pick full re-scoring would make this
+        // quadratic in k (pool_len × k(k+1)/2) and fail the divisibility
+        // and ratio checks below. scripts/ci.sh runs this as the dispatch
+        // op-count guard.
+        let space = space();
+        let levels = ResourceLevels::new(27.0, 3);
+        let history = seeded_history(3, 25);
+        let ops_for = |k: usize| {
+            let telemetry = hypertune_telemetry::Telemetry::new().build();
+            let mut s = BoSampler::pure(11);
+            s.set_telemetry(telemetry.clone());
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut c = ctx(&space, &levels, &history, &[], &mut rng);
+            let out = s.sample_batch(&mut c, k);
+            assert_eq!(out.len(), k);
+            telemetry
+                .snapshot()
+                .expect("enabled telemetry has metrics")
+                .counter("batch.rescore_ops")
+                .expect("sample_batch records rescore ops")
+        };
+        let (k_small, k_big) = (4u64, 16u64);
+        let small = ops_for(k_small as usize);
+        let big = ops_for(k_big as usize);
+        assert!(small > 0);
+        // pool_len is identical across the two runs (same seed, same
+        // history), so linear scaling means exact proportionality.
+        assert_eq!(small % k_small, 0);
+        assert_eq!(big % k_big, 0);
+        assert_eq!(
+            small / k_small,
+            big / k_big,
+            "ops per liar must be the pool size, independent of k"
+        );
     }
 }

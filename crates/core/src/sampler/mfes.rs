@@ -338,6 +338,10 @@ impl Sampler for MfesSampler {
             out.push(config);
         }
         drop(acq_span);
+        // O(pool × k) with incremental re-scoring; CI guards this stays
+        // linear in k (the reference path would be O(pool × k²)).
+        self.telemetry
+            .counter_add("batch.rescore_ops", pool.rescore_ops());
         out
     }
 }

@@ -1,0 +1,511 @@
+//! Single-writer / multi-reader run state for the threaded runner.
+//!
+//! At w128+ the dispatch bottleneck is no longer the model fit — it is
+//! the suggestion thread and the completion path contending for the run
+//! state. Before this module the suggestion thread owned a full mirror of
+//! the history and pending set, rebuilt from `Measurement`s cloned
+//! through the command channel; the driver kept its own copies for the
+//! tally, so every completion was materialized twice and the two sides
+//! could never share a read.
+//!
+//! The replacement is two purpose-built stores, both written **only** by
+//! the driver thread (the single writer) and read concurrently by the
+//! suggestion thread:
+//!
+//! - [`SharedHistory`] — the measurement store behind a mutex, plus an
+//!   atomic version counter. Readers do not lock it during suggestion:
+//!   each reader owns a [`HistoryView`], an epoch snapshot that syncs by
+//!   copying only the *appended tail* (histories are append-only) under a
+//!   brief lock, then serves every [`HistoryRead`] query from its own
+//!   buffers for the rest of the round. A suggestion round that fits
+//!   surrogates for seconds holds no lock at all while doing so, and the
+//!   completion path's append waits only on an `O(delta)` tail copy, never
+//!   on a fit.
+//! - [`ShardedPending`] — the in-flight set with its content index split
+//!   across shards (insert/remove lock one shard plus the slot vec) and a
+//!   copy-on-write published snapshot (`Arc<[JobSpec]>`) that readers
+//!   clone in `O(1)`. Suggestion reads the snapshot without touching the
+//!   write-side locks, so it can never block a completion's
+//!   insert/remove.
+//!
+//! Every lock acquisition on these paths is timed and recorded to
+//! telemetry (`lock_wait.*` histograms and gauges), so a run can *prove*
+//! the suggestion thread does not block the completion path: the
+//! `lock_wait.history.append` / `lock_wait.pending.write` maxima stay at
+//! microseconds even while `span.suggest_batch` stretches to seconds.
+//!
+//! Ordering contract: [`ShardedPending`] preserves the exact semantics of
+//! the runners' plain `PendingSet` (`crate::pending`) — insertion order
+//! with `swap_remove` holes, lowest-slot removal among equal twins — so
+//! methods observe the same `MethodContext::pending` stream and the
+//! samplers' order-sensitive `pending_fingerprint` stays stable across
+//! the inline and prefetch drivers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use hypertune_telemetry::TelemetryHandle;
+
+use crate::history::{History, HistoryRead, Measurement};
+use crate::levels::ResourceLevels;
+use crate::method::JobSpec;
+use crate::pending::{content_key, same_job};
+
+/// Locks `m`, recording the wait to `site` (a `lock_wait.*` histogram and
+/// gauge, nanoseconds). Disabled telemetry never reads the clock.
+fn timed_lock<'m, T>(
+    m: &'m Mutex<T>,
+    telemetry: &TelemetryHandle,
+    site: &'static str,
+) -> MutexGuard<'m, T> {
+    if !telemetry.is_enabled() {
+        return m.lock().expect("shared-state lock poisoned");
+    }
+    let t0 = Instant::now();
+    let guard = m.lock().expect("shared-state lock poisoned");
+    let ns = t0.elapsed().as_nanos() as f64;
+    telemetry.histogram_record(site, ns);
+    telemetry.gauge_set(site, ns);
+    guard
+}
+
+/// The measurement store shared between the driver (writer) and the
+/// suggestion thread (reader, via [`HistoryView`]). See the module docs.
+pub struct SharedHistory {
+    levels: ResourceLevels,
+    inner: Mutex<History>,
+    /// Total appends, bumped after each write. Readers check it without
+    /// locking to skip no-op syncs.
+    version: AtomicU64,
+    telemetry: TelemetryHandle,
+}
+
+impl SharedHistory {
+    /// An empty store over the given level ladder.
+    pub fn new(levels: ResourceLevels, telemetry: TelemetryHandle) -> Self {
+        Self {
+            inner: Mutex::new(History::new(levels.clone())),
+            levels,
+            version: AtomicU64::new(0),
+            telemetry,
+        }
+    }
+
+    /// Appends one measurement (driver thread only).
+    pub fn append(&self, m: Measurement) {
+        let mut h = timed_lock(&self.inner, &self.telemetry, "lock_wait.history.append");
+        h.record(m);
+        // `Release` pairs with the `Acquire` in `version()`: a reader
+        // that observes the new version then locks and sees the append.
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// The append count; cheap enough for readers to poll per query.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// The level ladder.
+    pub fn levels(&self) -> &ResourceLevels {
+        &self.levels
+    }
+
+    /// A fresh (empty, unsynced) read view of this store.
+    pub fn view(self: &Arc<Self>) -> HistoryView {
+        HistoryView {
+            shared: Arc::clone(self),
+            local: History::new(self.levels.clone()),
+            synced_version: 0,
+        }
+    }
+
+    /// Runs `f` against the live store under the lock — for end-of-run
+    /// accounting on the driver thread, not for the suggestion hot path.
+    pub fn with<R>(&self, f: impl FnOnce(&History) -> R) -> R {
+        let h = timed_lock(&self.inner, &self.telemetry, "lock_wait.history.read");
+        f(&h)
+    }
+}
+
+/// An epoch snapshot of a [`SharedHistory`]: syncs the appended tail on
+/// demand, then serves [`HistoryRead`] queries lock-free from its own
+/// buffers. One view per reader thread; views are independent.
+pub struct HistoryView {
+    shared: Arc<SharedHistory>,
+    local: History,
+    synced_version: u64,
+}
+
+impl HistoryView {
+    /// Brings the view up to date with the shared store. Returns the
+    /// number of measurements copied. Histories are append-only, so only
+    /// the tail of each level group is copied — `O(delta)`, under a lock
+    /// held for just that copy.
+    pub fn sync(&mut self) -> usize {
+        if self.shared.version() == self.synced_version {
+            return 0;
+        }
+        let shared = Arc::clone(&self.shared);
+        let h = timed_lock(&shared.inner, &shared.telemetry, "lock_wait.history.sync");
+        let mut copied = 0;
+        for level in 0..self.shared.levels.k() {
+            let have = self.local.len_at(level);
+            for m in &h.group(level)[have..] {
+                self.local.record(m.clone());
+                copied += 1;
+            }
+        }
+        // Read under the lock, so the tag matches what was copied even if
+        // a (buggy) concurrent writer raced the sync.
+        self.synced_version = shared.version.load(Ordering::Acquire);
+        copied
+    }
+
+    /// The underlying shared store.
+    pub fn shared(&self) -> &Arc<SharedHistory> {
+        &self.shared
+    }
+}
+
+impl HistoryRead for HistoryView {
+    fn levels(&self) -> &ResourceLevels {
+        self.local.levels()
+    }
+
+    fn group(&self, level: usize) -> &[Measurement] {
+        self.local.group(level)
+    }
+
+    fn total_cost(&self) -> f64 {
+        self.local.total_cost()
+    }
+
+    fn incumbent_full(&self) -> Option<&Measurement> {
+        self.local.incumbent_full()
+    }
+
+    fn incumbent_any(&self) -> Option<&Measurement> {
+        self.local.incumbent_any()
+    }
+
+    fn len_at(&self, level: usize) -> usize {
+        self.local.len_at(level)
+    }
+
+    fn len(&self) -> usize {
+        self.local.len()
+    }
+
+    // The view's local store memoizes top-k selections between syncs.
+    fn top_indices(&self, level: usize, n: usize) -> Vec<usize> {
+        self.local.top_indices(level, n)
+    }
+}
+
+/// How many ways the pending-set content index is split. Sixteen shards
+/// keep per-shard chains short at w256 while staying cache-friendly for
+/// the small fleets the sim runner drives.
+const PENDING_SHARDS: usize = 16;
+
+/// One shard of the content index: content hash → slots in the jobs vec.
+#[derive(Default)]
+struct IndexShard {
+    index: std::collections::HashMap<u64, Vec<usize>>,
+}
+
+/// The in-flight job set shared between the driver (writer) and the
+/// suggestion thread (reader, via [`ShardedPending::snapshot`]). Write
+/// semantics are exactly `PendingSet` (`crate::pending`)'s (see the
+/// module docs ordering contract); reads go through a copy-on-write
+/// published snapshot so they never touch the write-side locks.
+pub struct ShardedPending {
+    /// Insertion-ordered jobs with `swap_remove` holes — the canonical
+    /// order methods observe.
+    jobs: Mutex<Vec<JobSpec>>,
+    /// Content index, sharded by `content_key % PENDING_SHARDS`.
+    shards: Vec<Mutex<IndexShard>>,
+    /// The published snapshot readers clone in `O(1)`. Refreshed by
+    /// [`ShardedPending::publish`] after a write burst.
+    published: Mutex<Arc<[JobSpec]>>,
+    telemetry: TelemetryHandle,
+}
+
+impl ShardedPending {
+    /// An empty set.
+    pub fn new(telemetry: TelemetryHandle) -> Self {
+        Self {
+            jobs: Mutex::new(Vec::new()),
+            shards: (0..PENDING_SHARDS).map(|_| Mutex::default()).collect(),
+            published: Mutex::new(Arc::from(Vec::new())),
+            telemetry,
+        }
+    }
+
+    fn shard(&self, key: u64) -> MutexGuard<'_, IndexShard> {
+        timed_lock(
+            &self.shards[(key % PENDING_SHARDS as u64) as usize],
+            &self.telemetry,
+            "lock_wait.pending.write",
+        )
+    }
+
+    /// Adds a dispatched job (driver thread only).
+    pub fn insert(&self, spec: JobSpec) {
+        let key = content_key(&spec);
+        let mut jobs = timed_lock(&self.jobs, &self.telemetry, "lock_wait.pending.write");
+        let slot = jobs.len();
+        jobs.push(spec);
+        self.shard(key).index.entry(key).or_default().push(slot);
+    }
+
+    /// Removes and returns the lowest-slot pending job equal to `spec`
+    /// (`swap_remove`, so one other element may move into its slot) —
+    /// driver thread only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such job is pending.
+    pub fn remove(&self, spec: &JobSpec) -> JobSpec {
+        let key = content_key(spec);
+        let mut jobs = timed_lock(&self.jobs, &self.telemetry, "lock_wait.pending.write");
+        {
+            let mut shard = self.shard(key);
+            let slots = shard
+                .index
+                .get_mut(&key)
+                .expect("completed job was pending");
+            let (pos, &slot) = slots
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| same_job(&jobs[s], spec))
+                .min_by_key(|&(_, &s)| s)
+                .expect("completed job was pending");
+            slots.swap_remove(pos);
+            if slots.is_empty() {
+                shard.index.remove(&key);
+            }
+            drop(shard);
+            let removed = jobs.swap_remove(slot);
+            if slot < jobs.len() {
+                // The previous last element moved into `slot`; repoint its
+                // index entry (possibly in a different shard).
+                let last = jobs.len();
+                let moved_key = content_key(&jobs[slot]);
+                let mut moved_shard = self.shard(moved_key);
+                let moved = moved_shard
+                    .index
+                    .get_mut(&moved_key)
+                    .expect("index covers every pending job");
+                let p = moved
+                    .iter()
+                    .position(|&s| s == last)
+                    .expect("moved job was indexed at the last slot");
+                moved[p] = slot;
+            }
+            removed
+        }
+    }
+
+    /// Publishes the current jobs as the snapshot readers will see.
+    /// Driver thread only, after a burst of inserts/removes; `O(pending)`.
+    pub fn publish(&self) {
+        let jobs = timed_lock(&self.jobs, &self.telemetry, "lock_wait.pending.write");
+        let snap: Arc<[JobSpec]> = Arc::from(jobs.as_slice());
+        drop(jobs);
+        *timed_lock(&self.published, &self.telemetry, "lock_wait.pending.write") = snap;
+    }
+
+    /// The last published snapshot — insertion order modulo `swap_remove`
+    /// holes, the view methods receive as `MethodContext::pending`.
+    /// `O(1)`: clones an `Arc`, never the jobs.
+    pub fn snapshot(&self) -> Arc<[JobSpec]> {
+        Arc::clone(&timed_lock(
+            &self.published,
+            &self.telemetry,
+            "lock_wait.pending.snapshot",
+        ))
+    }
+
+    /// Number of jobs currently pending (write-side view, for driver
+    /// asserts; readers should measure their snapshot instead).
+    pub fn len(&self) -> usize {
+        timed_lock(&self.jobs, &self.telemetry, "lock_wait.pending.write").len()
+    }
+
+    /// `true` when no jobs are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertune_space::{Config, ParamValue};
+
+    fn levels() -> ResourceLevels {
+        ResourceLevels::new(27.0, 3)
+    }
+
+    fn m(level: usize, value: f64) -> Measurement {
+        Measurement {
+            config: Config::new(vec![ParamValue::Float(value)]),
+            level,
+            resource: 3f64.powi(level as i32),
+            value,
+            test_value: value,
+            cost: 1.0,
+            finished_at: value,
+        }
+    }
+
+    fn job(id: u64, x: f64) -> JobSpec {
+        JobSpec {
+            config: Config::new(vec![ParamValue::Float(x)]),
+            level: 0,
+            resource: 1.0,
+            bracket: None,
+            id,
+        }
+    }
+
+    #[test]
+    fn view_syncs_appended_tail() {
+        let sh = Arc::new(SharedHistory::new(levels(), TelemetryHandle::disabled()));
+        let mut view = sh.view();
+        assert_eq!(view.sync(), 0);
+        sh.append(m(0, 0.5));
+        sh.append(m(1, 0.3));
+        assert_eq!(view.sync(), 2);
+        // No new appends: the version check skips the lock entirely.
+        assert_eq!(view.sync(), 0);
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.len_at(0), 1);
+        assert_eq!(view.incumbent().unwrap().value, 0.3);
+        sh.append(m(0, 0.1));
+        assert_eq!(view.sync(), 1);
+        assert_eq!(view.incumbent().unwrap().value, 0.1);
+    }
+
+    #[test]
+    fn view_matches_plain_history_queries() {
+        let sh = Arc::new(SharedHistory::new(levels(), TelemetryHandle::disabled()));
+        let mut plain = History::new(levels());
+        let values = [0.9, 0.2, 0.5, 0.2, 0.7];
+        for (i, &v) in values.iter().enumerate() {
+            let meas = m(i % 3, v);
+            sh.append(meas.clone());
+            plain.record(meas);
+        }
+        let mut view = sh.view();
+        view.sync();
+        for level in 0..3 {
+            assert_eq!(view.group(level), plain.group(level));
+            assert_eq!(view.top_indices(level, 2), plain.top_indices(level, 2));
+        }
+        assert_eq!(view.total_cost(), plain.total_cost());
+        assert_eq!(
+            view.incumbent().map(|x| x.value),
+            plain.incumbent().map(|x| x.value)
+        );
+    }
+
+    #[test]
+    fn concurrent_views_read_while_appending() {
+        let sh = Arc::new(SharedHistory::new(levels(), TelemetryHandle::disabled()));
+        let n = 200;
+        std::thread::scope(|s| {
+            let reader = {
+                let sh = Arc::clone(&sh);
+                s.spawn(move || {
+                    let mut view = sh.view();
+                    let mut seen = 0;
+                    while seen < n {
+                        view.sync();
+                        let now = view.len();
+                        assert!(now >= seen, "history shrank");
+                        seen = now;
+                    }
+                    seen
+                })
+            };
+            for i in 0..n {
+                sh.append(m(i % 4, i as f64 / n as f64));
+            }
+            assert_eq!(reader.join().unwrap(), n);
+        });
+    }
+
+    #[test]
+    fn sharded_pending_matches_pendingset_semantics() {
+        let p = ShardedPending::new(TelemetryHandle::disabled());
+        for i in 1..=4 {
+            p.insert(job(i, i as f64));
+        }
+        let removed = p.remove(&job(2, 2.0));
+        assert_eq!(removed.id, 2);
+        p.publish();
+        // Last element moved into the vacated slot, like Vec::swap_remove.
+        let ids: Vec<u64> = p.snapshot().iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![1, 4, 3]);
+        assert_eq!(p.remove(&job(4, 4.0)).id, 4);
+        assert_eq!(p.remove(&job(1, 1.0)).id, 1);
+        assert_eq!(p.remove(&job(3, 3.0)).id, 3);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn sharded_pending_equal_twins_remove_lowest_slot() {
+        let p = ShardedPending::new(TelemetryHandle::disabled());
+        p.insert(job(1, 0.5));
+        p.insert(job(7, 0.9));
+        p.insert(job(2, 0.5));
+        assert_eq!(p.remove(&job(2, 0.5)).id, 1);
+        p.publish();
+        let ids: Vec<u64> = p.snapshot().iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![2, 7]);
+        assert_eq!(p.remove(&job(1, 0.5)).id, 2);
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_later_writes() {
+        let p = ShardedPending::new(TelemetryHandle::disabled());
+        p.insert(job(1, 0.1));
+        p.publish();
+        let snap = p.snapshot();
+        p.insert(job(2, 0.2));
+        p.remove(&job(1, 0.1));
+        p.publish();
+        // The old snapshot still shows the state at publish time.
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].id, 1);
+        assert_eq!(p.snapshot().len(), 1);
+        assert_eq!(p.snapshot()[0].id, 2);
+    }
+
+    #[test]
+    fn lock_waits_are_recorded() {
+        let telemetry = hypertune_telemetry::Telemetry::new().build();
+        let sh = Arc::new(SharedHistory::new(levels(), telemetry.clone()));
+        sh.append(m(0, 0.5));
+        let mut view = sh.view();
+        view.sync();
+        let p = ShardedPending::new(telemetry.clone());
+        p.insert(job(1, 0.5));
+        p.publish();
+        p.snapshot();
+        let snap = telemetry.snapshot().expect("telemetry enabled");
+        for site in [
+            "lock_wait.history.append",
+            "lock_wait.history.sync",
+            "lock_wait.pending.write",
+            "lock_wait.pending.snapshot",
+        ] {
+            let h = snap.histogram(site).unwrap_or_else(|| {
+                panic!("missing lock-wait histogram {site}");
+            });
+            assert!(h.count > 0, "{site} never recorded");
+        }
+    }
+}

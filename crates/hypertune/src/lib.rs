@@ -87,8 +87,8 @@ pub mod prelude {
     };
     pub use hypertune_core::{
         resume, run, run_checkpointed, BreakerConfig, CheckpointPolicy, FailureCounts, History,
-        JobSpec, Measurement, Method, MethodContext, MethodKind, Outcome, OutcomeStatus,
-        ResourceLevels, ResumeError, RetryPolicy, RunConfig, RunResult, RunSnapshot,
+        HistoryRead, JobSpec, Measurement, Method, MethodContext, MethodKind, Outcome,
+        OutcomeStatus, ResourceLevels, ResumeError, RetryPolicy, RunConfig, RunResult, RunSnapshot,
         SpeculationConfig,
     };
     pub use hypertune_space::{Config, ConfigSpace, ParamValue};

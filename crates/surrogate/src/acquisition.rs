@@ -14,7 +14,7 @@ use rand::Rng;
 use hypertune_space::{neighbors, Config, ConfigSpace};
 
 use crate::model::{Prediction, Predictor, SurrogateError};
-use crate::penalized::penalize;
+use crate::penalized::{penalize, SIGMA};
 use crate::stats::{norm_cdf, norm_pdf};
 
 /// Which acquisition criterion to maximize.
@@ -160,30 +160,64 @@ pub fn maximize<R: Rng + ?Sized>(
     Ok(best.expect("at least one candidate was scored"))
 }
 
-/// One candidate in a [`BatchMaximizer`] pool: the configuration, its
-/// unit-cube encoding, and its *base-model* predictive distribution.
-struct PoolEntry {
-    config: Config,
-    encoded: Vec<f64>,
-    base: Prediction,
-    picked: bool,
-}
-
 /// Pool-based batch acquisition (the local-penalization batch-BO
 /// recipe): the candidate pool — [`maximize`]'s random phase plus one
 /// hill-climbing pass from the incumbents, every visited point included —
 /// is generated and pushed through the model **once**. Each subsequent
 /// draw re-scores the cached base predictions under the current
-/// constant-liar penalties ([`penalize`]), which is `O(pool × liars)`
-/// arithmetic with no model traversal, then takes the argmax and
-/// registers it as a liar. A batch of `k` therefore costs one model sweep
-/// instead of `k` — the whole point of the batch suggestion API.
+/// constant-liar penalties, takes the argmax, and registers the pick as a
+/// liar. A batch of `k` therefore costs one model sweep instead of `k`.
+///
+/// # Incremental re-scoring
+///
+/// The constant-liar penalty weight at a pool point is the **max** over
+/// liar kernels (`penalize`): `w(x) = max_j exp(-d²(x, liar_j) / 2σ²)`.
+/// Because `max` folds one liar at a time, each pool entry carries its
+/// *running* max weight: registering a liar is one O(pool) kernel sweep
+/// (`w_i ← max(w_i, k(x_i, liar))`) and the subsequent argmax is a pure
+/// O(pool) arithmetic scan over cached weights. Drawing `k` candidates is
+/// O(pool × k) total, where re-deriving every weight from the full liar
+/// list on every pick — the reference path, kept for equivalence tests via
+/// [`BatchMaximizer::use_reference_rescoring`] — is O(pool × k²). The fold
+/// order over liars is identical in both paths, so they agree *bit for
+/// bit* (pinned by proptest in this module's tests).
+///
+/// # Struct-of-arrays layout
+///
+/// The pool is stored as flat parallel `f64` buffers — an encoded
+/// `pool × dims` position matrix plus base means, variances, and running
+/// weights — with a bitset for picked entries, so both the per-liar kernel
+/// sweep and the argmax scan are tight contiguous loops over primitive
+/// arrays instead of pointer-chasing a `Vec` of per-entry structs.
 pub struct BatchMaximizer {
-    pool: Vec<PoolEntry>,
+    /// Decoded configurations, indexed like the flat buffers.
+    configs: Vec<Config>,
+    /// Encoding width; every row of `encoded` has this many columns.
+    dims: usize,
+    /// Row-major `pool × dims` unit-cube position matrix.
+    encoded: Vec<f64>,
+    /// Base-model predictive means.
+    means: Vec<f64>,
+    /// Base-model predictive variances (already clamped `>= 0`).
+    vars: Vec<f64>,
+    /// Running max constant-liar kernel weight per entry.
+    weights: Vec<f64>,
+    /// Picked-entry bitset (64 entries per word).
+    picked: Vec<u64>,
+    /// Registered liar positions, in registration order. The incremental
+    /// path only reads the latest one; the reference path re-folds all.
     liars: Vec<Vec<f64>>,
     liar_value: f64,
     acq: Acquisition,
     best_y: f64,
+    /// Kernel evaluations performed by re-scoring — (entry, liar) pairs.
+    /// O(pool × k) incremental vs O(pool × k²) reference; surfaced as the
+    /// `batch.rescore_ops` telemetry counter by the samplers.
+    rescore_ops: u64,
+    /// When set, `next_candidate` re-derives every penalty weight from
+    /// the full liar list (the original O(pool × liars) arithmetic).
+    /// Toggle before the first `push_liar`.
+    reference: bool,
 }
 
 impl BatchMaximizer {
@@ -202,45 +236,69 @@ impl BatchMaximizer {
         config: &MaximizeConfig,
         rng: &mut R,
     ) -> Result<Self, SurrogateError> {
-        let mut pool: Vec<PoolEntry> = Vec::new();
-        let predict_into =
-            |cands: Vec<Config>, pool: &mut Vec<PoolEntry>| -> Result<usize, SurrogateError> {
-                let encoded: Vec<Vec<f64>> = cands.iter().map(|c| space.encode(c)).collect();
-                let preds = model.predict_batch(&encoded)?;
-                let first = pool.len();
-                for ((config, encoded), base) in cands.into_iter().zip(encoded).zip(preds) {
-                    pool.push(PoolEntry {
-                        config,
-                        encoded,
-                        base,
-                        picked: false,
-                    });
-                }
-                Ok(first)
-            };
+        let mut pool = Self {
+            configs: Vec::new(),
+            dims: 0,
+            encoded: Vec::new(),
+            means: Vec::new(),
+            vars: Vec::new(),
+            weights: Vec::new(),
+            picked: Vec::new(),
+            liars: Vec::new(),
+            liar_value,
+            acq,
+            best_y,
+            rescore_ops: 0,
+            reference: false,
+        };
+        // Scratch buffers reused across every expansion below — the
+        // local-search loop would otherwise allocate a fresh encoding
+        // matrix and prediction vector per hill-climbing step.
+        let mut enc_scratch: Vec<Vec<f64>> = Vec::new();
+        let mut pred_scratch: Vec<Prediction> = Vec::new();
+        let predict_into = |cands: Vec<Config>,
+                            pool: &mut Self,
+                            enc: &mut Vec<Vec<f64>>,
+                            preds: &mut Vec<Prediction>|
+         -> Result<usize, SurrogateError> {
+            enc.clear();
+            enc.extend(cands.iter().map(|c| space.encode(c)));
+            model.predict_batch_into(enc, preds)?;
+            let first = pool.configs.len();
+            for ((config, encoded), base) in cands.into_iter().zip(enc.drain(..)).zip(preds.iter())
+            {
+                pool.push_entry(config, encoded, *base);
+            }
+            Ok(first)
+        };
 
         // Random phase.
         let randoms: Vec<Config> = (0..config.n_random.max(1))
             .map(|_| space.sample(rng))
             .collect();
-        predict_into(randoms, &mut pool)?;
+        predict_into(randoms, &mut pool, &mut enc_scratch, &mut pred_scratch)?;
 
         // Local phase: hill-climb under the base model exactly as
         // `maximize` does, but keep every visited candidate — each one is
         // already predicted, and a runner-up on the base landscape is
         // often the argmax once liars penalize the leader's neighborhood.
         for start in incumbents.iter().take(config.n_local_starts) {
-            let i = predict_into(vec![(*start).clone()], &mut pool)?;
-            let mut current = pool[i].config.clone();
-            let mut current_score = acq.score(pool[i].base, best_y);
+            let i = predict_into(
+                vec![(*start).clone()],
+                &mut pool,
+                &mut enc_scratch,
+                &mut pred_scratch,
+            )?;
+            let mut current = pool.configs[i].clone();
+            let mut current_score = acq.score(Prediction::new(pool.means[i], pool.vars[i]), best_y);
             for _ in 0..config.local_steps {
                 let cands = neighbors::neighbors(space, &current, config.neighbors_per_step, rng);
-                let first = predict_into(cands, &mut pool)?;
+                let first = predict_into(cands, &mut pool, &mut enc_scratch, &mut pred_scratch)?;
                 let mut improved = false;
-                for entry in &pool[first..] {
-                    let s = acq.score(entry.base, best_y);
+                for j in first..pool.configs.len() {
+                    let s = acq.score(Prediction::new(pool.means[j], pool.vars[j]), best_y);
                     if s > current_score {
-                        current = entry.config.clone();
+                        current = pool.configs[j].clone();
                         current_score = s;
                         improved = true;
                     }
@@ -251,19 +309,119 @@ impl BatchMaximizer {
             }
         }
 
-        Ok(Self {
-            pool,
+        Ok(pool)
+    }
+
+    /// Builds a maximizer directly from `(config, encoded, base
+    /// prediction)` entries, bypassing candidate generation and the model
+    /// sweep. This is the equivalence-test and bench harness entry point:
+    /// proptests use it to pin incremental re-scoring bit-identical to the
+    /// reference path over arbitrary pools.
+    pub fn from_pool(
+        entries: Vec<(Config, Vec<f64>, Prediction)>,
+        acq: Acquisition,
+        best_y: f64,
+        liar_value: f64,
+    ) -> Self {
+        let mut pool = Self {
+            configs: Vec::with_capacity(entries.len()),
+            dims: 0,
+            encoded: Vec::new(),
+            means: Vec::with_capacity(entries.len()),
+            vars: Vec::with_capacity(entries.len()),
+            weights: Vec::with_capacity(entries.len()),
+            picked: Vec::new(),
             liars: Vec::new(),
             liar_value,
             acq,
             best_y,
-        })
+            rescore_ops: 0,
+            reference: false,
+        };
+        for (config, encoded, base) in entries {
+            pool.push_entry(config, encoded, base);
+        }
+        pool
+    }
+
+    fn push_entry(&mut self, config: Config, encoded: Vec<f64>, base: Prediction) {
+        if self.configs.is_empty() {
+            self.dims = encoded.len();
+        }
+        debug_assert_eq!(encoded.len(), self.dims, "ragged pool encoding");
+        self.configs.push(config);
+        self.encoded.extend_from_slice(&encoded);
+        self.means.push(base.mean);
+        self.vars.push(base.var);
+        self.weights.push(0.0);
+        if self.configs.len() > self.picked.len() * 64 {
+            self.picked.push(0);
+        }
+    }
+
+    /// Number of candidates in the pool.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// `true` when the pool holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Kernel evaluations spent re-scoring so far — one per (pool entry,
+    /// liar) pair visited. Incremental re-scoring spends exactly
+    /// `pool × liars_registered`; the reference path spends
+    /// `pool × Σ liars` ≈ `pool × k²/2` over a k-draw batch.
+    pub fn rescore_ops(&self) -> u64 {
+        self.rescore_ops
+    }
+
+    /// Switches `next_candidate` to the reference O(pool × liars)
+    /// re-scoring (re-deriving every weight from the full liar list).
+    /// Must be toggled before the first [`Self::push_liar`]; the
+    /// incremental running weights are not maintained while in reference
+    /// mode.
+    pub fn use_reference_rescoring(&mut self, on: bool) {
+        assert!(
+            self.liars.is_empty(),
+            "toggle reference re-scoring before registering liars"
+        );
+        self.reference = on;
+    }
+
+    #[inline]
+    fn is_picked(&self, i: usize) -> bool {
+        self.picked[i / 64] & (1u64 << (i % 64)) != 0
     }
 
     /// Registers a drawn point (encoded position) as a liar so later
     /// draws avoid its neighborhood. Callers invoke this for *every*
     /// batch member — pool picks and random-fraction draws alike.
+    ///
+    /// Incremental mode folds the new liar's kernel into every entry's
+    /// running max weight here (one contiguous O(pool) sweep); the argmax
+    /// in [`Self::next_candidate`] then reads cached weights only.
     pub fn push_liar(&mut self, x: Vec<f64>) {
+        if !self.reference && !self.configs.is_empty() {
+            let dims = self.dims;
+            let n = dims.max(1) as f64;
+            for i in 0..self.configs.len() {
+                let row = &self.encoded[i * dims..i * dims + dims];
+                // Identical arithmetic (and fold order over liars) to
+                // `penalize`, so running weights match the reference fold
+                // bit for bit.
+                let d2: f64 = row
+                    .iter()
+                    .zip(x.iter())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    / n;
+                let w = (-d2 / (2.0 * SIGMA * SIGMA)).exp();
+                self.weights[i] = self.weights[i].max(w);
+            }
+            self.rescore_ops += self.configs.len() as u64;
+        }
         self.liars.push(x);
     }
 
@@ -273,19 +431,43 @@ impl BatchMaximizer {
     /// [`Self::push_liar`] with the accepted draw.
     pub fn next_candidate(&mut self) -> Option<Config> {
         let mut best: Option<(usize, f64)> = None;
-        for (i, entry) in self.pool.iter().enumerate() {
-            if entry.picked {
-                continue;
+        if self.reference {
+            let dims = self.dims;
+            for i in 0..self.configs.len() {
+                if self.is_picked(i) {
+                    continue;
+                }
+                let row = &self.encoded[i * dims..i * dims + dims];
+                let base = Prediction::new(self.means[i], self.vars[i]);
+                let p = penalize(&self.liars, self.liar_value, row, base);
+                self.rescore_ops += self.liars.len() as u64;
+                let s = self.acq.score(p, self.best_y);
+                if best.is_none_or(|(_, bs)| s > bs) {
+                    best = Some((i, s));
+                }
             }
-            let p = penalize(&self.liars, self.liar_value, &entry.encoded, entry.base);
-            let s = self.acq.score(p, self.best_y);
-            if best.is_none_or(|(_, bs)| s > bs) {
-                best = Some((i, s));
+        } else {
+            // Tight arithmetic-only scan over the SoA buffers: the blend
+            // below is the same expression `penalize` ends with, applied
+            // to the cached running max weight.
+            for i in 0..self.configs.len() {
+                if self.is_picked(i) {
+                    continue;
+                }
+                let w = self.weights[i];
+                let p = Prediction::new(
+                    w * self.liar_value + (1.0 - w) * self.means[i],
+                    (1.0 - w) * self.vars[i],
+                );
+                let s = self.acq.score(p, self.best_y);
+                if best.is_none_or(|(_, bs)| s > bs) {
+                    best = Some((i, s));
+                }
             }
         }
         let (i, _) = best?;
-        self.pool[i].picked = true;
-        Some(self.pool[i].config.clone())
+        self.picked[i / 64] |= 1u64 << (i % 64);
+        Some(self.configs[i].clone())
     }
 }
 
@@ -379,6 +561,163 @@ mod tests {
             &mut rng,
         );
         assert!(r.is_ok());
+    }
+
+    /// Builds two identical pools over a `dims`-dimensional unit cube from
+    /// raw `(encoded, mean, var)` triples — one incremental, one on the
+    /// reference O(pool × liars) path.
+    fn twin_pools(
+        entries: &[(Vec<f64>, f64, f64)],
+        acq: Acquisition,
+        best_y: f64,
+        liar_value: f64,
+    ) -> (BatchMaximizer, BatchMaximizer) {
+        let dims = entries.first().map_or(0, |(e, _, _)| e.len());
+        let mut builder = ConfigSpace::builder();
+        for d in 0..dims {
+            builder = builder.float(&format!("x{d}"), 0.0, 1.0);
+        }
+        let space = builder.build();
+        let pool: Vec<(Config, Vec<f64>, Prediction)> = entries
+            .iter()
+            .map(|(enc, mean, var)| {
+                (
+                    space.decode(enc).unwrap(),
+                    enc.clone(),
+                    Prediction::new(*mean, *var),
+                )
+            })
+            .collect();
+        let fast = BatchMaximizer::from_pool(pool.clone(), acq, best_y, liar_value);
+        let mut slow = BatchMaximizer::from_pool(pool, acq, best_y, liar_value);
+        slow.use_reference_rescoring(true);
+        (fast, slow)
+    }
+
+    /// Draws `k` candidates from both pools in lockstep, registering each
+    /// pick as a liar, and asserts the draw sequences are identical.
+    fn assert_lockstep(
+        mut fast: BatchMaximizer,
+        mut slow: BatchMaximizer,
+        space_dims: usize,
+        k: usize,
+        extra_liars: &[Vec<f64>],
+    ) {
+        for liar in extra_liars {
+            fast.push_liar(liar.clone());
+            slow.push_liar(liar.clone());
+        }
+        for round in 0..k {
+            let a = fast.next_candidate();
+            let b = slow.next_candidate();
+            assert_eq!(a, b, "divergence at draw {round}");
+            let Some(cfg) = a else { break };
+            let enc: Vec<f64> = (0..space_dims)
+                .map(|d| {
+                    let hypertune_space::ParamValue::Float(v) = cfg.values()[d] else {
+                        panic!("float space")
+                    };
+                    v
+                })
+                .collect();
+            fast.push_liar(enc.clone());
+            slow.push_liar(enc);
+        }
+    }
+
+    #[test]
+    fn incremental_rescoring_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let entries: Vec<(Vec<f64>, f64, f64)> = (0..64)
+            .map(|_| {
+                (
+                    vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()],
+                    rng.gen::<f64>() * 2.0 - 1.0,
+                    rng.gen::<f64>(),
+                )
+            })
+            .collect();
+        let (fast, slow) = twin_pools(
+            &entries,
+            Acquisition::ExpectedImprovement { xi: 0.0 },
+            0.1,
+            0.4,
+        );
+        assert_lockstep(fast, slow, 3, 16, &[vec![0.5, 0.5, 0.5]]);
+    }
+
+    #[test]
+    fn rescore_ops_is_linear_in_k() {
+        let entries: Vec<(Vec<f64>, f64, f64)> = (0..100)
+            .map(|i| (vec![i as f64 / 99.0], i as f64 / 99.0, 0.1))
+            .collect();
+        let k = 20usize;
+        let (mut fast, mut slow) = twin_pools(&entries, Acquisition::default(), 0.0, 0.5);
+        for _ in 0..k {
+            let a = fast.next_candidate().unwrap();
+            let b = slow.next_candidate().unwrap();
+            assert_eq!(a, b);
+            let hypertune_space::ParamValue::Float(v) = a.values()[0] else {
+                panic!("float space")
+            };
+            fast.push_liar(vec![v]);
+            slow.push_liar(vec![v]);
+        }
+        // Incremental: one pool sweep per liar → pool × k exactly.
+        assert_eq!(fast.rescore_ops(), (entries.len() * k) as u64);
+        // Reference: every argmax re-folds all current liars over the
+        // unpicked pool → Θ(pool × k²); with k = 20 the gap is ~10x.
+        assert!(
+            slow.rescore_ops() > 5 * fast.rescore_ops(),
+            "reference ops {} vs incremental {}",
+            slow.rescore_ops(),
+            fast.rescore_ops()
+        );
+    }
+
+    #[test]
+    fn reference_toggle_rejected_after_liars() {
+        let (mut fast, _) = twin_pools(&[(vec![0.5], 0.0, 1.0)], Acquisition::default(), 0.0, 0.5);
+        fast.push_liar(vec![0.1]);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fast.use_reference_rescoring(true)
+        }));
+        assert!(err.is_err());
+    }
+
+    proptest::proptest! {
+        /// The satellite pin: over random pools, dims, and liar counts the
+        /// incremental running-max path draws the *bit-identical* sequence
+        /// the full O(pool × liars) reference re-scoring draws.
+        #[test]
+        fn prop_incremental_bit_identical_to_reference(
+            seed in 0u64..1000,
+            pool_n in 1usize..40,
+            dims in 1usize..5,
+            k in 1usize..12,
+            pre_liars in 0usize..4,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+                let entries: Vec<(Vec<f64>, f64, f64)> = (0..pool_n)
+                .map(|_| {
+                    (
+                        (0..dims).map(|_| rng.gen::<f64>()).collect(),
+                        rng.gen::<f64>() * 4.0 - 2.0,
+                        rng.gen::<f64>() * 2.0,
+                    )
+                })
+                .collect();
+            let extra: Vec<Vec<f64>> = (0..pre_liars)
+                .map(|_| (0..dims).map(|_| rng.gen::<f64>()).collect())
+                .collect();
+            let acq = match seed % 3 {
+                0 => Acquisition::ExpectedImprovement { xi: 0.01 },
+                1 => Acquisition::ProbabilityOfImprovement { xi: 0.0 },
+                _ => Acquisition::LowerConfidenceBound { kappa: 1.8 },
+            };
+            let (fast, slow) = twin_pools(&entries, acq, 0.2, 0.5);
+            assert_lockstep(fast, slow, dims, k, &extra);
+        }
     }
 
     #[test]

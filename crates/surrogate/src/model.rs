@@ -107,6 +107,24 @@ pub trait Predictor {
     fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<Prediction>, SurrogateError> {
         xs.iter().map(|x| self.predict(x)).collect()
     }
+
+    /// Predicts at many query points into a caller-provided scratch
+    /// buffer (cleared first), so hot loops that predict repeatedly —
+    /// acquisition hill-climbing, pool re-scoring — reuse one allocation
+    /// instead of producing a fresh `Vec<Prediction>` per call.
+    ///
+    /// The default delegates to [`Predictor::predict_batch`]; wrappers
+    /// that post-process predictions (e.g. constant-liar penalization)
+    /// override it to rewrite the buffer in place.
+    fn predict_batch_into(
+        &self,
+        xs: &[Vec<f64>],
+        out: &mut Vec<Prediction>,
+    ) -> Result<(), SurrogateError> {
+        out.clear();
+        out.extend(self.predict_batch(xs)?);
+        Ok(())
+    }
 }
 
 impl<T: SurrogateModel + ?Sized> Predictor for T {

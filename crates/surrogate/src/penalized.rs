@@ -17,7 +17,7 @@ use crate::model::{Prediction, Predictor, SurrogateError};
 /// Gaussian proximity length-scale in normalized (per-dimension) squared
 /// distance. At distance `σ` from a liar, the blend weight has dropped to
 /// `exp(-1/2) ≈ 0.61`; at `3σ` it is negligible, so the penalty is local.
-const SIGMA: f64 = 0.1;
+pub(crate) const SIGMA: f64 = 0.1;
 
 /// A [`Predictor`] that penalizes the neighborhoods of already-drawn
 /// batch candidates. See the module docs.
@@ -80,14 +80,24 @@ impl Predictor for PenalizedPredictor<'_> {
     }
 
     fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<Prediction>, SurrogateError> {
-        // Keep the inner model's fast batch path; penalization is O(liars)
-        // per point on top.
-        let preds = self.inner.predict_batch(xs)?;
-        Ok(xs
-            .iter()
-            .zip(preds)
-            .map(|(x, p)| self.penalize(x, p))
-            .collect())
+        let mut out = Vec::with_capacity(xs.len());
+        self.predict_batch_into(xs, &mut out)?;
+        Ok(out)
+    }
+
+    fn predict_batch_into(
+        &self,
+        xs: &[Vec<f64>],
+        out: &mut Vec<Prediction>,
+    ) -> Result<(), SurrogateError> {
+        // Keep the inner model's fast batch path and the caller's scratch
+        // buffer; penalization rewrites the buffer in place, O(liars) per
+        // point with no extra allocation.
+        self.inner.predict_batch_into(xs, out)?;
+        for (x, p) in xs.iter().zip(out.iter_mut()) {
+            *p = penalize(&self.liars, self.liar_value, x, *p);
+        }
+        Ok(())
     }
 }
 

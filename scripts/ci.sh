@@ -63,6 +63,17 @@ step "schedulers bench smoke (--test: one pass, no timing)"
 cargo bench -q -p hypertune-bench --bench schedulers --offline -- --test \
   > target/bench-smoke.out
 grep -q "dispatch_latency" target/bench-smoke.out
+# The wide-pool rows (flat dispatch at w128+) must stay in the bench:
+# BENCH_scheduler.json's w128/w256 entries are regenerated from them.
+grep -q "batch_w256" target/bench-smoke.out
+
+step "dispatch op-count guard (liar re-scoring stays O(pool x k))"
+# Two layers: the BatchMaximizer unit test pins rescore_ops == pool x k
+# exactly (and that the reference path is strictly worse), and the
+# sampler test pins the batch.rescore_ops telemetry counter to linear
+# scaling in k. A regression to full per-pick re-scoring fails both.
+cargo test -q -p hypertune-surrogate --offline rescore_ops_is_linear_in_k
+cargo test -q -p hypertune-core --offline batch_rescore_ops_counter_is_linear_in_k
 
 step "prefetch determinism smoke (batch k=1 + prefetch/inline agreement)"
 PROPTEST_CASES=2 cargo test -q -p hypertune --offline --test batch_dispatch
