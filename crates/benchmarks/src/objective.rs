@@ -1,7 +1,9 @@
 use hypertune_space::{Config, ConfigSpace};
 
 /// The result of evaluating one configuration at one resource level.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Serde-derived so the TCP substrate can carry it home in a `Result`
+/// frame.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Eval {
     /// Validation objective to *minimize* (error rate, perplexity, …).
     pub value: f64,

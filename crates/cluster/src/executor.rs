@@ -61,6 +61,46 @@ impl<J, O> PoolResult<J, O> {
     }
 }
 
+/// The substrate-agnostic driver surface: what a runner needs from any
+/// real executor — submit up to capacity, then pull completions.
+///
+/// [`ThreadPool`] (OS threads in this process) and
+/// [`crate::net::TcpCluster`] (worker processes over sockets) both
+/// implement it, so the threaded runner's driver loops are written once
+/// and run unchanged on either. The simulator keeps its own richer
+/// interface (virtual time, receipts) — its callers need the clock.
+///
+/// Contract, shared with [`crate::SimCluster`]:
+/// - `submit` errors with [`ClusterError::NoIdleWorker`] at capacity;
+/// - `next_completion` blocks for the next finished/failed/orphaned job
+///   and errors with [`ClusterError::Quiescent`] when nothing is in
+///   flight and nothing can surface later (orphan leases pending count
+///   as "can surface");
+/// - orphaned jobs hold no capacity slot while they wait out a lease.
+pub trait Executor<J, O> {
+    /// Submits a job; errors when every worker is already busy.
+    fn submit(&mut self, job: J) -> Result<(), ClusterError>;
+
+    /// Blocks until the next job finishes (or orphans), or reports
+    /// [`ClusterError::Quiescent`].
+    fn next_completion(&mut self) -> Result<PoolResult<J, O>, ClusterError>;
+
+    /// Current logical capacity (number of live workers).
+    fn n_workers(&self) -> usize;
+
+    /// Jobs submitted but not yet returned (orphans excluded).
+    fn in_flight(&self) -> usize;
+
+    /// Free capacity right now.
+    fn idle_workers(&self) -> usize {
+        self.n_workers().saturating_sub(self.in_flight())
+    }
+
+    /// Attaches a telemetry handle (substrates emit their own counters
+    /// and membership events through it).
+    fn set_telemetry(&mut self, telemetry: TelemetryHandle);
+}
+
 enum Message<J> {
     Run(J, JobStatus),
     Shutdown,
@@ -420,6 +460,36 @@ where
                 None => return Err(ClusterError::Quiescent),
             }
         }
+    }
+}
+
+impl<J, O> Executor<J, O> for ThreadPool<J, O>
+where
+    J: Send + Clone + 'static,
+    O: Send + 'static,
+{
+    fn submit(&mut self, job: J) -> Result<(), ClusterError> {
+        ThreadPool::submit(self, job)
+    }
+
+    fn next_completion(&mut self) -> Result<PoolResult<J, O>, ClusterError> {
+        ThreadPool::next_completion(self)
+    }
+
+    fn n_workers(&self) -> usize {
+        ThreadPool::n_workers(self)
+    }
+
+    fn in_flight(&self) -> usize {
+        ThreadPool::in_flight(self)
+    }
+
+    fn idle_workers(&self) -> usize {
+        ThreadPool::idle_workers(self)
+    }
+
+    fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        ThreadPool::set_telemetry(self, telemetry)
     }
 }
 

@@ -153,7 +153,8 @@ impl MembershipPlan {
     }
 }
 
-/// Runtime churn state shared by both substrates: the validated plan, a
+/// Runtime churn state shared by the in-process substrates (the TCP
+/// substrate has real churn, not injected): the validated plan, a
 /// cursor over its (time-sorted) events, and the worker-crash RNG.
 #[derive(Debug, Clone)]
 pub struct ChurnState {

@@ -1,0 +1,981 @@
+//! The TCP substrate: a driver that dispatches to worker *processes*
+//! over sockets, speaking the [`crate::proto`] wire protocol.
+//!
+//! This is the third execution substrate (after [`crate::SimCluster`]
+//! and [`crate::ThreadPool`]) and the first where a worker crash is a
+//! real process death rather than a simulated one. It presents the same
+//! [`Executor`] surface as the thread pool, so the threaded runner's
+//! driver loops run on it unchanged.
+//!
+//! # Driver side: [`TcpCluster`]
+//!
+//! [`TcpCluster::connect`] dials a static list of worker addresses,
+//! performs the Hello/HelloAck handshake on each, and spawns one reader
+//! thread per connection feeding a single event channel. The driver
+//! thread owns every write half; readers never write. Each worker offers
+//! one slot (`HelloAck::slots`, currently always 1), so capacity equals
+//! the number of live connections.
+//!
+//! Failure semantics, mirroring the in-process substrates:
+//!
+//! - **Disconnect** (EOF, reset, or any framing error on the read path):
+//!   the worker is dead immediately. Its pending job surfaces as
+//!   [`JobStatus::Orphaned`] from `next_completion`, capacity shrinks,
+//!   and a `WorkerLeft` event is emitted. There is no redial: with a
+//!   static address list, connect = Join at startup and disconnect =
+//!   permanent Leave.
+//! - **Missed heartbeats**: every worker beacons on a timer even while
+//!   evaluating. If nothing (result or heartbeat) arrives from a worker
+//!   with a pending job for longer than the lease timeout, the driver
+//!   sends a best-effort [`Frame::Cancel`], tears the connection down,
+//!   and orphans the job the same way.
+//! - **Stale results**: once a job is orphaned its id is retired; a
+//!   `Result` frame for a retired id (e.g. the cancel lost the race) is
+//!   counted under `net.stale_results` and dropped, never surfaced —
+//!   this is the driver-side half of the exactly-once argument
+//!   (DESIGN.md §16).
+//!
+//! Orphaned jobs hold no capacity slot, exactly like the other
+//! substrates, so the retry policy can re-dispatch them to surviving
+//! workers at once.
+//!
+//! # Worker side: [`serve_worker`]
+//!
+//! [`serve_worker`] is the accept loop behind the `hypertune-worker`
+//! binary. Per session it reads `Hello`, asks the caller's factory for
+//! an evaluator (rejecting the session via `HelloAck` on factory error),
+//! then serves `Dispatch` frames synchronously — one job at a time — on
+//! the session thread while a separate heartbeat thread shares the write
+//! half behind a mutex. Frames are encoded to a single buffer and written
+//! with one `write_all` under the lock, so concurrent heartbeats and
+//! results never interleave bytes.
+//!
+//! The worker is intentionally typeless: jobs and outputs cross it as
+//! [`serde::Value`] trees, so one worker binary can serve any benchmark
+//! the handshake names.
+//!
+//! # Telemetry
+//!
+//! With a handle attached ([`TcpCluster::set_telemetry`]) the driver
+//! emits `net.*` counters (`dispatches`, `results`, `stale_results`,
+//! `heartbeats`, `cancels`, `disconnects`), latency histograms
+//! (`net.job_rtt_ms` dispatch→result, `net.heartbeat_gap_ms` between
+//! liveness signals), per-worker completion gauges, and the same
+//! `WorkerJoined`/`WorkerLeft` membership events the elastic substrates
+//! produce.
+
+use std::collections::VecDeque;
+use std::net::{Shutdown as SockShutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use hypertune_telemetry::{Event, TelemetryHandle};
+use serde::{Deserialize, Serialize, Value};
+
+use crate::executor::{Executor, PoolResult};
+use crate::proto::{self, Frame, ProtoError};
+use crate::sim::{ClusterError, JobStatus};
+
+/// Knobs for the driver side of the TCP substrate.
+#[derive(Debug, Clone)]
+pub struct TcpClusterOptions {
+    /// How long a worker with a pending job may stay silent (no result,
+    /// no heartbeat) before the driver cancels and orphans the job.
+    /// Must comfortably exceed the worker heartbeat interval.
+    pub lease_timeout: Duration,
+}
+
+impl Default for TcpClusterOptions {
+    fn default() -> Self {
+        Self {
+            lease_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What a reader thread reports back to the driver.
+enum NetEvent {
+    /// A decoded frame from worker `worker`.
+    Frame { worker: usize, frame: Frame },
+    /// The connection to worker `worker` is gone (EOF or framing error).
+    Disconnected { worker: usize, reason: ProtoError },
+}
+
+/// A job awaiting its `Result` frame.
+struct Pending<J> {
+    job_id: u64,
+    job: J,
+    sent: Instant,
+}
+
+/// Driver-side state for one worker connection.
+struct WorkerConn<J> {
+    addr: String,
+    /// Write half; the matching read half lives on the reader thread.
+    stream: TcpStream,
+    alive: bool,
+    pending: Option<Pending<J>>,
+    /// Last time anything (handshake, heartbeat, result) arrived.
+    last_seen: Instant,
+    completed: u64,
+    reader: Option<JoinHandle<()>>,
+}
+
+/// A cluster of worker processes reached over TCP, presenting the same
+/// submit/complete contract as [`crate::ThreadPool`]. See the module
+/// docs for lifecycle and failure semantics.
+pub struct TcpCluster<J, O> {
+    workers: Vec<WorkerConn<J>>,
+    events_rx: Receiver<NetEvent>,
+    /// Kept so the channel never disconnects while the driver lives,
+    /// even after every reader thread has exited.
+    _events_tx: Sender<NetEvent>,
+    lease: Duration,
+    next_job_id: u64,
+    in_flight: usize,
+    capacity: usize,
+    /// Ready-to-surface orphan results, drained before anything else.
+    orphans: VecDeque<PoolResult<J, O>>,
+    telemetry: TelemetryHandle,
+    joins_emitted: bool,
+}
+
+impl<J, O> TcpCluster<J, O>
+where
+    J: Serialize,
+    O: Deserialize,
+{
+    /// Dials every address, handshakes with `hello`, and spawns one
+    /// reader thread per connection. Fails fast on the first address
+    /// that cannot be reached or rejects the handshake — a partial
+    /// cluster at startup is an operator error, unlike churn later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty.
+    pub fn connect<A>(
+        addrs: &[A],
+        hello: Value,
+        opts: TcpClusterOptions,
+    ) -> Result<Self, ProtoError>
+    where
+        A: ToSocketAddrs + std::fmt::Display,
+    {
+        assert!(!addrs.is_empty(), "cluster needs at least one worker");
+        let (tx, rx) = unbounded();
+        let mut workers = Vec::with_capacity(addrs.len());
+        for (idx, addr) in addrs.iter().enumerate() {
+            let mut stream = TcpStream::connect(addr)?;
+            let _ = stream.set_nodelay(true);
+            proto::write_frame(
+                &mut stream,
+                &Frame::Hello {
+                    payload: hello.clone(),
+                },
+            )?;
+            match proto::read_frame(&mut stream)? {
+                Frame::HelloAck { error: None, .. } => {}
+                Frame::HelloAck {
+                    error: Some(reason),
+                    ..
+                } => {
+                    return Err(ProtoError::Garbage(format!(
+                        "worker {addr} rejected handshake: {reason}"
+                    )))
+                }
+                other => {
+                    return Err(ProtoError::Garbage(format!(
+                        "worker {addr}: expected HelloAck, got {other:?}"
+                    )))
+                }
+            }
+            let reader_stream = stream.try_clone()?;
+            let reader_tx = tx.clone();
+            let reader = std::thread::spawn(move || reader_loop(idx, reader_stream, reader_tx));
+            workers.push(WorkerConn {
+                addr: addr.to_string(),
+                stream,
+                alive: true,
+                pending: None,
+                last_seen: Instant::now(),
+                completed: 0,
+                reader: Some(reader),
+            });
+        }
+        let capacity = workers.len();
+        Ok(Self {
+            workers,
+            events_rx: rx,
+            _events_tx: tx,
+            lease: opts.lease_timeout,
+            next_job_id: 0,
+            in_flight: 0,
+            capacity,
+            orphans: VecDeque::new(),
+            telemetry: TelemetryHandle::disabled(),
+            joins_emitted: false,
+        })
+    }
+
+    /// Attaches a telemetry handle. The first attachment replays one
+    /// `WorkerJoined` per live connection (connect = Join happened
+    /// before any handle existed).
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
+        if !self.joins_emitted {
+            self.joins_emitted = true;
+            let mut n_alive = 0;
+            for (idx, w) in self.workers.iter().enumerate() {
+                if w.alive {
+                    n_alive += 1;
+                    self.telemetry.emit_now_with(|| Event::WorkerJoined {
+                        worker: idx,
+                        n_alive,
+                    });
+                }
+            }
+            self.telemetry
+                .gauge_set("net.workers_alive", self.capacity as f64);
+        }
+    }
+
+    /// Number of live worker connections.
+    pub fn n_workers(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs dispatched and not yet completed or orphaned.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Free slots on live workers.
+    pub fn idle_workers(&self) -> usize {
+        self.capacity.saturating_sub(self.in_flight)
+    }
+
+    /// Address of worker `idx` as given at connect time (for logs).
+    pub fn worker_addr(&self, idx: usize) -> &str {
+        &self.workers[idx].addr
+    }
+
+    /// Submits a job to the first idle live worker; errors when every
+    /// slot is busy. If the write itself fails the connection is dead:
+    /// the submit still succeeds and the job surfaces as
+    /// [`JobStatus::Orphaned`] (mirroring a dispatch onto a crashing
+    /// worker in the other substrates).
+    pub fn submit(&mut self, job: J) -> Result<(), ClusterError> {
+        let idx = self
+            .workers
+            .iter()
+            .position(|w| w.alive && w.pending.is_none())
+            .ok_or(ClusterError::NoIdleWorker)?;
+        let job_id = self.next_job_id;
+        self.next_job_id += 1;
+        let payload = serde_json::to_value(&job);
+        let frame = Frame::Dispatch { job_id, payload };
+        match proto::write_frame(&mut self.workers[idx].stream, &frame) {
+            Ok(()) => {
+                self.workers[idx].pending = Some(Pending {
+                    job_id,
+                    job,
+                    sent: Instant::now(),
+                });
+                self.in_flight += 1;
+                self.telemetry.counter_add("net.dispatches", 1);
+                Ok(())
+            }
+            Err(_) => {
+                self.kill_worker(idx);
+                self.orphans.push_back(PoolResult {
+                    job,
+                    output: None,
+                    status: JobStatus::Orphaned,
+                    worker: idx,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Marks a worker dead: shuts its socket both ways (unblocking the
+    /// reader thread), shrinks capacity, and emits membership telemetry.
+    /// Pending-job handling is the caller's job.
+    fn kill_worker(&mut self, idx: usize) {
+        let w = &mut self.workers[idx];
+        if !w.alive {
+            return;
+        }
+        w.alive = false;
+        let _ = w.stream.shutdown(SockShutdown::Both);
+        self.capacity -= 1;
+        let n_alive = self.capacity;
+        self.telemetry.counter_add("net.disconnects", 1);
+        self.telemetry
+            .gauge_set("net.workers_alive", n_alive as f64);
+        self.telemetry.emit_now_with(|| Event::WorkerLeft {
+            worker: idx,
+            n_alive,
+        });
+    }
+
+    /// Kills worker `idx` and queues its pending job (if any) as an
+    /// orphan result. The job id is retired: a late `Result` for it is
+    /// stale by construction.
+    fn kill_and_orphan(&mut self, idx: usize) {
+        if let Some(p) = self.workers[idx].pending.take() {
+            self.in_flight -= 1;
+            self.orphans.push_back(PoolResult {
+                job: p.job,
+                output: None,
+                status: JobStatus::Orphaned,
+                worker: idx,
+            });
+        }
+        self.kill_worker(idx);
+    }
+
+    /// Blocks until the next job completes or orphans; returns
+    /// [`ClusterError::Quiescent`] when nothing is pending anywhere.
+    pub fn next_completion(&mut self) -> Result<PoolResult<J, O>, ClusterError> {
+        loop {
+            if let Some(r) = self.orphans.pop_front() {
+                return Ok(r);
+            }
+            // Lease sweep: a silent worker with a pending job is dead to
+            // us once the lease runs out.
+            let now = Instant::now();
+            let expired = self.workers.iter().position(|w| {
+                w.alive && w.pending.is_some() && now.duration_since(w.last_seen) >= self.lease
+            });
+            if let Some(idx) = expired {
+                let job_id = self.workers[idx]
+                    .pending
+                    .as_ref()
+                    .expect("expired implies pending")
+                    .job_id;
+                // Best-effort: the worker may be hung, not gone. Either
+                // way its id is retired and any late result is stale.
+                let _ =
+                    proto::write_frame(&mut self.workers[idx].stream, &Frame::Cancel { job_id });
+                self.telemetry.counter_add("net.cancels", 1);
+                self.kill_and_orphan(idx);
+                continue;
+            }
+            if self.in_flight == 0 {
+                return Err(ClusterError::Quiescent);
+            }
+            // Block for the next event, but wake at the earliest lease
+            // deadline so silence is noticed.
+            let deadline = self
+                .workers
+                .iter()
+                .filter(|w| w.alive && w.pending.is_some())
+                .map(|w| w.last_seen + self.lease)
+                .min();
+            let event = match deadline {
+                None => match self.events_rx.recv() {
+                    Ok(e) => e,
+                    Err(_) => return Err(ClusterError::Quiescent),
+                },
+                Some(d) => match self
+                    .events_rx
+                    .recv_timeout(d.saturating_duration_since(now))
+                {
+                    Ok(e) => e,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => return Err(ClusterError::Quiescent),
+                },
+            };
+            match event {
+                NetEvent::Disconnected { worker, reason } => {
+                    if self.workers[worker].alive {
+                        // A clean EOF and a framing error both kill the
+                        // worker, but only the latter is a read fault.
+                        if !matches!(reason, ProtoError::Closed) {
+                            self.telemetry.counter_add("net.read_errors", 1);
+                        }
+                        self.kill_and_orphan(worker);
+                    }
+                }
+                NetEvent::Frame { worker, frame } => {
+                    if !self.workers[worker].alive {
+                        // Residue from a connection we already tore down.
+                        continue;
+                    }
+                    let gap = self.workers[worker].last_seen.elapsed();
+                    self.workers[worker].last_seen = Instant::now();
+                    match frame {
+                        Frame::Heartbeat { .. } => {
+                            self.telemetry.counter_add("net.heartbeats", 1);
+                            self.telemetry
+                                .histogram_record("net.heartbeat_gap_ms", gap.as_secs_f64() * 1e3);
+                        }
+                        Frame::Result {
+                            job_id,
+                            status,
+                            output,
+                        } => {
+                            let matches = self.workers[worker]
+                                .pending
+                                .as_ref()
+                                .is_some_and(|p| p.job_id == job_id);
+                            if !matches {
+                                // Retired id (orphaned then re-dispatched
+                                // elsewhere): drop, never double-count.
+                                self.telemetry.counter_add("net.stale_results", 1);
+                                continue;
+                            }
+                            let p = self.workers[worker]
+                                .pending
+                                .take()
+                                .expect("matches implies pending");
+                            self.in_flight -= 1;
+                            self.workers[worker].completed += 1;
+                            self.telemetry.counter_add("net.results", 1);
+                            self.telemetry.histogram_record(
+                                "net.job_rtt_ms",
+                                p.sent.elapsed().as_secs_f64() * 1e3,
+                            );
+                            self.telemetry.gauge_set(
+                                &format!("net.worker{worker}.completed"),
+                                self.workers[worker].completed as f64,
+                            );
+                            let (status, output) = if output.is_null() {
+                                (status, None)
+                            } else {
+                                match O::from_value(&output) {
+                                    Ok(o) => (status, Some(o)),
+                                    Err(_) => {
+                                        // Undecodable payload: demote to a
+                                        // plain failure so no caller trusts it.
+                                        self.telemetry.counter_add("net.bad_outputs", 1);
+                                        (JobStatus::Errored, None)
+                                    }
+                                }
+                            };
+                            return Ok(PoolResult {
+                                job: p.job,
+                                output,
+                                status,
+                                worker,
+                            });
+                        }
+                        other => {
+                            // A frame only drivers may send: the peer is
+                            // not speaking our protocol. Tear it down.
+                            let _ = other;
+                            self.telemetry.counter_add("net.protocol_violations", 1);
+                            self.kill_and_orphan(worker);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<J, O> Executor<J, O> for TcpCluster<J, O>
+where
+    J: Serialize,
+    O: Deserialize,
+{
+    fn submit(&mut self, job: J) -> Result<(), ClusterError> {
+        TcpCluster::submit(self, job)
+    }
+
+    fn next_completion(&mut self) -> Result<PoolResult<J, O>, ClusterError> {
+        TcpCluster::next_completion(self)
+    }
+
+    fn n_workers(&self) -> usize {
+        TcpCluster::n_workers(self)
+    }
+
+    fn in_flight(&self) -> usize {
+        TcpCluster::in_flight(self)
+    }
+
+    fn idle_workers(&self) -> usize {
+        TcpCluster::idle_workers(self)
+    }
+
+    fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        TcpCluster::set_telemetry(self, telemetry)
+    }
+}
+
+impl<J, O> Drop for TcpCluster<J, O> {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            if w.alive {
+                // Polite goodbye, then force the socket down either way
+                // so the reader thread unblocks.
+                let _ = proto::write_frame(&mut w.stream, &Frame::Shutdown);
+                let _ = w.stream.shutdown(SockShutdown::Both);
+            }
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.reader.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Reads frames until the connection dies, forwarding everything to the
+/// driver's event channel. Never writes.
+fn reader_loop(worker: usize, mut stream: TcpStream, tx: Sender<NetEvent>) {
+    loop {
+        match proto::read_frame(&mut stream) {
+            Ok(frame) => {
+                if tx.send(NetEvent::Frame { worker, frame }).is_err() {
+                    return;
+                }
+            }
+            Err(reason) => {
+                let _ = tx.send(NetEvent::Disconnected { worker, reason });
+                return;
+            }
+        }
+    }
+}
+
+/// Knobs for the worker side of the TCP substrate.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// How often the heartbeat thread beacons. Keep this several times
+    /// smaller than the driver's lease timeout.
+    pub heartbeat_interval: Duration,
+    /// Serve exactly one session, then return (used by tests and by
+    /// `hypertune-worker --once`).
+    pub once: bool,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        Self {
+            heartbeat_interval: Duration::from_millis(250),
+            once: false,
+        }
+    }
+}
+
+/// A worker-side evaluator: turns a `Dispatch` payload into a status and
+/// an output payload (`Value::Null` when there is none).
+pub type EvalFn = Box<dyn Fn(&Value) -> (JobStatus, Value) + Send>;
+
+/// Serves driver sessions on `listener` forever (or once, under
+/// [`WorkerOptions::once`]). Per session, `make_eval` interprets the
+/// `Hello` payload and builds the evaluator — returning `Err(reason)`
+/// rejects the session via `HelloAck` without dropping the accept loop.
+///
+/// Session errors (protocol violations, mid-stream disconnects) are
+/// logged to stderr and do not kill the worker; the next driver can
+/// connect fresh.
+pub fn serve_worker<F>(
+    listener: TcpListener,
+    opts: WorkerOptions,
+    make_eval: F,
+) -> std::io::Result<()>
+where
+    F: Fn(&Value) -> Result<EvalFn, String>,
+{
+    loop {
+        let (stream, peer) = listener.accept()?;
+        let _ = stream.set_nodelay(true);
+        if let Err(e) = serve_session(stream, &opts, &make_eval) {
+            eprintln!("hypertune-worker: session with {peer} failed: {e}");
+        }
+        if opts.once {
+            return Ok(());
+        }
+    }
+}
+
+/// Handshakes and serves one driver connection to completion.
+fn serve_session<F>(
+    stream: TcpStream,
+    opts: &WorkerOptions,
+    make_eval: &F,
+) -> Result<(), ProtoError>
+where
+    F: Fn(&Value) -> Result<EvalFn, String>,
+{
+    let mut reader = stream.try_clone()?;
+    let writer = Arc::new(Mutex::new(stream));
+    let hello = match proto::read_frame(&mut reader)? {
+        Frame::Hello { payload } => payload,
+        other => {
+            return Err(ProtoError::Garbage(format!(
+                "expected Hello, got {other:?}"
+            )))
+        }
+    };
+    let eval = match make_eval(&hello) {
+        Ok(eval) => {
+            write_locked(
+                &writer,
+                &Frame::HelloAck {
+                    slots: 1,
+                    error: None,
+                },
+            )?;
+            eval
+        }
+        Err(reason) => {
+            write_locked(
+                &writer,
+                &Frame::HelloAck {
+                    slots: 0,
+                    error: Some(reason),
+                },
+            )?;
+            return Ok(());
+        }
+    };
+    // Heartbeats come from their own thread so a long evaluation never
+    // looks like a death. Both threads share the write half; each frame
+    // is one write_all under the lock, so frames never interleave.
+    let stop = Arc::new(AtomicBool::new(false));
+    let hb_stop = Arc::clone(&stop);
+    let hb_writer = Arc::clone(&writer);
+    let interval = opts.heartbeat_interval;
+    let heartbeat = std::thread::spawn(move || {
+        let mut seq = 0u64;
+        loop {
+            std::thread::sleep(interval);
+            if hb_stop.load(Ordering::Relaxed) {
+                return;
+            }
+            seq += 1;
+            if write_locked(&hb_writer, &Frame::Heartbeat { seq }).is_err() {
+                return;
+            }
+        }
+    });
+    let outcome = session_loop(&mut reader, &writer, &eval);
+    stop.store(true, Ordering::Relaxed);
+    {
+        let guard = writer.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = guard.shutdown(SockShutdown::Both);
+    }
+    let _ = heartbeat.join();
+    outcome
+}
+
+/// The worker's synchronous serve loop: one dispatch at a time.
+fn session_loop(
+    reader: &mut TcpStream,
+    writer: &Arc<Mutex<TcpStream>>,
+    eval: &EvalFn,
+) -> Result<(), ProtoError> {
+    loop {
+        match proto::read_frame(reader) {
+            Ok(Frame::Dispatch { job_id, payload }) => {
+                let (status, output) = eval(&payload);
+                write_locked(
+                    writer,
+                    &Frame::Result {
+                        job_id,
+                        status,
+                        output,
+                    },
+                )?;
+            }
+            // Single-slot synchronous worker: by the time a Cancel is
+            // read here the cancelled job has either already answered
+            // (the driver drops that Result as stale) or never arrived.
+            Ok(Frame::Cancel { .. }) => {}
+            Ok(Frame::Shutdown) => return Ok(()),
+            Ok(other) => {
+                return Err(ProtoError::Garbage(format!(
+                    "unexpected frame from driver: {other:?}"
+                )))
+            }
+            // Driver vanished between frames; not this worker's fault.
+            Err(ProtoError::Closed) => return Ok(()),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Encodes and writes one frame atomically under the shared-writer lock.
+fn write_locked(writer: &Arc<Mutex<TcpStream>>, frame: &Frame) -> Result<(), ProtoError> {
+    let mut guard = writer.lock().unwrap_or_else(|p| p.into_inner());
+    proto::write_frame(&mut *guard, frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    /// Spawns an in-process worker doubling u64 jobs; returns its addr.
+    fn spawn_doubler(once: bool) -> (String, JoinHandle<std::io::Result<()>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let opts = WorkerOptions {
+            heartbeat_interval: Duration::from_millis(20),
+            once,
+        };
+        let handle = std::thread::spawn(move || {
+            serve_worker(listener, opts, |hello| {
+                if hello.as_object().and_then(|m| m.get("reject")).is_some() {
+                    return Err("rejected by test factory".to_string());
+                }
+                Ok(Box::new(|payload: &Value| {
+                    let x = payload.as_u64().unwrap_or(0);
+                    (JobStatus::Succeeded, json!(x * 2))
+                }) as EvalFn)
+            })
+        });
+        (addr, handle)
+    }
+
+    fn opts_with_lease(ms: u64) -> TcpClusterOptions {
+        TcpClusterOptions {
+            lease_timeout: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn jobs_round_trip_over_loopback() {
+        let (a, ha) = spawn_doubler(true);
+        let (b, hb) = spawn_doubler(true);
+        let mut cluster: TcpCluster<u64, u64> =
+            TcpCluster::connect(&[a, b], json!({"test": true}), TcpClusterOptions::default())
+                .unwrap();
+        assert_eq!(cluster.n_workers(), 2);
+        let mut outs = Vec::new();
+        let mut next = 0u64;
+        while outs.len() < 10 {
+            while next < 10 && cluster.submit(next).is_ok() {
+                next += 1;
+            }
+            let r = cluster.next_completion().unwrap();
+            assert_eq!(r.status, JobStatus::Succeeded);
+            assert_eq!(r.output, Some(r.job * 2));
+            outs.push(r.output.unwrap());
+        }
+        assert_eq!(
+            cluster.next_completion().unwrap_err(),
+            ClusterError::Quiescent
+        );
+        drop(cluster); // sends Shutdown; --once workers then return
+        ha.join().unwrap().unwrap();
+        hb.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn oversubscription_is_rejected() {
+        let (a, h) = spawn_doubler(true);
+        let mut cluster: TcpCluster<u64, u64> =
+            TcpCluster::connect(&[a], json!(null), TcpClusterOptions::default()).unwrap();
+        cluster.submit(1).unwrap();
+        assert_eq!(cluster.submit(2), Err(ClusterError::NoIdleWorker));
+        let r = cluster.next_completion().unwrap();
+        assert_eq!(r.output, Some(2));
+        drop(cluster);
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn handshake_rejection_is_a_typed_error() {
+        let (a, h) = spawn_doubler(true);
+        let err = match TcpCluster::<u64, u64>::connect(
+            &[a],
+            json!({"reject": true}),
+            TcpClusterOptions::default(),
+        ) {
+            Ok(_) => panic!("handshake should have been rejected"),
+            Err(e) => e,
+        };
+        match err {
+            ProtoError::Garbage(msg) => assert!(msg.contains("rejected")),
+            other => panic!("expected Garbage, got {other:?}"),
+        }
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn disconnect_orphans_the_pending_job() {
+        // A hand-rolled "worker" that takes the job and dies.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let h = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = proto::read_frame(&mut s).unwrap(); // Hello
+            proto::write_frame(
+                &mut s,
+                &Frame::HelloAck {
+                    slots: 1,
+                    error: None,
+                },
+            )
+            .unwrap();
+            let _ = proto::read_frame(&mut s).unwrap(); // Dispatch
+            drop(s); // process death
+        });
+        let mut cluster: TcpCluster<u64, u64> =
+            TcpCluster::connect(&[addr], json!(null), TcpClusterOptions::default()).unwrap();
+        cluster.submit(7).unwrap();
+        let r = cluster.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Orphaned);
+        assert_eq!(r.job, 7);
+        assert_eq!(r.output, None);
+        assert_eq!(cluster.n_workers(), 0, "disconnect is a permanent leave");
+        assert_eq!(cluster.in_flight(), 0, "orphan holds no slot");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn missed_heartbeats_expire_the_lease() {
+        // Accepts and handshakes, then goes silent forever: no result,
+        // no heartbeat. The driver must orphan the job after the lease.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let h = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = proto::read_frame(&mut s).unwrap();
+            proto::write_frame(
+                &mut s,
+                &Frame::HelloAck {
+                    slots: 1,
+                    error: None,
+                },
+            )
+            .unwrap();
+            // Hold the connection open, silently, until the driver
+            // tears it down.
+            loop {
+                match proto::read_frame(&mut s) {
+                    Ok(_) => continue,
+                    Err(_) => return,
+                }
+            }
+        });
+        let mut cluster: TcpCluster<u64, u64> =
+            TcpCluster::connect(&[addr], json!(null), opts_with_lease(80)).unwrap();
+        cluster.submit(5).unwrap();
+        let t0 = Instant::now();
+        let r = cluster.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Orphaned);
+        assert!(
+            t0.elapsed() >= Duration::from_millis(60),
+            "orphan must wait out the lease"
+        );
+        drop(cluster);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn stale_results_are_dropped() {
+        // A worker that answers a retired job id first, then the real
+        // one: the driver must drop the former and surface the latter.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let h = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = proto::read_frame(&mut s).unwrap();
+            proto::write_frame(
+                &mut s,
+                &Frame::HelloAck {
+                    slots: 1,
+                    error: None,
+                },
+            )
+            .unwrap();
+            let (job_id, payload) = match proto::read_frame(&mut s).unwrap() {
+                Frame::Dispatch { job_id, payload } => (job_id, payload),
+                other => panic!("expected Dispatch, got {other:?}"),
+            };
+            proto::write_frame(
+                &mut s,
+                &Frame::Result {
+                    job_id: job_id + 999, // nobody asked for this id
+                    status: JobStatus::Succeeded,
+                    output: json!(u64::MAX),
+                },
+            )
+            .unwrap();
+            let x = payload.as_u64().unwrap();
+            proto::write_frame(
+                &mut s,
+                &Frame::Result {
+                    job_id,
+                    status: JobStatus::Succeeded,
+                    output: json!(x * 2),
+                },
+            )
+            .unwrap();
+            // Linger for the shutdown so the driver's reader sees a
+            // clean session end.
+            let _ = proto::read_frame(&mut s);
+        });
+        let mut cluster: TcpCluster<u64, u64> =
+            TcpCluster::connect(&[addr], json!(null), TcpClusterOptions::default()).unwrap();
+        cluster.submit(21).unwrap();
+        let r = cluster.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Succeeded);
+        assert_eq!(r.output, Some(42), "the stale result must not surface");
+        drop(cluster);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn failure_statuses_cross_the_wire() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let opts = WorkerOptions {
+            heartbeat_interval: Duration::from_millis(20),
+            once: true,
+        };
+        let h = std::thread::spawn(move || {
+            serve_worker(listener, opts, |_| {
+                Ok(Box::new(|_: &Value| (JobStatus::Errored, Value::Null)) as EvalFn)
+            })
+        });
+        let mut cluster: TcpCluster<u64, u64> =
+            TcpCluster::connect(&[addr], json!(null), TcpClusterOptions::default()).unwrap();
+        cluster.submit(1).unwrap();
+        let r = cluster.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Errored);
+        assert_eq!(r.output, None);
+        assert!(!r.is_ok());
+        assert_eq!(cluster.idle_workers(), 1, "slot is free for a retry");
+        drop(cluster);
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn heartbeats_cover_long_evaluations() {
+        // Evaluation takes 3x the lease; heartbeats must keep the lease
+        // alive so the job completes instead of orphaning.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let opts = WorkerOptions {
+            heartbeat_interval: Duration::from_millis(15),
+            once: true,
+        };
+        let h = std::thread::spawn(move || {
+            serve_worker(listener, opts, |_| {
+                Ok(Box::new(|payload: &Value| {
+                    std::thread::sleep(Duration::from_millis(240));
+                    (JobStatus::Succeeded, payload.clone())
+                }) as EvalFn)
+            })
+        });
+        let mut cluster: TcpCluster<u64, u64> =
+            TcpCluster::connect(&[addr], json!(null), opts_with_lease(80)).unwrap();
+        cluster.submit(11).unwrap();
+        let r = cluster.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Succeeded, "heartbeats held the lease");
+        assert_eq!(r.output, Some(11));
+        drop(cluster);
+        h.join().unwrap().unwrap();
+    }
+}

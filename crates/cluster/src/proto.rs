@@ -1,0 +1,406 @@
+//! The distributed substrate's wire protocol: framed serde-JSON over TCP.
+//!
+//! This module is the *normative implementation* of DESIGN.md §16 — the
+//! frame grammar here and the prose spec there must stay in lockstep.
+//!
+//! # Frame grammar
+//!
+//! Every message on the wire is one **frame**:
+//!
+//! ```text
+//! frame   := length body
+//! length  := u32, big-endian — byte length of `body` (≥ 1, ≤ MAX_FRAME)
+//! body    := version payload
+//! version := u8 — WIRE_VERSION (currently 1)
+//! payload := UTF-8 JSON encoding of one `Frame` value
+//!            (externally tagged: {"Dispatch": {...}}, "Shutdown", …)
+//! ```
+//!
+//! The length prefix covers the version byte, so `payload` is exactly
+//! `length - 1` bytes. A reader that sees a bad length, a bad version, or
+//! unparseable JSON reports a typed [`ProtoError`] and the connection is
+//! torn down — frames are never resynchronized mid-stream, mirroring how
+//! the WAL refuses interior-tampered records rather than guessing.
+//!
+//! # Message set
+//!
+//! | Frame | Direction | Purpose |
+//! |---|---|---|
+//! | [`Frame::Hello`] | driver → worker | opens a session; carries an application payload (benchmark name, seed, …) the worker uses to build its evaluator |
+//! | [`Frame::HelloAck`] | worker → driver | accepts (slot count) or rejects (error string) the session |
+//! | [`Frame::Dispatch`] | driver → worker | one job: driver-assigned id plus an opaque serialized payload |
+//! | [`Frame::Result`] | worker → driver | terminal outcome of a dispatched job |
+//! | [`Frame::Cancel`] | driver → worker | the driver gave up on a job (lease expiry); the eventual `Result`, if any, will be dropped as stale |
+//! | [`Frame::Heartbeat`] | worker → driver | liveness beacon, sent every heartbeat interval — including *while evaluating* |
+//! | [`Frame::Shutdown`] | driver → worker | end of session; the worker closes the connection |
+//!
+//! Payloads ride as [`serde::Value`] trees so the protocol stays
+//! non-generic: the driver serializes the job type it owns, the worker
+//! deserializes into whatever its evaluator accepts, and a version-1
+//! frame never needs to know either concrete type.
+
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::sim::JobStatus;
+
+/// Protocol version carried in every frame's first body byte. Bump on
+/// any incompatible change to the frame grammar or message set.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on a frame body (version byte + JSON payload). Large
+/// enough for any config/eval in this workspace with orders of magnitude
+/// to spare; small enough that a corrupt length prefix cannot make the
+/// reader allocate gigabytes.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// One protocol message. See the module docs for the frame grammar and
+/// the direction/purpose of each variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Frame {
+    /// Session open (driver → worker). `payload` is application data the
+    /// worker's session factory interprets (e.g. benchmark name + seed).
+    Hello {
+        /// Application handshake data, opaque to the protocol layer.
+        payload: Value,
+    },
+    /// Session accept/reject (worker → driver). `slots` is how many jobs
+    /// the worker runs concurrently (currently always 1); a `Some` in
+    /// `error` rejects the session and the driver must not dispatch.
+    HelloAck {
+        /// Concurrent job capacity this worker offers.
+        slots: usize,
+        /// `Some(reason)` when the worker rejects the handshake.
+        error: Option<String>,
+    },
+    /// One unit of work (driver → worker).
+    Dispatch {
+        /// Driver-assigned id; echoed verbatim in the matching `Result`.
+        job_id: u64,
+        /// Serialized job, opaque to the protocol layer.
+        payload: Value,
+    },
+    /// Terminal outcome of a dispatched job (worker → driver).
+    Result {
+        /// The id from the matching `Dispatch`.
+        job_id: u64,
+        /// How the evaluation ended.
+        status: JobStatus,
+        /// Serialized output; `Value::Null` when the job produced none.
+        output: Value,
+    },
+    /// The driver abandoned a job (worker → results for it are stale).
+    Cancel {
+        /// The id of the abandoned job.
+        job_id: u64,
+    },
+    /// Liveness beacon (worker → driver), sent on a timer independent of
+    /// the evaluation loop so long-running jobs don't look like deaths.
+    Heartbeat {
+        /// Monotone per-connection sequence number.
+        seq: u64,
+    },
+    /// End of session (driver → worker); the worker replies by closing
+    /// the connection (and exiting, under `--once`).
+    Shutdown,
+}
+
+/// Typed framing/decoding failure. Every variant means the connection is
+/// unusable from this point on — the caller tears it down.
+#[derive(Debug, PartialEq)]
+pub enum ProtoError {
+    /// The peer closed the connection cleanly between frames (EOF at a
+    /// frame boundary). The only non-fault way a stream ends.
+    Closed,
+    /// The stream ended mid-frame: a torn write or a mid-frame crash.
+    Truncated {
+        /// Bytes the frame header promised.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME`] (corrupt header or a
+    /// non-protocol peer).
+    Oversized {
+        /// The declared body length.
+        len: usize,
+    },
+    /// The version byte is not [`WIRE_VERSION`].
+    BadVersion {
+        /// The version byte received.
+        got: u8,
+    },
+    /// The payload is not valid JSON, or is JSON that does not decode as
+    /// a [`Frame`] (includes the empty body: a frame has at least a
+    /// version byte and two payload bytes).
+    Garbage(String),
+    /// An underlying socket error.
+    Io(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Closed => write!(f, "connection closed by peer"),
+            ProtoError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            ProtoError::Oversized { len } => {
+                write!(f, "oversized frame: {len} bytes exceeds {MAX_FRAME}")
+            }
+            ProtoError::BadVersion { got } => {
+                write!(f, "bad protocol version {got} (want {WIRE_VERSION})")
+            }
+            ProtoError::Garbage(msg) => write!(f, "garbage frame: {msg}"),
+            ProtoError::Io(msg) => write!(f, "socket error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e.to_string())
+    }
+}
+
+/// Encodes one frame into its full wire representation (length prefix
+/// included), ready for a single `write_all`. Encoding into one buffer
+/// keeps concurrent writers (the worker's result and heartbeat threads)
+/// atomic per frame: each frame is one syscall-sized write under a lock.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let json = serde_json::to_string(frame).expect("frame serialization is infallible");
+    let body_len = 1 + json.len();
+    assert!(body_len <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    let mut buf = Vec::with_capacity(4 + body_len);
+    buf.extend_from_slice(&(body_len as u32).to_be_bytes());
+    buf.push(WIRE_VERSION);
+    buf.extend_from_slice(json.as_bytes());
+    buf
+}
+
+/// Writes one frame to `w` (single `write_all` of the encoded buffer).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), ProtoError> {
+    w.write_all(&encode_frame(frame))?;
+    Ok(())
+}
+
+/// Reads exactly `buf.len()` bytes, distinguishing a clean EOF before
+/// the first byte (`Ok(false)`) from a mid-buffer EOF (`Truncated`).
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<bool, ProtoError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(ProtoError::Truncated {
+                    expected: buf.len(),
+                    got: filled,
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame from `r`. Returns [`ProtoError::Closed`] on a clean
+/// EOF at a frame boundary; every other failure names what went wrong.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, ProtoError> {
+    let mut header = [0u8; 4];
+    if !read_exact_or_eof(r, &mut header)? {
+        return Err(ProtoError::Closed);
+    }
+    let body_len = u32::from_be_bytes(header) as usize;
+    if body_len == 0 {
+        return Err(ProtoError::Garbage("zero-length frame body".to_string()));
+    }
+    if body_len > MAX_FRAME {
+        return Err(ProtoError::Oversized { len: body_len });
+    }
+    let mut body = vec![0u8; body_len];
+    match read_exact_or_eof(r, &mut body)? {
+        true => {}
+        false => {
+            return Err(ProtoError::Truncated {
+                expected: body_len,
+                got: 0,
+            })
+        }
+    }
+    if body[0] != WIRE_VERSION {
+        return Err(ProtoError::BadVersion { got: body[0] });
+    }
+    let payload = std::str::from_utf8(&body[1..])
+        .map_err(|_| ProtoError::Garbage("payload is not UTF-8".to_string()))?;
+    serde_json::from_str::<Frame>(payload).map_err(|e| ProtoError::Garbage(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+    use std::io::Cursor;
+
+    fn all_variants() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                payload: json!({"bench": "counting-ones", "seed": 7, "sleep_ms": 0}),
+            },
+            Frame::HelloAck {
+                slots: 1,
+                error: None,
+            },
+            Frame::HelloAck {
+                slots: 0,
+                error: Some("unknown benchmark `nope`".to_string()),
+            },
+            Frame::Dispatch {
+                job_id: 42,
+                payload: json!({"config": vec![1, 0, 1], "resource": 9.0}),
+            },
+            Frame::Result {
+                job_id: 42,
+                status: JobStatus::Succeeded,
+                output: json!({"value": 0.25, "test_value": 0.3, "cost": 1.5}),
+            },
+            Frame::Result {
+                job_id: 43,
+                status: JobStatus::Errored,
+                output: Value::Null,
+            },
+            Frame::Cancel { job_id: 42 },
+            Frame::Heartbeat { seq: 9001 },
+            Frame::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for frame in all_variants() {
+            let buf = encode_frame(&frame);
+            let mut cur = Cursor::new(buf);
+            let back = read_frame(&mut cur).unwrap();
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_back_to_back_on_one_stream() {
+        let mut buf = Vec::new();
+        for frame in all_variants() {
+            write_frame(&mut buf, &frame).unwrap();
+        }
+        let mut cur = Cursor::new(buf);
+        for frame in all_variants() {
+            assert_eq!(read_frame(&mut cur).unwrap(), frame);
+        }
+        assert_eq!(read_frame(&mut cur).unwrap_err(), ProtoError::Closed);
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_error() {
+        let mut cur = Cursor::new(Vec::<u8>::new());
+        assert_eq!(read_frame(&mut cur).unwrap_err(), ProtoError::Closed);
+    }
+
+    #[test]
+    fn torn_write_is_truncated() {
+        // Mirror of the WAL torn-tail tests: cut the encoded frame at
+        // every possible byte boundary and demand a typed error, never a
+        // bogus frame or a panic.
+        let full = encode_frame(&Frame::Dispatch {
+            job_id: 7,
+            payload: json!({"x": 1.5}),
+        });
+        for cut in 1..full.len() {
+            let mut cur = Cursor::new(full[..cut].to_vec());
+            let err = read_frame(&mut cur).unwrap_err();
+            assert!(
+                matches!(err, ProtoError::Truncated { .. }),
+                "cut at {cut}: got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut cur = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cur).unwrap_err(),
+            ProtoError::Oversized {
+                len: u32::MAX as usize
+            }
+        );
+    }
+
+    #[test]
+    fn zero_length_body_is_garbage() {
+        let mut cur = Cursor::new(0u32.to_be_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut cur).unwrap_err(),
+            ProtoError::Garbage(_)
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut buf = encode_frame(&Frame::Shutdown);
+        buf[4] = WIRE_VERSION + 1;
+        let mut cur = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cur).unwrap_err(),
+            ProtoError::BadVersion {
+                got: WIRE_VERSION + 1
+            }
+        );
+    }
+
+    #[test]
+    fn garbage_payload_is_rejected() {
+        for payload in ["not json at all", "{}", "{\"NoSuchFrame\": 1}", "[1,2]"] {
+            let body_len = 1 + payload.len();
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&(body_len as u32).to_be_bytes());
+            buf.push(WIRE_VERSION);
+            buf.extend_from_slice(payload.as_bytes());
+            let mut cur = Cursor::new(buf);
+            assert!(
+                matches!(read_frame(&mut cur).unwrap_err(), ProtoError::Garbage(_)),
+                "payload {payload:?} should be garbage"
+            );
+        }
+    }
+
+    #[test]
+    fn non_utf8_payload_is_garbage() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_be_bytes());
+        buf.push(WIRE_VERSION);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cur).unwrap_err(),
+            ProtoError::Garbage(_)
+        ));
+    }
+
+    #[test]
+    fn errors_display_and_convert() {
+        let e: ProtoError = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe").into();
+        assert!(e.to_string().contains("socket error"));
+        assert!(ProtoError::Closed.to_string().contains("closed"));
+        assert!(ProtoError::BadVersion { got: 9 }.to_string().contains('9'));
+        let src: &dyn std::error::Error = &ProtoError::Oversized { len: 1 };
+        assert!(src.to_string().contains("oversized"));
+    }
+}

@@ -78,7 +78,7 @@ impl std::error::Error for ClusterError {}
 /// How a job ended. Only [`JobStatus::Succeeded`] carries a usable result;
 /// every other variant means the evaluation's output (if any) must be
 /// discarded and the job retried or quarantined by the driver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum JobStatus {
     /// The evaluation completed and its result is valid.
     Succeeded,

@@ -34,7 +34,7 @@
 //! | [`method`] | The `Method` trait: `next_job` / `on_result`, quarantine semantics |
 //! | [`methods`] | Hyper-Tune + all baselines, behind [`MethodKind`] |
 //! | [`runner`] | Simulated-cluster driver: budget loop, faults, retries, checkpoint/resume |
-//! | [`runner_threaded`] | The same loop on real OS threads |
+//! | [`runner_threaded`] | The same loop on real executors: OS threads or TCP workers |
 //! | [`history`] | Per-level measurement store and incumbent tracking |
 //! | [`levels`] | The geometric resource ladder `r₀ < r₁ < … < R` |
 //! | [`bracket`] | Sync/async successive-halving rung bookkeeping (D-ASHA) |
@@ -81,5 +81,7 @@ pub use runner::{
     resume, run, run_checkpointed, CheckpointPolicy, ResumeError, RetryPolicy, RunConfig,
     RunResult, SpeculationConfig,
 };
-pub use runner_threaded::{run_threaded, ThreadedRunConfig, ThreadedRunResult};
+pub use runner_threaded::{
+    run_distributed, run_threaded, ThreadedJob, ThreadedRunConfig, ThreadedRunResult,
+};
 pub use shared::{HistoryView, ShardedPending, SharedHistory};

@@ -2,12 +2,16 @@
 //!
 //! [`run`](crate::runner::run) drives methods on the *simulated* cluster
 //! (virtual time, used by every experiment); this module drives the same
-//! [`Method`] implementations on a genuine [`ThreadPool`] of OS threads,
-//! with wall-clock timestamps. Benchmarks whose `evaluate` performs real
-//! work (training a model, querying a service) run truly in parallel; the
-//! scheduling logic is byte-for-byte the same as in the simulator, which
-//! is the point — the paper's framework separates scheduling policy from
-//! execution substrate.
+//! [`Method`] implementations on a real executor with wall-clock
+//! timestamps. Both driver loops are generic over the
+//! [`Executor`] trait, so one runner serves two substrates:
+//! [`run_threaded`] builds a genuine [`ThreadPool`] of OS threads, and
+//! [`run_distributed`] accepts an already-connected executor such as a
+//! [`hypertune_cluster::TcpCluster`] of worker *processes*. Benchmarks
+//! whose `evaluate` performs real work (training a model, querying a
+//! service) run truly in parallel; the scheduling logic is byte-for-byte
+//! the same as in the simulator, which is the point — the paper's
+//! framework separates scheduling policy from execution substrate.
 //!
 //! # Pipelined dispatch
 //!
@@ -50,7 +54,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use hypertune_benchmarks::{Benchmark, Eval};
-use hypertune_cluster::{FaultModel, FaultSpec, JobStatus, MembershipPlan, ThreadPool};
+use hypertune_cluster::{Executor, FaultModel, FaultSpec, JobStatus, MembershipPlan, ThreadPool};
 use hypertune_space::{Config, ConfigSpace};
 use hypertune_telemetry::{Event, TelemetryHandle};
 use rand::rngs::StdRng;
@@ -159,11 +163,17 @@ pub struct ThreadedRunResult {
     pub n_breaker_trips: usize,
 }
 
-/// The pool payload: a job spec plus its retry attempt counter.
-#[derive(Debug, Clone)]
-struct ThreadedJob {
-    spec: JobSpec,
-    attempt: usize,
+/// The executor payload: a job spec plus its retry attempt counter.
+///
+/// Public and serde-derived because the TCP substrate ships it to worker
+/// processes as the `Dispatch` frame payload; the in-process substrates
+/// just move it between threads.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ThreadedJob {
+    /// What to evaluate.
+    pub spec: JobSpec,
+    /// Retry attempt number (0 = the first dispatch).
+    pub attempt: usize,
 }
 
 /// Driver → suggestion-thread protocol. Strictly FIFO: every state
@@ -425,9 +435,47 @@ pub fn run_threaded(
     method.set_telemetry(config.telemetry.clone());
 
     if config.prefetch {
-        drive_prefetch(method, &benchmark, config, &levels, pool)
+        drive_prefetch(method, benchmark.space(), config, &levels, pool)
     } else {
-        drive_inline(method, &benchmark, config, &levels, pool)
+        drive_inline(method, benchmark.space(), config, &levels, pool)
+    }
+}
+
+/// Runs `method` on an already-connected executor — in practice a
+/// [`hypertune_cluster::TcpCluster`] of worker processes, though any
+/// [`Executor`] works. The caller owns evaluation: workers must compute
+/// the same function the benchmark's `evaluate` would, or the histories
+/// diverge (the `hypertune-worker` binary guarantees this by building
+/// its evaluator from the same benchmark registry as the driver).
+///
+/// [`ThreadedRunConfig::faults`] and [`ThreadedRunConfig::membership`]
+/// are pool-construction knobs and do not apply here — on a real
+/// cluster, faults and churn are supplied by reality.
+///
+/// # Panics
+///
+/// Panics when `config.n_workers` disagrees with the executor's actual
+/// capacity: the suggester sizes batches by the config, so a mismatch
+/// would silently under- or over-fill the cluster.
+pub fn run_distributed<E: Executor<ThreadedJob, Eval>>(
+    method: &mut dyn Method,
+    space: &ConfigSpace,
+    levels: &ResourceLevels,
+    mut executor: E,
+    config: &ThreadedRunConfig,
+) -> ThreadedRunResult {
+    assert!(config.max_evals > 0);
+    assert_eq!(
+        config.n_workers,
+        executor.n_workers(),
+        "config.n_workers must match the executor's capacity"
+    );
+    executor.set_telemetry(config.telemetry.clone());
+    method.set_telemetry(config.telemetry.clone());
+    if config.prefetch {
+        drive_prefetch(method, space, config, levels, executor)
+    } else {
+        drive_inline(method, space, config, levels, executor)
     }
 }
 
@@ -478,12 +526,12 @@ impl Tally {
 
 /// The classic driver: the method is called inline on the driver thread,
 /// one batched suggestion round per fill.
-fn drive_inline(
+fn drive_inline<E: Executor<ThreadedJob, Eval>>(
     method: &mut dyn Method,
-    benchmark: &Arc<dyn Benchmark>,
+    space: &ConfigSpace,
     config: &ThreadedRunConfig,
     levels: &ResourceLevels,
-    mut pool: ThreadPool<ThreadedJob, Eval>,
+    mut pool: E,
 ) -> ThreadedRunResult {
     let telemetry = &config.telemetry;
     let started = Instant::now();
@@ -493,7 +541,7 @@ fn drive_inline(
     let mut state = RunState::new(levels, telemetry.clone());
     let mut sg = Suggester::new(
         method,
-        benchmark.space(),
+        space,
         levels,
         Arc::clone(&state.history),
         Arc::clone(&state.pending),
@@ -524,8 +572,8 @@ fn drive_inline(
 /// Submits, or parks the job in the wait queue: membership events apply
 /// lazily inside `submit`, so a slot seen idle a moment ago can vanish by
 /// the time the job lands.
-fn submit_or_park(
-    pool: &mut ThreadPool<ThreadedJob, Eval>,
+fn submit_or_park<E: Executor<ThreadedJob, Eval>>(
+    pool: &mut E,
     queue: &mut VecDeque<ThreadedJob>,
     job: ThreadedJob,
 ) {
@@ -539,10 +587,10 @@ fn submit_or_park(
 /// finish a run whose suggestion thread died (`completed`/`dispatched`
 /// carry across the switchover).
 #[allow(clippy::too_many_arguments)]
-fn inline_loop(
+fn inline_loop<E: Executor<ThreadedJob, Eval>>(
     sg: &mut Suggester<'_>,
     state: &mut RunState,
-    pool: &mut ThreadPool<ThreadedJob, Eval>,
+    pool: &mut E,
     config: &ThreadedRunConfig,
     started: Instant,
     tally: &mut Tally,
@@ -672,12 +720,12 @@ fn inline_loop(
 /// thread (see the module docs). The driver only moves jobs between the
 /// pool and the channels, so dispatch latency is a channel round-trip
 /// when the speculation hits.
-fn drive_prefetch(
+fn drive_prefetch<E: Executor<ThreadedJob, Eval>>(
     method: &mut dyn Method,
-    benchmark: &Arc<dyn Benchmark>,
+    space: &ConfigSpace,
     config: &ThreadedRunConfig,
     levels: &ResourceLevels,
-    mut pool: ThreadPool<ThreadedJob, Eval>,
+    mut pool: E,
 ) -> ThreadedRunResult {
     let telemetry = &config.telemetry;
     let started = Instant::now();
@@ -692,7 +740,6 @@ fn drive_prefetch(
     let mut state = RunState::new(levels, telemetry.clone());
 
     std::thread::scope(|s| {
-        let space = benchmark.space();
         let suggest_telemetry = telemetry.clone();
         let sg_history = Arc::clone(&state.history);
         let sg_pending = Arc::clone(&state.pending);

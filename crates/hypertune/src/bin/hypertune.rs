@@ -4,96 +4,33 @@
 //! USAGE:
 //!   hypertune run [--bench NAME] [--method NAME] [--workers N]
 //!                 [--budget-hours H] [--seed S] [--eta E] [--trace]
+//!   hypertune cluster --workers ADDR[,ADDR...] [--bench NAME] [--method NAME]
+//!                 [--max-evals N] [--seed S] [--eta E] [--lease-secs F]
+//!                 [--eval-sleep-ms MS] [--no-prefetch] [--trace FILE]
 //!   hypertune list
 //!
 //! EXAMPLES:
 //!   hypertune run --bench nas-cifar100 --method hyper-tune --workers 8 --budget-hours 4
 //!   hypertune run --bench xgboost-covertype --method bohb --seed 7
+//!   hypertune cluster --workers 127.0.0.1:7101,127.0.0.1:7102 \
+//!       --bench counting-ones-small --max-evals 60 --trace /tmp/run.jsonl
 //!   hypertune list
 //! ```
+//!
+//! `run` drives the discrete-event simulator (virtual time); `cluster`
+//! drives real `hypertune-worker` processes over TCP (wall-clock time,
+//! see DESIGN.md §16 and the README's "Running a real cluster"). Start
+//! the workers first — `--workers` takes their listen addresses.
 //!
 //! Argument parsing is hand-rolled to keep the dependency set minimal.
 
 use hypertune::prelude::*;
-
-type BenchEntry = (&'static str, Box<dyn Fn(u64) -> Box<dyn Benchmark>>);
-
-fn benches() -> Vec<BenchEntry> {
-    vec![
-        (
-            "counting-ones",
-            Box::new(|s| Box::new(CountingOnes::new(8, 8, s))),
-        ),
-        (
-            "nas-cifar10",
-            Box::new(|s| Box::new(tasks::nas_cifar10_valid(s))),
-        ),
-        (
-            "nas-cifar100",
-            Box::new(|s| Box::new(tasks::nas_cifar100(s))),
-        ),
-        (
-            "nas-imagenet16",
-            Box::new(|s| Box::new(tasks::nas_imagenet16(s))),
-        ),
-        (
-            "xgboost-covertype",
-            Box::new(|s| Box::new(tasks::xgboost_covertype(s))),
-        ),
-        (
-            "xgboost-pokerhand",
-            Box::new(|s| Box::new(tasks::xgboost_pokerhand(s))),
-        ),
-        (
-            "xgboost-hepmass",
-            Box::new(|s| Box::new(tasks::xgboost_hepmass(s))),
-        ),
-        (
-            "xgboost-higgs",
-            Box::new(|s| Box::new(tasks::xgboost_higgs(s))),
-        ),
-        (
-            "resnet-cifar10",
-            Box::new(|s| Box::new(tasks::resnet_cifar10(s))),
-        ),
-        ("lstm-ptb", Box::new(|s| Box::new(tasks::lstm_ptb(s)))),
-        (
-            "industrial",
-            Box::new(|s| Box::new(tasks::industrial_recsys(s))),
-        ),
-        (
-            "branin",
-            Box::new(|s| Box::new(hypertune::benchmarks::BraninMf::new(10.0, s))),
-        ),
-        (
-            "hartmann6",
-            Box::new(|s| Box::new(hypertune::benchmarks::Hartmann6Mf::new(s))),
-        ),
-    ]
-}
-
-fn methods() -> Vec<(&'static str, MethodKind)> {
-    vec![
-        ("random", MethodKind::ARandom),
-        ("bo", MethodKind::BatchBo),
-        ("a-bo", MethodKind::ABo),
-        ("sha", MethodKind::Sha),
-        ("asha", MethodKind::Asha),
-        ("hyperband", MethodKind::Hyperband),
-        ("a-hyperband", MethodKind::AHyperband),
-        ("bohb", MethodKind::Bohb),
-        ("bohb-tpe", MethodKind::BohbTpe),
-        ("a-bohb", MethodKind::ABohb),
-        ("mfes-hb", MethodKind::MfesHb),
-        ("a-rea", MethodKind::ARea),
-        ("hyper-tune", MethodKind::HyperTune),
-        ("hyper-tune-tpe", MethodKind::HyperTuneTpe),
-    ]
-}
+use hypertune::registry;
+use serde_json::json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  hypertune run [--bench NAME] [--method NAME] [--workers N]\n                [--budget-hours H] [--seed S] [--eta E] [--trace]\n  hypertune list"
+        "usage:\n  hypertune run [--bench NAME] [--method NAME] [--workers N]\n                [--budget-hours H] [--seed S] [--eta E] [--trace]\n  hypertune cluster --workers ADDR[,ADDR...] [--bench NAME] [--method NAME]\n                [--max-evals N] [--seed S] [--eta E] [--lease-secs F]\n                [--eval-sleep-ms MS] [--no-prefetch] [--trace FILE]\n  hypertune list"
     );
     std::process::exit(2);
 }
@@ -103,17 +40,32 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("list") => {
             println!("benchmarks:");
-            for (name, _) in benches() {
+            for (name, _) in registry::benches() {
                 println!("  {name}");
             }
             println!("methods:");
-            for (name, _) in methods() {
+            for (name, _) in registry::methods() {
                 println!("  {name}");
             }
         }
         Some("run") => run_command(&args[1..]),
+        Some("cluster") => cluster_command(&args[1..]),
         _ => usage(),
     }
+}
+
+fn lookup_bench(name: &str, seed: u64) -> Box<dyn Benchmark> {
+    registry::make_bench(name, seed).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}` (see `hypertune list`)");
+        std::process::exit(2);
+    })
+}
+
+fn lookup_method(name: &str) -> MethodKind {
+    registry::find_method(name).unwrap_or_else(|| {
+        eprintln!("unknown method `{name}` (see `hypertune list`)");
+        std::process::exit(2);
+    })
 }
 
 fn run_command(args: &[String]) {
@@ -152,22 +104,8 @@ fn run_command(args: &[String]) {
         }
     }
 
-    let bench = benches()
-        .into_iter()
-        .find(|(n, _)| *n == bench_name)
-        .unwrap_or_else(|| {
-            eprintln!("unknown benchmark `{bench_name}` (see `hypertune list`)");
-            std::process::exit(2);
-        })
-        .1(seed);
-    let kind = methods()
-        .into_iter()
-        .find(|(n, _)| *n == method_name)
-        .unwrap_or_else(|| {
-            eprintln!("unknown method `{method_name}` (see `hypertune list`)");
-            std::process::exit(2);
-        })
-        .1;
+    let bench = lookup_bench(&bench_name, seed);
+    let kind = lookup_method(&method_name);
 
     let budget = budget_hours * 3600.0;
     let mut config = RunConfig::new(workers, budget, seed);
@@ -201,5 +139,133 @@ fn run_command(args: &[String]) {
     if trace {
         println!("\nworker trace:");
         print!("{}", result.trace.render_ascii(budget, 100));
+    }
+}
+
+fn cluster_command(args: &[String]) {
+    let mut bench_name = "counting-ones-small".to_string();
+    let mut method_name = "hyper-tune".to_string();
+    let mut worker_addrs: Vec<String> = Vec::new();
+    let mut max_evals = 60usize;
+    let mut seed = 0u64;
+    let mut eta = 3usize;
+    let mut lease_secs = 10.0f64;
+    let mut eval_sleep_ms = 0u64;
+    let mut prefetch = true;
+    let mut trace_path: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    usage()
+                })
+                .clone()
+        };
+        match flag.as_str() {
+            "--bench" => bench_name = value("--bench"),
+            "--method" => method_name = value("--method"),
+            "--workers" => {
+                worker_addrs = value("--workers")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--max-evals" => max_evals = value("--max-evals").parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--eta" => eta = value("--eta").parse().unwrap_or_else(|_| usage()),
+            "--lease-secs" => {
+                lease_secs = value("--lease-secs").parse().unwrap_or_else(|_| usage())
+            }
+            "--eval-sleep-ms" => {
+                eval_sleep_ms = value("--eval-sleep-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--no-prefetch" => prefetch = false,
+            "--trace" => trace_path = Some(value("--trace")),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if worker_addrs.is_empty() {
+        eprintln!("--workers ADDR[,ADDR...] is required (start hypertune-worker first)");
+        usage()
+    }
+
+    // The benchmark is driver-side only here: it supplies the search
+    // space and resource ladder. Evaluation happens on the workers,
+    // which build the same benchmark from this name and seed.
+    let bench = lookup_bench(&bench_name, seed);
+    let kind = lookup_method(&method_name);
+    let levels = ResourceLevels::new(bench.max_resource(), eta);
+    let mut method = kind.build(&levels, seed);
+
+    let telemetry = match &trace_path {
+        Some(path) => {
+            let sink = JsonlSink::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create trace file {path}: {e}");
+                std::process::exit(1);
+            });
+            Telemetry::new().with_sink(sink).build()
+        }
+        None => TelemetryHandle::disabled(),
+    };
+
+    let hello = json!({
+        "bench": bench_name.as_str(),
+        "seed": seed,
+        "sleep_ms": eval_sleep_ms,
+    });
+    let opts = TcpClusterOptions {
+        lease_timeout: std::time::Duration::from_secs_f64(lease_secs),
+    };
+    eprintln!(
+        "connecting to {} worker(s): {}",
+        worker_addrs.len(),
+        worker_addrs.join(", ")
+    );
+    let cluster: TcpCluster<ThreadedJob, Eval> = TcpCluster::connect(&worker_addrs, hello, opts)
+        .unwrap_or_else(|e| {
+            eprintln!("cluster connect failed: {e}");
+            std::process::exit(1);
+        });
+
+    let mut config = ThreadedRunConfig::new(cluster.n_workers(), max_evals, seed);
+    config.eta = eta;
+    config.prefetch = prefetch;
+    config.telemetry = telemetry.clone();
+
+    eprintln!(
+        "running {} on {} | {} TCP workers | {max_evals} evals | seed {seed} | eta {eta}",
+        kind.name(),
+        bench.name(),
+        worker_addrs.len(),
+    );
+    let start = std::time::Instant::now();
+    let result = run_distributed(method.as_mut(), bench.space(), &levels, cluster, &config);
+    telemetry.flush();
+    eprintln!("finished in {:.2?} of wall time", start.elapsed());
+
+    println!("method:       {}", result.method);
+    println!("best value:   {:.6}", result.best_value);
+    println!("best test:    {:.6}", result.best_test);
+    if let Some(cfg) = &result.best_config {
+        println!("best config:  {}", bench.space().describe(cfg));
+    }
+    println!(
+        "evaluations:  {} {:?}",
+        result.total_evals, result.evals_per_level
+    );
+    println!("orphaned:     {}", result.n_orphaned);
+    println!("retries:      {}", result.n_retries);
+    if let Some(opt) = bench.optimum() {
+        println!("regret:       {:.6}", (result.best_value - opt).max(0.0));
+    }
+    if let Some(path) = &trace_path {
+        println!("trace:        {path} (fold with `trace-report {path}`)");
     }
 }

@@ -76,20 +76,23 @@ pub use hypertune_space as space;
 pub use hypertune_surrogate as surrogate;
 pub use hypertune_telemetry as telemetry;
 
+pub mod registry;
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use hypertune_benchmarks::{
         tasks, Benchmark, CountingOnes, Eval, SyntheticBenchmark, SyntheticSpec, TabularNasBench,
     };
     pub use hypertune_cluster::{
-        FaultSpec, JobStatus, MembershipEvent, MembershipPlan, SimCluster, StragglerModel,
-        ThreadPool,
+        serve_worker, Executor, FaultSpec, JobStatus, MembershipEvent, MembershipPlan, SimCluster,
+        StragglerModel, TcpCluster, TcpClusterOptions, ThreadPool, WorkerOptions,
     };
     pub use hypertune_core::{
-        resume, run, run_checkpointed, BreakerConfig, CheckpointPolicy, FailureCounts, History,
-        HistoryRead, JobSpec, Measurement, Method, MethodContext, MethodKind, Outcome,
-        OutcomeStatus, ResourceLevels, ResumeError, RetryPolicy, RunConfig, RunResult, RunSnapshot,
-        SpeculationConfig,
+        resume, run, run_checkpointed, run_distributed, run_threaded, BreakerConfig,
+        CheckpointPolicy, FailureCounts, History, HistoryRead, JobSpec, Measurement, Method,
+        MethodContext, MethodKind, Outcome, OutcomeStatus, ResourceLevels, ResumeError,
+        RetryPolicy, RunConfig, RunResult, RunSnapshot, SpeculationConfig, ThreadedJob,
+        ThreadedRunConfig, ThreadedRunResult,
     };
     pub use hypertune_space::{Config, ConfigSpace, ParamValue};
     pub use hypertune_telemetry::{

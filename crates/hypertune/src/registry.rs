@@ -1,0 +1,131 @@
+//! Name → constructor registries for benchmarks and methods.
+//!
+//! Both binaries resolve names through this module: the `hypertune`
+//! driver picks the benchmark for its search space and (on the sim and
+//! thread-pool substrates) for evaluation, and the `hypertune-worker`
+//! binary builds its evaluator from the benchmark named in the `Hello`
+//! handshake. One registry on both ends is what makes the distributed
+//! substrate's histories comparable with the in-process ones: the same
+//! name and seed produce the same deterministic objective everywhere.
+
+use hypertune_benchmarks::{tasks, Benchmark, BraninMf, CountingOnes, Hartmann6Mf};
+use hypertune_core::MethodKind;
+
+/// A seeded benchmark constructor.
+pub type BenchFactory = Box<dyn Fn(u64) -> Box<dyn Benchmark>>;
+
+/// Every benchmark the binaries know, as `(name, factory)` pairs.
+pub fn benches() -> Vec<(&'static str, BenchFactory)> {
+    vec![
+        (
+            "counting-ones",
+            Box::new(|s| Box::new(CountingOnes::new(8, 8, s))),
+        ),
+        (
+            // A 4+4-dimensional variant small enough that short studies
+            // reach the optimum — used by the loopback equivalence tests
+            // and CI smoke, where "same best config as the sim" must be
+            // attainable in tens of evaluations.
+            "counting-ones-small",
+            Box::new(|s| Box::new(CountingOnes::new(4, 4, s))),
+        ),
+        (
+            "nas-cifar10",
+            Box::new(|s| Box::new(tasks::nas_cifar10_valid(s))),
+        ),
+        (
+            "nas-cifar100",
+            Box::new(|s| Box::new(tasks::nas_cifar100(s))),
+        ),
+        (
+            "nas-imagenet16",
+            Box::new(|s| Box::new(tasks::nas_imagenet16(s))),
+        ),
+        (
+            "xgboost-covertype",
+            Box::new(|s| Box::new(tasks::xgboost_covertype(s))),
+        ),
+        (
+            "xgboost-pokerhand",
+            Box::new(|s| Box::new(tasks::xgboost_pokerhand(s))),
+        ),
+        (
+            "xgboost-hepmass",
+            Box::new(|s| Box::new(tasks::xgboost_hepmass(s))),
+        ),
+        (
+            "xgboost-higgs",
+            Box::new(|s| Box::new(tasks::xgboost_higgs(s))),
+        ),
+        (
+            "resnet-cifar10",
+            Box::new(|s| Box::new(tasks::resnet_cifar10(s))),
+        ),
+        ("lstm-ptb", Box::new(|s| Box::new(tasks::lstm_ptb(s)))),
+        (
+            "industrial",
+            Box::new(|s| Box::new(tasks::industrial_recsys(s))),
+        ),
+        ("branin", Box::new(|s| Box::new(BraninMf::new(10.0, s)))),
+        ("hartmann6", Box::new(|s| Box::new(Hartmann6Mf::new(s)))),
+    ]
+}
+
+/// Builds the benchmark registered under `name`, or `None`.
+pub fn make_bench(name: &str, seed: u64) -> Option<Box<dyn Benchmark>> {
+    benches()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, f)| f(seed))
+}
+
+/// Every tuning method the binaries know, as `(name, kind)` pairs.
+pub fn methods() -> Vec<(&'static str, MethodKind)> {
+    vec![
+        ("random", MethodKind::ARandom),
+        ("bo", MethodKind::BatchBo),
+        ("a-bo", MethodKind::ABo),
+        ("sha", MethodKind::Sha),
+        ("asha", MethodKind::Asha),
+        ("hyperband", MethodKind::Hyperband),
+        ("a-hyperband", MethodKind::AHyperband),
+        ("bohb", MethodKind::Bohb),
+        ("bohb-tpe", MethodKind::BohbTpe),
+        ("a-bohb", MethodKind::ABohb),
+        ("mfes-hb", MethodKind::MfesHb),
+        ("a-rea", MethodKind::ARea),
+        ("hyper-tune", MethodKind::HyperTune),
+        ("hyper-tune-tpe", MethodKind::HyperTuneTpe),
+    ]
+}
+
+/// Looks up the method registered under `name`, or `None`.
+pub fn find_method(name: &str) -> Option<MethodKind> {
+    methods()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, k)| k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_bench_constructs_and_names_resolve() {
+        for (name, factory) in benches() {
+            let b = factory(3);
+            assert!(b.max_resource() >= 1.0, "{name}");
+            assert!(make_bench(name, 3).is_some());
+        }
+        assert!(make_bench("no-such-bench", 0).is_none());
+    }
+
+    #[test]
+    fn every_method_resolves() {
+        for (name, kind) in methods() {
+            assert_eq!(find_method(name).map(|k| k.name()), Some(kind.name()));
+        }
+        assert!(find_method("no-such-method").is_none());
+    }
+}

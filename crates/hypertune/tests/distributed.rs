@@ -1,0 +1,252 @@
+//! Loopback tests for the TCP substrate: substrate equivalence and
+//! exactly-once accounting under real process death.
+//!
+//! Three layers of evidence, matching DESIGN.md §16's claims:
+//!
+//! 1. **TcpCluster ≡ ThreadPool** — at one worker (deterministic
+//!    completion order) the two real substrates must produce the same
+//!    measurement stream bit-for-bit, with either driver.
+//! 2. **TcpCluster ≡ SimCluster** — the simulator at one worker emits
+//!    the identical suggestion/measurement stream, so a TCP study's
+//!    best configuration equals the sim's over the same eval prefix.
+//! 3. **kill -9 exactly-once** — a real `hypertune-worker` *process*
+//!    SIGKILLed mid-evaluation must surface as an orphan, be retried,
+//!    and leave a telemetry trace whose reconciliation shows zero
+//!    duplicated completions.
+
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hypertune::core::run_distributed;
+use hypertune::prelude::*;
+use hypertune::registry;
+use serde_json::json;
+
+/// Serves one in-process worker session for `bench_name`, mirroring the
+/// `hypertune-worker` binary's evaluator (same registry, same seed
+/// plumbing) without the process-spawn overhead.
+fn spawn_inproc_worker(bench_name: &'static str, seed: u64) -> String {
+    use hypertune::cluster::EvalFn;
+    use serde::{Deserialize, Value};
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let opts = WorkerOptions {
+        heartbeat_interval: Duration::from_millis(50),
+        once: true,
+    };
+    std::thread::spawn(move || {
+        serve_worker(listener, opts, move |_hello: &Value| {
+            let bench = registry::make_bench(bench_name, seed).expect("registered bench");
+            Ok(Box::new(move |payload: &Value| {
+                let job = ThreadedJob::from_value(payload).expect("well-formed dispatch");
+                let eval = bench.evaluate(&job.spec.config, job.spec.resource, seed);
+                (JobStatus::Succeeded, serde_json::to_value(&eval))
+            }) as EvalFn)
+        })
+    });
+    addr
+}
+
+fn connect_one(addr: String, seed: u64) -> TcpCluster<ThreadedJob, Eval> {
+    TcpCluster::connect(
+        &[addr],
+        json!({"bench": "counting-ones-small", "seed": seed}),
+        TcpClusterOptions::default(),
+    )
+    .expect("loopback connect")
+}
+
+/// The parallelism-insensitive fingerprint of a measurement stream:
+/// everything but the wall-clock timestamp.
+fn keys(ms: &[Measurement]) -> Vec<(Config, usize, u64, u64, u64, u64)> {
+    ms.iter()
+        .map(|m| {
+            (
+                m.config.clone(),
+                m.level,
+                m.resource.to_bits(),
+                m.value.to_bits(),
+                m.test_value.to_bits(),
+                m.cost.to_bits(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn tcp_matches_thread_pool_bit_identical_at_one_worker() {
+    const SEED: u64 = 5;
+    for prefetch in [false, true] {
+        let bench: Arc<dyn Benchmark> = Arc::new(CountingOnes::new(4, 4, SEED));
+        let levels = ResourceLevels::new(bench.max_resource(), 3);
+        let mut cfg = ThreadedRunConfig::new(1, 30, SEED);
+        cfg.prefetch = prefetch;
+
+        let mut m_pool = MethodKind::HyperTune.build(&levels, SEED);
+        let pool_run = run_threaded(m_pool.as_mut(), Arc::clone(&bench), &cfg);
+
+        let addr = spawn_inproc_worker("counting-ones-small", SEED);
+        let cluster = connect_one(addr, SEED);
+        let mut m_tcp = MethodKind::HyperTune.build(&levels, SEED);
+        let tcp_run = run_distributed(m_tcp.as_mut(), bench.space(), &levels, cluster, &cfg);
+
+        assert_eq!(
+            keys(&pool_run.measurements),
+            keys(&tcp_run.measurements),
+            "prefetch={prefetch}: the wire must not change the study"
+        );
+        assert_eq!(
+            pool_run.best_value.to_bits(),
+            tcp_run.best_value.to_bits(),
+            "prefetch={prefetch}"
+        );
+        assert_eq!(pool_run.best_config, tcp_run.best_config);
+    }
+}
+
+#[test]
+fn tcp_matches_sim_stream_and_best_config_at_one_worker() {
+    const SEED: u64 = 11;
+    const EVALS: usize = 40;
+    let bench: Box<dyn Benchmark> = Box::new(CountingOnes::new(4, 4, SEED));
+    let levels = ResourceLevels::new(bench.max_resource(), 3);
+
+    // Sim: generous virtual budget, then truncate to the same prefix.
+    let mut m_sim = MethodKind::HyperTune.build(&levels, SEED);
+    let sim = run(
+        m_sim.as_mut(),
+        bench.as_ref(),
+        &RunConfig::new(1, 1000.0, SEED),
+    );
+    assert!(
+        sim.measurements.len() >= EVALS,
+        "budget too small for prefix"
+    );
+
+    let addr = spawn_inproc_worker("counting-ones-small", SEED);
+    let cluster = connect_one(addr, SEED);
+    let mut m_tcp = MethodKind::HyperTune.build(&levels, SEED);
+    let mut cfg = ThreadedRunConfig::new(1, EVALS, SEED);
+    cfg.prefetch = false;
+    let tcp = run_distributed(m_tcp.as_mut(), bench.space(), &levels, cluster, &cfg);
+
+    // The streams agree measurement-for-measurement...
+    assert_eq!(keys(&sim.measurements[..EVALS]), keys(&tcp.measurements));
+    // ...so the best configuration over the shared prefix is the same
+    // config (the ISSUE acceptance criterion, in its strongest form).
+    // "Best" follows `HistoryRead::incumbent`: the best *complete*
+    // (full-resource) evaluation, falling back to any level.
+    let max_r = bench.max_resource();
+    let prefix = &sim.measurements[..EVALS];
+    let by_value = |a: &&Measurement, b: &&Measurement| a.value.total_cmp(&b.value);
+    let sim_best = prefix
+        .iter()
+        .filter(|m| m.resource == max_r)
+        .min_by(by_value)
+        .or_else(|| prefix.iter().min_by(by_value))
+        .expect("non-empty prefix");
+    assert_eq!(Some(&sim_best.config), tcp.best_config.as_ref());
+    assert_eq!(sim_best.value.to_bits(), tcp.best_value.to_bits());
+}
+
+/// Spawns a real `hypertune-worker` process and parses its bound address
+/// off stdout.
+fn spawn_worker_process() -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hypertune-worker"))
+        .args(["--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn hypertune-worker");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    use std::io::BufRead;
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("worker announces its address");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn kill_nine_mid_run_is_exactly_once() {
+    const SEED: u64 = 9;
+    let (mut victim, addr_a) = spawn_worker_process();
+    let (mut survivor, addr_b) = spawn_worker_process();
+
+    // 60ms per eval: slow enough that the victim is reliably
+    // mid-evaluation when the SIGKILL lands, fast enough for CI.
+    let hello = json!({"bench": "counting-ones-small", "seed": SEED, "sleep_ms": 60});
+    let cluster: TcpCluster<ThreadedJob, Eval> = TcpCluster::connect(
+        &[addr_a, addr_b],
+        hello,
+        TcpClusterOptions {
+            lease_timeout: Duration::from_secs(2),
+        },
+    )
+    .expect("connect to both worker processes");
+
+    // SIGKILL the first worker shortly into the run, from a side thread
+    // (the driver thread is busy inside run_distributed).
+    let killer = {
+        let pid = victim.id();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            nix_kill(pid);
+        })
+    };
+
+    let bench: Box<dyn Benchmark> = Box::new(CountingOnes::new(4, 4, SEED));
+    let levels = ResourceLevels::new(bench.max_resource(), 3);
+    let mut method = MethodKind::HyperTune.build(&levels, SEED);
+    let ring = RingBufferSink::new(1 << 16);
+    let mut cfg = ThreadedRunConfig::new(2, 25, SEED);
+    cfg.telemetry = Telemetry::new().with_sink(ring.clone()).build();
+    let result = run_distributed(method.as_mut(), bench.space(), &levels, cluster, &cfg);
+
+    killer.join().unwrap();
+    let _ = victim.kill();
+    let _ = victim.wait();
+    let _ = survivor.kill();
+    let _ = survivor.wait();
+
+    assert_eq!(result.total_evals, 25, "the run must finish on one worker");
+    assert!(
+        result.n_orphaned >= 1,
+        "the SIGKILLed worker's job must orphan (orphaned={})",
+        result.n_orphaned
+    );
+    assert!(
+        result.n_retries >= 1,
+        "the orphan must re-enter the retry path"
+    );
+
+    // Exactly-once, by the book: fold the trace and reconcile.
+    let summary = TraceSummary::from_records(&ring.snapshot());
+    assert_eq!(
+        summary.duplicated_trials(),
+        0,
+        "no trial may complete twice:\n{}",
+        summary.render()
+    );
+    assert!(
+        summary.render().contains("0 duplicated"),
+        "trace-report must show `0 duplicated`"
+    );
+    for m in &result.measurements {
+        assert!(m.value.is_finite(), "orphans must never enter history");
+    }
+}
+
+/// A literal `kill -9` by pid. `Child::kill` also sends SIGKILL on
+/// unix, but it needs `&mut Child`, which the main thread still owns
+/// for the post-run `wait`; the killer thread only gets the pid.
+fn nix_kill(pid: u32) {
+    let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
+}

@@ -31,6 +31,12 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 step "cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+# The distributed substrate's public surface must stay documented: the
+# wire protocol and the TCP driver/worker API each get a rustdoc page.
+test -f target/doc/hypertune_cluster/proto/enum.Frame.html
+test -f target/doc/hypertune_cluster/net/struct.TcpCluster.html
+test -f target/doc/hypertune_cluster/net/fn.serve_worker.html
+test -f target/doc/hypertune_cluster/executor/trait.Executor.html
 
 step "robustness smoke (fault-rate sweep)"
 HYPERTUNE_BUDGET_DIV=96 cargo run --release -q -p hypertune-bench \
@@ -77,5 +83,38 @@ cargo test -q -p hypertune-core --offline batch_rescore_ops_counter_is_linear_in
 
 step "prefetch determinism smoke (batch k=1 + prefetch/inline agreement)"
 PROPTEST_CASES=2 cargo test -q -p hypertune --offline --test batch_dispatch
+
+step "TCP loopback smoke (real workers, kill -9 mid-run, exactly-once)"
+# A real distributed study over localhost: two hypertune-worker
+# processes on OS-assigned ports, one SIGKILLed mid-evaluation. The run
+# must complete on the survivor, and replaying the JSONL trace must
+# reconcile with zero duplicated trials (DESIGN.md §16). The in-tree
+# integration tests (crates/hypertune/tests/distributed.rs) cover the
+# same path plus sim/ThreadPool bit-equivalence; this step exercises
+# the shipped binaries end to end, the way an operator would run them.
+cargo build --release -q -p hypertune --offline --bins
+WORKER=target/release/hypertune-worker
+mkfifo target/worker-a.fifo target/worker-b.fifo 2>/dev/null || true
+"$WORKER" --listen 127.0.0.1:0 --once > target/worker-a.fifo &
+WORKER_A_PID=$!
+"$WORKER" --listen 127.0.0.1:0 --once > target/worker-b.fifo &
+WORKER_B_PID=$!
+read -r _ _ ADDR_A < target/worker-a.fifo
+read -r _ _ ADDR_B < target/worker-b.fifo
+( sleep 0.3; kill -9 "$WORKER_A_PID" 2>/dev/null || true ) &
+KILLER_PID=$!
+target/release/hypertune cluster \
+  --workers "$ADDR_A,$ADDR_B" --bench counting-ones-small \
+  --method hyper-tune --max-evals 30 --seed 7 --lease-secs 2 \
+  --eval-sleep-ms 40 --trace target/loopback-trace.jsonl \
+  > target/loopback.out
+wait "$KILLER_PID"
+kill "$WORKER_B_PID" 2>/dev/null || true
+wait "$WORKER_B_PID" 2>/dev/null || true
+rm -f target/worker-a.fifo target/worker-b.fifo
+grep -q "evaluations:  30" target/loopback.out
+cargo run --release -q -p hypertune-bench --offline --bin trace-report -- \
+  target/loopback-trace.jsonl > target/loopback-report.out
+grep -q "; 0 duplicated" target/loopback-report.out
 
 step "OK"
