@@ -4,6 +4,9 @@
 //!
 //! ```text
 //! trace-report <log.jsonl>...       summarize existing logs
+//! trace-report --per-study <log.jsonl>...
+//!                                   split multi-tenant service logs by
+//!                                   study id, one summary per tenant
 //! trace-report --demo [out.jsonl]   run a small traced Hyper-Tune run,
 //!                                   write its log, then summarize it
 //! ```
@@ -11,13 +14,19 @@
 //! `--demo` is the end-to-end smoke path used by CI: it attaches a
 //! [`JsonlSink`] to a seeded run on the counting-ones benchmark, reads
 //! the log back, and prints the report.
+//!
+//! `--per-study` is the multi-tenant view: `hypertune serve` stamps
+//! every event with its study id, and this mode partitions the log by
+//! that stamp ([`TraceSummary::per_tenant`]) before summarizing, so the
+//! restart drill in CI can assert `duplicated trials: 0` per tenant
+//! rather than only in aggregate.
 
 use std::process::ExitCode;
 
 use hypertune::prelude::*;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: trace-report <log.jsonl>...");
+    eprintln!("usage: trace-report [--per-study] <log.jsonl>...");
     eprintln!("       trace-report --demo [out.jsonl]");
     ExitCode::from(2)
 }
@@ -26,6 +35,20 @@ fn report(path: &str) -> std::io::Result<()> {
     let records = read_jsonl(path)?;
     println!("== {path} ==");
     print!("{}", TraceSummary::from_records(&records).render());
+    Ok(())
+}
+
+fn report_per_study(path: &str) -> std::io::Result<()> {
+    let records = read_jsonl(path)?;
+    println!("== {path} ==");
+    for (tenant, summary) in TraceSummary::per_tenant(&records) {
+        match tenant {
+            Some(id) => println!("-- study {id} --"),
+            None => println!("-- untenanted events --"),
+        }
+        print!("{}", summary.render());
+        println!("duplicated trials: {}", summary.duplicated_trials());
+    }
     Ok(())
 }
 
@@ -56,6 +79,12 @@ fn main() -> ExitCode {
                 .cloned()
                 .unwrap_or_else(|| default.to_string_lossy().into_owned());
             demo(&path)
+        }
+        Some((flag, rest)) if flag == "--per-study" => {
+            if rest.is_empty() {
+                return usage();
+            }
+            rest.iter().try_for_each(|path| report_per_study(path))
         }
         Some(_) => args.iter().try_for_each(|path| report(path)),
         None => return usage(),

@@ -43,6 +43,7 @@
 //! | [`ranking`] | Cross-level ranking loss behind θ |
 //! | [`lce`] | Learning-curve extrapolation for the LCE-Stop baseline |
 //! | [`persist`] | Checkpoints and write-ahead run snapshots |
+//! | [`tenant`] | Per-study runtime state for the multi-tenant service |
 //! | [`breaker`] | Quarantine-storm circuit breaker (graceful degradation) |
 //! | [`diagnostics`] | θ history, bracket starts/promotions/failures |
 //!
@@ -69,6 +70,7 @@ pub mod runner;
 pub mod runner_threaded;
 pub mod sampler;
 pub mod shared;
+pub mod tenant;
 
 pub use breaker::{Breaker, BreakerConfig, BreakerTransition};
 pub use diagnostics::{failure_kind, Diagnostics, FailureCounts};
@@ -76,7 +78,7 @@ pub use history::{top_indices_uncached, History, HistoryRead, Measurement};
 pub use levels::ResourceLevels;
 pub use method::{JobSpec, Method, MethodContext, Outcome, OutcomeStatus};
 pub use methods::MethodKind;
-pub use persist::{Checkpoint, RunRecord, RunSnapshot, SubmissionRecord};
+pub use persist::{Checkpoint, RunRecord, RunSnapshot, SubmissionRecord, WalWriter};
 pub use runner::{
     resume, run, run_checkpointed, CheckpointPolicy, ResumeError, RetryPolicy, RunConfig,
     RunResult, SpeculationConfig,
@@ -85,3 +87,4 @@ pub use runner_threaded::{
     run_distributed, run_threaded, ThreadedJob, ThreadedRunConfig, ThreadedRunResult,
 };
 pub use shared::{HistoryView, ShardedPending, SharedHistory};
+pub use tenant::StudyRuntime;

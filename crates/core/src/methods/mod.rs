@@ -29,7 +29,11 @@ use crate::method::Method;
 use crate::sampler::{BoSampler, MfesSampler, RandomSampler, TpeSampler};
 
 /// Every method evaluated in the paper, as a buildable enum.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Serde-derived (unit variants serialize as their names, e.g.
+/// `"HyperTune"`) so a study spec can name its method in a JSONL
+/// command stream or a sidecar file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum MethodKind {
     /// Asynchronous random search with complete evaluations.
     ARandom,

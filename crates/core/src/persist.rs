@@ -279,6 +279,75 @@ impl RunSnapshot {
     }
 }
 
+/// An incremental writer over the [`RunSnapshot`] WAL format, for
+/// drivers that learn results one at a time instead of saving a whole
+/// snapshot at once — the multi-tenant service keeps one per study.
+///
+/// Records append in arrival order and each append flushes to the OS,
+/// so a killed driver loses at most the line it was writing — which
+/// [`RunSnapshot::load`] recovers from as a torn tail. Unlike the
+/// simulator's save path, submissions and measurements may interleave;
+/// the loader accepts any order after the header.
+pub struct WalWriter {
+    w: BufWriter<std::fs::File>,
+}
+
+impl std::fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalWriter").finish_non_exhaustive()
+    }
+}
+
+impl WalWriter {
+    /// Creates (truncating) the WAL at `path` and writes the header
+    /// line for `seed`.
+    pub fn create(path: &Path, seed: u64) -> std::io::Result<Self> {
+        Self::create_from(
+            path,
+            &RunSnapshot {
+                seed,
+                submissions: Vec::new(),
+                measurements: Vec::new(),
+            },
+        )
+    }
+
+    /// Creates the WAL at `path` pre-populated with `snapshot`'s
+    /// records — compaction for a recovered study: rewrite what was
+    /// loaded, then keep appending.
+    pub fn create_from(path: &Path, snapshot: &RunSnapshot) -> std::io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(file);
+        let mut header = serde::Map::new();
+        header.insert("version".to_string(), Serialize::to_value(&WAL_VERSION));
+        header.insert("seed".to_string(), Serialize::to_value(&snapshot.seed));
+        write_record(&mut w, &tagged("Header", serde::Value::Object(header)))?;
+        for s in &snapshot.submissions {
+            write_record(&mut w, &tagged("Submission", Serialize::to_value(s)))?;
+        }
+        for m in &snapshot.measurements {
+            write_record(&mut w, &tagged("Measurement", Serialize::to_value(m)))?;
+        }
+        w.flush()?;
+        Ok(Self { w })
+    }
+
+    /// Appends one submission line and flushes.
+    pub fn append_submission(&mut self, s: &SubmissionRecord) -> std::io::Result<()> {
+        write_record(&mut self.w, &tagged("Submission", Serialize::to_value(s)))?;
+        self.w.flush()
+    }
+
+    /// Appends one measurement line and flushes.
+    pub fn append_measurement(&mut self, m: &Measurement) -> std::io::Result<()> {
+        write_record(&mut self.w, &tagged("Measurement", Serialize::to_value(m)))?;
+        self.w.flush()
+    }
+}
+
 /// Serializable summary of a finished run (everything in [`RunResult`]
 /// except the in-memory trace), for experiment archival.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -514,6 +583,42 @@ mod tests {
         assert_eq!(back.seed, snap.seed);
         assert_eq!(back.submissions, snap.submissions);
         assert_eq!(back.measurements.len(), 3);
+    }
+
+    #[test]
+    fn wal_writer_appends_load_as_a_snapshot() {
+        let fixture = snapshot_fixture(4);
+        let path = temp_wal("writer");
+        {
+            let mut w = WalWriter::create(&path, fixture.seed).unwrap();
+            // Interleave, the way a live service learns results.
+            for (s, m) in fixture.submissions.iter().zip(&fixture.measurements) {
+                w.append_submission(s).unwrap();
+                w.append_measurement(m).unwrap();
+            }
+        }
+        let back = RunSnapshot::load(&path).unwrap();
+        cleanup(&path);
+        assert_eq!(back.seed, fixture.seed);
+        assert_eq!(back.submissions, fixture.submissions);
+        assert_eq!(back.measurements.len(), fixture.measurements.len());
+    }
+
+    #[test]
+    fn wal_writer_create_from_compacts_then_extends() {
+        let fixture = snapshot_fixture(3);
+        let path = temp_wal("compact");
+        fixture.save(&path).unwrap();
+        let recovered = RunSnapshot::load(&path).unwrap();
+        {
+            let mut w = WalWriter::create_from(&path, &recovered).unwrap();
+            w.append_measurement(&measurement(1, 0.33, 99.0)).unwrap();
+        }
+        let back = RunSnapshot::load(&path).unwrap();
+        cleanup(&path);
+        assert_eq!(back.submissions, fixture.submissions);
+        assert_eq!(back.measurements.len(), 4);
+        assert_eq!(back.measurements[3].finished_at, 99.0);
     }
 
     #[test]

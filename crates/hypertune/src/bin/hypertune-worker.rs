@@ -24,12 +24,23 @@
 //! so fault drills can kill a worker *mid-job* deterministically). The
 //! evaluator is built from the same registry the driver uses, which is
 //! what keeps distributed histories bit-comparable with in-process ones.
+//!
+//! A multi-tenant service driver (`hypertune serve`) instead sends
+//! `{"multi_study": true}` in its `Hello`: dispatches are then
+//! [`ServiceJob`]s carrying their own `(bench, seed)` coordinates, and
+//! the worker resolves benchmark instances per job (cached per pair),
+//! since consecutive jobs may belong to different studies tuning
+//! different objectives.
 
+use hypertune::benchmarks::Benchmark;
 use hypertune::cluster::{serve_worker, EvalFn, JobStatus, WorkerOptions};
 use hypertune::core::ThreadedJob;
 use hypertune::registry;
+use hypertune::service::ServiceJob;
 use serde::{Deserialize, Value};
+use std::collections::BTreeMap;
 use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
 
 fn usage() -> ! {
     eprintln!("usage: hypertune-worker [--listen ADDR] [--once]");
@@ -77,12 +88,56 @@ fn main() {
         let obj = hello
             .as_object()
             .ok_or_else(|| "Hello payload must be an object".to_string())?;
+        let sleep_ms = obj.get("sleep_ms").and_then(|v| v.as_u64()).unwrap_or(0);
+        if obj
+            .get("multi_study")
+            .and_then(|v| v.as_bool())
+            .unwrap_or(false)
+        {
+            // Multi-tenant fleet mode: every dispatch names its own
+            // benchmark; instances are cached per (name, seed) pair.
+            eprintln!("hypertune-worker: session opened: multi-study fleet mode");
+            let cache: Mutex<BTreeMap<(String, u64), Arc<dyn Benchmark>>> =
+                Mutex::new(BTreeMap::new());
+            return Ok(Box::new(move |payload: &Value| {
+                let job = match ServiceJob::from_value(payload) {
+                    Ok(job) => job,
+                    Err(e) => {
+                        eprintln!("hypertune-worker: undecodable service dispatch: {e}");
+                        return (JobStatus::Errored, Value::Null);
+                    }
+                };
+                let key = (job.bench.clone(), job.bench_seed);
+                let bench = {
+                    let mut cache = cache.lock().expect("bench cache poisoned");
+                    match cache.get(&key) {
+                        Some(b) => Arc::clone(b),
+                        None => match registry::make_bench(&job.bench, job.bench_seed) {
+                            Some(b) => {
+                                let b: Arc<dyn Benchmark> = Arc::from(b);
+                                cache.insert(key, Arc::clone(&b));
+                                b
+                            }
+                            None => {
+                                eprintln!("hypertune-worker: unknown benchmark `{}`", job.bench);
+                                return (JobStatus::Errored, Value::Null);
+                            }
+                        },
+                    }
+                };
+                if sleep_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
+                }
+                let eval =
+                    bench.evaluate(&job.job.spec.config, job.job.spec.resource, job.bench_seed);
+                (JobStatus::Succeeded, serde_json::to_value(&eval))
+            }) as EvalFn);
+        }
         let bench_name = obj
             .get("bench")
             .and_then(|v| v.as_str())
             .ok_or_else(|| "Hello payload needs a `bench` string".to_string())?;
         let seed = obj.get("seed").and_then(|v| v.as_u64()).unwrap_or(0);
-        let sleep_ms = obj.get("sleep_ms").and_then(|v| v.as_u64()).unwrap_or(0);
         let bench = registry::make_bench(bench_name, seed)
             .ok_or_else(|| format!("unknown benchmark `{bench_name}`"))?;
         eprintln!("hypertune-worker: session opened: bench={bench_name} seed={seed}");

@@ -7,6 +7,8 @@
 //!   hypertune cluster --workers ADDR[,ADDR...] [--bench NAME] [--method NAME]
 //!                 [--max-evals N] [--seed S] [--eta E] [--lease-secs F]
 //!                 [--eval-sleep-ms MS] [--no-prefetch] [--trace FILE]
+//!   hypertune serve [--pool N | --workers ADDR[,ADDR...]] [--state-dir DIR]
+//!                 [--script FILE] [--resume] [--lease-secs F] [--trace FILE]
 //!   hypertune list
 //!
 //! EXAMPLES:
@@ -14,6 +16,7 @@
 //!   hypertune run --bench xgboost-covertype --method bohb --seed 7
 //!   hypertune cluster --workers 127.0.0.1:7101,127.0.0.1:7102 \
 //!       --bench counting-ones-small --max-evals 60 --trace /tmp/run.jsonl
+//!   hypertune serve --pool 8 --state-dir /tmp/studies --script studies.jsonl
 //!   hypertune list
 //! ```
 //!
@@ -21,6 +24,26 @@
 //! drives real `hypertune-worker` processes over TCP (wall-clock time,
 //! see DESIGN.md §16 and the README's "Running a real cluster"). Start
 //! the workers first — `--workers` takes their listen addresses.
+//!
+//! `serve` runs the multi-tenant tuning service (DESIGN.md §17): many
+//! studies fair-shared over one fleet — an in-process thread pool
+//! (`--pool N`) or TCP workers started in multi-study mode
+//! (`--workers`). Studies are driven by a JSONL command script, one
+//! object per line:
+//!
+//! ```text
+//!   {"cmd":"create","name":"lr-sweep","bench":"counting-ones-small",
+//!    "method":"hyper-tune","seed":1,"max_evals":16,"weight":2,"max_in_flight":4}
+//!   {"cmd":"run","completions":40}     # process 40 fleet results
+//!   {"cmd":"stop","study":1}           # stop a study by id
+//!   {"cmd":"drain"}                    # finish every live study
+//!   {"cmd":"status"}                   # print the per-study summary
+//! ```
+//!
+//! With `--state-dir`, every study persists a WAL + sidecar there;
+//! `--resume` recovers them on startup (and, when no `--script` is
+//! given, drains the survivors to completion) — kill the service
+//! mid-run, restart with `--resume`, and no trial is ever booked twice.
 //!
 //! Argument parsing is hand-rolled to keep the dependency set minimal.
 
@@ -30,7 +53,7 @@ use serde_json::json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  hypertune run [--bench NAME] [--method NAME] [--workers N]\n                [--budget-hours H] [--seed S] [--eta E] [--trace]\n  hypertune cluster --workers ADDR[,ADDR...] [--bench NAME] [--method NAME]\n                [--max-evals N] [--seed S] [--eta E] [--lease-secs F]\n                [--eval-sleep-ms MS] [--no-prefetch] [--trace FILE]\n  hypertune list"
+        "usage:\n  hypertune run [--bench NAME] [--method NAME] [--workers N]\n                [--budget-hours H] [--seed S] [--eta E] [--trace]\n  hypertune cluster --workers ADDR[,ADDR...] [--bench NAME] [--method NAME]\n                [--max-evals N] [--seed S] [--eta E] [--lease-secs F]\n                [--eval-sleep-ms MS] [--no-prefetch] [--trace FILE]\n  hypertune serve [--pool N | --workers ADDR[,ADDR...]] [--state-dir DIR]\n                [--script FILE] [--resume] [--lease-secs F] [--trace FILE]\n  hypertune list"
     );
     std::process::exit(2);
 }
@@ -50,6 +73,7 @@ fn main() {
         }
         Some("run") => run_command(&args[1..]),
         Some("cluster") => cluster_command(&args[1..]),
+        Some("serve") => serve_command(&args[1..]),
         _ => usage(),
     }
 }
@@ -268,4 +292,226 @@ fn cluster_command(args: &[String]) {
     if let Some(path) = &trace_path {
         println!("trace:        {path} (fold with `trace-report {path}`)");
     }
+}
+
+/// `hypertune serve`: the multi-tenant service driver (DESIGN.md §17).
+fn serve_command(args: &[String]) {
+    let mut pool = 4usize;
+    let mut worker_addrs: Vec<String> = Vec::new();
+    let mut state_dir: Option<String> = None;
+    let mut script: Option<String> = None;
+    let mut resume = false;
+    let mut lease_secs = 10.0f64;
+    let mut trace_path: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    usage()
+                })
+                .clone()
+        };
+        match flag.as_str() {
+            "--pool" => pool = value("--pool").parse().unwrap_or_else(|_| usage()),
+            "--workers" => {
+                worker_addrs = value("--workers")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--state-dir" => state_dir = Some(value("--state-dir")),
+            "--script" => script = Some(value("--script")),
+            "--resume" => resume = true,
+            "--lease-secs" => {
+                lease_secs = value("--lease-secs").parse().unwrap_or_else(|_| usage())
+            }
+            "--trace" => trace_path = Some(value("--trace")),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+
+    let telemetry = match &trace_path {
+        Some(path) => {
+            let sink = JsonlSink::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create trace file {path}: {e}");
+                std::process::exit(1);
+            });
+            Telemetry::new().with_sink(sink).build()
+        }
+        None => TelemetryHandle::disabled(),
+    };
+    let mut config = ServiceConfig::new().with_telemetry(telemetry.clone());
+    if let Some(dir) = &state_dir {
+        config = config.with_state_dir(dir);
+    }
+    let resolver: hypertune::service::BenchResolver = std::sync::Arc::new(registry::make_bench);
+
+    if worker_addrs.is_empty() {
+        eprintln!("serving on an in-process pool of {pool} workers");
+        let executor: ThreadPool<ServiceJob, Eval> =
+            ThreadPool::new(pool, pool_eval(resolver.clone()));
+        serve_with(executor, resolver, config, script, resume, telemetry);
+    } else {
+        eprintln!(
+            "serving on {} TCP worker(s): {}",
+            worker_addrs.len(),
+            worker_addrs.join(", ")
+        );
+        let hello = json!({ "multi_study": true });
+        let opts = TcpClusterOptions {
+            lease_timeout: std::time::Duration::from_secs_f64(lease_secs),
+        };
+        let cluster: TcpCluster<ServiceJob, Eval> = TcpCluster::connect(&worker_addrs, hello, opts)
+            .unwrap_or_else(|e| {
+                eprintln!("cluster connect failed: {e}");
+                std::process::exit(1);
+            });
+        serve_with(cluster, resolver, config, script, resume, telemetry);
+    }
+}
+
+/// Drives one service instance over any executor substrate: recover,
+/// run the JSONL script (or drain, when no script is given), print the
+/// per-study summary.
+fn serve_with<E: Executor<ServiceJob, Eval>>(
+    executor: E,
+    resolver: hypertune::service::BenchResolver,
+    config: ServiceConfig,
+    script: Option<String>,
+    resume: bool,
+    telemetry: TelemetryHandle,
+) {
+    let mut svc = TuningService::new(executor, resolver, config).unwrap_or_else(|e| {
+        eprintln!("service start failed: {e}");
+        std::process::exit(1);
+    });
+    if resume {
+        let recovered = svc.recover().unwrap_or_else(|e| {
+            eprintln!("recovery failed: {e}");
+            std::process::exit(1);
+        });
+        for h in &recovered {
+            println!(
+                "recovered study {} status={:?}",
+                h.id(),
+                svc.status(*h).expect("just recovered")
+            );
+        }
+    }
+    match script {
+        Some(path) => run_script(&mut svc, &path),
+        // No script: finish whatever is live (typically recovered
+        // studies after a restart).
+        None => svc.drain().unwrap_or_else(|e| {
+            eprintln!("drain failed: {e}");
+            std::process::exit(1);
+        }),
+    }
+    print_service_summary(&svc);
+    telemetry.flush();
+}
+
+/// Executes a JSONL command script against a live service; see the
+/// module docs for the command set.
+fn run_script<E: Executor<ServiceJob, Eval>>(svc: &mut TuningService<E>, path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read script {path}: {e}");
+        std::process::exit(1);
+    });
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fail = |msg: String| -> ! {
+            eprintln!("script {path}:{}: {msg}", i + 1);
+            std::process::exit(1);
+        };
+        let v: serde::Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => fail(format!("bad JSON: {e}")),
+        };
+        match v["cmd"].as_str() {
+            Some("create") => {
+                let name = v["name"].as_str().unwrap_or("study").to_string();
+                let bench = v["bench"].as_str().unwrap_or("counting-ones-small");
+                let method = lookup_method(v["method"].as_str().unwrap_or("hyper-tune"));
+                let mut spec = StudySpec::new(name.clone(), bench, method);
+                if let Some(s) = v["seed"].as_u64() {
+                    spec.seed = s;
+                }
+                if let Some(n) = v["max_evals"].as_u64() {
+                    spec.max_evals = n as usize;
+                }
+                if let Some(n) = v["eta"].as_u64() {
+                    spec.eta = n as usize;
+                }
+                if let Some(w) = v["weight"].as_u64() {
+                    spec.weight = w;
+                }
+                if let Some(n) = v["max_in_flight"].as_u64() {
+                    spec.max_in_flight = n as usize;
+                }
+                match svc.create_study(spec) {
+                    Ok(h) => println!("created study {} ({name})", h.id()),
+                    Err(e) => fail(format!("create failed: {e}")),
+                }
+            }
+            Some("stop") => {
+                let id = v["study"]
+                    .as_u64()
+                    .unwrap_or_else(|| fail("stop needs a `study` id".to_string()));
+                match svc.stop_study(StudyHandle::from_id(id)) {
+                    Ok(true) => println!("stopped study {id}"),
+                    Ok(false) => println!("study {id} was not running"),
+                    Err(e) => fail(format!("stop failed: {e}")),
+                }
+            }
+            Some("run") => {
+                let n = v["completions"].as_u64().unwrap_or(1) as usize;
+                match svc.run_completions(n) {
+                    Ok(done) => println!("processed {done} completions"),
+                    Err(e) => fail(format!("run failed: {e}")),
+                }
+            }
+            Some("drain") => match svc.drain() {
+                Ok(()) => println!("drained"),
+                Err(e) => fail(format!("drain failed: {e}")),
+            },
+            Some("status") => print_service_summary(svc),
+            Some(other) => fail(format!("unknown command {other:?}")),
+            None => fail("missing `cmd` field".to_string()),
+        }
+    }
+}
+
+/// Per-study summary lines, stable enough for scripts to grep.
+fn print_service_summary<E: Executor<ServiceJob, Eval>>(svc: &TuningService<E>) {
+    let stats = svc.stats();
+    for s in &stats.studies {
+        let best = s
+            .best
+            .map(|b| format!("{b:.6}"))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "study {} ({}): status={:?} method={} completed={} quarantined={} best={} generation={}",
+            s.id, s.name, s.status, s.method, s.completed, s.quarantined, best, s.generation
+        );
+    }
+    let p99 = stats
+        .suggest_p99_secs
+        .map(|s| format!("{:.3}ms", s * 1e3))
+        .unwrap_or_else(|| "-".to_string());
+    println!(
+        "service: {} studies, {} completed trials, p99 suggest {p99}",
+        stats.studies.len(),
+        stats.total_completed
+    );
 }

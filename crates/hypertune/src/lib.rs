@@ -46,6 +46,7 @@
 //! | [`cluster`] | discrete-event cluster simulator + threaded executor |
 //! | [`benchmarks`] | counting-ones, tabular NAS, simulated XGBoost/ResNet/LSTM workloads |
 //! | [`core`] | schedulers (SHA/ASHA/D-ASHA), bracket selection, samplers, all methods, the runner |
+//! | [`service`] | multi-tenant tuning service: fair-share scheduling, study lifecycle, per-study WALs |
 //! | [`telemetry`] | structured event log, metrics registry, timing spans, trace replay |
 //!
 //! ## Tracing a run
@@ -72,6 +73,7 @@
 pub use hypertune_benchmarks as benchmarks;
 pub use hypertune_cluster as cluster;
 pub use hypertune_core as core;
+pub use hypertune_service as service;
 pub use hypertune_space as space;
 pub use hypertune_surrogate as surrogate;
 pub use hypertune_telemetry as telemetry;
@@ -93,6 +95,9 @@ pub mod prelude {
         MethodContext, MethodKind, Outcome, OutcomeStatus, ResourceLevels, ResumeError,
         RetryPolicy, RunConfig, RunResult, RunSnapshot, SpeculationConfig, ThreadedJob,
         ThreadedRunConfig, ThreadedRunResult,
+    };
+    pub use hypertune_service::{
+        pool_eval, ServiceConfig, ServiceJob, StudyHandle, StudySpec, StudyStatus, TuningService,
     };
     pub use hypertune_space::{Config, ConfigSpace, ParamValue};
     pub use hypertune_telemetry::{

@@ -1,0 +1,64 @@
+//! The shared-fleet job payload: a study's trial plus enough routing
+//! context for any worker to evaluate it.
+//!
+//! Single-study substrates ship a bare [`ThreadedJob`] because the
+//! worker was told its benchmark once, at handshake. A multi-tenant
+//! fleet cannot do that — consecutive jobs on one worker may belong to
+//! different studies tuning different benchmarks — so every dispatch
+//! carries its own `(bench, bench_seed)` coordinates and workers
+//! resolve (and cache) benchmark instances per job.
+
+use hypertune_core::ThreadedJob;
+
+/// One dispatched trial on the shared fleet.
+///
+/// Serde-derived: the TCP substrate ships it to worker processes as the
+/// `Dispatch` frame payload, exactly like the single-study driver ships
+/// [`ThreadedJob`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ServiceJob {
+    /// Owning study (tenant) id — routes the completion back.
+    pub study: u64,
+    /// Registry name of the benchmark to evaluate against.
+    pub bench: String,
+    /// Seed the benchmark instance is constructed with (the study's
+    /// seed; also passed to `evaluate` so noisy benchmarks reproduce).
+    pub bench_seed: u64,
+    /// The trial itself: spec plus retry attempt counter.
+    pub job: ThreadedJob,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertune_core::JobSpec;
+    use hypertune_space::{Config, ParamValue};
+
+    #[test]
+    fn roundtrips_through_json() {
+        let job = ServiceJob {
+            study: 7,
+            bench: "counting-ones-small".to_string(),
+            bench_seed: 42,
+            job: ThreadedJob {
+                spec: JobSpec {
+                    config: Config::new(vec![ParamValue::Float(0.25), ParamValue::Cat(1)]),
+                    level: 1,
+                    resource: 9.0,
+                    bracket: Some(2),
+                    id: 31,
+                },
+                attempt: 1,
+            },
+        };
+        let text = serde_json::to_string(&serde::Serialize::to_value(&job)).unwrap();
+        let back: ServiceJob =
+            serde::Deserialize::from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back.study, 7);
+        assert_eq!(back.bench, "counting-ones-small");
+        assert_eq!(back.bench_seed, 42);
+        assert_eq!(back.job.attempt, 1);
+        assert_eq!(back.job.spec.config, job.job.spec.config);
+        assert_eq!(back.job.spec.id, 31);
+    }
+}

@@ -1,0 +1,1099 @@
+//! The tuning service: many studies, one fleet.
+//!
+//! [`TuningService`] multiplexes every live study over a single shared
+//! [`Executor`] — a [`ThreadPool`](hypertune_cluster::ThreadPool) of OS
+//! threads or a [`TcpCluster`](hypertune_cluster::TcpCluster) of worker
+//! processes; the service is substrate-agnostic, exactly like the
+//! single-study drivers. Each study owns an isolated
+//! [`StudyRuntime`] (method, RNG, history, pending set), so tenants
+//! cannot perturb each other's suggestion streams no matter how the
+//! fleet interleaves them; the service owns everything *between* the
+//! runtimes and the fleet:
+//!
+//! - **Fair-share scheduling** ([`crate::FairShare`]): idle worker
+//!   slots are granted to studies by weighted stride scheduling, with a
+//!   per-study `max_in_flight` quota on top. A heavy tenant cannot
+//!   starve a light one, and a stopped or parked (weight 0) study never
+//!   receives a slot.
+//! - **Durability**: with a `state_dir` configured, every study gets an
+//!   appending checksummed WAL (`study-<id>.wal`, the
+//!   [`RunSnapshot`] line format) plus a sidecar (`study-<id>.json`)
+//!   recording spec and lifecycle state. [`TuningService::recover`]
+//!   scans the directory and rebuilds every study found there.
+//!   Recovery follows the checkpoint semantics documented in
+//!   [`hypertune_core::persist`]: the restored history is exact, and
+//!   the method refits its derived state from it with a
+//!   generation-mixed RNG — trials in flight at the kill were never
+//!   logged, so they re-run fresh and **no trial is ever booked
+//!   twice** (the restart drill asserts
+//!   `TraceSummary::duplicated_trials() == 0` per tenant).
+//! - **Retries and quarantine**: failed attempts are re-dispatched up
+//!   to the configured [`RetryPolicy`] budget, then quarantined and fed
+//!   back to the study's method as a failed outcome — the same ladder
+//!   as the single-study drivers, tracked per tenant.
+//! - **Telemetry**: every study emits through a tenant-stamped
+//!   [`TelemetryHandle`] (see [`TelemetryHandle::with_tenant`]), so one
+//!   trace carries all tenants and
+//!   `TraceSummary::per_tenant` splits it back apart. Counters are
+//!   namespaced `study.<id>.*`.
+//!
+//! The driver loop is deliberately the inline single-study loop
+//! generalized: park-queue requeues first, then fair-share fill, then
+//! block on the next completion and route it home by tenant id.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use hypertune_benchmarks::{Benchmark, Eval};
+use hypertune_cluster::{ClusterError, Executor, JobStatus, PoolResult};
+use hypertune_core::persist::{RunSnapshot, SubmissionRecord, WalWriter};
+use hypertune_core::{
+    failure_kind, FailureCounts, JobSpec, Measurement, ResourceLevels, RetryPolicy, StudyRuntime,
+    ThreadedJob,
+};
+use hypertune_telemetry::{Event, TelemetryHandle};
+
+use crate::job::ServiceJob;
+use crate::scheduler::FairShare;
+use crate::study::{StudyHandle, StudyRecord, StudySpec, StudyStatus};
+
+/// Maps a registry benchmark name plus seed to an instance. The
+/// benchmark registry lives above this crate (in the `hypertune`
+/// facade), so callers inject it; tests inject fixtures.
+pub type BenchResolver = Arc<dyn Fn(&str, u64) -> Option<Box<dyn Benchmark>> + Send + Sync>;
+
+/// Exact-percentile reservoir cap for suggest latencies; beyond it the
+/// reservoir becomes a ring (oldest overwritten).
+const LATENCY_CAP: usize = 1 << 16;
+
+/// Service-wide configuration.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Durability root: one WAL + sidecar per study underneath. `None`
+    /// runs in-memory only (no recovery).
+    pub state_dir: Option<PathBuf>,
+    /// Retry budget for failed attempts, shared by all studies.
+    pub retry: RetryPolicy,
+    /// Telemetry pipeline; per-study handles are tenant-stamped clones
+    /// of this one, so every tenant shares the sinks and ring buffer.
+    pub telemetry: TelemetryHandle,
+}
+
+impl ServiceConfig {
+    /// In-memory service with default retries and disabled telemetry.
+    pub fn new() -> Self {
+        Self {
+            state_dir: None,
+            retry: RetryPolicy::default_policy(),
+            telemetry: TelemetryHandle::disabled(),
+        }
+    }
+
+    /// Sets the durability root.
+    pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.state_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the telemetry pipeline.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("state_dir", &self.state_dir)
+            .field("retry", &self.retry)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builds the evaluation closure a worker substrate needs: resolves the
+/// job's `(bench, seed)` coordinates through `resolver`, caching one
+/// benchmark instance per pair (consecutive jobs on one worker usually
+/// belong to a handful of studies). Panics on an unknown benchmark
+/// name — the service validates names at study creation, so reaching an
+/// unknown name on a worker means the dispatch was corrupted.
+pub fn pool_eval(resolver: BenchResolver) -> impl Fn(&ServiceJob) -> Eval + Send + Sync + 'static {
+    let cache: Mutex<BTreeMap<(String, u64), Arc<dyn Benchmark>>> = Mutex::new(BTreeMap::new());
+    move |job: &ServiceJob| {
+        let key = (job.bench.clone(), job.bench_seed);
+        let bench = {
+            let mut cache = cache.lock().expect("bench cache poisoned");
+            match cache.get(&key) {
+                Some(b) => Arc::clone(b),
+                None => {
+                    let b: Arc<dyn Benchmark> = Arc::from(
+                        resolver(&job.bench, job.bench_seed)
+                            .unwrap_or_else(|| panic!("unknown benchmark {:?}", job.bench)),
+                    );
+                    cache.insert(key, Arc::clone(&b));
+                    b
+                }
+            }
+        };
+        bench.evaluate(&job.job.spec.config, job.job.spec.resource, job.bench_seed)
+    }
+}
+
+/// Per-study bookkeeping the service owns (the method-visible state
+/// lives in the [`StudyRuntime`]).
+struct Study {
+    spec: StudySpec,
+    status: StudyStatus,
+    generation: u64,
+    runtime: StudyRuntime,
+    wal: Option<WalWriter>,
+    /// Tenant-stamped handle; every event this study causes carries its
+    /// id.
+    telemetry: TelemetryHandle,
+    /// Completed measurements in completion order (the WAL's in-memory
+    /// twin; what the equivalence tests fingerprint).
+    measurements: Vec<Measurement>,
+    /// Trials charged against `max_evals`: incremented at dispatch,
+    /// decremented on quarantine, so `dispatched == completed` once the
+    /// study drains.
+    dispatched: usize,
+    completed: usize,
+    quarantined: usize,
+    /// Dispatched but not yet booked (on the fleet or in the park
+    /// queue). Bounded by the `max_in_flight` quota.
+    outstanding: usize,
+    failures: FailureCounts,
+}
+
+impl Study {
+    /// How many fresh dispatches the study can absorb right now:
+    /// remaining budget capped by the in-flight quota. Zero for
+    /// anything not `Running`.
+    fn wants(&self) -> usize {
+        if self.status != StudyStatus::Running {
+            return 0;
+        }
+        let budget = self.spec.max_evals.saturating_sub(self.dispatched);
+        let quota = self.spec.max_in_flight.saturating_sub(self.outstanding);
+        budget.min(quota)
+    }
+}
+
+/// Aggregate service statistics; see [`TuningService::stats`].
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Wall seconds since the service was constructed.
+    pub uptime_secs: f64,
+    /// Studies currently `Running`.
+    pub live_studies: usize,
+    /// Successful trials booked across all studies (this incarnation).
+    pub total_completed: usize,
+    /// Exact p99 of suggest-call latency in seconds, if any were made.
+    pub suggest_p99_secs: Option<f64>,
+    /// Per-study breakdown, ordered by id.
+    pub studies: Vec<StudyStats>,
+}
+
+/// One study's statistics snapshot.
+#[derive(Debug, Clone)]
+pub struct StudyStats {
+    /// Service-assigned tenant id.
+    pub id: u64,
+    /// Human-readable name from the spec.
+    pub name: String,
+    /// Method display name.
+    pub method: String,
+    /// Lifecycle state.
+    pub status: StudyStatus,
+    /// Successful trials booked.
+    pub completed: usize,
+    /// Trials charged against the budget (suggested and not
+    /// quarantined).
+    pub dispatched: usize,
+    /// Dispatched but unbooked trials.
+    pub outstanding: usize,
+    /// Trials quarantined after exhausting retries.
+    pub quarantined: usize,
+    /// Best validation value so far.
+    pub best: Option<f64>,
+    /// Failed attempts by kind (every attempt counts).
+    pub failures: FailureCounts,
+    /// Recovery generation (0 = never restarted).
+    pub generation: u64,
+}
+
+fn wal_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("study-{id}.wal"))
+}
+
+fn sidecar_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("study-{id}.json"))
+}
+
+/// Atomically rewrites a study's sidecar (write temp + rename), so a
+/// kill mid-transition can never tear the lifecycle record.
+fn write_sidecar(dir: &Path, record: &StudyRecord) -> io::Result<()> {
+    let path = sidecar_path(dir, record.id);
+    let tmp = dir.join(format!("study-{}.json.tmp", record.id));
+    std::fs::write(
+        &tmp,
+        serde_json::to_string(&serde::Serialize::to_value(record))?,
+    )?;
+    std::fs::rename(&tmp, path)
+}
+
+fn scoped(id: u64, name: &str) -> String {
+    format!("study.{id}.{name}")
+}
+
+/// The multi-tenant tuning service; see the module docs for the
+/// architecture.
+pub struct TuningService<E: Executor<ServiceJob, Eval>> {
+    executor: E,
+    resolver: BenchResolver,
+    config: ServiceConfig,
+    studies: BTreeMap<u64, Study>,
+    sched: FairShare,
+    next_study_id: u64,
+    started: Instant,
+    /// Park queue: retries (and dispatches that lost a capacity race)
+    /// waiting for an idle slot. These already own budget and quota, so
+    /// they requeue ahead of fresh fair-share grants — the same
+    /// ordering as the single-study drivers' orphan queue.
+    parked: VecDeque<ServiceJob>,
+    suggest_latencies: Vec<f64>,
+    latency_cursor: usize,
+}
+
+impl<E: Executor<ServiceJob, Eval>> std::fmt::Debug for TuningService<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TuningService")
+            .field("studies", &self.studies.len())
+            .field("workers", &self.executor.n_workers())
+            .field("parked", &self.parked.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E: Executor<ServiceJob, Eval>> TuningService<E> {
+    /// Wraps an executor. Creates the state directory if configured.
+    pub fn new(
+        mut executor: E,
+        resolver: BenchResolver,
+        config: ServiceConfig,
+    ) -> io::Result<Self> {
+        if let Some(dir) = &config.state_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        executor.set_telemetry(config.telemetry.clone());
+        Ok(Self {
+            executor,
+            resolver,
+            config,
+            studies: BTreeMap::new(),
+            sched: FairShare::new(),
+            next_study_id: 1,
+            started: Instant::now(),
+            parked: VecDeque::new(),
+            suggest_latencies: Vec::new(),
+            latency_cursor: 0,
+        })
+    }
+
+    /// Wall seconds since service start — the event/measurement clock.
+    fn now(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    fn update_live_gauge(&self) {
+        let live = self
+            .studies
+            .values()
+            .filter(|s| s.status == StudyStatus::Running)
+            .count();
+        self.config
+            .telemetry
+            .gauge_set("service.studies.live", live as f64);
+    }
+
+    /// Creates a study and registers it with the fair-share scheduler.
+    ///
+    /// Validates the benchmark name against the resolver up front and
+    /// rejects empty budgets/quotas, so nothing unresolvable ever
+    /// reaches the fleet. With a state directory, the study's WAL and
+    /// sidecar are created before the handle is returned.
+    pub fn create_study(&mut self, spec: StudySpec) -> io::Result<StudyHandle> {
+        if spec.max_evals == 0 || spec.max_in_flight == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "max_evals and max_in_flight must be positive",
+            ));
+        }
+        let bench = (self.resolver)(&spec.bench, spec.seed).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unknown benchmark {:?}", spec.bench),
+            )
+        })?;
+        let id = self.next_study_id;
+        self.next_study_id += 1;
+        let telemetry = self.config.telemetry.with_tenant(id);
+        let levels = ResourceLevels::new(bench.max_resource(), spec.eta);
+        // The method plans for the study's own quota, not the fleet
+        // width — a study capped at 2 in-flight trials on a 64-wide
+        // fleet behaves exactly like one on a 2-worker pool.
+        let quota = spec.max_in_flight.min(self.executor.n_workers().max(1));
+        let runtime = StudyRuntime::new(
+            spec.method.build(&levels, spec.seed),
+            bench.space().clone(),
+            levels,
+            spec.seed,
+            quota,
+            telemetry.clone(),
+        );
+        let wal = match &self.config.state_dir {
+            Some(dir) => Some(WalWriter::create(&wal_path(dir, id), spec.seed)?),
+            None => None,
+        };
+        let record = StudyRecord {
+            id,
+            spec: spec.clone(),
+            status: StudyStatus::Running,
+            generation: 0,
+        };
+        if let Some(dir) = &self.config.state_dir {
+            write_sidecar(dir, &record)?;
+        }
+        let now = self.now();
+        let name = spec.name.clone();
+        telemetry.emit_with(now, || Event::StudyCreated { study: id, name });
+        telemetry.counter_add("service.studies.created", 1);
+        self.sched.register(id, spec.weight);
+        self.studies.insert(
+            id,
+            Study {
+                spec,
+                status: StudyStatus::Running,
+                generation: 0,
+                runtime,
+                wal,
+                telemetry,
+                measurements: Vec::new(),
+                dispatched: 0,
+                completed: 0,
+                quarantined: 0,
+                outstanding: 0,
+                failures: FailureCounts::default(),
+            },
+        );
+        self.update_live_gauge();
+        Ok(StudyHandle::from_id(id))
+    }
+
+    /// Stops a running study: it leaves the scheduler immediately, its
+    /// parked retries are discarded, and results still on the fleet are
+    /// dropped on arrival. Terminal — a stopped study is never revived,
+    /// not even by [`TuningService::recover`]. Returns `false` if the
+    /// study was unknown or already terminal.
+    pub fn stop_study(&mut self, handle: StudyHandle) -> io::Result<bool> {
+        let id = handle.id();
+        let now = self.now();
+        let Some(study) = self.studies.get_mut(&id) else {
+            return Ok(false);
+        };
+        if study.status != StudyStatus::Running {
+            return Ok(false);
+        }
+        study.status = StudyStatus::Stopped;
+        self.sched.unregister(id);
+        let before = self.parked.len();
+        self.parked.retain(|j| j.study != id);
+        study.outstanding = study.outstanding.saturating_sub(before - self.parked.len());
+        study
+            .telemetry
+            .emit_with(now, || Event::StudyStopped { study: id });
+        if let Some(dir) = &self.config.state_dir {
+            let record = StudyRecord {
+                id,
+                spec: study.spec.clone(),
+                status: study.status,
+                generation: study.generation,
+            };
+            write_sidecar(dir, &record)?;
+        }
+        self.update_live_gauge();
+        Ok(true)
+    }
+
+    /// Asks a study's method for up to `k` jobs — the tenant-facing
+    /// half of the lifecycle API, also used internally by the fill
+    /// loop. Dispatch ids are assigned and the jobs are charged against
+    /// the study's budget and quota; the caller owes a
+    /// [`TuningService::report`] (or the fleet a completion) per job.
+    /// Returns an empty batch at a method barrier or on a non-running
+    /// study.
+    pub fn suggest(&mut self, handle: StudyHandle, k: usize) -> io::Result<Vec<JobSpec>> {
+        let id = handle.id();
+        let now = self.now();
+        let study = self
+            .studies
+            .get_mut(&id)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no study {id}")))?;
+        if study.status != StudyStatus::Running {
+            return Ok(Vec::new());
+        }
+        let t0 = Instant::now();
+        let batch = study.runtime.suggest(k, now);
+        let latency = t0.elapsed().as_secs_f64();
+        if self.suggest_latencies.len() < LATENCY_CAP {
+            self.suggest_latencies.push(latency);
+        } else {
+            let slot = self.latency_cursor % LATENCY_CAP;
+            self.suggest_latencies[slot] = latency;
+            self.latency_cursor = self.latency_cursor.wrapping_add(1);
+        }
+        for job in &batch {
+            study.dispatched += 1;
+            study.outstanding += 1;
+            let (level, bracket) = (job.level, job.bracket);
+            study.telemetry.emit_with(now, || Event::TrialDispatched {
+                level,
+                bracket,
+                attempt: 0,
+            });
+        }
+        if !batch.is_empty() {
+            study
+                .telemetry
+                .counter_add(&scoped(id, "trials.dispatched"), batch.len() as u64);
+        }
+        Ok(batch)
+    }
+
+    /// Books a successful evaluation for a suggested job — the other
+    /// half of the lifecycle API and the internal success path. Appends
+    /// to the study's WAL, feeds the method, and completes the study
+    /// when its budget is exhausted.
+    pub fn report(&mut self, handle: StudyHandle, spec: &JobSpec, eval: &Eval) -> io::Result<()> {
+        let id = handle.id();
+        let now = self.now();
+        let study = self
+            .studies
+            .get_mut(&id)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no study {id}")))?;
+        let m = study.runtime.complete_success(spec, eval, now);
+        if let Some(wal) = &mut study.wal {
+            wal.append_submission(&SubmissionRecord {
+                spec: spec.clone(),
+                value: eval.value,
+                test_value: eval.test_value,
+                cost: eval.cost,
+            })?;
+            wal.append_measurement(&m)?;
+        }
+        study.measurements.push(m.clone());
+        study.completed += 1;
+        study.outstanding = study.outstanding.saturating_sub(1);
+        let (level, bracket, value, cost) = (spec.level, spec.bracket, eval.value, eval.cost);
+        study
+            .telemetry
+            .emit_with(m.finished_at, || Event::TrialCompleted {
+                level,
+                bracket,
+                value,
+                cost,
+            });
+        study
+            .telemetry
+            .counter_add(&scoped(id, "trials.completed"), 1);
+        study.telemetry.histogram_record("trial.cost", cost);
+        if study.status == StudyStatus::Running && study.completed >= study.spec.max_evals {
+            self.finish_study(id)?;
+        }
+        Ok(())
+    }
+
+    /// Marks a study's budget exhausted: `Completed`, out of the
+    /// scheduler, sidecar rewritten.
+    fn finish_study(&mut self, id: u64) -> io::Result<()> {
+        let now = self.now();
+        self.sched.unregister(id);
+        let Some(study) = self.studies.get_mut(&id) else {
+            return Ok(());
+        };
+        study.status = StudyStatus::Completed;
+        let trials = study.completed;
+        study
+            .telemetry
+            .emit_with(now, || Event::StudyCompleted { study: id, trials });
+        if let Some(dir) = &self.config.state_dir {
+            let record = StudyRecord {
+                id,
+                spec: study.spec.clone(),
+                status: study.status,
+                generation: study.generation,
+            };
+            write_sidecar(dir, &record)?;
+        }
+        self.update_live_gauge();
+        Ok(())
+    }
+
+    /// Fills idle fleet capacity: park queue first (those jobs already
+    /// own budget and quota), then fresh dispatches granted by stride
+    /// scheduling, one slot per grant. A study whose method declines to
+    /// produce (synchronous barrier) is skipped for the rest of the
+    /// round.
+    fn fill(&mut self) {
+        while self.executor.idle_workers() > 0 {
+            let Some(job) = self.parked.pop_front() else {
+                break;
+            };
+            let running = self
+                .studies
+                .get(&job.study)
+                .is_some_and(|s| s.status == StudyStatus::Running);
+            if !running {
+                if let Some(s) = self.studies.get_mut(&job.study) {
+                    s.outstanding = s.outstanding.saturating_sub(1);
+                }
+                continue;
+            }
+            if self.executor.submit(job.clone()).is_err() {
+                self.parked.push_front(job);
+                break;
+            }
+        }
+        let mut blocked: HashSet<u64> = HashSet::new();
+        while self.executor.idle_workers() > 0 {
+            let studies = &self.studies;
+            let picked = self.sched.pick(|sid| {
+                !blocked.contains(&sid) && studies.get(&sid).is_some_and(|s| s.wants() > 0)
+            });
+            let Some(id) = picked else { break };
+            let batch = self
+                .suggest(StudyHandle::from_id(id), 1)
+                .expect("picked studies exist");
+            if batch.is_empty() {
+                blocked.insert(id);
+                continue;
+            }
+            let (bench, bench_seed) = {
+                let s = &self.studies[&id];
+                (s.spec.bench.clone(), s.spec.seed)
+            };
+            for spec in batch {
+                let job = ServiceJob {
+                    study: id,
+                    bench: bench.clone(),
+                    bench_seed,
+                    job: ThreadedJob { spec, attempt: 0 },
+                };
+                if self.executor.submit(job.clone()).is_err() {
+                    // Capacity vanished mid-fill (elastic shrink): park
+                    // the dispatch, it goes out first next round.
+                    self.parked.push_front(job);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Routes one fleet completion home by tenant id. Results for
+    /// stopped or unknown studies are dropped; failures walk the
+    /// retry/quarantine ladder.
+    fn handle_completion(&mut self, result: PoolResult<ServiceJob, Eval>) -> io::Result<()> {
+        let now = self.now();
+        let job = result.job;
+        let id = job.study;
+        let Some(study) = self.studies.get_mut(&id) else {
+            return Ok(());
+        };
+        if study.status != StudyStatus::Running {
+            study.outstanding = study.outstanding.saturating_sub(1);
+            return Ok(());
+        }
+        if !result.status.is_failure() {
+            let eval = result.output.expect("successful jobs carry output");
+            return self.report(StudyHandle::from_id(id), &job.job.spec, &eval);
+        }
+        study.failures.record(result.status);
+        let level = job.job.spec.level;
+        let attempt = job.job.attempt;
+        if result.status == JobStatus::Orphaned {
+            study
+                .telemetry
+                .emit_with(now, || Event::LeaseExpired { level, attempt });
+            study
+                .telemetry
+                .counter_add(&scoped(id, "trials.orphaned"), 1);
+        }
+        let kind = failure_kind(result.status).expect("failure statuses map to a kind");
+        if attempt < self.config.retry.max_retries {
+            let next = attempt + 1;
+            study.telemetry.emit_with(now, || Event::TrialRetried {
+                level,
+                attempt: next,
+                kind,
+            });
+            study
+                .telemetry
+                .counter_add(&scoped(id, "trials.retried"), 1);
+            let mut retry = job;
+            retry.job.attempt = next;
+            self.parked.push_back(retry);
+        } else {
+            let bracket = job.job.spec.bracket;
+            study.telemetry.emit_with(now, || Event::TrialQuarantined {
+                level,
+                bracket,
+                kind,
+            });
+            study
+                .telemetry
+                .counter_add(&scoped(id, "trials.quarantined"), 1);
+            study.dispatched = study.dispatched.saturating_sub(1);
+            study.quarantined += 1;
+            study.outstanding = study.outstanding.saturating_sub(1);
+            study
+                .runtime
+                .complete_quarantine(job.job.spec, result.status, now);
+        }
+        Ok(())
+    }
+
+    /// One service step: fill, then process one completion. Returns
+    /// `Ok(false)` when the fleet is quiescent and no study has
+    /// dispatchable work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a running study wants work but its method produced
+    /// none with nothing in flight — a stalled method, the same
+    /// invariant the single-study drivers assert.
+    fn step(&mut self) -> io::Result<bool> {
+        self.fill();
+        match self.executor.next_completion() {
+            Ok(result) => {
+                self.handle_completion(result)?;
+                Ok(true)
+            }
+            Err(ClusterError::Quiescent) => {
+                let stalled = self
+                    .studies
+                    .values()
+                    .any(|s| s.status == StudyStatus::Running && s.wants() > 0);
+                assert!(
+                    !stalled,
+                    "service stalled: a running study wants work but its method \
+                     produced none with nothing in flight"
+                );
+                Ok(false)
+            }
+            Err(e) => Err(io::Error::other(format!("executor failed: {e}"))),
+        }
+    }
+
+    /// Runs until every study is terminal (completed or stopped) and
+    /// the fleet is drained.
+    pub fn drain(&mut self) -> io::Result<()> {
+        while self.step()? {}
+        Ok(())
+    }
+
+    /// Processes up to `n` fleet results (successes and failures both
+    /// count — this is the CLI's `run` command and the restart drill's
+    /// "kill mid-run" knob). Returns how many were processed; fewer
+    /// than `n` means the service drained first.
+    pub fn run_completions(&mut self, n: usize) -> io::Result<usize> {
+        let mut done = 0;
+        while done < n {
+            if !self.step()? {
+                break;
+            }
+            done += 1;
+        }
+        Ok(done)
+    }
+
+    /// Rebuilds studies from a state directory: for every sidecar not
+    /// already loaded, restores the history from the study's WAL,
+    /// compacts the WAL, bumps the recovery generation, and re-registers
+    /// still-running studies with the scheduler. Terminal studies load
+    /// for inspection only. Returns handles of everything recovered, by
+    /// id.
+    ///
+    /// Recovery is checkpoint-semantics (see the module docs): trials
+    /// in flight at the kill were never logged, so they re-run fresh —
+    /// completed work is never re-booked.
+    pub fn recover(&mut self) -> io::Result<Vec<StudyHandle>> {
+        let Some(dir) = self.config.state_dir.clone() else {
+            return Ok(Vec::new());
+        };
+        if !dir.exists() {
+            return Ok(Vec::new());
+        }
+        let mut records: Vec<StudyRecord> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !name.starts_with("study-") || !name.ends_with(".json") {
+                continue;
+            }
+            let record: StudyRecord = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
+            if !self.studies.contains_key(&record.id) {
+                records.push(record);
+            }
+        }
+        records.sort_by_key(|r| r.id);
+        let mut out = Vec::new();
+        for record in records {
+            let id = record.id;
+            let spec = record.spec;
+            let bench = (self.resolver)(&spec.bench, spec.seed).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("study {id} references unknown benchmark {:?}", spec.bench),
+                )
+            })?;
+            let generation = record.generation + 1;
+            // Mix the generation into the RNG seed so the restarted
+            // method does not re-walk the exact path whose in-flight
+            // tail was lost (golden-ratio odd multiplier, full-period).
+            let seed = spec.seed ^ generation.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let telemetry = self.config.telemetry.with_tenant(id);
+            let levels = ResourceLevels::new(bench.max_resource(), spec.eta);
+            let quota = spec.max_in_flight.min(self.executor.n_workers().max(1));
+            let path = wal_path(&dir, id);
+            let snapshot = if path.exists() {
+                RunSnapshot::load(&path)?
+            } else {
+                RunSnapshot {
+                    seed: spec.seed,
+                    submissions: Vec::new(),
+                    measurements: Vec::new(),
+                }
+            };
+            let mut runtime = StudyRuntime::new(
+                spec.method.build(&levels, seed),
+                bench.space().clone(),
+                levels,
+                seed,
+                quota,
+                telemetry.clone(),
+            );
+            runtime.restore(&snapshot.measurements);
+            let completed = snapshot.measurements.len();
+            let mut status = record.status;
+            if status == StudyStatus::Running && completed >= spec.max_evals {
+                // Killed after the last booking but before the sidecar
+                // flip: the budget is spent, finish it now.
+                status = StudyStatus::Completed;
+            }
+            let wal = Some(WalWriter::create_from(&path, &snapshot)?);
+            write_sidecar(
+                &dir,
+                &StudyRecord {
+                    id,
+                    spec: spec.clone(),
+                    status,
+                    generation,
+                },
+            )?;
+            if status == StudyStatus::Running {
+                self.sched.register(id, spec.weight);
+            }
+            self.studies.insert(
+                id,
+                Study {
+                    spec,
+                    status,
+                    generation,
+                    runtime,
+                    wal,
+                    telemetry,
+                    measurements: snapshot.measurements,
+                    dispatched: completed,
+                    completed,
+                    quarantined: 0,
+                    outstanding: 0,
+                    failures: FailureCounts::default(),
+                },
+            );
+            self.next_study_id = self.next_study_id.max(id + 1);
+            out.push(StudyHandle::from_id(id));
+        }
+        self.update_live_gauge();
+        Ok(out)
+    }
+
+    /// The study's lifecycle state, if it exists.
+    pub fn status(&self, handle: StudyHandle) -> Option<StudyStatus> {
+        self.studies.get(&handle.id()).map(|s| s.status)
+    }
+
+    /// Successful trials booked for the study (this incarnation plus
+    /// anything recovered from its WAL).
+    pub fn completed(&self, handle: StudyHandle) -> usize {
+        self.studies.get(&handle.id()).map_or(0, |s| s.completed)
+    }
+
+    /// The study's measurement stream in completion order (recovered
+    /// prefix included). Empty for unknown studies.
+    pub fn measurements(&self, handle: StudyHandle) -> &[Measurement] {
+        self.studies
+            .get(&handle.id())
+            .map_or(&[], |s| s.measurements.as_slice())
+    }
+
+    /// The study's incumbent (best complete evaluation).
+    pub fn incumbent(&self, handle: StudyHandle) -> Option<Measurement> {
+        self.studies.get(&handle.id())?.runtime.incumbent()
+    }
+
+    /// Handles of every known study, by id.
+    pub fn handles(&self) -> Vec<StudyHandle> {
+        self.studies
+            .keys()
+            .map(|&id| StudyHandle::from_id(id))
+            .collect()
+    }
+
+    /// Exact p99 of suggest-call latency in seconds, if any suggest ran.
+    pub fn suggest_p99(&self) -> Option<f64> {
+        if self.suggest_latencies.is_empty() {
+            return None;
+        }
+        let mut v = self.suggest_latencies.clone();
+        v.sort_by(f64::total_cmp);
+        let idx = ((v.len() - 1) as f64 * 0.99).ceil() as usize;
+        Some(v[idx])
+    }
+
+    /// A statistics snapshot across all studies.
+    pub fn stats(&self) -> ServiceStats {
+        let studies: Vec<StudyStats> = self
+            .studies
+            .iter()
+            .map(|(&id, s)| StudyStats {
+                id,
+                name: s.spec.name.clone(),
+                method: s.runtime.method_name().to_string(),
+                status: s.status,
+                completed: s.completed,
+                dispatched: s.dispatched,
+                outstanding: s.outstanding,
+                quarantined: s.quarantined,
+                best: s.runtime.incumbent().map(|m| m.value),
+                failures: s.failures,
+                generation: s.generation,
+            })
+            .collect();
+        ServiceStats {
+            uptime_secs: self.now(),
+            live_studies: studies
+                .iter()
+                .filter(|s| s.status == StudyStatus::Running)
+                .count(),
+            total_completed: studies.iter().map(|s| s.completed).sum(),
+            suggest_p99_secs: self.suggest_p99(),
+            studies,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertune_benchmarks::CountingOnes;
+    use hypertune_cluster::ThreadPool;
+    use hypertune_core::MethodKind;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn resolver() -> BenchResolver {
+        Arc::new(|name, seed| match name {
+            "counting-ones-small" => {
+                Some(Box::new(CountingOnes::new(4, 4, seed)) as Box<dyn Benchmark>)
+            }
+            _ => None,
+        })
+    }
+
+    fn pool(n: usize) -> ThreadPool<ServiceJob, Eval> {
+        ThreadPool::new(n, pool_eval(resolver()))
+    }
+
+    fn spec(name: &str, seed: u64) -> StudySpec {
+        StudySpec::new(name, "counting-ones-small", MethodKind::HyperTune)
+            .with_seed(seed)
+            .with_max_evals(8)
+            .with_max_in_flight(2)
+    }
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "hypertune-service-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn unknown_benchmark_is_rejected_at_creation() {
+        let mut svc = TuningService::new(pool(1), resolver(), ServiceConfig::new()).unwrap();
+        let err = svc
+            .create_study(StudySpec::new("x", "no-such-bench", MethodKind::ARandom))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn two_studies_drain_to_completion() {
+        let mut svc = TuningService::new(pool(4), resolver(), ServiceConfig::new()).unwrap();
+        let a = svc.create_study(spec("a", 1)).unwrap();
+        let b = svc.create_study(spec("b", 2)).unwrap();
+        svc.drain().unwrap();
+        assert_eq!(svc.status(a), Some(StudyStatus::Completed));
+        assert_eq!(svc.status(b), Some(StudyStatus::Completed));
+        assert_eq!(svc.completed(a), 8);
+        assert_eq!(svc.completed(b), 8);
+        assert_eq!(svc.measurements(a).len(), 8);
+        let stats = svc.stats();
+        assert_eq!(stats.total_completed, 16);
+        assert_eq!(stats.live_studies, 0);
+        assert!(stats.suggest_p99_secs.is_some());
+    }
+
+    #[test]
+    fn one_worker_service_is_deterministic() {
+        let run = || {
+            let mut svc = TuningService::new(pool(1), resolver(), ServiceConfig::new()).unwrap();
+            let h = svc
+                .create_study(spec("det", 7).with_max_in_flight(1))
+                .unwrap();
+            svc.drain().unwrap();
+            svc.measurements(h)
+                .iter()
+                .map(|m| (m.config.clone(), m.value.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stopped_study_stays_stopped_and_others_finish() {
+        let mut svc = TuningService::new(pool(2), resolver(), ServiceConfig::new()).unwrap();
+        let a = svc.create_study(spec("keep", 3)).unwrap();
+        let b = svc.create_study(spec("kill", 4)).unwrap();
+        svc.run_completions(3).unwrap();
+        assert!(svc.stop_study(b).unwrap());
+        assert!(!svc.stop_study(b).unwrap(), "stop is idempotent");
+        svc.drain().unwrap();
+        assert_eq!(svc.status(a), Some(StudyStatus::Completed));
+        assert_eq!(svc.status(b), Some(StudyStatus::Stopped));
+        assert!(svc.completed(b) < 8, "stopped before exhausting budget");
+    }
+
+    #[test]
+    fn quota_bounds_outstanding_trials() {
+        let mut svc = TuningService::new(pool(8), resolver(), ServiceConfig::new()).unwrap();
+        let h = svc
+            .create_study(spec("quota", 5).with_max_in_flight(1).with_max_evals(6))
+            .unwrap();
+        loop {
+            let stats = svc.stats();
+            let s = stats.studies.iter().find(|s| s.id == h.id()).unwrap();
+            assert!(s.outstanding <= 1, "quota violated: {}", s.outstanding);
+            if svc.run_completions(1).unwrap() == 0 {
+                break;
+            }
+        }
+        assert_eq!(svc.status(h), Some(StudyStatus::Completed));
+    }
+
+    #[test]
+    fn recover_resumes_unfinished_studies() {
+        let dir = unique_dir("recover");
+        let config = ServiceConfig::new().with_state_dir(&dir);
+        let a;
+        let b;
+        {
+            let mut svc = TuningService::new(pool(2), resolver(), config.clone()).unwrap();
+            a = svc.create_study(spec("a", 11).with_max_evals(6)).unwrap();
+            b = svc.create_study(spec("b", 12).with_max_evals(6)).unwrap();
+            svc.run_completions(4).unwrap();
+            // Killed here: the service is dropped with trials in flight.
+        }
+        let mut svc = TuningService::new(pool(2), resolver(), config).unwrap();
+        let recovered = svc.recover().unwrap();
+        assert_eq!(recovered.len(), 2);
+        let booked_before = svc.completed(a) + svc.completed(b);
+        assert!(booked_before > 0, "some pre-kill work must have survived");
+        svc.drain().unwrap();
+        assert_eq!(svc.status(a), Some(StudyStatus::Completed));
+        assert_eq!(svc.status(b), Some(StudyStatus::Completed));
+        assert_eq!(svc.completed(a), 6);
+        assert_eq!(svc.completed(b), 6);
+        let stats = svc.stats();
+        for s in &stats.studies {
+            assert_eq!(s.generation, 1, "recovery bumps the generation");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_leaves_stopped_studies_stopped() {
+        let dir = unique_dir("stopped");
+        let config = ServiceConfig::new().with_state_dir(&dir);
+        let b;
+        {
+            let mut svc = TuningService::new(pool(2), resolver(), config.clone()).unwrap();
+            let _a = svc.create_study(spec("a", 21)).unwrap();
+            b = svc.create_study(spec("b", 22)).unwrap();
+            svc.run_completions(2).unwrap();
+            svc.stop_study(b).unwrap();
+        }
+        let mut svc = TuningService::new(pool(2), resolver(), config).unwrap();
+        svc.recover().unwrap();
+        assert_eq!(svc.status(b), Some(StudyStatus::Stopped));
+        svc.drain().unwrap();
+        assert_eq!(svc.status(b), Some(StudyStatus::Stopped), "never revived");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manual_suggest_report_drives_a_study() {
+        let mut svc = TuningService::new(pool(1), resolver(), ServiceConfig::new()).unwrap();
+        let h = svc
+            .create_study(spec("manual", 9).with_max_evals(4).with_max_in_flight(1))
+            .unwrap();
+        let bench = CountingOnes::new(4, 4, 9);
+        while svc.status(h) == Some(StudyStatus::Running) {
+            let batch = svc.suggest(h, 1).unwrap();
+            assert_eq!(batch.len(), 1);
+            let spec = &batch[0];
+            let eval = bench.evaluate(&spec.config, spec.resource, 9);
+            svc.report(h, spec, &eval).unwrap();
+        }
+        assert_eq!(svc.status(h), Some(StudyStatus::Completed));
+        assert_eq!(svc.completed(h), 4);
+    }
+}

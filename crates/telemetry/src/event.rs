@@ -246,6 +246,25 @@ pub enum Event {
     /// The circuit breaker closed again: full model-based operation
     /// resumed.
     BreakerClosed,
+    /// A tuning study was registered with the multi-tenant service.
+    StudyCreated {
+        /// Service-assigned study (tenant) id.
+        study: u64,
+        /// Human-readable study name.
+        name: String,
+    },
+    /// A study was stopped by its owner before exhausting its budget.
+    StudyStopped {
+        /// Service-assigned study (tenant) id.
+        study: u64,
+    },
+    /// A study exhausted its evaluation budget and left the scheduler.
+    StudyCompleted {
+        /// Service-assigned study (tenant) id.
+        study: u64,
+        /// Completed trials at study end.
+        trials: usize,
+    },
 }
 
 impl Event {
@@ -271,6 +290,9 @@ impl Event {
             Event::SpeculationResolved { .. } => "speculation_resolved",
             Event::BreakerOpened { .. } => "breaker_opened",
             Event::BreakerClosed => "breaker_closed",
+            Event::StudyCreated { .. } => "study_created",
+            Event::StudyStopped { .. } => "study_stopped",
+            Event::StudyCompleted { .. } => "study_completed",
         }
     }
 }
@@ -341,13 +363,22 @@ impl fmt::Display for Event {
                 write!(f, "breaker opened at failure rate {failure_rate:.3}")
             }
             Event::BreakerClosed => write!(f, "breaker closed"),
+            Event::StudyCreated { study, name } => {
+                write!(f, "study {study} ({name}) created")
+            }
+            Event::StudyStopped { study } => write!(f, "study {study} stopped"),
+            Event::StudyCompleted { study, trials } => {
+                write!(f, "study {study} completed after {trials} trials")
+            }
         }
     }
 }
 
 /// One entry of the event log: a monotonically increasing sequence
 /// number, the emitter-supplied timestamp (virtual seconds on the
-/// simulator, wall seconds on the thread pool), and the event itself.
+/// simulator, wall seconds on the thread pool), the event itself, and —
+/// for events emitted through a tenant-scoped handle — the owning
+/// study id.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EventRecord {
     /// Monotonic sequence number assigned by the telemetry handle.
@@ -356,6 +387,11 @@ pub struct EventRecord {
     pub time: f64,
     /// The event.
     pub event: Event,
+    /// Owning study (tenant) id, stamped by
+    /// `TelemetryHandle::with_tenant` handles; `None` for service-level
+    /// and single-study traces. Omitted from JSON when absent, so
+    /// single-tenant logs are byte-identical to the pre-service format.
+    pub tenant: Option<u64>,
 }
 
 fn num(v: f64) -> Value {
@@ -473,6 +509,17 @@ impl serde::Serialize for Event {
                 m.insert("failure_rate".into(), num(*failure_rate));
             }
             Event::BreakerClosed => {}
+            Event::StudyCreated { study, name } => {
+                m.insert("study".into(), study.to_value());
+                m.insert("name".into(), Value::String(name.clone()));
+            }
+            Event::StudyStopped { study } => {
+                m.insert("study".into(), study.to_value());
+            }
+            Event::StudyCompleted { study, trials } => {
+                m.insert("study".into(), study.to_value());
+                m.insert("trials".into(), trials.to_value());
+            }
         }
         Value::Object(m)
     }
@@ -482,6 +529,12 @@ fn get_usize(v: &Value, key: &str) -> Result<usize, Error> {
     v[key]
         .as_u64()
         .map(|n| n as usize)
+        .ok_or_else(|| Error::custom(format!("missing or non-integer field {key:?}")))
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, Error> {
+    v[key]
+        .as_u64()
         .ok_or_else(|| Error::custom(format!("missing or non-integer field {key:?}")))
 }
 
@@ -605,6 +658,17 @@ impl serde::Deserialize for Event {
                 failure_rate: get_f64(v, "failure_rate")?,
             }),
             "breaker_closed" => Ok(Event::BreakerClosed),
+            "study_created" => Ok(Event::StudyCreated {
+                study: get_u64(v, "study")?,
+                name: get_str(v, "name")?.to_string(),
+            }),
+            "study_stopped" => Ok(Event::StudyStopped {
+                study: get_u64(v, "study")?,
+            }),
+            "study_completed" => Ok(Event::StudyCompleted {
+                study: get_u64(v, "study")?,
+                trials: get_usize(v, "trials")?,
+            }),
             other => Err(Error::custom(format!("unknown event type {other:?}"))),
         }
     }
@@ -616,6 +680,9 @@ impl serde::Serialize for EventRecord {
         m.insert("seq".into(), self.seq.to_value());
         m.insert("time".into(), num(self.time));
         m.insert("event".into(), self.event.to_value());
+        if let Some(tenant) = self.tenant {
+            m.insert("tenant".into(), tenant.to_value());
+        }
         Value::Object(m)
     }
 }
@@ -628,6 +695,9 @@ impl serde::Deserialize for EventRecord {
                 .ok_or_else(|| Error::custom("missing field \"seq\""))?,
             time: get_f64(v, "time")?,
             event: Event::from_value(&v["event"])?,
+            // Missing and null both mean "untenanted": logs written
+            // before the service layer existed stay readable.
+            tenant: v["tenant"].as_u64(),
         })
     }
 }
@@ -716,6 +786,15 @@ mod tests {
             },
             Event::BreakerOpened { failure_rate: 0.75 },
             Event::BreakerClosed,
+            Event::StudyCreated {
+                study: 3,
+                name: "tenant-a".into(),
+            },
+            Event::StudyStopped { study: 3 },
+            Event::StudyCompleted {
+                study: 4,
+                trials: 60,
+            },
         ]
     }
 
@@ -726,11 +805,27 @@ mod tests {
                 seq: i as u64,
                 time: 1.5 * i as f64,
                 event,
+                tenant: if i % 2 == 0 { None } else { Some(i as u64) },
             };
             let line = serde_json::to_string(&rec).unwrap();
             let back: EventRecord = serde_json::from_str(&line).unwrap();
             assert_eq!(back, rec, "line: {line}");
         }
+    }
+
+    #[test]
+    fn untenanted_records_serialize_without_a_tenant_key() {
+        let rec = EventRecord {
+            seq: 0,
+            time: 0.0,
+            event: Event::BreakerClosed,
+            tenant: None,
+        };
+        let line = serde_json::to_string(&rec).unwrap();
+        assert!(!line.contains("tenant"), "line: {line}");
+        // And pre-service logs (no key at all) still parse.
+        let back: EventRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.tenant, None);
     }
 
     #[test]

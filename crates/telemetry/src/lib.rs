@@ -76,6 +76,7 @@ struct Inner {
 #[derive(Clone, Default)]
 pub struct TelemetryHandle {
     inner: Option<Arc<Inner>>,
+    tenant: Option<u64>,
 }
 
 impl fmt::Debug for TelemetryHandle {
@@ -86,6 +87,7 @@ impl fmt::Debug for TelemetryHandle {
                 .field("enabled", &true)
                 .field("sinks", &inner.sinks.len())
                 .field("seq", &inner.seq.load(Ordering::Relaxed))
+                .field("tenant", &self.tenant)
                 .finish(),
             None => f
                 .debug_struct("TelemetryHandle")
@@ -98,12 +100,32 @@ impl fmt::Debug for TelemetryHandle {
 impl TelemetryHandle {
     /// The no-op handle. Identical to `TelemetryHandle::default()`.
     pub fn disabled() -> Self {
-        Self { inner: None }
+        Self {
+            inner: None,
+            tenant: None,
+        }
     }
 
     /// True when events and metrics actually go somewhere.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// A clone of this handle that stamps every emitted record (spans
+    /// included) with `study` as its tenant id. The pipeline behind the
+    /// handle — sinks, metrics, the sequence counter — stays shared, so
+    /// tenant-scoped records interleave in one global log and
+    /// `trace-report --per-study` can split them back out.
+    pub fn with_tenant(&self, study: u64) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            tenant: Some(study),
+        }
+    }
+
+    /// The tenant id this handle stamps, if any.
+    pub fn tenant(&self) -> Option<u64> {
+        self.tenant
     }
 
     /// Emits an event at the given emitter timestamp. The closure runs
@@ -116,6 +138,7 @@ impl TelemetryHandle {
                 seq,
                 time,
                 event: make(),
+                tenant: self.tenant,
             };
             for sink in &inner.sinks {
                 sink.record(&rec);
@@ -134,6 +157,7 @@ impl TelemetryHandle {
                 seq,
                 time,
                 event: make(),
+                tenant: self.tenant,
             };
             for sink in &inner.sinks {
                 sink.record(&rec);
@@ -176,7 +200,11 @@ impl TelemetryHandle {
             .inner
             .as_ref()
             .map(|inner| (Arc::clone(inner), inner.clock.now()));
-        SpanGuard { state, name }
+        SpanGuard {
+            state,
+            name,
+            tenant: self.tenant,
+        }
     }
 
     /// Flushes every sink (buffered JSONL output in particular).
@@ -198,6 +226,7 @@ impl TelemetryHandle {
 pub struct SpanGuard {
     state: Option<(Arc<Inner>, f64)>,
     name: &'static str,
+    tenant: Option<u64>,
 }
 
 impl SpanGuard {
@@ -225,6 +254,7 @@ impl Drop for SpanGuard {
                     name: self.name.to_string(),
                     duration,
                 },
+                tenant: self.tenant,
             };
             for sink in &inner.sinks {
                 sink.record(&rec);
@@ -289,6 +319,7 @@ impl Telemetry {
                 metrics: MetricsRegistry::new(),
                 clock: self.clock.unwrap_or_else(|| Arc::new(WallClock::new())),
             })),
+            tenant: None,
         }
     }
 
@@ -392,6 +423,36 @@ mod tests {
         });
         assert_eq!(a.len(), 1);
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn tenant_handles_stamp_records_and_share_the_pipeline() {
+        let ring = RingBufferSink::new(8);
+        let clock = Arc::new(ManualClock::new());
+        let t = Telemetry::new()
+            .with_sink(ring.clone())
+            .with_clock(clock.clone())
+            .build();
+        let a = t.with_tenant(7);
+        assert_eq!(a.tenant(), Some(7));
+        assert_eq!(t.tenant(), None);
+        t.emit_with(0.0, || Event::BreakerClosed);
+        a.emit_with(1.0, || Event::BreakerClosed);
+        {
+            let _s = a.span("suggest_batch");
+            clock.advance(0.5);
+        }
+        let recs = ring.snapshot();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(
+            recs.iter().map(|r| r.tenant).collect::<Vec<_>>(),
+            vec![None, Some(7), Some(7)]
+        );
+        // One shared sequence across the base and tenant handles.
+        assert_eq!(
+            recs.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

@@ -116,6 +116,12 @@ pub struct TraceSummary {
     pub breaker_opened: usize,
     /// Circuit-breaker close transitions.
     pub breaker_closed: usize,
+    /// Studies registered with the multi-tenant service.
+    pub studies_created: usize,
+    /// Studies stopped by their owner before budget exhaustion.
+    pub studies_stopped: usize,
+    /// Studies that exhausted their evaluation budget.
+    pub studies_completed: usize,
 }
 
 impl TraceSummary {
@@ -187,9 +193,27 @@ impl TraceSummary {
                 }
                 Event::BreakerOpened { .. } => s.breaker_opened += 1,
                 Event::BreakerClosed => s.breaker_closed += 1,
+                Event::StudyCreated { .. } => s.studies_created += 1,
+                Event::StudyStopped { .. } => s.studies_stopped += 1,
+                Event::StudyCompleted { .. } => s.studies_completed += 1,
             }
         }
         s
+    }
+
+    /// Splits a log by tenant id and folds each partition separately —
+    /// the engine behind `trace-report --per-study`. Untenanted records
+    /// (driver-level membership events, single-study runs) land under
+    /// the `None` key.
+    pub fn per_tenant(records: &[EventRecord]) -> BTreeMap<Option<u64>, TraceSummary> {
+        let mut parts: BTreeMap<Option<u64>, Vec<EventRecord>> = BTreeMap::new();
+        for rec in records {
+            parts.entry(rec.tenant).or_default().push(rec.clone());
+        }
+        parts
+            .into_iter()
+            .map(|(tenant, recs)| (tenant, TraceSummary::from_records(&recs)))
+            .collect()
     }
 
     /// Total promotions into `to_level`, across brackets.
@@ -364,6 +388,14 @@ impl TraceSummary {
             );
         }
 
+        if self.studies_created + self.studies_stopped + self.studies_completed > 0 {
+            let _ = writeln!(
+                out,
+                "\nstudies: {} created, {} stopped, {} completed",
+                self.studies_created, self.studies_stopped, self.studies_completed
+            );
+        }
+
         let _ = writeln!(out, "\nexactly-once reconciliation:");
         let (mut trials, mut done, mut quar, mut in_flight, mut dup) = (0, 0, 0, 0, 0);
         for flow in self.levels.values() {
@@ -389,7 +421,12 @@ mod tests {
     use crate::event::{FailureKind, FaultKind};
 
     fn rec(seq: u64, time: f64, event: Event) -> EventRecord {
-        EventRecord { seq, time, event }
+        EventRecord {
+            seq,
+            time,
+            event,
+            tenant: None,
+        }
     }
 
     fn sample_log() -> Vec<EventRecord> {
@@ -628,6 +665,58 @@ mod tests {
         let s = TraceSummary::from_records(&log);
         assert_eq!(s.duplicated_trials(), 1);
         assert!(s.render().contains("1 duplicated"));
+    }
+
+    fn tenant_rec(seq: u64, tenant: Option<u64>, event: Event) -> EventRecord {
+        EventRecord {
+            seq,
+            time: seq as f64,
+            event,
+            tenant,
+        }
+    }
+
+    #[test]
+    fn per_tenant_splits_and_reconciles_independently() {
+        let dispatch = || Event::TrialDispatched {
+            level: 0,
+            bracket: None,
+            attempt: 0,
+        };
+        let complete = || Event::TrialCompleted {
+            level: 0,
+            bracket: None,
+            value: 0.5,
+            cost: 1.0,
+        };
+        let log = vec![
+            tenant_rec(
+                0,
+                None,
+                Event::StudyCreated {
+                    study: 1,
+                    name: "a".into(),
+                },
+            ),
+            tenant_rec(1, Some(1), dispatch()),
+            tenant_rec(2, Some(2), dispatch()),
+            tenant_rec(3, Some(1), complete()),
+            // Tenant 2's completion arrives twice: a per-tenant bug that
+            // an unsplit summary would also catch, but attributed here.
+            tenant_rec(4, Some(2), complete()),
+            tenant_rec(5, Some(2), complete()),
+            tenant_rec(6, None, Event::StudyStopped { study: 1 }),
+        ];
+        let parts = TraceSummary::per_tenant(&log);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[&None].studies_created, 1);
+        assert_eq!(parts[&None].studies_stopped, 1);
+        assert_eq!(parts[&Some(1)].duplicated_trials(), 0);
+        assert_eq!(parts[&Some(2)].duplicated_trials(), 1);
+        // The unsplit fold sees the same totals.
+        let whole = TraceSummary::from_records(&log);
+        assert_eq!(whole.duplicated_trials(), 1);
+        assert!(whole.render().contains("studies: 1 created, 1 stopped"));
     }
 
     #[test]

@@ -144,6 +144,7 @@ mod tests {
                 bracket: 0,
                 to_level: 1,
             },
+            tenant: None,
         }
     }
 

@@ -117,4 +117,40 @@ cargo run --release -q -p hypertune-bench --offline --bin trace-report -- \
   target/loopback-trace.jsonl > target/loopback-report.out
 grep -q "; 0 duplicated" target/loopback-report.out
 
+step "multi-tenant service smoke (8 studies, stop + kill + resume, per-study exactly-once)"
+# Eight concurrent studies fair-shared over one in-process pool. One
+# tenant is stopped mid-run; then the service exits with trials still
+# outstanding (the "kill"). A second service instance recovers every
+# study from its per-study WAL and drains the survivors. The combined
+# two-lifetime trace must reconcile to zero duplicated trials for every
+# tenant (DESIGN.md §17).
+rm -rf target/service-state
+{
+  for i in 1 2 3 4 5 6 7 8; do
+    printf '{"cmd":"create","name":"tenant-%d","bench":"counting-ones-small","method":"hyper-tune","seed":%d,"max_evals":12,"max_in_flight":2}\n' "$i" "$i"
+  done
+  printf '{"cmd":"run","completions":20}\n'
+  printf '{"cmd":"stop","study":3}\n'
+  printf '{"cmd":"run","completions":20}\n'
+} > target/service-studies.jsonl
+target/release/hypertune serve --pool 4 --state-dir target/service-state \
+  --script target/service-studies.jsonl --trace target/service-trace-1.jsonl \
+  > target/service-1.out
+grep -q "stopped study 3" target/service-1.out
+target/release/hypertune serve --pool 4 --state-dir target/service-state \
+  --resume --trace target/service-trace-2.jsonl > target/service-2.out
+grep -q "recovered study 1" target/service-2.out
+grep -qE '^study 3 \(tenant-3\): status=Stopped' target/service-2.out
+# all 7 surviving tenants finish their full budget after the restart
+[[ "$(grep -cE '^study [0-9]+ \(.*\): status=Completed .* completed=12' \
+  target/service-2.out)" -eq 7 ]]
+cat target/service-trace-1.jsonl target/service-trace-2.jsonl \
+  > target/service-trace.jsonl
+cargo run --release -q -p hypertune-bench --offline --bin trace-report -- \
+  --per-study target/service-trace.jsonl > target/service-report.out
+grep -q -- "-- study 8 --" target/service-report.out
+# every tenant section must report exactly zero duplicated trials
+[[ "$(grep -c "^duplicated trials: 0$" target/service-report.out)" -ge 8 ]]
+! grep -E "^duplicated trials: [1-9]" target/service-report.out
+
 step "OK"
