@@ -39,7 +39,7 @@
 //! |---|---|
 //! | [`sim`] | [`SimCluster`], [`JobResult`], [`JobStatus`], [`ClusterError`] — the discrete-event simulator and the submit/complete contract |
 //! | [`executor`] | [`Executor`], [`ThreadPool`], [`PoolResult`] — the driver-facing trait and the same contract on real OS threads |
-//! | [`proto`] | [`proto::Frame`], [`proto::ProtoError`] — the length-prefixed serde-JSON wire protocol (normative spec: DESIGN.md §16) |
+//! | [`proto`] | [`proto::Frame`], [`proto::ProtoError`], [`proto::Codec`] — the length-prefixed wire protocol with JSON and binary payload codecs (normative spec: DESIGN.md §16) |
 //! | [`net`] | [`TcpCluster`], [`serve_worker`] — the driver/worker TCP substrate built on [`proto`] |
 //! | [`fault`] | [`Fault`], [`FaultSpec`], [`FaultModel`] — dispatch-time failure injection |
 //! | [`membership`] | [`MembershipPlan`], [`MembershipEvent`] — elastic worker churn: scheduled joins/leaves, worker crashes that orphan jobs, lease-based recovery |
@@ -69,7 +69,10 @@ pub use executor::{Executor, PoolResult, ThreadPool};
 pub use fault::{Fault, FaultModel, FaultSpec};
 pub use membership::{MembershipEvent, MembershipPlan};
 pub use net::{serve_worker, EvalFn, TcpCluster, TcpClusterOptions, WorkerOptions};
-pub use proto::{Frame, ProtoError, MAX_FRAME, WIRE_VERSION};
+pub use proto::{
+    Codec, Frame, FrameDecoder, FrameEncoder, ProtoError, MAX_FRAME, WIRE_VERSION,
+    WIRE_VERSION_BINARY,
+};
 pub use sim::{ClusterError, JobResult, JobStatus, SimCluster, SubmitReceipt};
 pub use straggler::StragglerModel;
 pub use trace::{Trace, TraceSpan};

@@ -12,28 +12,51 @@
 //! [`TcpCluster::connect`] dials a static list of worker addresses,
 //! performs the Hello/HelloAck handshake on each, and spawns one reader
 //! thread per connection feeding a single event channel. The driver
-//! thread owns every write half; readers never write. Each worker offers
-//! one slot (`HelloAck::slots`, currently always 1), so capacity equals
-//! the number of live connections.
+//! thread owns every write half; readers never write. Each worker
+//! advertises a slot count in its `HelloAck` (`--slots N` on the worker
+//! binary), and the driver keeps up to that many `Dispatch` frames in
+//! flight per connection — capacity is the sum of slots across live
+//! workers, and `submit` picks the least-loaded live worker. At one slot
+//! per worker this degenerates to the old strictly synchronous
+//! one-round-trip-per-eval scheme.
+//!
+//! ## Codec negotiation
+//!
+//! The `Hello` frame is always written as JSON (every peer speaks
+//! version 1). When the driver wants the binary codec
+//! ([`TcpClusterOptions::codec`], the default) and the hello payload is
+//! an object, it adds a `"_codec": 2` key. A binary-capable worker that
+//! sees the offer switches its write half to binary *before* answering,
+//! so the `HelloAck`'s own encoding is the acknowledgement: the driver
+//! inspects [`proto::FrameDecoder::last_codec`] on the ack and mirrors
+//! it for everything it sends that worker from then on. Old JSON workers
+//! ignore the unknown key and answer in JSON; old drivers never offer;
+//! either way the pair settles on JSON with no extra round trip. Readers
+//! on both sides accept both codecs on every frame regardless of what
+//! was negotiated for writes.
 //!
 //! Failure semantics, mirroring the in-process substrates:
 //!
 //! - **Disconnect** (EOF, reset, or any framing error on the read path):
-//!   the worker is dead immediately. Its pending job surfaces as
-//!   [`JobStatus::Orphaned`] from `next_completion`, capacity shrinks,
-//!   and a `WorkerLeft` event is emitted. There is no redial: with a
-//!   static address list, connect = Join at startup and disconnect =
-//!   permanent Leave.
+//!   the worker is dead immediately. Every job pending on it surfaces as
+//!   [`JobStatus::Orphaned`] from `next_completion`, capacity shrinks by
+//!   its slot count, and a `WorkerLeft` event is emitted. There is no
+//!   redial: with a static address list, connect = Join at startup and
+//!   disconnect = permanent Leave.
 //! - **Missed heartbeats**: every worker beacons on a timer even while
 //!   evaluating. If nothing (result or heartbeat) arrives from a worker
-//!   with a pending job for longer than the lease timeout, the driver
-//!   sends a best-effort [`Frame::Cancel`], tears the connection down,
-//!   and orphans the job the same way.
+//!   with pending jobs for longer than the lease timeout, the driver
+//!   sends a best-effort [`Frame::Cancel`] per pending job, tears the
+//!   connection down, and orphans them all the same way.
 //! - **Stale results**: once a job is orphaned its id is retired; a
 //!   `Result` frame for a retired id (e.g. the cancel lost the race) is
 //!   counted under `net.stale_results` and dropped, never surfaced —
 //!   this is the driver-side half of the exactly-once argument
 //!   (DESIGN.md §16).
+//! - **Worker-initiated `Cancel`**: a worker draining on `Shutdown`
+//!   acknowledges each queued-but-unrun dispatch with a `Cancel` frame.
+//!   The driver reclaims the job immediately as an orphan
+//!   (`net.cancel_acks`) instead of waiting for the disconnect or lease.
 //!
 //! Orphaned jobs hold no capacity slot, exactly like the other
 //! substrates, so the retry policy can re-dispatch them to surviving
@@ -44,11 +67,21 @@
 //! [`serve_worker`] is the accept loop behind the `hypertune-worker`
 //! binary. Per session it reads `Hello`, asks the caller's factory for
 //! an evaluator (rejecting the session via `HelloAck` on factory error),
-//! then serves `Dispatch` frames synchronously — one job at a time — on
-//! the session thread while a separate heartbeat thread shares the write
-//! half behind a mutex. Frames are encoded to a single buffer and written
-//! with one `write_all` under the lock, so concurrent heartbeats and
-//! results never interleave bytes.
+//! then serves `Dispatch` frames pipelined: the session thread reads
+//! frames and feeds a FIFO queue; a single evaluation thread pops jobs
+//! in dispatch order and streams `Result` frames back as they finish; a
+//! heartbeat thread beacons on a timer. All three share the write half
+//! behind a mutex — each frame is encoded into a per-connection scratch
+//! buffer and written with one `write_all` under the lock, so frames
+//! never interleave and steady-state framing is allocation-free.
+//!
+//! On `Shutdown` the session drains its queue, acknowledging every
+//! unstarted job with a `Cancel` frame, lets the evaluation in progress
+//! finish and flush its `Result`, and only then closes the socket.
+//!
+//! The single evaluation thread means completion order equals dispatch
+//! order no matter the slot count — which is what keeps multi-slot runs
+//! reproducible (see `crates/hypertune/tests/distributed.rs`).
 //!
 //! The worker is intentionally typeless: jobs and outputs cross it as
 //! [`serde::Value`] trees, so one worker binary can serve any benchmark
@@ -58,40 +91,49 @@
 //!
 //! With a handle attached ([`TcpCluster::set_telemetry`]) the driver
 //! emits `net.*` counters (`dispatches`, `results`, `stale_results`,
-//! `heartbeats`, `cancels`, `disconnects`), latency histograms
-//! (`net.job_rtt_ms` dispatch→result, `net.heartbeat_gap_ms` between
-//! liveness signals), per-worker completion gauges, and the same
+//! `heartbeats`, `cancels`, `cancel_acks`, `disconnects`,
+//! `codec.binary`/`codec.json` per negotiated connection), latency
+//! histograms (`net.job_rtt_ms` dispatch→result, `net.heartbeat_gap_ms`
+//! between liveness signals, `net.batch_size` dispatches per scheduler
+//! round), per-worker completion gauges, and the same
 //! `WorkerJoined`/`WorkerLeft` membership events the elastic substrates
 //! produce.
 
 use std::collections::VecDeque;
+use std::io::Write;
 use std::net::{Shutdown as SockShutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hypertune_telemetry::{Event, TelemetryHandle};
-use serde::{Deserialize, Serialize, Value};
+use serde::{Deserialize, Number, Serialize, Value};
 
 use crate::executor::{Executor, PoolResult};
-use crate::proto::{self, Frame, ProtoError};
+use crate::proto::{self, Codec, Frame, FrameDecoder, FrameEncoder, ProtoError};
 use crate::sim::{ClusterError, JobStatus};
 
 /// Knobs for the driver side of the TCP substrate.
 #[derive(Debug, Clone)]
 pub struct TcpClusterOptions {
-    /// How long a worker with a pending job may stay silent (no result,
-    /// no heartbeat) before the driver cancels and orphans the job.
+    /// How long a worker with pending jobs may stay silent (no result,
+    /// no heartbeat) before the driver cancels and orphans them.
     /// Must comfortably exceed the worker heartbeat interval.
     pub lease_timeout: Duration,
+    /// Preferred wire codec. [`Codec::Binary`] (the default) offers the
+    /// binary codec in the handshake and uses it per-connection when the
+    /// worker accepts; [`Codec::Json`] never offers, pinning every
+    /// connection to the version-1 JSON framing.
+    pub codec: Codec,
 }
 
 impl Default for TcpClusterOptions {
     fn default() -> Self {
         Self {
             lease_timeout: Duration::from_secs(10),
+            codec: Codec::Binary,
         }
     }
 }
@@ -117,7 +159,12 @@ struct WorkerConn<J> {
     /// Write half; the matching read half lives on the reader thread.
     stream: TcpStream,
     alive: bool,
-    pending: Option<Pending<J>>,
+    /// In-flight jobs, in dispatch order; at most `slots` of them.
+    pending: Vec<Pending<J>>,
+    /// Concurrent dispatch capacity advertised in the `HelloAck`.
+    slots: usize,
+    /// Negotiated write codec for this connection.
+    codec: Codec,
     /// Last time anything (handshake, heartbeat, result) arrived.
     last_seen: Instant,
     completed: u64,
@@ -136,9 +183,15 @@ pub struct TcpCluster<J, O> {
     lease: Duration,
     next_job_id: u64,
     in_flight: usize,
+    /// Total slots across live workers.
     capacity: usize,
     /// Ready-to-surface orphan results, drained before anything else.
     orphans: VecDeque<PoolResult<J, O>>,
+    /// Shared encode scratch buffer for every outgoing frame.
+    enc: FrameEncoder,
+    /// Dispatches since the last `next_completion` call, recorded into
+    /// the `net.batch_size` histogram.
+    batch: u64,
     telemetry: TelemetryHandle,
     joins_emitted: bool,
 }
@@ -153,6 +206,11 @@ where
     /// that cannot be reached or rejects the handshake — a partial
     /// cluster at startup is an operator error, unlike churn later.
     ///
+    /// When `opts.codec` is [`Codec::Binary`] and `hello` is an object,
+    /// a `"_codec": 2` offer is added to the handshake payload; the
+    /// codec each connection settles on is whatever the worker answered
+    /// in (see the module docs).
+    ///
     /// # Panics
     ///
     /// Panics if `addrs` is empty.
@@ -165,8 +223,22 @@ where
         A: ToSocketAddrs + std::fmt::Display,
     {
         assert!(!addrs.is_empty(), "cluster needs at least one worker");
+        let hello = match (opts.codec, &hello) {
+            (Codec::Binary, Value::Object(map)) => {
+                let mut map = map.clone();
+                map.insert(
+                    "_codec".to_string(),
+                    Value::Number(Number::PosInt(u64::from(proto::WIRE_VERSION_BINARY))),
+                );
+                Value::Object(map)
+            }
+            // A non-object hello has nowhere to carry the offer; the
+            // connection stays on JSON.
+            _ => hello,
+        };
         let (tx, rx) = unbounded();
         let mut workers = Vec::with_capacity(addrs.len());
+        let mut capacity = 0;
         for (idx, addr) in addrs.iter().enumerate() {
             let mut stream = TcpStream::connect(addr)?;
             let _ = stream.set_nodelay(true);
@@ -176,8 +248,9 @@ where
                     payload: hello.clone(),
                 },
             )?;
-            match proto::read_frame(&mut stream)? {
-                Frame::HelloAck { error: None, .. } => {}
+            let mut dec = FrameDecoder::new();
+            let slots = match dec.read_from(&mut stream)? {
+                Frame::HelloAck { slots, error: None } => slots.max(1),
                 Frame::HelloAck {
                     error: Some(reason),
                     ..
@@ -191,7 +264,14 @@ where
                         "worker {addr}: expected HelloAck, got {other:?}"
                     )))
                 }
-            }
+            };
+            // The ack's own encoding is the worker's answer to the
+            // codec offer.
+            let codec = match opts.codec {
+                Codec::Binary => dec.last_codec(),
+                Codec::Json => Codec::Json,
+            };
+            capacity += slots;
             let reader_stream = stream.try_clone()?;
             let reader_tx = tx.clone();
             let reader = std::thread::spawn(move || reader_loop(idx, reader_stream, reader_tx));
@@ -199,13 +279,14 @@ where
                 addr: addr.to_string(),
                 stream,
                 alive: true,
-                pending: None,
+                pending: Vec::with_capacity(slots),
+                slots,
+                codec,
                 last_seen: Instant::now(),
                 completed: 0,
                 reader: Some(reader),
             });
         }
-        let capacity = workers.len();
         Ok(Self {
             workers,
             events_rx: rx,
@@ -215,6 +296,8 @@ where
             in_flight: 0,
             capacity,
             orphans: VecDeque::new(),
+            enc: FrameEncoder::new(opts.codec),
+            batch: 0,
             telemetry: TelemetryHandle::disabled(),
             joins_emitted: false,
         })
@@ -222,7 +305,8 @@ where
 
     /// Attaches a telemetry handle. The first attachment replays one
     /// `WorkerJoined` per live connection (connect = Join happened
-    /// before any handle existed).
+    /// before any handle existed) and counts each connection's
+    /// negotiated codec under `net.codec.binary` / `net.codec.json`.
     pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
         self.telemetry = telemetry;
         if !self.joins_emitted {
@@ -235,6 +319,11 @@ where
                         worker: idx,
                         n_alive,
                     });
+                    let key = match w.codec {
+                        Codec::Binary => "net.codec.binary",
+                        Codec::Json => "net.codec.json",
+                    };
+                    self.telemetry.counter_add(key, 1);
                 }
             }
             self.telemetry
@@ -242,7 +331,7 @@ where
         }
     }
 
-    /// Number of live worker connections.
+    /// Total dispatch capacity: the sum of slots across live workers.
     pub fn n_workers(&self) -> usize {
         self.capacity
     }
@@ -262,34 +351,46 @@ where
         &self.workers[idx].addr
     }
 
-    /// Submits a job to the first idle live worker; errors when every
-    /// slot is busy. If the write itself fails the connection is dead:
-    /// the submit still succeeds and the job surfaces as
-    /// [`JobStatus::Orphaned`] (mirroring a dispatch onto a crashing
-    /// worker in the other substrates).
+    /// The write codec connection `idx` settled on in the handshake.
+    pub fn worker_codec(&self, idx: usize) -> Codec {
+        self.workers[idx].codec
+    }
+
+    /// Submits a job to the least-loaded live worker with a free slot;
+    /// errors when every slot is busy. If the write itself fails the
+    /// connection is dead: the submit still succeeds and the job (plus
+    /// anything else pending there) surfaces as [`JobStatus::Orphaned`]
+    /// (mirroring a dispatch onto a crashing worker in the other
+    /// substrates).
     pub fn submit(&mut self, job: J) -> Result<(), ClusterError> {
         let idx = self
             .workers
             .iter()
-            .position(|w| w.alive && w.pending.is_none())
+            .enumerate()
+            .filter(|(_, w)| w.alive && w.pending.len() < w.slots)
+            .min_by_key(|&(i, w)| (w.pending.len(), i))
+            .map(|(i, _)| i)
             .ok_or(ClusterError::NoIdleWorker)?;
         let job_id = self.next_job_id;
         self.next_job_id += 1;
         let payload = serde_json::to_value(&job);
         let frame = Frame::Dispatch { job_id, payload };
-        match proto::write_frame(&mut self.workers[idx].stream, &frame) {
+        self.enc.set_codec(self.workers[idx].codec);
+        let buf = self.enc.encode(&frame);
+        match self.workers[idx].stream.write_all(buf) {
             Ok(()) => {
-                self.workers[idx].pending = Some(Pending {
+                self.workers[idx].pending.push(Pending {
                     job_id,
                     job,
                     sent: Instant::now(),
                 });
                 self.in_flight += 1;
+                self.batch += 1;
                 self.telemetry.counter_add("net.dispatches", 1);
                 Ok(())
             }
             Err(_) => {
-                self.kill_worker(idx);
+                self.kill_and_orphan(idx);
                 self.orphans.push_back(PoolResult {
                     job,
                     output: None,
@@ -302,8 +403,8 @@ where
     }
 
     /// Marks a worker dead: shuts its socket both ways (unblocking the
-    /// reader thread), shrinks capacity, and emits membership telemetry.
-    /// Pending-job handling is the caller's job.
+    /// reader thread), shrinks capacity by its slots, and emits
+    /// membership telemetry. Pending-job handling is the caller's job.
     fn kill_worker(&mut self, idx: usize) {
         let w = &mut self.workers[idx];
         if !w.alive {
@@ -311,7 +412,7 @@ where
         }
         w.alive = false;
         let _ = w.stream.shutdown(SockShutdown::Both);
-        self.capacity -= 1;
+        self.capacity -= w.slots;
         let n_alive = self.capacity;
         self.telemetry.counter_add("net.disconnects", 1);
         self.telemetry
@@ -322,11 +423,12 @@ where
         });
     }
 
-    /// Kills worker `idx` and queues its pending job (if any) as an
-    /// orphan result. The job id is retired: a late `Result` for it is
-    /// stale by construction.
+    /// Kills worker `idx` and queues every job pending on it as an
+    /// orphan result. The job ids are retired: a late `Result` for any
+    /// of them is stale by construction.
     fn kill_and_orphan(&mut self, idx: usize) {
-        if let Some(p) = self.workers[idx].pending.take() {
+        let drained: Vec<Pending<J>> = self.workers[idx].pending.drain(..).collect();
+        for p in drained {
             self.in_flight -= 1;
             self.orphans.push_back(PoolResult {
                 job: p.job,
@@ -341,27 +443,33 @@ where
     /// Blocks until the next job completes or orphans; returns
     /// [`ClusterError::Quiescent`] when nothing is pending anywhere.
     pub fn next_completion(&mut self) -> Result<PoolResult<J, O>, ClusterError> {
+        // One scheduler round's worth of submits has landed; record how
+        // wide the dispatch batch was.
+        if self.batch > 0 {
+            self.telemetry
+                .histogram_record("net.batch_size", self.batch as f64);
+            self.batch = 0;
+        }
         loop {
             if let Some(r) = self.orphans.pop_front() {
                 return Ok(r);
             }
-            // Lease sweep: a silent worker with a pending job is dead to
+            // Lease sweep: a silent worker with pending jobs is dead to
             // us once the lease runs out.
             let now = Instant::now();
             let expired = self.workers.iter().position(|w| {
-                w.alive && w.pending.is_some() && now.duration_since(w.last_seen) >= self.lease
+                w.alive && !w.pending.is_empty() && now.duration_since(w.last_seen) >= self.lease
             });
             if let Some(idx) = expired {
-                let job_id = self.workers[idx]
-                    .pending
-                    .as_ref()
-                    .expect("expired implies pending")
-                    .job_id;
                 // Best-effort: the worker may be hung, not gone. Either
-                // way its id is retired and any late result is stale.
-                let _ =
-                    proto::write_frame(&mut self.workers[idx].stream, &Frame::Cancel { job_id });
-                self.telemetry.counter_add("net.cancels", 1);
+                // way the ids are retired and any late result is stale.
+                self.enc.set_codec(self.workers[idx].codec);
+                let ids: Vec<u64> = self.workers[idx].pending.iter().map(|p| p.job_id).collect();
+                for job_id in ids {
+                    let buf = self.enc.encode(&Frame::Cancel { job_id });
+                    let _ = self.workers[idx].stream.write_all(buf);
+                    self.telemetry.counter_add("net.cancels", 1);
+                }
                 self.kill_and_orphan(idx);
                 continue;
             }
@@ -373,7 +481,7 @@ where
             let deadline = self
                 .workers
                 .iter()
-                .filter(|w| w.alive && w.pending.is_some())
+                .filter(|w| w.alive && !w.pending.is_empty())
                 .map(|w| w.last_seen + self.lease)
                 .min();
             let event = match deadline {
@@ -419,20 +527,17 @@ where
                             status,
                             output,
                         } => {
-                            let matches = self.workers[worker]
+                            let pos = self.workers[worker]
                                 .pending
-                                .as_ref()
-                                .is_some_and(|p| p.job_id == job_id);
-                            if !matches {
+                                .iter()
+                                .position(|p| p.job_id == job_id);
+                            let Some(pos) = pos else {
                                 // Retired id (orphaned then re-dispatched
                                 // elsewhere): drop, never double-count.
                                 self.telemetry.counter_add("net.stale_results", 1);
                                 continue;
-                            }
-                            let p = self.workers[worker]
-                                .pending
-                                .take()
-                                .expect("matches implies pending");
+                            };
+                            let p = self.workers[worker].pending.remove(pos);
                             self.in_flight -= 1;
                             self.workers[worker].completed += 1;
                             self.telemetry.counter_add("net.results", 1);
@@ -461,6 +566,28 @@ where
                                 job: p.job,
                                 output,
                                 status,
+                                worker,
+                            });
+                        }
+                        Frame::Cancel { job_id } => {
+                            // The worker is draining: it dropped this
+                            // queued job without running it. Reclaim it
+                            // now instead of waiting for the disconnect.
+                            let pos = self.workers[worker]
+                                .pending
+                                .iter()
+                                .position(|p| p.job_id == job_id);
+                            let Some(pos) = pos else {
+                                self.telemetry.counter_add("net.stale_results", 1);
+                                continue;
+                            };
+                            let p = self.workers[worker].pending.remove(pos);
+                            self.in_flight -= 1;
+                            self.telemetry.counter_add("net.cancel_acks", 1);
+                            return Ok(PoolResult {
+                                job: p.job,
+                                output: None,
+                                status: JobStatus::Orphaned,
                                 worker,
                             });
                         }
@@ -510,12 +637,14 @@ where
 
 impl<J, O> Drop for TcpCluster<J, O> {
     fn drop(&mut self) {
-        for w in &mut self.workers {
-            if w.alive {
+        for i in 0..self.workers.len() {
+            if self.workers[i].alive {
                 // Polite goodbye, then force the socket down either way
                 // so the reader thread unblocks.
-                let _ = proto::write_frame(&mut w.stream, &Frame::Shutdown);
-                let _ = w.stream.shutdown(SockShutdown::Both);
+                self.enc.set_codec(self.workers[i].codec);
+                let buf = self.enc.encode(&Frame::Shutdown);
+                let _ = self.workers[i].stream.write_all(buf);
+                let _ = self.workers[i].stream.shutdown(SockShutdown::Both);
             }
         }
         for w in &mut self.workers {
@@ -527,10 +656,13 @@ impl<J, O> Drop for TcpCluster<J, O> {
 }
 
 /// Reads frames until the connection dies, forwarding everything to the
-/// driver's event channel. Never writes.
+/// driver's event channel. Never writes. The decoder's body buffer is
+/// reused across frames, so a steady result stream allocates only for
+/// the decoded `Value` trees themselves.
 fn reader_loop(worker: usize, mut stream: TcpStream, tx: Sender<NetEvent>) {
+    let mut dec = FrameDecoder::new();
     loop {
-        match proto::read_frame(&mut stream) {
+        match dec.read_from(&mut stream) {
             Ok(frame) => {
                 if tx.send(NetEvent::Frame { worker, frame }).is_err() {
                     return;
@@ -553,6 +685,16 @@ pub struct WorkerOptions {
     /// Serve exactly one session, then return (used by tests and by
     /// `hypertune-worker --once`).
     pub once: bool,
+    /// How many `Dispatch` frames the session accepts in flight,
+    /// advertised to the driver via `HelloAck::slots`. Evaluation stays
+    /// on a single thread serving the queue in FIFO order; extra slots
+    /// hide dispatch round-trips, they do not add parallelism.
+    pub slots: usize,
+    /// Preferred wire codec. [`Codec::Binary`] (the default) upgrades
+    /// the session when the driver's hello carries a `"_codec"` offer;
+    /// [`Codec::Json`] never upgrades, behaving exactly like a
+    /// version-1 peer.
+    pub codec: Codec,
 }
 
 impl Default for WorkerOptions {
@@ -560,6 +702,8 @@ impl Default for WorkerOptions {
         Self {
             heartbeat_interval: Duration::from_millis(250),
             once: false,
+            slots: 1,
+            codec: Codec::Binary,
         }
     }
 }
@@ -568,10 +712,99 @@ impl Default for WorkerOptions {
 /// an output payload (`Value::Null` when there is none).
 pub type EvalFn = Box<dyn Fn(&Value) -> (JobStatus, Value) + Send>;
 
+/// The session's shared write half: socket plus a reused encode scratch
+/// buffer, always taken together under one lock so concurrent writers
+/// (session, evaluator, heartbeat) never interleave frame bytes.
+struct FrameWriter {
+    stream: TcpStream,
+    enc: FrameEncoder,
+}
+
+impl FrameWriter {
+    fn write(&mut self, frame: &Frame) -> Result<(), ProtoError> {
+        let buf = self.enc.encode(frame);
+        self.stream.write_all(buf).map_err(ProtoError::from)
+    }
+}
+
+/// The session's dispatch queue: the session thread pushes, the single
+/// evaluation thread pops in FIFO order, and `close` drains whatever
+/// never started so it can be Cancel-acknowledged.
+struct JobQueue {
+    inner: Mutex<JobQueueInner>,
+    cv: Condvar,
+}
+
+struct JobQueueInner {
+    jobs: VecDeque<(u64, Value)>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(JobQueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job_id: u64, payload: Value) {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if g.closed {
+            return;
+        }
+        g.jobs.push_back((job_id, payload));
+        self.cv.notify_one();
+    }
+
+    /// Removes a not-yet-started job; `false` if it already ran (or is
+    /// running), in which case its `Result` gets fenced driver-side.
+    fn cancel(&self, job_id: u64) -> bool {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        match g.jobs.iter().position(|(id, _)| *id == job_id) {
+            Some(pos) => {
+                g.jobs.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Closes the queue (unblocking the evaluator once it drains) and
+    /// returns every job that never started.
+    fn close(&self) -> Vec<(u64, Value)> {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        g.closed = true;
+        let drained = g.jobs.drain(..).collect();
+        self.cv.notify_all();
+        drained
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed and
+    /// empty.
+    fn pop(&self) -> Option<(u64, Value)> {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(job) = g.jobs.pop_front() {
+                return Some(job);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
 /// Serves driver sessions on `listener` forever (or once, under
 /// [`WorkerOptions::once`]). Per session, `make_eval` interprets the
 /// `Hello` payload and builds the evaluator — returning `Err(reason)`
 /// rejects the session via `HelloAck` without dropping the accept loop.
+/// (The hello passed through may carry the protocol's `"_codec"`
+/// negotiation key; factories should ignore unknown keys.)
 ///
 /// Session errors (protocol violations, mid-stream disconnects) are
 /// logged to stderr and do not kill the worker; the next driver can
@@ -606,8 +839,12 @@ where
     F: Fn(&Value) -> Result<EvalFn, String>,
 {
     let mut reader = stream.try_clone()?;
-    let writer = Arc::new(Mutex::new(stream));
-    let hello = match proto::read_frame(&mut reader)? {
+    let mut dec = FrameDecoder::new();
+    let writer = Arc::new(Mutex::new(FrameWriter {
+        stream,
+        enc: FrameEncoder::new(Codec::Json),
+    }));
+    let hello = match dec.read_from(&mut reader)? {
         Frame::Hello { payload } => payload,
         other => {
             return Err(ProtoError::Garbage(format!(
@@ -615,15 +852,25 @@ where
             )))
         }
     };
+    // Codec negotiation: switch the write half to binary *before* the
+    // HelloAck goes out, so the ack's own encoding is the answer the
+    // driver is waiting for.
+    let offered = hello
+        .as_object()
+        .and_then(|m| m.get("_codec"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(u64::from(proto::WIRE_VERSION));
+    if opts.codec == Codec::Binary && offered >= u64::from(proto::WIRE_VERSION_BINARY) {
+        writer
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .enc
+            .set_codec(Codec::Binary);
+    }
+    let slots = opts.slots.max(1);
     let eval = match make_eval(&hello) {
         Ok(eval) => {
-            write_locked(
-                &writer,
-                &Frame::HelloAck {
-                    slots: 1,
-                    error: None,
-                },
-            )?;
+            write_locked(&writer, &Frame::HelloAck { slots, error: None })?;
             eval
         }
         Err(reason) => {
@@ -638,7 +885,7 @@ where
         }
     };
     // Heartbeats come from their own thread so a long evaluation never
-    // looks like a death. Both threads share the write half; each frame
+    // looks like a death. All writers share the write half; each frame
     // is one write_all under the lock, so frames never interleave.
     let stop = Arc::new(AtomicBool::new(false));
     let hb_stop = Arc::clone(&stop);
@@ -657,40 +904,66 @@ where
             }
         }
     });
-    let outcome = session_loop(&mut reader, &writer, &eval);
+    // One evaluation thread pops the queue in FIFO order and streams
+    // results back as they finish — pipelining without reordering.
+    let queue = Arc::new(JobQueue::new());
+    let eval_queue = Arc::clone(&queue);
+    let eval_writer = Arc::clone(&writer);
+    let evaluator = std::thread::spawn(move || {
+        while let Some((job_id, payload)) = eval_queue.pop() {
+            let (status, output) = eval(&payload);
+            let frame = Frame::Result {
+                job_id,
+                status,
+                output,
+            };
+            if write_locked(&eval_writer, &frame).is_err() {
+                return;
+            }
+        }
+    });
+    let outcome = session_loop(&mut reader, &mut dec, &writer, &queue);
+    // Whatever ended the session, release the evaluator and let the
+    // in-progress job's Result flush before the socket goes down (the
+    // heartbeat keeps the driver's lease alive meanwhile).
+    let _ = queue.close();
+    let _ = evaluator.join();
     stop.store(true, Ordering::Relaxed);
     {
         let guard = writer.lock().unwrap_or_else(|p| p.into_inner());
-        let _ = guard.shutdown(SockShutdown::Both);
+        let _ = guard.stream.shutdown(SockShutdown::Both);
     }
     let _ = heartbeat.join();
     outcome
 }
 
-/// The worker's synchronous serve loop: one dispatch at a time.
+/// The worker's frame-pump loop: dispatches go onto the queue, cancels
+/// come off it, and `Shutdown` drains it with Cancel acknowledgements.
 fn session_loop(
     reader: &mut TcpStream,
-    writer: &Arc<Mutex<TcpStream>>,
-    eval: &EvalFn,
+    dec: &mut FrameDecoder,
+    writer: &Arc<Mutex<FrameWriter>>,
+    queue: &Arc<JobQueue>,
 ) -> Result<(), ProtoError> {
     loop {
-        match proto::read_frame(reader) {
-            Ok(Frame::Dispatch { job_id, payload }) => {
-                let (status, output) = eval(&payload);
-                write_locked(
-                    writer,
-                    &Frame::Result {
-                        job_id,
-                        status,
-                        output,
-                    },
-                )?;
+        match dec.read_from(reader) {
+            Ok(Frame::Dispatch { job_id, payload }) => queue.push(job_id, payload),
+            // If the job already started (or finished), its Result is
+            // fenced driver-side as stale; nothing to do here.
+            Ok(Frame::Cancel { job_id }) => {
+                let _ = queue.cancel(job_id);
             }
-            // Single-slot synchronous worker: by the time a Cancel is
-            // read here the cancelled job has either already answered
-            // (the driver drops that Result as stale) or never arrived.
-            Ok(Frame::Cancel { .. }) => {}
-            Ok(Frame::Shutdown) => return Ok(()),
+            Ok(Frame::Shutdown) => {
+                // Drain: every queued-but-unstarted job is handed back
+                // via Cancel so the driver reclaims it immediately
+                // instead of inferring orphans from the disconnect.
+                for (job_id, _) in queue.close() {
+                    if write_locked(writer, &Frame::Cancel { job_id }).is_err() {
+                        break;
+                    }
+                }
+                return Ok(());
+            }
             Ok(other) => {
                 return Err(ProtoError::Garbage(format!(
                     "unexpected frame from driver: {other:?}"
@@ -704,9 +977,9 @@ fn session_loop(
 }
 
 /// Encodes and writes one frame atomically under the shared-writer lock.
-fn write_locked(writer: &Arc<Mutex<TcpStream>>, frame: &Frame) -> Result<(), ProtoError> {
+fn write_locked(writer: &Arc<Mutex<FrameWriter>>, frame: &Frame) -> Result<(), ProtoError> {
     let mut guard = writer.lock().unwrap_or_else(|p| p.into_inner());
-    proto::write_frame(&mut *guard, frame)
+    guard.write(frame)
 }
 
 #[cfg(test)]
@@ -716,12 +989,16 @@ mod tests {
 
     /// Spawns an in-process worker doubling u64 jobs; returns its addr.
     fn spawn_doubler(once: bool) -> (String, JoinHandle<std::io::Result<()>>) {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap().to_string();
-        let opts = WorkerOptions {
+        spawn_doubler_with(WorkerOptions {
             heartbeat_interval: Duration::from_millis(20),
             once,
-        };
+            ..WorkerOptions::default()
+        })
+    }
+
+    fn spawn_doubler_with(opts: WorkerOptions) -> (String, JoinHandle<std::io::Result<()>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
         let handle = std::thread::spawn(move || {
             serve_worker(listener, opts, |hello| {
                 if hello.as_object().and_then(|m| m.get("reject")).is_some() {
@@ -739,6 +1016,7 @@ mod tests {
     fn opts_with_lease(ms: u64) -> TcpClusterOptions {
         TcpClusterOptions {
             lease_timeout: Duration::from_millis(ms),
+            ..TcpClusterOptions::default()
         }
     }
 
@@ -750,6 +1028,10 @@ mod tests {
             TcpCluster::connect(&[a, b], json!({"test": true}), TcpClusterOptions::default())
                 .unwrap();
         assert_eq!(cluster.n_workers(), 2);
+        // Both sides default to binary and the hello is an object, so
+        // the offer goes out and both workers take it.
+        assert_eq!(cluster.worker_codec(0), Codec::Binary);
+        assert_eq!(cluster.worker_codec(1), Codec::Binary);
         let mut outs = Vec::new();
         let mut next = 0u64;
         while outs.len() < 10 {
@@ -768,6 +1050,217 @@ mod tests {
         drop(cluster); // sends Shutdown; --once workers then return
         ha.join().unwrap().unwrap();
         hb.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn non_object_hello_pins_the_session_to_json() {
+        // A hello with nowhere to carry the `_codec` offer must leave
+        // the connection on the version-1 JSON framing.
+        let (a, h) = spawn_doubler(true);
+        let mut cluster: TcpCluster<u64, u64> =
+            TcpCluster::connect(&[a], json!(null), TcpClusterOptions::default()).unwrap();
+        assert_eq!(cluster.worker_codec(0), Codec::Json);
+        cluster.submit(3).unwrap();
+        assert_eq!(cluster.next_completion().unwrap().output, Some(6));
+        drop(cluster);
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn mixed_codec_fleet_interops() {
+        // One binary-capable worker, one deliberately stuck on JSON
+        // (a "v1 peer"): the driver must speak to each in its own
+        // codec within a single fleet.
+        let (a, ha) = spawn_doubler_with(WorkerOptions {
+            heartbeat_interval: Duration::from_millis(20),
+            once: true,
+            ..WorkerOptions::default()
+        });
+        let (b, hb) = spawn_doubler_with(WorkerOptions {
+            heartbeat_interval: Duration::from_millis(20),
+            once: true,
+            codec: Codec::Json,
+            ..WorkerOptions::default()
+        });
+        let mut cluster: TcpCluster<u64, u64> =
+            TcpCluster::connect(&[a, b], json!({"test": true}), TcpClusterOptions::default())
+                .unwrap();
+        assert_eq!(cluster.worker_codec(0), Codec::Binary);
+        assert_eq!(cluster.worker_codec(1), Codec::Json);
+        let mut outs = Vec::new();
+        let mut next = 0u64;
+        while outs.len() < 10 {
+            while next < 10 && cluster.submit(next).is_ok() {
+                next += 1;
+            }
+            let r = cluster.next_completion().unwrap();
+            assert_eq!(r.status, JobStatus::Succeeded);
+            assert_eq!(r.output, Some(r.job * 2));
+            outs.push(r.job);
+        }
+        outs.sort_unstable();
+        assert_eq!(outs, (0..10).collect::<Vec<_>>());
+        drop(cluster);
+        ha.join().unwrap().unwrap();
+        hb.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn multi_slot_worker_pipelines_in_fifo_order() {
+        let (addr, h) = spawn_doubler_with(WorkerOptions {
+            heartbeat_interval: Duration::from_millis(20),
+            once: true,
+            slots: 4,
+            ..WorkerOptions::default()
+        });
+        let mut cluster: TcpCluster<u64, u64> =
+            TcpCluster::connect(&[addr], json!({"test": true}), TcpClusterOptions::default())
+                .unwrap();
+        assert_eq!(cluster.n_workers(), 4, "capacity counts slots");
+        for j in 0..4 {
+            cluster.submit(j).unwrap();
+        }
+        assert_eq!(cluster.in_flight(), 4);
+        assert_eq!(cluster.submit(99), Err(ClusterError::NoIdleWorker));
+        let mut jobs = Vec::new();
+        for _ in 0..4 {
+            let r = cluster.next_completion().unwrap();
+            assert_eq!(r.status, JobStatus::Succeeded);
+            assert_eq!(r.output, Some(r.job * 2));
+            jobs.push(r.job);
+        }
+        assert_eq!(
+            jobs,
+            vec![0, 1, 2, 3],
+            "single evaluation thread serves the queue in dispatch order"
+        );
+        assert_eq!(
+            cluster.next_completion().unwrap_err(),
+            ClusterError::Quiescent
+        );
+        drop(cluster);
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_dispatches_with_cancel_acks() {
+        // A hand-rolled driver: dispatch three jobs at a slow slots-4
+        // worker, then send Shutdown. The job already evaluating must
+        // answer with a Result; the two still queued must come back as
+        // Cancel acknowledgements, not silence.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let opts = WorkerOptions {
+            heartbeat_interval: Duration::from_millis(20),
+            once: true,
+            slots: 4,
+            ..WorkerOptions::default()
+        };
+        let h = std::thread::spawn(move || {
+            serve_worker(listener, opts, |_| {
+                Ok(Box::new(|payload: &Value| {
+                    std::thread::sleep(Duration::from_millis(80));
+                    (JobStatus::Succeeded, payload.clone())
+                }) as EvalFn)
+            })
+        });
+        let mut s = TcpStream::connect(&addr).unwrap();
+        proto::write_frame(
+            &mut s,
+            &Frame::Hello {
+                payload: json!(null),
+            },
+        )
+        .unwrap();
+        match proto::read_frame(&mut s).unwrap() {
+            Frame::HelloAck {
+                slots: 4,
+                error: None,
+            } => {}
+            other => panic!("expected 4-slot HelloAck, got {other:?}"),
+        }
+        proto::write_frame(
+            &mut s,
+            &Frame::Dispatch {
+                job_id: 0,
+                payload: json!(1),
+            },
+        )
+        .unwrap();
+        // Give the evaluator time to start job 0 before queueing more.
+        std::thread::sleep(Duration::from_millis(30));
+        proto::write_frame(
+            &mut s,
+            &Frame::Dispatch {
+                job_id: 1,
+                payload: json!(2),
+            },
+        )
+        .unwrap();
+        proto::write_frame(
+            &mut s,
+            &Frame::Dispatch {
+                job_id: 2,
+                payload: json!(3),
+            },
+        )
+        .unwrap();
+        proto::write_frame(&mut s, &Frame::Shutdown).unwrap();
+        let mut results = Vec::new();
+        let mut cancels = Vec::new();
+        loop {
+            match proto::read_frame(&mut s) {
+                Ok(Frame::Heartbeat { .. }) => {}
+                Ok(Frame::Result { job_id, .. }) => results.push(job_id),
+                Ok(Frame::Cancel { job_id }) => cancels.push(job_id),
+                Ok(other) => panic!("unexpected frame: {other:?}"),
+                Err(_) => break, // session over
+            }
+        }
+        cancels.sort_unstable();
+        assert_eq!(results, vec![0], "the in-progress job still answers");
+        assert_eq!(cancels, vec![1, 2], "queued jobs are handed back");
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn worker_cancel_ack_surfaces_an_orphan() {
+        // A hand-rolled worker that refuses the job via a Cancel ack:
+        // the driver must reclaim it as an orphan without tearing the
+        // connection down.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let h = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = proto::read_frame(&mut s).unwrap(); // Hello
+            proto::write_frame(
+                &mut s,
+                &Frame::HelloAck {
+                    slots: 1,
+                    error: None,
+                },
+            )
+            .unwrap();
+            let job_id = match proto::read_frame(&mut s).unwrap() {
+                Frame::Dispatch { job_id, .. } => job_id,
+                other => panic!("expected Dispatch, got {other:?}"),
+            };
+            proto::write_frame(&mut s, &Frame::Cancel { job_id }).unwrap();
+            // Linger for the shutdown so the driver's reader sees a
+            // clean session end.
+            let _ = proto::read_frame(&mut s);
+        });
+        let mut cluster: TcpCluster<u64, u64> =
+            TcpCluster::connect(&[addr], json!(null), TcpClusterOptions::default()).unwrap();
+        cluster.submit(7).unwrap();
+        let r = cluster.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Orphaned);
+        assert_eq!(r.job, 7);
+        assert_eq!(r.output, None);
+        assert_eq!(cluster.in_flight(), 0, "the slot is reclaimed");
+        assert_eq!(cluster.n_workers(), 1, "a drain ack is not a death");
+        drop(cluster);
+        h.join().unwrap();
     }
 
     #[test]
@@ -933,6 +1426,7 @@ mod tests {
         let opts = WorkerOptions {
             heartbeat_interval: Duration::from_millis(20),
             once: true,
+            ..WorkerOptions::default()
         };
         let h = std::thread::spawn(move || {
             serve_worker(listener, opts, |_| {
@@ -960,6 +1454,7 @@ mod tests {
         let opts = WorkerOptions {
             heartbeat_interval: Duration::from_millis(15),
             once: true,
+            ..WorkerOptions::default()
         };
         let h = std::thread::spawn(move || {
             serve_worker(listener, opts, |_| {

@@ -283,18 +283,31 @@ impl RunSnapshot {
 /// drivers that learn results one at a time instead of saving a whole
 /// snapshot at once — the multi-tenant service keeps one per study.
 ///
-/// Records append in arrival order and each append flushes to the OS,
-/// so a killed driver loses at most the line it was writing — which
-/// [`RunSnapshot::load`] recovers from as a torn tail. Unlike the
-/// simulator's save path, submissions and measurements may interleave;
-/// the loader accepts any order after the header.
+/// Records append in arrival order. By default each append flushes to
+/// the OS, so a killed driver loses at most the line it was writing —
+/// which [`RunSnapshot::load`] recovers from as a torn tail. With
+/// [`set_auto_flush`](WalWriter::set_auto_flush)`(false)` appends only
+/// buffer, and the caller group-commits by calling
+/// [`flush`](WalWriter::flush) at its own cadence (the service does
+/// this once per scheduler round); a crash then loses at most the
+/// records since the last flush — every one of them a whole line, so
+/// recovery semantics are unchanged, only the durability window widens.
+/// Dropping the writer flushes whatever is buffered (via `BufWriter`),
+/// so a clean exit never loses records.
 pub struct WalWriter {
     w: BufWriter<std::fs::File>,
+    auto_flush: bool,
+    sync_on_flush: bool,
+    /// Records appended since the last flush.
+    dirty: usize,
 }
 
 impl std::fmt::Debug for WalWriter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WalWriter").finish_non_exhaustive()
+        f.debug_struct("WalWriter")
+            .field("auto_flush", &self.auto_flush)
+            .field("dirty", &self.dirty)
+            .finish_non_exhaustive()
     }
 }
 
@@ -332,19 +345,68 @@ impl WalWriter {
             write_record(&mut w, &tagged("Measurement", Serialize::to_value(m)))?;
         }
         w.flush()?;
-        Ok(Self { w })
+        Ok(Self {
+            w,
+            auto_flush: true,
+            sync_on_flush: false,
+            dirty: 0,
+        })
     }
 
-    /// Appends one submission line and flushes.
+    /// Chooses between flush-per-append (`true`, the default) and
+    /// caller-paced group commit (`false`). Turning auto-flush back on
+    /// does not flush by itself; call [`flush`](WalWriter::flush).
+    pub fn set_auto_flush(&mut self, auto_flush: bool) {
+        self.auto_flush = auto_flush;
+    }
+
+    /// When `true`, every [`flush`](WalWriter::flush) also fsyncs
+    /// (`sync_data`) so flushed records survive an OS crash, not just a
+    /// process kill. Off by default: per-record fsync is exactly the
+    /// cost group commit exists to amortize.
+    pub fn set_sync_on_flush(&mut self, sync_on_flush: bool) {
+        self.sync_on_flush = sync_on_flush;
+    }
+
+    /// Records appended since the last flush (0 under auto-flush).
+    pub fn dirty(&self) -> usize {
+        self.dirty
+    }
+
+    /// Flushes buffered records to the OS (and to storage under
+    /// [`set_sync_on_flush`](WalWriter::set_sync_on_flush)); a no-op
+    /// when nothing is dirty, so callers may group-commit
+    /// unconditionally each round.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if self.dirty == 0 {
+            return Ok(());
+        }
+        self.w.flush()?;
+        if self.sync_on_flush {
+            self.w.get_ref().sync_data()?;
+        }
+        self.dirty = 0;
+        Ok(())
+    }
+
+    /// Appends one submission line (flushing under auto-flush).
     pub fn append_submission(&mut self, s: &SubmissionRecord) -> std::io::Result<()> {
         write_record(&mut self.w, &tagged("Submission", Serialize::to_value(s)))?;
-        self.w.flush()
+        self.dirty += 1;
+        if self.auto_flush {
+            self.flush()?;
+        }
+        Ok(())
     }
 
-    /// Appends one measurement line and flushes.
+    /// Appends one measurement line (flushing under auto-flush).
     pub fn append_measurement(&mut self, m: &Measurement) -> std::io::Result<()> {
         write_record(&mut self.w, &tagged("Measurement", Serialize::to_value(m)))?;
-        self.w.flush()
+        self.dirty += 1;
+        if self.auto_flush {
+            self.flush()?;
+        }
+        Ok(())
     }
 }
 
@@ -619,6 +681,56 @@ mod tests {
         assert_eq!(back.submissions, fixture.submissions);
         assert_eq!(back.measurements.len(), 4);
         assert_eq!(back.measurements[3].finished_at, 99.0);
+    }
+
+    #[test]
+    fn wal_writer_group_commit_buffers_until_flush() {
+        let fixture = snapshot_fixture(4);
+        let path = temp_wal("group-commit");
+        let mut w = WalWriter::create(&path, fixture.seed).unwrap();
+        w.set_auto_flush(false);
+        for (s, m) in fixture.submissions.iter().zip(&fixture.measurements) {
+            w.append_submission(s).unwrap();
+            w.append_measurement(m).unwrap();
+        }
+        assert_eq!(w.dirty(), 8, "appends buffer instead of flushing");
+        // The records are whole lines in the writer's buffer, not yet
+        // in the file: a reader sees only the header (BufWriter's
+        // default buffer comfortably holds 8 small records).
+        let before = RunSnapshot::load(&path).unwrap();
+        assert!(
+            before.measurements.len() < fixture.measurements.len(),
+            "buffered records must not be visible before the flush"
+        );
+        w.flush().unwrap();
+        assert_eq!(w.dirty(), 0);
+        w.flush().unwrap(); // idempotent no-op when clean
+        let after = RunSnapshot::load(&path).unwrap();
+        assert_eq!(after.submissions, fixture.submissions);
+        assert_eq!(after.measurements.len(), fixture.measurements.len());
+        drop(w);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn wal_writer_drop_flushes_buffered_records() {
+        let fixture = snapshot_fixture(3);
+        let path = temp_wal("drop-flush");
+        {
+            let mut w = WalWriter::create(&path, fixture.seed).unwrap();
+            w.set_auto_flush(false);
+            for m in &fixture.measurements {
+                w.append_measurement(m).unwrap();
+            }
+            // Clean exit without an explicit flush.
+        }
+        let back = RunSnapshot::load(&path).unwrap();
+        cleanup(&path);
+        assert_eq!(
+            back.measurements.len(),
+            fixture.measurements.len(),
+            "a clean drop must lose nothing"
+        );
     }
 
     #[test]

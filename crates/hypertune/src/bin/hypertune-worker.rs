@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! USAGE:
-//!   hypertune-worker [--listen ADDR] [--once]
+//!   hypertune-worker [--listen ADDR] [--once] [--slots N] [--codec C]
 //!
 //! FLAGS:
 //!   --listen ADDR   Bind address (default 127.0.0.1:0 — an OS-assigned
@@ -10,6 +10,13 @@
 //!                   `listening on ADDR` once the socket is bound, so
 //!                   scripts can discover ephemeral ports.
 //!   --once          Serve exactly one driver session, then exit.
+//!   --slots N       Accept up to N pipelined dispatches per session
+//!                   (default 1). Evaluation stays on one thread in
+//!                   FIFO order; slots hide round-trips, they do not
+//!                   add parallelism.
+//!   --codec C       `binary` (default) upgrades the wire codec when
+//!                   the driver offers it; `json` pins the session to
+//!                   the version-1 JSON framing (a v1 peer).
 //!
 //! EXAMPLE (one driver, two workers, all on localhost):
 //!   hypertune-worker --listen 127.0.0.1:7101 &
@@ -33,7 +40,7 @@
 //! different objectives.
 
 use hypertune::benchmarks::Benchmark;
-use hypertune::cluster::{serve_worker, EvalFn, JobStatus, WorkerOptions};
+use hypertune::cluster::{serve_worker, Codec, EvalFn, JobStatus, WorkerOptions};
 use hypertune::core::ThreadedJob;
 use hypertune::registry;
 use hypertune::service::ServiceJob;
@@ -43,13 +50,15 @@ use std::net::TcpListener;
 use std::sync::{Arc, Mutex};
 
 fn usage() -> ! {
-    eprintln!("usage: hypertune-worker [--listen ADDR] [--once]");
+    eprintln!("usage: hypertune-worker [--listen ADDR] [--once] [--slots N] [--codec json|binary]");
     std::process::exit(2);
 }
 
 fn main() {
     let mut listen = "127.0.0.1:0".to_string();
     let mut once = false;
+    let mut slots = 1usize;
+    let mut codec = Codec::Binary;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -64,6 +73,26 @@ fn main() {
                     .clone()
             }
             "--once" => once = true,
+            "--slots" => {
+                slots = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--slots needs a positive integer");
+                        usage()
+                    })
+            }
+            "--codec" => {
+                codec = match it.next().map(String::as_str) {
+                    Some("json") => Codec::Json,
+                    Some("binary") => Codec::Binary,
+                    _ => {
+                        eprintln!("--codec must be `json` or `binary`");
+                        usage()
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 usage()
@@ -82,6 +111,8 @@ fn main() {
 
     let opts = WorkerOptions {
         once,
+        slots,
+        codec,
         ..WorkerOptions::default()
     };
     let outcome = serve_worker(listener, opts, |hello: &Value| {

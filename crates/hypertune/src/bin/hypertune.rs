@@ -6,9 +6,11 @@
 //!                 [--budget-hours H] [--seed S] [--eta E] [--trace]
 //!   hypertune cluster --workers ADDR[,ADDR...] [--bench NAME] [--method NAME]
 //!                 [--max-evals N] [--seed S] [--eta E] [--lease-secs F]
-//!                 [--eval-sleep-ms MS] [--no-prefetch] [--trace FILE]
+//!                 [--eval-sleep-ms MS] [--no-prefetch] [--codec json|binary]
+//!                 [--trace FILE]
 //!   hypertune serve [--pool N | --workers ADDR[,ADDR...]] [--state-dir DIR]
-//!                 [--script FILE] [--resume] [--lease-secs F] [--trace FILE]
+//!                 [--script FILE] [--resume] [--lease-secs F]
+//!                 [--codec json|binary] [--trace FILE]
 //!   hypertune list
 //!
 //! EXAMPLES:
@@ -24,6 +26,9 @@
 //! drives real `hypertune-worker` processes over TCP (wall-clock time,
 //! see DESIGN.md §16 and the README's "Running a real cluster"). Start
 //! the workers first — `--workers` takes their listen addresses.
+//! `--codec binary` (the default) offers the compact binary wire codec
+//! in the handshake; binary-capable workers take it per-connection,
+//! JSON-only workers keep speaking version-1 JSON in the same fleet.
 //!
 //! `serve` runs the multi-tenant tuning service (DESIGN.md §17): many
 //! studies fair-shared over one fleet — an in-process thread pool
@@ -53,9 +58,20 @@ use serde_json::json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  hypertune run [--bench NAME] [--method NAME] [--workers N]\n                [--budget-hours H] [--seed S] [--eta E] [--trace]\n  hypertune cluster --workers ADDR[,ADDR...] [--bench NAME] [--method NAME]\n                [--max-evals N] [--seed S] [--eta E] [--lease-secs F]\n                [--eval-sleep-ms MS] [--no-prefetch] [--trace FILE]\n  hypertune serve [--pool N | --workers ADDR[,ADDR...]] [--state-dir DIR]\n                [--script FILE] [--resume] [--lease-secs F] [--trace FILE]\n  hypertune list"
+        "usage:\n  hypertune run [--bench NAME] [--method NAME] [--workers N]\n                [--budget-hours H] [--seed S] [--eta E] [--trace]\n  hypertune cluster --workers ADDR[,ADDR...] [--bench NAME] [--method NAME]\n                [--max-evals N] [--seed S] [--eta E] [--lease-secs F]\n                [--eval-sleep-ms MS] [--no-prefetch] [--codec json|binary]\n                [--trace FILE]\n  hypertune serve [--pool N | --workers ADDR[,ADDR...]] [--state-dir DIR]\n                [--script FILE] [--resume] [--lease-secs F]\n                [--codec json|binary] [--trace FILE]\n  hypertune list"
     );
     std::process::exit(2);
+}
+
+fn parse_codec(s: &str) -> Codec {
+    match s {
+        "json" => Codec::Json,
+        "binary" => Codec::Binary,
+        _ => {
+            eprintln!("--codec must be `json` or `binary`");
+            usage()
+        }
+    }
 }
 
 fn main() {
@@ -176,6 +192,7 @@ fn cluster_command(args: &[String]) {
     let mut lease_secs = 10.0f64;
     let mut eval_sleep_ms = 0u64;
     let mut prefetch = true;
+    let mut codec = Codec::Binary;
     let mut trace_path: Option<String> = None;
 
     let mut it = args.iter();
@@ -208,6 +225,7 @@ fn cluster_command(args: &[String]) {
                 eval_sleep_ms = value("--eval-sleep-ms").parse().unwrap_or_else(|_| usage())
             }
             "--no-prefetch" => prefetch = false,
+            "--codec" => codec = parse_codec(&value("--codec")),
             "--trace" => trace_path = Some(value("--trace")),
             other => {
                 eprintln!("unknown flag {other}");
@@ -246,6 +264,7 @@ fn cluster_command(args: &[String]) {
     });
     let opts = TcpClusterOptions {
         lease_timeout: std::time::Duration::from_secs_f64(lease_secs),
+        codec,
     };
     eprintln!(
         "connecting to {} worker(s): {}",
@@ -302,6 +321,7 @@ fn serve_command(args: &[String]) {
     let mut script: Option<String> = None;
     let mut resume = false;
     let mut lease_secs = 10.0f64;
+    let mut codec = Codec::Binary;
     let mut trace_path: Option<String> = None;
 
     let mut it = args.iter();
@@ -329,6 +349,7 @@ fn serve_command(args: &[String]) {
             "--lease-secs" => {
                 lease_secs = value("--lease-secs").parse().unwrap_or_else(|_| usage())
             }
+            "--codec" => codec = parse_codec(&value("--codec")),
             "--trace" => trace_path = Some(value("--trace")),
             other => {
                 eprintln!("unknown flag {other}");
@@ -367,6 +388,7 @@ fn serve_command(args: &[String]) {
         let hello = json!({ "multi_study": true });
         let opts = TcpClusterOptions {
             lease_timeout: std::time::Duration::from_secs_f64(lease_secs),
+            codec,
         };
         let cluster: TcpCluster<ServiceJob, Eval> = TcpCluster::connect(&worker_addrs, hello, opts)
             .unwrap_or_else(|e| {

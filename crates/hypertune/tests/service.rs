@@ -72,6 +72,7 @@ fn spawn_fleet_worker() -> String {
     let opts = WorkerOptions {
         heartbeat_interval: Duration::from_millis(50),
         once: true,
+        ..WorkerOptions::default()
     };
     std::thread::spawn(move || {
         serve_worker(listener, opts, move |_hello: &Value| {

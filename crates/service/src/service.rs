@@ -26,7 +26,12 @@
 //!   generation-mixed RNG — trials in flight at the kill were never
 //!   logged, so they re-run fresh and **no trial is ever booked
 //!   twice** (the restart drill asserts
-//!   `TraceSummary::duplicated_trials() == 0` per tenant).
+//!   `TraceSummary::duplicated_trials() == 0` per tenant). WAL appends
+//!   group-commit across studies — buffered per study, flushed once
+//!   every [`ServiceConfig::wal_flush_rounds`] scheduler rounds — so a
+//!   kill mid-window widens the set of trials that re-run but never
+//!   the set that double-books; lifecycle sidecar writes always flush
+//!   the WAL first.
 //! - **Retries and quarantine**: failed attempts are re-dispatched up
 //!   to the configured [`RetryPolicy`] budget, then quarantined and fed
 //!   back to the study's method as a failed outcome — the same ladder
@@ -77,6 +82,21 @@ pub struct ServiceConfig {
     pub state_dir: Option<PathBuf>,
     /// Retry budget for failed attempts, shared by all studies.
     pub retry: RetryPolicy,
+    /// WAL group-commit cadence: `0` flushes every record as it is
+    /// appended (the legacy per-record path); `n ≥ 1` buffers appends
+    /// across all studies and flushes once every `n` scheduler rounds
+    /// (default 1 — one flush per round, the bounded-latency knob). A
+    /// kill mid-window loses at most the un-flushed whole-line records,
+    /// which recovery treats exactly like trials that were still in
+    /// flight: they re-run, nothing is ever booked twice. Lifecycle
+    /// transitions (complete/stop) always flush the study's WAL before
+    /// the sidecar is rewritten, so a sidecar can never claim records
+    /// the WAL does not have.
+    pub wal_flush_rounds: usize,
+    /// When `true`, every WAL flush also fsyncs (`sync_data`), making
+    /// the durability window a storage guarantee rather than an OS-cache
+    /// one. Off by default; group commit is what makes this affordable.
+    pub wal_sync: bool,
     /// Telemetry pipeline; per-study handles are tenant-stamped clones
     /// of this one, so every tenant shares the sinks and ring buffer.
     pub telemetry: TelemetryHandle,
@@ -88,6 +108,8 @@ impl ServiceConfig {
         Self {
             state_dir: None,
             retry: RetryPolicy::default_policy(),
+            wal_flush_rounds: 1,
+            wal_sync: false,
             telemetry: TelemetryHandle::disabled(),
         }
     }
@@ -104,10 +126,28 @@ impl ServiceConfig {
         self
     }
 
+    /// Sets the group-commit cadence (see [`ServiceConfig::wal_flush_rounds`]).
+    pub fn with_wal_flush_rounds(mut self, rounds: usize) -> Self {
+        self.wal_flush_rounds = rounds;
+        self
+    }
+
+    /// Sets whether WAL flushes also fsync.
+    pub fn with_wal_sync(mut self, sync: bool) -> Self {
+        self.wal_sync = sync;
+        self
+    }
+
     /// Sets the telemetry pipeline.
     pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
         self.telemetry = telemetry;
         self
+    }
+
+    /// Applies this config's flush policy to a study's WAL writer.
+    fn configure_wal(&self, wal: &mut WalWriter) {
+        wal.set_auto_flush(self.wal_flush_rounds == 0);
+        wal.set_sync_on_flush(self.wal_sync);
     }
 }
 
@@ -276,6 +316,8 @@ pub struct TuningService<E: Executor<ServiceJob, Eval>> {
     /// they requeue ahead of fresh fair-share grants — the same
     /// ordering as the single-study drivers' orphan queue.
     parked: VecDeque<ServiceJob>,
+    /// Scheduler rounds since the last WAL group commit.
+    rounds_since_flush: usize,
     suggest_latencies: Vec<f64>,
     latency_cursor: usize,
 }
@@ -310,6 +352,7 @@ impl<E: Executor<ServiceJob, Eval>> TuningService<E> {
             next_study_id: 1,
             started: Instant::now(),
             parked: VecDeque::new(),
+            rounds_since_flush: 0,
             suggest_latencies: Vec::new(),
             latency_cursor: 0,
         })
@@ -367,7 +410,11 @@ impl<E: Executor<ServiceJob, Eval>> TuningService<E> {
             telemetry.clone(),
         );
         let wal = match &self.config.state_dir {
-            Some(dir) => Some(WalWriter::create(&wal_path(dir, id), spec.seed)?),
+            Some(dir) => {
+                let mut wal = WalWriter::create(&wal_path(dir, id), spec.seed)?;
+                self.config.configure_wal(&mut wal);
+                Some(wal)
+            }
             None => None,
         };
         let record = StudyRecord {
@@ -420,6 +467,12 @@ impl<E: Executor<ServiceJob, Eval>> TuningService<E> {
             return Ok(false);
         }
         study.status = StudyStatus::Stopped;
+        // Sidecar ordering: the WAL must be flushed before the sidecar
+        // records the terminal state, so the sidecar never claims
+        // records the WAL does not have.
+        if let Some(wal) = &mut study.wal {
+            wal.flush()?;
+        }
         self.sched.unregister(id);
         let before = self.parked.len();
         self.parked.retain(|j| j.study != id);
@@ -537,6 +590,12 @@ impl<E: Executor<ServiceJob, Eval>> TuningService<E> {
             return Ok(());
         };
         study.status = StudyStatus::Completed;
+        // Flush before the sidecar flips to Completed: a `Completed`
+        // sidecar over a WAL missing its tail would permanently
+        // undercount the study on recovery.
+        if let Some(wal) = &mut study.wal {
+            wal.flush()?;
+        }
         let trials = study.completed;
         study
             .telemetry
@@ -691,9 +750,13 @@ impl<E: Executor<ServiceJob, Eval>> TuningService<E> {
         match self.executor.next_completion() {
             Ok(result) => {
                 self.handle_completion(result)?;
+                self.group_commit()?;
                 Ok(true)
             }
             Err(ClusterError::Quiescent) => {
+                // Nothing more will arrive: close the durability window
+                // before reporting quiescence.
+                self.flush_wals()?;
                 let stalled = self
                     .studies
                     .values()
@@ -707,6 +770,45 @@ impl<E: Executor<ServiceJob, Eval>> TuningService<E> {
             }
             Err(e) => Err(io::Error::other(format!("executor failed: {e}"))),
         }
+    }
+
+    /// Advances the group-commit clock one scheduler round and flushes
+    /// every study's WAL when the cadence comes due. No-op in
+    /// per-record mode (`wal_flush_rounds == 0`): the writers flush
+    /// themselves on append.
+    fn group_commit(&mut self) -> io::Result<()> {
+        if self.config.wal_flush_rounds == 0 {
+            return Ok(());
+        }
+        self.rounds_since_flush += 1;
+        if self.rounds_since_flush >= self.config.wal_flush_rounds {
+            self.flush_wals()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes every study's buffered WAL records in one pass — the
+    /// group commit itself. Emits `wal.group_commit.flushes` and a
+    /// `wal.group_commit.records` histogram (how many records the
+    /// commit covered) when anything was dirty.
+    fn flush_wals(&mut self) -> io::Result<()> {
+        let mut records = 0usize;
+        for study in self.studies.values_mut() {
+            if let Some(wal) = &mut study.wal {
+                records += wal.dirty();
+                wal.flush()?;
+            }
+        }
+        self.rounds_since_flush = 0;
+        if records > 0 {
+            self.config
+                .telemetry
+                .counter_add("wal.group_commit.flushes", 1);
+            self.config
+                .telemetry
+                .histogram_record("wal.group_commit.records", records as f64);
+        }
+        Ok(())
     }
 
     /// Runs until every study is terminal (completed or stopped) and
@@ -805,7 +907,11 @@ impl<E: Executor<ServiceJob, Eval>> TuningService<E> {
                 // flip: the budget is spent, finish it now.
                 status = StudyStatus::Completed;
             }
-            let wal = Some(WalWriter::create_from(&path, &snapshot)?);
+            let wal = {
+                let mut w = WalWriter::create_from(&path, &snapshot)?;
+                self.config.configure_wal(&mut w);
+                Some(w)
+            };
             write_sidecar(
                 &dir,
                 &StudyRecord {
@@ -1076,6 +1182,60 @@ mod tests {
         assert_eq!(svc.status(b), Some(StudyStatus::Stopped));
         svc.drain().unwrap();
         assert_eq!(svc.status(b), Some(StudyStatus::Stopped), "never revived");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_recovery_never_double_books() {
+        // Same drill as recover_resumes_unfinished_studies but with a
+        // wide group-commit window (and fsync on flush): recovery must
+        // still book every study to exactly its budget — a lost WAL
+        // tail re-runs trials, it never duplicates them.
+        let dir = unique_dir("group-commit");
+        let config = ServiceConfig::new()
+            .with_state_dir(&dir)
+            .with_wal_flush_rounds(4)
+            .with_wal_sync(true);
+        let a;
+        let b;
+        {
+            let mut svc = TuningService::new(pool(2), resolver(), config.clone()).unwrap();
+            a = svc.create_study(spec("a", 31).with_max_evals(6)).unwrap();
+            b = svc.create_study(spec("b", 32).with_max_evals(6)).unwrap();
+            svc.run_completions(5).unwrap();
+            // Killed here, possibly mid-window; BufWriter's Drop
+            // flushes, mirroring a clean shutdown.
+        }
+        let mut svc = TuningService::new(pool(2), resolver(), config).unwrap();
+        let recovered = svc.recover().unwrap();
+        assert_eq!(recovered.len(), 2);
+        assert!(
+            svc.completed(a) <= 6 && svc.completed(b) <= 6,
+            "recovery must never book past the budget"
+        );
+        svc.drain().unwrap();
+        assert_eq!(svc.status(a), Some(StudyStatus::Completed));
+        assert_eq!(svc.status(b), Some(StudyStatus::Completed));
+        assert_eq!(svc.completed(a), 6);
+        assert_eq!(svc.completed(b), 6);
+        assert_eq!(svc.measurements(a).len(), 6, "exactly once, no duplicates");
+        assert_eq!(svc.measurements(b).len(), 6, "exactly once, no duplicates");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn per_record_flush_mode_still_works() {
+        let dir = unique_dir("per-record");
+        let config = ServiceConfig::new()
+            .with_state_dir(&dir)
+            .with_wal_flush_rounds(0);
+        let mut svc = TuningService::new(pool(2), resolver(), config).unwrap();
+        let h = svc
+            .create_study(spec("legacy", 41).with_max_evals(4))
+            .unwrap();
+        svc.drain().unwrap();
+        assert_eq!(svc.status(h), Some(StudyStatus::Completed));
+        assert_eq!(svc.completed(h), 4);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -84,7 +84,7 @@ cargo test -q -p hypertune-core --offline batch_rescore_ops_counter_is_linear_in
 step "prefetch determinism smoke (batch k=1 + prefetch/inline agreement)"
 PROPTEST_CASES=2 cargo test -q -p hypertune --offline --test batch_dispatch
 
-step "TCP loopback smoke (real workers, kill -9 mid-run, exactly-once)"
+step "TCP loopback smoke (real workers, kill -9 mid-run, exactly-once, both codecs)"
 # A real distributed study over localhost: two hypertune-worker
 # processes on OS-assigned ports, one SIGKILLed mid-evaluation. The run
 # must complete on the survivor, and replaying the JSONL trace must
@@ -92,30 +92,52 @@ step "TCP loopback smoke (real workers, kill -9 mid-run, exactly-once)"
 # integration tests (crates/hypertune/tests/distributed.rs) cover the
 # same path plus sim/ThreadPool bit-equivalence; this step exercises
 # the shipped binaries end to end, the way an operator would run them.
+# Run once per wire codec: the JSON pass is the v1 plane, the binary
+# pass also pipelines with --slots 4 (the driver sizes its in-flight
+# window from the negotiated slot counts), so the kill -9 drill covers
+# orphaning a *multi-slot* worker's whole pending queue.
 cargo build --release -q -p hypertune --offline --bins
 WORKER=target/release/hypertune-worker
-mkfifo target/worker-a.fifo target/worker-b.fifo 2>/dev/null || true
-"$WORKER" --listen 127.0.0.1:0 --once > target/worker-a.fifo &
-WORKER_A_PID=$!
-"$WORKER" --listen 127.0.0.1:0 --once > target/worker-b.fifo &
-WORKER_B_PID=$!
-read -r _ _ ADDR_A < target/worker-a.fifo
-read -r _ _ ADDR_B < target/worker-b.fifo
-( sleep 0.3; kill -9 "$WORKER_A_PID" 2>/dev/null || true ) &
-KILLER_PID=$!
-target/release/hypertune cluster \
-  --workers "$ADDR_A,$ADDR_B" --bench counting-ones-small \
-  --method hyper-tune --max-evals 30 --seed 7 --lease-secs 2 \
-  --eval-sleep-ms 40 --trace target/loopback-trace.jsonl \
-  > target/loopback.out
-wait "$KILLER_PID"
-kill "$WORKER_B_PID" 2>/dev/null || true
-wait "$WORKER_B_PID" 2>/dev/null || true
-rm -f target/worker-a.fifo target/worker-b.fifo
-grep -q "evaluations:  30" target/loopback.out
-cargo run --release -q -p hypertune-bench --offline --bin trace-report -- \
-  target/loopback-trace.jsonl > target/loopback-report.out
-grep -q "; 0 duplicated" target/loopback-report.out
+for CODEC in json binary; do
+  SLOTS=1
+  [[ "$CODEC" == binary ]] && SLOTS=4
+  mkfifo target/worker-a.fifo target/worker-b.fifo 2>/dev/null || true
+  "$WORKER" --listen 127.0.0.1:0 --once --codec "$CODEC" --slots "$SLOTS" \
+    > target/worker-a.fifo &
+  WORKER_A_PID=$!
+  "$WORKER" --listen 127.0.0.1:0 --once --codec "$CODEC" --slots "$SLOTS" \
+    > target/worker-b.fifo &
+  WORKER_B_PID=$!
+  read -r _ _ ADDR_A < target/worker-a.fifo
+  read -r _ _ ADDR_B < target/worker-b.fifo
+  ( sleep 0.3; kill -9 "$WORKER_A_PID" 2>/dev/null || true ) &
+  KILLER_PID=$!
+  target/release/hypertune cluster \
+    --workers "$ADDR_A,$ADDR_B" --bench counting-ones-small \
+    --method hyper-tune --max-evals 30 --seed 7 --lease-secs 2 \
+    --codec "$CODEC" --eval-sleep-ms 40 \
+    --trace "target/loopback-trace-$CODEC.jsonl" \
+    > "target/loopback-$CODEC.out"
+  wait "$KILLER_PID"
+  kill "$WORKER_B_PID" 2>/dev/null || true
+  wait "$WORKER_B_PID" 2>/dev/null || true
+  rm -f target/worker-a.fifo target/worker-b.fifo
+  grep -q "evaluations:  30" "target/loopback-$CODEC.out"
+  cargo run --release -q -p hypertune-bench --offline --bin trace-report -- \
+    "target/loopback-trace-$CODEC.jsonl" > "target/loopback-report-$CODEC.out"
+  grep -q "; 0 duplicated" "target/loopback-report-$CODEC.out"
+done
+
+step "net-bench smoke (wire-overhead matrix + WAL group commit)"
+# A scaled-down pass of the data-plane bench behind BENCH_net.json:
+# every (codec x slots) cell and every WAL durability config must run
+# to completion and write a report.
+cargo run --release -q -p hypertune-bench --offline --bin net-bench -- \
+  --jobs 200 --studies 4 --evals 8 --out target/bench-net-smoke.json \
+  2> target/net-bench-smoke.err > target/net-bench-smoke.out
+grep -q "wrote target/bench-net-smoke.json" target/net-bench-smoke.out
+grep -q "speedup_binary8_vs_json1" target/bench-net-smoke.json
+grep -q "speedup_group_vs_per_record_fsync" target/bench-net-smoke.json
 
 step "multi-tenant service smoke (8 studies, stop + kill + resume, per-study exactly-once)"
 # Eight concurrent studies fair-shared over one in-process pool. One
