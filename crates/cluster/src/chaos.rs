@@ -1,0 +1,544 @@
+//! A deterministic TCP fault proxy for partition drills.
+//!
+//! Sits between a [`TcpCluster`](crate::TcpCluster) driver and one
+//! worker, forwarding bytes both ways and injecting *scheduled* network
+//! faults: latency spikes, bandwidth throttling, blackhole (partition)
+//! windows, connection resets, and half-open stalls. The schedule is a
+//! serde [`ChaosPlan`] — wall-clock windows relative to proxy launch —
+//! so a drill replays the same fault sequence every run, the same way
+//! [`FaultModel`](crate::FaultModel) makes *job* failures a
+//! deterministic function of the seed.
+//!
+//! The proxy is deliberately dumb about the wire protocol: it never
+//! parses frames, it only moves (or refuses to move) bytes. That keeps
+//! it honest — everything the driver and worker survive, they survive
+//! at the socket level, exactly as they would behind a misbehaving
+//! network.
+//!
+//! # Fault semantics
+//!
+//! - [`ChaosFault::Latency`] — every forwarded chunk waits `ms` first.
+//! - [`ChaosFault::Throttle`] — chunks are paced to `bytes_per_sec`.
+//! - [`ChaosFault::Blackhole`] — a full partition: nothing moves in
+//!   either direction until the window closes, *including* close
+//!   propagation (a peer hanging up mid-partition is invisible to the
+//!   other side until the network heals, just like real packet loss).
+//!   New connections are accepted and immediately dropped, so a
+//!   redialing driver fails fast and keeps retrying past the window.
+//! - [`ChaosFault::Reset`] — established connections are torn down the
+//!   next time a chunk crosses them (connection reset by peer).
+//! - [`ChaosFault::HalfOpen`] — the worker→driver direction stalls
+//!   while driver→worker keeps flowing: the driver's writes succeed
+//!   into the void, and only its heartbeat lease can notice.
+//!
+//! At each window's start the proxy bumps a `chaos.<kind>` counter and
+//! emits a [`ChaosInjected`](hypertune_telemetry::Event::ChaosInjected)
+//! event, so `trace-report` can show the drill schedule next to the
+//! reconnects it caused.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use hypertune_cluster::chaos::{ChaosFault, ChaosPlan, ChaosProxy, ScheduledFault};
+//! use hypertune_telemetry::TelemetryHandle;
+//!
+//! // 2s partition starting 1s in.
+//! let plan = ChaosPlan {
+//!     faults: vec![ScheduledFault {
+//!         at_ms: 1000,
+//!         for_ms: 2000,
+//!         fault: ChaosFault::Blackhole,
+//!     }],
+//! };
+//! let proxy = ChaosProxy::launch("127.0.0.1:7070", plan, TelemetryHandle::disabled()).unwrap();
+//! // Point the driver at proxy.addr() instead of the worker.
+//! println!("dial {} to reach 127.0.0.1:7070 through the chaos", proxy.addr());
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hypertune_telemetry::{Event, TelemetryHandle};
+
+/// One network fault kind the proxy can inject.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ChaosFault {
+    /// Every forwarded chunk is delayed by `ms` milliseconds.
+    Latency {
+        /// Added one-way delay per chunk, in milliseconds.
+        ms: u64,
+    },
+    /// Forwarding is paced to at most `bytes_per_sec`.
+    Throttle {
+        /// Bandwidth cap, in bytes per second.
+        bytes_per_sec: u64,
+    },
+    /// Full partition: nothing crosses in either direction, close
+    /// propagation included; new connections are dropped on accept.
+    Blackhole,
+    /// Established connections are reset at the next chunk.
+    Reset,
+    /// The worker→driver direction stalls; driver→worker still flows.
+    HalfOpen,
+}
+
+impl ChaosFault {
+    /// Counter/event tag for this fault kind.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ChaosFault::Latency { .. } => "latency",
+            ChaosFault::Throttle { .. } => "throttle",
+            ChaosFault::Blackhole => "blackhole",
+            ChaosFault::Reset => "reset",
+            ChaosFault::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// One fault window on the drill timeline.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScheduledFault {
+    /// Window start, in milliseconds after [`ChaosProxy::launch`].
+    pub at_ms: u64,
+    /// Window length in milliseconds.
+    pub for_ms: u64,
+    /// What misbehaves during the window.
+    pub fault: ChaosFault,
+}
+
+impl ScheduledFault {
+    fn active_at(&self, now_ms: u64) -> bool {
+        self.at_ms <= now_ms && now_ms < self.at_ms.saturating_add(self.for_ms)
+    }
+}
+
+/// A replayable drill schedule: fault windows on a shared clock that
+/// starts when the proxy launches. Windows may overlap; the first
+/// matching entry wins at any instant.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChaosPlan {
+    /// The scheduled fault windows.
+    pub faults: Vec<ScheduledFault>,
+}
+
+impl ChaosPlan {
+    /// A plan that never injects anything (the proxy degenerates to a
+    /// plain TCP forwarder).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// One blackhole window: a partition of `for_ms` starting `at_ms`
+    /// after launch — the canonical drill.
+    pub fn partition(at_ms: u64, for_ms: u64) -> Self {
+        Self {
+            faults: vec![ScheduledFault {
+                at_ms,
+                for_ms,
+                fault: ChaosFault::Blackhole,
+            }],
+        }
+    }
+}
+
+/// Shared clock + schedule the accept loop and every pump consult.
+struct Shared {
+    plan: ChaosPlan,
+    start: Instant,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn active(&self) -> Option<&ScheduledFault> {
+        let now = self.now_ms();
+        self.plan.faults.iter().find(|f| f.active_at(now))
+    }
+
+    fn blackhole_active(&self) -> bool {
+        matches!(self.active().map(|f| &f.fault), Some(ChaosFault::Blackhole))
+    }
+
+    /// Parks the calling pump until no blackhole window is active (or
+    /// the proxy is shutting down).
+    fn wait_out_blackhole(&self) {
+        while self.blackhole_active() && !self.stop.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// A running chaos proxy fronting one upstream address. Dropping it
+/// stops the accept loop and tears down every proxied connection.
+pub struct ChaosProxy {
+    addr: String,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral loopback port and starts proxying it to
+    /// `upstream` under `plan`. Fault-window starts are announced on
+    /// `telemetry` (`chaos.<kind>` counters + `ChaosInjected` events)
+    /// even if no traffic crosses during the window.
+    pub fn launch(
+        upstream: impl Into<String>,
+        plan: ChaosPlan,
+        telemetry: TelemetryHandle,
+    ) -> std::io::Result<Self> {
+        let upstream = upstream.into();
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?.to_string();
+        let shared = Arc::new(Shared {
+            plan,
+            start: Instant::now(),
+            stop: AtomicBool::new(false),
+        });
+        // Announcer: telemetry at each window start, traffic or not.
+        {
+            let shared = Arc::clone(&shared);
+            let mut windows: Vec<(u64, &'static str)> = shared
+                .plan
+                .faults
+                .iter()
+                .map(|f| (f.at_ms, f.fault.tag()))
+                .collect();
+            windows.sort_unstable();
+            std::thread::spawn(move || {
+                for (at_ms, tag) in windows {
+                    loop {
+                        if shared.stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        if shared.now_ms() >= at_ms {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    telemetry.counter_add(&format!("chaos.{tag}"), 1);
+                    telemetry.emit_now_with(|| Event::ChaosInjected { kind: tag.into() });
+                }
+            });
+        }
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || {
+            accept_loop(listener, &upstream, &accept_shared);
+        });
+        Ok(Self {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The proxy's listen address — point the driver here instead of at
+    /// the worker.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, upstream: &str, shared: &Arc<Shared>) {
+    let mut pumps = Vec::new();
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        match listener.accept() {
+            Ok((down, _)) => {
+                if shared.blackhole_active() {
+                    // Partition: the connection "reaches" the proxy and
+                    // dies at once, so a redialing driver gets a fast
+                    // typed failure instead of a hang, and retries past
+                    // the window.
+                    drop(down);
+                    continue;
+                }
+                let Ok(up) = TcpStream::connect_timeout(
+                    &match upstream.parse() {
+                        Ok(sock) => sock,
+                        Err(_) => break,
+                    },
+                    Duration::from_secs(2),
+                ) else {
+                    drop(down);
+                    continue;
+                };
+                down.set_nodelay(true).ok();
+                up.set_nodelay(true).ok();
+                // Short read timeouts so pumps notice `stop` promptly.
+                down.set_read_timeout(Some(Duration::from_millis(50))).ok();
+                up.set_read_timeout(Some(Duration::from_millis(50))).ok();
+                let (Ok(down2), Ok(up2)) = (down.try_clone(), up.try_clone()) else {
+                    continue;
+                };
+                let s1 = Arc::clone(shared);
+                let s2 = Arc::clone(shared);
+                pumps.push(std::thread::spawn(move || {
+                    pump(down, up, Direction::DriverToWorker, &s1)
+                }));
+                pumps.push(std::thread::spawn(move || {
+                    pump(up2, down2, Direction::WorkerToDriver, &s2)
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    for h in pumps {
+        let _ = h.join();
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    DriverToWorker,
+    WorkerToDriver,
+}
+
+/// Moves bytes `src` → `dst` one chunk at a time, consulting the drill
+/// schedule before each delivery. Exits (shutting both sockets) on
+/// close, reset injection, or proxy stop — but a close observed during
+/// a blackhole window is *held* until the window ends, because a real
+/// partition hides hangups too.
+fn pump(mut src: TcpStream, mut dst: TcpStream, dir: Direction, shared: &Arc<Shared>) {
+    let mut buf = [0u8; 4096];
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => {
+                shared.wait_out_blackhole();
+                break;
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => {
+                shared.wait_out_blackhole();
+                break;
+            }
+        };
+        match shared.active().map(|f| f.fault.clone()) {
+            Some(ChaosFault::Latency { ms }) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(ChaosFault::Throttle { bytes_per_sec }) => {
+                let secs = n as f64 / bytes_per_sec.max(1) as f64;
+                std::thread::sleep(Duration::from_secs_f64(secs.min(5.0)));
+            }
+            Some(ChaosFault::Blackhole) => shared.wait_out_blackhole(),
+            Some(ChaosFault::Reset) => break,
+            Some(ChaosFault::HalfOpen) if dir == Direction::WorkerToDriver => {
+                // Stall this direction until the window closes; the
+                // driver→worker side keeps flowing.
+                while !shared.stop.load(Ordering::Relaxed)
+                    && matches!(
+                        shared.active().map(|f| &f.fault),
+                        Some(ChaosFault::HalfOpen)
+                    )
+                {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+            Some(ChaosFault::HalfOpen) => {}
+            None => {}
+        }
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if dst.write_all(&buf[..n]).is_err() {
+            shared.wait_out_blackhole();
+            break;
+        }
+    }
+    let _ = src.shutdown(Shutdown::Both);
+    let _ = dst.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// An upstream echo server good for one connection at a time.
+    fn echo_server() -> (String, Arc<AtomicBool>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let stop = Arc::new(AtomicBool::new(false));
+        let t_stop = Arc::clone(&stop);
+        listener.set_nonblocking(true).unwrap();
+        std::thread::spawn(move || loop {
+            if t_stop.load(Ordering::Relaxed) {
+                return;
+            }
+            match listener.accept() {
+                Ok((mut s, _)) => {
+                    s.set_read_timeout(Some(Duration::from_millis(50))).ok();
+                    let mut buf = [0u8; 1024];
+                    loop {
+                        match s.read(&mut buf) {
+                            Ok(0) => break,
+                            Ok(n) => {
+                                if s.write_all(&buf[..n]).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(e)
+                                if e.kind() == std::io::ErrorKind::WouldBlock
+                                    || e.kind() == std::io::ErrorKind::TimedOut =>
+                            {
+                                if t_stop.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => return,
+            }
+        });
+        (addr, stop)
+    }
+
+    #[test]
+    fn plain_plan_forwards_transparently() {
+        let (upstream, stop) = echo_server();
+        let proxy =
+            ChaosProxy::launch(upstream, ChaosPlan::none(), TelemetryHandle::disabled()).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"ping").unwrap();
+        let mut back = [0u8; 4];
+        c.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"ping");
+        stop.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn blackhole_window_stalls_and_heals() {
+        let (upstream, stop) = echo_server();
+        let plan = ChaosPlan::partition(0, 300);
+        let proxy = ChaosProxy::launch(upstream, plan, TelemetryHandle::disabled()).unwrap();
+        // New connections die instantly during the window.
+        let t0 = Instant::now();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        let mut back = [0u8; 4];
+        assert!(
+            c.read_exact(&mut back).is_err(),
+            "mid-partition connections are dropped"
+        );
+        assert!(t0.elapsed() < Duration::from_millis(250), "fail fast");
+        // After the window the proxy is transparent again.
+        std::thread::sleep(Duration::from_millis(350));
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"pong").unwrap();
+        c.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"pong");
+        stop.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn reset_window_tears_established_connections() {
+        let (upstream, stop) = echo_server();
+        let plan = ChaosPlan {
+            faults: vec![ScheduledFault {
+                at_ms: 100,
+                for_ms: 200,
+                fault: ChaosFault::Reset,
+            }],
+        };
+        let proxy = ChaosProxy::launch(upstream, plan, TelemetryHandle::disabled()).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"before").unwrap();
+        let mut back = [0u8; 6];
+        c.read_exact(&mut back).unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        // The next chunk through the proxy hits the reset window.
+        let _ = c.write_all(b"during");
+        let dead = c.read_exact(&mut back).is_err();
+        assert!(dead, "reset must kill the established connection");
+        stop.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = ChaosPlan {
+            faults: vec![
+                ScheduledFault {
+                    at_ms: 100,
+                    for_ms: 50,
+                    fault: ChaosFault::Latency { ms: 20 },
+                },
+                ScheduledFault {
+                    at_ms: 200,
+                    for_ms: 400,
+                    fault: ChaosFault::Blackhole,
+                },
+                ScheduledFault {
+                    at_ms: 700,
+                    for_ms: 100,
+                    fault: ChaosFault::Throttle { bytes_per_sec: 512 },
+                },
+                ScheduledFault {
+                    at_ms: 900,
+                    for_ms: 100,
+                    fault: ChaosFault::HalfOpen,
+                },
+                ScheduledFault {
+                    at_ms: 1100,
+                    for_ms: 10,
+                    fault: ChaosFault::Reset,
+                },
+            ],
+        };
+        let s = serde_json::to_string(&plan).unwrap();
+        let back: ChaosPlan = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn window_starts_are_announced_once() {
+        use hypertune_telemetry::Telemetry;
+        let (upstream, stop) = echo_server();
+        let handle = Telemetry::new().build();
+        let plan = ChaosPlan {
+            faults: vec![ScheduledFault {
+                at_ms: 0,
+                for_ms: 50,
+                fault: ChaosFault::Latency { ms: 1 },
+            }],
+        };
+        let proxy = ChaosProxy::launch(upstream, plan, handle.clone()).unwrap();
+        std::thread::sleep(Duration::from_millis(120));
+        drop(proxy);
+        let snap = handle.snapshot().unwrap();
+        assert_eq!(snap.counter("chaos.latency"), Some(1));
+        stop.store(true, Ordering::Relaxed);
+    }
+}

@@ -55,6 +55,7 @@
 //! TCP substrate produces the same `Orphaned` status from real causes:
 //! a dropped connection or a missed-heartbeat lease expiry.
 
+pub mod chaos;
 pub mod executor;
 pub mod fault;
 pub mod membership;
@@ -65,10 +66,14 @@ pub mod trace;
 
 mod straggler;
 
+pub use chaos::{ChaosFault, ChaosPlan, ChaosProxy, ScheduledFault};
 pub use executor::{Executor, PoolResult, ThreadPool};
 pub use fault::{Fault, FaultModel, FaultSpec};
 pub use membership::{MembershipEvent, MembershipPlan};
-pub use net::{serve_worker, EvalFn, TcpCluster, TcpClusterOptions, WorkerOptions};
+pub use net::{
+    serve_worker, EvalFn, ReconnectPolicy, TcpCluster, TcpClusterOptions, WorkerOptions,
+    CONNECT_RETRY_PAUSE,
+};
 pub use proto::{
     Codec, Frame, FrameDecoder, FrameEncoder, ProtoError, MAX_FRAME, WIRE_VERSION,
     WIRE_VERSION_BINARY,

@@ -40,9 +40,16 @@
 //! - **Disconnect** (EOF, reset, or any framing error on the read path):
 //!   the worker is dead immediately. Every job pending on it surfaces as
 //!   [`JobStatus::Orphaned`] from `next_completion`, capacity shrinks by
-//!   its slot count, and a `WorkerLeft` event is emitted. There is no
-//!   redial: with a static address list, connect = Join at startup and
-//!   disconnect = permanent Leave.
+//!   its slot count, and a `WorkerLeft` event is emitted. By default
+//!   ([`ReconnectPolicy::disabled`]) that Leave is permanent. With a
+//!   [`ReconnectPolicy`] configured, the driver also starts a background
+//!   *redial loop* for the address: exponential backoff with seeded
+//!   jitter, capped attempts, give-up → permanent Leave. A successful
+//!   redial re-handshakes with a bumped **session epoch** (the `"_epoch"`
+//!   key in the `Hello` payload, echoed in the `HelloAck`), restores the
+//!   worker's capacity, and emits `WorkerReconnected` + `WorkerJoined`.
+//!   Orphaning is unchanged either way — a redial never resurrects jobs,
+//!   it only restores capacity for their retries.
 //! - **Missed heartbeats**: every worker beacons on a timer even while
 //!   evaluating. If nothing (result or heartbeat) arrives from a worker
 //!   with pending jobs for longer than the lease timeout, the driver
@@ -53,6 +60,15 @@
 //!   counted under `net.stale_results` and dropped, never surfaced —
 //!   this is the driver-side half of the exactly-once argument
 //!   (DESIGN.md §16).
+//! - **Session epochs**: every reader thread stamps its events with the
+//!   epoch of the session it was spawned for, and the driver drops any
+//!   frame whose epoch differs from the worker's current one
+//!   (`net.stale_epoch_frames`). Job-id retirement already fences
+//!   `Result`s; the epoch fence extends that to *every* frame kind, so
+//!   nothing a pre-partition session buffered — heartbeats, cancel acks,
+//!   results — can touch the post-redial session's state. Together they
+//!   are why a result from before a partition can never double-book a
+//!   trial (DESIGN.md §16.4).
 //! - **Worker-initiated `Cancel`**: a worker draining on `Shutdown`
 //!   acknowledges each queued-but-unrun dispatch with a `Cancel` frame.
 //!   The driver reclaims the job immediately as an orphan
@@ -91,7 +107,8 @@
 //!
 //! With a handle attached ([`TcpCluster::set_telemetry`]) the driver
 //! emits `net.*` counters (`dispatches`, `results`, `stale_results`,
-//! `heartbeats`, `cancels`, `cancel_acks`, `disconnects`,
+//! `stale_epoch_frames`, `heartbeats`, `cancels`, `cancel_acks`,
+//! `disconnects`, `reconnects`, `redial_gaveup`,
 //! `codec.binary`/`codec.json` per negotiated connection), latency
 //! histograms (`net.job_rtt_ms` dispatch→result, `net.heartbeat_gap_ms`
 //! between liveness signals, `net.batch_size` dispatches per scheduler
@@ -109,6 +126,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hypertune_telemetry::{Event, TelemetryHandle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Number, Serialize, Value};
 
 use crate::executor::{Executor, PoolResult};
@@ -127,6 +146,20 @@ pub struct TcpClusterOptions {
     /// worker accepts; [`Codec::Json`] never offers, pinning every
     /// connection to the version-1 JSON framing.
     pub codec: Codec,
+    /// Redial behaviour after a worker connection drops. The default
+    /// ([`ReconnectPolicy::disabled`]) keeps the historical semantics:
+    /// disconnect = permanent Leave.
+    pub reconnect: ReconnectPolicy,
+    /// Per-attempt bound on dialing *and* on the handshake reads that
+    /// follow (so a black-holed address cannot hang `connect` or a
+    /// redial). `None` uses the OS defaults and blocks indefinitely.
+    pub connect_timeout: Option<Duration>,
+    /// Extra initial-dial attempts per address in [`TcpCluster::connect`]
+    /// beyond the first, paced [`CONNECT_RETRY_PAUSE`] apart. Only
+    /// connection-level failures retry; a handshake *rejection* is a
+    /// definitive answer and still fails fast. 0 (the default) keeps the
+    /// historical fail-fast startup.
+    pub connect_retries: u32,
 }
 
 impl Default for TcpClusterOptions {
@@ -134,16 +167,95 @@ impl Default for TcpClusterOptions {
         Self {
             lease_timeout: Duration::from_secs(10),
             codec: Codec::Binary,
+            reconnect: ReconnectPolicy::disabled(),
+            connect_timeout: None,
+            connect_retries: 0,
         }
     }
 }
 
-/// What a reader thread reports back to the driver.
+/// Pause between bounded initial-dial retries in [`TcpCluster::connect`].
+pub const CONNECT_RETRY_PAUSE: Duration = Duration::from_millis(50);
+
+/// Driver-side redial behaviour after a worker connection drops.
+///
+/// Attempt `n` (1-based) sleeps `base_backoff * 2^(n-1)` capped at
+/// `max_backoff`, plus a jitter drawn uniformly from `[0, backoff/2]` by
+/// an RNG seeded from `jitter_seed`, the worker index, and the session
+/// epoch — so a drill replays the same dial schedule exactly. Exhausting
+/// `max_attempts` makes the Leave permanent (`net.redial_gaveup`).
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// Redial attempts before giving up; 0 disables redialing entirely.
+    pub max_attempts: u32,
+    /// Backoff before the first attempt; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Cap on the per-attempt backoff.
+    pub max_backoff: Duration,
+    /// Seed for the backoff jitter (mixed with worker index and epoch).
+    pub jitter_seed: u64,
+}
+
+impl ReconnectPolicy {
+    /// No redialing: disconnect = permanent Leave (the default, and the
+    /// pre-epoch behaviour).
+    pub fn disabled() -> Self {
+        Self {
+            max_attempts: 0,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(2),
+            jitter_seed: 0,
+        }
+    }
+
+    /// A sensible production-ish policy: `attempts` dials starting at
+    /// 100ms backoff, capped at 2s, jittered from `seed`.
+    pub fn with_attempts(attempts: u32, seed: u64) -> Self {
+        Self {
+            max_attempts: attempts,
+            jitter_seed: seed,
+            ..Self::disabled()
+        }
+    }
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// What a reader thread (or a redialer thread) reports back to the
+/// driver. Frame and disconnect events carry the session epoch the
+/// reporting reader was spawned for, so the driver can fence residue
+/// from dead sessions even after the worker slot has been revived.
 enum NetEvent {
-    /// A decoded frame from worker `worker`.
-    Frame { worker: usize, frame: Frame },
-    /// The connection to worker `worker` is gone (EOF or framing error).
-    Disconnected { worker: usize, reason: ProtoError },
+    /// A decoded frame from worker `worker`, session `epoch`.
+    Frame {
+        worker: usize,
+        epoch: u64,
+        frame: Frame,
+    },
+    /// The connection to worker `worker` (session `epoch`) is gone (EOF
+    /// or framing error).
+    Disconnected {
+        worker: usize,
+        epoch: u64,
+        reason: ProtoError,
+    },
+    /// A redialer re-established worker `worker` at session `epoch`:
+    /// the new connection's write half, handshake results, and how many
+    /// dials it took.
+    Redialed {
+        worker: usize,
+        epoch: u64,
+        stream: TcpStream,
+        slots: usize,
+        codec: Codec,
+        attempts: u32,
+    },
+    /// A redialer exhausted its attempts; the Leave is now permanent.
+    RedialFailed { worker: usize, attempts: u32 },
 }
 
 /// A job awaiting its `Result` frame.
@@ -169,6 +281,11 @@ struct WorkerConn<J> {
     last_seen: Instant,
     completed: u64,
     reader: Option<JoinHandle<()>>,
+    /// Session epoch: 0 for the startup connection, bumped per redial.
+    /// Events stamped with any other epoch are residue and are dropped.
+    epoch: u64,
+    /// A redialer thread is currently working this address.
+    redialing: bool,
 }
 
 /// A cluster of worker processes reached over TCP, presenting the same
@@ -194,6 +311,19 @@ pub struct TcpCluster<J, O> {
     batch: u64,
     telemetry: TelemetryHandle,
     joins_emitted: bool,
+    /// The caller's hello payload, undecorated — redials re-decorate it
+    /// with fresh `_codec`/`_epoch` keys per dial.
+    hello: Value,
+    /// The codec preference offered in every handshake.
+    offer_codec: Codec,
+    reconnect: ReconnectPolicy,
+    connect_timeout: Option<Duration>,
+    /// Redialer threads still working an address. Quiescence waits for
+    /// them: capacity may come back.
+    redialing: usize,
+    redial_handles: Vec<JoinHandle<()>>,
+    /// Tells redialer threads to stop sleeping/dialing (set on drop).
+    stop_redial: Arc<AtomicBool>,
 }
 
 impl<J, O> TcpCluster<J, O>
@@ -202,14 +332,19 @@ where
     O: Deserialize,
 {
     /// Dials every address, handshakes with `hello`, and spawns one
-    /// reader thread per connection. Fails fast on the first address
-    /// that cannot be reached or rejects the handshake — a partial
-    /// cluster at startup is an operator error, unlike churn later.
+    /// reader thread per connection. By default it fails fast on the
+    /// first address that cannot be reached or rejects the handshake —
+    /// a partial cluster at startup is an operator error, unlike churn
+    /// later. [`TcpClusterOptions::connect_timeout`] bounds each dial
+    /// (and its handshake reads), and
+    /// [`TcpClusterOptions::connect_retries`] retries connection-level
+    /// failures a bounded number of times; rejections never retry.
     ///
     /// When `opts.codec` is [`Codec::Binary`] and `hello` is an object,
     /// a `"_codec": 2` offer is added to the handshake payload; the
     /// codec each connection settles on is whatever the worker answered
-    /// in (see the module docs).
+    /// in (see the module docs). Object hellos also carry the session
+    /// epoch as `"_epoch"` (0 at startup, bumped per redial).
     ///
     /// # Panics
     ///
@@ -223,60 +358,33 @@ where
         A: ToSocketAddrs + std::fmt::Display,
     {
         assert!(!addrs.is_empty(), "cluster needs at least one worker");
-        let hello = match (opts.codec, &hello) {
-            (Codec::Binary, Value::Object(map)) => {
-                let mut map = map.clone();
-                map.insert(
-                    "_codec".to_string(),
-                    Value::Number(Number::PosInt(u64::from(proto::WIRE_VERSION_BINARY))),
-                );
-                Value::Object(map)
-            }
-            // A non-object hello has nowhere to carry the offer; the
-            // connection stays on JSON.
-            _ => hello,
-        };
         let (tx, rx) = unbounded();
         let mut workers = Vec::with_capacity(addrs.len());
         let mut capacity = 0;
         for (idx, addr) in addrs.iter().enumerate() {
-            let mut stream = TcpStream::connect(addr)?;
-            let _ = stream.set_nodelay(true);
-            proto::write_frame(
-                &mut stream,
-                &Frame::Hello {
-                    payload: hello.clone(),
-                },
-            )?;
-            let mut dec = FrameDecoder::new();
-            let slots = match dec.read_from(&mut stream)? {
-                Frame::HelloAck { slots, error: None } => slots.max(1),
-                Frame::HelloAck {
-                    error: Some(reason),
-                    ..
-                } => {
-                    return Err(ProtoError::Garbage(format!(
-                        "worker {addr} rejected handshake: {reason}"
-                    )))
+            let addr = addr.to_string();
+            let mut attempt = 0u32;
+            let (stream, slots, codec) = loop {
+                match dial_worker(&addr, &hello, opts.codec, 0, opts.connect_timeout) {
+                    Ok(ok) => break ok,
+                    // A handshake rejection (or a peer speaking
+                    // something else) is a definitive answer.
+                    Err(e @ ProtoError::Garbage(_)) => return Err(e),
+                    Err(e) => {
+                        attempt += 1;
+                        if attempt > opts.connect_retries {
+                            return Err(e);
+                        }
+                        std::thread::sleep(CONNECT_RETRY_PAUSE);
+                    }
                 }
-                other => {
-                    return Err(ProtoError::Garbage(format!(
-                        "worker {addr}: expected HelloAck, got {other:?}"
-                    )))
-                }
-            };
-            // The ack's own encoding is the worker's answer to the
-            // codec offer.
-            let codec = match opts.codec {
-                Codec::Binary => dec.last_codec(),
-                Codec::Json => Codec::Json,
             };
             capacity += slots;
             let reader_stream = stream.try_clone()?;
             let reader_tx = tx.clone();
-            let reader = std::thread::spawn(move || reader_loop(idx, reader_stream, reader_tx));
+            let reader = std::thread::spawn(move || reader_loop(idx, 0, reader_stream, reader_tx));
             workers.push(WorkerConn {
-                addr: addr.to_string(),
+                addr,
                 stream,
                 alive: true,
                 pending: Vec::with_capacity(slots),
@@ -285,6 +393,8 @@ where
                 last_seen: Instant::now(),
                 completed: 0,
                 reader: Some(reader),
+                epoch: 0,
+                redialing: false,
             });
         }
         Ok(Self {
@@ -300,6 +410,13 @@ where
             batch: 0,
             telemetry: TelemetryHandle::disabled(),
             joins_emitted: false,
+            hello,
+            offer_codec: opts.codec,
+            reconnect: opts.reconnect,
+            connect_timeout: opts.connect_timeout,
+            redialing: 0,
+            redial_handles: Vec::new(),
+            stop_redial: Arc::new(AtomicBool::new(false)),
         })
     }
 
@@ -391,6 +508,7 @@ where
             }
             Err(_) => {
                 self.kill_and_orphan(idx);
+                self.maybe_spawn_redialer(idx);
                 self.orphans.push_back(PoolResult {
                     job,
                     output: None,
@@ -400,6 +518,44 @@ where
                 Ok(())
             }
         }
+    }
+
+    /// Starts a background redial loop for dead worker `idx`, if the
+    /// policy allows and one is not already running. The redialer
+    /// handshakes with the *next* session epoch; the driver applies the
+    /// result when the `Redialed`/`RedialFailed` event arrives in
+    /// `next_completion`.
+    fn maybe_spawn_redialer(&mut self, idx: usize) {
+        if self.reconnect.max_attempts == 0 {
+            return;
+        }
+        let w = &mut self.workers[idx];
+        if w.alive || w.redialing {
+            return;
+        }
+        w.redialing = true;
+        self.redialing += 1;
+        let addr = w.addr.clone();
+        let epoch = w.epoch + 1;
+        let hello = self.hello.clone();
+        let offer = self.offer_codec;
+        let policy = self.reconnect.clone();
+        let connect_timeout = self.connect_timeout;
+        let tx = self._events_tx.clone();
+        let stop = Arc::clone(&self.stop_redial);
+        self.redial_handles.push(std::thread::spawn(move || {
+            redial_loop(
+                idx,
+                addr,
+                hello,
+                offer,
+                epoch,
+                policy,
+                connect_timeout,
+                tx,
+                stop,
+            )
+        }));
     }
 
     /// Marks a worker dead: shuts its socket both ways (unblocking the
@@ -471,9 +627,13 @@ where
                     self.telemetry.counter_add("net.cancels", 1);
                 }
                 self.kill_and_orphan(idx);
+                self.maybe_spawn_redialer(idx);
                 continue;
             }
-            if self.in_flight == 0 {
+            // Quiescence must wait out live redialers: capacity may come
+            // back, and the caller re-checks for parked work when it
+            // does (the runners resume dispatching on a restored fleet).
+            if self.in_flight == 0 && self.redialing == 0 {
                 return Err(ClusterError::Quiescent);
             }
             // Block for the next event, but wake at the earliest lease
@@ -499,17 +659,100 @@ where
                 },
             };
             match event {
-                NetEvent::Disconnected { worker, reason } => {
+                NetEvent::Redialed {
+                    worker,
+                    epoch,
+                    stream,
+                    slots,
+                    codec,
+                    attempts,
+                } => {
+                    self.redialing -= 1;
+                    self.workers[worker].redialing = false;
                     if self.workers[worker].alive {
+                        // Unreachable (only dead workers redial), but a
+                        // stray success must not corrupt a live session.
+                        continue;
+                    }
+                    let Ok(reader_stream) = stream.try_clone() else {
+                        self.telemetry.counter_add("net.redial_gaveup", 1);
+                        self.telemetry.emit_now_with(|| Event::RedialGaveUp {
+                            worker,
+                            attempts: attempts as usize,
+                        });
+                        continue;
+                    };
+                    let w = &mut self.workers[worker];
+                    // The old reader exited when its socket died; reap it
+                    // before installing the new session.
+                    if let Some(h) = w.reader.take() {
+                        let _ = h.join();
+                    }
+                    w.stream = stream;
+                    w.alive = true;
+                    w.slots = slots;
+                    w.codec = codec;
+                    w.epoch = epoch;
+                    w.last_seen = Instant::now();
+                    let tx = self._events_tx.clone();
+                    w.reader = Some(std::thread::spawn(move || {
+                        reader_loop(worker, epoch, reader_stream, tx)
+                    }));
+                    self.capacity += slots;
+                    let n_alive = self.capacity;
+                    self.telemetry.counter_add("net.reconnects", 1);
+                    let key = match codec {
+                        Codec::Binary => "net.codec.binary",
+                        Codec::Json => "net.codec.json",
+                    };
+                    self.telemetry.counter_add(key, 1);
+                    self.telemetry
+                        .gauge_set("net.workers_alive", n_alive as f64);
+                    self.telemetry.emit_now_with(|| Event::WorkerReconnected {
+                        worker,
+                        epoch,
+                        attempts: attempts as usize,
+                    });
+                    self.telemetry
+                        .emit_now_with(|| Event::WorkerJoined { worker, n_alive });
+                }
+                NetEvent::RedialFailed { worker, attempts } => {
+                    self.redialing -= 1;
+                    self.workers[worker].redialing = false;
+                    self.telemetry.counter_add("net.redial_gaveup", 1);
+                    self.telemetry.emit_now_with(|| Event::RedialGaveUp {
+                        worker,
+                        attempts: attempts as usize,
+                    });
+                }
+                NetEvent::Disconnected {
+                    worker,
+                    epoch,
+                    reason,
+                } => {
+                    if self.workers[worker].alive && epoch == self.workers[worker].epoch {
                         // A clean EOF and a framing error both kill the
                         // worker, but only the latter is a read fault.
                         if !matches!(reason, ProtoError::Closed) {
                             self.telemetry.counter_add("net.read_errors", 1);
                         }
                         self.kill_and_orphan(worker);
+                        self.maybe_spawn_redialer(worker);
                     }
                 }
-                NetEvent::Frame { worker, frame } => {
+                NetEvent::Frame {
+                    worker,
+                    epoch,
+                    frame,
+                } => {
+                    if epoch != self.workers[worker].epoch {
+                        // Residue from a previous session epoch,
+                        // surfacing after a redial made the worker live
+                        // again — the fence job-id retirement cannot
+                        // provide (DESIGN.md §16.4).
+                        self.telemetry.counter_add("net.stale_epoch_frames", 1);
+                        continue;
+                    }
                     if !self.workers[worker].alive {
                         // Residue from a connection we already tore down.
                         continue;
@@ -637,6 +880,12 @@ where
 
 impl<J, O> Drop for TcpCluster<J, O> {
     fn drop(&mut self) {
+        // Stop background redialers first: a redial landing mid-teardown
+        // would hand us a stream nobody will ever read.
+        self.stop_redial.store(true, Ordering::Relaxed);
+        for h in self.redial_handles.drain(..) {
+            let _ = h.join();
+        }
         for i in 0..self.workers.len() {
             if self.workers[i].alive {
                 // Polite goodbye, then force the socket down either way
@@ -658,22 +907,214 @@ impl<J, O> Drop for TcpCluster<J, O> {
 /// Reads frames until the connection dies, forwarding everything to the
 /// driver's event channel. Never writes. The decoder's body buffer is
 /// reused across frames, so a steady result stream allocates only for
-/// the decoded `Value` trees themselves.
-fn reader_loop(worker: usize, mut stream: TcpStream, tx: Sender<NetEvent>) {
+/// the decoded `Value` trees themselves. Every event is stamped with the
+/// session `epoch` the reader was spawned for, so the driver can fence
+/// out anything a dead session's reader was still flushing when a redial
+/// revived the slot.
+fn reader_loop(worker: usize, epoch: u64, mut stream: TcpStream, tx: Sender<NetEvent>) {
     let mut dec = FrameDecoder::new();
     loop {
         match dec.read_from(&mut stream) {
             Ok(frame) => {
-                if tx.send(NetEvent::Frame { worker, frame }).is_err() {
+                if tx
+                    .send(NetEvent::Frame {
+                        worker,
+                        epoch,
+                        frame,
+                    })
+                    .is_err()
+                {
                     return;
                 }
             }
             Err(reason) => {
-                let _ = tx.send(NetEvent::Disconnected { worker, reason });
+                let _ = tx.send(NetEvent::Disconnected {
+                    worker,
+                    epoch,
+                    reason,
+                });
                 return;
             }
         }
     }
+}
+
+/// Builds the on-the-wire hello for a session: the caller's payload plus
+/// the `"_codec"` offer (when the driver prefers binary) and the
+/// `"_epoch"` session tag. Non-object hellos are sent as-is — they can
+/// carry neither key, which a worker treats as JSON + epoch 0.
+fn decorate_hello(hello: &Value, offer: Codec, epoch: u64) -> Value {
+    let mut decorated = hello.clone();
+    if let Value::Object(map) = &mut decorated {
+        if offer == Codec::Binary {
+            map.insert(
+                "_codec".to_string(),
+                Value::Number(Number::PosInt(u64::from(proto::WIRE_VERSION_BINARY))),
+            );
+        }
+        map.insert("_epoch".to_string(), Value::Number(Number::PosInt(epoch)));
+    }
+    decorated
+}
+
+/// Dials one worker and runs the Hello/HelloAck handshake for session
+/// `epoch`. Returns the connected stream, the worker's advertised slot
+/// count, and the codec the pair settled on. `timeout` bounds both the
+/// TCP connect and the handshake reads (cleared before returning, so the
+/// reader thread blocks normally afterwards); `None` blocks on OS
+/// defaults. A handshake rejection, a mismatched epoch echo, or an
+/// unexpected first frame all come back as [`ProtoError::Garbage`] —
+/// definitive answers the caller must not retry.
+fn dial_worker(
+    addr: &str,
+    hello: &Value,
+    offer: Codec,
+    epoch: u64,
+    timeout: Option<Duration>,
+) -> Result<(TcpStream, usize, Codec), ProtoError> {
+    let mut stream = match timeout {
+        None => TcpStream::connect(addr)?,
+        Some(t) => {
+            // `connect_timeout` wants a resolved SocketAddr; try each
+            // resolution like `TcpStream::connect` would.
+            let mut last_err: Option<std::io::Error> = None;
+            let mut connected = None;
+            for sock in addr.to_socket_addrs()? {
+                match TcpStream::connect_timeout(&sock, t) {
+                    Ok(s) => {
+                        connected = Some(s);
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            match connected {
+                Some(s) => s,
+                None => {
+                    return Err(ProtoError::from(last_err.unwrap_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            format!("{addr}: no addresses resolved"),
+                        )
+                    })))
+                }
+            }
+        }
+    };
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(timeout).ok();
+    let mut enc = FrameEncoder::new(Codec::Json);
+    let frame = Frame::Hello {
+        payload: decorate_hello(hello, offer, epoch),
+    };
+    stream.write_all(enc.encode(&frame))?;
+    let mut dec = FrameDecoder::new();
+    let ack = dec.read_from(&mut stream)?;
+    let out = match ack {
+        Frame::HelloAck {
+            slots,
+            error: None,
+            epoch: acked,
+        } => {
+            if let Some(acked) = acked {
+                if acked != epoch {
+                    return Err(ProtoError::Garbage(format!(
+                        "{addr}: handshake echoed epoch {acked}, offered {epoch}"
+                    )));
+                }
+            }
+            (stream, slots.max(1), dec.last_codec())
+        }
+        Frame::HelloAck {
+            error: Some(msg), ..
+        } => {
+            return Err(ProtoError::Garbage(format!(
+                "{addr}: handshake rejected: {msg}"
+            )))
+        }
+        other => {
+            return Err(ProtoError::Garbage(format!(
+                "{addr}: expected HelloAck, got {other:?}"
+            )))
+        }
+    };
+    out.0.set_read_timeout(None).ok();
+    Ok(out)
+}
+
+/// Sleeps up to `dur` in small slices, returning `false` early if `stop`
+/// flips (driver shutting down).
+fn sleep_unless_stopped(stop: &AtomicBool, dur: Duration) -> bool {
+    let deadline = Instant::now() + dur;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return true;
+        }
+        std::thread::sleep((deadline - now).min(Duration::from_millis(20)));
+    }
+}
+
+/// Background redial loop for one dead worker: bounded attempts with
+/// exponential backoff and seeded jitter, each attempt re-handshaking at
+/// the bumped session `epoch`. Sends exactly one terminal event —
+/// `Redialed` on success, `RedialFailed` on exhaustion — unless the
+/// driver is shutting down, in which case it exits silently (the event
+/// channel may already be gone).
+#[allow(clippy::too_many_arguments)]
+fn redial_loop(
+    worker: usize,
+    addr: String,
+    hello: Value,
+    offer: Codec,
+    epoch: u64,
+    policy: ReconnectPolicy,
+    connect_timeout: Option<Duration>,
+    tx: Sender<NetEvent>,
+    stop: Arc<AtomicBool>,
+) {
+    // Deterministic per-(worker, epoch) jitter stream: drills with a
+    // pinned seed replay the same backoff schedule.
+    let mut rng = StdRng::seed_from_u64(
+        policy.jitter_seed ^ (worker as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ epoch,
+    );
+    for attempt in 1..=policy.max_attempts {
+        let shift = (attempt - 1).min(16);
+        let backoff = policy
+            .base_backoff
+            .saturating_mul(1u32 << shift)
+            .min(policy.max_backoff);
+        let jitter_cap = (backoff.as_millis() as u64 / 2).max(1);
+        let pause = backoff + Duration::from_millis(rng.gen_range(0..=jitter_cap));
+        if !sleep_unless_stopped(&stop, pause) {
+            return;
+        }
+        match dial_worker(&addr, &hello, offer, epoch, connect_timeout) {
+            Ok((stream, slots, codec)) => {
+                let _ = tx.send(NetEvent::Redialed {
+                    worker,
+                    epoch,
+                    stream,
+                    slots,
+                    codec,
+                    attempts: attempt,
+                });
+                return;
+            }
+            Err(_) => {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+        }
+    }
+    let _ = tx.send(NetEvent::RedialFailed {
+        worker,
+        attempts: policy.max_attempts,
+    });
 }
 
 /// Knobs for the worker side of the TCP substrate.
@@ -867,10 +1308,25 @@ where
             .enc
             .set_codec(Codec::Binary);
     }
+    // Session epoch: echo whatever the driver offered (`"_epoch"` in the
+    // hello) so its redial handshake can verify it reached a fresh
+    // session. Absent on old drivers and non-object hellos → None, which
+    // the driver treats as epoch 0.
+    let epoch = hello
+        .as_object()
+        .and_then(|m| m.get("_epoch"))
+        .and_then(|v| v.as_u64());
     let slots = opts.slots.max(1);
     let eval = match make_eval(&hello) {
         Ok(eval) => {
-            write_locked(&writer, &Frame::HelloAck { slots, error: None })?;
+            write_locked(
+                &writer,
+                &Frame::HelloAck {
+                    slots,
+                    error: None,
+                    epoch,
+                },
+            )?;
             eval
         }
         Err(reason) => {
@@ -879,6 +1335,7 @@ where
                 &Frame::HelloAck {
                     slots: 0,
                     error: Some(reason),
+                    epoch,
                 },
             )?;
             return Ok(());
@@ -911,7 +1368,22 @@ where
     let eval_writer = Arc::clone(&writer);
     let evaluator = std::thread::spawn(move || {
         while let Some((job_id, payload)) = eval_queue.pop() {
-            let (status, output) = eval(&payload);
+            // A panicking benchmark must not take the worker process (and
+            // its whole slot queue) down with it: surface it as a Crashed
+            // result so the driver's quarantine path owns the decision.
+            let (status, output) =
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eval(&payload))) {
+                    Ok(out) => out,
+                    Err(panic) => {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "opaque panic payload".to_string());
+                        eprintln!("hypertune-worker: evaluation of job {job_id} panicked: {msg}");
+                        (JobStatus::Crashed, Value::Null)
+                    }
+                };
             let frame = Frame::Result {
                 job_id,
                 status,
@@ -1176,6 +1648,7 @@ mod tests {
             Frame::HelloAck {
                 slots: 4,
                 error: None,
+                ..
             } => {}
             other => panic!("expected 4-slot HelloAck, got {other:?}"),
         }
@@ -1238,6 +1711,7 @@ mod tests {
                 &Frame::HelloAck {
                     slots: 1,
                     error: None,
+                    epoch: None,
                 },
             )
             .unwrap();
@@ -1307,6 +1781,7 @@ mod tests {
                 &Frame::HelloAck {
                     slots: 1,
                     error: None,
+                    epoch: None,
                 },
             )
             .unwrap();
@@ -1339,6 +1814,7 @@ mod tests {
                 &Frame::HelloAck {
                     slots: 1,
                     error: None,
+                    epoch: None,
                 },
             )
             .unwrap();
@@ -1379,6 +1855,7 @@ mod tests {
                 &Frame::HelloAck {
                     slots: 1,
                     error: None,
+                    epoch: None,
                 },
             )
             .unwrap();
@@ -1470,6 +1947,237 @@ mod tests {
         let r = cluster.next_completion().unwrap();
         assert_eq!(r.status, JobStatus::Succeeded, "heartbeats held the lease");
         assert_eq!(r.output, Some(11));
+        drop(cluster);
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn redial_revives_a_dead_worker_under_a_new_epoch() {
+        // A worker whose first session dies mid-job, but which keeps
+        // accepting (no `once`): the orphan surfaces immediately, then
+        // the redial loop lands a second session and the retry runs
+        // there.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let h = std::thread::spawn(move || {
+            // Session 1: take the job and die.
+            {
+                let (mut s, _) = listener.accept().unwrap();
+                let hello = match proto::read_frame(&mut s).unwrap() {
+                    Frame::Hello { payload } => payload,
+                    other => panic!("expected Hello, got {other:?}"),
+                };
+                let epoch = hello
+                    .as_object()
+                    .and_then(|m| m.get("_epoch"))
+                    .and_then(|v| v.as_u64());
+                assert_eq!(epoch, Some(0), "first connect is epoch 0");
+                proto::write_frame(
+                    &mut s,
+                    &Frame::HelloAck {
+                        slots: 1,
+                        error: None,
+                        epoch,
+                    },
+                )
+                .unwrap();
+                let _ = proto::read_frame(&mut s).unwrap(); // Dispatch
+            } // drop = process death
+              // Session 2: the redial. Serve one job properly.
+            let (mut s, _) = listener.accept().unwrap();
+            let hello = match proto::read_frame(&mut s).unwrap() {
+                Frame::Hello { payload } => payload,
+                other => panic!("expected Hello, got {other:?}"),
+            };
+            let epoch = hello
+                .as_object()
+                .and_then(|m| m.get("_epoch"))
+                .and_then(|v| v.as_u64());
+            assert_eq!(epoch, Some(1), "redial bumps the session epoch");
+            proto::write_frame(
+                &mut s,
+                &Frame::HelloAck {
+                    slots: 1,
+                    error: None,
+                    epoch,
+                },
+            )
+            .unwrap();
+            let (job_id, payload) = match proto::read_frame(&mut s).unwrap() {
+                Frame::Dispatch { job_id, payload } => (job_id, payload),
+                other => panic!("expected Dispatch, got {other:?}"),
+            };
+            proto::write_frame(
+                &mut s,
+                &Frame::Result {
+                    job_id,
+                    status: JobStatus::Succeeded,
+                    output: json!(payload.as_u64().unwrap() * 2),
+                },
+            )
+            .unwrap();
+            let _ = proto::read_frame(&mut s); // linger for Shutdown
+        });
+        let opts = TcpClusterOptions {
+            reconnect: ReconnectPolicy {
+                max_attempts: 10,
+                base_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(40),
+                jitter_seed: 7,
+            },
+            ..TcpClusterOptions::default()
+        };
+        let mut cluster: TcpCluster<u64, u64> =
+            TcpCluster::connect(&[addr], json!({"test": true}), opts).unwrap();
+        cluster.submit(9).unwrap();
+        let r = cluster.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Orphaned, "the dead session orphans");
+        // The redialer is still live, so next_completion blocks rather
+        // than declaring quiescence — and eventually capacity returns.
+        while cluster.n_workers() == 0 {
+            match cluster.next_completion() {
+                Ok(r) => panic!("no job is in flight, got {:?}", r.status),
+                Err(ClusterError::Quiescent) => {
+                    // Allowed only once the redial landed (capacity back).
+                    assert!(cluster.n_workers() > 0, "quiescent with a live redialer");
+                }
+                Err(e) => panic!("unexpected error: {e:?}"),
+            }
+        }
+        assert_eq!(cluster.n_workers(), 1, "capacity is restored");
+        cluster.submit(9).unwrap();
+        let r = cluster.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Succeeded);
+        assert_eq!(r.output, Some(18), "the retry runs on the new session");
+        drop(cluster);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn redial_gives_up_when_the_worker_stays_gone() {
+        // Worker dies and its listener goes away: the redial loop must
+        // exhaust its attempts and declare a permanent Leave, after
+        // which the cluster is quiescent at zero capacity.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let h = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = proto::read_frame(&mut s).unwrap(); // Hello
+            proto::write_frame(
+                &mut s,
+                &Frame::HelloAck {
+                    slots: 1,
+                    error: None,
+                    epoch: None,
+                },
+            )
+            .unwrap();
+            let _ = proto::read_frame(&mut s).unwrap(); // Dispatch
+            drop(listener); // nobody will ever answer the redial
+        });
+        let opts = TcpClusterOptions {
+            reconnect: ReconnectPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(10),
+                jitter_seed: 1,
+            },
+            connect_timeout: Some(Duration::from_millis(200)),
+            ..TcpClusterOptions::default()
+        };
+        let mut cluster: TcpCluster<u64, u64> =
+            TcpCluster::connect(&[addr], json!(null), opts).unwrap();
+        cluster.submit(3).unwrap();
+        let r = cluster.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Orphaned);
+        // Blocks through the failing redial attempts, then reports
+        // quiescence once the loop gives up.
+        assert_eq!(
+            cluster.next_completion().unwrap_err(),
+            ClusterError::Quiescent
+        );
+        assert_eq!(cluster.n_workers(), 0, "give-up is a permanent leave");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn half_open_peer_expires_the_lease() {
+        // The nastiest disconnect: the peer handshakes, then stops
+        // participating *without* closing — reads nothing, writes
+        // nothing. Driver-side writes succeed into socket buffers, so
+        // only the heartbeat lease can catch it.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let (done_tx, done_rx) = unbounded::<()>();
+        let h = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = proto::read_frame(&mut s).unwrap(); // Hello
+            proto::write_frame(
+                &mut s,
+                &Frame::HelloAck {
+                    slots: 2,
+                    error: None,
+                    epoch: None,
+                },
+            )
+            .unwrap();
+            // Half-open stall: keep the socket alive but never read or
+            // write again until the test is over.
+            let _ = done_rx.recv();
+        });
+        let mut cluster: TcpCluster<u64, u64> =
+            TcpCluster::connect(&[addr], json!(null), opts_with_lease(80)).unwrap();
+        cluster.submit(1).unwrap();
+        cluster.submit(2).unwrap();
+        let t0 = Instant::now();
+        let mut orphans = Vec::new();
+        for _ in 0..2 {
+            let r = cluster.next_completion().unwrap();
+            assert_eq!(r.status, JobStatus::Orphaned);
+            orphans.push(r.job);
+        }
+        orphans.sort_unstable();
+        assert_eq!(orphans, vec![1, 2], "every pending job orphans");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(60),
+            "orphans must wait out the lease, not race it"
+        );
+        assert_eq!(cluster.n_workers(), 0);
+        let _ = done_tx.send(());
+        drop(cluster);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn panicking_evaluation_crashes_the_job_not_the_worker() {
+        // A benchmark that panics on one payload must surface as a
+        // Crashed result and leave the worker serving the next job.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let opts = WorkerOptions {
+            heartbeat_interval: Duration::from_millis(20),
+            once: true,
+            ..WorkerOptions::default()
+        };
+        let h = std::thread::spawn(move || {
+            serve_worker(listener, opts, |_| {
+                Ok(Box::new(|payload: &Value| {
+                    let x = payload.as_u64().unwrap_or(0);
+                    assert!(x != 13, "unlucky payload");
+                    (JobStatus::Succeeded, json!(x * 2))
+                }) as EvalFn)
+            })
+        });
+        let mut cluster: TcpCluster<u64, u64> =
+            TcpCluster::connect(&[addr], json!(null), TcpClusterOptions::default()).unwrap();
+        cluster.submit(13).unwrap();
+        let r = cluster.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Crashed, "panic = crashed result");
+        assert_eq!(r.output, None);
+        cluster.submit(4).unwrap();
+        let r = cluster.next_completion().unwrap();
+        assert_eq!(r.status, JobStatus::Succeeded, "the worker survived");
+        assert_eq!(r.output, Some(8));
         drop(cluster);
         h.join().unwrap().unwrap();
     }

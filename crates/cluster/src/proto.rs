@@ -39,13 +39,14 @@
 //! tag      := u8 — 0 Hello · 1 HelloAck · 2 Dispatch · 3 Result
 //!                  4 Cancel · 5 Heartbeat · 6 Shutdown
 //! Hello    := value
-//! HelloAck := varint(slots) opt_str(error)
+//! HelloAck := varint(slots) opt_str(error) [opt_u64(epoch)]
 //! Dispatch := varint(job_id) value
 //! Result   := varint(job_id) status value
 //! Cancel   := varint(job_id)
 //! Heartbeat:= varint(seq)
 //! Shutdown := ε
 //! opt_str  := 0x00 | 0x01 string
+//! opt_u64  := 0x00 | 0x01 varint
 //! status   := u8 — 0 Succeeded · 1 Crashed · 2 Errored · 3 TimedOut
 //!                  4 Orphaned · 5 Corrupt
 //! value    := 0x00                          null
@@ -65,12 +66,20 @@
 //! `Value` tree, so the two array encodings are interchangeable on the
 //! wire and bit-identical after decode.
 //!
+//! The `HelloAck` epoch is the one *optional tail*: writers always emit
+//! it, but a decoder that reaches the end of the payload before it
+//! treats it as absent (`None`). That keeps frames from peers predating
+//! session epochs decodable — the only place the "no trailing bytes"
+//! rule is deliberately relaxed. On the JSON side the same compatibility
+//! falls out of object semantics (a missing `"epoch"` key decodes as
+//! `None`).
+//!
 //! # Message set
 //!
 //! | Frame | Direction | Purpose |
 //! |---|---|---|
 //! | [`Frame::Hello`] | driver → worker | opens a session; carries an application payload (benchmark name, seed, …) the worker uses to build its evaluator |
-//! | [`Frame::HelloAck`] | worker → driver | accepts (slot count) or rejects (error string) the session |
+//! | [`Frame::HelloAck`] | worker → driver | accepts (slot count) or rejects (error string) the session; echoes the offered session epoch |
 //! | [`Frame::Dispatch`] | driver → worker | one job: driver-assigned id plus an opaque serialized payload |
 //! | [`Frame::Result`] | worker → driver | terminal outcome of a dispatched job |
 //! | [`Frame::Cancel`] | driver → worker | the driver gave up on a job (lease expiry); the eventual `Result`, if any, will be dropped as stale. worker → driver: the worker dropped a queued job unrun (shutdown drain) and the driver should reclaim it |
@@ -145,6 +154,12 @@ pub enum Frame {
         slots: usize,
         /// `Some(reason)` when the worker rejects the handshake.
         error: Option<String>,
+        /// Echo of the session epoch the driver offered via the
+        /// `"_epoch"` key in its `Hello` payload (see `net`): 0 for a
+        /// first connection, incremented per redial. `None` when the
+        /// hello carried no epoch or the worker predates epochs — the
+        /// driver treats both as epoch 0.
+        epoch: Option<u64>,
     },
     /// One unit of work (driver → worker).
     Dispatch {
@@ -503,7 +518,11 @@ fn put_binary_payload(buf: &mut Vec<u8>, frame: &Frame) {
             buf.push(TAG_HELLO);
             put_value(buf, payload);
         }
-        Frame::HelloAck { slots, error } => {
+        Frame::HelloAck {
+            slots,
+            error,
+            epoch,
+        } => {
             buf.push(TAG_HELLO_ACK);
             put_varint(buf, *slots as u64);
             match error {
@@ -511,6 +530,13 @@ fn put_binary_payload(buf: &mut Vec<u8>, frame: &Frame) {
                 Some(reason) => {
                     buf.push(1);
                     put_string(buf, reason);
+                }
+            }
+            match epoch {
+                None => buf.push(0),
+                Some(e) => {
+                    buf.push(1);
+                    put_varint(buf, *e);
                 }
             }
         }
@@ -554,7 +580,22 @@ fn decode_binary_payload(payload: &[u8]) -> Result<Frame, ProtoError> {
                 1 => Some(r.string()?),
                 b => return Err(garbage(format!("bad option byte {b}"))),
             };
-            Frame::HelloAck { slots, error }
+            // Optional tail (see the module docs): a peer predating
+            // session epochs ends the payload here.
+            let epoch = if r.done() {
+                None
+            } else {
+                match r.u8()? {
+                    0 => None,
+                    1 => Some(r.varint()?),
+                    b => return Err(garbage(format!("bad option byte {b}"))),
+                }
+            };
+            Frame::HelloAck {
+                slots,
+                error,
+                epoch,
+            }
         }
         TAG_DISPATCH => Frame::Dispatch {
             job_id: r.varint()?,
@@ -780,10 +821,17 @@ mod tests {
             Frame::HelloAck {
                 slots: 1,
                 error: None,
+                epoch: None,
             },
             Frame::HelloAck {
                 slots: 0,
                 error: Some("unknown benchmark `nope`".to_string()),
+                epoch: None,
+            },
+            Frame::HelloAck {
+                slots: 4,
+                error: None,
+                epoch: Some(3),
             },
             Frame::Dispatch {
                 job_id: 42,
@@ -1122,6 +1170,11 @@ mod tests {
                 } else {
                     Some("reason".to_string())
                 },
+                epoch: if rng.gen_range(0..2) == 0 {
+                    None
+                } else {
+                    Some(rng.gen::<u64>())
+                },
             },
             2 => Frame::Dispatch {
                 job_id: rng.gen::<u64>(),
@@ -1163,6 +1216,105 @@ mod tests {
                 let cross = read_frame(&mut Cursor::new(encode_frame_as(&via_json, Codec::Binary)))
                     .expect("cross decode");
                 proptest::prop_assert_eq!(&cross, &frame);
+            }
+        }
+    }
+
+    #[test]
+    fn helloack_without_epoch_tail_decodes_as_none() {
+        // A binary HelloAck from a peer predating session epochs ends
+        // right after opt_str(error); the decoder must accept it.
+        let mut body = vec![WIRE_VERSION_BINARY, TAG_HELLO_ACK];
+        put_varint(&mut body, 2); // slots
+        body.push(0); // error: None
+        let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(&body);
+        let frame = read_frame(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(
+            frame,
+            Frame::HelloAck {
+                slots: 2,
+                error: None,
+                epoch: None,
+            }
+        );
+        // Same story in JSON: a missing "epoch" key is None.
+        let payload = r#"{"HelloAck": {"slots": 2, "error": null}}"#;
+        let mut buf = ((payload.len() + 1) as u32).to_be_bytes().to_vec();
+        buf.push(WIRE_VERSION);
+        buf.extend_from_slice(payload.as_bytes());
+        let frame = read_frame(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(
+            frame,
+            Frame::HelloAck {
+                slots: 2,
+                error: None,
+                epoch: None,
+            }
+        );
+    }
+
+    proptest::proptest! {
+        /// Decoder hostility: a stream of pure random bytes must produce
+        /// typed [`ProtoError`]s (or, vanishingly rarely, a well-formed
+        /// frame) — never a panic, hang, or huge allocation.
+        #[test]
+        fn random_bytes_never_panic_the_decoder(seed in proptest::prelude::any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(0..256usize);
+            let bytes: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=255u64) as u8).collect();
+            let mut cur = Cursor::new(bytes);
+            let mut dec = FrameDecoder::new();
+            // Drain the stream: each read either yields a frame or a
+            // typed error; stop at the first error (connections are
+            // torn down there, never resynchronized).
+            loop {
+                match dec.read_from(&mut cur) {
+                    Ok(_) => continue,
+                    Err(ProtoError::Closed) => break,
+                    Err(
+                        ProtoError::Truncated { .. }
+                        | ProtoError::Oversized { .. }
+                        | ProtoError::BadVersion { .. }
+                        | ProtoError::Garbage(_)
+                        | ProtoError::Io(_),
+                    ) => break,
+                }
+            }
+        }
+
+        /// Same hostility aimed past the framing layer: random payload
+        /// bytes wrapped in a *valid* length prefix and version byte, so
+        /// the JSON and binary payload decoders themselves absorb the
+        /// garbage.
+        #[test]
+        fn random_payloads_fail_typed_in_both_codecs(seed in proptest::prelude::any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for version in [WIRE_VERSION, WIRE_VERSION_BINARY] {
+                let n = rng.gen_range(1..128usize);
+                let mut body = vec![version];
+                for _ in 0..n {
+                    body.push(rng.gen_range(0..=255u64) as u8);
+                }
+                let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+                buf.extend_from_slice(&body);
+                let mut cur = Cursor::new(buf);
+                match read_frame(&mut cur) {
+                    // Random bytes occasionally spell a real frame
+                    // (e.g. a binary Heartbeat is 2 meaningful bytes);
+                    // that is fine — the property is "no panic, typed
+                    // error otherwise".
+                    Ok(_) => {}
+                    Err(ProtoError::Garbage(_)) => {}
+                    Err(other) => {
+                        proptest::prop_assert!(
+                            false,
+                            "version {} payload should fail as Garbage, got {:?}",
+                            version,
+                            other
+                        );
+                    }
+                }
             }
         }
     }

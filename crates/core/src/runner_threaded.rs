@@ -648,8 +648,18 @@ fn inline_loop<E: Executor<ThreadedJob, Eval>>(
             }
         }
 
-        let Ok(done) = pool.next_completion() else {
-            break;
+        let done = match pool.next_completion() {
+            Ok(done) => done,
+            Err(_) => {
+                // Quiescent with work parked and capacity restored: a
+                // redialed fleet (TCP substrate) came back after every
+                // in-flight job orphaned. Resume dispatching the queue
+                // instead of abandoning the run.
+                if !orphan_queue.is_empty() && pool.idle_workers() > 0 {
+                    continue;
+                }
+                break;
+            }
         };
         let job = done.job;
         let now = started.elapsed().as_secs_f64();
@@ -854,8 +864,18 @@ fn drive_prefetch<E: Executor<ThreadedJob, Eval>>(
                 }
             }
 
-            let Ok(done) = pool.next_completion() else {
-                break;
+            let done = match pool.next_completion() {
+                Ok(done) => done,
+                Err(_) => {
+                    // Quiescent with work parked and capacity restored: a
+                    // redialed fleet (TCP substrate) came back after every
+                    // in-flight job orphaned. Resume dispatching the
+                    // queue instead of abandoning the run.
+                    if !orphan_queue.is_empty() && pool.idle_workers() > 0 {
+                        continue;
+                    }
+                    break;
+                }
             };
             let job = done.job;
             if done.status.is_failure() {

@@ -7,10 +7,14 @@
 //!   hypertune cluster --workers ADDR[,ADDR...] [--bench NAME] [--method NAME]
 //!                 [--max-evals N] [--seed S] [--eta E] [--lease-secs F]
 //!                 [--eval-sleep-ms MS] [--no-prefetch] [--codec json|binary]
-//!                 [--trace FILE]
+//!                 [--connect-timeout-ms MS] [--connect-retries N]
+//!                 [--redial-attempts N] [--redial-backoff-ms MS]
+//!                 [--chaos FILE] [--trace FILE]
 //!   hypertune serve [--pool N | --workers ADDR[,ADDR...]] [--state-dir DIR]
 //!                 [--script FILE] [--resume] [--lease-secs F]
-//!                 [--codec json|binary] [--trace FILE]
+//!                 [--codec json|binary] [--connect-timeout-ms MS]
+//!                 [--connect-retries N] [--redial-attempts N]
+//!                 [--redial-backoff-ms MS] [--trace FILE]
 //!   hypertune list
 //!
 //! EXAMPLES:
@@ -29,6 +33,16 @@
 //! `--codec binary` (the default) offers the compact binary wire codec
 //! in the handshake; binary-capable workers take it per-connection,
 //! JSON-only workers keep speaking version-1 JSON in the same fleet.
+//!
+//! Partition tolerance (DESIGN.md §16.4): `--connect-timeout-ms` and
+//! `--connect-retries` bound the initial dial; `--redial-attempts` with
+//! `--redial-backoff-ms` arms the driver's reconnect loop — a worker
+//! that drops mid-run is redialed with exponential backoff and, on
+//! success, rejoins under a new session epoch (no trial double-booked).
+//! `--chaos FILE` (cluster only) loads a JSON [`ChaosPlan`] and routes
+//! every worker connection through an in-process fault proxy that
+//! replays the plan deterministically — see the README's "Chaos
+//! drills".
 //!
 //! `serve` runs the multi-tenant tuning service (DESIGN.md §17): many
 //! studies fair-shared over one fleet — an in-process thread pool
@@ -58,7 +72,7 @@ use serde_json::json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  hypertune run [--bench NAME] [--method NAME] [--workers N]\n                [--budget-hours H] [--seed S] [--eta E] [--trace]\n  hypertune cluster --workers ADDR[,ADDR...] [--bench NAME] [--method NAME]\n                [--max-evals N] [--seed S] [--eta E] [--lease-secs F]\n                [--eval-sleep-ms MS] [--no-prefetch] [--codec json|binary]\n                [--trace FILE]\n  hypertune serve [--pool N | --workers ADDR[,ADDR...]] [--state-dir DIR]\n                [--script FILE] [--resume] [--lease-secs F]\n                [--codec json|binary] [--trace FILE]\n  hypertune list"
+        "usage:\n  hypertune run [--bench NAME] [--method NAME] [--workers N]\n                [--budget-hours H] [--seed S] [--eta E] [--trace]\n  hypertune cluster --workers ADDR[,ADDR...] [--bench NAME] [--method NAME]\n                [--max-evals N] [--seed S] [--eta E] [--lease-secs F]\n                [--eval-sleep-ms MS] [--no-prefetch] [--codec json|binary]\n                [--connect-timeout-ms MS] [--connect-retries N]\n                [--redial-attempts N] [--redial-backoff-ms MS]\n                [--chaos FILE] [--trace FILE]\n  hypertune serve [--pool N | --workers ADDR[,ADDR...]] [--state-dir DIR]\n                [--script FILE] [--resume] [--lease-secs F]\n                [--codec json|binary] [--connect-timeout-ms MS]\n                [--connect-retries N] [--redial-attempts N]\n                [--redial-backoff-ms MS] [--trace FILE]\n  hypertune list"
     );
     std::process::exit(2);
 }
@@ -70,6 +84,23 @@ fn parse_codec(s: &str) -> Codec {
         _ => {
             eprintln!("--codec must be `json` or `binary`");
             usage()
+        }
+    }
+}
+
+/// Builds the driver's redial policy from the CLI knobs: 0 attempts
+/// keeps redialing off (a dropped worker stays gone, as before);
+/// otherwise backoff doubles from `backoff_ms` up to a 20x cap, with
+/// jitter seeded from the run seed so drills replay exactly.
+fn reconnect_policy(attempts: u32, backoff_ms: u64, seed: u64) -> ReconnectPolicy {
+    if attempts == 0 {
+        ReconnectPolicy::disabled()
+    } else {
+        ReconnectPolicy {
+            max_attempts: attempts,
+            base_backoff: std::time::Duration::from_millis(backoff_ms.max(1)),
+            max_backoff: std::time::Duration::from_millis(backoff_ms.max(1).saturating_mul(20)),
+            jitter_seed: seed,
         }
     }
 }
@@ -194,6 +225,11 @@ fn cluster_command(args: &[String]) {
     let mut prefetch = true;
     let mut codec = Codec::Binary;
     let mut trace_path: Option<String> = None;
+    let mut connect_timeout_ms: Option<u64> = None;
+    let mut connect_retries = 0u32;
+    let mut redial_attempts = 0u32;
+    let mut redial_backoff_ms = 100u64;
+    let mut chaos_path: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -226,6 +262,29 @@ fn cluster_command(args: &[String]) {
             }
             "--no-prefetch" => prefetch = false,
             "--codec" => codec = parse_codec(&value("--codec")),
+            "--connect-timeout-ms" => {
+                connect_timeout_ms = Some(
+                    value("--connect-timeout-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--connect-retries" => {
+                connect_retries = value("--connect-retries")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--redial-attempts" => {
+                redial_attempts = value("--redial-attempts")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--redial-backoff-ms" => {
+                redial_backoff_ms = value("--redial-backoff-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--chaos" => chaos_path = Some(value("--chaos")),
             "--trace" => trace_path = Some(value("--trace")),
             other => {
                 eprintln!("unknown flag {other}");
@@ -257,6 +316,41 @@ fn cluster_command(args: &[String]) {
         None => TelemetryHandle::disabled(),
     };
 
+    // With --chaos, every worker connection is routed through an
+    // in-process fault proxy replaying the plan; the proxies must stay
+    // alive for the whole run, so they're held here, not in the branch.
+    let mut proxies: Vec<ChaosProxy> = Vec::new();
+    let dial_addrs: Vec<String> = match &chaos_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read chaos plan {path}: {e}");
+                std::process::exit(1);
+            });
+            let plan: ChaosPlan = serde_json::from_str(&text).unwrap_or_else(|e| {
+                eprintln!("bad chaos plan {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "chaos plan {path}: {} scheduled fault window(s)",
+                plan.faults.len()
+            );
+            worker_addrs
+                .iter()
+                .map(|addr| {
+                    let proxy = ChaosProxy::launch(addr.as_str(), plan.clone(), telemetry.clone())
+                        .unwrap_or_else(|e| {
+                            eprintln!("chaos proxy for {addr} failed to start: {e}");
+                            std::process::exit(1);
+                        });
+                    let proxied = proxy.addr().to_string();
+                    proxies.push(proxy);
+                    proxied
+                })
+                .collect()
+        }
+        None => worker_addrs.clone(),
+    };
+
     let hello = json!({
         "bench": bench_name.as_str(),
         "seed": seed,
@@ -265,13 +359,16 @@ fn cluster_command(args: &[String]) {
     let opts = TcpClusterOptions {
         lease_timeout: std::time::Duration::from_secs_f64(lease_secs),
         codec,
+        reconnect: reconnect_policy(redial_attempts, redial_backoff_ms, seed),
+        connect_timeout: connect_timeout_ms.map(std::time::Duration::from_millis),
+        connect_retries,
     };
     eprintln!(
         "connecting to {} worker(s): {}",
         worker_addrs.len(),
         worker_addrs.join(", ")
     );
-    let cluster: TcpCluster<ThreadedJob, Eval> = TcpCluster::connect(&worker_addrs, hello, opts)
+    let cluster: TcpCluster<ThreadedJob, Eval> = TcpCluster::connect(&dial_addrs, hello, opts)
         .unwrap_or_else(|e| {
             eprintln!("cluster connect failed: {e}");
             std::process::exit(1);
@@ -323,6 +420,10 @@ fn serve_command(args: &[String]) {
     let mut lease_secs = 10.0f64;
     let mut codec = Codec::Binary;
     let mut trace_path: Option<String> = None;
+    let mut connect_timeout_ms: Option<u64> = None;
+    let mut connect_retries = 0u32;
+    let mut redial_attempts = 0u32;
+    let mut redial_backoff_ms = 100u64;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -350,6 +451,28 @@ fn serve_command(args: &[String]) {
                 lease_secs = value("--lease-secs").parse().unwrap_or_else(|_| usage())
             }
             "--codec" => codec = parse_codec(&value("--codec")),
+            "--connect-timeout-ms" => {
+                connect_timeout_ms = Some(
+                    value("--connect-timeout-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--connect-retries" => {
+                connect_retries = value("--connect-retries")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--redial-attempts" => {
+                redial_attempts = value("--redial-attempts")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--redial-backoff-ms" => {
+                redial_backoff_ms = value("--redial-backoff-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--trace" => trace_path = Some(value("--trace")),
             other => {
                 eprintln!("unknown flag {other}");
@@ -389,6 +512,9 @@ fn serve_command(args: &[String]) {
         let opts = TcpClusterOptions {
             lease_timeout: std::time::Duration::from_secs_f64(lease_secs),
             codec,
+            reconnect: reconnect_policy(redial_attempts, redial_backoff_ms, 0),
+            connect_timeout: connect_timeout_ms.map(std::time::Duration::from_millis),
+            connect_retries,
         };
         let cluster: TcpCluster<ServiceJob, Eval> = TcpCluster::connect(&worker_addrs, hello, opts)
             .unwrap_or_else(|e| {

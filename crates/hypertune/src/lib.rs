@@ -86,8 +86,9 @@ pub mod prelude {
         tasks, Benchmark, CountingOnes, Eval, SyntheticBenchmark, SyntheticSpec, TabularNasBench,
     };
     pub use hypertune_cluster::{
-        serve_worker, Codec, Executor, FaultSpec, JobStatus, MembershipEvent, MembershipPlan,
-        SimCluster, StragglerModel, TcpCluster, TcpClusterOptions, ThreadPool, WorkerOptions,
+        serve_worker, ChaosFault, ChaosPlan, ChaosProxy, Codec, Executor, FaultSpec, JobStatus,
+        MembershipEvent, MembershipPlan, ReconnectPolicy, ScheduledFault, SimCluster,
+        StragglerModel, TcpCluster, TcpClusterOptions, ThreadPool, WorkerOptions,
     };
     pub use hypertune_core::{
         resume, run, run_checkpointed, run_distributed, run_threaded, BreakerConfig,

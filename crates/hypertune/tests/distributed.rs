@@ -383,3 +383,137 @@ fn kill_nine_mid_run_is_exactly_once() {
 fn nix_kill(pid: u32) {
     let _ = Command::new("kill").args(["-9", &pid.to_string()]).status();
 }
+
+#[test]
+fn partition_drill_redials_under_new_epoch_exactly_once() {
+    // The tentpole drill (DESIGN.md §16.4): a real worker process behind
+    // the chaos proxy, a blackhole window mid-run. The driver's lease
+    // expires inside the window (orphaning the in-flight trial), the
+    // redial loop hammers the dead address until the partition heals,
+    // the worker's serial accept loop re-admits the driver under a new
+    // session epoch, and the run finishes — with zero duplicated trials.
+    const SEED: u64 = 41;
+    let (mut worker, addr) = spawn_worker_process();
+
+    let ring = RingBufferSink::new(1 << 16);
+    let telemetry = Telemetry::new().with_sink(ring.clone()).build();
+    // Blackhole from t=300ms for 1000ms: both directions stall, redial
+    // attempts inside the window are accepted-then-dropped (fast fail).
+    let proxy = ChaosProxy::launch(
+        addr.as_str(),
+        ChaosPlan::partition(300, 1000),
+        telemetry.clone(),
+    )
+    .expect("launch chaos proxy");
+
+    // 40ms per eval keeps the worker mid-job when the window opens;
+    // lease 700ms (vs the worker's 250ms heartbeat) expires only when
+    // heartbeats are genuinely severed.
+    let hello = json!({"bench": "counting-ones-small", "seed": SEED, "sleep_ms": 40});
+    let cluster: TcpCluster<ThreadedJob, Eval> = TcpCluster::connect(
+        &[proxy.addr().to_string()],
+        hello,
+        TcpClusterOptions {
+            lease_timeout: Duration::from_millis(700),
+            reconnect: ReconnectPolicy {
+                max_attempts: 60,
+                base_backoff: Duration::from_millis(25),
+                max_backoff: Duration::from_millis(100),
+                jitter_seed: SEED,
+            },
+            ..TcpClusterOptions::default()
+        },
+    )
+    .expect("connect through the chaos proxy");
+
+    let bench: Box<dyn Benchmark> = Box::new(CountingOnes::new(4, 4, SEED));
+    let levels = ResourceLevels::new(bench.max_resource(), 3);
+    let mut method = MethodKind::HyperTune.build(&levels, SEED);
+    let mut cfg = ThreadedRunConfig::new(1, 25, SEED);
+    cfg.prefetch = false;
+    cfg.telemetry = telemetry.clone();
+    let result = run_distributed(method.as_mut(), bench.space(), &levels, cluster, &cfg);
+
+    let _ = worker.kill();
+    let _ = worker.wait();
+
+    assert_eq!(
+        result.total_evals, 25,
+        "the run must finish once the partition heals (orphaned={}, retries={})",
+        result.n_orphaned, result.n_retries
+    );
+    assert!(
+        result.n_orphaned >= 1,
+        "the partitioned worker's in-flight trial must orphan"
+    );
+
+    let summary = TraceSummary::from_records(&ring.snapshot());
+    assert!(
+        summary.workers_reconnected >= 1,
+        "the driver must redial back in under a new epoch:\n{}",
+        summary.render()
+    );
+    assert!(
+        summary
+            .chaos_injected
+            .get("blackhole")
+            .copied()
+            .unwrap_or(0)
+            >= 1,
+        "the proxy must announce the blackhole window"
+    );
+    assert_eq!(
+        summary.duplicated_trials(),
+        0,
+        "epoch fencing must keep the drill exactly-once:\n{}",
+        summary.render()
+    );
+    assert!(
+        summary.render().contains("0 duplicated"),
+        "trace-report must show `0 duplicated`"
+    );
+    for m in &result.measurements {
+        assert!(m.value.is_finite(), "orphans must never enter history");
+    }
+}
+
+#[test]
+fn chaos_free_proxy_and_armed_redial_are_bit_identical_to_plain_tcp() {
+    // The do-no-harm pin: routing through a ChaosProxy with an empty
+    // plan AND arming the reconnect policy must not perturb the study —
+    // the measurement stream stays bit-identical to a plain TCP run
+    // with the defaults (redial disabled, no proxy).
+    const SEED: u64 = 43;
+    let plain = run_study(SEED, 1, Codec::Binary);
+
+    let addr = spawn_inproc_worker_with("counting-ones-small", SEED, 1, Codec::Binary);
+    let proxy = ChaosProxy::launch(
+        addr.as_str(),
+        ChaosPlan::none(),
+        TelemetryHandle::disabled(),
+    )
+    .expect("launch chaos proxy");
+    let cluster: TcpCluster<ThreadedJob, Eval> = TcpCluster::connect(
+        &[proxy.addr().to_string()],
+        json!({"bench": "counting-ones-small", "seed": SEED}),
+        TcpClusterOptions {
+            reconnect: ReconnectPolicy::with_attempts(8, SEED),
+            ..TcpClusterOptions::default()
+        },
+    )
+    .expect("connect through the idle proxy");
+    let bench: Box<dyn Benchmark> = Box::new(CountingOnes::new(4, 4, SEED));
+    let levels = ResourceLevels::new(bench.max_resource(), 3);
+    let mut method = MethodKind::HyperTune.build(&levels, SEED);
+    let mut cfg = ThreadedRunConfig::new(1, 30, SEED);
+    cfg.prefetch = false;
+    let proxied = run_distributed(method.as_mut(), bench.space(), &levels, cluster, &cfg);
+
+    assert_eq!(
+        keys(&plain.measurements),
+        keys(&proxied.measurements),
+        "an idle proxy and an armed (unused) redial policy must not change the study"
+    );
+    assert_eq!(plain.best_value.to_bits(), proxied.best_value.to_bits());
+    assert_eq!(plain.best_config, proxied.best_config);
+}

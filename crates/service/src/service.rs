@@ -318,6 +318,10 @@ pub struct TuningService<E: Executor<ServiceJob, Eval>> {
     parked: VecDeque<ServiceJob>,
     /// Scheduler rounds since the last WAL group commit.
     rounds_since_flush: usize,
+    /// True while the live fleet sits at zero capacity (every worker
+    /// partitioned away). Studies park rather than stall; cleared when
+    /// a redial restores capacity.
+    fleet_down: bool,
     suggest_latencies: Vec<f64>,
     latency_cursor: usize,
 }
@@ -353,6 +357,7 @@ impl<E: Executor<ServiceJob, Eval>> TuningService<E> {
             started: Instant::now(),
             parked: VecDeque::new(),
             rounds_since_flush: 0,
+            fleet_down: false,
             suggest_latencies: Vec::new(),
             latency_cursor: 0,
         })
@@ -619,6 +624,24 @@ impl<E: Executor<ServiceJob, Eval>> TuningService<E> {
     /// produce (synchronous barrier) is skipped for the rest of the
     /// round.
     fn fill(&mut self) {
+        // Degradation-ladder hook: at zero live capacity (a full
+        // partition with every worker in redial) studies park instead of
+        // stalling, and resume the moment a redial restores a slot.
+        if self.executor.n_workers() == 0 {
+            if !self.fleet_down {
+                self.fleet_down = true;
+                self.config
+                    .telemetry
+                    .counter_add("service.fleet_down_transitions", 1);
+            }
+            return;
+        }
+        if self.fleet_down {
+            self.fleet_down = false;
+            self.config
+                .telemetry
+                .counter_add("service.fleet_resumes", 1);
+        }
         while self.executor.idle_workers() > 0 {
             let Some(job) = self.parked.pop_front() else {
                 break;
@@ -761,8 +784,12 @@ impl<E: Executor<ServiceJob, Eval>> TuningService<E> {
                     .studies
                     .values()
                     .any(|s| s.status == StudyStatus::Running && s.wants() > 0);
+                // At zero capacity "stalled" is expected: the studies
+                // are parked behind a downed fleet, not a broken method.
+                // The caller sees quiescence and may retry after a
+                // redial restores workers.
                 assert!(
-                    !stalled,
+                    !stalled || self.executor.n_workers() == 0,
                     "service stalled: a running study wants work but its method \
                      produced none with nothing in flight"
                 );

@@ -215,6 +215,30 @@ pub enum Event {
         /// Cluster capacity after the departure.
         n_alive: usize,
     },
+    /// A disconnected worker was redialed successfully and rejoined the
+    /// fleet under a fresh session epoch.
+    WorkerReconnected {
+        /// Id of the revived worker.
+        worker: usize,
+        /// Session epoch of the new connection (0 = first connect, so a
+        /// reconnection is always >= 1).
+        epoch: u64,
+        /// Dial attempts the redial loop spent before this one landed.
+        attempts: usize,
+    },
+    /// A redial loop exhausted its attempt budget; the worker's Leave is
+    /// now permanent.
+    RedialGaveUp {
+        /// Id of the worker that stayed unreachable.
+        worker: usize,
+        /// Attempts the redial loop made before giving up.
+        attempts: usize,
+    },
+    /// The chaos proxy injected a scheduled network fault (drills only).
+    ChaosInjected {
+        /// Fault kind tag, e.g. `"blackhole"` or `"latency"`.
+        kind: String,
+    },
     /// The lease on a job held by a departed worker expired; the driver
     /// now owns the orphan and routes it through the retry policy.
     LeaseExpired {
@@ -285,6 +309,9 @@ impl Event {
             Event::SpanClosed { .. } => "span_closed",
             Event::WorkerJoined { .. } => "worker_joined",
             Event::WorkerLeft { .. } => "worker_left",
+            Event::WorkerReconnected { .. } => "worker_reconnected",
+            Event::RedialGaveUp { .. } => "redial_gave_up",
+            Event::ChaosInjected { .. } => "chaos_injected",
             Event::LeaseExpired { .. } => "lease_expired",
             Event::SpeculationLaunched { .. } => "speculation_launched",
             Event::SpeculationResolved { .. } => "speculation_resolved",
@@ -349,6 +376,23 @@ impl fmt::Display for Event {
             Event::WorkerLeft { worker, n_alive } => {
                 write!(f, "worker {worker} left ({n_alive} alive)")
             }
+            Event::WorkerReconnected {
+                worker,
+                epoch,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "worker {worker} reconnected at epoch {epoch} after {attempts} attempts"
+                )
+            }
+            Event::RedialGaveUp { worker, attempts } => {
+                write!(
+                    f,
+                    "redial of worker {worker} gave up after {attempts} attempts"
+                )
+            }
+            Event::ChaosInjected { kind } => write!(f, "chaos injected: {kind}"),
             Event::LeaseExpired { level, attempt } => {
                 write!(f, "lease expired on level {level} attempt {attempt}")
             }
@@ -493,6 +537,22 @@ impl serde::Serialize for Event {
             Event::WorkerJoined { worker, n_alive } | Event::WorkerLeft { worker, n_alive } => {
                 m.insert("worker".into(), worker.to_value());
                 m.insert("n_alive".into(), n_alive.to_value());
+            }
+            Event::WorkerReconnected {
+                worker,
+                epoch,
+                attempts,
+            } => {
+                m.insert("worker".into(), worker.to_value());
+                m.insert("epoch".into(), epoch.to_value());
+                m.insert("attempts".into(), attempts.to_value());
+            }
+            Event::RedialGaveUp { worker, attempts } => {
+                m.insert("worker".into(), worker.to_value());
+                m.insert("attempts".into(), attempts.to_value());
+            }
+            Event::ChaosInjected { kind } => {
+                m.insert("kind".into(), Value::String(kind.clone()));
             }
             Event::LeaseExpired { level, attempt } => {
                 m.insert("level".into(), level.to_value());
@@ -643,6 +703,18 @@ impl serde::Deserialize for Event {
                 worker: get_usize(v, "worker")?,
                 n_alive: get_usize(v, "n_alive")?,
             }),
+            "worker_reconnected" => Ok(Event::WorkerReconnected {
+                worker: get_usize(v, "worker")?,
+                epoch: get_u64(v, "epoch")?,
+                attempts: get_usize(v, "attempts")?,
+            }),
+            "redial_gave_up" => Ok(Event::RedialGaveUp {
+                worker: get_usize(v, "worker")?,
+                attempts: get_usize(v, "attempts")?,
+            }),
+            "chaos_injected" => Ok(Event::ChaosInjected {
+                kind: get_str(v, "kind")?.to_string(),
+            }),
             "lease_expired" => Ok(Event::LeaseExpired {
                 level: get_usize(v, "level")?,
                 attempt: get_usize(v, "attempt")?,
@@ -774,6 +846,18 @@ mod tests {
             Event::WorkerLeft {
                 worker: 3,
                 n_alive: 9,
+            },
+            Event::WorkerReconnected {
+                worker: 3,
+                epoch: 2,
+                attempts: 4,
+            },
+            Event::RedialGaveUp {
+                worker: 5,
+                attempts: 6,
+            },
+            Event::ChaosInjected {
+                kind: "blackhole".into(),
             },
             Event::LeaseExpired {
                 level: 1,

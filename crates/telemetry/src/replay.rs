@@ -104,6 +104,14 @@ pub struct TraceSummary {
     pub workers_joined: usize,
     /// Workers that left mid-run (scale-down or worker crash).
     pub workers_left: usize,
+    /// Disconnected workers that redialed back in under a new session
+    /// epoch.
+    pub workers_reconnected: usize,
+    /// Redial loops that exhausted their attempt budget (permanent
+    /// Leave).
+    pub redials_gave_up: usize,
+    /// Chaos-proxy fault injections per fault kind (drills only).
+    pub chaos_injected: BTreeMap<String, usize>,
     /// Job leases that expired after a worker departure.
     pub leases_expired: usize,
     /// Speculative backup copies launched for stragglers.
@@ -180,6 +188,11 @@ impl TraceSummary {
                 }
                 Event::WorkerJoined { .. } => s.workers_joined += 1,
                 Event::WorkerLeft { .. } => s.workers_left += 1,
+                Event::WorkerReconnected { .. } => s.workers_reconnected += 1,
+                Event::RedialGaveUp { .. } => s.redials_gave_up += 1,
+                Event::ChaosInjected { kind } => {
+                    *s.chaos_injected.entry(kind.clone()).or_default() += 1;
+                }
                 Event::LeaseExpired { level, .. } => {
                     s.levels.entry(*level).or_default().orphaned += 1;
                     s.leases_expired += 1;
@@ -362,6 +375,12 @@ impl TraceSummary {
                 let _ = writeln!(out, "  {tag}: {n}");
             }
         }
+        if !self.chaos_injected.is_empty() {
+            let _ = writeln!(out, "\nchaos injected:");
+            for (kind, n) in &self.chaos_injected {
+                let _ = writeln!(out, "  {kind}: {n}");
+            }
+        }
         if self.checkpoints > 0 {
             let _ = writeln!(out, "\ncheckpoints written: {}", self.checkpoints);
         }
@@ -375,6 +394,13 @@ impl TraceSummary {
                 "  workers joined: {}, left: {}",
                 self.workers_joined, self.workers_left
             );
+            if self.workers_reconnected + self.redials_gave_up > 0 {
+                let _ = writeln!(
+                    out,
+                    "  reconnects: {}, redials gave up: {}",
+                    self.workers_reconnected, self.redials_gave_up
+                );
+            }
             let _ = writeln!(out, "  leases expired: {}", self.leases_expired);
             let _ = writeln!(
                 out,
@@ -633,6 +659,59 @@ mod tests {
         assert!(text.contains("membership & resilience"), "{text}");
         assert!(text.contains("exactly-once reconciliation"), "{text}");
         assert!(text.contains("0 duplicated"), "{text}");
+    }
+
+    #[test]
+    fn reconnect_and_chaos_counters() {
+        let log = vec![
+            rec(
+                0,
+                0.0,
+                Event::ChaosInjected {
+                    kind: "blackhole".into(),
+                },
+            ),
+            rec(
+                1,
+                0.5,
+                Event::WorkerLeft {
+                    worker: 0,
+                    n_alive: 0,
+                },
+            ),
+            rec(
+                2,
+                1.0,
+                Event::WorkerReconnected {
+                    worker: 0,
+                    epoch: 1,
+                    attempts: 3,
+                },
+            ),
+            rec(
+                3,
+                1.5,
+                Event::RedialGaveUp {
+                    worker: 1,
+                    attempts: 5,
+                },
+            ),
+            rec(
+                4,
+                2.0,
+                Event::ChaosInjected {
+                    kind: "blackhole".into(),
+                },
+            ),
+        ];
+        let s = TraceSummary::from_records(&log);
+        assert_eq!(s.workers_reconnected, 1);
+        assert_eq!(s.redials_gave_up, 1);
+        assert_eq!(s.chaos_injected["blackhole"], 2);
+        let text = s.render();
+        assert!(text.contains("reconnects: 1, redials gave up: 1"), "{text}");
+        assert!(text.contains("chaos injected:"), "{text}");
+        assert!(text.contains("blackhole: 2"), "{text}");
     }
 
     #[test]

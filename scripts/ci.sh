@@ -128,6 +128,38 @@ for CODEC in json binary; do
   grep -q "; 0 duplicated" "target/loopback-report-$CODEC.out"
 done
 
+step "partition drill smoke (chaos proxy, mid-run blackhole, redial + exactly-once)"
+# The §16.4 drill against the shipped binaries: one worker (serial
+# accept loop, no --once) behind the in-process chaos proxy, a
+# blackhole window opening mid-run. The driver's lease expires inside
+# the window, its redial loop retries past the heal, the worker
+# re-admits it under a new session epoch, and the study completes.
+# trace-report must show the injected window, at least one reconnect,
+# and — the invariant the epoch fence exists for — zero duplicated
+# trials.
+cat > target/chaos-plan.json <<'EOF'
+{"faults": [{"at_ms": 500, "for_ms": 1500, "fault": "Blackhole"}]}
+EOF
+mkfifo target/worker-c.fifo 2>/dev/null || true
+"$WORKER" --listen 127.0.0.1:0 > target/worker-c.fifo &
+WORKER_C_PID=$!
+read -r _ _ ADDR_C < target/worker-c.fifo
+target/release/hypertune cluster \
+  --workers "$ADDR_C" --bench counting-ones-small \
+  --method hyper-tune --max-evals 30 --seed 7 --lease-secs 0.7 \
+  --eval-sleep-ms 40 --redial-attempts 60 --redial-backoff-ms 25 \
+  --chaos target/chaos-plan.json --trace target/partition-trace.jsonl \
+  > target/partition.out
+kill "$WORKER_C_PID" 2>/dev/null || true
+wait "$WORKER_C_PID" 2>/dev/null || true
+rm -f target/worker-c.fifo
+grep -q "evaluations:  30" target/partition.out
+cargo run --release -q -p hypertune-bench --offline --bin trace-report -- \
+  target/partition-trace.jsonl > target/partition-report.out
+grep -q "; 0 duplicated" target/partition-report.out
+grep -qE "reconnects: [1-9]" target/partition-report.out
+grep -q "blackhole" target/partition-report.out
+
 step "net-bench smoke (wire-overhead matrix + WAL group commit)"
 # A scaled-down pass of the data-plane bench behind BENCH_net.json:
 # every (codec x slots) cell and every WAL durability config must run
